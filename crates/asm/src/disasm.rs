@@ -1,0 +1,114 @@
+//! Disassembly listings (for oops messages and crash-dump case studies).
+
+use kfi_isa::{decode, format_insn, DecodeError};
+
+/// One disassembled line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DisasmLine {
+    /// Instruction address.
+    pub addr: u32,
+    /// Raw encoded bytes.
+    pub bytes: Vec<u8>,
+    /// AT&T rendering (or `(bad)` for undecodable bytes).
+    pub text: String,
+}
+
+/// Disassembles `bytes` starting at `addr` until the buffer is exhausted.
+///
+/// Undecodable bytes produce a single-byte `(bad)` line and decoding
+/// resumes at the next byte, like `objdump` — essential when listing the
+/// instruction stream *after* a fault injection desynchronized it.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_asm::disassemble;
+/// let lines = disassemble(&[0x31, 0xd2, 0x0f, 0x0b], 0xc0100000);
+/// assert_eq!(lines[0].text, "xorl %edx,%edx");
+/// assert_eq!(lines[1].text, "ud2a");
+/// ```
+pub fn disassemble(bytes: &[u8], addr: u32) -> Vec<DisasmLine> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let a = addr.wrapping_add(pos as u32);
+        match decode(&bytes[pos..]) {
+            Ok(insn) => {
+                let len = insn.len as usize;
+                out.push(DisasmLine {
+                    addr: a,
+                    bytes: bytes[pos..pos + len].to_vec(),
+                    text: format_insn(&insn, a),
+                });
+                pos += len;
+            }
+            Err(DecodeError::Truncated { .. }) => {
+                out.push(DisasmLine {
+                    addr: a,
+                    bytes: bytes[pos..].to_vec(),
+                    text: "(truncated)".to_string(),
+                });
+                break;
+            }
+            Err(DecodeError::Invalid) => {
+                out.push(DisasmLine {
+                    addr: a,
+                    bytes: vec![bytes[pos]],
+                    text: "(bad)".to_string(),
+                });
+                pos += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Formats a disassembly as an `objdump`-style listing.
+pub fn format_listing(lines: &[DisasmLine]) -> String {
+    let mut s = String::new();
+    for l in lines {
+        let hex: Vec<String> = l.bytes.iter().map(|b| format!("{b:02x}")).collect();
+        s.push_str(&format!("{:8x}:\t{:24}\t{}\n", l.addr, hex.join(" "), l.text));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resyncs_after_bad_byte() {
+        // 0x63 is invalid; decoding resumes and finds the ret.
+        let lines = disassemble(&[0x63, 0xc3], 0);
+        assert_eq!(lines[0].text, "(bad)");
+        assert_eq!(lines[1].text, "ret");
+    }
+
+    #[test]
+    fn paper_table7_desync_listing() {
+        // Corrupted stream from Table 7 ex. 2: the original three
+        // instructions (mov, cmp, lea) re-decode as five (mov, or, pop,
+        // or, add) after one flipped bit.
+        let lines = disassemble(&[0x8b, 0x11, 0x0c, 0x39, 0x5d, 0x0c, 0x8d, 0x04, 0x82], 0);
+        let texts: Vec<&str> = lines.iter().map(|l| l.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "movl (%ecx),%edx",
+                "orb $0x39,%al",
+                "pop %ebp",
+                "orb $0x8d,%al",
+                "addb $0x82,%al",
+            ]
+        );
+    }
+
+    #[test]
+    fn listing_format() {
+        let lines = disassemble(&[0x90], 0x1000);
+        let s = format_listing(&lines);
+        assert!(s.contains("1000:"));
+        assert!(s.contains("nop"));
+    }
+}

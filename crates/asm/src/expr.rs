@@ -1,0 +1,389 @@
+//! Assembly-time constant expressions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// An assembly-time expression over numbers and symbols.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// A literal constant.
+    Num(i64),
+    /// A symbol reference (label or `.equ` constant). The special symbol
+    /// `"."` is the current instruction's address.
+    Sym(String),
+    /// A binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Unary bitwise complement.
+    Not(Box<Expr>),
+}
+
+/// Binary operators, lowest first in the precedence table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (assembly-time, truncating).
+    Div,
+    /// Left shift.
+    Shl,
+    /// Right shift.
+    Shr,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+}
+
+/// Expression evaluation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A referenced symbol is not (yet) defined.
+    Undefined(String),
+    /// Division by zero at assembly time.
+    DivByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Undefined(s) => write!(f, "undefined symbol `{s}`"),
+            EvalError::DivByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl Expr {
+    /// Evaluates against a symbol table; `dot` is the value of `.`.
+    pub fn eval(&self, symbols: &HashMap<String, u32>, dot: u32) -> Result<i64, EvalError> {
+        match self {
+            Expr::Num(n) => Ok(*n),
+            Expr::Sym(s) if s == "." => Ok(dot as i64),
+            Expr::Sym(s) => symbols
+                .get(s)
+                .map(|v| *v as i64)
+                .ok_or_else(|| EvalError::Undefined(s.clone())),
+            Expr::Neg(e) => Ok(e.eval(symbols, dot)?.wrapping_neg()),
+            Expr::Not(e) => Ok(!e.eval(symbols, dot)?),
+            Expr::Bin(op, a, b) => {
+                let a = a.eval(symbols, dot)?;
+                let b = b.eval(symbols, dot)?;
+                Ok(match op {
+                    BinOp::Add => a.wrapping_add(b),
+                    BinOp::Sub => a.wrapping_sub(b),
+                    BinOp::Mul => a.wrapping_mul(b),
+                    BinOp::Div => {
+                        if b == 0 {
+                            return Err(EvalError::DivByZero);
+                        }
+                        a.wrapping_div(b)
+                    }
+                    BinOp::Shl => a.wrapping_shl(b as u32),
+                    BinOp::Shr => ((a as u64).wrapping_shr(b as u32)) as i64,
+                    BinOp::And => a & b,
+                    BinOp::Or => a | b,
+                    BinOp::Xor => a ^ b,
+                })
+            }
+        }
+    }
+
+    /// True when the expression references no symbols (other than through
+    /// already-folded constants).
+    pub fn is_const(&self) -> bool {
+        match self {
+            Expr::Num(_) => true,
+            Expr::Sym(_) => false,
+            Expr::Neg(e) | Expr::Not(e) => e.is_const(),
+            Expr::Bin(_, a, b) => a.is_const() && b.is_const(),
+        }
+    }
+}
+
+/// Parses an expression from `input`.
+///
+/// Accepts decimal, hex (`0x`), binary (`0b`), octal (`0o`), character
+/// (`'c'`) literals, symbols, `.`, parentheses, unary `-`/`~`, and the
+/// binary operators `+ - * / << >> & | ^`.
+///
+/// # Errors
+///
+/// Returns a message describing the first syntax error.
+pub fn parse_expr(input: &str) -> Result<Expr, String> {
+    let mut p = ExprParser { s: input.as_bytes(), pos: 0 };
+    let e = p.parse_or()?;
+    p.skip_ws();
+    if p.pos != p.s.len() {
+        return Err(format!("trailing characters in expression `{input}`"));
+    }
+    Ok(e)
+}
+
+struct ExprParser<'a> {
+    s: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ExprParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.s.len() && (self.s[self.pos] as char).is_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.s.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, tok: &str) -> bool {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(tok.as_bytes()) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_and()?;
+        loop {
+            if self.eat("|") {
+                let rhs = self.parse_and()?;
+                lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+            } else if self.eat("^") {
+                let rhs = self.parse_and()?;
+                lhs = Expr::Bin(BinOp::Xor, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_shift()?;
+        while self.peek() == Some(b'&') {
+            self.pos += 1;
+            let rhs = self.parse_shift()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn parse_shift(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_add()?;
+        loop {
+            if self.eat("<<") {
+                let rhs = self.parse_add()?;
+                lhs = Expr::Bin(BinOp::Shl, Box::new(lhs), Box::new(rhs));
+            } else if self.eat(">>") {
+                let rhs = self.parse_add()?;
+                lhs = Expr::Bin(BinOp::Shr, Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_add(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_mul()?;
+        loop {
+            match self.peek() {
+                Some(b'+') => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = Expr::Bin(BinOp::Add, Box::new(lhs), Box::new(rhs));
+                }
+                Some(b'-') => {
+                    self.pos += 1;
+                    let rhs = self.parse_mul()?;
+                    lhs = Expr::Bin(BinOp::Sub, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_mul(&mut self) -> Result<Expr, String> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            match self.peek() {
+                Some(b'*') => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+                }
+                Some(b'/') => {
+                    self.pos += 1;
+                    let rhs = self.parse_unary()?;
+                    lhs = Expr::Bin(BinOp::Div, Box::new(lhs), Box::new(rhs));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, String> {
+        match self.peek() {
+            Some(b'-') => {
+                self.pos += 1;
+                Ok(Expr::Neg(Box::new(self.parse_unary()?)))
+            }
+            Some(b'~') => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.parse_unary()?)))
+            }
+            Some(b'(') => {
+                self.pos += 1;
+                let e = self.parse_or()?;
+                if self.peek() != Some(b')') {
+                    return Err("missing `)`".into());
+                }
+                self.pos += 1;
+                Ok(e)
+            }
+            Some(b'\'') => {
+                self.pos += 1;
+                let c = self
+                    .s
+                    .get(self.pos)
+                    .copied()
+                    .ok_or_else(|| "unterminated char literal".to_string())?;
+                let (v, adv) = if c == b'\\' {
+                    let esc = self
+                        .s
+                        .get(self.pos + 1)
+                        .copied()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    let v = match esc {
+                        b'n' => b'\n',
+                        b't' => b'\t',
+                        b'r' => b'\r',
+                        b'0' => 0,
+                        b'\\' => b'\\',
+                        b'\'' => b'\'',
+                        _ => return Err(format!("unknown escape `\\{}`", esc as char)),
+                    };
+                    (v, 2)
+                } else {
+                    (c, 1)
+                };
+                self.pos += adv;
+                if self.s.get(self.pos) != Some(&b'\'') {
+                    return Err("unterminated char literal".into());
+                }
+                self.pos += 1;
+                Ok(Expr::Num(v as i64))
+            }
+            Some(c) if c.is_ascii_digit() => self.parse_number(),
+            Some(c) if c == b'_' || c == b'.' || c == b'$' || c.is_ascii_alphabetic() => {
+                let start = self.pos;
+                while self.pos < self.s.len() {
+                    let c = self.s[self.pos];
+                    if c == b'_' || c == b'.' || c == b'$' || c == b'@' || c.is_ascii_alphanumeric()
+                    {
+                        self.pos += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let name = std::str::from_utf8(&self.s[start..self.pos]).expect("ascii");
+                Ok(Expr::Sym(name.to_string()))
+            }
+            other => Err(format!("unexpected token {:?} in expression", other.map(|c| c as char))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Expr, String> {
+        let start = self.pos;
+        let bytes = self.s;
+        let (radix, mut i) = if bytes[self.pos..].starts_with(b"0x") || bytes[self.pos..].starts_with(b"0X")
+        {
+            (16, self.pos + 2)
+        } else if bytes[self.pos..].starts_with(b"0b") || bytes[self.pos..].starts_with(b"0B") {
+            (2, self.pos + 2)
+        } else if bytes[self.pos..].starts_with(b"0o") {
+            (8, self.pos + 2)
+        } else {
+            (10, self.pos)
+        };
+        let digits_start = i;
+        while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+            i += 1;
+        }
+        let text: String = std::str::from_utf8(&bytes[digits_start..i])
+            .expect("ascii")
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        self.pos = i;
+        u64::from_str_radix(&text, radix)
+            .map(|v| Expr::Num(v as i64))
+            .map_err(|_| format!("bad number literal `{}`", std::str::from_utf8(&bytes[start..i]).unwrap_or("?")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(s: &str) -> i64 {
+        parse_expr(s).unwrap().eval(&HashMap::new(), 0).unwrap()
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(ev("42"), 42);
+        assert_eq!(ev("0x2a"), 42);
+        assert_eq!(ev("0b101"), 5);
+        assert_eq!(ev("0o17"), 15);
+        assert_eq!(ev("'A'"), 65);
+        assert_eq!(ev("'\\n'"), 10);
+        assert_eq!(ev("1_000"), 1000);
+    }
+
+    #[test]
+    fn precedence() {
+        assert_eq!(ev("2+3*4"), 14);
+        assert_eq!(ev("(2+3)*4"), 20);
+        assert_eq!(ev("1<<4|1"), 17);
+        assert_eq!(ev("0xff & 0x0f"), 0x0f);
+        assert_eq!(ev("-4+10"), 6);
+        assert_eq!(ev("~0 & 0xff"), 0xff);
+        assert_eq!(ev("100/7"), 14);
+        assert_eq!(ev("1 << 2 << 3"), 32);
+    }
+
+    #[test]
+    fn symbols_and_dot() {
+        let mut syms = HashMap::new();
+        syms.insert("foo".to_string(), 0x100u32);
+        let e = parse_expr("foo+8").unwrap();
+        assert_eq!(e.eval(&syms, 0).unwrap(), 0x108);
+        assert!(!e.is_const());
+        let e = parse_expr(". - 4").unwrap();
+        assert_eq!(e.eval(&syms, 0x1000).unwrap(), 0xffc);
+        let e = parse_expr("bar").unwrap();
+        assert_eq!(e.eval(&syms, 0), Err(EvalError::Undefined("bar".into())));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("2 +").is_err());
+        assert!(parse_expr("(2").is_err());
+        assert!(parse_expr("2 2").is_err());
+        assert!(parse_expr("0xzz").is_err());
+        assert_eq!(
+            parse_expr("1/0").unwrap().eval(&HashMap::new(), 0),
+            Err(EvalError::DivByZero)
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # kfi-asm — AT&T-syntax assembler and disassembler
+//!
+//! Assembles the guest kernel and workload sources into loadable images
+//! with a full symbol table (functions, sizes, subsystem tags). The
+//! subsystem tags (`.subsystem fs` directives in the kernel sources) are
+//! what lets the injector attribute a crash EIP to `arch`/`fs`/`kernel`/
+//! `mm` for the paper's error-propagation analysis (Figure 8).
+//!
+//! Branch relaxation uses a monotone-widening fixpoint: every branch
+//! starts short and is only ever promoted to the near form, so layout
+//! terminates and short `jcc` encodings dominate — matching the byte-level
+//! shape of real kernel code that campaigns B and C flip bits in.
+//!
+//! # Examples
+//!
+//! ```
+//! use kfi_asm::{assemble, AsmOptions};
+//!
+//! let prog = assemble(
+//!     ".text\n.subsystem mm\n.type alloc, @function\nalloc:\n  movl $1, %eax\n  ret\n",
+//!     &AsmOptions { text_base: 0xc010_0000, data_base: None },
+//! )?;
+//! let f = prog.symbols.function_at(0xc010_0001).unwrap();
+//! assert_eq!(f.name, "alloc");
+//! assert_eq!(f.subsystem.as_deref(), Some("mm"));
+//! # Ok::<(), kfi_asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod assemble;
+mod disasm;
+mod expr;
+mod parse;
+mod program;
+
+pub use assemble::{assemble, AsmOptions, Assembler};
+pub use disasm::{disassemble, format_listing, DisasmLine};
+pub use expr::{parse_expr, BinOp, EvalError, Expr};
+pub use parse::AsmError;
+pub use program::{Program, Section, Symbol, SymbolKind, SymbolTable};

@@ -1,0 +1,927 @@
+//! Source-line parsing: labels, directives and instruction statements.
+
+use crate::expr::{parse_expr, Expr};
+use kfi_isa::{AluKind, BtKind, Cond, Grp3Kind, Reg, Rep, ShiftKind, StrKind, Width};
+use std::collections::HashMap;
+
+/// A parsed memory operand before expression resolution.
+#[derive(Debug, Clone)]
+pub(crate) struct TMem {
+    pub disp: Option<Expr>,
+    pub base: Option<Reg>,
+    pub index: Option<(Reg, u8)>,
+}
+
+/// A parsed operand before expression resolution.
+#[derive(Debug, Clone)]
+pub(crate) enum TOperand {
+    /// 32-bit register.
+    Reg(Reg),
+    /// 8-bit register by hardware number.
+    Reg8(u8),
+    /// Control register.
+    Cr(u8),
+    /// `$expr` immediate.
+    Imm(Expr),
+    /// Memory operand with optional symbolic displacement.
+    Mem(TMem),
+    /// Bare expression: branch target, or absolute memory for data ops.
+    Bare(Expr),
+    /// `*operand` indirect jump/call target.
+    Star(Box<TOperand>),
+    /// `%dx` as an I/O port selector.
+    Dx,
+}
+
+/// Semantic mnemonic after table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mnem {
+    Mov,
+    Movzx,
+    Movsx,
+    Lea,
+    Alu(AluKind),
+    Shift(ShiftKind),
+    Shld,
+    Shrd,
+    Bt(BtKind),
+    Xadd,
+    Cmpxchg,
+    Xchg,
+    Grp3(Grp3Kind),
+    Imul,
+    Inc,
+    Dec,
+    Push,
+    Pop,
+    Pusha,
+    Popa,
+    Pushf,
+    Popf,
+    Jcc(Cond),
+    Jmp,
+    Call,
+    Ret,
+    Lret,
+    Leave,
+    Int,
+    Int3,
+    Into,
+    Iret,
+    Bound,
+    Setcc(Cond),
+    Cmov(Cond),
+    Ud2,
+    Hlt,
+    Nop,
+    Cwde,
+    Cdq,
+    Bswap,
+    Rdtsc,
+    Cpuid,
+    In,
+    Out,
+    Str(StrKind, Width),
+    Lidt,
+    Cli,
+    Sti,
+    Aam,
+    Aad,
+    Xlat,
+    Cmc,
+    Clc,
+    Stc,
+    Cld,
+    Std,
+    Sahf,
+    Lahf,
+}
+
+/// An instruction statement.
+#[derive(Debug, Clone)]
+pub(crate) struct GenInsn {
+    pub mnem: Mnem,
+    pub width: Option<Width>,
+    pub rep: Rep,
+    pub ops: Vec<TOperand>,
+    pub file: String,
+    pub line: usize,
+}
+
+/// Which section an item lives in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SectionId {
+    Text,
+    Data,
+}
+
+/// One parsed assembly item, in source order.
+#[derive(Debug, Clone)]
+pub(crate) enum Item {
+    Label(String),
+    Insn(GenInsn),
+    Data { width: u8, exprs: Vec<Expr>, file: String, line: usize },
+    Bytes(Vec<u8>),
+    Align(u32),
+    Space(u32, u8),
+    Section(SectionId),
+    FuncMark(String),
+    Global(String),
+    Subsystem(String),
+}
+
+/// Assembly failure with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// Source file (from `.file` auto-directives).
+    pub file: String,
+    /// 1-based line within the file.
+    pub line: usize,
+    /// Problem description.
+    pub msg: String,
+}
+
+impl std::fmt::Display for AsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file, self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+pub(crate) struct Parser {
+    file: String,
+    line: usize,
+    /// Per-number definition counters for `1:`-style local labels.
+    local_counts: HashMap<u32, u32>,
+    /// Current `.equ` constants, folded eagerly.
+    pub equs: HashMap<String, u32>,
+    pub items: Vec<Item>,
+    /// User-defined macros: name -> (params, body lines).
+    macros: HashMap<String, (Vec<String>, Vec<String>)>,
+    /// Macro currently being collected (.macro ... .endm).
+    collecting: Option<(String, Vec<String>, Vec<String>)>,
+    /// Expansion depth guard.
+    depth: u32,
+}
+
+impl Parser {
+    pub fn new() -> Parser {
+        Parser {
+            file: "<input>".to_string(),
+            line: 0,
+            local_counts: HashMap::new(),
+            equs: HashMap::new(),
+            items: Vec::new(),
+            macros: HashMap::new(),
+            collecting: None,
+            depth: 0,
+        }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> AsmError {
+        AsmError { file: self.file.clone(), line: self.line, msg: msg.into() }
+    }
+
+    /// Parses a directive argument as a constant expression (`.equ`
+    /// constants are visible).
+    fn const_u32(&self, text: &str) -> Result<u32, AsmError> {
+        let e = parse_expr(text.trim()).map_err(|m| self.err(m))?;
+        let v = e
+            .eval(&self.equs, 0)
+            .map_err(|m| self.err(format!("directive argument must be constant: {m}")))?;
+        Ok(v as u32)
+    }
+
+    /// Parses one named source; may be called repeatedly to concatenate.
+    pub fn parse_source(&mut self, file: &str, source: &str) -> Result<(), AsmError> {
+        self.file = file.to_string();
+        self.line = 0;
+        for raw in source.lines() {
+            self.line += 1;
+            self.parse_line(raw)?;
+        }
+        Ok(())
+    }
+
+    fn parse_line(&mut self, raw: &str) -> Result<(), AsmError> {
+        let line = strip_comment(raw);
+        let mut rest = line.trim();
+        // Macro collection mode: swallow lines until .endm.
+        if self.collecting.is_some() {
+            if rest == ".endm" || rest == ".endmacro" {
+                let (name, params, body) = self.collecting.take().expect("collecting");
+                self.macros.insert(name, (params, body));
+            } else if let Some((name, _, _)) = &self.collecting {
+                if rest.starts_with(".macro") {
+                    let name = name.clone();
+                    return Err(self.err(format!("nested .macro inside `{name}`")));
+                }
+                self.collecting.as_mut().expect("collecting").2.push(rest.to_string());
+            }
+            return Ok(());
+        }
+        if let Some(def) = rest.strip_prefix(".macro") {
+            let mut words = def.split_whitespace();
+            let name = words
+                .next()
+                .ok_or_else(|| self.err(".macro needs a name"))?
+                .to_string();
+            let params: Vec<String> = def
+                .trim_start_matches(char::is_whitespace)
+                .strip_prefix(&name)
+                .unwrap_or("")
+                .split([',', ' '])
+                .map(str::trim)
+                .filter(|p| !p.is_empty())
+                .map(str::to_string)
+                .collect();
+            self.collecting = Some((name, params, Vec::new()));
+            return Ok(());
+        }
+        // Leading labels (there can be several).
+        while let Some(colon) = find_label_colon(rest) {
+            let name = rest[..colon].trim();
+            if !is_symbol_name(name) && name.parse::<u32>().is_err() {
+                return Err(self.err(format!("bad label name `{name}`")));
+            }
+            let unique = if let Ok(n) = name.parse::<u32>() {
+                let c = self.local_counts.entry(n).or_insert(0);
+                *c += 1;
+                local_label_name(n, *c)
+            } else {
+                name.to_string()
+            };
+            self.items.push(Item::Label(unique));
+            rest = rest[colon + 1..].trim();
+        }
+        if rest.is_empty() {
+            return Ok(());
+        }
+        if let Some(d) = rest.strip_prefix('.') {
+            return self.parse_directive(d);
+        }
+        // Macro invocation?
+        let word = rest.split_whitespace().next().unwrap_or("");
+        if self.macros.contains_key(word) {
+            return self.expand_macro(word.to_string(), rest[word.len()..].trim());
+        }
+        self.parse_insn(rest)
+    }
+
+    fn expand_macro(&mut self, name: String, argtext: &str) -> Result<(), AsmError> {
+        if self.depth > 16 {
+            return Err(self.err(format!("macro expansion too deep in `{name}`")));
+        }
+        let (params, body) = self.macros.get(&name).cloned().expect("checked");
+        let args: Vec<String> = if argtext.is_empty() {
+            Vec::new()
+        } else {
+            split_top_commas(argtext).iter().map(|a| a.trim().to_string()).collect()
+        };
+        if args.len() > params.len() {
+            return Err(self.err(format!(
+                "macro `{name}` takes {} argument(s), got {}",
+                params.len(),
+                args.len()
+            )));
+        }
+        let saved_line = self.line;
+        self.depth += 1;
+        for body_line in &body {
+            let mut expanded = body_line.clone();
+            // Longest-first substitution so \counter wins over \count.
+            let mut order: Vec<usize> = (0..params.len()).collect();
+            order.sort_by_key(|i| std::cmp::Reverse(params[*i].len()));
+            for i in order {
+                let val = args.get(i).map(String::as_str).unwrap_or("");
+                expanded = expanded.replace(&format!("\\{}", params[i]), val);
+            }
+            self.parse_line(&expanded)?;
+            self.line = saved_line;
+        }
+        self.depth -= 1;
+        Ok(())
+    }
+
+    fn parse_directive(&mut self, d: &str) -> Result<(), AsmError> {
+        let (name, args) = match d.find(char::is_whitespace) {
+            Some(i) => (&d[..i], d[i..].trim()),
+            None => (d, ""),
+        };
+        match name {
+            "text" => self.items.push(Item::Section(SectionId::Text)),
+            "data" => self.items.push(Item::Section(SectionId::Data)),
+            "section" => match args.trim_start_matches('.').split(',').next().unwrap_or("") {
+                "text" => self.items.push(Item::Section(SectionId::Text)),
+                "data" | "rodata" | "bss" => self.items.push(Item::Section(SectionId::Data)),
+                other => return Err(self.err(format!("unknown section `{other}`"))),
+            },
+            "global" | "globl" => {
+                for n in args.split(',') {
+                    self.items.push(Item::Global(n.trim().to_string()));
+                }
+            }
+            "equ" | "set" => {
+                let (n, e) = args
+                    .split_once(',')
+                    .ok_or_else(|| self.err(".equ needs `name, expr`"))?;
+                let expr = parse_expr(e.trim()).map_err(|m| self.err(m))?;
+                let v = expr
+                    .eval(&to_u32_map(&self.equs), 0)
+                    .map_err(|m| self.err(format!(".equ must be resolvable at definition: {m}")))?;
+                self.equs.insert(n.trim().to_string(), v as u32);
+            }
+            "byte" => self.push_data(1, args)?,
+            "word" | "short" | "hword" => self.push_data(2, args)?,
+            "long" | "int" | "dword" => self.push_data(4, args)?,
+            "ascii" | "asciz" | "string" => {
+                let mut bytes = parse_string_literal(args).map_err(|m| self.err(m))?;
+                if name != "ascii" {
+                    bytes.push(0);
+                }
+                self.items.push(Item::Bytes(bytes));
+            }
+            "align" | "balign" => {
+                let n = self.const_u32(args)?;
+                if !n.is_power_of_two() {
+                    return Err(self.err("alignment must be a power of two"));
+                }
+                self.items.push(Item::Align(n));
+            }
+            "space" | "skip" | "zero" => {
+                let mut parts = args.split(',');
+                let n = self.const_u32(parts.next().unwrap_or(""))?;
+                let fill: u8 = match parts.next() {
+                    Some(f) => self.const_u32(f)? as u8,
+                    None => 0,
+                };
+                self.items.push(Item::Space(n, fill));
+            }
+            "type" => {
+                let (n, kind) = args
+                    .split_once(',')
+                    .ok_or_else(|| self.err(".type needs `name, @function`"))?;
+                if kind.trim() == "@function" {
+                    self.items.push(Item::FuncMark(n.trim().to_string()));
+                }
+            }
+            "subsystem" => self.items.push(Item::Subsystem(args.trim().to_string())),
+            "size" | "file" | "ident" | "p2align" | "code32" => {}
+            other => return Err(self.err(format!("unknown directive `.{other}`"))),
+        }
+        Ok(())
+    }
+
+    fn push_data(&mut self, width: u8, args: &str) -> Result<(), AsmError> {
+        let mut exprs = Vec::new();
+        for part in split_top_commas(args) {
+            exprs.push(parse_expr(part.trim()).map_err(|m| self.err(m))?);
+        }
+        self.items.push(Item::Data {
+            width,
+            exprs,
+            file: self.file.clone(),
+            line: self.line,
+        });
+        Ok(())
+    }
+
+    fn parse_insn(&mut self, text: &str) -> Result<(), AsmError> {
+        let mut words = text.splitn(2, char::is_whitespace);
+        let mut mnem_word = words.next().expect("nonempty").to_ascii_lowercase();
+        let mut rest = words.next().unwrap_or("").trim();
+        let mut rep = Rep::None;
+        if matches!(mnem_word.as_str(), "rep" | "repe" | "repz") {
+            rep = Rep::Rep;
+        } else if matches!(mnem_word.as_str(), "repne" | "repnz") {
+            rep = Rep::Repne;
+        }
+        if rep != Rep::None {
+            let mut w2 = rest.splitn(2, char::is_whitespace);
+            mnem_word = w2
+                .next()
+                .filter(|s| !s.is_empty())
+                .ok_or_else(|| self.err("rep prefix needs a string instruction"))?
+                .to_ascii_lowercase();
+            rest = w2.next().unwrap_or("").trim();
+        }
+
+        let (mnem, width) = lookup_mnem(&mnem_word)
+            .ok_or_else(|| self.err(format!("unknown mnemonic `{mnem_word}`")))?;
+        if rep != Rep::None && !matches!(mnem, Mnem::Str(..)) {
+            return Err(self.err("rep prefix is only valid on string instructions"));
+        }
+
+        let mut ops = Vec::new();
+        if !rest.is_empty() {
+            for part in split_top_commas(rest) {
+                ops.push(self.parse_operand(part.trim(), &mnem)?);
+            }
+        }
+        self.items.push(Item::Insn(GenInsn {
+            mnem,
+            width,
+            rep,
+            ops,
+            file: self.file.clone(),
+            line: self.line,
+        }));
+        Ok(())
+    }
+
+    fn parse_operand(&mut self, text: &str, mnem: &Mnem) -> Result<TOperand, AsmError> {
+        if text.is_empty() {
+            return Err(self.err("empty operand"));
+        }
+        if let Some(r) = text.strip_prefix('*') {
+            let inner = self.parse_operand(r.trim(), mnem)?;
+            return Ok(TOperand::Star(Box::new(inner)));
+        }
+        if let Some(r) = text.strip_prefix('%') {
+            let lower = r.to_ascii_lowercase();
+            if let Some(reg) = Reg::parse(&lower) {
+                return Ok(TOperand::Reg(reg));
+            }
+            if let Some(r8) = Reg::parse8(&lower) {
+                return Ok(TOperand::Reg8(r8));
+            }
+            if lower == "dx" {
+                return Ok(TOperand::Dx);
+            }
+            if let Some(n) = lower.strip_prefix("cr") {
+                let n: u8 = n
+                    .parse()
+                    .map_err(|_| self.err(format!("bad control register `%{r}`")))?;
+                return Ok(TOperand::Cr(n));
+            }
+            return Err(self.err(format!("unknown register `%{r}`")));
+        }
+        if let Some(r) = text.strip_prefix('$') {
+            let e = self.parse_target_expr(r)?;
+            return Ok(TOperand::Imm(e));
+        }
+        if let Some(open) = find_top_paren(text) {
+            let disp_text = text[..open].trim();
+            let close = text
+                .rfind(')')
+                .ok_or_else(|| self.err(format!("missing `)` in `{text}`")))?;
+            let inner = &text[open + 1..close];
+            let disp = if disp_text.is_empty() {
+                None
+            } else {
+                Some(parse_expr(disp_text).map_err(|m| self.err(m))?)
+            };
+            let mut base = None;
+            let mut index = None;
+            let parts: Vec<&str> = inner.split(',').map(str::trim).collect();
+            if parts.len() > 3 {
+                return Err(self.err(format!("too many memory operand parts in `{text}`")));
+            }
+            if let Some(b) = parts.first() {
+                if !b.is_empty() {
+                    let name = b
+                        .strip_prefix('%')
+                        .ok_or_else(|| self.err(format!("expected register in `{text}`")))?;
+                    base = Some(
+                        Reg::parse(name)
+                            .ok_or_else(|| self.err(format!("bad base register `{b}`")))?,
+                    );
+                }
+            }
+            if let Some(i) = parts.get(1) {
+                if i.is_empty() {
+                    return Err(self.err(format!("missing index register in `{text}`")));
+                }
+                let name = i
+                    .strip_prefix('%')
+                    .ok_or_else(|| self.err(format!("expected index register in `{text}`")))?;
+                let reg = Reg::parse(name)
+                    .ok_or_else(|| self.err(format!("bad index register `{i}`")))?;
+                let scale: u8 = match parts.get(2) {
+                    Some(s) => s
+                        .parse()
+                        .map_err(|_| self.err(format!("bad scale in `{text}`")))?,
+                    None => 1,
+                };
+                if !matches!(scale, 1 | 2 | 4 | 8) {
+                    return Err(self.err(format!("scale must be 1/2/4/8 in `{text}`")));
+                }
+                if reg == Reg::Esp {
+                    return Err(self.err("%esp cannot be an index register"));
+                }
+                index = Some((reg, scale));
+            }
+            return Ok(TOperand::Mem(TMem { disp, base, index }));
+        }
+        // Bare expression: local-label branch targets get resolved here.
+        let e = self.parse_target_expr(text)?;
+        let _ = mnem;
+        Ok(TOperand::Bare(e))
+    }
+
+    /// Parses an expression, handling `1f`/`1b` local-label references.
+    fn parse_target_expr(&mut self, text: &str) -> Result<Expr, AsmError> {
+        let t = text.trim();
+        if t.len() >= 2 && t.ends_with(['f', 'b']) && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit())
+        {
+            let n: u32 = t[..t.len() - 1].parse().expect("digits");
+            let current = self.local_counts.get(&n).copied().unwrap_or(0);
+            let target = if t.ends_with('b') {
+                if current == 0 {
+                    return Err(self.err(format!("no previous definition of local label `{n}`")));
+                }
+                current
+            } else {
+                current + 1
+            };
+            return Ok(Expr::Sym(local_label_name(n, target)));
+        }
+        parse_expr(t).map_err(|m| self.err(m))
+    }
+}
+
+pub(crate) fn local_label_name(n: u32, count: u32) -> String {
+    format!(".L{n}@{count}")
+}
+
+fn to_u32_map(m: &HashMap<String, u32>) -> HashMap<String, u32> {
+    m.clone()
+}
+
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' => in_str = !in_str,
+            b'\\' if in_str => i += 1,
+            b'#' | b';' if !in_str => return &line[..i],
+            b'/' if !in_str && bytes.get(i + 1) == Some(&b'/') => return &line[..i],
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+/// Finds the colon ending a leading label, ignoring colons inside
+/// operands (a label must be the first token and contain no spaces or
+/// operand punctuation before the colon).
+fn find_label_colon(s: &str) -> Option<usize> {
+    let colon = s.find(':')?;
+    let candidate = &s[..colon];
+    if candidate.is_empty() {
+        return None;
+    }
+    if candidate
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+    {
+        Some(colon)
+    } else {
+        None
+    }
+}
+
+fn is_symbol_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == '.' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
+}
+
+/// Splits on commas at paren depth zero.
+fn split_top_commas(s: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut depth = 0usize;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth = depth.saturating_sub(1),
+            ',' if depth == 0 => {
+                parts.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&s[start..]);
+    parts
+}
+
+/// Finds the `(` opening a memory operand (depth-0, not inside an expr
+/// paren group: heuristically, the *last* top-level paren group is the
+/// register part, so we find the last `(` whose contents start with `%`
+/// or `,`).
+fn find_top_paren(s: &str) -> Option<usize> {
+    let mut candidate = None;
+    let bytes = s.as_bytes();
+    let mut depth = 0;
+    for i in 0..bytes.len() {
+        match bytes[i] {
+            b'(' => {
+                if depth == 0 {
+                    let inner = s[i + 1..].trim_start();
+                    if inner.starts_with('%') || inner.starts_with(',') {
+                        candidate = Some(i);
+                    }
+                }
+                depth += 1;
+            }
+            b')' => depth -= 1,
+            _ => {}
+        }
+    }
+    candidate
+}
+
+fn parse_string_literal(s: &str) -> Result<Vec<u8>, String> {
+    let t = s.trim();
+    if !t.starts_with('"') || !t.ends_with('"') || t.len() < 2 {
+        return Err(format!("expected quoted string, got `{t}`"));
+    }
+    let body = &t[1..t.len() - 1];
+    let mut out = Vec::new();
+    let mut chars = body.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push(b'\n'),
+                Some('t') => out.push(b'\t'),
+                Some('r') => out.push(b'\r'),
+                Some('0') => out.push(0),
+                Some('\\') => out.push(b'\\'),
+                Some('"') => out.push(b'"'),
+                Some('x') => {
+                    let hi = chars.next().ok_or("bad \\x escape")?;
+                    let lo = chars.next().ok_or("bad \\x escape")?;
+                    let v = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+                        .map_err(|_| "bad \\x escape".to_string())?;
+                    out.push(v);
+                }
+                other => return Err(format!("unknown escape `\\{:?}`", other)),
+            }
+        } else {
+            let mut buf = [0u8; 4];
+            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+        }
+    }
+    Ok(out)
+}
+
+/// Resolves a mnemonic word to its semantics and explicit width.
+pub(crate) fn lookup_mnem(word: &str) -> Option<(Mnem, Option<Width>)> {
+    // Exact matches first (some end in 'l'/'b' that are not suffixes).
+    let exact: Option<Mnem> = match word {
+        "lea" | "leal" => Some(Mnem::Lea),
+        "movzbl" | "movzx" => Some(Mnem::Movzx),
+        "movsbl" => Some(Mnem::Movsx),
+        "pusha" | "pushal" => Some(Mnem::Pusha),
+        "popa" | "popal" => Some(Mnem::Popa),
+        "pushf" | "pushfl" => Some(Mnem::Pushf),
+        "popf" | "popfl" => Some(Mnem::Popf),
+        "jmp" => Some(Mnem::Jmp),
+        "call" => Some(Mnem::Call),
+        "ret" => Some(Mnem::Ret),
+        "lret" => Some(Mnem::Lret),
+        "leave" => Some(Mnem::Leave),
+        "int" => Some(Mnem::Int),
+        "int3" => Some(Mnem::Int3),
+        "into" => Some(Mnem::Into),
+        "iret" | "iretl" => Some(Mnem::Iret),
+        "bound" => Some(Mnem::Bound),
+        "ud2" | "ud2a" => Some(Mnem::Ud2),
+        "hlt" => Some(Mnem::Hlt),
+        "nop" => Some(Mnem::Nop),
+        "cwde" | "cwtl" => Some(Mnem::Cwde),
+        "cdq" | "cltd" => Some(Mnem::Cdq),
+        "bswap" => Some(Mnem::Bswap),
+        "rdtsc" => Some(Mnem::Rdtsc),
+        "cpuid" => Some(Mnem::Cpuid),
+        "lidt" | "lidtl" => Some(Mnem::Lidt),
+        "cli" => Some(Mnem::Cli),
+        "sti" => Some(Mnem::Sti),
+        "aam" => Some(Mnem::Aam),
+        "aad" => Some(Mnem::Aad),
+        "xlat" | "xlatb" => Some(Mnem::Xlat),
+        "cmc" => Some(Mnem::Cmc),
+        "clc" => Some(Mnem::Clc),
+        "stc" => Some(Mnem::Stc),
+        "cld" => Some(Mnem::Cld),
+        "std" => Some(Mnem::Std),
+        "sahf" => Some(Mnem::Sahf),
+        "lahf" => Some(Mnem::Lahf),
+        "bt" | "btl" => Some(Mnem::Bt(BtKind::Bt)),
+        "bts" | "btsl" => Some(Mnem::Bt(BtKind::Bts)),
+        "btr" | "btrl" => Some(Mnem::Bt(BtKind::Btr)),
+        "btc" | "btcl" => Some(Mnem::Bt(BtKind::Btc)),
+        "shld" | "shldl" => Some(Mnem::Shld),
+        "shrd" | "shrdl" => Some(Mnem::Shrd),
+        _ => None,
+    };
+    if let Some(m) = exact {
+        return Some((m, None));
+    }
+
+    // String ops (suffix is mandatory and part of the name).
+    let strop = |k, w| Some((Mnem::Str(k, w), Some(w)));
+    match word {
+        "movsb" => return strop(StrKind::Movs, Width::B),
+        "movsl" | "movsd" => return strop(StrKind::Movs, Width::D),
+        "cmpsb" => return strop(StrKind::Cmps, Width::B),
+        "cmpsl" | "cmpsd" => return strop(StrKind::Cmps, Width::D),
+        "stosb" => return strop(StrKind::Stos, Width::B),
+        "stosl" | "stosd" => return strop(StrKind::Stos, Width::D),
+        "lodsb" => return strop(StrKind::Lods, Width::B),
+        "lodsl" | "lodsd" => return strop(StrKind::Lods, Width::D),
+        "scasb" => return strop(StrKind::Scas, Width::B),
+        "scasl" | "scasd" => return strop(StrKind::Scas, Width::D),
+        _ => {}
+    }
+
+    // Condition-code families.
+    if let Some(c) = word.strip_prefix("set").and_then(Cond::parse) {
+        return Some((Mnem::Setcc(c), Some(Width::B)));
+    }
+    if let Some(c) = word.strip_prefix("cmov").and_then(Cond::parse) {
+        return Some((Mnem::Cmov(c), Some(Width::D)));
+    }
+    if word != "jmp" {
+        if let Some(c) = word.strip_prefix('j').and_then(Cond::parse) {
+            return Some((Mnem::Jcc(c), None));
+        }
+    }
+
+    // Width-suffixable families: try the bare word first (so `sbb` is
+    // SBB, not `sb` + byte suffix), then the suffix-stripped forms.
+    let mut candidates: Vec<(&str, Option<Width>)> = vec![(word, None)];
+    if let Some(b) = word.strip_suffix('l') {
+        candidates.push((b, Some(Width::D)));
+    } else if let Some(b) = word.strip_suffix('b') {
+        candidates.push((b, Some(Width::B)));
+    }
+    for (base, width) in candidates {
+        if let Some(m) = lookup_suffixable(base) {
+            return Some((m, width));
+        }
+    }
+    None
+}
+
+fn lookup_suffixable(base: &str) -> Option<Mnem> {
+    match base {
+        "mov" => Some(Mnem::Mov),
+        "add" => Some(Mnem::Alu(AluKind::Add)),
+        "or" => Some(Mnem::Alu(AluKind::Or)),
+        "adc" => Some(Mnem::Alu(AluKind::Adc)),
+        "sbb" => Some(Mnem::Alu(AluKind::Sbb)),
+        "and" => Some(Mnem::Alu(AluKind::And)),
+        "sub" => Some(Mnem::Alu(AluKind::Sub)),
+        "xor" => Some(Mnem::Alu(AluKind::Xor)),
+        "cmp" => Some(Mnem::Alu(AluKind::Cmp)),
+        "test" => Some(Mnem::Alu(AluKind::Test)),
+        "shl" | "sal" => Some(Mnem::Shift(ShiftKind::Shl)),
+        "shr" => Some(Mnem::Shift(ShiftKind::Shr)),
+        "sar" => Some(Mnem::Shift(ShiftKind::Sar)),
+        "rol" => Some(Mnem::Shift(ShiftKind::Rol)),
+        "ror" => Some(Mnem::Shift(ShiftKind::Ror)),
+        "rcl" => Some(Mnem::Shift(ShiftKind::Rcl)),
+        "rcr" => Some(Mnem::Shift(ShiftKind::Rcr)),
+        "not" => Some(Mnem::Grp3(Grp3Kind::Not)),
+        "neg" => Some(Mnem::Grp3(Grp3Kind::Neg)),
+        "mul" => Some(Mnem::Grp3(Grp3Kind::Mul)),
+        "imul" => Some(Mnem::Imul),
+        "div" => Some(Mnem::Grp3(Grp3Kind::Div)),
+        "idiv" => Some(Mnem::Grp3(Grp3Kind::Idiv)),
+        "inc" => Some(Mnem::Inc),
+        "dec" => Some(Mnem::Dec),
+        "push" => Some(Mnem::Push),
+        "pop" => Some(Mnem::Pop),
+        "xchg" => Some(Mnem::Xchg),
+        "xadd" => Some(Mnem::Xadd),
+        "cmpxchg" => Some(Mnem::Cmpxchg),
+        "in" => Some(Mnem::In),
+        "out" => Some(Mnem::Out),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Vec<Item> {
+        let mut p = Parser::new();
+        p.parse_source("t.s", src).unwrap();
+        p.items
+    }
+
+    #[test]
+    fn labels_and_insns() {
+        let items = parse_one("foo:\n  movl $5, %eax\nbar: baz: ret\n");
+        assert!(matches!(&items[0], Item::Label(n) if n == "foo"));
+        assert!(matches!(&items[1], Item::Insn(i) if i.mnem == Mnem::Mov));
+        assert!(matches!(&items[2], Item::Label(n) if n == "bar"));
+        assert!(matches!(&items[3], Item::Label(n) if n == "baz"));
+        assert!(matches!(&items[4], Item::Insn(i) if i.mnem == Mnem::Ret));
+    }
+
+    #[test]
+    fn comments_stripped() {
+        let items = parse_one("nop # comment\nnop ; also\nnop // slashes\n# whole line\n");
+        assert_eq!(items.len(), 3);
+    }
+
+    #[test]
+    fn operand_shapes() {
+        let items = parse_one("movl 8(%ebp), %eax\nlea (%edx,%eax,4), %ecx\nmovl table(,%ebx,4), %esi\n");
+        let Item::Insn(i) = &items[0] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Mem(m) if m.base == Some(Reg::Ebp)));
+        let Item::Insn(i) = &items[1] else { panic!() };
+        assert!(
+            matches!(&i.ops[0], TOperand::Mem(m) if m.index == Some((Reg::Eax, 4)) && m.base == Some(Reg::Edx))
+        );
+        let Item::Insn(i) = &items[2] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Mem(m) if m.base.is_none() && m.index == Some((Reg::Ebx, 4)) && m.disp.is_some()));
+    }
+
+    #[test]
+    fn local_labels() {
+        let items = parse_one("1:\n jmp 1b\n jne 1f\n1:\n nop\n");
+        assert!(matches!(&items[0], Item::Label(n) if n == ".L1@1"));
+        let Item::Insn(i) = &items[1] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Bare(Expr::Sym(s)) if s == ".L1@1"));
+        let Item::Insn(i) = &items[2] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Bare(Expr::Sym(s)) if s == ".L1@2"));
+        assert!(matches!(&items[3], Item::Label(n) if n == ".L1@2"));
+    }
+
+    #[test]
+    fn directives() {
+        let items = parse_one(
+            ".text\n.global foo\n.equ N, 4*8\n.byte 1, 2, 3\n.long N\n.asciz \"hi\\n\"\n.align 16\n.space 8, 0xff\n.type foo, @function\n.subsystem fs\n",
+        );
+        assert!(matches!(items[0], Item::Section(SectionId::Text)));
+        assert!(matches!(&items[1], Item::Global(n) if n == "foo"));
+        assert!(matches!(&items[2], Item::Data { width: 1, exprs, .. } if exprs.len() == 3));
+        assert!(matches!(&items[4], Item::Bytes(b) if b == &vec![b'h', b'i', b'\n', 0]));
+        assert!(matches!(items[5], Item::Align(16)));
+        assert!(matches!(items[6], Item::Space(8, 0xff)));
+        assert!(matches!(&items[7], Item::FuncMark(n) if n == "foo"));
+        assert!(matches!(&items[8], Item::Subsystem(s) if s == "fs"));
+    }
+
+    #[test]
+    fn equ_is_folded() {
+        let mut p = Parser::new();
+        p.parse_source("t.s", ".equ A, 2\n.equ B, A*3\n").unwrap();
+        assert_eq!(p.equs["B"], 6);
+    }
+
+    #[test]
+    fn rep_prefix() {
+        let items = parse_one("rep movsl\nrepne scasb\n");
+        let Item::Insn(i) = &items[0] else { panic!() };
+        assert_eq!(i.rep, Rep::Rep);
+        assert_eq!(i.mnem, Mnem::Str(StrKind::Movs, Width::D));
+        let Item::Insn(i) = &items[1] else { panic!() };
+        assert_eq!(i.rep, Rep::Repne);
+    }
+
+    #[test]
+    fn errors_carry_position() {
+        let mut p = Parser::new();
+        let e = p.parse_source("f.s", "nop\nbogus %eax\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.file, "f.s");
+    }
+
+    #[test]
+    fn mnemonic_suffixes() {
+        assert_eq!(lookup_mnem("movl"), Some((Mnem::Mov, Some(Width::D))));
+        assert_eq!(lookup_mnem("movb"), Some((Mnem::Mov, Some(Width::B))));
+        assert_eq!(lookup_mnem("sbb"), Some((Mnem::Alu(AluKind::Sbb), None)));
+        assert_eq!(lookup_mnem("sbbl"), Some((Mnem::Alu(AluKind::Sbb), Some(Width::D))));
+        assert_eq!(lookup_mnem("jne").map(|m| m.0), Some(Mnem::Jcc(Cond::Ne)));
+        assert_eq!(lookup_mnem("jz").map(|m| m.0), Some(Mnem::Jcc(Cond::E)));
+        assert_eq!(lookup_mnem("sete").map(|m| m.0), Some(Mnem::Setcc(Cond::E)));
+        assert_eq!(lookup_mnem("cmovne").map(|m| m.0), Some(Mnem::Cmov(Cond::Ne)));
+        assert_eq!(lookup_mnem("frobnicate"), None);
+        // 'movsb' is a string op, not mov+sb.
+        assert_eq!(lookup_mnem("movsb"), Some((Mnem::Str(StrKind::Movs, Width::B), Some(Width::B))));
+    }
+
+    #[test]
+    fn star_operands() {
+        let items = parse_one("jmp *%eax\ncall *4(%ebx)\n");
+        let Item::Insn(i) = &items[0] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Star(inner) if matches!(**inner, TOperand::Reg(Reg::Eax))));
+        let Item::Insn(i) = &items[1] else { panic!() };
+        assert!(matches!(&i.ops[0], TOperand::Star(_)));
+    }
+}

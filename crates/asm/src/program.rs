@@ -1,0 +1,163 @@
+//! Assembled program representation: sections and symbols.
+
+use std::collections::HashMap;
+
+/// What a symbol names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// A function entry (marked with `.type name, @function`).
+    Function,
+    /// A plain code/data label.
+    Label,
+    /// An assembly-time constant (`.equ`).
+    Constant,
+}
+
+/// A defined symbol.
+#[derive(Debug, Clone)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Value (address, or constant value for `.equ`).
+    pub value: u32,
+    /// Size in bytes; for functions, the distance to the next function or
+    /// the end of the section (computed automatically).
+    pub size: u32,
+    /// What kind of symbol this is.
+    pub kind: SymbolKind,
+    /// The subsystem tag in effect at definition (`.subsystem`), used to
+    /// attribute kernel functions to `arch`/`fs`/`kernel`/`mm`/... for
+    /// the propagation analysis.
+    pub subsystem: Option<String>,
+    /// Whether `.global` was applied.
+    pub global: bool,
+}
+
+/// An output section with its load address and bytes.
+#[derive(Debug, Clone)]
+pub struct Section {
+    /// Section name (".text" or ".data").
+    pub name: String,
+    /// Load (and link) address.
+    pub base: u32,
+    /// Raw contents.
+    pub bytes: Vec<u8>,
+}
+
+impl Section {
+    /// End address (base + len).
+    pub fn end(&self) -> u32 {
+        self.base + self.bytes.len() as u32
+    }
+
+    /// True when `addr` falls inside the section.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && addr < self.end()
+    }
+}
+
+/// The symbol table of an assembled program.
+#[derive(Debug, Clone, Default)]
+pub struct SymbolTable {
+    symbols: Vec<Symbol>,
+    by_name: HashMap<String, usize>,
+    /// Function symbols sorted by address, for address→function lookup.
+    func_order: Vec<usize>,
+}
+
+impl SymbolTable {
+    pub(crate) fn build(mut symbols: Vec<Symbol>) -> SymbolTable {
+        symbols.sort_by(|a, b| a.value.cmp(&b.value).then(a.name.cmp(&b.name)));
+        let mut by_name = HashMap::new();
+        let mut func_order = Vec::new();
+        for (i, s) in symbols.iter().enumerate() {
+            by_name.insert(s.name.clone(), i);
+            if s.kind == SymbolKind::Function {
+                func_order.push(i);
+            }
+        }
+        SymbolTable { symbols, by_name, func_order }
+    }
+
+    /// Looks a symbol up by name.
+    pub fn lookup(&self, name: &str) -> Option<&Symbol> {
+        self.by_name.get(name).map(|i| &self.symbols[*i])
+    }
+
+    /// The address of a named symbol.
+    pub fn addr_of(&self, name: &str) -> Option<u32> {
+        self.lookup(name).map(|s| s.value)
+    }
+
+    /// Finds the function containing `addr`, if any.
+    pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
+        let idx = self
+            .func_order
+            .partition_point(|&i| self.symbols[i].value <= addr);
+        if idx == 0 {
+            return None;
+        }
+        let sym = &self.symbols[self.func_order[idx - 1]];
+        if addr < sym.value + sym.size.max(1) {
+            Some(sym)
+        } else {
+            None
+        }
+    }
+
+    /// All symbols, sorted by address.
+    pub fn iter(&self) -> impl Iterator<Item = &Symbol> {
+        self.symbols.iter()
+    }
+
+    /// All function symbols, sorted by address.
+    pub fn functions(&self) -> impl Iterator<Item = &Symbol> {
+        self.func_order.iter().map(|&i| &self.symbols[i])
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// True when the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.symbols.is_empty()
+    }
+}
+
+/// A fully assembled program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// The `.text` section.
+    pub text: Section,
+    /// The `.data` section.
+    pub data: Section,
+    /// All symbols.
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// The raw bytes at `addr`, if it falls in a section.
+    pub fn byte_at(&self, addr: u32) -> Option<u8> {
+        for s in [&self.text, &self.data] {
+            if s.contains(addr) {
+                return Some(s.bytes[(addr - s.base) as usize]);
+            }
+        }
+        None
+    }
+
+    /// A slice of section bytes starting at `addr` (clamped to the
+    /// section end).
+    pub fn slice_at(&self, addr: u32, len: usize) -> Option<&[u8]> {
+        for s in [&self.text, &self.data] {
+            if s.contains(addr) {
+                let off = (addr - s.base) as usize;
+                let end = (off + len).min(s.bytes.len());
+                return Some(&s.bytes[off..end]);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,347 @@
+//! End-to-end assembler tests: assemble real programs, check layout,
+//! relaxation, symbol attribution, and round-trip through the decoder.
+
+use kfi_asm::{assemble, disassemble, AsmOptions, SymbolKind};
+
+const BASE: u32 = 0xc010_0000;
+
+fn opts() -> AsmOptions {
+    AsmOptions { text_base: BASE, data_base: None }
+}
+
+#[test]
+fn forward_and_backward_short_branches() {
+    let prog = assemble(
+        r#"
+        .text
+        start:
+            xorl %eax, %eax
+        loop:
+            incl %eax
+            cmpl $10, %eax
+            jne loop
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    // The backward jne must be the 2-byte short form.
+    let lines = disassemble(&prog.text.bytes, BASE);
+    let jne = lines.iter().find(|l| l.text.starts_with("jne")).unwrap();
+    assert_eq!(jne.bytes.len(), 2);
+    let loop_addr = prog.symbols.addr_of("loop").unwrap();
+    assert!(jne.text.ends_with(&format!("{loop_addr:#x}")));
+}
+
+#[test]
+fn long_branch_promoted_to_near() {
+    let mut src = String::from(".text\nstart:\n  jne far_away\n");
+    for _ in 0..100 {
+        src.push_str("  nop\n  nop\n");
+    }
+    src.push_str("far_away:\n  ret\n");
+    let prog = assemble(&src, &opts()).unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    let jne = &lines[0];
+    assert_eq!(jne.bytes.len(), 6, "must be near form: {}", jne.text);
+    let target = prog.symbols.addr_of("far_away").unwrap();
+    assert!(jne.text.ends_with(&format!("{target:#x}")));
+}
+
+#[test]
+fn mixed_relaxation_converges() {
+    // A chain where promoting one branch pushes another out of range.
+    let mut src = String::from(".text\n");
+    for i in 0..40 {
+        src.push_str(&format!("l{i}:\n  jne l{}\n", (i + 20) % 40));
+        src.push_str("  .space 6\n");
+    }
+    src.push_str("  ret\n");
+    let prog = assemble(&src, &opts()).unwrap();
+    // Every branch target must be exact after convergence.
+    let lines = disassemble(&prog.text.bytes, BASE);
+    for l in &lines {
+        if let Some(t) = l.text.strip_prefix("jne ") {
+            let target = u32::from_str_radix(t.trim_start_matches("0x"), 16).unwrap();
+            assert!(
+                prog.symbols.iter().any(|s| s.value == target),
+                "branch to non-label {target:#x}"
+            );
+        }
+    }
+}
+
+#[test]
+fn data_section_and_symbols() {
+    let prog = assemble(
+        r#"
+        .text
+        f:  movl counter, %eax
+            incl %eax
+            movl %eax, counter
+            ret
+        .data
+        counter: .long 41
+        message: .asciz "hello"
+        table:   .long f, counter, table
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let counter = prog.symbols.addr_of("counter").unwrap();
+    assert!(counter >= prog.data.base);
+    assert_eq!(prog.data.bytes[0..4], 41u32.to_le_bytes());
+    let msg_off = (prog.symbols.addr_of("message").unwrap() - prog.data.base) as usize;
+    assert_eq!(&prog.data.bytes[msg_off..msg_off + 6], b"hello\0");
+    // Pointer table resolves symbol values.
+    let tbl_off = (prog.symbols.addr_of("table").unwrap() - prog.data.base) as usize;
+    let f_addr = u32::from_le_bytes(prog.data.bytes[tbl_off..tbl_off + 4].try_into().unwrap());
+    assert_eq!(f_addr, prog.symbols.addr_of("f").unwrap());
+}
+
+#[test]
+fn subsystem_attribution_and_function_sizes() {
+    let prog = assemble(
+        r#"
+        .text
+        .subsystem arch
+        .type do_page_fault, @function
+        do_page_fault:
+            push %ebp
+            pop %ebp
+            ret
+        .subsystem mm
+        .type zap_page_range, @function
+        zap_page_range:
+            nop
+            nop
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let dpf = prog.symbols.lookup("do_page_fault").unwrap();
+    assert_eq!(dpf.kind, SymbolKind::Function);
+    assert_eq!(dpf.subsystem.as_deref(), Some("arch"));
+    assert_eq!(dpf.size, 3);
+    let zpr = prog.symbols.lookup("zap_page_range").unwrap();
+    assert_eq!(zpr.subsystem.as_deref(), Some("mm"));
+    assert_eq!(zpr.size, 3);
+    // Address lookup resolves interior addresses.
+    assert_eq!(prog.symbols.function_at(dpf.value + 1).unwrap().name, "do_page_fault");
+    assert_eq!(prog.symbols.function_at(zpr.value + 2).unwrap().name, "zap_page_range");
+}
+
+#[test]
+fn equ_constants_and_expressions() {
+    let prog = assemble(
+        r#"
+        .equ PAGE_SIZE, 4096
+        .equ NR_TASKS, 16
+        .text
+        f:  movl $PAGE_SIZE*NR_TASKS, %eax
+            andl $~(PAGE_SIZE-1), %eax
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    assert!(lines[0].text.contains("$0x10000"));
+    assert!(lines[1].text.contains("$0xfffff000"));
+}
+
+#[test]
+fn align_pads_with_nops_in_text() {
+    let prog = assemble(".text\nnop\n.align 8\nf: ret\n", &opts()).unwrap();
+    assert_eq!(prog.symbols.addr_of("f").unwrap() % 8, 0);
+    assert!(prog.text.bytes[1..7].iter().all(|b| *b == 0x90));
+}
+
+#[test]
+fn runs_on_the_machine() {
+    // Recursive factorial through the real machine, assembled at an
+    // identity (paging-off) address.
+    let load = 0x10000;
+    let prog = assemble(
+        r#"
+        .text
+        start:
+            movl $6, %eax
+            call fact
+            cli
+            hlt
+        .type fact, @function
+        fact:
+            cmpl $1, %eax
+            jbe 1f
+            push %eax
+            decl %eax
+            call fact
+            pop %ecx
+            imul %ecx, %eax
+            ret
+        1:  movl $1, %eax
+            ret
+        "#,
+        &AsmOptions { text_base: load, data_base: None },
+    )
+    .unwrap();
+    let mut m = kfi_machine::Machine::new(kfi_machine::MachineConfig {
+        timer_enabled: false,
+        ..Default::default()
+    });
+    m.mem.load(load, &prog.text.bytes);
+    m.cpu.eip = prog.symbols.addr_of("start").unwrap();
+    m.cpu.set(kfi_isa::Reg::Esp, 0x8000);
+    assert_eq!(m.run(100_000), kfi_machine::RunExit::Halted);
+    assert_eq!(m.cpu.get(kfi_isa::Reg::Eax), 720);
+}
+
+#[test]
+fn string_table_and_indirect_calls() {
+    let prog = assemble(
+        r#"
+        .text
+        dispatch:
+            movl table(,%eax,4), %ebx
+            call *%ebx
+            jmp *table(,%eax,4)
+        .data
+        table: .long dispatch, dispatch
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    assert!(lines[0].text.contains("(,%eax,4)"));
+    assert!(lines[1].text.starts_with("call *"));
+    assert!(lines[2].text.starts_with("jmp *"));
+}
+
+#[test]
+fn errors_are_positioned() {
+    let e = assemble(".text\n nop\n movl %eax\n", &opts()).unwrap_err();
+    assert_eq!(e.line, 3);
+    let e = assemble(".text\n jmp nowhere\n", &opts()).unwrap_err();
+    assert!(e.msg.contains("nowhere"));
+    let e = assemble(".text\nx: nop\nx: nop\n", &opts()).unwrap_err();
+    assert!(e.msg.contains("duplicate"));
+}
+
+#[test]
+fn every_assembled_byte_decodes_back() {
+    // The whole text section must decode cleanly instruction by
+    // instruction (no (bad) lines) — guards encoder/decoder agreement.
+    let prog = assemble(
+        r#"
+        .text
+        f:
+            pusha
+            pushf
+            movl $0xdeadbeef, %esi
+            movb $7, %bl
+            movzbl 3(%esi), %eax
+            movsbl (%esi,%ecx,2), %edx
+            lea 0x10(%esp), %ebp
+            addl $128, %eax
+            subl $1, %eax
+            testb $3, %al
+            xchg %eax, %ebx
+            xadd %ecx, %edx
+            cmpxchg %ebx, (%esi)
+            btsl $5, 8(%esi)
+            shll $4, %eax
+            shrl %cl, %edx
+            shrd $12, %edx, %eax
+            imul $100, %ebx, %ecx
+            notl %eax
+            negl %ebx
+            mull %ecx
+            divl %ecx
+            sete %al
+            cmovne %ecx, %edx
+            rep movsl
+            repne scasb
+            std
+            cld
+            int $0x80
+            in %dx, %eax
+            out %eax, %dx
+            mov %cr2, %eax
+            mov %eax, %cr3
+            popf
+            popa
+            leave
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    for l in &lines {
+        assert_ne!(l.text, "(bad)", "byte {:02x?} at {:#x}", l.bytes, l.addr);
+    }
+}
+
+#[test]
+fn macros_expand() {
+    let prog = assemble(
+        r#"
+        .macro SYSCALL nr
+            movl $\nr, %eax
+            int $0x80
+        .endm
+        .macro BUG
+            ud2a
+        .endm
+        .macro CHECK_EQ reg, val
+            cmpl $\val, \reg
+            je 1f
+            BUG
+        1:
+        .endm
+        .text
+        f:
+            SYSCALL 20
+            CHECK_EQ %eax, 7
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    let texts: Vec<&str> = lines.iter().map(|l| l.text.as_str()).collect();
+    assert_eq!(texts[0], "movl $0x14,%eax");
+    assert!(texts[1].starts_with("int"));
+    assert!(texts[2].starts_with("cmpl $0x7"));
+    assert!(texts[3].starts_with("je"));
+    assert_eq!(texts[4], "ud2a");
+    assert_eq!(texts[5], "ret");
+}
+
+#[test]
+fn macro_local_labels_are_unique_per_expansion() {
+    let prog = assemble(
+        r#"
+        .macro TWICE
+        1:  nop
+            jne 1b
+        .endm
+        .text
+        f:
+            TWICE
+            TWICE
+            ret
+        "#,
+        &opts(),
+    )
+    .unwrap();
+    let lines = disassemble(&prog.text.bytes, BASE);
+    // Each jne must target its own expansion's label.
+    let jne1 = lines.iter().position(|l| l.text.starts_with("jne")).unwrap();
+    let jne2 = lines.iter().rposition(|l| l.text.starts_with("jne")).unwrap();
+    assert_ne!(jne1, jne2);
+    assert!(lines[jne1].text.ends_with(&format!("{:#x}", lines[jne1 - 1].addr)));
+    assert!(lines[jne2].text.ends_with(&format!("{:#x}", lines[jne2 - 1].addr)));
+}

@@ -1,0 +1,62 @@
+//! Property-based assembler tests: layout convergence and assembler/
+//! decoder agreement on generated programs.
+
+use kfi_asm::{assemble, disassemble, AsmOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Programs full of forward/backward branches with arbitrary padding
+    /// always converge, and every branch resolves to a defined label.
+    #[test]
+    fn branch_relaxation_converges(
+        pads in proptest::collection::vec(0usize..200, 2..24),
+        hops in proptest::collection::vec(any::<u16>(), 2..24),
+    ) {
+        let n = pads.len();
+        let mut src = String::from(".text\n");
+        for (i, pad) in pads.iter().enumerate() {
+            let target = (hops[i % hops.len()] as usize) % n;
+            src.push_str(&format!("l{i}:\n  jne l{target}\n  .space {pad}\n"));
+        }
+        src.push_str("  ret\n");
+        let prog = assemble(&src, &AsmOptions { text_base: 0x1000, data_base: None }).unwrap();
+        // every jne target is a defined label address
+        for line in disassemble(&prog.text.bytes, 0x1000) {
+            if let Some(t) = line.text.strip_prefix("jne ") {
+                let target = u32::from_str_radix(t.trim_start_matches("0x"), 16).unwrap();
+                prop_assert!(
+                    prog.symbols.iter().any(|s| s.value == target),
+                    "dangling branch to {target:#x}"
+                );
+            }
+        }
+    }
+
+    /// Immediates of every size assemble and decode back to the same
+    /// value.
+    #[test]
+    fn immediates_roundtrip(v in any::<u32>()) {
+        let src = format!(".text\nf: movl ${v}, %eax\n   addl ${v}, %ebx\n   cmpl ${v}, %ecx\n   ret\n");
+        let prog = assemble(&src, &AsmOptions::default()).unwrap();
+        let lines = disassemble(&prog.text.bytes, 0);
+        let want = format!("{:#x}", v);
+        prop_assert!(lines[0].text.contains(&format!("${want}")), "{}", lines[0].text);
+        prop_assert!(lines[1].text.contains(&format!("${want}")), "{}", lines[1].text);
+    }
+
+    /// Displacements of every size and sign encode and decode exactly.
+    #[test]
+    fn displacements_roundtrip(d in -0x7fffffffi32..0x7fffffff) {
+        let src = format!(".text\nf: movl {d}(%ebx), %eax\n   ret\n");
+        let prog = assemble(&src, &AsmOptions::default()).unwrap();
+        let insn = kfi_isa::decode(&prog.text.bytes).unwrap();
+        match insn.op {
+            kfi_isa::Op::Mov { src: kfi_isa::Src::Mem(m), .. } => {
+                prop_assert_eq!(m.disp, d);
+            }
+            other => prop_assert!(false, "unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Decoder/encoder throughput over the real kernel text.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_decode(c: &mut Criterion) {
+    let image = kfi_kernel::build_kernel(Default::default()).unwrap();
+    let text = image.program.text.bytes.clone();
+    let mut g = c.benchmark_group("decode");
+    g.throughput(Throughput::Bytes(text.len() as u64));
+    g.bench_function("kernel_text_linear", |b| {
+        b.iter(|| {
+            let mut pos = 0usize;
+            let mut n = 0usize;
+            while pos < text.len() {
+                match kfi_isa::decode(&text[pos..]) {
+                    Ok(i) => pos += i.len as usize,
+                    Err(_) => pos += 1,
+                }
+                n += 1;
+            }
+            criterion::black_box(n)
+        })
+    });
+    // Worst case: every byte offset (simulates desynchronized streams).
+    g.bench_function("every_offset", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for pos in 0..text.len().min(4096) {
+                if kfi_isa::decode(&text[pos..]).is_ok() {
+                    n += 1;
+                }
+            }
+            criterion::black_box(n)
+        })
+    });
+    g.finish();
+
+    c.bench_function("disassemble_function", |b| {
+        let f = image.program.symbols.lookup("do_generic_file_read").unwrap();
+        let bytes = image.program.slice_at(f.value, f.size as usize).unwrap();
+        b.iter(|| kfi_asm::disassemble(criterion::black_box(bytes), f.value))
+    });
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

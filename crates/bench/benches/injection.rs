@@ -1,0 +1,29 @@
+//! Injection-run throughput: what one experiment costs end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use kfi_injector::{plan_function, Campaign};
+use rand::SeedableRng;
+
+fn bench_injection(c: &mut Criterion) {
+    let opts = kfi_bench::ReproOptions { cap: Some(4), ..Default::default() };
+    let exp = kfi_bench::prepare(&opts);
+    let mut rig = exp.make_rig().expect("rig");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let targets = plan_function(&exp.image, "pipe_read", Campaign::A, &mut rng);
+    let mode = kfi_workloads::mode_of("context1").unwrap();
+
+    let mut g = c.benchmark_group("injection");
+    g.sample_size(10);
+    g.bench_function("run_one_activated", |b| {
+        b.iter(|| criterion::black_box(rig.run_one(&targets[0], mode)))
+    });
+    g.bench_function("run_one_not_activated", |b| {
+        // pipe_read never runs under dhry: exercises the coverage fast path.
+        let dhry = kfi_workloads::mode_of("dhry").unwrap();
+        b.iter(|| criterion::black_box(rig.run_one(&targets[0], dhry)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_injection);
+criterion_main!(benches);

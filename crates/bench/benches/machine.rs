@@ -1,0 +1,74 @@
+//! Machine core throughput: raw interpretation, boot, snapshot/restore.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use kfi_machine::{Machine, MachineConfig};
+
+fn tight_loop_machine() -> Machine {
+    // 1M-iteration dec/jnz loop + cli/hlt.
+    let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+    m.mem.load(
+        0x1000,
+        &[
+            0xb9, 0x40, 0x42, 0x0f, 0x00, // mov $1_000_000, %ecx
+            0x49, // dec %ecx
+            0x75, 0xfd, // jnz -3
+            0xfa, 0xf4, // cli; hlt
+        ],
+    );
+    m.cpu.eip = 0x1000;
+    m.cpu.set_reg(4, 0x8000);
+    m
+}
+
+fn bench_machine(c: &mut Criterion) {
+    let mut g = c.benchmark_group("machine");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(2_000_000));
+    g.bench_function("interpret_2M_insns", |b| {
+        b.iter(|| {
+            let mut m = tight_loop_machine();
+            assert_eq!(m.run(u64::MAX / 2), kfi_machine::RunExit::Halted);
+            criterion::black_box(m.counters().instructions)
+        })
+    });
+    g.finish();
+
+    let image = kfi_kernel::build_kernel(Default::default()).unwrap();
+    let files = kfi_workloads::suite_files().unwrap();
+    let fsimg = kfi_kernel::mkfs(2048, &files);
+    let mut g = c.benchmark_group("boot");
+    g.sample_size(10);
+    g.bench_function("cold_boot_to_init", |b| {
+        b.iter(|| {
+            let mut m = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
+            // run until the BOOT_OK event arrives
+            loop {
+                match m.step() {
+                    kfi_machine::StepEvent::Executed => {}
+                    e => panic!("boot ended early: {e:?}"),
+                }
+                if let Some((_, kfi_machine::MonitorEvent::Event(v))) = m.monitor_events().last()
+                {
+                    if *v == kfi_kernel::layout::events::BOOT_OK {
+                        break;
+                    }
+                }
+            }
+            criterion::black_box(m.cpu.tsc)
+        })
+    });
+    g.finish();
+
+    let m = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
+    let snap = m.snapshot();
+    let mut m2 = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
+    c.bench_function("snapshot_restore_8MiB", |b| {
+        b.iter(|| {
+            m2.restore(&snap);
+            criterion::black_box(m2.cpu.eip)
+        })
+    });
+}
+
+criterion_group!(benches, bench_machine);
+criterion_main!(benches);

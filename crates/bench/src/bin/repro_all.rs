@@ -1,0 +1,21 @@
+//! Regenerates every table and figure in one run and dumps the raw
+//! dataset as CSV on stdout when `--csv` is given.
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    let exp = kfi_bench::prepare(&opts);
+    let study = kfi_bench::run_study(&exp);
+    println!(
+        "{}",
+        kfi_report::full_report(&exp.image, &exp.profile, &study, exp.config.top_fraction)
+    );
+    if csv {
+        let rows: Vec<kfi_core::RecordRow> = study
+            .campaigns
+            .values()
+            .flat_map(|c| c.records.iter().map(kfi_core::RecordRow::from_record))
+            .collect();
+        println!("{}", kfi_core::to_csv(&rows));
+    }
+}

@@ -1,0 +1,6 @@
+//! Figure 1: kernel subsystem sizes (no campaigns needed).
+
+fn main() {
+    let image = kfi_kernel::build_kernel(Default::default()).expect("kernel builds");
+    println!("{}", kfi_report::figure1(&image));
+}

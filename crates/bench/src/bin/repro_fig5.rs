@@ -1,0 +1,52 @@
+//! Figure 5: case study of a most-severe / silent-data-corruption crash
+//! in `do_generic_file_read` — the paper's catastrophic mov corruption
+//! that zeroed `end_index` and truncated file reads.
+//!
+//! Strategy: inject campaign-A errors into `do_generic_file_read` while
+//! `fstime` runs, and present the first injection whose outcome is a
+//! fail-silence violation or a severe/most-severe crash, with the
+//! before/after disassembly of the corrupted instruction.
+
+use kfi_injector::{plan_function, Campaign, Outcome, Severity};
+use rand::SeedableRng;
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    let mut rig = exp.make_rig().expect("rig boots");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+    let targets = plan_function(&exp.image, "do_generic_file_read", Campaign::A, &mut rng);
+    let mode = kfi_workloads::mode_of("fstime").expect("fstime exists");
+    eprintln!("[kfi] sweeping {} injections into do_generic_file_read under fstime", targets.len());
+
+    let mut best: Option<(kfi_injector::InjectionTarget, Outcome)> = None;
+    for t in &targets {
+        let rec = rig.run_one(t, mode);
+        match &rec.outcome {
+            Outcome::FailSilenceViolation(kind) => {
+                println!("=== Figure 5 case study: silent corruption in do_generic_file_read ===");
+                println!("injected: byte {} mask {:#04x} at {:#010x}", t.byte_index, t.bit_mask, t.insn_addr);
+                println!("outcome: fail silence violation: {kind:?}\n");
+                if let Some(cs) = kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14) {
+                    println!("{}", cs.format());
+                }
+                return;
+            }
+            Outcome::Crash(info) if info.severity > Severity::Normal => {
+                best = Some((t.clone(), rec.outcome.clone()));
+            }
+            _ => {}
+        }
+    }
+    match best {
+        Some((t, outcome)) => {
+            println!("=== Figure 5 case study: severe crash in do_generic_file_read ===");
+            println!("injected: byte {} mask {:#04x} at {:#010x}", t.byte_index, t.bit_mask, t.insn_addr);
+            println!("outcome: {outcome:?}\n");
+            if let Some(cs) = kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14) {
+                println!("{}", cs.format());
+            }
+        }
+        None => println!("no severe/silent case found in this sweep; rerun with another --seed"),
+    }
+}

@@ -1,0 +1,8 @@
+//! Figure 6: distribution of crash causes per campaign.
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    let study = kfi_bench::run_study(&exp);
+    println!("{}", kfi_report::figure6(&study));
+}

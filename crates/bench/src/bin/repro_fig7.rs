@@ -1,0 +1,8 @@
+//! Figure 7: crash latency histograms (CPU cycles) per subsystem.
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    let study = kfi_bench::run_study(&exp);
+    println!("{}", kfi_report::figure7(&study));
+}

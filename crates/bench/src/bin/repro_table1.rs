@@ -1,0 +1,15 @@
+//! Table 1: profiled-function distribution among kernel modules and the
+//! top functions covering 95% of profiling values.
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    println!("{}", kfi_report::table1(&exp.profile, exp.config.top_fraction));
+    println!("top functions:");
+    for f in exp.profile.top_covering(exp.config.top_fraction) {
+        println!(
+            "  {:<28} {:<8} {:>8} samples",
+            f.name, f.subsystem, f.samples
+        );
+    }
+}

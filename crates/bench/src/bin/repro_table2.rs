@@ -1,0 +1,5 @@
+//! Table 2: the experimental setup summary.
+
+fn main() {
+    println!("{}", kfi_report::table2());
+}

@@ -1,0 +1,35 @@
+//! Table 5: the most severe crashes (reformat/reinstall required),
+//! including the paper's repeatability column (each case is re-run once
+//! with the identical target + workload; the machine is deterministic,
+//! so repeatability here means the severity assessment itself is
+//! stable).
+
+use kfi_core::stats;
+use kfi_injector::Outcome;
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    let study = kfi_bench::run_study(&exp);
+    println!("{}", kfi_report::table5(&study));
+
+    // Repeatability check (paper: 4 of the 9 cases were repeatable).
+    let mut rig = exp.make_rig().expect("rig boots");
+    println!("repeatability:");
+    for result in study.campaigns.values() {
+        for r in stats::most_severe_crashes(&result.records) {
+            let again = rig.run_one(&r.target, r.mode);
+            let repeat = match (&r.outcome, &again.outcome) {
+                (Outcome::Crash(a), Outcome::Crash(b)) => a.severity == b.severity,
+                _ => false,
+            };
+            println!(
+                "  {}:{} insn {:#010x} -> repeatable: {}",
+                r.target.subsystem,
+                r.target.function,
+                r.target.insn_addr,
+                if repeat { "yes" } else { "no" }
+            );
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! # kfi-bench — benchmark harness and table/figure reproduction
+//!
+//! Criterion benches (decode/machine/injection throughput, ablations)
+//! plus the `repro_*` binaries that regenerate every table and figure
+//! of the paper. Shared scaffolding lives here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kfi_core::{Experiment, ExperimentConfig, StudyResult};
+use kfi_kernel::KernelBuildOptions;
+use kfi_profiler::ProfilerConfig;
+
+/// Command-line options shared by the repro binaries.
+#[derive(Debug, Clone)]
+pub struct ReproOptions {
+    /// Cap on injections per function per campaign (None = paper-scale:
+    /// every byte of every instruction of every target function).
+    pub cap: Option<usize>,
+    /// RNG seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Build the kernel without BUG() assertions (ablation).
+    pub no_assertions: bool,
+}
+
+impl Default for ReproOptions {
+    fn default() -> ReproOptions {
+        ReproOptions {
+            cap: Some(16),
+            seed: 2003,
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            no_assertions: false,
+        }
+    }
+}
+
+impl ReproOptions {
+    /// Parses `--full`, `--cap N`, `--seed N`, `--threads N`,
+    /// `--no-assertions` from the process arguments.
+    pub fn from_args() -> ReproOptions {
+        let mut o = ReproOptions::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => o.cap = None,
+                "--cap" => {
+                    i += 1;
+                    o.cap = args.get(i).and_then(|v| v.parse().ok());
+                }
+                "--seed" => {
+                    i += 1;
+                    o.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.seed);
+                }
+                "--threads" => {
+                    i += 1;
+                    o.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.threads);
+                }
+                "--no-assertions" => o.no_assertions = true,
+                other => eprintln!("ignoring unknown argument `{other}`"),
+            }
+            i += 1;
+        }
+        o
+    }
+
+    /// Converts to an experiment configuration.
+    pub fn to_config(&self) -> ExperimentConfig {
+        ExperimentConfig {
+            seed: self.seed,
+            max_per_function: self.cap,
+            threads: self.threads,
+            kernel: KernelBuildOptions { assertions: !self.no_assertions },
+            profiler: ProfilerConfig::default(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Prepares the experiment (kernel build + profile), printing progress.
+///
+/// # Panics
+///
+/// Panics when the guest sources fail to assemble or the baseline
+/// system is unhealthy — nothing can be measured in that case.
+pub fn prepare(opts: &ReproOptions) -> Experiment {
+    eprintln!(
+        "[kfi] building kernel (assertions: {}) and profiling workloads...",
+        !opts.no_assertions
+    );
+    let exp = Experiment::prepare(opts.to_config()).expect("experiment prepares");
+    eprintln!(
+        "[kfi] profiled {} functions, {} targets cover 95% of activity",
+        exp.profile.functions.len(),
+        exp.target_functions.len()
+    );
+    exp
+}
+
+/// Runs all three campaigns, printing progress.
+pub fn run_study(exp: &Experiment) -> StudyResult {
+    eprintln!(
+        "[kfi] running campaigns A/B/C over {} functions (cap {:?}, {} threads)...",
+        exp.target_functions.len(),
+        exp.config.max_per_function,
+        exp.config.threads
+    );
+    let study = exp.run_all();
+    for (l, r) in &study.campaigns {
+        let t = r.total();
+        eprintln!(
+            "[kfi] campaign {l}: {} injected, {} activated, {} crash/hang",
+            t.injected,
+            t.activated,
+            t.crash_or_hang()
+        );
+    }
+    study
+}

@@ -1,0 +1,275 @@
+//! Experiment orchestration: kernel build → profiling → target
+//! selection → parallel campaign execution.
+
+use crate::stats;
+use kfi_injector::{plan_function, Campaign, InjectionTarget, InjectorRig, RigConfig, RunRecord};
+use kfi_kernel::{build_kernel, mkfs::FileSpec, KernelBuildOptions, KernelImage};
+use kfi_profiler::{profile, KernelProfile, ProfilerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// Experiment-wide configuration.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// RNG seed: campaigns are exactly reproducible for a given seed.
+    pub seed: u64,
+    /// Fraction of profiling values the target set must cover (the
+    /// paper's 95%).
+    pub top_fraction: f64,
+    /// Cap on planned injections per function per campaign (None = all,
+    /// as in the paper; small values give quick scaled-down runs).
+    pub max_per_function: Option<usize>,
+    /// Worker threads for campaign execution.
+    pub threads: usize,
+    /// Kernel build options (assertions on/off for the ablation).
+    pub kernel: KernelBuildOptions,
+    /// Profiler settings.
+    pub profiler: ProfilerConfig,
+    /// Rig settings.
+    pub rig: RigConfig,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> ExperimentConfig {
+        ExperimentConfig {
+            seed: 2003,
+            top_fraction: 0.95,
+            max_per_function: None,
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            kernel: KernelBuildOptions::default(),
+            profiler: ProfilerConfig::default(),
+            rig: RigConfig::default(),
+        }
+    }
+}
+
+/// The paper's four injected subsystems.
+pub const INJECTED_SUBSYSTEMS: [&str; 4] = ["arch", "fs", "kernel", "mm"];
+
+/// A prepared experiment: built kernel, workload files, kernel profile
+/// and the selected target functions.
+pub struct Experiment {
+    /// Configuration used.
+    pub config: ExperimentConfig,
+    /// The kernel under test.
+    pub image: KernelImage,
+    /// Workload files installed in the filesystem image.
+    pub files: Vec<FileSpec>,
+    /// The Kernprof-equivalent profile.
+    pub profile: KernelProfile,
+    /// The core target functions (top functions covering
+    /// `top_fraction` of samples, restricted to the four subsystems) —
+    /// the paper's "top 32".
+    pub target_functions: Vec<String>,
+}
+
+/// Results of one campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// Which campaign.
+    pub campaign: Campaign,
+    /// Every run record.
+    pub records: Vec<RunRecord>,
+    /// Number of distinct functions injected.
+    pub functions_injected: usize,
+}
+
+/// Results of the full study (all three campaigns).
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// Per-campaign results.
+    pub campaigns: BTreeMap<char, CampaignResult>,
+    /// Seed used.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Builds the kernel + workloads and profiles the kernel, selecting
+    /// the top functions (paper Section 4).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the kernel or a workload fails to
+    /// assemble (programming error in the guest sources).
+    pub fn prepare(config: ExperimentConfig) -> Result<Experiment, String> {
+        let image = build_kernel(config.kernel).map_err(|e| e.to_string())?;
+        let files = kfi_workloads::suite_files().map_err(|e| e.to_string())?;
+        let profile = profile(
+            &image,
+            &files,
+            kfi_workloads::WORKLOADS,
+            &config.profiler,
+        );
+        let target_functions: Vec<String> = profile
+            .top_covering(config.top_fraction)
+            .into_iter()
+            .filter(|f| INJECTED_SUBSYSTEMS.contains(&f.subsystem.as_str()))
+            .map(|f| f.name.clone())
+            .collect();
+        Ok(Experiment { config, image, files, profile, target_functions })
+    }
+
+    /// The function set injected by a campaign. All campaigns target the
+    /// core functions; following the paper's footnote 2 ("the total
+    /// number of functions injected in a given campaign is much larger,
+    /// and different for each campaign"), campaign A additionally covers
+    /// every *profiled* function of the four subsystems, while B and C
+    /// cover every function of the four subsystems (branches are sparse,
+    /// so breadth is needed for statistics).
+    pub fn functions_for(&self, campaign: Campaign) -> Vec<String> {
+        let mut set: Vec<String> = self.target_functions.clone();
+        let push = |name: &str, set: &mut Vec<String>| {
+            if !set.iter().any(|f| f == name) {
+                set.push(name.to_string());
+            }
+        };
+        match campaign {
+            Campaign::A => {
+                for f in &self.profile.functions {
+                    if INJECTED_SUBSYSTEMS.contains(&f.subsystem.as_str()) {
+                        push(&f.name, &mut set);
+                    }
+                }
+            }
+            Campaign::B | Campaign::C => {
+                for sym in self.image.program.symbols.functions() {
+                    if let Some(sub) = sym.subsystem.as_deref() {
+                        if INJECTED_SUBSYSTEMS.contains(&sub) {
+                            push(&sym.name, &mut set);
+                        }
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    /// Plans a campaign's targets over [`Experiment::functions_for`].
+    pub fn plan(&self, campaign: Campaign) -> Vec<InjectionTarget> {
+        let mut rng = StdRng::seed_from_u64(
+            self.config.seed ^ (campaign.letter() as u64) << 32,
+        );
+        let mut out = Vec::new();
+        for f in self.functions_for(campaign) {
+            let mut t = plan_function(&self.image, &f, campaign, &mut rng);
+            if let Some(cap) = self.config.max_per_function {
+                t.truncate(cap);
+            }
+            out.extend(t);
+        }
+        out
+    }
+
+    /// Picks the workload (run mode) for a target: the workload that
+    /// activates the target's function the most in the profile.
+    pub fn mode_for(&self, target: &InjectionTarget) -> u32 {
+        self.profile
+            .best_workload_for(&target.function)
+            .unwrap_or(0)
+    }
+
+    /// Builds an injection rig (one per worker thread).
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot/golden-run failures as a string.
+    pub fn make_rig(&self) -> Result<InjectorRig, String> {
+        InjectorRig::new(
+            self.image.clone(),
+            &self.files,
+            kfi_workloads::WORKLOADS.len() as u32,
+            self.config.rig,
+        )
+        .map_err(|e| e.to_string())
+    }
+
+    /// Runs one campaign, fanning the planned targets across worker
+    /// threads (each with its own machine + rig).
+    ///
+    /// # Panics
+    ///
+    /// Panics when a worker cannot construct its rig — the baseline
+    /// system must be healthy before any experiment.
+    pub fn run_campaign(&self, campaign: Campaign) -> CampaignResult {
+        let targets = self.plan(campaign);
+        let functions_injected = {
+            let mut fs: Vec<&str> = targets.iter().map(|t| t.function.as_str()).collect();
+            fs.sort_unstable();
+            fs.dedup();
+            fs.len()
+        };
+        let jobs: Vec<(usize, InjectionTarget, u32)> = targets
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let mode = self.mode_for(&t);
+                (i, t, mode)
+            })
+            .collect();
+
+        let threads = self.config.threads.max(1);
+        let mut records: Vec<(usize, RunRecord)> = if threads == 1 {
+            let mut rig = self.make_rig().expect("rig boots");
+            jobs.iter()
+                .map(|(i, t, mode)| (*i, rig.run_one(t, *mode)))
+                .collect()
+        } else {
+            let chunks: Vec<Vec<(usize, InjectionTarget, u32)>> = (0..threads)
+                .map(|w| {
+                    jobs.iter()
+                        .filter(|(i, _, _)| i % threads == w)
+                        .cloned()
+                        .collect()
+                })
+                .collect();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = chunks
+                    .into_iter()
+                    .map(|chunk| {
+                        s.spawn(move || {
+                            let mut rig = self.make_rig().expect("rig boots");
+                            chunk
+                                .into_iter()
+                                .map(|(i, t, mode)| (i, rig.run_one(&t, mode)))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("worker panicked"))
+                    .collect()
+            })
+        };
+        records.sort_by_key(|(i, _)| *i);
+        CampaignResult {
+            campaign,
+            records: records.into_iter().map(|(_, r)| r).collect(),
+            functions_injected,
+        }
+    }
+
+    /// Runs all three campaigns.
+    pub fn run_all(&self) -> StudyResult {
+        let mut campaigns = BTreeMap::new();
+        for c in [Campaign::A, Campaign::B, Campaign::C] {
+            campaigns.insert(c.letter(), self.run_campaign(c));
+        }
+        StudyResult { campaigns, seed: self.config.seed }
+    }
+}
+
+impl CampaignResult {
+    /// Per-subsystem outcome tallies (the Figure 4 tables).
+    pub fn tallies(&self) -> BTreeMap<String, stats::OutcomeTally> {
+        stats::tally_by_subsystem(&self.records)
+    }
+
+    /// Overall tally.
+    pub fn total(&self) -> stats::OutcomeTally {
+        stats::tally(&self.records)
+    }
+}

@@ -1,0 +1,22 @@
+//! # kfi-core — experiment orchestration and statistics
+//!
+//! The facade tying the reproduction together: build the kernel +
+//! workloads, profile them (Kernprof-equivalent), select the top
+//! functions covering 95% of kernel activity, plan and execute the
+//! three fault-injection campaigns in parallel, and aggregate the
+//! statistics behind every table and figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod experiment;
+pub mod setup;
+pub mod stats;
+
+pub use dataset::{to_csv, RecordRow};
+pub use experiment::{
+    CampaignResult, Experiment, ExperimentConfig, StudyResult, INJECTED_SUBSYSTEMS,
+};
+pub use setup::{setup_summary, SetupItem};
+pub use stats::OutcomeTally;

@@ -1,0 +1,431 @@
+//! Statistics over run records: the data behind Figures 4, 6, 7 and 8
+//! and Tables 1 and 5.
+
+use kfi_injector::{Outcome, RunRecord, Severity};
+use std::collections::BTreeMap;
+
+/// Outcome tallies for a set of runs (one row of a Figure 4 table).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OutcomeTally {
+    /// Errors injected.
+    pub injected: usize,
+    /// Errors activated (corrupted instruction executed).
+    pub activated: usize,
+    /// Activated with no visible effect.
+    pub not_manifested: usize,
+    /// Fail-silence violations.
+    pub fsv: usize,
+    /// Kernel crashes.
+    pub crash: usize,
+    /// Hangs (watchdog).
+    pub hang: usize,
+}
+
+impl OutcomeTally {
+    /// Adds one record.
+    pub fn add(&mut self, r: &RunRecord) {
+        self.injected += 1;
+        if r.outcome.activated() {
+            self.activated += 1;
+        }
+        match &r.outcome {
+            Outcome::NotManifested => self.not_manifested += 1,
+            Outcome::FailSilenceViolation(_) => self.fsv += 1,
+            Outcome::Crash(_) => self.crash += 1,
+            Outcome::Hang => self.hang += 1,
+            Outcome::NotActivated => {}
+        }
+    }
+
+    /// Crash + hang (the combined Figure 4 column).
+    pub fn crash_or_hang(&self) -> usize {
+        self.crash + self.hang
+    }
+
+    /// Activated / injected.
+    pub fn activation_rate(&self) -> f64 {
+        pct(self.activated, self.injected)
+    }
+
+    /// Percentage helpers with respect to activated errors.
+    pub fn pct_not_manifested(&self) -> f64 {
+        pct(self.not_manifested, self.activated)
+    }
+    /// FSV percentage of activated errors.
+    pub fn pct_fsv(&self) -> f64 {
+        pct(self.fsv, self.activated)
+    }
+    /// Crash/hang percentage of activated errors.
+    pub fn pct_crash_or_hang(&self) -> f64 {
+        pct(self.crash_or_hang(), self.activated)
+    }
+}
+
+fn pct(n: usize, d: usize) -> f64 {
+    if d == 0 {
+        0.0
+    } else {
+        100.0 * n as f64 / d as f64
+    }
+}
+
+/// Tallies all records.
+pub fn tally(records: &[RunRecord]) -> OutcomeTally {
+    let mut t = OutcomeTally::default();
+    for r in records {
+        t.add(r);
+    }
+    t
+}
+
+/// Tallies grouped by *injected* subsystem.
+pub fn tally_by_subsystem(records: &[RunRecord]) -> BTreeMap<String, OutcomeTally> {
+    let mut map: BTreeMap<String, OutcomeTally> = BTreeMap::new();
+    for r in records {
+        map.entry(r.target.subsystem.clone()).or_default().add(r);
+    }
+    map
+}
+
+/// Crash-cause distribution (Figure 6): cause code → count, over all
+/// crash outcomes.
+pub fn crash_causes(records: &[RunRecord]) -> BTreeMap<u32, usize> {
+    let mut map = BTreeMap::new();
+    for r in records {
+        if let Outcome::Crash(info) = &r.outcome {
+            *map.entry(info.cause).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// The share of all crashes covered by the paper's four major causes
+/// (NULL pointer, paging request, invalid opcode, GPF).
+pub fn four_major_causes_share(records: &[RunRecord]) -> f64 {
+    use kfi_kernel::layout::causes as c;
+    let causes = crash_causes(records);
+    let total: usize = causes.values().sum();
+    let four: usize = [c::NULL_POINTER, c::PAGING_REQUEST, c::INVALID_OP, c::GPF]
+        .iter()
+        .filter_map(|k| causes.get(k))
+        .sum();
+    pct(four, total)
+}
+
+/// Crash-latency buckets in cycles (Figure 7's x axis).
+pub const LATENCY_BUCKETS: [(u64, &str); 6] = [
+    (10, "<10"),
+    (100, "10-100"),
+    (1_000, "100-1k"),
+    (10_000, "1k-10k"),
+    (100_000, "10k-100k"),
+    (u64::MAX, ">100k"),
+];
+
+/// Buckets a latency value.
+pub fn latency_bucket(latency: u64) -> usize {
+    LATENCY_BUCKETS
+        .iter()
+        .position(|(hi, _)| latency < *hi)
+        .unwrap_or(LATENCY_BUCKETS.len() - 1)
+}
+
+/// Latency histogram over crashes, optionally filtered by injected
+/// subsystem.
+pub fn latency_histogram(records: &[RunRecord], subsystem: Option<&str>) -> [usize; 6] {
+    let mut h = [0usize; 6];
+    for r in records {
+        if let Some(s) = subsystem {
+            if r.target.subsystem != s {
+                continue;
+            }
+        }
+        if let Outcome::Crash(info) = &r.outcome {
+            h[latency_bucket(info.latency)] += 1;
+        }
+    }
+    h
+}
+
+/// One subsystem's error-propagation profile (a Figure 8 graph):
+/// where its injected errors crashed, and the crash causes at each
+/// destination.
+#[derive(Debug, Clone, Default)]
+pub struct Propagation {
+    /// Total crashes from errors injected into this subsystem.
+    pub total_crashes: usize,
+    /// Destination subsystem → crash count.
+    pub to: BTreeMap<String, usize>,
+    /// Destination subsystem → (cause → count).
+    pub causes_at: BTreeMap<String, BTreeMap<u32, usize>>,
+}
+
+impl Propagation {
+    /// Percentage of crashes that stayed in the injected subsystem.
+    pub fn self_share(&self, subsystem: &str) -> f64 {
+        pct(
+            self.to.get(subsystem).copied().unwrap_or(0),
+            self.total_crashes,
+        )
+    }
+
+    /// Percentage of crashes that escaped to other subsystems.
+    pub fn propagation_share(&self, subsystem: &str) -> f64 {
+        100.0 - self.self_share(subsystem)
+    }
+}
+
+/// Builds the propagation profile for errors injected into `from`.
+pub fn propagation(records: &[RunRecord], from: &str) -> Propagation {
+    let mut p = Propagation::default();
+    for r in records {
+        if r.target.subsystem != from {
+            continue;
+        }
+        if let Outcome::Crash(info) = &r.outcome {
+            p.total_crashes += 1;
+            *p.to.entry(info.subsystem.clone()).or_insert(0) += 1;
+            *p
+                .causes_at
+                .entry(info.subsystem.clone())
+                .or_default()
+                .entry(info.cause)
+                .or_insert(0) += 1;
+        }
+    }
+    p
+}
+
+/// Overall cross-subsystem propagation share (the paper's "<10%").
+pub fn overall_propagation_share(records: &[RunRecord]) -> f64 {
+    let mut total = 0usize;
+    let mut escaped = 0usize;
+    for r in records {
+        if let Outcome::Crash(info) = &r.outcome {
+            total += 1;
+            if info.subsystem != r.target.subsystem {
+                escaped += 1;
+            }
+        }
+    }
+    pct(escaped, total)
+}
+
+/// Records whose crashes were severe or most severe (Table 5 rows).
+pub fn severe_crashes(records: &[RunRecord]) -> Vec<&RunRecord> {
+    records
+        .iter()
+        .filter(|r| match &r.outcome {
+            Outcome::Crash(i) => i.severity > Severity::Normal,
+            _ => false,
+        })
+        .collect()
+}
+
+/// Most-severe crashes only (the paper's nine reformat cases).
+pub fn most_severe_crashes(records: &[RunRecord]) -> Vec<&RunRecord> {
+    records
+        .iter()
+        .filter(|r| match &r.outcome {
+            Outcome::Crash(i) => i.severity == Severity::MostSevere,
+            _ => false,
+        })
+        .collect()
+}
+
+/// Per-function crash concentration within a subsystem: the paper's
+/// observation that three functions dominate their subsystems' crashes.
+pub fn crash_concentration(records: &[RunRecord], subsystem: &str) -> Vec<(String, usize, f64)> {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut total = 0;
+    for r in records {
+        if r.target.subsystem != subsystem {
+            continue;
+        }
+        if matches!(r.outcome, Outcome::Crash(_)) {
+            *counts.entry(r.target.function.clone()).or_insert(0) += 1;
+            total += 1;
+        }
+    }
+    let mut v: Vec<(String, usize, f64)> = counts
+        .into_iter()
+        .map(|(f, n)| (f, n, pct(n, total)))
+        .collect();
+    v.sort_by(|a, b| b.1.cmp(&a.1));
+    v
+}
+
+/// Candidate locations for detection assertions (the paper's §7.4
+/// conclusion: "it is feasible to identify strategic locations for
+/// embedding additional assertions ... to detect errors and prevent
+/// error propagation"). Returns the crash-site functions of *propagated*
+/// crashes (injected subsystem ≠ crash subsystem), ranked by how many
+/// escapes each would have intercepted.
+pub fn assertion_candidates(records: &[RunRecord]) -> Vec<(String, String, usize)> {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for r in records {
+        if let Outcome::Crash(info) = &r.outcome {
+            if info.subsystem != r.target.subsystem {
+                if let Some(f) = &info.function {
+                    *counts
+                        .entry((f.clone(), info.subsystem.clone()))
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut v: Vec<(String, String, usize)> = counts
+        .into_iter()
+        .map(|((f, s), n)| (f, s, n))
+        .collect();
+    v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
+    v
+}
+
+/// Total modeled downtime in seconds across all crashes (availability
+/// discussion of §7.1).
+pub fn total_downtime_secs(records: &[RunRecord]) -> u64 {
+    records
+        .iter()
+        .filter_map(|r| match &r.outcome {
+            Outcome::Crash(i) => Some(i.severity.downtime_secs() as u64),
+            _ => None,
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_injector::{Campaign, CrashInfo, InjectionTarget, Outcome};
+
+    fn rec(subsys: &str, outcome: Outcome) -> RunRecord {
+        RunRecord {
+            target: InjectionTarget {
+                campaign: Campaign::A,
+                function: "f".into(),
+                subsystem: subsys.into(),
+                insn_addr: 0xc0100000,
+                insn_len: 2,
+                byte_index: 0,
+                bit_mask: 1,
+                is_branch: false,
+            },
+            mode: 0,
+            outcome,
+            activation_tsc: Some(1),
+            run_cycles: 10,
+        }
+    }
+
+    fn crash(subsys: &str, crash_in: &str, cause: u32, latency: u64, sev: Severity) -> RunRecord {
+        rec(
+            subsys,
+            Outcome::Crash(CrashInfo {
+                cause,
+                eip: 0xc0100010,
+                function: Some("g".into()),
+                subsystem: crash_in.into(),
+                latency,
+                severity: sev,
+                triple_fault: false,
+            }),
+        )
+    }
+
+    #[test]
+    fn tally_percentages() {
+        let records = vec![
+            rec("fs", Outcome::NotActivated),
+            rec("fs", Outcome::NotManifested),
+            rec("fs", Outcome::Hang),
+            crash("fs", "fs", 1, 5, Severity::Normal),
+        ];
+        let t = tally(&records);
+        assert_eq!(t.injected, 4);
+        assert_eq!(t.activated, 3);
+        assert_eq!(t.crash_or_hang(), 2);
+        assert!((t.activation_rate() - 75.0).abs() < 1e-9);
+        assert!((t.pct_crash_or_hang() - 66.66).abs() < 0.1);
+    }
+
+    #[test]
+    fn latency_buckets_cover_all() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(9), 0);
+        assert_eq!(latency_bucket(10), 1);
+        assert_eq!(latency_bucket(99), 1);
+        assert_eq!(latency_bucket(100_000), 5);
+        assert_eq!(latency_bucket(u64::MAX - 1), 5);
+    }
+
+    #[test]
+    fn propagation_accounting() {
+        let records = vec![
+            crash("fs", "fs", 1, 5, Severity::Normal),
+            crash("fs", "fs", 2, 5, Severity::Normal),
+            crash("fs", "kernel", 4, 50_000, Severity::Normal),
+            crash("mm", "mm", 1, 5, Severity::Normal),
+        ];
+        let p = propagation(&records, "fs");
+        assert_eq!(p.total_crashes, 3);
+        assert_eq!(p.to["fs"], 2);
+        assert_eq!(p.to["kernel"], 1);
+        assert!((p.self_share("fs") - 66.66).abs() < 0.1);
+        let overall = overall_propagation_share(&records);
+        assert!((overall - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn four_major_share() {
+        use kfi_kernel::layout::causes as c;
+        let records = vec![
+            crash("fs", "fs", c::NULL_POINTER, 1, Severity::Normal),
+            crash("fs", "fs", c::PAGING_REQUEST, 1, Severity::Normal),
+            crash("fs", "fs", c::GPF, 1, Severity::Normal),
+            crash("fs", "fs", c::DIVIDE, 1, Severity::Normal),
+        ];
+        assert!((four_major_causes_share(&records) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn severity_filters() {
+        let records = vec![
+            crash("fs", "fs", 1, 1, Severity::Normal),
+            crash("fs", "fs", 1, 1, Severity::Severe),
+            crash("fs", "fs", 1, 1, Severity::MostSevere),
+        ];
+        assert_eq!(severe_crashes(&records).len(), 2);
+        assert_eq!(most_severe_crashes(&records).len(), 1);
+        assert_eq!(total_downtime_secs(&records), 240 + 330 + 3600);
+    }
+
+    #[test]
+    fn assertion_candidates_rank_escapes() {
+        let records = vec![
+            crash("fs", "kernel", 1, 5, Severity::Normal),
+            crash("fs", "kernel", 2, 5, Severity::Normal),
+            crash("fs", "fs", 1, 5, Severity::Normal),
+            crash("kernel", "mm", 1, 5, Severity::Normal),
+        ];
+        let c = assertion_candidates(&records);
+        // "g" in kernel intercepted 2 escapes; "g" in mm intercepted 1.
+        assert_eq!(c[0], ("g".to_string(), "kernel".to_string(), 2));
+        assert_eq!(c[1].2, 1);
+    }
+
+    #[test]
+    fn concentration_sorts_desc() {
+        let mut records = vec![];
+        for _ in 0..3 {
+            records.push(crash("mm", "mm", 1, 1, Severity::Normal));
+        }
+        let mut other = crash("mm", "mm", 1, 1, Severity::Normal);
+        other.target.function = "zap".into();
+        records.push(other);
+        let c = crash_concentration(&records, "mm");
+        assert_eq!(c[0].0, "f");
+        assert_eq!(c[0].1, 3);
+        assert!((c[0].2 - 75.0).abs() < 1e-9);
+    }
+}

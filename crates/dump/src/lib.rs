@@ -1,0 +1,261 @@
+//! # kfi-dump — crash dumps, oops analysis and case-study listings
+//!
+//! The LKCD/KDB-equivalent: when a run crashes, the host captures a
+//! [`CrashDump`] from the machine (registers, the faulting context, a
+//! disassembly window, a backtrace via the EBP chain, the console tail)
+//! for cause classification and for regenerating the paper's case-study
+//! artifacts (Figure 5, Tables 6 and 7).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kfi_asm::{disassemble, format_listing, DisasmLine};
+use kfi_kernel::{layout, KernelImage};
+use kfi_machine::{Machine, MonitorEvent};
+
+/// A captured crash dump.
+#[derive(Debug, Clone)]
+pub struct CrashDump {
+    /// Crash cause code (see [`kfi_kernel::layout::causes`]).
+    pub cause: u32,
+    /// EIP of the faulting instruction.
+    pub eip: u32,
+    /// Name of the kernel function containing the crash, if resolvable.
+    pub function: Option<String>,
+    /// Subsystem of the crash site, if resolvable.
+    pub subsystem: Option<String>,
+    /// CR2 at the crash (page-fault address).
+    pub cr2: u32,
+    /// General-purpose registers at capture time.
+    pub regs: [u32; 8],
+    /// Disassembly around the crash EIP.
+    pub code: Vec<DisasmLine>,
+    /// Call chain (return addresses from the EBP frame chain).
+    pub backtrace: Vec<u32>,
+    /// Last lines of console output.
+    pub console_tail: String,
+    /// TSC when the guest crash handler reported the cause.
+    pub reported_tsc: u64,
+}
+
+/// Captures a crash dump from a stopped machine.
+///
+/// Returns `None` if the guest never reported a crash cause (e.g. the
+/// run ended in a hang or a clean shutdown).
+pub fn capture(m: &mut Machine, image: &KernelImage) -> Option<CrashDump> {
+    let mut cause = None;
+    let mut eip = None;
+    let mut tsc = 0;
+    for (t, e) in m.monitor_events() {
+        match e {
+            MonitorEvent::CrashCause(c) => {
+                cause = Some(*c);
+                tsc = *t;
+            }
+            MonitorEvent::CrashEip(a) => eip = Some(*a),
+            _ => {}
+        }
+    }
+    let cause = cause?;
+    let eip = eip.unwrap_or(m.cpu.eip);
+    Some(capture_at(m, image, cause, eip, tsc))
+}
+
+/// Captures a dump for a known cause/EIP (used for triple faults, where
+/// the guest handler never got to report).
+pub fn capture_at(
+    m: &mut Machine,
+    image: &KernelImage,
+    cause: u32,
+    eip: u32,
+    reported_tsc: u64,
+) -> CrashDump {
+    let sym = image.function_of(eip).cloned();
+    // Disassembly window: from the function start (or eip-16) to +32.
+    let start = sym
+        .as_ref()
+        .map(|s| s.value.max(eip.saturating_sub(32)))
+        .unwrap_or_else(|| eip.saturating_sub(16));
+    let mut buf = vec![0u8; (eip - start) as usize + 32];
+    let n = m.probe_read(start, &mut buf);
+    buf.truncate(n);
+    let code = disassemble(&buf, start);
+
+    // EBP-chain backtrace (classic i386 frame layout).
+    let mut backtrace = Vec::new();
+    let mut ebp = m.cpu.get(kfi_isa::Reg::Ebp);
+    for _ in 0..16 {
+        if ebp < layout::KERNEL_BASE {
+            break;
+        }
+        let mut frame = [0u8; 8];
+        if m.probe_read(ebp, &mut frame) != 8 {
+            break;
+        }
+        let next = u32::from_le_bytes(frame[0..4].try_into().expect("4"));
+        let ret = u32::from_le_bytes(frame[4..8].try_into().expect("4"));
+        if ret < layout::KERNEL_TEXT {
+            break;
+        }
+        backtrace.push(ret);
+        if next <= ebp {
+            break;
+        }
+        ebp = next;
+    }
+
+    let console = m.console_string();
+    let tail: String = console
+        .lines()
+        .rev()
+        .take(8)
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect::<Vec<_>>()
+        .join("\n");
+
+    CrashDump {
+        cause,
+        eip,
+        function: sym.as_ref().map(|s| s.name.clone()),
+        subsystem: sym.as_ref().and_then(|s| s.subsystem.clone()),
+        cr2: m.cpu.cr2,
+        regs: m.cpu.regs,
+        code,
+        backtrace,
+        console_tail: tail,
+        reported_tsc,
+    }
+}
+
+impl CrashDump {
+    /// Formats the dump oops-style.
+    pub fn format(&self, image: &KernelImage) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "Oops: {}", layout::cause_name(self.cause));
+        let _ = writeln!(
+            s,
+            "EIP: {:#010x}  [{}] ({})",
+            self.eip,
+            self.function.as_deref().unwrap_or("?"),
+            self.subsystem.as_deref().unwrap_or("?")
+        );
+        let _ = writeln!(s, "CR2: {:#010x}", self.cr2);
+        let names = ["eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi"];
+        for (n, v) in names.iter().zip(self.regs.iter()) {
+            let _ = write!(s, "{n}: {v:#010x}  ");
+        }
+        s.push('\n');
+        let _ = writeln!(s, "Code:");
+        s.push_str(&format_listing(&self.code));
+        if !self.backtrace.is_empty() {
+            let _ = writeln!(s, "Call Trace:");
+            for r in &self.backtrace {
+                let f = image
+                    .function_of(*r)
+                    .map(|f| f.name.clone())
+                    .unwrap_or_else(|| "?".into());
+                let _ = writeln!(s, "  [{r:#010x}] {f}");
+            }
+        }
+        s
+    }
+}
+
+/// A case study entry (the paper's Tables 6/7): an instruction before
+/// and after the injected bit flip, with re-decoded listings.
+#[derive(Debug, Clone)]
+pub struct CaseStudy {
+    /// Target function name.
+    pub function: String,
+    /// Instruction address.
+    pub addr: u32,
+    /// Original bytes (the corrupted instruction and its neighbourhood).
+    pub before: Vec<DisasmLine>,
+    /// Bytes after the flip, re-decoded from the same address.
+    pub after: Vec<DisasmLine>,
+}
+
+/// Builds a before/after listing for an injected flip.
+///
+/// `window` bytes starting at `insn_addr` are decoded before and after
+/// applying the flip at `(byte_index, bit_mask)` — demonstrating
+/// instruction-stream desynchronization exactly like Table 7 ex. 2.
+pub fn case_study(
+    image: &KernelImage,
+    insn_addr: u32,
+    byte_index: usize,
+    bit_mask: u8,
+    window: usize,
+) -> Option<CaseStudy> {
+    let sym = image.function_of(insn_addr)?;
+    let bytes = image.program.slice_at(insn_addr, window)?.to_vec();
+    let mut flipped = bytes.clone();
+    if byte_index < flipped.len() {
+        flipped[byte_index] ^= bit_mask;
+    }
+    Some(CaseStudy {
+        function: sym.name.clone(),
+        addr: insn_addr,
+        before: disassemble(&bytes, insn_addr),
+        after: disassemble(&flipped, insn_addr),
+    })
+}
+
+impl CaseStudy {
+    /// Renders the case as two columns of text lines.
+    pub fn format(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let _ = writeln!(s, "function {} at {:#010x}", self.function, self.addr);
+        let _ = writeln!(s, "before:");
+        s.push_str(&format_listing(&self.before));
+        let _ = writeln!(s, "after:");
+        s.push_str(&format_listing(&self.after));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_kernel::{build_kernel, KernelBuildOptions};
+
+    #[test]
+    fn case_study_shows_desync() {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let f = image.program.symbols.lookup("schedule").unwrap();
+        let cs = case_study(&image, f.value, 0, 0x01, 16).unwrap();
+        assert_eq!(cs.function, "schedule");
+        assert!(!cs.before.is_empty());
+        assert!(!cs.after.is_empty());
+        let txt = cs.format();
+        assert!(txt.contains("before:"));
+        assert!(txt.contains("after:"));
+    }
+
+    #[test]
+    fn capture_returns_none_without_crash() {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let files = kfi_kernel::standard_fixtures();
+        let fsimg = kfi_kernel::mkfs(256, &files);
+        let mut m = kfi_kernel::boot(&image, fsimg.disk, &Default::default());
+        // don't run at all: no crash reported
+        assert!(capture(&mut m, &image).is_none());
+    }
+
+    #[test]
+    fn capture_after_guest_panic() {
+        // Boot with no /init -> guest panics; dump must capture it.
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let fsimg = kfi_kernel::mkfs(256, &kfi_kernel::standard_fixtures());
+        let mut m = kfi_kernel::boot(&image, fsimg.disk, &Default::default());
+        let _ = m.run(30_000_000);
+        let dump = capture(&mut m, &image).expect("panic reported");
+        assert_eq!(dump.cause, layout::causes::KERNEL_PANIC);
+        let s = dump.format(&image);
+        assert!(s.contains("kernel panic"), "{s}");
+    }
+}

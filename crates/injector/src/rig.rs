@@ -1,0 +1,558 @@
+//! The injection rig: boot-snapshot management, golden runs, coverage,
+//! single-run execution and outcome classification.
+
+use crate::outcome::{CrashInfo, FsvKind, Outcome, RunRecord, Severity};
+use crate::target::InjectionTarget;
+use kfi_kernel::layout::{causes, events};
+use kfi_kernel::{boot, fsck, mkfs::FileSpec, BootConfig, FsckReport, KernelImage};
+use kfi_machine::{
+    Machine, MonitorEvent, Ramdisk, RunExit, Snapshot, StepEvent, TrapRecord, Vector,
+};
+use std::collections::BTreeMap;
+
+/// Rig configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RigConfig {
+    /// Multiplier on the golden run length used as the hang watchdog.
+    pub budget_factor: u64,
+    /// Extra flat cycle budget per run.
+    pub budget_slack: u64,
+    /// Cycles attributed to injector↔kernel routine switching,
+    /// subtracted from raw crash latencies (paper §5.3). The trap
+    /// delivery itself costs a fixed 40 cycles in the machine model.
+    pub switch_overhead: u64,
+}
+
+impl Default for RigConfig {
+    fn default() -> RigConfig {
+        RigConfig { budget_factor: 6, budget_slack: 2_000_000, switch_overhead: 0 }
+    }
+}
+
+/// A golden (fault-free) reference run for one workload mode.
+#[derive(Debug, Clone)]
+pub struct GoldenRun {
+    /// Run mode.
+    pub mode: u32,
+    /// Console output from the post-boot snapshot to the clean halt.
+    pub console: String,
+    /// Result values reported by the workload(s).
+    pub results: Vec<u32>,
+    /// Cycles from snapshot to halt.
+    pub cycles: u64,
+    /// Bitset over kernel text: which instruction addresses executed.
+    coverage: Vec<u64>,
+}
+
+impl GoldenRun {
+    /// True when the golden run executed the instruction at `addr`.
+    pub fn covers(&self, addr: u32, text_base: u32) -> bool {
+        let Some(off) = addr.checked_sub(text_base) else { return false };
+        let (w, b) = ((off / 64) as usize, off % 64);
+        self.coverage.get(w).map(|x| x & (1 << b) != 0).unwrap_or(false)
+    }
+}
+
+/// Why the rig could not be constructed.
+#[derive(Debug)]
+pub enum RigError {
+    /// The kernel never reported BOOT_OK.
+    BootFailed(String),
+    /// A golden run did not complete cleanly.
+    GoldenFailed {
+        /// The failing run mode.
+        mode: u32,
+        /// Console output of the failing run.
+        console: String,
+    },
+}
+
+impl std::fmt::Display for RigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RigError::BootFailed(c) => write!(f, "kernel failed to boot: {c}"),
+            RigError::GoldenFailed { mode, console } => {
+                write!(f, "golden run for mode {mode} failed: {console}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RigError {}
+
+/// The injection rig: owns a machine, the post-boot snapshot, golden
+/// runs and coverage for every workload mode.
+pub struct InjectorRig {
+    /// The kernel image under test.
+    pub image: KernelImage,
+    config: RigConfig,
+    machine: Machine,
+    snapshot: Snapshot,
+    boot_cycles: u64,
+    post_boot_disk: Vec<u8>,
+    manifest: BTreeMap<String, (u32, u32)>,
+    golden: Vec<GoldenRun>,
+}
+
+fn results_of(m: &Machine) -> Vec<u32> {
+    m.monitor_events()
+        .iter()
+        .filter_map(|(_, e)| match e {
+            MonitorEvent::Result(v) => Some(*v),
+            _ => None,
+        })
+        .collect()
+}
+
+fn has_event(m: &Machine, code: u32) -> bool {
+    m.monitor_events()
+        .iter()
+        .any(|(_, e)| matches!(e, MonitorEvent::Event(v) if *v == code))
+}
+
+fn event_tsc(m: &Machine, code: u32) -> Option<u64> {
+    m.monitor_events()
+        .iter()
+        .find(|(_, e)| matches!(e, MonitorEvent::Event(v) if *v == code))
+        .map(|(t, _)| *t)
+}
+
+fn vector_to_cause(v: Vector, cr2: u32) -> u32 {
+    match v {
+        Vector::PageFault => {
+            if cr2 < 4096 {
+                causes::NULL_POINTER
+            } else {
+                causes::PAGING_REQUEST
+            }
+        }
+        Vector::GeneralProtection => causes::GPF,
+        Vector::InvalidOpcode => causes::INVALID_OP,
+        Vector::DivideError => causes::DIVIDE,
+        Vector::Overflow => causes::OVERFLOW,
+        Vector::Bounds => causes::BOUNDS,
+        Vector::InvalidTss => causes::INVALID_TSS,
+        Vector::SegmentNotPresent => causes::SEGMENT_NP,
+        Vector::StackFault => causes::STACK,
+        Vector::DoubleFault => causes::DOUBLE_FAULT,
+        Vector::Breakpoint => causes::INT3,
+        Vector::Nmi => causes::NMI,
+        Vector::CoprocSegOverrun => causes::COPROC,
+        _ => causes::KERNEL_PANIC,
+    }
+}
+
+impl InjectorRig {
+    /// Boots the kernel with the given filesystem contents, snapshots
+    /// the machine at BOOT_OK, and captures golden runs + coverage for
+    /// every mode in `0..n_modes`.
+    ///
+    /// # Errors
+    ///
+    /// [`RigError`] when boot or any golden run fails — experiments only
+    /// make sense over a healthy baseline.
+    pub fn new(
+        image: KernelImage,
+        files: &[FileSpec],
+        n_modes: u32,
+        config: RigConfig,
+    ) -> Result<InjectorRig, RigError> {
+        let fsimg = kfi_kernel::mkfs(2048, files);
+        let manifest = fsimg.manifest.clone();
+        let mut m = boot(&image, fsimg.disk, &BootConfig::default());
+
+        // Run to the snapshot point: the runner announcing itself (all
+        // of init's own risky setup — fork, exec, file reads — is behind
+        // this point, mirroring the paper where the injected activity is
+        // driven by benchmark processes rather than by init).
+        let boot_budget = 80_000_000;
+        loop {
+            if m.cpu.tsc > boot_budget {
+                return Err(RigError::BootFailed(m.console_string()));
+            }
+            match m.step() {
+                StepEvent::Executed => {}
+                _ => return Err(RigError::BootFailed(m.console_string())),
+            }
+            if let Some((_, MonitorEvent::Event(v))) = m.monitor_events().last() {
+                if *v == events::RUNNER_START {
+                    break;
+                }
+            }
+        }
+        let boot_cycles = m.cpu.tsc;
+        let snapshot = m.snapshot();
+        let post_boot_disk = m.disk.as_ref().expect("disk attached").bytes().to_vec();
+
+        let mut rig = InjectorRig {
+            image,
+            config,
+            machine: m,
+            snapshot,
+            boot_cycles,
+            post_boot_disk,
+            manifest,
+            golden: Vec::new(),
+        };
+
+        for mode in 0..n_modes {
+            let g = rig.capture_golden(mode)?;
+            rig.golden.push(g);
+        }
+        Ok(rig)
+    }
+
+    /// The golden run for a mode.
+    pub fn golden(&self, mode: u32) -> &GoldenRun {
+        &self.golden[mode as usize]
+    }
+
+    /// Boot duration in cycles.
+    pub fn boot_cycles(&self) -> u64 {
+        self.boot_cycles
+    }
+
+    fn reset_to_snapshot(&mut self, mode: u32) {
+        self.machine.restore(&self.snapshot);
+        self.machine.disk = Some(Ramdisk::from_bytes(self.post_boot_disk.clone()));
+        kfi_kernel::set_run_mode(&mut self.machine, mode);
+    }
+
+    fn capture_golden(&mut self, mode: u32) -> Result<GoldenRun, RigError> {
+        self.reset_to_snapshot(mode);
+        let text_base = self.image.program.text.base;
+        let text_len = self.image.program.text.bytes.len() as u32;
+        let mut coverage = vec![0u64; (text_len as usize).div_ceil(64)];
+        let budget = self.snapshot_tsc() + 400_000_000;
+        loop {
+            let m = &mut self.machine;
+            if m.cpu.tsc > budget {
+                return Err(RigError::GoldenFailed { mode, console: m.console_string() });
+            }
+            // Record coverage before executing.
+            let eip = m.cpu.eip;
+            if m.cpu.cs == kfi_machine::KERNEL_CS {
+                if let Some(off) = eip.checked_sub(text_base) {
+                    if off < text_len {
+                        coverage[(off / 64) as usize] |= 1 << (off % 64);
+                    }
+                }
+            }
+            match m.step() {
+                StepEvent::Executed => {}
+                StepEvent::Halted => break,
+                other => {
+                    return Err(RigError::GoldenFailed {
+                        mode,
+                        console: format!("{other:?}: {}", self.machine.console_string()),
+                    })
+                }
+            }
+        }
+        let m = &self.machine;
+        if !has_event(m, events::SHUTDOWN) || has_event(m, events::PANIC) {
+            return Err(RigError::GoldenFailed { mode, console: m.console_string() });
+        }
+        Ok(GoldenRun {
+            mode,
+            console: m.console_string(),
+            results: results_of(m),
+            cycles: m.cpu.tsc - self.snapshot_tsc(),
+            coverage,
+        })
+    }
+
+    fn snapshot_tsc(&self) -> u64 {
+        self.boot_cycles
+    }
+
+    /// Whether the golden run of `mode` ever executes the instruction —
+    /// the deterministic pre-check that lets non-activated injections
+    /// skip the full run (the paper likewise proceeds to the next error
+    /// without a reboot when the target is not activated).
+    pub fn would_activate(&self, addr: u32, mode: u32) -> bool {
+        self.golden[mode as usize].covers(addr, self.image.program.text.base)
+    }
+
+    /// Executes one injection run and classifies the outcome.
+    pub fn run_one(&mut self, target: &InjectionTarget, mode: u32) -> RunRecord {
+        // Fast path: provably never executed under this workload.
+        if !self.would_activate(target.insn_addr, mode) {
+            return RunRecord {
+                target: target.clone(),
+                mode,
+                outcome: Outcome::NotActivated,
+                activation_tsc: None,
+                run_cycles: 0,
+            };
+        }
+
+        self.reset_to_snapshot(mode);
+        let golden_cycles = self.golden[mode as usize].cycles;
+        let budget =
+            golden_cycles * self.config.budget_factor + self.config.budget_slack;
+        let start = self.snapshot_tsc();
+        self.machine.cpu.arm_breakpoint(0, target.insn_addr);
+
+        let exit1 = self.machine.run(budget);
+        let activation_tsc = match exit1 {
+            RunExit::DebugBreak { .. } => {
+                let t = self.machine.cpu.tsc;
+                // Apply the flip (persistent for the rest of the run).
+                let addr = target.insn_addr + target.byte_index as u32;
+                let mut b = [0u8; 1];
+                let read = self.machine.probe_read(addr, &mut b);
+                debug_assert_eq!(read, 1, "target must be mapped");
+                b[0] ^= target.bit_mask;
+                let ok = self.machine.probe_write(addr, &b);
+                debug_assert!(ok);
+                t
+            }
+            // The breakpoint never fired even though coverage said it
+            // would — only possible if coverage and run diverge, which
+            // determinism forbids; classify conservatively.
+            _ => {
+                return RunRecord {
+                    target: target.clone(),
+                    mode,
+                    outcome: Outcome::NotActivated,
+                    activation_tsc: None,
+                    run_cycles: self.machine.cpu.tsc - start,
+                };
+            }
+        };
+
+        // Run to completion.
+        let mut exit2 = self.machine.run(budget);
+        // A second DebugBreak is impossible (one-shot), but be safe.
+        while let RunExit::DebugBreak { .. } = exit2 {
+            exit2 = self.machine.run(budget);
+        }
+
+        // Measure before classification: the severity assessment reboots
+        // the machine (resetting the TSC).
+        let run_cycles = self.machine.cpu.tsc.saturating_sub(start);
+        let outcome = self.classify(target, mode, activation_tsc, exit2);
+        RunRecord {
+            target: target.clone(),
+            mode,
+            outcome,
+            activation_tsc: Some(activation_tsc),
+            run_cycles,
+        }
+    }
+
+    fn classify(
+        &mut self,
+        target: &InjectionTarget,
+        mode: u32,
+        activation_tsc: u64,
+        exit: RunExit,
+    ) -> Outcome {
+        match exit {
+            RunExit::CycleLimit => Outcome::Hang,
+            RunExit::TripleFault => {
+                // The guest handler never ran; reconstruct from the trap
+                // log: the first fault of the terminal cascade.
+                let fatal = self.fatal_trap(activation_tsc);
+                let (cause, eip) = match fatal {
+                    Some(t) => (vector_to_cause(t.vector, t.cr2), t.eip),
+                    None => (causes::DOUBLE_FAULT, self.machine.cpu.eip),
+                };
+                let latency = fatal
+                    .map(|t| t.tsc.saturating_sub(activation_tsc))
+                    .unwrap_or(0)
+                    .saturating_sub(self.config.switch_overhead);
+                let (severity, _) = self.assess_severity();
+                let (function, subsystem) = self.locate(eip, &target.subsystem);
+                Outcome::Crash(CrashInfo {
+                    cause,
+                    eip,
+                    function,
+                    subsystem,
+                    latency,
+                    severity,
+                    triple_fault: true,
+                })
+            }
+            RunExit::Halted => {
+                let m = &self.machine;
+                if has_event(m, events::SHUTDOWN) {
+                    return self.classify_completed(mode);
+                }
+                if has_event(m, events::PANIC) || has_event(m, events::OOPS) {
+                    return self.classify_crash(activation_tsc, &target.subsystem);
+                }
+                // Halted without any report: corrupted code wandered
+                // into a cli;hlt — the watchdog view is a hang.
+                Outcome::Hang
+            }
+            RunExit::DebugBreak { .. } => unreachable!("drained by caller"),
+        }
+    }
+
+    fn classify_completed(&mut self, mode: u32) -> Outcome {
+        let golden = &self.golden[mode as usize];
+        let results = results_of(&self.machine);
+        let console = self.machine.console_string();
+        if results != golden.results {
+            return Outcome::FailSilenceViolation(FsvKind::WrongResult {
+                expected: golden.results.clone(),
+                got: results,
+            });
+        }
+        if console != golden.console {
+            return Outcome::FailSilenceViolation(FsvKind::ConsoleMismatch);
+        }
+        // Everything looked right — but did the run silently corrupt
+        // the disk?
+        let disk = self.machine.disk.as_ref().expect("disk").bytes().to_vec();
+        match fsck(&disk, &self.manifest) {
+            FsckReport::Clean => Outcome::NotManifested,
+            FsckReport::Fixed { notes, .. } => {
+                Outcome::FailSilenceViolation(FsvKind::SilentCorruption {
+                    detail: notes.first().cloned().unwrap_or_default(),
+                })
+            }
+            FsckReport::Unrecoverable { reason } => {
+                Outcome::FailSilenceViolation(FsvKind::SilentCorruption { detail: reason })
+            }
+        }
+    }
+
+    fn classify_crash(&mut self, activation_tsc: u64, target_subsystem: &str) -> Outcome {
+        let m = &self.machine;
+        let mut cause = None;
+        let mut eip = None;
+        for (_, e) in m.monitor_events() {
+            match e {
+                MonitorEvent::CrashCause(c) => cause = Some(*c),
+                MonitorEvent::CrashEip(a) => eip = Some(*a),
+                _ => {}
+            }
+        }
+        let oops_tsc = event_tsc(m, events::OOPS)
+            .or_else(|| event_tsc(m, events::PANIC))
+            .unwrap_or(m.cpu.tsc);
+        let fatal = self.fatal_trap(activation_tsc);
+        let cause = cause
+            .or_else(|| fatal.map(|t| vector_to_cause(t.vector, t.cr2)))
+            .unwrap_or(causes::KERNEL_PANIC);
+        let eip = eip.or_else(|| fatal.map(|t| t.eip)).unwrap_or(0);
+        // Latency: fault-delivery time minus activation; for pure
+        // software panics fall back to the report time.
+        let raw = match fatal {
+            Some(t) if t.tsc >= activation_tsc => t.tsc - activation_tsc,
+            _ => oops_tsc.saturating_sub(activation_tsc),
+        };
+        let latency = raw.saturating_sub(self.config.switch_overhead);
+        let (severity, _) = self.assess_severity();
+        let (function, subsystem) = self.locate(eip, target_subsystem);
+        Outcome::Crash(CrashInfo {
+            cause,
+            eip,
+            function,
+            subsystem,
+            latency,
+            severity,
+            triple_fault: false,
+        })
+    }
+
+    /// Resolves a crash EIP to (function, subsystem) with the paper's
+    /// attribution semantics:
+    ///
+    /// * crashes inside `lib` string helpers are charged to the
+    ///   *injected* subsystem — Linux 2.4 inlined `memcpy`/`memset`
+    ///   into their callers, so the paper's oopses landed in the caller;
+    /// * crashes at unresolvable EIPs (corrupted control flow jumped
+    ///   into user pages or unmapped space while still in kernel mode)
+    ///   are likewise charged to the injected subsystem, whose corrupted
+    ///   code was the last thing executing.
+    fn locate(&self, eip: u32, injected_subsystem: &str) -> (Option<String>, String) {
+        match self.image.function_of(eip) {
+            Some(f) => {
+                let sub = f.subsystem.clone().unwrap_or_else(|| "?".into());
+                if sub == "lib" {
+                    (Some(f.name.clone()), injected_subsystem.to_string())
+                } else {
+                    (Some(f.name.clone()), sub)
+                }
+            }
+            None => (None, injected_subsystem.to_string()),
+        }
+    }
+
+    /// The fatal trap: the last kernel-mode fault after activation,
+    /// skipping the double-fault cascade down to its trigger.
+    fn fatal_trap(&self, activation_tsc: u64) -> Option<TrapRecord> {
+        let log = self.machine.trap_log();
+        let mut candidate: Option<TrapRecord> = None;
+        for t in log.iter().rev() {
+            if t.tsc < activation_tsc {
+                break;
+            }
+            if t.from_user {
+                // User faults can't be the kernel's crash...
+                if candidate.is_some() {
+                    break;
+                }
+                continue;
+            }
+            match candidate {
+                None => candidate = Some(*t),
+                Some(c) => {
+                    // Walk past the cascade: records essentially at the
+                    // same instant belong to the same failure.
+                    if c.tsc.saturating_sub(t.tsc) < 400
+                        && (c.vector == Vector::DoubleFault
+                            || c.vector == Vector::SegmentNotPresent)
+                    {
+                        candidate = Some(*t);
+                    } else {
+                        break;
+                    }
+                }
+            }
+        }
+        candidate
+    }
+
+    /// Post-crash severity via fsck + a reboot attempt (paper §7.1):
+    /// unrecoverable fs or unbootable system → most severe; repairable
+    /// inconsistencies → severe; else normal. Returns the fsck report
+    /// for the record.
+    pub fn assess_severity(&mut self) -> (Severity, FsckReport) {
+        let disk = self.machine.disk.as_ref().expect("disk").bytes().to_vec();
+        let report = fsck(&disk, &self.manifest);
+        if let FsckReport::Unrecoverable { .. } = report {
+            return (Severity::MostSevere, report);
+        }
+        // Reboot test on the (possibly damaged) disk.
+        let boots = {
+            let m = &mut self.machine;
+            m.disk = Some(Ramdisk::from_bytes(disk));
+            kfi_kernel::load_into(m, &self.image, &BootConfig::default());
+            let budget = self.boot_cycles * 4 + 1_000_000;
+            let exit = m.run(budget);
+            match exit {
+                RunExit::Halted | RunExit::CycleLimit => {
+                    has_event(m, events::BOOT_OK) && !has_event(m, events::PANIC)
+                }
+                _ => false,
+            }
+        };
+        if !boots {
+            return (Severity::MostSevere, report);
+        }
+        match report {
+            FsckReport::Fixed { .. } => (Severity::Severe, report),
+            _ => (Severity::Normal, report),
+        }
+    }
+
+    /// Borrow the machine (post-run inspection, e.g. crash dumps).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+}

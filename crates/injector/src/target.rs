@@ -1,0 +1,242 @@
+//! Injection campaign planning: enumerating target instructions and
+//! selecting the bit to flip.
+
+use kfi_isa::{cond_reversal_bit, decode, InsnClass};
+use kfi_kernel::KernelImage;
+use rand::Rng;
+
+/// The paper's three fault-injection campaigns (Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Campaign {
+    /// A — Any Random Error: all non-branch instructions, a random bit
+    /// in each byte of the instruction.
+    A,
+    /// B — Random Branch Error: conditional branch instructions, a
+    /// random bit in each byte.
+    B,
+    /// C — Valid but Incorrect Branch: conditional branches, flipping
+    /// exactly the bit that reverses the condition.
+    C,
+}
+
+impl Campaign {
+    /// The paper's campaign name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Campaign::A => "Any Random Error",
+            Campaign::B => "Random Branch Error",
+            Campaign::C => "Valid but Incorrect Branch",
+        }
+    }
+
+    /// Single-letter id.
+    pub fn letter(&self) -> char {
+        match self {
+            Campaign::A => 'A',
+            Campaign::B => 'B',
+            Campaign::C => 'C',
+        }
+    }
+}
+
+/// One planned injection: which bit of which instruction byte to flip.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InjectionTarget {
+    /// Campaign this target belongs to.
+    pub campaign: Campaign,
+    /// Target function name.
+    pub function: String,
+    /// Target function's subsystem.
+    pub subsystem: String,
+    /// Address of the target instruction (the debug-register trigger).
+    pub insn_addr: u32,
+    /// Encoded length of the (uncorrupted) instruction.
+    pub insn_len: u8,
+    /// Byte within the instruction to corrupt.
+    pub byte_index: usize,
+    /// Bit mask to XOR into that byte.
+    pub bit_mask: u8,
+    /// True when the target instruction is a conditional branch.
+    pub is_branch: bool,
+}
+
+/// A decoded instruction inside a target function.
+#[derive(Debug, Clone)]
+pub struct TargetInsn {
+    /// Instruction address.
+    pub addr: u32,
+    /// Encoded length.
+    pub len: u8,
+    /// Classification.
+    pub class: InsnClass,
+}
+
+/// Walks a function's instructions (stops at the first undecodable
+/// byte, which should not happen for assembler output).
+pub fn function_insns(image: &KernelImage, function: &str) -> Vec<TargetInsn> {
+    let Some(sym) = image.program.symbols.lookup(function) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    let mut addr = sym.value;
+    let end = sym.value + sym.size;
+    while addr < end {
+        let Some(bytes) = image.program.slice_at(addr, 15) else { break };
+        let Ok(insn) = decode(bytes) else { break };
+        out.push(TargetInsn { addr, len: insn.len, class: insn.class() });
+        addr += insn.len as u32;
+    }
+    out
+}
+
+/// Plans every injection of `campaign` into `function`, following the
+/// paper's Table 4 exactly:
+///
+/// * A: every byte of every non-branch instruction gets one injection
+///   with a random bit,
+/// * B: every byte of every conditional branch, random bit,
+/// * C: one injection per conditional branch — the condition-reversal
+///   bit.
+pub fn plan_function<R: Rng>(
+    image: &KernelImage,
+    function: &str,
+    campaign: Campaign,
+    rng: &mut R,
+) -> Vec<InjectionTarget> {
+    let Some(sym) = image.program.symbols.lookup(function) else {
+        return Vec::new();
+    };
+    let subsystem = sym.subsystem.clone().unwrap_or_else(|| "?".into());
+    let mut out = Vec::new();
+    for insn in function_insns(image, function) {
+        let is_branch = insn.class == InsnClass::CondBranch;
+        match campaign {
+            Campaign::A => {
+                if is_branch {
+                    continue;
+                }
+                for byte_index in 0..insn.len as usize {
+                    out.push(InjectionTarget {
+                        campaign,
+                        function: function.to_string(),
+                        subsystem: subsystem.clone(),
+                        insn_addr: insn.addr,
+                        insn_len: insn.len,
+                        byte_index,
+                        bit_mask: 1u8 << rng.gen_range(0..8),
+                        is_branch,
+                    });
+                }
+            }
+            Campaign::B => {
+                if !is_branch {
+                    continue;
+                }
+                for byte_index in 0..insn.len as usize {
+                    out.push(InjectionTarget {
+                        campaign,
+                        function: function.to_string(),
+                        subsystem: subsystem.clone(),
+                        insn_addr: insn.addr,
+                        insn_len: insn.len,
+                        byte_index,
+                        bit_mask: 1u8 << rng.gen_range(0..8),
+                        is_branch,
+                    });
+                }
+            }
+            Campaign::C => {
+                if !is_branch {
+                    continue;
+                }
+                let Some(bytes) = image.program.slice_at(insn.addr, insn.len as usize) else {
+                    continue;
+                };
+                let Some((byte_index, bit_mask)) = cond_reversal_bit(bytes) else {
+                    continue;
+                };
+                out.push(InjectionTarget {
+                    campaign,
+                    function: function.to_string(),
+                    subsystem: subsystem.clone(),
+                    insn_addr: insn.addr,
+                    insn_len: insn.len,
+                    byte_index,
+                    bit_mask,
+                    is_branch,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Plans a whole campaign over a list of functions.
+pub fn plan_campaign<R: Rng>(
+    image: &KernelImage,
+    functions: &[String],
+    campaign: Campaign,
+    rng: &mut R,
+) -> Vec<InjectionTarget> {
+    functions
+        .iter()
+        .flat_map(|f| plan_function(image, f, campaign, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_kernel::{build_kernel, KernelBuildOptions};
+    use rand::SeedableRng;
+
+    #[test]
+    fn plans_follow_table4() {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = plan_function(&image, "pipe_read", Campaign::A, &mut rng);
+        let b = plan_function(&image, "pipe_read", Campaign::B, &mut rng);
+        let c = plan_function(&image, "pipe_read", Campaign::C, &mut rng);
+        assert!(!a.is_empty() && !b.is_empty() && !c.is_empty());
+        assert!(a.iter().all(|t| !t.is_branch));
+        assert!(b.iter().all(|t| t.is_branch));
+        assert!(c.iter().all(|t| t.is_branch));
+        // A has one target per byte: more targets than instructions.
+        let insns = function_insns(&image, "pipe_read");
+        let non_branch_bytes: usize = insns
+            .iter()
+            .filter(|i| i.class != InsnClass::CondBranch)
+            .map(|i| i.len as usize)
+            .sum();
+        assert_eq!(a.len(), non_branch_bytes);
+        // C has exactly one target per conditional branch.
+        let branches = insns
+            .iter()
+            .filter(|i| i.class == InsnClass::CondBranch)
+            .count();
+        assert_eq!(c.len(), branches);
+        // C's flips reverse the condition bit (mask 1 on the cc byte).
+        assert!(c.iter().all(|t| t.bit_mask == 1));
+    }
+
+    #[test]
+    fn whole_function_decodes() {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        for f in ["schedule", "do_page_fault", "do_generic_file_read", "link_path_walk"] {
+            let insns = function_insns(&image, f);
+            let sym = image.program.symbols.lookup(f).unwrap();
+            let total: u32 = insns.iter().map(|i| i.len as u32).sum();
+            assert_eq!(total, sym.size, "{f} decode gap");
+        }
+    }
+
+    #[test]
+    fn deterministic_with_seed() {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let mut r1 = rand::rngs::StdRng::seed_from_u64(42);
+        let mut r2 = rand::rngs::StdRng::seed_from_u64(42);
+        let a = plan_function(&image, "schedule", Campaign::A, &mut r1);
+        let b = plan_function(&image, "schedule", Campaign::A, &mut r2);
+        assert_eq!(a, b);
+    }
+}

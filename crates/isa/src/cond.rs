@@ -1,0 +1,234 @@
+//! IA-32 condition codes for `Jcc`/`SETcc`.
+
+use crate::flags::Eflags;
+use core::fmt;
+
+/// A 4-bit IA-32 condition code.
+///
+/// The discriminant is the hardware `cc` nibble, so `Jcc rel8` encodes as
+/// `0x70 + cc` and `Jcc rel32` as `0F 80+cc`. Flipping the low bit of the
+/// nibble inverts the condition — this is the single-bit "valid but
+/// incorrect branch" error of the paper's campaign C (e.g. `je`↔`jne` is
+/// `74`↔`75`).
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::Cond;
+/// assert_eq!(Cond::E.cc(), 4);
+/// assert_eq!(Cond::E.invert(), Cond::Ne);
+/// assert_eq!(Cond::from_cc(5), Cond::Ne);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Cond {
+    /// Overflow (OF=1).
+    O = 0,
+    /// No overflow.
+    No = 1,
+    /// Below (CF=1), unsigned.
+    B = 2,
+    /// Above or equal (CF=0), unsigned.
+    Ae = 3,
+    /// Equal (ZF=1).
+    E = 4,
+    /// Not equal (ZF=0).
+    Ne = 5,
+    /// Below or equal (CF=1 or ZF=1), unsigned.
+    Be = 6,
+    /// Above (CF=0 and ZF=0), unsigned.
+    A = 7,
+    /// Sign (SF=1).
+    S = 8,
+    /// No sign.
+    Ns = 9,
+    /// Parity even (PF=1).
+    P = 10,
+    /// Parity odd (PF=0).
+    Np = 11,
+    /// Less (SF≠OF), signed.
+    L = 12,
+    /// Greater or equal (SF=OF), signed.
+    Ge = 13,
+    /// Less or equal (ZF=1 or SF≠OF), signed.
+    Le = 14,
+    /// Greater (ZF=0 and SF=OF), signed.
+    G = 15,
+}
+
+/// All sixteen condition codes in `cc` order.
+pub const ALL_CONDS: [Cond; 16] = [
+    Cond::O,
+    Cond::No,
+    Cond::B,
+    Cond::Ae,
+    Cond::E,
+    Cond::Ne,
+    Cond::Be,
+    Cond::A,
+    Cond::S,
+    Cond::Ns,
+    Cond::P,
+    Cond::Np,
+    Cond::L,
+    Cond::Ge,
+    Cond::Le,
+    Cond::G,
+];
+
+impl Cond {
+    /// Returns the condition for a 4-bit `cc` value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cc > 15`; decoders mask the nibble before calling.
+    pub fn from_cc(cc: u8) -> Cond {
+        ALL_CONDS[cc as usize]
+    }
+
+    /// The hardware `cc` nibble.
+    pub fn cc(self) -> u8 {
+        self as u8
+    }
+
+    /// The logically inverted condition (`je` → `jne`, `jl` → `jge`, ...).
+    ///
+    /// Hardware encodes inversion as flipping the low bit of `cc`.
+    pub fn invert(self) -> Cond {
+        Cond::from_cc(self.cc() ^ 1)
+    }
+
+    /// Evaluates the condition against a flag image.
+    pub fn eval(self, f: Eflags) -> bool {
+        match self {
+            Cond::O => f.of(),
+            Cond::No => !f.of(),
+            Cond::B => f.cf(),
+            Cond::Ae => !f.cf(),
+            Cond::E => f.zf(),
+            Cond::Ne => !f.zf(),
+            Cond::Be => f.cf() || f.zf(),
+            Cond::A => !f.cf() && !f.zf(),
+            Cond::S => f.sf(),
+            Cond::Ns => !f.sf(),
+            Cond::P => f.pf(),
+            Cond::Np => !f.pf(),
+            Cond::L => f.sf() != f.of(),
+            Cond::Ge => f.sf() == f.of(),
+            Cond::Le => f.zf() || (f.sf() != f.of()),
+            Cond::G => !f.zf() && (f.sf() == f.of()),
+        }
+    }
+
+    /// AT&T mnemonic suffix, e.g. `"e"` for `je`/`sete`.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Cond::O => "o",
+            Cond::No => "no",
+            Cond::B => "b",
+            Cond::Ae => "ae",
+            Cond::E => "e",
+            Cond::Ne => "ne",
+            Cond::Be => "be",
+            Cond::A => "a",
+            Cond::S => "s",
+            Cond::Ns => "ns",
+            Cond::P => "p",
+            Cond::Np => "np",
+            Cond::L => "l",
+            Cond::Ge => "ge",
+            Cond::Le => "le",
+            Cond::G => "g",
+        }
+    }
+
+    /// Parses an AT&T suffix, accepting common synonyms
+    /// (`z`→`e`, `nz`→`ne`, `c`→`b`, `nc`→`ae`, `nae`→`b`, `nb`→`ae`,
+    /// `na`→`be`, `nbe`→`a`, `pe`→`p`, `po`→`np`, `nge`→`l`, `nl`→`ge`,
+    /// `ng`→`le`, `nle`→`g`).
+    pub fn parse(s: &str) -> Option<Cond> {
+        let lower = s.to_ascii_lowercase();
+        let canon = match lower.as_str() {
+            "z" => "e",
+            "nz" => "ne",
+            "c" => "b",
+            "nc" => "ae",
+            "nae" => "b",
+            "nb" => "ae",
+            "na" => "be",
+            "nbe" => "a",
+            "pe" => "p",
+            "po" => "np",
+            "nge" => "l",
+            "nl" => "ge",
+            "ng" => "le",
+            "nle" => "g",
+            other => other,
+        };
+        ALL_CONDS.iter().copied().find(|c| c.suffix() == canon)
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cc_roundtrip() {
+        for cc in 0..16u8 {
+            assert_eq!(Cond::from_cc(cc).cc(), cc);
+        }
+    }
+
+    #[test]
+    fn invert_flips_low_bit() {
+        for cc in 0..16u8 {
+            let c = Cond::from_cc(cc);
+            assert_eq!(c.invert().cc(), cc ^ 1);
+            assert_eq!(c.invert().invert(), c);
+        }
+    }
+
+    #[test]
+    fn invert_is_logical_negation() {
+        // For every flag combination, a condition and its inverse disagree.
+        for bits in 0..(1u32 << 5) {
+            let mut f = Eflags::new();
+            f.set_cf(bits & 1 != 0);
+            f.set_zf(bits & 2 != 0);
+            f.set_sf(bits & 4 != 0);
+            f.set_of(bits & 8 != 0);
+            f.set_pf(bits & 16 != 0);
+            for c in ALL_CONDS {
+                assert_ne!(c.eval(f), c.invert().eval(f), "cond {c:?} flags {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn signed_vs_unsigned() {
+        // After cmp 1, 2 (i.e. 1 - 2): CF=1 (below), SF!=OF (less).
+        let r = crate::flags::alu_sub(1, 2, false, 32, Eflags::new());
+        assert!(Cond::B.eval(r.flags));
+        assert!(Cond::L.eval(r.flags));
+        assert!(!Cond::E.eval(r.flags));
+        // After cmp 0x8000_0000, 1: unsigned above, signed less.
+        let r = crate::flags::alu_sub(0x8000_0000, 1, false, 32, Eflags::new());
+        assert!(Cond::A.eval(r.flags));
+        assert!(Cond::L.eval(r.flags));
+    }
+
+    #[test]
+    fn parse_synonyms() {
+        assert_eq!(Cond::parse("z"), Some(Cond::E));
+        assert_eq!(Cond::parse("nz"), Some(Cond::Ne));
+        assert_eq!(Cond::parse("nle"), Some(Cond::G));
+        assert_eq!(Cond::parse("q"), None);
+    }
+}

@@ -1,0 +1,977 @@
+//! The instruction decoder.
+//!
+//! Decodes raw bytes into [`Insn`] values with IA-32-faithful semantics:
+//! variable length, ModRM/SIB addressing, sign-extended short immediates,
+//! prefix handling, and invalid encodings reported as `#UD`-style errors.
+//! Because fault-injected bytes are decoded by exactly this code path, a
+//! single bit flip can change an instruction's length (desynchronizing the
+//! following stream), turn it into a privileged or undefined instruction,
+//! or silently change an operand — the behaviours the paper characterizes.
+
+use crate::cond::Cond;
+use crate::insn::*;
+use crate::reg::Reg;
+
+/// Maximum encoded instruction length, as on IA-32.
+pub const MAX_INSN_LEN: usize = 15;
+
+/// Decoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The bytes do not encode a defined instruction (`#UD`).
+    Invalid,
+    /// The input slice ended mid-instruction; `need` is the total number
+    /// of bytes the decoder wanted. The machine converts this into a page
+    /// fault at the first unavailable fetch address.
+    Truncated {
+        /// Total bytes the decoder needed to finish.
+        need: u8,
+    },
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = self
+            .bytes
+            .get(self.pos)
+            .copied()
+            .ok_or(DecodeError::Truncated { need: (self.pos + 1) as u8 })?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u16(&mut self) -> Result<u16, DecodeError> {
+        let lo = self.u8()? as u16;
+        let hi = self.u8()? as u16;
+        Ok(lo | (hi << 8))
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let mut v = 0u32;
+        for i in 0..4 {
+            v |= (self.u8()? as u32) << (8 * i);
+        }
+        Ok(v)
+    }
+
+    fn i8ext(&mut self) -> Result<u32, DecodeError> {
+        Ok(self.u8()? as i8 as i32 as u32)
+    }
+}
+
+/// Decoded ModRM operand pair: the `reg` field and the `r/m` operand.
+struct ModRm {
+    reg: u8,
+    rm: Rm,
+}
+
+fn decode_modrm(c: &mut Cursor<'_>) -> Result<ModRm, DecodeError> {
+    let modrm = c.u8()?;
+    let mode = modrm >> 6;
+    let reg = (modrm >> 3) & 7;
+    let rm_bits = modrm & 7;
+
+    if mode == 3 {
+        return Ok(ModRm { reg, rm: Rm::Reg(rm_bits) });
+    }
+
+    let mut base: Option<Reg> = None;
+    let mut index: Option<(Reg, u8)> = None;
+    let mut disp: i32 = 0;
+
+    if rm_bits == 4 {
+        // SIB byte follows.
+        let sib = c.u8()?;
+        let scale = 1u8 << (sib >> 6);
+        let idx = (sib >> 3) & 7;
+        let base_bits = sib & 7;
+        if idx != 4 {
+            index = Some((Reg::from_index(idx).expect("3-bit"), scale));
+        }
+        if base_bits == 5 && mode == 0 {
+            disp = c.u32()? as i32;
+        } else {
+            base = Some(Reg::from_index(base_bits).expect("3-bit"));
+        }
+    } else if rm_bits == 5 && mode == 0 {
+        // disp32 absolute.
+        disp = c.u32()? as i32;
+    } else {
+        base = Some(Reg::from_index(rm_bits).expect("3-bit"));
+    }
+
+    match mode {
+        0 => {}
+        1 => disp = disp.wrapping_add(c.u8()? as i8 as i32),
+        2 => disp = disp.wrapping_add(c.u32()? as i32),
+        _ => unreachable!(),
+    }
+
+    Ok(ModRm { reg, rm: Rm::Mem(MemRef { base, index, disp }) })
+}
+
+fn reg_of(bits: u8) -> Reg {
+    Reg::from_index(bits & 7).expect("3-bit register number")
+}
+
+const ALU_BY_BLOCK: [AluKind; 8] = [
+    AluKind::Add,
+    AluKind::Or,
+    AluKind::Adc,
+    AluKind::Sbb,
+    AluKind::And,
+    AluKind::Sub,
+    AluKind::Xor,
+    AluKind::Cmp,
+];
+
+const GRP1: [AluKind; 8] = ALU_BY_BLOCK;
+
+/// Decodes one instruction from `bytes`.
+///
+/// On success the returned [`Insn::len`] is the number of bytes consumed
+/// (prefixes included). The slice should contain up to [`MAX_INSN_LEN`]
+/// bytes starting at the instruction; a shorter slice may yield
+/// [`DecodeError::Truncated`].
+///
+/// # Errors
+///
+/// [`DecodeError::Invalid`] for undefined/unsupported encodings (the
+/// machine raises `#UD`); [`DecodeError::Truncated`] when more bytes are
+/// required than were provided.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::{decode, Op, Width, Rm, Src};
+/// // b8 2a 00 00 00   mov $42, %eax
+/// let insn = decode(&[0xb8, 0x2a, 0, 0, 0]).unwrap();
+/// assert_eq!(insn.len, 5);
+/// assert!(matches!(insn.op, Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Imm(42) }));
+/// ```
+pub fn decode(bytes: &[u8]) -> Result<Insn, DecodeError> {
+    let limited = &bytes[..bytes.len().min(MAX_INSN_LEN)];
+    let mut c = Cursor { bytes: limited, pos: 0 };
+
+    // Prefix scan: segment overrides and LOCK are consumed and ignored
+    // (flat memory model, single CPU); F2/F3 are recorded for string ops.
+    let mut rep = Rep::None;
+    let mut prefixes = 0;
+    let opcode = loop {
+        let b = c.u8()?;
+        match b {
+            0x26 | 0x2e | 0x36 | 0x3e | 0x64 | 0x65 | 0xf0 => {}
+            0xf2 => rep = Rep::Repne,
+            0xf3 => rep = Rep::Rep,
+            _ => break b,
+        }
+        prefixes += 1;
+        if prefixes > 4 {
+            return Err(DecodeError::Invalid);
+        }
+    };
+
+    let op = decode_opcode(&mut c, opcode, rep)?;
+    let len = c.pos;
+    if len > MAX_INSN_LEN {
+        return Err(DecodeError::Invalid);
+    }
+    Ok(Insn { op, len: len as u8 })
+}
+
+fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeError> {
+    match opcode {
+        // ALU blocks: 00..3D in groups of 8 (with 06/07/0E/16/17/1E/1F/27/
+        // 2F/37/3F being legacy push-sreg/BCD, which we treat as invalid).
+        0x00..=0x3f if opcode & 7 <= 5 && opcode & 0x38 != 0x38 || (0x38..=0x3d).contains(&opcode) => {
+            let kind = ALU_BY_BLOCK[(opcode >> 3) as usize & 7];
+            decode_alu_block(c, kind, opcode & 7)
+        }
+        0x40..=0x47 => Ok(Op::IncDec { inc: true, width: Width::D, rm: Rm::Reg(opcode & 7) }),
+        0x48..=0x4f => Ok(Op::IncDec { inc: false, width: Width::D, rm: Rm::Reg(opcode & 7) }),
+        0x50..=0x57 => Ok(Op::Push(Src::Reg(opcode & 7))),
+        0x58..=0x5f => Ok(Op::Pop(Rm::Reg(opcode & 7))),
+        0x60 => Ok(Op::Pusha),
+        0x61 => Ok(Op::Popa),
+        0x62 => {
+            let m = decode_modrm(c)?;
+            match m.rm {
+                Rm::Mem(mem) => Ok(Op::Bound { reg: reg_of(m.reg), mem }),
+                Rm::Reg(_) => Err(DecodeError::Invalid),
+            }
+        }
+        0x68 => Ok(Op::Push(Src::Imm(c.u32()?))),
+        0x69 => {
+            let m = decode_modrm(c)?;
+            let imm = c.u32()? as i32;
+            Ok(Op::Imul3 { dst: reg_of(m.reg), src: m.rm, imm })
+        }
+        0x6a => Ok(Op::Push(Src::Imm(c.i8ext()?))),
+        0x6b => {
+            let m = decode_modrm(c)?;
+            let imm = c.i8ext()? as i32;
+            Ok(Op::Imul3 { dst: reg_of(m.reg), src: m.rm, imm })
+        }
+        0x70..=0x7f => {
+            let cond = Cond::from_cc(opcode & 0xf);
+            let rel = c.u8()? as i8 as i32;
+            Ok(Op::Jcc { cond, rel })
+        }
+        0x80 | 0x82 => {
+            let m = decode_modrm(c)?;
+            let imm = c.u8()? as u32;
+            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::B, dst: m.rm, src: Src::Imm(imm) })
+        }
+        0x81 => {
+            let m = decode_modrm(c)?;
+            let imm = c.u32()?;
+            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::D, dst: m.rm, src: Src::Imm(imm) })
+        }
+        0x83 => {
+            let m = decode_modrm(c)?;
+            let imm = c.i8ext()?;
+            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::D, dst: m.rm, src: Src::Imm(imm) })
+        }
+        0x84 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind: AluKind::Test, width: Width::B, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0x85 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind: AluKind::Test, width: Width::D, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0x86 | 0x87 => {
+            // xchg: width B for 86, D for 87. We model only the dword form
+            // as a register/memory exchange; the byte form is rare and
+            // decodes identically for the executor.
+            let m = decode_modrm(c)?;
+            if opcode == 0x86 {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(Op::Xchg { reg: reg_of(m.reg), rm: m.rm })
+        }
+        0x88 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Mov { width: Width::B, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0x89 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Mov { width: Width::D, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0x8a => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Mov { width: Width::B, dst: Rm::Reg(m.reg), src: rm_to_src(m.rm) })
+        }
+        0x8b => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Mov { width: Width::D, dst: Rm::Reg(m.reg), src: rm_to_src(m.rm) })
+        }
+        0x8d => {
+            let m = decode_modrm(c)?;
+            match m.rm {
+                Rm::Mem(mem) => Ok(Op::Lea { dst: reg_of(m.reg), mem }),
+                Rm::Reg(_) => Err(DecodeError::Invalid),
+            }
+        }
+        0x8f => {
+            let m = decode_modrm(c)?;
+            if m.reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            Ok(Op::Pop(m.rm))
+        }
+        0x90 => Ok(Op::Nop),
+        0x91..=0x97 => Ok(Op::Xchg { reg: Reg::Eax, rm: Rm::Reg(opcode & 7) }),
+        0x98 => Ok(Op::Cwde),
+        0x99 => Ok(Op::Cdq),
+        0x9b => Ok(Op::Nop), // fwait: no FPU state to synchronize
+        0x9c => Ok(Op::Pushf),
+        0x9d => Ok(Op::Popf),
+        0x9e => Ok(Op::Sahf),
+        0x9f => Ok(Op::Lahf),
+        0xa0 => {
+            let a = c.u32()?;
+            Ok(Op::Mov { width: Width::B, dst: Rm::Reg(0), src: Src::Mem(MemRef::abs(a)) })
+        }
+        0xa1 => {
+            let a = c.u32()?;
+            Ok(Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Mem(MemRef::abs(a)) })
+        }
+        0xa2 => {
+            let a = c.u32()?;
+            Ok(Op::Mov { width: Width::B, dst: Rm::Mem(MemRef::abs(a)), src: Src::Reg(0) })
+        }
+        0xa3 => {
+            let a = c.u32()?;
+            Ok(Op::Mov { width: Width::D, dst: Rm::Mem(MemRef::abs(a)), src: Src::Reg(0) })
+        }
+        0xa4 => Ok(Op::Str { kind: StrKind::Movs, width: Width::B, rep }),
+        0xa5 => Ok(Op::Str { kind: StrKind::Movs, width: Width::D, rep }),
+        0xa6 => Ok(Op::Str { kind: StrKind::Cmps, width: Width::B, rep }),
+        0xa7 => Ok(Op::Str { kind: StrKind::Cmps, width: Width::D, rep }),
+        0xa8 => {
+            let imm = c.u8()? as u32;
+            Ok(Op::Alu { kind: AluKind::Test, width: Width::B, dst: Rm::Reg(0), src: Src::Imm(imm) })
+        }
+        0xa9 => {
+            let imm = c.u32()?;
+            Ok(Op::Alu { kind: AluKind::Test, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(imm) })
+        }
+        0xaa => Ok(Op::Str { kind: StrKind::Stos, width: Width::B, rep }),
+        0xab => Ok(Op::Str { kind: StrKind::Stos, width: Width::D, rep }),
+        0xac => Ok(Op::Str { kind: StrKind::Lods, width: Width::B, rep }),
+        0xad => Ok(Op::Str { kind: StrKind::Lods, width: Width::D, rep }),
+        0xae => Ok(Op::Str { kind: StrKind::Scas, width: Width::B, rep }),
+        0xaf => Ok(Op::Str { kind: StrKind::Scas, width: Width::D, rep }),
+        0xb0..=0xb7 => {
+            let imm = c.u8()? as u32;
+            Ok(Op::Mov { width: Width::B, dst: Rm::Reg(opcode & 7), src: Src::Imm(imm) })
+        }
+        0xb8..=0xbf => {
+            let imm = c.u32()?;
+            Ok(Op::Mov { width: Width::D, dst: Rm::Reg(opcode & 7), src: Src::Imm(imm) })
+        }
+        0xc0 => {
+            let m = decode_modrm(c)?;
+            let count = c.u8()? & 0x1f;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::Imm(count) })
+        }
+        0xc1 => {
+            let m = decode_modrm(c)?;
+            let count = c.u8()? & 0x1f;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::Imm(count) })
+        }
+        0xc2 => Ok(Op::RetImm(c.u16()?)),
+        0xc3 => Ok(Op::Ret),
+        0xc6 => {
+            let m = decode_modrm(c)?;
+            if m.reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            let imm = c.u8()? as u32;
+            Ok(Op::Mov { width: Width::B, dst: m.rm, src: Src::Imm(imm) })
+        }
+        0xc7 => {
+            let m = decode_modrm(c)?;
+            if m.reg != 0 {
+                return Err(DecodeError::Invalid);
+            }
+            let imm = c.u32()?;
+            Ok(Op::Mov { width: Width::D, dst: m.rm, src: Src::Imm(imm) })
+        }
+        0xc9 => Ok(Op::Leave),
+        0xca => {
+            let _ = c.u16()?;
+            Ok(Op::Lret)
+        }
+        0xcb => Ok(Op::Lret),
+        0xcc => Ok(Op::Int3),
+        0xcd => Ok(Op::Int(c.u8()?)),
+        0xce => Ok(Op::Into),
+        0xcf => Ok(Op::Iret),
+        0xd0 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::One })
+        }
+        0xd1 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::One })
+        }
+        0xd2 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::Cl })
+        }
+        0xd3 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::Cl })
+        }
+        0xd4 => Ok(Op::Aam(c.u8()?)),
+        0xd5 => Ok(Op::Aad(c.u8()?)),
+        0xd7 => Ok(Op::Xlat),
+        0xe4 => Ok(Op::In { width: Width::B, port: PortArg::Imm(c.u8()?) }),
+        0xe5 => Ok(Op::In { width: Width::D, port: PortArg::Imm(c.u8()?) }),
+        0xe6 => Ok(Op::Out { width: Width::B, port: PortArg::Imm(c.u8()?) }),
+        0xe7 => Ok(Op::Out { width: Width::D, port: PortArg::Imm(c.u8()?) }),
+        0xe8 => Ok(Op::Call { rel: c.u32()? as i32 }),
+        0xe9 => Ok(Op::Jmp { rel: c.u32()? as i32 }),
+        0xeb => Ok(Op::Jmp { rel: c.u8()? as i8 as i32 }),
+        0xec => Ok(Op::In { width: Width::B, port: PortArg::Dx }),
+        0xed => Ok(Op::In { width: Width::D, port: PortArg::Dx }),
+        0xee => Ok(Op::Out { width: Width::B, port: PortArg::Dx }),
+        0xef => Ok(Op::Out { width: Width::D, port: PortArg::Dx }),
+        0xf4 => Ok(Op::Hlt),
+        0xf5 => Ok(Op::Cmc),
+        0xf6 => decode_grp3(c, Width::B),
+        0xf7 => decode_grp3(c, Width::D),
+        0xf8 => Ok(Op::Clc),
+        0xf9 => Ok(Op::Stc),
+        0xfa => Ok(Op::Cli),
+        0xfb => Ok(Op::Sti),
+        0xfc => Ok(Op::Cld),
+        0xfd => Ok(Op::Std),
+        0xfe => {
+            let m = decode_modrm(c)?;
+            match m.reg {
+                0 => Ok(Op::IncDec { inc: true, width: Width::B, rm: m.rm }),
+                1 => Ok(Op::IncDec { inc: false, width: Width::B, rm: m.rm }),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0xff => {
+            let m = decode_modrm(c)?;
+            match m.reg {
+                0 => Ok(Op::IncDec { inc: true, width: Width::D, rm: m.rm }),
+                1 => Ok(Op::IncDec { inc: false, width: Width::D, rm: m.rm }),
+                2 => Ok(Op::CallInd(m.rm)),
+                4 => Ok(Op::JmpInd(m.rm)),
+                6 => Ok(Op::Push(rm_to_src(m.rm))),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0x0f => decode_0f(c),
+        _ => Err(DecodeError::Invalid),
+    }
+}
+
+fn rm_to_src(rm: Rm) -> Src {
+    match rm {
+        Rm::Reg(r) => Src::Reg(r),
+        Rm::Mem(m) => Src::Mem(m),
+    }
+}
+
+fn decode_alu_block(c: &mut Cursor<'_>, kind: AluKind, low: u8) -> Result<Op, DecodeError> {
+    match low {
+        0 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind, width: Width::B, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        1 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind, width: Width::D, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        2 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind, width: Width::B, dst: Rm::Reg(m.reg), src: rm_to_src(m.rm) })
+        }
+        3 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Alu { kind, width: Width::D, dst: Rm::Reg(m.reg), src: rm_to_src(m.rm) })
+        }
+        4 => {
+            let imm = c.u8()? as u32;
+            Ok(Op::Alu { kind, width: Width::B, dst: Rm::Reg(0), src: Src::Imm(imm) })
+        }
+        5 => {
+            let imm = c.u32()?;
+            Ok(Op::Alu { kind, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(imm) })
+        }
+        _ => Err(DecodeError::Invalid),
+    }
+}
+
+fn decode_grp3(c: &mut Cursor<'_>, width: Width) -> Result<Op, DecodeError> {
+    let m = decode_modrm(c)?;
+    match m.reg {
+        0 | 1 => {
+            let imm = match width {
+                Width::B => c.u8()? as u32,
+                Width::D => c.u32()?,
+            };
+            Ok(Op::Alu { kind: AluKind::Test, width, dst: m.rm, src: Src::Imm(imm) })
+        }
+        2 => Ok(Op::Grp3 { kind: Grp3Kind::Not, width, rm: m.rm }),
+        3 => Ok(Op::Grp3 { kind: Grp3Kind::Neg, width, rm: m.rm }),
+        4 => Ok(Op::Grp3 { kind: Grp3Kind::Mul, width, rm: m.rm }),
+        5 => Ok(Op::Grp3 { kind: Grp3Kind::Imul, width, rm: m.rm }),
+        6 => Ok(Op::Grp3 { kind: Grp3Kind::Div, width, rm: m.rm }),
+        7 => Ok(Op::Grp3 { kind: Grp3Kind::Idiv, width, rm: m.rm }),
+        _ => unreachable!(),
+    }
+}
+
+fn decode_0f(c: &mut Cursor<'_>) -> Result<Op, DecodeError> {
+    let op2 = c.u8()?;
+    match op2 {
+        0x01 => {
+            let m = decode_modrm(c)?;
+            match (m.reg, m.rm) {
+                (3, Rm::Mem(mem)) => Ok(Op::Lidt(mem)),
+                _ => Err(DecodeError::Invalid),
+            }
+        }
+        0x0b => Ok(Op::Ud2),
+        0x1f => {
+            // Long NOP: consumes a full ModRM operand.
+            let _ = decode_modrm(c)?;
+            Ok(Op::Nop)
+        }
+        0x20 => {
+            let m = decode_modrm(c)?;
+            match m.rm {
+                Rm::Reg(r) => Ok(Op::MovFromCr { cr: m.reg, dst: reg_of(r) }),
+                Rm::Mem(_) => Err(DecodeError::Invalid),
+            }
+        }
+        0x22 => {
+            let m = decode_modrm(c)?;
+            match m.rm {
+                Rm::Reg(r) => Ok(Op::MovToCr { cr: m.reg, src: reg_of(r) }),
+                Rm::Mem(_) => Err(DecodeError::Invalid),
+            }
+        }
+        0x31 => Ok(Op::Rdtsc),
+        0x40..=0x4f => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Cmov { cond: Cond::from_cc(op2 & 0xf), dst: reg_of(m.reg), src: m.rm })
+        }
+        0x80..=0x8f => {
+            let cond = Cond::from_cc(op2 & 0xf);
+            let rel = c.u32()? as i32;
+            Ok(Op::Jcc { cond, rel })
+        }
+        0x90..=0x9f => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Setcc { cond: Cond::from_cc(op2 & 0xf), rm: m.rm })
+        }
+        0xa2 => Ok(Op::Cpuid),
+        0xa3 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Bt { kind: BtKind::Bt, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0xa4 => {
+            let m = decode_modrm(c)?;
+            let count = c.u8()?;
+            Ok(Op::Shld { dst: m.rm, src: reg_of(m.reg), count: ShiftCount::Imm(count & 0x1f) })
+        }
+        0xa5 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shld { dst: m.rm, src: reg_of(m.reg), count: ShiftCount::Cl })
+        }
+        0xab => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Bt { kind: BtKind::Bts, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0xac => {
+            let m = decode_modrm(c)?;
+            let count = c.u8()?;
+            Ok(Op::Shrd { dst: m.rm, src: reg_of(m.reg), count: ShiftCount::Imm(count & 0x1f) })
+        }
+        0xad => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Shrd { dst: m.rm, src: reg_of(m.reg), count: ShiftCount::Cl })
+        }
+        0xaf => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Imul2 { dst: reg_of(m.reg), src: m.rm })
+        }
+        0xb0 | 0xb1 => {
+            let m = decode_modrm(c)?;
+            let width = if op2 == 0xb0 { Width::B } else { Width::D };
+            Ok(Op::Cmpxchg { width, dst: m.rm, src: reg_of(m.reg) })
+        }
+        0xb3 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Bt { kind: BtKind::Btr, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0xb6 => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Movzx { dst: reg_of(m.reg), src: m.rm })
+        }
+        0xba => {
+            let m = decode_modrm(c)?;
+            let imm = c.u8()?;
+            let kind = match m.reg {
+                4 => BtKind::Bt,
+                5 => BtKind::Bts,
+                6 => BtKind::Btr,
+                7 => BtKind::Btc,
+                _ => return Err(DecodeError::Invalid),
+            };
+            Ok(Op::Bt { kind, dst: m.rm, src: Src::Imm(imm as u32) })
+        }
+        0xbb => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Bt { kind: BtKind::Btc, dst: m.rm, src: Src::Reg(m.reg) })
+        }
+        0xbe => {
+            let m = decode_modrm(c)?;
+            Ok(Op::Movsx { dst: reg_of(m.reg), src: m.rm })
+        }
+        0xc0 | 0xc1 => {
+            let m = decode_modrm(c)?;
+            let width = if op2 == 0xc0 { Width::B } else { Width::D };
+            Ok(Op::Xadd { width, dst: m.rm, src: reg_of(m.reg) })
+        }
+        0xc8..=0xcf => Ok(Op::Bswap(reg_of(op2 & 7))),
+        _ => Err(DecodeError::Invalid),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dec(bytes: &[u8]) -> Insn {
+        decode(bytes).unwrap()
+    }
+
+    #[test]
+    fn mov_imm_to_reg() {
+        let i = dec(&[0xb8, 0x28, 0xb7, 0x00, 0x00]);
+        assert_eq!(i.len, 5);
+        assert_eq!(
+            i.op,
+            Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Imm(0xb728) }
+        );
+    }
+
+    #[test]
+    fn mov_reg_to_reg_both_directions() {
+        // 89 d8 = mov %ebx, %eax (dst = rm = eax, src = reg = ebx)
+        let i = dec(&[0x89, 0xd8]);
+        assert_eq!(i.op, Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Reg(3) });
+        // 8b c3 = mov %ebx, %eax via the load form
+        let i = dec(&[0x8b, 0xc3]);
+        assert_eq!(i.op, Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Reg(3) });
+    }
+
+    #[test]
+    fn paper_example_movzbl() {
+        // Table 7 ex. 1: movzbl 0x1b(%edx), %eax = 0f b6 42 1b
+        let i = dec(&[0x0f, 0xb6, 0x42, 0x1b]);
+        assert_eq!(i.len, 4);
+        assert_eq!(
+            i.op,
+            Op::Movzx { dst: Reg::Eax, src: Rm::Mem(MemRef::base_disp(Reg::Edx, 0x1b)) }
+        );
+    }
+
+    #[test]
+    fn paper_example_lea_sib() {
+        // Table 7 ex. 2: 8d 04 82 = lea (%edx,%eax,4), %eax
+        let i = dec(&[0x8d, 0x04, 0x82]);
+        assert_eq!(i.len, 3);
+        assert_eq!(
+            i.op,
+            Op::Lea {
+                dst: Reg::Eax,
+                mem: MemRef { base: Some(Reg::Edx), index: Some((Reg::Eax, 4)), disp: 0 }
+            }
+        );
+    }
+
+    #[test]
+    fn paper_example_desync() {
+        // Table 7 ex. 2: flipping a bit in `8b 51 0c` (mov 0xc(%ecx),%edx)
+        // gives `8b 11` (mov (%ecx),%edx) and the following bytes
+        // re-decode as different instructions.
+        let orig = dec(&[0x8b, 0x51, 0x0c]);
+        assert_eq!(orig.len, 3);
+        let flipped = dec(&[0x8b, 0x11, 0x0c]);
+        assert_eq!(flipped.len, 2);
+        assert_eq!(
+            flipped.op,
+            Op::Mov { width: Width::D, dst: Rm::Reg(2), src: Src::Mem(MemRef::base(Reg::Ecx)) }
+        );
+        // 0c 39 now decodes as or $0x39, %al
+        let next = dec(&[0x0c, 0x39]);
+        assert_eq!(
+            next.op,
+            Op::Alu { kind: AluKind::Or, width: Width::B, dst: Rm::Reg(0), src: Src::Imm(0x39) }
+        );
+        // 5d = pop %ebp
+        assert_eq!(dec(&[0x5d]).op, Op::Pop(Rm::Reg(5)));
+    }
+
+    #[test]
+    fn paper_example_lret() {
+        // Table 7 ex. 3: `8b 5d bc` corrupted to `cb` (lret).
+        assert_eq!(dec(&[0xcb]).op, Op::Lret);
+    }
+
+    #[test]
+    fn paper_example_je_to_xor() {
+        // Table 6 ex. 3: 74 56 (je) corrupted to 34 56 (xor $0x56, %al).
+        let i = dec(&[0x34, 0x56]);
+        assert_eq!(
+            i.op,
+            Op::Alu { kind: AluKind::Xor, width: Width::B, dst: Rm::Reg(0), src: Src::Imm(0x56) }
+        );
+    }
+
+    #[test]
+    fn paper_example_je_jl_jo() {
+        // Table 6 examples 1-2: je→jl and je→jo single-bit corruptions.
+        assert_eq!(dec(&[0x74, 0x56]).op, Op::Jcc { cond: Cond::E, rel: 0x56 });
+        assert_eq!(dec(&[0x7c, 0x56]).op, Op::Jcc { cond: Cond::L, rel: 0x56 });
+        let i = dec(&[0x0f, 0x84, 0xed, 0, 0, 0]);
+        assert_eq!(i.op, Op::Jcc { cond: Cond::E, rel: 0xed });
+        assert_eq!(i.len, 6);
+        let i = dec(&[0x0f, 0x80, 0xed, 0, 0, 0]);
+        assert_eq!(i.op, Op::Jcc { cond: Cond::O, rel: 0xed });
+    }
+
+    #[test]
+    fn ud2_decodes() {
+        let i = dec(&[0x0f, 0x0b]);
+        assert_eq!(i.op, Op::Ud2);
+        assert_eq!(i.len, 2);
+    }
+
+    #[test]
+    fn alu_block_all_forms() {
+        // 01 d8 = add %ebx, %eax
+        assert_eq!(
+            dec(&[0x01, 0xd8]).op,
+            Op::Alu { kind: AluKind::Add, width: Width::D, dst: Rm::Reg(0), src: Src::Reg(3) }
+        );
+        // 29 c8 = sub %ecx, %eax
+        assert_eq!(
+            dec(&[0x29, 0xc8]).op,
+            Op::Alu { kind: AluKind::Sub, width: Width::D, dst: Rm::Reg(0), src: Src::Reg(1) }
+        );
+        // 3d 05 00 00 00 = cmp $5, %eax
+        assert_eq!(
+            dec(&[0x3d, 5, 0, 0, 0]).op,
+            Op::Alu { kind: AluKind::Cmp, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(5) }
+        );
+        // 83 e8 05 = sub $5, %eax (sign-extended imm8)
+        assert_eq!(
+            dec(&[0x83, 0xe8, 0x05]).op,
+            Op::Alu { kind: AluKind::Sub, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(5) }
+        );
+        // 83 c0 ff = add $-1, %eax
+        assert_eq!(
+            dec(&[0x83, 0xc0, 0xff]).op,
+            Op::Alu { kind: AluKind::Add, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(0xffff_ffff) }
+        );
+    }
+
+    #[test]
+    fn modrm_disp_forms() {
+        // 8b 45 fc = mov -4(%ebp), %eax
+        assert_eq!(
+            dec(&[0x8b, 0x45, 0xfc]).op,
+            Op::Mov {
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Mem(MemRef::base_disp(Reg::Ebp, -4))
+            }
+        );
+        // 8b 80 00 01 00 00 = mov 0x100(%eax), %eax
+        assert_eq!(
+            dec(&[0x8b, 0x80, 0x00, 0x01, 0x00, 0x00]).op,
+            Op::Mov {
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Mem(MemRef::base_disp(Reg::Eax, 0x100))
+            }
+        );
+        // 8b 15 44 33 22 11 = mov 0x11223344, %edx (absolute)
+        assert_eq!(
+            dec(&[0x8b, 0x15, 0x44, 0x33, 0x22, 0x11]).op,
+            Op::Mov { width: Width::D, dst: Rm::Reg(2), src: Src::Mem(MemRef::abs(0x11223344)) }
+        );
+    }
+
+    #[test]
+    fn sib_with_ebp_base_needs_disp() {
+        // mod=00, rm=100, SIB base=101 means disp32 with index.
+        // 8b 04 8d 10 00 00 00 = mov 0x10(,%ecx,4), %eax
+        let i = dec(&[0x8b, 0x04, 0x8d, 0x10, 0, 0, 0]);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Mem(MemRef { base: None, index: Some((Reg::Ecx, 4)), disp: 0x10 })
+            }
+        );
+        assert_eq!(i.len, 7);
+    }
+
+    #[test]
+    fn esp_base_via_sib() {
+        // 8b 44 24 08 = mov 0x8(%esp), %eax
+        let i = dec(&[0x8b, 0x44, 0x24, 0x08]);
+        assert_eq!(
+            i.op,
+            Op::Mov {
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Mem(MemRef::base_disp(Reg::Esp, 8))
+            }
+        );
+    }
+
+    #[test]
+    fn push_pop_family() {
+        assert_eq!(dec(&[0x55]).op, Op::Push(Src::Reg(5)));
+        assert_eq!(dec(&[0x5d]).op, Op::Pop(Rm::Reg(5)));
+        assert_eq!(dec(&[0x68, 1, 0, 0, 0]).op, Op::Push(Src::Imm(1)));
+        assert_eq!(dec(&[0x6a, 0xff]).op, Op::Push(Src::Imm(0xffff_ffff)));
+        // ff 75 08 = push 0x8(%ebp)
+        assert_eq!(
+            dec(&[0xff, 0x75, 0x08]).op,
+            Op::Push(Src::Mem(MemRef::base_disp(Reg::Ebp, 8)))
+        );
+    }
+
+    #[test]
+    fn control_flow() {
+        assert_eq!(dec(&[0xe8, 4, 0, 0, 0]).op, Op::Call { rel: 4 });
+        assert_eq!(dec(&[0xe9, 0xfc, 0xff, 0xff, 0xff]).op, Op::Jmp { rel: -4 });
+        assert_eq!(dec(&[0xeb, 0xfe]).op, Op::Jmp { rel: -2 });
+        assert_eq!(dec(&[0xc3]).op, Op::Ret);
+        assert_eq!(dec(&[0xc2, 0x08, 0x00]).op, Op::RetImm(8));
+        assert_eq!(dec(&[0xff, 0xd0]).op, Op::CallInd(Rm::Reg(0)));
+        assert_eq!(dec(&[0xff, 0xe0]).op, Op::JmpInd(Rm::Reg(0)));
+        assert_eq!(dec(&[0xcd, 0x80]).op, Op::Int(0x80));
+    }
+
+    #[test]
+    fn grp3_div() {
+        // f7 f3 = div %ebx
+        assert_eq!(
+            dec(&[0xf7, 0xf3]).op,
+            Op::Grp3 { kind: Grp3Kind::Div, width: Width::D, rm: Rm::Reg(3) }
+        );
+        // f7 c0 01 00 00 00 = test $1, %eax
+        assert_eq!(
+            dec(&[0xf7, 0xc0, 1, 0, 0, 0]).op,
+            Op::Alu { kind: AluKind::Test, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(1) }
+        );
+    }
+
+    #[test]
+    fn shifts() {
+        // c1 e0 0c = shl $12, %eax
+        assert_eq!(
+            dec(&[0xc1, 0xe0, 0x0c]).op,
+            Op::Shift { kind: ShiftKind::Shl, width: Width::D, dst: Rm::Reg(0), count: ShiftCount::Imm(12) }
+        );
+        // d1 e8 = shr $1, %eax
+        assert_eq!(
+            dec(&[0xd1, 0xe8]).op,
+            Op::Shift { kind: ShiftKind::Shr, width: Width::D, dst: Rm::Reg(0), count: ShiftCount::One }
+        );
+        // 0f ac d0 0c = shrd $12, %edx, %eax (the paper's Figure 5 uses shrd)
+        assert_eq!(
+            dec(&[0x0f, 0xac, 0xd0, 0x0c]).op,
+            Op::Shrd { dst: Rm::Reg(0), src: Reg::Edx, count: ShiftCount::Imm(12) }
+        );
+    }
+
+    #[test]
+    fn privileged_and_system() {
+        assert_eq!(dec(&[0xf4]).op, Op::Hlt);
+        assert_eq!(dec(&[0xfa]).op, Op::Cli);
+        assert_eq!(dec(&[0xfb]).op, Op::Sti);
+        assert_eq!(dec(&[0xe6, 0xe9]).op, Op::Out { width: Width::B, port: PortArg::Imm(0xe9) });
+        assert_eq!(dec(&[0xec]).op, Op::In { width: Width::B, port: PortArg::Dx });
+        // 0f 22 d8 = mov %eax, %cr3
+        assert_eq!(dec(&[0x0f, 0x22, 0xd8]).op, Op::MovToCr { cr: 3, src: Reg::Eax });
+        // 0f 20 d0 = mov %cr2, %eax
+        assert_eq!(dec(&[0x0f, 0x20, 0xd0]).op, Op::MovFromCr { cr: 2, dst: Reg::Eax });
+    }
+
+    #[test]
+    fn string_ops_with_rep() {
+        assert_eq!(
+            dec(&[0xf3, 0xa5]).op,
+            Op::Str { kind: StrKind::Movs, width: Width::D, rep: Rep::Rep }
+        );
+        assert_eq!(
+            dec(&[0xf3, 0xab]).op,
+            Op::Str { kind: StrKind::Stos, width: Width::D, rep: Rep::Rep }
+        );
+        assert_eq!(dec(&[0xf3, 0xa5]).len, 2);
+        assert_eq!(
+            dec(&[0xaa]).op,
+            Op::Str { kind: StrKind::Stos, width: Width::B, rep: Rep::None }
+        );
+    }
+
+    #[test]
+    fn bit_ops() {
+        // 0f ab 18 = bts %ebx, (%eax)
+        assert_eq!(
+            dec(&[0x0f, 0xab, 0x18]).op,
+            Op::Bt { kind: BtKind::Bts, dst: Rm::Mem(MemRef::base(Reg::Eax)), src: Src::Reg(3) }
+        );
+        // 0f ba e0 05 = bt $5, %eax
+        assert_eq!(
+            dec(&[0x0f, 0xba, 0xe0, 0x05]).op,
+            Op::Bt { kind: BtKind::Bt, dst: Rm::Reg(0), src: Src::Imm(5) }
+        );
+    }
+
+    #[test]
+    fn invalid_opcodes() {
+        for b in [0x63u8, 0x66, 0x67, 0x9a, 0xc4, 0xc5, 0xc8, 0xd6, 0xd8, 0xdf, 0xea, 0xf1] {
+            assert_eq!(decode(&[b, 0, 0, 0, 0, 0, 0]), Err(DecodeError::Invalid), "{b:#x}");
+        }
+        // 8f /1 is undefined
+        assert_eq!(decode(&[0x8f, 0xc8]), Err(DecodeError::Invalid));
+        // ff /7 is undefined
+        assert_eq!(decode(&[0xff, 0xf8]), Err(DecodeError::Invalid));
+        // 0f 05 (syscall) is not in the 32-bit set we model
+        assert_eq!(decode(&[0x0f, 0x05]), Err(DecodeError::Invalid));
+    }
+
+    #[test]
+    fn truncation_reports_need() {
+        assert_eq!(decode(&[0xb8]), Err(DecodeError::Truncated { need: 2 }));
+        assert_eq!(decode(&[0xb8, 1, 2]), Err(DecodeError::Truncated { need: 4 }));
+        assert_eq!(decode(&[]), Err(DecodeError::Truncated { need: 1 }));
+        assert_eq!(decode(&[0x0f]), Err(DecodeError::Truncated { need: 2 }));
+    }
+
+    #[test]
+    fn prefixes_are_skipped() {
+        // ds-override + lock prefix before mov still decodes.
+        let i = dec(&[0x3e, 0xf0, 0x89, 0xd8]);
+        assert_eq!(i.len, 4);
+        assert!(matches!(i.op, Op::Mov { .. }));
+        // Five or more prefixes: invalid.
+        assert_eq!(
+            decode(&[0x3e, 0x3e, 0x3e, 0x3e, 0x3e, 0x89, 0xd8]),
+            Err(DecodeError::Invalid)
+        );
+    }
+
+    #[test]
+    fn rep_on_non_string_is_ignored() {
+        // f3 90 is PAUSE on real hardware; we decode the underlying NOP.
+        assert_eq!(dec(&[0xf3, 0x90]).op, Op::Nop);
+        assert_eq!(dec(&[0xf3, 0x90]).len, 2);
+    }
+
+    #[test]
+    fn every_byte_decodes_or_fails_cleanly() {
+        // Exhaustive smoke test: no opcode byte, followed by arbitrary
+        // padding, may panic the decoder.
+        for b0 in 0..=255u8 {
+            for pad in [0x00u8, 0xff, 0x55, 0xc3] {
+                let bytes = [b0, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
+                let _ = decode(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn every_two_byte_opcode_decodes_or_fails_cleanly() {
+        for b1 in 0..=255u8 {
+            for pad in [0x00u8, 0xff, 0x24, 0x05] {
+                let bytes = [0x0f, b1, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
+                let _ = decode(&bytes);
+            }
+        }
+    }
+}

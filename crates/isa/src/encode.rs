@@ -1,0 +1,726 @@
+//! The instruction encoder (canonical IA-32 encodings).
+//!
+//! Used by the assembler ([`kfi-asm`]) and by round-trip tests. Every
+//! encoding produced here decodes back to the same [`Op`] via
+//! [`crate::decode`].
+
+use crate::cond::Cond;
+use crate::insn::*;
+use crate::reg::Reg;
+
+/// Encoding failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The operand combination has no IA-32 encoding (e.g. memory-to-
+    /// memory ALU operations).
+    Unencodable,
+    /// A relative branch displacement does not fit the requested form.
+    RelOutOfRange,
+}
+
+impl core::fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EncodeError::Unencodable => write!(f, "operand combination has no encoding"),
+            EncodeError::RelOutOfRange => write!(f, "branch displacement out of range"),
+        }
+    }
+}
+
+impl std::error::Error for EncodeError {}
+
+fn emit_modrm_w(out: &mut Vec<u8>, reg_field: u8, rm: &Rm, wide: bool) {
+    match rm {
+        Rm::Reg(r) => out.push(0xc0 | (reg_field << 3) | (r & 7)),
+        Rm::Mem(m) => emit_mem_w(out, reg_field, m, wide),
+    }
+}
+
+fn emit_mem_w(out: &mut Vec<u8>, reg_field: u8, m: &MemRef, wide: bool) {
+    let reg_field = reg_field << 3;
+    match (m.base, m.index) {
+        (None, None) => {
+            // Absolute disp32: mod=00 rm=101.
+            out.push(reg_field | 5);
+            out.extend_from_slice(&(m.disp as u32).to_le_bytes());
+        }
+        (None, Some((idx, scale))) => {
+            // mod=00 rm=100, SIB with base=101 => disp32 + scaled index.
+            out.push(reg_field | 4);
+            out.push(sib(scale, idx.index(), 5));
+            out.extend_from_slice(&(m.disp as u32).to_le_bytes());
+        }
+        (Some(base), index) => {
+            let need_sib = index.is_some() || base == Reg::Esp;
+            // EBP as base with mod=00 is unencodable (that slot means
+            // disp32), so force at least a disp8.
+            let (mode, disp_bytes): (u8, usize) = if wide {
+                (0x80, 4)
+            } else if m.disp == 0 && base != Reg::Ebp {
+                (0x00, 0)
+            } else if i8::try_from(m.disp).is_ok() {
+                (0x40, 1)
+            } else {
+                (0x80, 4)
+            };
+            if need_sib {
+                out.push(mode | reg_field | 4);
+                let (idx_bits, scale) = match index {
+                    Some((r, s)) => (r.index(), s),
+                    None => (4, 1), // index=100 means none
+                };
+                out.push(sib(scale, idx_bits, base.index()));
+            } else {
+                out.push(mode | reg_field | base.index());
+            }
+            match disp_bytes {
+                0 => {}
+                1 => out.push(m.disp as i8 as u8),
+                _ => out.extend_from_slice(&(m.disp as u32).to_le_bytes()),
+            }
+        }
+    }
+}
+
+fn sib(scale: u8, index: u8, base: u8) -> u8 {
+    let ss = match scale {
+        1 => 0,
+        2 => 1,
+        4 => 2,
+        8 => 3,
+        _ => panic!("invalid SIB scale {scale}"),
+    };
+    (ss << 6) | ((index & 7) << 3) | (base & 7)
+}
+
+fn src_to_rm(src: &Src) -> Option<Rm> {
+    match src {
+        Src::Reg(r) => Some(Rm::Reg(*r)),
+        Src::Mem(m) => Some(Rm::Mem(*m)),
+        Src::Imm(_) => None,
+    }
+}
+
+/// Encodes a short-form conditional branch (`70+cc rel8`).
+///
+/// # Errors
+///
+/// [`EncodeError::RelOutOfRange`] if `rel` does not fit in `i8`.
+pub fn jcc_short(cond: Cond, rel: i32) -> Result<Vec<u8>, EncodeError> {
+    let r = i8::try_from(rel).map_err(|_| EncodeError::RelOutOfRange)?;
+    Ok(vec![0x70 + cond.cc(), r as u8])
+}
+
+/// Encodes a near-form conditional branch (`0F 80+cc rel32`).
+pub fn jcc_near(cond: Cond, rel: i32) -> Vec<u8> {
+    let mut v = vec![0x0f, 0x80 + cond.cc()];
+    v.extend_from_slice(&(rel as u32).to_le_bytes());
+    v
+}
+
+/// Encodes a short unconditional jump (`EB rel8`).
+///
+/// # Errors
+///
+/// [`EncodeError::RelOutOfRange`] if `rel` does not fit in `i8`.
+pub fn jmp_short(rel: i32) -> Result<Vec<u8>, EncodeError> {
+    let r = i8::try_from(rel).map_err(|_| EncodeError::RelOutOfRange)?;
+    Ok(vec![0xeb, r as u8])
+}
+
+/// Encodes a near unconditional jump (`E9 rel32`).
+pub fn jmp_near(rel: i32) -> Vec<u8> {
+    let mut v = vec![0xe9];
+    v.extend_from_slice(&(rel as u32).to_le_bytes());
+    v
+}
+
+/// Encodes a relative call (`E8 rel32`).
+pub fn call_rel(rel: i32) -> Vec<u8> {
+    let mut v = vec![0xe8];
+    v.extend_from_slice(&(rel as u32).to_le_bytes());
+    v
+}
+
+/// Encodes an operation into canonical bytes.
+///
+/// Relative branches pick the short form when the displacement fits
+/// (the assembler uses the explicit [`jcc_short`]/[`jcc_near`] helpers
+/// instead, because displacements depend on encoded sizes).
+///
+/// # Errors
+///
+/// [`EncodeError::Unencodable`] for operand combinations with no IA-32
+/// encoding.
+pub fn encode(op: &Op) -> Result<Vec<u8>, EncodeError> {
+    encode_impl(op, false)
+}
+
+/// Encodes an operation forcing the widest forms everywhere: disp32
+/// memory operands, imm32 immediates, near branches.
+///
+/// The assembler uses this for instructions whose operand values are not
+/// yet final (label-dependent), because the wide encoding's *length* does
+/// not depend on the values — which makes its layout fixpoint terminate.
+///
+/// # Errors
+///
+/// [`EncodeError::Unencodable`] for operand combinations with no IA-32
+/// encoding.
+pub fn encode_wide(op: &Op) -> Result<Vec<u8>, EncodeError> {
+    encode_impl(op, true)
+}
+
+fn encode_impl(op: &Op, wide: bool) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(8);
+    match op {
+        Op::Alu { kind, width, dst, src } => encode_alu(&mut out, *kind, *width, dst, src, wide)?,
+        Op::Mov { width, dst, src } => match (dst, src) {
+            (Rm::Reg(r), Src::Imm(imm)) => match width {
+                Width::B => {
+                    out.push(0xb0 + (r & 7));
+                    out.push(*imm as u8);
+                }
+                Width::D => {
+                    out.push(0xb8 + (r & 7));
+                    out.extend_from_slice(&imm.to_le_bytes());
+                }
+            },
+            (Rm::Mem(_), Src::Imm(imm)) => {
+                out.push(if *width == Width::B { 0xc6 } else { 0xc7 });
+                emit_modrm_w(&mut out, 0, dst, wide);
+                match width {
+                    Width::B => out.push(*imm as u8),
+                    Width::D => out.extend_from_slice(&imm.to_le_bytes()),
+                }
+            }
+            (_, Src::Reg(sr)) => {
+                out.push(if *width == Width::B { 0x88 } else { 0x89 });
+                emit_modrm_w(&mut out, *sr, dst, wide);
+            }
+            (Rm::Reg(dr), Src::Mem(_)) => {
+                out.push(if *width == Width::B { 0x8a } else { 0x8b });
+                let rm = src_to_rm(src).expect("mem src");
+                emit_modrm_w(&mut out, *dr, &rm, wide);
+            }
+            _ => return Err(EncodeError::Unencodable),
+        },
+        Op::Movzx { dst, src } => {
+            out.extend_from_slice(&[0x0f, 0xb6]);
+            emit_modrm_w(&mut out, dst.index(), src, wide);
+        }
+        Op::Movsx { dst, src } => {
+            out.extend_from_slice(&[0x0f, 0xbe]);
+            emit_modrm_w(&mut out, dst.index(), src, wide);
+        }
+        Op::Lea { dst, mem } => {
+            out.push(0x8d);
+            emit_mem_w(&mut out, dst.index(), mem, wide);
+        }
+        Op::Xchg { reg, rm } => {
+            out.push(0x87);
+            emit_modrm_w(&mut out, reg.index(), rm, wide);
+        }
+        Op::Shift { kind, width, dst, count } => {
+            let digit = kind.digit();
+            match count {
+                ShiftCount::One => {
+                    out.push(if *width == Width::B { 0xd0 } else { 0xd1 });
+                    emit_modrm_w(&mut out, digit, dst, wide);
+                }
+                ShiftCount::Imm(n) => {
+                    out.push(if *width == Width::B { 0xc0 } else { 0xc1 });
+                    emit_modrm_w(&mut out, digit, dst, wide);
+                    out.push(*n & 0x1f);
+                }
+                ShiftCount::Cl => {
+                    out.push(if *width == Width::B { 0xd2 } else { 0xd3 });
+                    emit_modrm_w(&mut out, digit, dst, wide);
+                }
+            }
+        }
+        Op::Shld { dst, src, count } => {
+            match count {
+                ShiftCount::Imm(n) => {
+                    out.extend_from_slice(&[0x0f, 0xa4]);
+                    emit_modrm_w(&mut out, src.index(), dst, wide);
+                    out.push(*n & 0x1f);
+                }
+                ShiftCount::Cl => {
+                    out.extend_from_slice(&[0x0f, 0xa5]);
+                    emit_modrm_w(&mut out, src.index(), dst, wide);
+                }
+                ShiftCount::One => return Err(EncodeError::Unencodable),
+            }
+        }
+        Op::Shrd { dst, src, count } => {
+            match count {
+                ShiftCount::Imm(n) => {
+                    out.extend_from_slice(&[0x0f, 0xac]);
+                    emit_modrm_w(&mut out, src.index(), dst, wide);
+                    out.push(*n & 0x1f);
+                }
+                ShiftCount::Cl => {
+                    out.extend_from_slice(&[0x0f, 0xad]);
+                    emit_modrm_w(&mut out, src.index(), dst, wide);
+                }
+                ShiftCount::One => return Err(EncodeError::Unencodable),
+            }
+        }
+        Op::Bt { kind, dst, src } => match src {
+            Src::Reg(r) => {
+                let second = match kind {
+                    BtKind::Bt => 0xa3,
+                    BtKind::Bts => 0xab,
+                    BtKind::Btr => 0xb3,
+                    BtKind::Btc => 0xbb,
+                };
+                out.extend_from_slice(&[0x0f, second]);
+                emit_modrm_w(&mut out, *r, dst, wide);
+            }
+            Src::Imm(imm) => {
+                let digit = match kind {
+                    BtKind::Bt => 4,
+                    BtKind::Bts => 5,
+                    BtKind::Btr => 6,
+                    BtKind::Btc => 7,
+                };
+                out.extend_from_slice(&[0x0f, 0xba]);
+                emit_modrm_w(&mut out, digit, dst, wide);
+                out.push(*imm as u8);
+            }
+            Src::Mem(_) => return Err(EncodeError::Unencodable),
+        },
+        Op::Xadd { width, dst, src } => {
+            out.extend_from_slice(&[0x0f, if *width == Width::B { 0xc0 } else { 0xc1 }]);
+            emit_modrm_w(&mut out, src.index(), dst, wide);
+        }
+        Op::Cmpxchg { width, dst, src } => {
+            out.extend_from_slice(&[0x0f, if *width == Width::B { 0xb0 } else { 0xb1 }]);
+            emit_modrm_w(&mut out, src.index(), dst, wide);
+        }
+        Op::Grp3 { kind, width, rm } => {
+            let digit = match kind {
+                Grp3Kind::Not => 2,
+                Grp3Kind::Neg => 3,
+                Grp3Kind::Mul => 4,
+                Grp3Kind::Imul => 5,
+                Grp3Kind::Div => 6,
+                Grp3Kind::Idiv => 7,
+            };
+            out.push(if *width == Width::B { 0xf6 } else { 0xf7 });
+            emit_modrm_w(&mut out, digit, rm, wide);
+        }
+        Op::Imul2 { dst, src } => {
+            out.extend_from_slice(&[0x0f, 0xaf]);
+            emit_modrm_w(&mut out, dst.index(), src, wide);
+        }
+        Op::Imul3 { dst, src, imm } => {
+            if !wide && i8::try_from(*imm).is_ok() {
+                out.push(0x6b);
+                emit_modrm_w(&mut out, dst.index(), src, wide);
+                out.push(*imm as i8 as u8);
+            } else {
+                out.push(0x69);
+                emit_modrm_w(&mut out, dst.index(), src, wide);
+                out.extend_from_slice(&(*imm as u32).to_le_bytes());
+            }
+        }
+        Op::IncDec { inc, width, rm } => match (width, rm) {
+            (Width::D, Rm::Reg(r)) => out.push(if *inc { 0x40 } else { 0x48 } + (r & 7)),
+            (Width::D, _) => {
+                out.push(0xff);
+                emit_modrm_w(&mut out, if *inc { 0 } else { 1 }, rm, wide);
+            }
+            (Width::B, _) => {
+                out.push(0xfe);
+                emit_modrm_w(&mut out, if *inc { 0 } else { 1 }, rm, wide);
+            }
+        },
+        Op::Push(src) => match src {
+            Src::Reg(r) => out.push(0x50 + (r & 7)),
+            Src::Imm(imm) => {
+                if !wide && i8::try_from(*imm as i32).is_ok() {
+                    out.push(0x6a);
+                    out.push(*imm as u8);
+                } else {
+                    out.push(0x68);
+                    out.extend_from_slice(&imm.to_le_bytes());
+                }
+            }
+            Src::Mem(_) => {
+                out.push(0xff);
+                let rm = src_to_rm(src).expect("mem src");
+                emit_modrm_w(&mut out, 6, &rm, wide);
+            }
+        },
+        Op::Pop(rm) => match rm {
+            Rm::Reg(r) => out.push(0x58 + (r & 7)),
+            Rm::Mem(_) => {
+                out.push(0x8f);
+                emit_modrm_w(&mut out, 0, rm, wide);
+            }
+        },
+        Op::Pusha => out.push(0x60),
+        Op::Popa => out.push(0x61),
+        Op::Pushf => out.push(0x9c),
+        Op::Popf => out.push(0x9d),
+        Op::Jcc { cond, rel } => {
+            if wide {
+                return Ok(jcc_near(*cond, *rel));
+            }
+            return jcc_short(*cond, *rel).or_else(|_| Ok(jcc_near(*cond, *rel)));
+        }
+        Op::Jmp { rel } => {
+            if wide {
+                return Ok(jmp_near(*rel));
+            }
+            return jmp_short(*rel).or_else(|_| Ok(jmp_near(*rel)));
+        }
+        Op::JmpInd(rm) => {
+            out.push(0xff);
+            emit_modrm_w(&mut out, 4, rm, wide);
+        }
+        Op::Call { rel } => return Ok(call_rel(*rel)),
+        Op::CallInd(rm) => {
+            out.push(0xff);
+            emit_modrm_w(&mut out, 2, rm, wide);
+        }
+        Op::Ret => out.push(0xc3),
+        Op::RetImm(n) => {
+            out.push(0xc2);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Op::Lret => out.push(0xcb),
+        Op::Leave => out.push(0xc9),
+        Op::Int(n) => {
+            out.push(0xcd);
+            out.push(*n);
+        }
+        Op::Int3 => out.push(0xcc),
+        Op::Into => out.push(0xce),
+        Op::Iret => out.push(0xcf),
+        Op::Bound { reg, mem } => {
+            out.push(0x62);
+            emit_mem_w(&mut out, reg.index(), mem, wide);
+        }
+        Op::Setcc { cond, rm } => {
+            out.extend_from_slice(&[0x0f, 0x90 + cond.cc()]);
+            emit_modrm_w(&mut out, 0, rm, wide);
+        }
+        Op::Cmov { cond, dst, src } => {
+            out.extend_from_slice(&[0x0f, 0x40 + cond.cc()]);
+            emit_modrm_w(&mut out, dst.index(), src, wide);
+        }
+        Op::Ud2 => out.extend_from_slice(&[0x0f, 0x0b]),
+        Op::Hlt => out.push(0xf4),
+        Op::Nop => out.push(0x90),
+        Op::Cwde => out.push(0x98),
+        Op::Cdq => out.push(0x99),
+        Op::Bswap(r) => out.extend_from_slice(&[0x0f, 0xc8 + r.index()]),
+        Op::Rdtsc => out.extend_from_slice(&[0x0f, 0x31]),
+        Op::Cpuid => out.extend_from_slice(&[0x0f, 0xa2]),
+        Op::In { width, port } => match port {
+            PortArg::Imm(p) => {
+                out.push(if *width == Width::B { 0xe4 } else { 0xe5 });
+                out.push(*p);
+            }
+            PortArg::Dx => out.push(if *width == Width::B { 0xec } else { 0xed }),
+        },
+        Op::Out { width, port } => match port {
+            PortArg::Imm(p) => {
+                out.push(if *width == Width::B { 0xe6 } else { 0xe7 });
+                out.push(*p);
+            }
+            PortArg::Dx => out.push(if *width == Width::B { 0xee } else { 0xef }),
+        },
+        Op::Str { kind, width, rep } => {
+            match rep {
+                Rep::None => {}
+                Rep::Rep => out.push(0xf3),
+                Rep::Repne => out.push(0xf2),
+            }
+            let base: u8 = match kind {
+                StrKind::Movs => 0xa4,
+                StrKind::Cmps => 0xa6,
+                StrKind::Stos => 0xaa,
+                StrKind::Lods => 0xac,
+                StrKind::Scas => 0xae,
+            };
+            out.push(base + if *width == Width::B { 0 } else { 1 });
+        }
+        Op::MovToCr { cr, src } => {
+            out.extend_from_slice(&[0x0f, 0x22, 0xc0 | ((cr & 7) << 3) | src.index()]);
+        }
+        Op::MovFromCr { cr, dst } => {
+            out.extend_from_slice(&[0x0f, 0x20, 0xc0 | ((cr & 7) << 3) | dst.index()]);
+        }
+        Op::Lidt(mem) => {
+            out.extend_from_slice(&[0x0f, 0x01]);
+            emit_mem_w(&mut out, 3, mem, wide);
+        }
+        Op::Cli => out.push(0xfa),
+        Op::Sti => out.push(0xfb),
+        Op::Aam(n) => {
+            out.push(0xd4);
+            out.push(*n);
+        }
+        Op::Aad(n) => {
+            out.push(0xd5);
+            out.push(*n);
+        }
+        Op::Xlat => out.push(0xd7),
+        Op::Cmc => out.push(0xf5),
+        Op::Clc => out.push(0xf8),
+        Op::Stc => out.push(0xf9),
+        Op::Cld => out.push(0xfc),
+        Op::Std => out.push(0xfd),
+        Op::Sahf => out.push(0x9e),
+        Op::Lahf => out.push(0x9f),
+    }
+    Ok(out)
+}
+
+fn encode_alu(
+    out: &mut Vec<u8>,
+    kind: AluKind,
+    width: Width,
+    dst: &Rm,
+    src: &Src,
+    wide: bool,
+) -> Result<(), EncodeError> {
+    match (kind, src) {
+        (AluKind::Test, Src::Reg(r)) => {
+            out.push(if width == Width::B { 0x84 } else { 0x85 });
+            emit_modrm_w(out, *r, dst, wide);
+        }
+        (AluKind::Test, Src::Imm(imm)) => {
+            out.push(if width == Width::B { 0xf6 } else { 0xf7 });
+            emit_modrm_w(out, 0, dst, wide);
+            match width {
+                Width::B => out.push(*imm as u8),
+                Width::D => out.extend_from_slice(&imm.to_le_bytes()),
+            }
+        }
+        (AluKind::Test, Src::Mem(_)) => {
+            // test mem, reg has only the rm=mem form; dst must be a register.
+            let Rm::Reg(r) = dst else { return Err(EncodeError::Unencodable) };
+            let rm = src_to_rm(src).expect("mem src");
+            out.push(if width == Width::B { 0x84 } else { 0x85 });
+            emit_modrm_w(out, *r, &rm, wide);
+        }
+        (_, Src::Imm(imm)) => {
+            let digit = kind.group1_digit().expect("non-test alu");
+            match width {
+                Width::B => {
+                    out.push(0x80);
+                    emit_modrm_w(out, digit, dst, wide);
+                    out.push(*imm as u8);
+                }
+                Width::D => {
+                    if !wide && i8::try_from(*imm as i32).is_ok() {
+                        out.push(0x83);
+                        emit_modrm_w(out, digit, dst, wide);
+                        out.push(*imm as u8);
+                    } else {
+                        out.push(0x81);
+                        emit_modrm_w(out, digit, dst, wide);
+                        out.extend_from_slice(&imm.to_le_bytes());
+                    }
+                }
+            }
+        }
+        (_, Src::Reg(r)) => {
+            let base = alu_base(kind);
+            out.push(base + if width == Width::B { 0 } else { 1 });
+            emit_modrm_w(out, *r, dst, wide);
+        }
+        (_, Src::Mem(_)) => {
+            let Rm::Reg(r) = dst else { return Err(EncodeError::Unencodable) };
+            let base = alu_base(kind);
+            let rm = src_to_rm(src).expect("mem src");
+            out.push(base + if width == Width::B { 2 } else { 3 });
+            emit_modrm_w(out, *r, &rm, wide);
+        }
+    }
+    Ok(())
+}
+
+fn alu_base(kind: AluKind) -> u8 {
+    match kind {
+        AluKind::Add => 0x00,
+        AluKind::Or => 0x08,
+        AluKind::Adc => 0x10,
+        AluKind::Sbb => 0x18,
+        AluKind::And => 0x20,
+        AluKind::Sub => 0x28,
+        AluKind::Xor => 0x30,
+        AluKind::Cmp => 0x38,
+        AluKind::Test => unreachable!("test handled separately"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn roundtrip(op: Op) {
+        let bytes = encode(&op).unwrap();
+        let insn = decode(&bytes).unwrap_or_else(|e| panic!("{op:?} -> {bytes:x?}: {e:?}"));
+        assert_eq!(insn.op, op, "bytes {bytes:x?}");
+        assert_eq!(insn.len as usize, bytes.len());
+    }
+
+    #[test]
+    fn roundtrip_core_ops() {
+        use Width::*;
+        let mem = MemRef::base_disp(Reg::Ebp, -8);
+        let sibm = MemRef::full(Some(Reg::Edx), Some((Reg::Eax, 4)), 0x10);
+        for op in [
+            Op::Mov { width: D, dst: Rm::Reg(0), src: Src::Imm(0xb728) },
+            Op::Mov { width: D, dst: Rm::Mem(mem), src: Src::Reg(3) },
+            Op::Mov { width: D, dst: Rm::Reg(3), src: Src::Mem(sibm) },
+            Op::Mov { width: B, dst: Rm::Reg(4), src: Src::Imm(0x7f) },
+            Op::Mov { width: D, dst: Rm::Mem(sibm), src: Src::Imm(0xdead_beef) },
+            Op::Alu { kind: AluKind::Add, width: D, dst: Rm::Reg(1), src: Src::Imm(4) },
+            Op::Alu { kind: AluKind::Cmp, width: D, dst: Rm::Reg(5), src: Src::Imm(0x1000) },
+            Op::Alu { kind: AluKind::Sub, width: D, dst: Rm::Mem(mem), src: Src::Reg(2) },
+            Op::Alu { kind: AluKind::Xor, width: D, dst: Rm::Reg(2), src: Src::Reg(2) },
+            Op::Alu { kind: AluKind::Test, width: D, dst: Rm::Reg(0), src: Src::Reg(0) },
+            Op::Alu { kind: AluKind::Test, width: D, dst: Rm::Reg(6), src: Src::Imm(8) },
+            Op::Alu { kind: AluKind::And, width: D, dst: Rm::Reg(7), src: Src::Mem(mem) },
+            Op::Movzx { dst: Reg::Eax, src: Rm::Mem(MemRef::base_disp(Reg::Edx, 0x1b)) },
+            Op::Movsx { dst: Reg::Ecx, src: Rm::Reg(3) },
+            Op::Lea { dst: Reg::Eax, mem: sibm },
+            Op::Xchg { reg: Reg::Ebx, rm: Rm::Mem(mem) },
+            Op::Shift { kind: ShiftKind::Shl, width: D, dst: Rm::Reg(0), count: ShiftCount::Imm(12) },
+            Op::Shift { kind: ShiftKind::Sar, width: D, dst: Rm::Reg(2), count: ShiftCount::Cl },
+            Op::Shift { kind: ShiftKind::Shr, width: D, dst: Rm::Mem(mem), count: ShiftCount::One },
+            Op::Shrd { dst: Rm::Reg(0), src: Reg::Edx, count: ShiftCount::Imm(12) },
+            Op::Shld { dst: Rm::Reg(1), src: Reg::Ebx, count: ShiftCount::Cl },
+            Op::Bt { kind: BtKind::Bts, dst: Rm::Mem(mem), src: Src::Reg(3) },
+            Op::Bt { kind: BtKind::Btr, dst: Rm::Reg(0), src: Src::Imm(5) },
+            Op::Xadd { width: D, dst: Rm::Mem(mem), src: Reg::Ecx },
+            Op::Cmpxchg { width: D, dst: Rm::Mem(mem), src: Reg::Ebx },
+            Op::Grp3 { kind: Grp3Kind::Div, width: D, rm: Rm::Reg(3) },
+            Op::Grp3 { kind: Grp3Kind::Neg, width: D, rm: Rm::Mem(mem) },
+            Op::Imul2 { dst: Reg::Eax, src: Rm::Reg(2) },
+            Op::Imul3 { dst: Reg::Eax, src: Rm::Reg(2), imm: 100 },
+            Op::Imul3 { dst: Reg::Eax, src: Rm::Reg(2), imm: 0x12345 },
+            Op::IncDec { inc: true, width: D, rm: Rm::Reg(6) },
+            Op::IncDec { inc: false, width: D, rm: Rm::Mem(mem) },
+            Op::Push(Src::Reg(5)),
+            Op::Push(Src::Imm(0x1000)),
+            Op::Push(Src::Imm(1)),
+            Op::Push(Src::Mem(mem)),
+            Op::Pop(Rm::Reg(5)),
+            Op::Pop(Rm::Mem(mem)),
+            Op::Pusha,
+            Op::Popa,
+            Op::Pushf,
+            Op::Popf,
+            Op::JmpInd(Rm::Reg(0)),
+            Op::CallInd(Rm::Mem(mem)),
+            Op::Ret,
+            Op::RetImm(8),
+            Op::Lret,
+            Op::Leave,
+            Op::Int(0x80),
+            Op::Int3,
+            Op::Into,
+            Op::Iret,
+            Op::Bound { reg: Reg::Eax, mem },
+            Op::Setcc { cond: Cond::E, rm: Rm::Reg(0) },
+            Op::Cmov { cond: Cond::Ne, dst: Reg::Eax, src: Rm::Mem(mem) },
+            Op::Ud2,
+            Op::Hlt,
+            Op::Nop,
+            Op::Cwde,
+            Op::Cdq,
+            Op::Bswap(Reg::Edx),
+            Op::Rdtsc,
+            Op::Cpuid,
+            Op::In { width: D, port: PortArg::Dx },
+            Op::Out { width: B, port: PortArg::Imm(0xe9) },
+            Op::Str { kind: StrKind::Movs, width: D, rep: Rep::Rep },
+            Op::Str { kind: StrKind::Stos, width: B, rep: Rep::None },
+            Op::Str { kind: StrKind::Scas, width: B, rep: Rep::Repne },
+            Op::MovToCr { cr: 3, src: Reg::Eax },
+            Op::MovFromCr { cr: 2, dst: Reg::Ebx },
+            Op::Lidt(MemRef::abs(0x1234)),
+            Op::Cli,
+            Op::Sti,
+            Op::Aam(10),
+            Op::Aad(10),
+            Op::Xlat,
+            Op::Cmc,
+            Op::Clc,
+            Op::Stc,
+            Op::Cld,
+            Op::Std,
+            Op::Sahf,
+            Op::Lahf,
+        ] {
+            roundtrip(op);
+        }
+    }
+
+    #[test]
+    fn roundtrip_branches() {
+        roundtrip(Op::Jcc { cond: Cond::E, rel: 0x56 });
+        roundtrip(Op::Jcc { cond: Cond::L, rel: -0x80 });
+        roundtrip(Op::Jcc { cond: Cond::G, rel: 0x1234 });
+        roundtrip(Op::Jmp { rel: -2 });
+        roundtrip(Op::Jmp { rel: 0x4000 });
+        roundtrip(Op::Call { rel: -0x100 });
+    }
+
+    #[test]
+    fn roundtrip_all_modrm_shapes() {
+        let shapes = [
+            MemRef::abs(0x1000),
+            MemRef::base(Reg::Eax),
+            MemRef::base(Reg::Ebp), // needs forced disp8
+            MemRef::base(Reg::Esp), // needs SIB
+            MemRef::base_disp(Reg::Ecx, 4),
+            MemRef::base_disp(Reg::Ecx, -4),
+            MemRef::base_disp(Reg::Esp, 8),
+            MemRef::base_disp(Reg::Edi, 0x1234),
+            MemRef::full(None, Some((Reg::Ecx, 4)), 0x10),
+            MemRef::full(Some(Reg::Ebx), Some((Reg::Esi, 2)), -1),
+            MemRef::full(Some(Reg::Ebp), Some((Reg::Edi, 8)), 0),
+            MemRef::full(Some(Reg::Esp), None, 0),
+        ];
+        for m in shapes {
+            roundtrip(Op::Mov { width: Width::D, dst: Rm::Mem(m), src: Src::Reg(0) });
+            roundtrip(Op::Lea { dst: Reg::Edx, mem: m });
+        }
+    }
+
+    #[test]
+    fn mem_to_mem_is_unencodable() {
+        let m = MemRef::base(Reg::Eax);
+        let op = Op::Alu {
+            kind: AluKind::Add,
+            width: Width::D,
+            dst: Rm::Mem(m),
+            src: Src::Mem(m),
+        };
+        assert_eq!(encode(&op), Err(EncodeError::Unencodable));
+    }
+
+    #[test]
+    fn short_branch_range_check() {
+        assert!(jcc_short(Cond::E, 127).is_ok());
+        assert!(jcc_short(Cond::E, -128).is_ok());
+        assert_eq!(jcc_short(Cond::E, 128), Err(EncodeError::RelOutOfRange));
+        assert_eq!(jmp_short(-129), Err(EncodeError::RelOutOfRange));
+    }
+
+    #[test]
+    fn je_encodes_as_74() {
+        assert_eq!(jcc_short(Cond::E, 0x56).unwrap(), vec![0x74, 0x56]);
+        assert_eq!(jcc_near(Cond::E, 0xed)[..2], [0x0f, 0x84]);
+    }
+}

@@ -1,0 +1,366 @@
+//! The EFLAGS register and arithmetic flag computation.
+
+use core::fmt;
+
+/// The EFLAGS register, stored with IA-32 bit positions.
+///
+/// Bit 1 is architecturally always 1; [`Eflags::new`] sets it and
+/// [`Eflags::from_bits`] forces it, so a round trip through `pushf`/`popf`
+/// in the simulated machine behaves like hardware.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::Eflags;
+/// let mut f = Eflags::new();
+/// f.set_zf(true);
+/// assert!(f.zf());
+/// assert_eq!(f.bits() & 0b10, 0b10); // reserved bit stays set
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Eflags(u32);
+
+impl Eflags {
+    /// Carry flag bit position.
+    pub const CF: u32 = 1 << 0;
+    /// Parity flag bit position.
+    pub const PF: u32 = 1 << 2;
+    /// Auxiliary carry flag bit position.
+    pub const AF: u32 = 1 << 4;
+    /// Zero flag bit position.
+    pub const ZF: u32 = 1 << 6;
+    /// Sign flag bit position.
+    pub const SF: u32 = 1 << 7;
+    /// Trap flag bit position (single-step).
+    pub const TF: u32 = 1 << 8;
+    /// Interrupt-enable flag bit position.
+    pub const IF: u32 = 1 << 9;
+    /// Direction flag bit position (string ops).
+    pub const DF: u32 = 1 << 10;
+    /// Overflow flag bit position.
+    pub const OF: u32 = 1 << 11;
+
+    const RESERVED_ONE: u32 = 1 << 1;
+    /// Bits that `popf` may modify in our model.
+    const WRITABLE: u32 = Self::CF
+        | Self::PF
+        | Self::AF
+        | Self::ZF
+        | Self::SF
+        | Self::TF
+        | Self::IF
+        | Self::DF
+        | Self::OF;
+
+    /// Fresh flags: everything clear except the reserved always-one bit.
+    pub fn new() -> Eflags {
+        Eflags(Self::RESERVED_ONE)
+    }
+
+    /// Reconstructs flags from raw bits (e.g. a value popped by `popf`),
+    /// masking unwritable bits and forcing the reserved bit.
+    pub fn from_bits(bits: u32) -> Eflags {
+        Eflags((bits & Self::WRITABLE) | Self::RESERVED_ONE)
+    }
+
+    /// The raw EFLAGS image (e.g. the value `pushf` stores).
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    fn get(self, mask: u32) -> bool {
+        self.0 & mask != 0
+    }
+
+    fn set(&mut self, mask: u32, v: bool) {
+        if v {
+            self.0 |= mask;
+        } else {
+            self.0 &= !mask;
+        }
+    }
+
+    /// Carry flag.
+    pub fn cf(self) -> bool {
+        self.get(Self::CF)
+    }
+    /// Parity flag (even parity of the low result byte).
+    pub fn pf(self) -> bool {
+        self.get(Self::PF)
+    }
+    /// Auxiliary carry flag.
+    pub fn af(self) -> bool {
+        self.get(Self::AF)
+    }
+    /// Zero flag.
+    pub fn zf(self) -> bool {
+        self.get(Self::ZF)
+    }
+    /// Sign flag.
+    pub fn sf(self) -> bool {
+        self.get(Self::SF)
+    }
+    /// Trap flag.
+    pub fn tf(self) -> bool {
+        self.get(Self::TF)
+    }
+    /// Interrupt-enable flag.
+    pub fn if_(self) -> bool {
+        self.get(Self::IF)
+    }
+    /// Direction flag.
+    pub fn df(self) -> bool {
+        self.get(Self::DF)
+    }
+    /// Overflow flag.
+    pub fn of(self) -> bool {
+        self.get(Self::OF)
+    }
+
+    /// Sets the carry flag.
+    pub fn set_cf(&mut self, v: bool) {
+        self.set(Self::CF, v);
+    }
+    /// Sets the parity flag.
+    pub fn set_pf(&mut self, v: bool) {
+        self.set(Self::PF, v);
+    }
+    /// Sets the auxiliary carry flag.
+    pub fn set_af(&mut self, v: bool) {
+        self.set(Self::AF, v);
+    }
+    /// Sets the zero flag.
+    pub fn set_zf(&mut self, v: bool) {
+        self.set(Self::ZF, v);
+    }
+    /// Sets the sign flag.
+    pub fn set_sf(&mut self, v: bool) {
+        self.set(Self::SF, v);
+    }
+    /// Sets the trap flag.
+    pub fn set_tf(&mut self, v: bool) {
+        self.set(Self::TF, v);
+    }
+    /// Sets the interrupt-enable flag.
+    pub fn set_if(&mut self, v: bool) {
+        self.set(Self::IF, v);
+    }
+    /// Sets the direction flag.
+    pub fn set_df(&mut self, v: bool) {
+        self.set(Self::DF, v);
+    }
+    /// Sets the overflow flag.
+    pub fn set_of(&mut self, v: bool) {
+        self.set(Self::OF, v);
+    }
+
+    /// Updates SF/ZF/PF from `result` (masked to `width_bits`), used by all
+    /// ALU result writers.
+    pub fn set_szp(&mut self, result: u32, width_bits: u32) {
+        let masked = mask_width(result, width_bits);
+        self.set_zf(masked == 0);
+        self.set_sf(masked & sign_bit(width_bits) != 0);
+        self.set_pf((masked as u8).count_ones() % 2 == 0);
+    }
+}
+
+impl Default for Eflags {
+    fn default() -> Eflags {
+        Eflags::new()
+    }
+}
+
+impl fmt::Display for Eflags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names = Vec::new();
+        for (mask, name) in [
+            (Self::CF, "CF"),
+            (Self::PF, "PF"),
+            (Self::AF, "AF"),
+            (Self::ZF, "ZF"),
+            (Self::SF, "SF"),
+            (Self::TF, "TF"),
+            (Self::IF, "IF"),
+            (Self::DF, "DF"),
+            (Self::OF, "OF"),
+        ] {
+            if self.get(mask) {
+                names.push(name);
+            }
+        }
+        if names.is_empty() {
+            write!(f, "[-]")
+        } else {
+            write!(f, "[{}]", names.join(" "))
+        }
+    }
+}
+
+/// Masks `v` to the low `bits` bits (8 or 32 in this ISA).
+pub fn mask_width(v: u32, bits: u32) -> u32 {
+    if bits >= 32 {
+        v
+    } else {
+        v & ((1u32 << bits) - 1)
+    }
+}
+
+/// The sign bit mask for a `bits`-wide value.
+pub fn sign_bit(bits: u32) -> u32 {
+    1u32 << (bits - 1)
+}
+
+/// Result of an ALU operation: the value plus the full flag image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AluResult {
+    /// The (width-masked) result value.
+    pub value: u32,
+    /// Flags after the operation.
+    pub flags: Eflags,
+}
+
+/// Computes `a + b (+ carry_in)` with IA-32 flag semantics at `bits` width.
+pub fn alu_add(a: u32, b: u32, carry_in: bool, bits: u32, mut flags: Eflags) -> AluResult {
+    let a = mask_width(a, bits);
+    let b = mask_width(b, bits);
+    let c = carry_in as u32;
+    let wide = a as u64 + b as u64 + c as u64;
+    let value = mask_width(wide as u32, bits);
+    flags.set_cf(wide > mask_width(u32::MAX, bits) as u64);
+    let sa = a & sign_bit(bits) != 0;
+    let sb = b & sign_bit(bits) != 0;
+    let sr = value & sign_bit(bits) != 0;
+    flags.set_of(sa == sb && sr != sa);
+    flags.set_af(((a & 0xf) + (b & 0xf) + c) > 0xf);
+    flags.set_szp(value, bits);
+    AluResult { value, flags }
+}
+
+/// Computes `a - b (- borrow_in)` with IA-32 flag semantics at `bits` width.
+pub fn alu_sub(a: u32, b: u32, borrow_in: bool, bits: u32, mut flags: Eflags) -> AluResult {
+    let a = mask_width(a, bits);
+    let b = mask_width(b, bits);
+    let c = borrow_in as u32;
+    let value = mask_width(a.wrapping_sub(b).wrapping_sub(c), bits);
+    flags.set_cf((b as u64 + c as u64) > a as u64);
+    let sa = a & sign_bit(bits) != 0;
+    let sb = b & sign_bit(bits) != 0;
+    let sr = value & sign_bit(bits) != 0;
+    flags.set_of(sa != sb && sr != sa);
+    flags.set_af((b & 0xf) + c > (a & 0xf));
+    flags.set_szp(value, bits);
+    AluResult { value, flags }
+}
+
+/// Computes a bitwise op result's flags (AND/OR/XOR/TEST): clears CF/OF,
+/// sets SF/ZF/PF.
+pub fn alu_logic(value: u32, bits: u32, mut flags: Eflags) -> AluResult {
+    let value = mask_width(value, bits);
+    flags.set_cf(false);
+    flags.set_of(false);
+    flags.set_af(false);
+    flags.set_szp(value, bits);
+    AluResult { value, flags }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_bit_is_sticky() {
+        let f = Eflags::from_bits(0);
+        assert_eq!(f.bits() & 0b10, 0b10);
+        let f = Eflags::from_bits(u32::MAX);
+        assert_eq!(f.bits() & 0b10, 0b10);
+        // IOPL and other unmodeled bits must be masked away.
+        assert_eq!(f.bits() & !(Eflags::WRITABLE | Eflags::RESERVED_ONE), 0);
+    }
+
+    #[test]
+    fn add_carry_and_overflow() {
+        let f = Eflags::new();
+        let r = alu_add(0xffff_ffff, 1, false, 32, f);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf());
+        assert!(r.flags.zf());
+        assert!(!r.flags.of());
+
+        let r = alu_add(0x7fff_ffff, 1, false, 32, f);
+        assert_eq!(r.value, 0x8000_0000);
+        assert!(!r.flags.cf());
+        assert!(r.flags.of());
+        assert!(r.flags.sf());
+    }
+
+    #[test]
+    fn add_byte_width() {
+        let f = Eflags::new();
+        let r = alu_add(0xff, 1, false, 8, f);
+        assert_eq!(r.value, 0);
+        assert!(r.flags.cf());
+        assert!(r.flags.zf());
+        let r = alu_add(0x7f, 1, false, 8, f);
+        assert!(r.flags.of());
+        assert!(r.flags.sf());
+    }
+
+    #[test]
+    fn sub_borrow_and_overflow() {
+        let f = Eflags::new();
+        let r = alu_sub(0, 1, false, 32, f);
+        assert_eq!(r.value, 0xffff_ffff);
+        assert!(r.flags.cf());
+        assert!(r.flags.sf());
+        let r = alu_sub(0x8000_0000, 1, false, 32, f);
+        assert!(r.flags.of());
+        assert!(!r.flags.sf());
+    }
+
+    #[test]
+    fn cmp_equal_sets_zf() {
+        let f = Eflags::new();
+        let r = alu_sub(42, 42, false, 32, f);
+        assert!(r.flags.zf());
+        assert!(!r.flags.cf());
+    }
+
+    #[test]
+    fn logic_clears_cf_of() {
+        let mut f = Eflags::new();
+        f.set_cf(true);
+        f.set_of(true);
+        let r = alu_logic(0, 32, f);
+        assert!(!r.flags.cf());
+        assert!(!r.flags.of());
+        assert!(r.flags.zf());
+    }
+
+    #[test]
+    fn parity_of_low_byte_only() {
+        let f = Eflags::new();
+        // 0x0300: low byte 0x00 has even parity (zero set bits).
+        let r = alu_logic(0x0300, 32, f);
+        assert!(r.flags.pf());
+        // 0x0001: one set bit => odd parity => PF clear.
+        let r = alu_logic(0x0001, 32, f);
+        assert!(!r.flags.pf());
+    }
+
+    #[test]
+    fn adc_chains_carry() {
+        let f = Eflags::new();
+        let r1 = alu_add(0xffff_ffff, 0, true, 32, f);
+        assert_eq!(r1.value, 0);
+        assert!(r1.flags.cf());
+    }
+
+    #[test]
+    fn display_lists_set_flags() {
+        let mut f = Eflags::new();
+        assert_eq!(f.to_string(), "[-]");
+        f.set_zf(true);
+        f.set_cf(true);
+        assert_eq!(f.to_string(), "[CF ZF]");
+    }
+}

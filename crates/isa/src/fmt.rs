@@ -1,0 +1,233 @@
+//! AT&T-syntax instruction formatting (for disassembly, oops messages and
+//! crash-dump listings).
+
+use crate::insn::*;
+use crate::reg::Reg;
+
+fn reg_name(width: Width, bits: u8) -> &'static str {
+    let r = Reg::from_index(bits & 7).expect("3-bit");
+    match width {
+        Width::B => r.name8(),
+        Width::D => r.name(),
+    }
+}
+
+fn fmt_mem(m: &MemRef) -> String {
+    let mut s = String::new();
+    if m.disp != 0 || (m.base.is_none() && m.index.is_none()) {
+        if m.disp < 0 {
+            s.push_str(&format!("-{:#x}", -(m.disp as i64)));
+        } else {
+            s.push_str(&format!("{:#x}", m.disp));
+        }
+    }
+    if m.base.is_some() || m.index.is_some() {
+        s.push('(');
+        if let Some(b) = m.base {
+            s.push('%');
+            s.push_str(b.name());
+        }
+        if let Some((idx, scale)) = m.index {
+            s.push_str(&format!(",%{},{}", idx.name(), scale));
+        }
+        s.push(')');
+    }
+    s
+}
+
+fn fmt_rm(width: Width, rm: &Rm) -> String {
+    match rm {
+        Rm::Reg(r) => format!("%{}", reg_name(width, *r)),
+        Rm::Mem(m) => fmt_mem(m),
+    }
+}
+
+fn fmt_src(width: Width, src: &Src) -> String {
+    match src {
+        Src::Reg(r) => format!("%{}", reg_name(width, *r)),
+        Src::Imm(i) => format!("${:#x}", i),
+        Src::Mem(m) => fmt_mem(m),
+    }
+}
+
+fn suffix(width: Width) -> &'static str {
+    match width {
+        Width::B => "b",
+        Width::D => "l",
+    }
+}
+
+/// Formats a decoded instruction in AT&T syntax.
+///
+/// `addr` is the instruction's own address; relative branch targets are
+/// printed as absolute addresses, matching the paper's listings
+/// (e.g. `je 0xc01144f4`).
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::{decode, format_insn};
+/// let insn = decode(&[0x0f, 0xb6, 0x42, 0x1b]).unwrap();
+/// assert_eq!(format_insn(&insn, 0xc0100000), "movzbl 0x1b(%edx),%eax");
+/// ```
+pub fn format_insn(insn: &Insn, addr: u32) -> String {
+    let target = |rel: i32| addr.wrapping_add(insn.len as u32).wrapping_add(rel as u32);
+    match &insn.op {
+        Op::Alu { kind, width, dst, src } => {
+            format!("{}{} {},{}", kind.mnemonic(), suffix(*width), fmt_src(*width, src), fmt_rm(*width, dst))
+        }
+        Op::Mov { width, dst, src } => {
+            format!("mov{} {},{}", suffix(*width), fmt_src(*width, src), fmt_rm(*width, dst))
+        }
+        Op::Movzx { dst, src } => format!("movzbl {},%{}", fmt_rm(Width::B, src), dst.name()),
+        Op::Movsx { dst, src } => format!("movsbl {},%{}", fmt_rm(Width::B, src), dst.name()),
+        Op::Lea { dst, mem } => format!("lea {},%{}", fmt_mem(mem), dst.name()),
+        Op::Xchg { reg, rm } => format!("xchg %{},{}", reg.name(), fmt_rm(Width::D, rm)),
+        Op::Shift { kind, width, dst, count } => {
+            let c = match count {
+                ShiftCount::One => "$1".to_string(),
+                ShiftCount::Imm(n) => format!("${:#x}", n),
+                ShiftCount::Cl => "%cl".to_string(),
+            };
+            format!("{}{} {},{}", kind.mnemonic(), suffix(*width), c, fmt_rm(*width, dst))
+        }
+        Op::Shld { dst, src, count } => fmt_dshift("shld", dst, *src, count),
+        Op::Shrd { dst, src, count } => fmt_dshift("shrd", dst, *src, count),
+        Op::Bt { kind, dst, src } => {
+            format!("{} {},{}", kind.mnemonic(), fmt_src(Width::D, src), fmt_rm(Width::D, dst))
+        }
+        Op::Xadd { width, dst, src } => {
+            format!("xadd{} %{},{}", suffix(*width), reg_name(*width, src.index()), fmt_rm(*width, dst))
+        }
+        Op::Cmpxchg { width, dst, src } => {
+            format!("cmpxchg{} %{},{}", suffix(*width), reg_name(*width, src.index()), fmt_rm(*width, dst))
+        }
+        Op::Grp3 { kind, width, rm } => {
+            format!("{}{} {}", kind.mnemonic(), suffix(*width), fmt_rm(*width, rm))
+        }
+        Op::Imul2 { dst, src } => format!("imul {},%{}", fmt_rm(Width::D, src), dst.name()),
+        Op::Imul3 { dst, src, imm } => {
+            format!("imul ${:#x},{},%{}", imm, fmt_rm(Width::D, src), dst.name())
+        }
+        Op::IncDec { inc, width, rm } => {
+            format!("{}{} {}", if *inc { "inc" } else { "dec" }, suffix(*width), fmt_rm(*width, rm))
+        }
+        Op::Push(src) => format!("push {}", fmt_src(Width::D, src)),
+        Op::Pop(rm) => format!("pop {}", fmt_rm(Width::D, rm)),
+        Op::Pusha => "pusha".into(),
+        Op::Popa => "popa".into(),
+        Op::Pushf => "pushf".into(),
+        Op::Popf => "popf".into(),
+        Op::Jcc { cond, rel } => format!("j{} {:#x}", cond.suffix(), target(*rel)),
+        Op::Jmp { rel } => format!("jmp {:#x}", target(*rel)),
+        Op::JmpInd(rm) => format!("jmp *{}", fmt_rm(Width::D, rm)),
+        Op::Call { rel } => format!("call {:#x}", target(*rel)),
+        Op::CallInd(rm) => format!("call *{}", fmt_rm(Width::D, rm)),
+        Op::Ret => "ret".into(),
+        Op::RetImm(n) => format!("ret ${:#x}", n),
+        Op::Lret => "lret".into(),
+        Op::Leave => "leave".into(),
+        Op::Int(n) => format!("int ${:#x}", n),
+        Op::Int3 => "int3".into(),
+        Op::Into => "into".into(),
+        Op::Iret => "iret".into(),
+        Op::Bound { reg, mem } => format!("bound {},%{}", fmt_mem(mem), reg.name()),
+        Op::Setcc { cond, rm } => format!("set{} {}", cond.suffix(), fmt_rm(Width::B, rm)),
+        Op::Cmov { cond, dst, src } => {
+            format!("cmov{} {},%{}", cond.suffix(), fmt_rm(Width::D, src), dst.name())
+        }
+        Op::Ud2 => "ud2a".into(),
+        Op::Hlt => "hlt".into(),
+        Op::Nop => "nop".into(),
+        Op::Cwde => "cwde".into(),
+        Op::Cdq => "cdq".into(),
+        Op::Bswap(r) => format!("bswap %{}", r.name()),
+        Op::Rdtsc => "rdtsc".into(),
+        Op::Cpuid => "cpuid".into(),
+        Op::In { width, port } => match port {
+            PortArg::Imm(p) => format!("in{} ${:#x},%{}", suffix(*width), p, reg_name(*width, 0)),
+            PortArg::Dx => format!("in{} (%dx),%{}", suffix(*width), reg_name(*width, 0)),
+        },
+        Op::Out { width, port } => match port {
+            PortArg::Imm(p) => format!("out{} %{},${:#x}", suffix(*width), reg_name(*width, 0), p),
+            PortArg::Dx => format!("out{} %{},(%dx)", suffix(*width), reg_name(*width, 0)),
+        },
+        Op::Str { kind, width, rep } => {
+            let prefix = match rep {
+                Rep::None => "",
+                Rep::Rep => "rep ",
+                Rep::Repne => "repne ",
+            };
+            format!("{}{}{}", prefix, kind.mnemonic(), suffix(*width))
+        }
+        Op::MovToCr { cr, src } => format!("mov %{},%cr{}", src.name(), cr),
+        Op::MovFromCr { cr, dst } => format!("mov %cr{},%{}", cr, dst.name()),
+        Op::Lidt(mem) => format!("lidt {}", fmt_mem(mem)),
+        Op::Cli => "cli".into(),
+        Op::Sti => "sti".into(),
+        Op::Aam(n) => format!("aam ${:#x}", n),
+        Op::Aad(n) => format!("aad ${:#x}", n),
+        Op::Xlat => "xlat".into(),
+        Op::Cmc => "cmc".into(),
+        Op::Clc => "clc".into(),
+        Op::Stc => "stc".into(),
+        Op::Cld => "cld".into(),
+        Op::Std => "std".into(),
+        Op::Sahf => "sahf".into(),
+        Op::Lahf => "lahf".into(),
+    }
+}
+
+fn fmt_dshift(mn: &str, dst: &Rm, src: Reg, count: &ShiftCount) -> String {
+    let c = match count {
+        ShiftCount::One => "$1".to_string(),
+        ShiftCount::Imm(n) => format!("${:#x}", n),
+        ShiftCount::Cl => "%cl".to_string(),
+    };
+    format!("{} {},%{},{}", mn, c, src.name(), fmt_rm(Width::D, dst))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::decode;
+
+    fn disp(bytes: &[u8], addr: u32) -> String {
+        format_insn(&decode(bytes).unwrap(), addr)
+    }
+
+    #[test]
+    fn paper_listing_style() {
+        // These match the disassembly style used in the paper's tables.
+        assert_eq!(disp(&[0x74, 0x56], 0xc011449c), "je 0xc01144f4");
+        assert_eq!(disp(&[0x31, 0xd2], 0), "xorl %edx,%edx");
+        assert_eq!(disp(&[0x0f, 0xb6, 0x42, 0x1b], 0), "movzbl 0x1b(%edx),%eax");
+        assert_eq!(disp(&[0x8d, 0x04, 0x82], 0), "lea (%edx,%eax,4),%eax");
+        assert_eq!(disp(&[0x89, 0x45, 0xc0], 0), "movl %eax,-0x40(%ebp)");
+        assert_eq!(disp(&[0x5d], 0), "pop %ebp");
+        assert_eq!(disp(&[0xcb], 0), "lret");
+        assert_eq!(disp(&[0x0f, 0x0b], 0), "ud2a");
+        assert_eq!(disp(&[0x0c, 0x39], 0), "orb $0x39,%al");
+    }
+
+    #[test]
+    fn negative_displacement() {
+        assert_eq!(disp(&[0x8b, 0x45, 0xfc], 0), "movl -0x4(%ebp),%eax");
+    }
+
+    #[test]
+    fn branch_target_arithmetic() {
+        // jmp -2 at address 0x100 is a self-loop: target = 0x100 + 2 - 2.
+        assert_eq!(disp(&[0xeb, 0xfe], 0x100), "jmp 0x100");
+    }
+
+    #[test]
+    fn absolute_memory() {
+        assert_eq!(disp(&[0xa1, 0x44, 0x33, 0x22, 0x11], 0), "movl 0x11223344,%eax");
+    }
+
+    #[test]
+    fn rep_string() {
+        assert_eq!(disp(&[0xf3, 0xa5], 0), "rep movsl");
+    }
+}

@@ -1,0 +1,672 @@
+//! The decoded instruction model.
+
+use crate::cond::Cond;
+use crate::reg::Reg;
+
+/// Operand width: this ISA subset models byte and dword operations
+/// (16-bit operand-size-prefixed forms decode as invalid opcodes; the
+/// deviation is documented in DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit operand.
+    B,
+    /// 32-bit operand.
+    D,
+}
+
+impl Width {
+    /// Operand width in bits (8 or 32).
+    pub fn bits(self) -> u32 {
+        match self {
+            Width::B => 8,
+            Width::D => 32,
+        }
+    }
+
+    /// Operand width in bytes (1 or 4).
+    pub fn bytes(self) -> u32 {
+        self.bits() / 8
+    }
+}
+
+/// A memory operand: `disp(base, index, scale)` in AT&T syntax.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MemRef {
+    /// Base register, if any.
+    pub base: Option<Reg>,
+    /// Index register and scale (1, 2, 4 or 8), if any. ESP can never be
+    /// an index (hardware reserves index=100 to mean "none").
+    pub index: Option<(Reg, u8)>,
+    /// Signed displacement added to the effective address.
+    pub disp: i32,
+}
+
+impl MemRef {
+    /// Absolute address operand: `disp` with no registers.
+    pub fn abs(disp: u32) -> MemRef {
+        MemRef { base: None, index: None, disp: disp as i32 }
+    }
+
+    /// `(base)` operand.
+    pub fn base(base: Reg) -> MemRef {
+        MemRef { base: Some(base), index: None, disp: 0 }
+    }
+
+    /// `disp(base)` operand.
+    pub fn base_disp(base: Reg, disp: i32) -> MemRef {
+        MemRef { base: Some(base), index: None, disp }
+    }
+
+    /// `disp(base, index, scale)` operand.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not 1, 2, 4 or 8, or if `index` is ESP
+    /// (unencodable on IA-32).
+    pub fn full(base: Option<Reg>, index: Option<(Reg, u8)>, disp: i32) -> MemRef {
+        if let Some((r, s)) = index {
+            assert!(matches!(s, 1 | 2 | 4 | 8), "invalid SIB scale {s}");
+            assert!(r != Reg::Esp, "ESP cannot be an index register");
+        }
+        MemRef { base, index, disp }
+    }
+}
+
+/// A register-or-memory operand (the ModRM `r/m` field).
+///
+/// Register operands carry the raw 3-bit hardware number because its
+/// meaning depends on the operand width (number 4 is ESP for dword ops
+/// but AH for byte ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rm {
+    /// A register, by hardware number 0..=7.
+    Reg(u8),
+    /// A memory operand.
+    Mem(MemRef),
+}
+
+impl Rm {
+    /// Convenience constructor from a 32-bit register name.
+    pub fn reg(r: Reg) -> Rm {
+        Rm::Reg(r.index())
+    }
+
+    /// True when the operand is in memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Rm::Mem(_))
+    }
+}
+
+/// A source operand: register, immediate or memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Src {
+    /// A register, by hardware number 0..=7.
+    Reg(u8),
+    /// An immediate (already sign- or zero-extended to 32 bits by the
+    /// decoder as the encoding dictates).
+    Imm(u32),
+    /// A memory operand.
+    Mem(MemRef),
+}
+
+impl Src {
+    /// Convenience constructor from a 32-bit register name.
+    pub fn reg(r: Reg) -> Src {
+        Src::Reg(r.index())
+    }
+}
+
+/// Two-operand ALU operation selectors (the "group 1" ops plus TEST).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluKind {
+    /// Integer add.
+    Add,
+    /// Bitwise or.
+    Or,
+    /// Add with carry.
+    Adc,
+    /// Subtract with borrow.
+    Sbb,
+    /// Bitwise and.
+    And,
+    /// Integer subtract.
+    Sub,
+    /// Bitwise exclusive or.
+    Xor,
+    /// Compare (subtract, discard result).
+    Cmp,
+    /// Logical compare (and, discard result).
+    Test,
+}
+
+impl AluKind {
+    /// The group-1 `/digit` for this op (`Test` is not in group 1).
+    pub fn group1_digit(self) -> Option<u8> {
+        match self {
+            AluKind::Add => Some(0),
+            AluKind::Or => Some(1),
+            AluKind::Adc => Some(2),
+            AluKind::Sbb => Some(3),
+            AluKind::And => Some(4),
+            AluKind::Sub => Some(5),
+            AluKind::Xor => Some(6),
+            AluKind::Cmp => Some(7),
+            AluKind::Test => None,
+        }
+    }
+
+    /// True when the op discards its result (CMP/TEST write flags only).
+    pub fn discards_result(self) -> bool {
+        matches!(self, AluKind::Cmp | AluKind::Test)
+    }
+
+    /// AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluKind::Add => "add",
+            AluKind::Or => "or",
+            AluKind::Adc => "adc",
+            AluKind::Sbb => "sbb",
+            AluKind::And => "and",
+            AluKind::Sub => "sub",
+            AluKind::Xor => "xor",
+            AluKind::Cmp => "cmp",
+            AluKind::Test => "test",
+        }
+    }
+}
+
+/// Shift/rotate operation selectors (ModRM group 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftKind {
+    /// Rotate left.
+    Rol,
+    /// Rotate right.
+    Ror,
+    /// Rotate left through carry.
+    Rcl,
+    /// Rotate right through carry.
+    Rcr,
+    /// Shift left (SAL and SHL are the same operation).
+    Shl,
+    /// Logical shift right.
+    Shr,
+    /// Arithmetic shift right.
+    Sar,
+}
+
+impl ShiftKind {
+    /// The group-2 `/digit` (`/6` aliases SHL on hardware; the decoder maps
+    /// it to [`ShiftKind::Shl`]).
+    pub fn digit(self) -> u8 {
+        match self {
+            ShiftKind::Rol => 0,
+            ShiftKind::Ror => 1,
+            ShiftKind::Rcl => 2,
+            ShiftKind::Rcr => 3,
+            ShiftKind::Shl => 4,
+            ShiftKind::Shr => 5,
+            ShiftKind::Sar => 7,
+        }
+    }
+
+    /// Decodes a group-2 digit; `/6` is the undocumented SHL alias.
+    pub fn from_digit(d: u8) -> ShiftKind {
+        match d & 7 {
+            0 => ShiftKind::Rol,
+            1 => ShiftKind::Ror,
+            2 => ShiftKind::Rcl,
+            3 => ShiftKind::Rcr,
+            4 | 6 => ShiftKind::Shl,
+            5 => ShiftKind::Shr,
+            _ => ShiftKind::Sar,
+        }
+    }
+
+    /// AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ShiftKind::Rol => "rol",
+            ShiftKind::Ror => "ror",
+            ShiftKind::Rcl => "rcl",
+            ShiftKind::Rcr => "rcr",
+            ShiftKind::Shl => "shl",
+            ShiftKind::Shr => "shr",
+            ShiftKind::Sar => "sar",
+        }
+    }
+}
+
+/// Shift count source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftCount {
+    /// A constant 1 (the `D1` encoding).
+    One,
+    /// An immediate (the `C1` encoding).
+    Imm(u8),
+    /// The CL register (the `D3` encoding).
+    Cl,
+}
+
+/// One-operand arithmetic selectors (ModRM group 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Grp3Kind {
+    /// Bitwise not.
+    Not,
+    /// Two's-complement negate.
+    Neg,
+    /// Unsigned multiply into EDX:EAX.
+    Mul,
+    /// Signed multiply into EDX:EAX.
+    Imul,
+    /// Unsigned divide of EDX:EAX (raises #DE on zero divisor/overflow).
+    Div,
+    /// Signed divide of EDX:EAX (raises #DE on zero divisor/overflow).
+    Idiv,
+}
+
+impl Grp3Kind {
+    /// AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            Grp3Kind::Not => "not",
+            Grp3Kind::Neg => "neg",
+            Grp3Kind::Mul => "mul",
+            Grp3Kind::Imul => "imul",
+            Grp3Kind::Div => "div",
+            Grp3Kind::Idiv => "idiv",
+        }
+    }
+}
+
+/// Bit-test operation selectors (`bt`/`bts`/`btr`/`btc`).
+///
+/// The Linux kernel's `test_bit`/`set_bit`/`clear_bit` primitives compile
+/// to these, so the guest kernel uses them heavily.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BtKind {
+    /// Test a bit into CF.
+    Bt,
+    /// Test and set.
+    Bts,
+    /// Test and reset.
+    Btr,
+    /// Test and complement.
+    Btc,
+}
+
+impl BtKind {
+    /// AT&T mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BtKind::Bt => "bt",
+            BtKind::Bts => "bts",
+            BtKind::Btr => "btr",
+            BtKind::Btc => "btc",
+        }
+    }
+}
+
+/// String-operation selectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrKind {
+    /// `movs`: copy DS:ESI → ES:EDI.
+    Movs,
+    /// `cmps`: compare DS:ESI with ES:EDI.
+    Cmps,
+    /// `stos`: store AL/EAX at ES:EDI.
+    Stos,
+    /// `lods`: load AL/EAX from DS:ESI.
+    Lods,
+    /// `scas`: compare AL/EAX with ES:EDI.
+    Scas,
+}
+
+impl StrKind {
+    /// AT&T mnemonic stem.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            StrKind::Movs => "movs",
+            StrKind::Cmps => "cmps",
+            StrKind::Stos => "stos",
+            StrKind::Lods => "lods",
+            StrKind::Scas => "scas",
+        }
+    }
+}
+
+/// REP prefix state for string operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rep {
+    /// No repeat prefix.
+    None,
+    /// `rep`/`repe` (F3).
+    Rep,
+    /// `repne` (F2).
+    Repne,
+}
+
+/// Port operand for `in`/`out`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortArg {
+    /// Immediate port number (the `E4`-`E7` encodings).
+    Imm(u8),
+    /// Port number in DX (the `EC`-`EF` encodings).
+    Dx,
+}
+
+/// A decoded operation.
+///
+/// Variants mirror the IA-32 subset the simulator executes. The decoder
+/// normalizes encoding direction (e.g. `01 /r` and `03 /r` both become
+/// [`Op::Alu`] with appropriate `dst`/`src`), so the executor sees a single
+/// canonical form per operation.
+#[allow(missing_docs)] // variant field names are self-describing
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// Two-operand ALU op (`add`, `sub`, `cmp`, `test`, ...).
+    Alu { kind: AluKind, width: Width, dst: Rm, src: Src },
+    /// Move.
+    Mov { width: Width, dst: Rm, src: Src },
+    /// Move with zero extension (`movzbl`).
+    Movzx { dst: Reg, src: Rm },
+    /// Move with sign extension (`movsbl`).
+    Movsx { dst: Reg, src: Rm },
+    /// Load effective address.
+    Lea { dst: Reg, mem: MemRef },
+    /// Exchange register with r/m.
+    Xchg { reg: Reg, rm: Rm },
+    /// Shift or rotate.
+    Shift { kind: ShiftKind, width: Width, dst: Rm, count: ShiftCount },
+    /// Double-precision shift left (`shld $imm, %reg, r/m`).
+    Shld { dst: Rm, src: Reg, count: ShiftCount },
+    /// Double-precision shift right (`shrd $imm, %reg, r/m`).
+    Shrd { dst: Rm, src: Reg, count: ShiftCount },
+    /// Bit test / set / reset / complement.
+    Bt { kind: BtKind, dst: Rm, src: Src },
+    /// Exchange-and-add (`0F C0/C1`).
+    Xadd { width: Width, dst: Rm, src: Reg },
+    /// Compare-and-exchange against EAX (`0F B0/B1`).
+    Cmpxchg { width: Width, dst: Rm, src: Reg },
+    /// Group-3 unary arithmetic (`not`, `neg`, `mul`, `div`, ...).
+    Grp3 { kind: Grp3Kind, width: Width, rm: Rm },
+    /// Two-operand signed multiply (`0F AF`).
+    Imul2 { dst: Reg, src: Rm },
+    /// Three-operand signed multiply (`69`/`6B`).
+    Imul3 { dst: Reg, src: Rm, imm: i32 },
+    /// Increment or decrement.
+    IncDec { inc: bool, width: Width, rm: Rm },
+    /// Push a value.
+    Push(Src),
+    /// Pop into r/m.
+    Pop(Rm),
+    /// Push all GPRs.
+    Pusha,
+    /// Pop all GPRs.
+    Popa,
+    /// Push EFLAGS.
+    Pushf,
+    /// Pop EFLAGS.
+    Popf,
+    /// Conditional jump; `rel` is relative to the *next* instruction.
+    Jcc { cond: Cond, rel: i32 },
+    /// Unconditional relative jump.
+    Jmp { rel: i32 },
+    /// Indirect jump through r/m.
+    JmpInd(Rm),
+    /// Relative call.
+    Call { rel: i32 },
+    /// Indirect call through r/m.
+    CallInd(Rm),
+    /// Near return.
+    Ret,
+    /// Near return popping `imm` extra bytes.
+    RetImm(u16),
+    /// Far return: pops EIP and a CS selector. Bit-flip-generated `lret`
+    /// with a garbage stack raises #GP, as in the paper's Table 7 ex. 3.
+    Lret,
+    /// `leave` (mov %ebp,%esp; pop %ebp).
+    Leave,
+    /// Software interrupt `int $n`.
+    Int(u8),
+    /// Breakpoint (`CC`).
+    Int3,
+    /// `into`: #OF trap if OF is set.
+    Into,
+    /// Interrupt return.
+    Iret,
+    /// `bound`: #BR trap if register outside [mem, mem+4] bounds pair.
+    Bound { reg: Reg, mem: MemRef },
+    /// Set byte on condition.
+    Setcc { cond: Cond, rm: Rm },
+    /// Conditional move (`0F 4x`).
+    Cmov { cond: Cond, dst: Reg, src: Rm },
+    /// Undefined instruction (`0F 0B`): always raises #UD. The Linux
+    /// `BUG()` macro compiles to this.
+    Ud2,
+    /// Halt until interrupt (privileged).
+    Hlt,
+    /// No operation.
+    Nop,
+    /// Sign-extend AL into AX / AX into EAX (we model EAX←sext(AX)).
+    Cwde,
+    /// Sign-extend EAX into EDX:EAX.
+    Cdq,
+    /// Byte-swap a register.
+    Bswap(Reg),
+    /// Read time-stamp counter into EDX:EAX.
+    Rdtsc,
+    /// CPUID (modeled as clobbering EAX..EDX with fixed values).
+    Cpuid,
+    /// Port input (privileged in this model).
+    In { width: Width, port: PortArg },
+    /// Port output (privileged in this model).
+    Out { width: Width, port: PortArg },
+    /// String operation, optionally repeated.
+    Str { kind: StrKind, width: Width, rep: Rep },
+    /// Move a GPR into a control register (privileged).
+    MovToCr { cr: u8, src: Reg },
+    /// Move a control register into a GPR (privileged).
+    MovFromCr { cr: u8, dst: Reg },
+    /// Load IDT base from a memory operand (privileged; simplified: the
+    /// dword at the operand is the IDT linear base).
+    Lidt(MemRef),
+    /// Clear the interrupt flag (privileged).
+    Cli,
+    /// Set the interrupt flag (privileged).
+    Sti,
+    /// ASCII-adjust after multiply: `aam $imm`; raises #DE when imm is 0.
+    Aam(u8),
+    /// ASCII-adjust before division: `aad $imm`.
+    Aad(u8),
+    /// `xlat`: AL ← [EBX + AL].
+    Xlat,
+    /// Complement carry flag.
+    Cmc,
+    /// Clear carry flag.
+    Clc,
+    /// Set carry flag.
+    Stc,
+    /// Clear direction flag.
+    Cld,
+    /// Set direction flag.
+    Std,
+    /// `sahf`: load SF/ZF/AF/PF/CF from AH.
+    Sahf,
+    /// `lahf`: store flags into AH.
+    Lahf,
+}
+
+/// Broad control-flow classification used by the injector to pick
+/// campaign targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InsnClass {
+    /// Conditional branch (`Jcc`) — campaign B/C targets.
+    CondBranch,
+    /// Unconditional jump (direct or indirect).
+    Jump,
+    /// Call (direct or indirect).
+    Call,
+    /// Return (`ret`, `lret`, `iret`).
+    Ret,
+    /// Anything else — campaign A targets.
+    Other,
+}
+
+/// A decoded instruction: the operation plus its encoded length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Insn {
+    /// The operation.
+    pub op: Op,
+    /// Total encoded length in bytes, including prefixes.
+    pub len: u8,
+}
+
+impl Insn {
+    /// Classifies the instruction for campaign targeting.
+    pub fn class(&self) -> InsnClass {
+        match self.op {
+            Op::Jcc { .. } => InsnClass::CondBranch,
+            Op::Jmp { .. } | Op::JmpInd(_) => InsnClass::Jump,
+            Op::Call { .. } | Op::CallInd(_) => InsnClass::Call,
+            Op::Ret | Op::RetImm(_) | Op::Lret | Op::Iret => InsnClass::Ret,
+            _ => InsnClass::Other,
+        }
+    }
+
+    /// True for conditional branches (campaign B/C targets).
+    pub fn is_cond_branch(&self) -> bool {
+        self.class() == InsnClass::CondBranch
+    }
+
+    /// True for any control-transfer instruction.
+    pub fn is_control_flow(&self) -> bool {
+        !matches!(self.class(), InsnClass::Other)
+    }
+}
+
+/// Locates the single bit that reverses the condition of an encoded
+/// conditional branch — the error model of the paper's campaign C
+/// ("valid but incorrect branch").
+///
+/// Returns `(byte_index, bit_mask)` within the instruction's encoding, or
+/// `None` if the bytes do not start with a conditional branch. Works for
+/// both the short (`70+cc rel8`) and near (`0F 80+cc rel32`) forms, with
+/// any number of ignored prefixes before the opcode.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::cond_reversal_bit;
+/// // `74 56` = je +0x56; flipping bit 0 of byte 0 yields `75 56` = jne.
+/// assert_eq!(cond_reversal_bit(&[0x74, 0x56]), Some((0, 0x01)));
+/// // `0F 84 ...` = je rel32; the condition lives in byte 1.
+/// assert_eq!(cond_reversal_bit(&[0x0f, 0x84, 0, 0, 0, 0]), Some((1, 0x01)));
+/// assert_eq!(cond_reversal_bit(&[0x90]), None);
+/// ```
+pub fn cond_reversal_bit(bytes: &[u8]) -> Option<(usize, u8)> {
+    let mut i = 0;
+    // Skip the prefixes the decoder ignores (segment overrides, LOCK).
+    while i < bytes.len() && matches!(bytes[i], 0x26 | 0x2e | 0x36 | 0x3e | 0x64 | 0x65 | 0xf0) {
+        i += 1;
+        if i > 4 {
+            return None;
+        }
+    }
+    match bytes.get(i)? {
+        b @ 0x70..=0x7f => {
+            let _ = b;
+            Some((i, 0x01))
+        }
+        0x0f => match bytes.get(i + 1)? {
+            0x80..=0x8f => Some((i + 1, 0x01)),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_of_branches() {
+        let jcc = Insn { op: Op::Jcc { cond: Cond::E, rel: 4 }, len: 2 };
+        assert!(jcc.is_cond_branch());
+        assert!(jcc.is_control_flow());
+        let mov = Insn {
+            op: Op::Mov { width: Width::D, dst: Rm::reg(Reg::Eax), src: Src::Imm(1) },
+            len: 5,
+        };
+        assert!(!mov.is_cond_branch());
+        assert!(!mov.is_control_flow());
+        let ret = Insn { op: Op::Ret, len: 1 };
+        assert_eq!(ret.class(), InsnClass::Ret);
+    }
+
+    #[test]
+    fn reversal_bit_short_form() {
+        for cc in 0..16u8 {
+            let enc = [0x70 + cc, 0x10];
+            assert_eq!(cond_reversal_bit(&enc), Some((0, 1)));
+        }
+    }
+
+    #[test]
+    fn reversal_bit_near_form() {
+        let enc = [0x0f, 0x8d, 0xed, 0, 0, 0];
+        assert_eq!(cond_reversal_bit(&enc), Some((1, 1)));
+    }
+
+    #[test]
+    fn reversal_bit_skips_prefixes() {
+        let enc = [0x3e, 0x74, 0x10];
+        assert_eq!(cond_reversal_bit(&enc), Some((1, 1)));
+    }
+
+    #[test]
+    fn reversal_bit_rejects_non_branches() {
+        assert_eq!(cond_reversal_bit(&[0x89, 0xd8]), None);
+        assert_eq!(cond_reversal_bit(&[0x0f, 0x0b]), None);
+        assert_eq!(cond_reversal_bit(&[]), None);
+    }
+
+    #[test]
+    fn memref_constructors() {
+        let m = MemRef::base_disp(Reg::Edx, 0x1b);
+        assert_eq!(m.base, Some(Reg::Edx));
+        assert_eq!(m.disp, 0x1b);
+        let m = MemRef::full(Some(Reg::Edx), Some((Reg::Eax, 4)), 0);
+        assert_eq!(m.index, Some((Reg::Eax, 4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid SIB scale")]
+    fn memref_rejects_bad_scale() {
+        let _ = MemRef::full(None, Some((Reg::Eax, 3)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ESP cannot be an index")]
+    fn memref_rejects_esp_index() {
+        let _ = MemRef::full(None, Some((Reg::Esp, 4)), 0);
+    }
+
+    #[test]
+    fn shift_digit_roundtrip_with_alias() {
+        for k in [
+            ShiftKind::Rol,
+            ShiftKind::Ror,
+            ShiftKind::Rcl,
+            ShiftKind::Rcr,
+            ShiftKind::Shl,
+            ShiftKind::Shr,
+            ShiftKind::Sar,
+        ] {
+            assert_eq!(ShiftKind::from_digit(k.digit()), k);
+        }
+        // /6 is the undocumented SHL alias.
+        assert_eq!(ShiftKind::from_digit(6), ShiftKind::Shl);
+    }
+}

@@ -1,0 +1,56 @@
+//! # kfi-isa — the simulated IA-32 instruction subset
+//!
+//! Foundation of the `kfi` reproduction of *Characterization of Linux
+//! Kernel Behavior under Errors* (DSN 2003): register/flag/condition-code
+//! models, a decoded-instruction representation, and a faithful
+//! variable-length **decoder** and **encoder**.
+//!
+//! Faithfulness of the *encoding* is what makes the fault-injection study
+//! meaningful: a single flipped bit in an instruction's bytes can
+//!
+//! * reverse a branch condition (`je`↔`jne` is `74`↔`75`),
+//! * change an instruction's length, desynchronizing the decode of every
+//!   byte that follows (the paper's Table 7, example 2),
+//! * produce privileged or undefined encodings (`lret`, `ud2a`), or
+//! * silently retarget an operand (a different register or displacement).
+//!
+//! # Examples
+//!
+//! Decode, classify, and reverse a conditional branch the way the paper's
+//! campaign C does:
+//!
+//! ```
+//! use kfi_isa::{decode, cond_reversal_bit, Op, Cond};
+//!
+//! let bytes = [0x74, 0x56]; // je +0x56
+//! let insn = decode(&bytes).unwrap();
+//! assert!(insn.is_cond_branch());
+//!
+//! let (byte, mask) = cond_reversal_bit(&bytes).unwrap();
+//! let mut flipped = bytes;
+//! flipped[byte] ^= mask;
+//! let insn2 = decode(&flipped).unwrap();
+//! assert!(matches!(insn2.op, Op::Jcc { cond: Cond::Ne, .. }));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cond;
+mod decode;
+mod encode;
+mod flags;
+mod fmt;
+mod insn;
+mod reg;
+
+pub use cond::{Cond, ALL_CONDS};
+pub use decode::{decode, DecodeError, MAX_INSN_LEN};
+pub use encode::{call_rel, encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, EncodeError};
+pub use flags::{alu_add, alu_logic, alu_sub, mask_width, sign_bit, AluResult, Eflags};
+pub use fmt::format_insn;
+pub use insn::{
+    cond_reversal_bit, AluKind, BtKind, Grp3Kind, Insn, InsnClass, MemRef, Op, PortArg, Rep, Rm,
+    ShiftCount, ShiftKind, Src, StrKind, Width,
+};
+pub use reg::{Reg, ALL_REGS};

@@ -1,0 +1,149 @@
+//! General-purpose register names for the IA-32 subset.
+
+use core::fmt;
+
+/// A 32-bit general-purpose register.
+///
+/// The discriminant is the hardware register number used in ModRM/SIB
+/// encodings, so `Reg::Ebp as u8 == 5` exactly as on IA-32.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_isa::Reg;
+/// assert_eq!(Reg::Esp.index(), 4);
+/// assert_eq!(Reg::from_index(4), Some(Reg::Esp));
+/// assert_eq!(Reg::Eax.name(), "eax");
+/// ```
+#[allow(missing_docs)] // the registers are their own documentation
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    Eax = 0,
+    Ecx = 1,
+    Edx = 2,
+    Ebx = 3,
+    Esp = 4,
+    Ebp = 5,
+    Esi = 6,
+    Edi = 7,
+}
+
+/// All eight registers in encoding order.
+pub const ALL_REGS: [Reg; 8] = [
+    Reg::Eax,
+    Reg::Ecx,
+    Reg::Edx,
+    Reg::Ebx,
+    Reg::Esp,
+    Reg::Ebp,
+    Reg::Esi,
+    Reg::Edi,
+];
+
+impl Reg {
+    /// Returns the register for a 3-bit hardware register number.
+    ///
+    /// Returns `None` when `idx > 7`.
+    pub fn from_index(idx: u8) -> Option<Reg> {
+        ALL_REGS.get(idx as usize).copied()
+    }
+
+    /// The 3-bit hardware register number (0..=7).
+    pub fn index(self) -> u8 {
+        self as u8
+    }
+
+    /// Lower-case AT&T name without the `%` sigil, e.g. `"eax"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Ebx => "ebx",
+            Reg::Esp => "esp",
+            Reg::Ebp => "ebp",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+        }
+    }
+
+    /// Name of the 8-bit register with the same hardware number
+    /// (`al`, `cl`, `dl`, `bl`, `ah`, `ch`, `dh`, `bh`).
+    ///
+    /// On IA-32 register numbers 4..=7 select the *high byte* of
+    /// EAX/ECX/EDX/EBX rather than a byte of ESP..EDI; this mapping is
+    /// reproduced faithfully.
+    pub fn name8(self) -> &'static str {
+        match self {
+            Reg::Eax => "al",
+            Reg::Ecx => "cl",
+            Reg::Edx => "dl",
+            Reg::Ebx => "bl",
+            Reg::Esp => "ah",
+            Reg::Ebp => "ch",
+            Reg::Esi => "dh",
+            Reg::Edi => "bh",
+        }
+    }
+
+    /// Parses a 32-bit register name (without `%`), case-insensitively.
+    pub fn parse(name: &str) -> Option<Reg> {
+        let lower = name.to_ascii_lowercase();
+        ALL_REGS.iter().copied().find(|r| r.name() == lower)
+    }
+
+    /// Parses an 8-bit register name, returning the hardware number it
+    /// encodes to (0..=7).
+    pub fn parse8(name: &str) -> Option<u8> {
+        let lower = name.to_ascii_lowercase();
+        ALL_REGS
+            .iter()
+            .position(|r| r.name8() == lower)
+            .map(|i| i as u8)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_indices() {
+        for i in 0..8u8 {
+            let r = Reg::from_index(i).unwrap();
+            assert_eq!(r.index(), i);
+        }
+        assert_eq!(Reg::from_index(8), None);
+        assert_eq!(Reg::from_index(255), None);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Reg::parse("eax"), Some(Reg::Eax));
+        assert_eq!(Reg::parse("EDI"), Some(Reg::Edi));
+        assert_eq!(Reg::parse("rax"), None);
+        assert_eq!(Reg::parse8("al"), Some(0));
+        assert_eq!(Reg::parse8("ah"), Some(4));
+        assert_eq!(Reg::parse8("bh"), Some(7));
+        assert_eq!(Reg::parse8("eax"), None);
+    }
+
+    #[test]
+    fn display_uses_att_sigil() {
+        assert_eq!(Reg::Ebp.to_string(), "%ebp");
+    }
+
+    #[test]
+    fn high_byte_mapping_matches_hardware() {
+        // Hardware number 4 selects AH (high byte of EAX), not a byte of ESP.
+        assert_eq!(Reg::Esp.name8(), "ah");
+        assert_eq!(Reg::Ebp.name8(), "ch");
+    }
+}

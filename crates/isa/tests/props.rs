@@ -1,0 +1,79 @@
+//! Property-based tests for the decoder/encoder — the injector flips
+//! arbitrary bits, so the decoder must be total and self-consistent on
+//! *any* byte sequence.
+
+use kfi_isa::{decode, encode, DecodeError, MAX_INSN_LEN};
+use proptest::prelude::*;
+
+proptest! {
+    /// The decoder never panics and never claims impossible lengths.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..32)) {
+        match decode(&bytes) {
+            Ok(insn) => {
+                prop_assert!(insn.len as usize <= MAX_INSN_LEN);
+                prop_assert!(insn.len as usize <= bytes.len());
+                prop_assert!(insn.len >= 1);
+            }
+            Err(DecodeError::Truncated { need }) => {
+                prop_assert!((need as usize) > bytes.len().min(MAX_INSN_LEN));
+            }
+            Err(DecodeError::Invalid) => {}
+        }
+    }
+
+    /// Canonical re-encoding is idempotent: decode(encode(decode(b)))
+    /// equals decode(b) for every decodable byte string.
+    #[test]
+    fn canonicalization_is_idempotent(bytes in proptest::collection::vec(any::<u8>(), 1..16)) {
+        if let Ok(insn) = decode(&bytes) {
+            if let Ok(enc) = encode(&insn.op) {
+                let re = decode(&enc).expect("canonical encodings decode");
+                prop_assert_eq!(re.op, insn.op, "bytes {:x?} -> {:x?}", bytes, enc);
+                prop_assert_eq!(re.len as usize, enc.len());
+            }
+        }
+    }
+
+    /// Single-bit corruption of arbitrary bytes never panics the
+    /// decoder (the fundamental fault-injection soundness property).
+    #[test]
+    fn bit_flips_never_panic(
+        bytes in proptest::collection::vec(any::<u8>(), 1..16),
+        byte in 0usize..16,
+        bit in 0u8..8,
+    ) {
+        let mut b = bytes.clone();
+        if byte < b.len() {
+            b[byte] ^= 1 << bit;
+        }
+        let _ = decode(&b);
+    }
+
+    /// Condition-code inversion is an involution under eval for
+    /// arbitrary flag images.
+    #[test]
+    fn cond_inversion(bits in any::<u32>()) {
+        let f = kfi_isa::Eflags::from_bits(bits);
+        for c in kfi_isa::ALL_CONDS {
+            prop_assert_eq!(c.invert().invert(), c);
+            prop_assert_ne!(c.eval(f), c.invert().eval(f));
+        }
+    }
+
+    /// ALU helpers agree with wide-integer reference arithmetic.
+    #[test]
+    fn alu_reference(a in any::<u32>(), b in any::<u32>(), cin in any::<bool>()) {
+        let f = kfi_isa::Eflags::new();
+        let add = kfi_isa::alu_add(a, b, cin, 32, f);
+        let wide = a as u64 + b as u64 + cin as u64;
+        prop_assert_eq!(add.value, wide as u32);
+        prop_assert_eq!(add.flags.cf(), wide > u32::MAX as u64);
+        prop_assert_eq!(add.flags.zf(), (wide as u32) == 0);
+
+        let sub = kfi_isa::alu_sub(a, b, cin, 32, f);
+        let expect = a.wrapping_sub(b).wrapping_sub(cin as u32);
+        prop_assert_eq!(sub.value, expect);
+        prop_assert_eq!(sub.flags.cf(), (b as u64 + cin as u64) > a as u64);
+    }
+}

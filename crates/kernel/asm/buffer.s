@@ -1,0 +1,160 @@
+# buffer.s — the block buffer cache (`fs` module): getblk /
+# get_hash_table / bread / bwrite / brelse over NR_BUFFERS 1 KiB
+# buffers, write-through.
+
+.subsystem fs
+.text
+
+# buffer_init(): reset headers and wire up the data slabs.
+.global buffer_init
+.type buffer_init, @function
+buffer_init:
+    push %ebx
+    movl $buffer_heads, %ebx
+    movl $buffer_data, %edx
+    movl $NR_BUFFERS, %ecx
+1:  movl $-1, B_BLOCK(%ebx)
+    movl $0, B_FLAGS(%ebx)
+    movl $0, B_TICK(%ebx)
+    movl %edx, B_DATA(%ebx)
+    addl $BLOCK_SIZE, %edx
+    addl $1 << BUF_SHIFT, %ebx
+    decl %ecx
+    jnz 1b
+    movl $0, buf_tick
+    pop %ebx
+    ret
+
+# get_hash_table(block=%eax) -> valid buffer head or 0.
+.global get_hash_table
+.type get_hash_table, @function
+get_hash_table:
+    movl $buffer_heads, %edx
+    movl $NR_BUFFERS, %ecx
+1:  cmpl B_BLOCK(%edx), %eax
+    jne 2f
+    testl $1, B_FLAGS(%edx)
+    jz 2f
+    # hit
+    push %eax
+    movl buf_tick, %eax
+    incl %eax
+    movl %eax, buf_tick
+    movl %eax, B_TICK(%edx)
+    pop %eax
+    movl %edx, %eax
+    ret
+2:  addl $1 << BUF_SHIFT, %edx
+    decl %ecx
+    jnz 1b
+    xorl %eax, %eax
+    ret
+
+# getblk(block=%eax) -> buffer head bound to the block (data possibly
+# stale; bread() fills it). Victim selection: any invalid buffer, else
+# the least recently used one.
+.global getblk
+.type getblk, @function
+getblk:
+    push %ebx
+    push %esi
+    movl %eax, %esi           # block
+    call get_hash_table
+    testl %eax, %eax
+    jnz out_gb
+    # choose a victim
+    movl $buffer_heads, %ebx  # best
+    movl $buffer_heads, %edx  # cursor
+    movl $NR_BUFFERS, %ecx
+1:  testl $1, B_FLAGS(%edx)
+    jz take_cursor            # invalid: perfect victim
+    movl B_TICK(%edx), %eax
+    cmpl B_TICK(%ebx), %eax
+    jae 2f
+    movl %edx, %ebx
+2:  addl $1 << BUF_SHIFT, %edx
+    decl %ecx
+    jnz 1b
+    jmp bind
+take_cursor:
+    movl %edx, %ebx
+bind:
+    movl %esi, B_BLOCK(%ebx)
+    movl $0, B_FLAGS(%ebx)    # not valid yet
+    movl buf_tick, %eax
+    incl %eax
+    movl %eax, buf_tick
+    movl %eax, B_TICK(%ebx)
+    movl %ebx, %eax
+out_gb:
+    pop %esi
+    pop %ebx
+    ret
+
+# bread(block=%eax) -> buffer head with valid data, or 0 on I/O error.
+.global bread
+.type bread, @function
+bread:
+    push %ebx
+    call getblk
+    movl %eax, %ebx
+    testl $1, B_FLAGS(%ebx)
+    jnz ok_br
+    movl B_BLOCK(%ebx), %eax
+    movl B_DATA(%ebx), %edx
+    movl $1, %ecx             # read
+    call rw_block
+    testl %eax, %eax
+    jnz io_err
+    orl $1, B_FLAGS(%ebx)
+ok_br:
+    movl %ebx, %eax
+    pop %ebx
+    ret
+io_err:
+    movl $io_err_msg, %eax
+    call printk
+    xorl %eax, %eax
+    pop %ebx
+    ret
+
+# bwrite(bh=%eax) -> 0 ok / -EIO-ish 1: write-through to disk.
+.global bwrite
+.type bwrite, @function
+bwrite:
+    push %ebx
+    movl %eax, %ebx
+#ASSERT_BEGIN
+    testl %ebx, %ebx
+    jne 1f
+    ud2a                      # BUG(): bwrite(NULL)
+1:
+#ASSERT_END
+    movl B_BLOCK(%ebx), %eax
+    movl B_DATA(%ebx), %edx
+    movl $2, %ecx             # write
+    call rw_block
+    pop %ebx
+    ret
+
+# brelse(bh=%eax): release a buffer reference (a no-op with the
+# write-through cache, kept for structural fidelity + its BUG check).
+.global brelse
+.type brelse, @function
+brelse:
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 1f
+    ud2a                      # BUG(): brelse(NULL)
+1:
+#ASSERT_END
+    ret
+
+.data
+io_err_msg: .asciz "end_request: I/O error\n"
+.align 4
+buf_tick:     .long 0
+.global buffer_heads
+buffer_heads: .space NR_BUFFERS << BUF_SHIFT
+.align 16
+buffer_data:  .space NR_BUFFERS * BLOCK_SIZE

@@ -1,0 +1,178 @@
+# defs.s — kernel-internal constants (struct offsets, limits, magic).
+# The host-generated ABI constants (ports, addresses, monitor codes) are
+# prepended by the image builder as `gen_defs.s`.
+
+# ---- tasks -------------------------------------------------------------
+.equ NR_TASKS,        8
+.equ TASK_SHIFT,      7            # 128 bytes per task struct
+.equ TASK_SIZE,       1 << TASK_SHIFT
+
+.equ T_STATE,         0            # TS_*
+.equ T_PID,           4
+.equ T_ESP,           8            # saved kernel stack pointer
+.equ T_PGD,           12           # page directory (phys)
+.equ T_KSTACK,        16           # kernel stack top (virt)
+.equ T_PARENT,        20           # parent pid
+.equ T_EXIT,          24           # exit code
+.equ T_CHAN,          28           # wait channel (0 = not waiting)
+.equ T_BRK,           32           # user heap end
+.equ T_FDS,           36           # 8 file descriptor slots (file ptrs)
+.equ NR_FDS,          8
+.equ T_TICKS,         68           # cpu ticks consumed
+.equ T_COUNTER,       72           # remaining timeslice
+.equ T_SIGPENDING,    76           # pending signal bitmask
+
+.equ TS_UNUSED,       0
+.equ TS_READY,        1
+.equ TS_BLOCKED,      2
+.equ TS_ZOMBIE,       3
+
+# ---- files / pipes -----------------------------------------------------
+.equ NR_FILES,        32
+.equ FILE_SHIFT,      4            # 16 bytes per file struct
+.equ F_TYPE,          0
+.equ F_INODE,         4
+.equ F_POS,           8
+.equ F_REFS,          12
+
+.equ FT_FREE,         0
+.equ FT_REG,          1
+.equ FT_PIPER,        2
+.equ FT_PIPEW,        3
+.equ FT_CONS,         4
+
+.equ NR_PIPES,        8
+.equ PIPE_SHIFT,      5            # 32 bytes per pipe struct
+.equ P_PAGE,          0            # buffer page (kernel virt)
+.equ P_HEAD,          4            # write position (mod PAGE_SIZE)
+.equ P_TAIL,          8            # read position
+.equ P_READERS,       12
+.equ P_WRITERS,       16
+
+# ---- buffer cache ------------------------------------------------------
+.equ NR_BUFFERS,      16
+.equ BUF_SHIFT,       4            # 16-byte headers
+.equ B_BLOCK,         0            # block number (-1 = empty)
+.equ B_FLAGS,         4            # bit 0: valid
+.equ B_TICK,          8            # LRU stamp
+.equ B_DATA,          12           # data pointer (kernel virt)
+.equ BLOCK_SIZE,      1024
+
+# ---- ext2-lite on-disk layout ------------------------------------------
+.equ EXT2_MAGIC,      0xEF53
+.equ SB_BLOCK,        1
+.equ BITMAP_BLOCK,    2
+.equ IBITMAP_BLOCK,   3
+.equ ITABLE_BLOCK,    4
+.equ ITABLE_NBLOCKS,  8
+.equ DATA_START,      12
+
+# superblock field offsets (within block 1)
+.equ SB_MAGIC,        0
+.equ SB_BLOCKS,       4
+.equ SB_INODES,       8
+.equ SB_FREEB,        12
+.equ SB_FREEI,        16
+.equ SB_STATE,        20           # 1 = clean, 0 = dirty
+.equ SB_MOUNTS,       24
+
+# inodes: 64 bytes, 16 per block, 1-based numbering
+.equ NR_INODES,       128
+.equ INODE_SHIFT,     6
+.equ I_MODE,          0            # u16
+.equ I_LINKS,         2            # u16
+.equ I_SIZE,          4
+.equ I_SIZE_HI,       60           # high dword of 64-bit size (always 0)
+.equ I_BLOCK0,        8            # 12 direct block pointers
+.equ NR_DIRECT,       12
+.equ I_INDIR,         56           # single indirect block
+.equ IMODE_REG,       0x8000
+.equ IMODE_DIR,       0x4000
+.equ ROOT_INO,        2
+
+# directory entries: fixed 32 bytes
+.equ DIRENT_SIZE,     32
+.equ D_INO,           0
+.equ D_NAME,          4
+.equ D_NAMELEN,       28
+
+# ---- page cache ----------------------------------------------------------
+.equ PGC_ENTRIES,     32
+.equ PGC_SHIFT,       4
+.equ PC_INO,          0            # 0 = free
+.equ PC_IDX,          4            # page index within file
+.equ PC_PAGE,         8            # kernel virt of cached page
+.equ PC_TICK,         12
+
+# ---- flat binary format (KBIN) -----------------------------------------
+.equ KBIN_MAGIC,      0x4E49424B   # "KBIN"
+.equ KB_MAGIC,        0
+.equ KB_ENTRY,        4
+.equ KB_SIZE,         8            # text+data payload bytes
+.equ KB_BSS,          12
+.equ KB_HDR,          16
+
+# ---- syscalls ------------------------------------------------------------
+.equ NR_SYSCALLS,     25
+.equ SYS_EXIT,        1
+.equ SYS_FORK,        2
+.equ SYS_READ,        3
+.equ SYS_WRITE,       4
+.equ SYS_OPEN,        5
+.equ SYS_CLOSE,       6
+.equ SYS_WAITPID,     7
+.equ SYS_UNLINK,      8
+.equ SYS_EXECVE,      9
+.equ SYS_GETPID,      10
+.equ SYS_PIPE,        11
+.equ SYS_BRK,         12
+.equ SYS_LSEEK,       13
+.equ SYS_REBOOT,      14
+.equ SYS_YIELD,       15
+.equ SYS_REPORT,      16
+.equ SYS_MARK,        17
+.equ SYS_GETMODE,     18
+.equ SYS_STAT,        19
+.equ SYS_TIME,        20
+.equ SYS_SEM,         21
+.equ SYS_SOCKETCALL,  22
+.equ SYS_SYNC,        23
+.equ SYS_KILL,        24
+
+# open flags
+.equ O_RDONLY,        0
+.equ O_WRONLY,        1
+.equ O_RDWR,          2
+.equ O_CREAT,         0x40
+.equ O_TRUNC,         0x200
+
+# errno values (returned negated)
+.equ EPERM,           1
+.equ ENOENT,          2
+.equ ESRCH,           3
+.equ EBADF,           9
+.equ ECHILD,          10
+.equ EAGAIN,          11
+.equ ENOMEM,          12
+.equ EFAULT,          14
+.equ EBUSY,           16
+.equ EEXIST,          17
+.equ ENOTDIR,         20
+.equ EINVAL,          22
+.equ ENFILE,          23
+.equ EMFILE,          24
+.equ ENOSPC,          28
+.equ ESPIPE,          29
+.equ EPIPE,           32
+.equ ENOSYS,          38
+
+# scheduling
+.equ TIMESLICE,       4            # ticks per quantum
+
+# paging bits
+.equ PTE_P,           1
+.equ PTE_RW,          2
+.equ PTE_US,          4
+.equ PG_KERNEL,       PTE_P | PTE_RW
+.equ PG_USER,         PTE_P | PTE_RW | PTE_US
+.equ PG_USER_RO,      PTE_P | PTE_US

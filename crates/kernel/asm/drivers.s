@@ -1,0 +1,87 @@
+# drivers.s — console and block device drivers (the `drivers` module).
+
+.subsystem drivers
+.text
+
+# console_putc(ch=%eax): write one byte to the console port.
+.global console_putc
+.type console_putc, @function
+console_putc:
+    outb %al, $PORT_CONSOLE
+    ret
+
+# console_write(buf=%eax, n=%edx): write n bytes from a kernel buffer.
+.global console_write
+.type console_write, @function
+console_write:
+    push %esi
+    movl %eax, %esi
+    movl %edx, %ecx
+1:  testl %ecx, %ecx
+    jz 2f
+    movzbl (%esi), %eax
+    outb %al, $PORT_CONSOLE
+    incl %esi
+    decl %ecx
+    jmp 1b
+2:  pop %esi
+    ret
+
+# rw_sector(lba=%eax, phys=%edx, cmd=%ecx) -> status (0 ok)
+# cmd: 1 = read, 2 = write. One 512-byte sector via port DMA.
+.global rw_sector
+.type rw_sector, @function
+rw_sector:
+    push %ebx
+    movl %eax, %ebx           # lba
+    push %edx                 # phys
+    push %ecx                 # cmd
+    movl %ebx, %eax
+    movl $PORT_BLK_LBA, %edx
+    outl %eax, %dx
+    pop %ecx
+    pop %eax                  # phys
+    movl $PORT_BLK_DMA, %edx
+    outl %eax, %dx
+    movl %ecx, %eax
+    movl $PORT_BLK_CMD, %edx
+    outl %eax, %dx
+    movl $PORT_BLK_STATUS, %edx
+    inl %dx, %eax
+    pop %ebx
+    ret
+
+# rw_block(block=%eax, virt=%edx, cmd=%ecx) -> status
+# Transfers one 1 KiB filesystem block (two sectors). The buffer must be
+# in the kernel linear map (virt - KERNEL_BASE is the DMA address).
+.global rw_block
+.type rw_block, @function
+rw_block:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %ebx           # block
+    movl %edx, %esi           # virt
+    movl %ecx, %edi           # cmd
+    # first sector
+    movl %ebx, %eax
+    shll $1, %eax
+    movl %esi, %edx
+    subl $KERNEL_BASE, %edx
+    movl %edi, %ecx
+    call rw_sector
+    testl %eax, %eax
+    jnz 9f
+    # second sector
+    movl %ebx, %eax
+    shll $1, %eax
+    incl %eax
+    movl %esi, %edx
+    subl $KERNEL_BASE, %edx
+    addl $512, %edx
+    movl %edi, %ecx
+    call rw_sector
+9:  pop %edi
+    pop %esi
+    pop %ebx
+    ret

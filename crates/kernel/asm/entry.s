@@ -1,0 +1,206 @@
+# entry.s — low-level kernel entry points (the `arch` module):
+# exception stubs, the system-call gate, the timer interrupt, and the
+# fork return path.
+#
+# Stack layout after `pusha` in any entry path (offsets from %esp):
+#   0  edi   4 esi   8 ebp  12 esp(dummy)  16 ebx  20 edx  24 ecx  28 eax
+#   32 vector   36 error-code   40 eip   44 cs   48 eflags   52 user-esp
+# (the vector/error slots exist only on the exception paths)
+
+.subsystem arch
+.text
+
+# ---- exception stubs ----------------------------------------------------
+# Vectors without a hardware error code push a dummy 0 so the common
+# frame is uniform.
+
+.global divide_error
+.type divide_error, @function
+divide_error:
+    pushl $0
+    pushl $0
+    jmp error_common
+
+.global nmi_trap
+.type nmi_trap, @function
+nmi_trap:
+    pushl $0
+    pushl $2
+    jmp error_common
+
+.global int3_trap
+.type int3_trap, @function
+int3_trap:
+    pushl $0
+    pushl $3
+    jmp error_common
+
+.global overflow_trap
+.type overflow_trap, @function
+overflow_trap:
+    pushl $0
+    pushl $4
+    jmp error_common
+
+.global bounds_trap
+.type bounds_trap, @function
+bounds_trap:
+    pushl $0
+    pushl $5
+    jmp error_common
+
+.global invalid_op
+.type invalid_op, @function
+invalid_op:
+    pushl $0
+    pushl $6
+    jmp error_common
+
+.global device_na
+.type device_na, @function
+device_na:
+    pushl $0
+    pushl $7
+    jmp error_common
+
+.global double_fault
+.type double_fault, @function
+double_fault:
+    pushl $8
+    jmp error_common
+
+.global coproc_overrun
+.type coproc_overrun, @function
+coproc_overrun:
+    pushl $0
+    pushl $9
+    jmp error_common
+
+.global invalid_tss
+.type invalid_tss, @function
+invalid_tss:
+    pushl $10
+    jmp error_common
+
+.global segment_np
+.type segment_np, @function
+segment_np:
+    pushl $11
+    jmp error_common
+
+.global stack_fault
+.type stack_fault, @function
+stack_fault:
+    pushl $12
+    jmp error_common
+
+.global general_protection
+.type general_protection, @function
+general_protection:
+    pushl $13
+    jmp error_common
+
+.global page_fault
+.type page_fault, @function
+page_fault:
+    pushl $14
+    jmp error_common
+
+# ---- common exception path ----------------------------------------------
+
+.global error_common
+.type error_common, @function
+error_common:
+    pusha
+    movl 32(%esp), %eax       # vector
+    cmpl $14, %eax
+    jne 1f
+    # page fault: do_page_fault(error_code, &frame)
+    movl 36(%esp), %eax
+    leal 40(%esp), %edx
+    call do_page_fault
+    jmp ret_from_exception
+1:  # everything else: do_trap(vector, &framebase)
+    leal 32(%esp), %edx
+    call do_trap
+.global ret_from_exception
+ret_from_exception:
+    # If we are returning to user space and a reschedule is pending,
+    # take it now (the kernel itself is never preempted).
+    movl 44(%esp), %eax       # saved cs
+    cmpl $USER_CS_SEL, %eax
+    jne 2f
+    movl need_resched, %eax
+    testl %eax, %eax
+    jz 2f
+    call schedule
+2:  movl 44(%esp), %eax       # only deliver signals to user frames
+    cmpl $USER_CS_SEL, %eax
+    jne 3f
+    call do_signal
+3:  popa
+    addl $8, %esp             # drop vector + error code
+    iret
+
+# ---- system call gate (int 0x80) -----------------------------------------
+# User ABI: %eax = nr, %ebx/%ecx/%edx = args 1-3. Return value in %eax,
+# negative errno on failure.
+
+.global system_call
+.type system_call, @function
+system_call:
+    pusha
+    movl 28(%esp), %eax       # saved user eax = syscall nr
+    cmpl $NR_SYSCALLS, %eax
+    jae badsys
+    movl sys_call_table(,%eax,4), %ebx
+    testl %ebx, %ebx
+    jz badsys
+    # marshal args into the kernel convention (a1=%eax a2=%edx a3=%ecx)
+    movl 16(%esp), %eax       # user ebx
+    movl 24(%esp), %edx       # user ecx
+    movl 20(%esp), %ecx       # user edx
+    call *%ebx
+    movl %eax, 28(%esp)       # return value
+.global ret_from_sys_call
+ret_from_sys_call:
+    movl need_resched, %eax
+    testl %eax, %eax
+    jz 1f
+    call schedule
+1:  call do_signal
+    popa
+    iret
+
+badsys:
+    movl $-ENOSYS, %eax
+    movl %eax, 28(%esp)
+    jmp ret_from_sys_call
+
+# ---- fork child return ----------------------------------------------------
+# A forked child's kernel stack is crafted so that switch_to's `ret`
+# lands here with a full pusha frame + iret frame above (saved %eax = 0).
+
+.global ret_from_fork
+.type ret_from_fork, @function
+ret_from_fork:
+    jmp ret_from_sys_call
+
+# ---- timer interrupt -------------------------------------------------------
+
+.global timer_interrupt
+.type timer_interrupt, @function
+timer_interrupt:
+    pusha
+    call do_timer
+    # preempt + deliver signals only when the interrupt hit user mode
+    movl 36(%esp), %eax       # saved cs (no vector/error slots here)
+    cmpl $USER_CS_SEL, %eax
+    jne 1f
+    movl need_resched, %eax
+    testl %eax, %eax
+    jz 2f
+    call schedule
+2:  call do_signal
+1:  popa
+    iret

@@ -1,0 +1,152 @@
+# exec.s — program loading (`fs` module): sys_execve and the KBIN flat
+# binary loader. On success the kernel stack is reset and the CPU irets
+# straight into the fresh user image (this call never returns).
+
+.subsystem fs
+.text
+
+# sys_execve(path_user=%eax) -> only on failure (negative errno).
+.global sys_execve
+.type sys_execve, @function
+sys_execve:
+    push %ebx
+    movl %eax, %edx
+    movl $exec_path, %eax
+    movl $64, %ecx
+    call strncpy_from_user
+    testl %eax, %eax
+    js 1f
+    movl $exec_path, %eax
+    call do_execve
+1:  pop %ebx
+    ret
+
+# do_execve(path_kernel=%eax) -> negative errno on failure; does not
+# return on success.
+.global do_execve
+.type do_execve, @function
+do_execve:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    call link_path_walk
+    testl %eax, %eax
+    js out_ex
+    movl %eax, %ebx           # ino
+    # read and validate the KBIN header
+    movl %ebx, %eax
+    xorl %edx, %edx
+    movl $exec_hdr, %ecx
+    movl $KB_HDR, %esi
+    call do_generic_file_read
+    cmpl $KB_HDR, %eax
+    jne badfmt_ex
+    movl exec_hdr+KB_MAGIC, %eax
+    cmpl $KBIN_MAGIC, %eax
+    jne badfmt_ex
+    # sanity-limit the image (code+bss within 1 MiB)
+    movl exec_hdr+KB_SIZE, %eax
+    addl exec_hdr+KB_BSS, %eax
+    cmpl $0x100000, %eax
+    ja badfmt_ex
+    # --- point of no return: tear down the old user space ---
+    movl current, %eax
+    push %eax
+    call unmap_and_free_task_memory
+    call flush_tlb
+    pop %eax
+    movl $USER_CODE_BASE, T_BRK(%eax)   # reset before growing
+    # --- map and fill the image pages ---
+    movl exec_hdr+KB_SIZE, %eax
+    addl exec_hdr+KB_BSS, %eax
+    addl $PAGE_SIZE-1, %eax
+    shrl $12, %eax
+    movl %eax, %ebp           # page count
+    xorl %edi, %edi           # page index
+ex_page_loop:
+    cmpl %ebp, %edi
+    jae ex_pages_done
+    # user pte for this page
+    movl %edi, %eax
+    shll $12, %eax
+    addl $USER_CODE_BASE, %eax
+    call pte_alloc
+    testl %eax, %eax
+    jz oom_ex
+    movl %eax, %esi           # &pte
+    call get_free_page
+    testl %eax, %eax
+    jz oom_ex
+    push %eax                 # page virt
+    subl $KERNEL_BASE, %eax
+    orl $PG_USER, %eax
+    movl %eax, (%esi)
+    # how much of this page is payload?
+    movl %edi, %eax
+    shll $12, %eax            # file offset base (payload-relative)
+    movl exec_hdr+KB_SIZE, %edx
+    subl %eax, %edx           # remaining payload
+    jbe 3f                    # below-or-equal zero: pure bss page
+    cmpl $PAGE_SIZE, %edx
+    jbe 2f
+    movl $PAGE_SIZE, %edx
+2:  # do_generic_file_read(ino, KB_HDR + off, page, chunk)
+    movl %edx, %esi
+    movl %eax, %edx
+    addl $KB_HDR, %edx
+    movl (%esp), %ecx         # page virt
+    movl %ebx, %eax
+    call do_generic_file_read
+3:  pop %eax
+    incl %edi
+    jmp ex_page_loop
+ex_pages_done:
+    # brk = end of image
+    movl exec_hdr+KB_SIZE, %eax
+    addl exec_hdr+KB_BSS, %eax
+    addl $USER_CODE_BASE, %eax
+    addl $PAGE_SIZE-1, %eax
+    andl $0xFFFFF000, %eax
+    movl current, %edx
+    movl %eax, T_BRK(%edx)
+    # one stack page now, the rest on demand
+    movl $USER_STACK_PAGE, %eax
+    call do_anonymous_page
+    testl %eax, %eax
+    jnz oom_ex
+    call flush_tlb
+    # --- reset the kernel stack and iret into the new image ---
+    movl current, %eax
+    movl T_KSTACK(%eax), %esp
+    pushl $USER_STACK_TOP     # user esp
+    pushl $0x202              # eflags (IF set)
+    pushl $USER_CS_SEL
+    movl exec_hdr+KB_ENTRY, %eax
+    push %eax
+    iret
+
+badfmt_ex:
+    movl $-EINVAL, %eax
+    jmp out_ex
+oom_ex:
+    # Out of pages mid-exec: the old image is gone, nothing to return
+    # to. Kill the task (or panic for init).
+    movl $exec_oom_msg, %eax
+    call printk
+    movl $137, %eax
+    call do_exit
+    ud2a
+out_ex:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+.data
+exec_path:    .space 64
+.align 4
+.global exec_hdr
+exec_hdr:     .space 16
+exec_oom_msg: .asciz "execve: out of memory\n"

@@ -1,0 +1,588 @@
+# ext2.s — the ext2-lite filesystem core (`fs` module): inode I/O,
+# block mapping, block/inode allocation, directory entries, truncate.
+
+.subsystem fs
+.text
+
+# ---- inode I/O -------------------------------------------------------------
+
+# ext2_read_inode(ino=%eax, dst=%edx): copy the 64-byte on-disk inode.
+.global ext2_read_inode
+.type ext2_read_inode, @function
+ext2_read_inode:
+    push %ebx
+    push %esi
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 1f
+    ud2a                      # BUG(): inode 0
+1:  cmpl $NR_INODES, %eax
+    jbe 2f
+    ud2a                      # BUG(): inode out of range
+2:
+#ASSERT_END
+    movl %edx, %esi           # dst
+    decl %eax
+    movl %eax, %ebx           # ino-1
+    shrl $4, %eax
+    addl $ITABLE_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl B_DATA(%eax), %edx
+    andl $15, %ebx
+    shll $INODE_SHIFT, %ebx
+    addl %ebx, %edx           # src = data + slot*64
+    movl %esi, %eax
+    movl $64, %ecx
+    call memcpy
+9:  pop %esi
+    pop %ebx
+    ret
+
+# ext2_write_inode(ino=%eax, src=%edx): read-modify-write the inode's
+# block (write-through).
+.global ext2_write_inode
+.type ext2_write_inode, @function
+ext2_write_inode:
+    push %ebx
+    push %esi
+    push %edi
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 9f
+    ud2a                      # BUG(): writing inode 0
+9:  cmpl $NR_INODES, %eax
+    jbe 8f
+    ud2a                      # BUG(): inode out of range
+8:
+#ASSERT_END
+    movl %edx, %esi           # src
+    decl %eax
+    movl %eax, %ebx
+    shrl $4, %eax
+    addl $ITABLE_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl %eax, %edi           # bh
+    movl B_DATA(%eax), %eax
+    andl $15, %ebx
+    shll $INODE_SHIFT, %ebx
+    addl %ebx, %eax           # dst in buffer
+    movl %esi, %edx
+    movl $64, %ecx
+    call memcpy
+    movl %edi, %eax
+    call bwrite
+9:  pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# ---- block mapping ----------------------------------------------------------
+
+# ext2_bmap(inode_ptr=%eax, blkidx=%edx) -> disk block or 0 (hole).
+.global ext2_bmap
+.type ext2_bmap, @function
+ext2_bmap:
+    cmpl $NR_DIRECT, %edx
+    jae 1f
+    movl I_BLOCK0(%eax,%edx,4), %eax
+    ret
+1:  # single indirect
+    subl $NR_DIRECT, %edx
+    cmpl $256, %edx
+    jae 3f
+    movl I_INDIR(%eax), %eax
+    testl %eax, %eax
+    jz 3f
+    push %edx
+    call bread
+    pop %edx
+    testl %eax, %eax
+    jz 3f
+    movl B_DATA(%eax), %eax
+    movl (%eax,%edx,4), %eax
+    ret
+3:  xorl %eax, %eax
+    ret
+
+# ext2_bmap_alloc(inode_ptr=%eax, blkidx=%edx, ino=%ecx) -> disk block,
+# allocating (and persisting the inode) as needed; 0 = no space.
+.global ext2_bmap_alloc
+.type ext2_bmap_alloc, @function
+ext2_bmap_alloc:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %ebx           # inode ptr
+    movl %edx, %esi           # blkidx
+    movl %ecx, %edi           # ino
+    cmpl $NR_DIRECT, %esi
+    jae indir_alloc
+    movl I_BLOCK0(%ebx,%esi,4), %eax
+    testl %eax, %eax
+    jnz done_ba
+    call ext2_alloc_block
+    testl %eax, %eax
+    jz done_ba
+    movl %eax, I_BLOCK0(%ebx,%esi,4)
+    push %eax
+    movl %edi, %eax
+    movl %ebx, %edx
+    call ext2_write_inode
+    pop %eax
+    jmp done_ba
+indir_alloc:
+    subl $NR_DIRECT, %esi
+    cmpl $256, %esi
+    jae no_ba
+    movl I_INDIR(%ebx), %eax
+    testl %eax, %eax
+    jnz have_indir
+    # allocate the indirect block itself, zero it on disk
+    call ext2_alloc_block
+    testl %eax, %eax
+    jz no_ba
+    movl %eax, I_INDIR(%ebx)
+    push %eax
+    call getblk
+    push %eax
+    movl B_DATA(%eax), %eax
+    xorl %edx, %edx
+    movl $BLOCK_SIZE, %ecx
+    call memset
+    pop %eax
+    orl $1, B_FLAGS(%eax)     # now valid (all zero)
+    call bwrite
+    movl %edi, %eax
+    movl %ebx, %edx
+    call ext2_write_inode
+    pop %eax
+have_indir:
+    movl I_INDIR(%ebx), %eax
+    call bread
+    testl %eax, %eax
+    jz no_ba
+    movl %eax, %ebx           # bh (inode ptr no longer needed)
+    movl B_DATA(%ebx), %edx
+    movl (%edx,%esi,4), %eax
+    testl %eax, %eax
+    jnz done_ba
+    call ext2_alloc_block
+    testl %eax, %eax
+    jz done_ba
+    movl B_DATA(%ebx), %edx
+    movl %eax, (%edx,%esi,4)
+    push %eax
+    movl %ebx, %eax
+    call bwrite
+    pop %eax
+    jmp done_ba
+no_ba:
+    xorl %eax, %eax
+done_ba:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# ---- allocation bitmaps -----------------------------------------------------
+
+# ext2_alloc_block() -> block number or 0 when the disk is full.
+.global ext2_alloc_block
+.type ext2_alloc_block, @function
+ext2_alloc_block:
+    push %ebx
+    push %esi
+    movl $BITMAP_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz none_ab
+    movl %eax, %esi           # bh
+    movl B_DATA(%esi), %ebx
+    xorl %ecx, %ecx           # bit index
+1:  cmpl $BLOCK_SIZE*8, %ecx
+    jae none_ab
+    btl %ecx, (%ebx)
+    jnc take_ab
+    incl %ecx
+    jmp 1b
+take_ab:
+    btsl %ecx, (%ebx)
+    push %ecx
+    movl %esi, %eax
+    call bwrite
+    # account in the superblock
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 2f
+    movl B_DATA(%eax), %edx
+    decl SB_FREEB(%edx)
+    call bwrite
+2:  pop %eax                  # the block number == bit index
+    pop %esi
+    pop %ebx
+    ret
+none_ab:
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# ext2_free_block(block=%eax)
+.global ext2_free_block
+.type ext2_free_block, @function
+ext2_free_block:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    movl $BITMAP_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl %eax, %esi
+    movl B_DATA(%esi), %edx
+#ASSERT_BEGIN
+    btl %ebx, (%edx)
+    jc 1f
+    ud2a                      # BUG(): freeing a free block
+1:
+#ASSERT_END
+    btrl %ebx, (%edx)
+    movl %esi, %eax
+    call bwrite
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl B_DATA(%eax), %edx
+    incl SB_FREEB(%edx)
+    call bwrite
+9:  pop %esi
+    pop %ebx
+    ret
+
+# ext2_alloc_inode() -> inode number or 0. Bit i of the inode bitmap
+# stands for inode i (bit 0 is reserved by mkfs).
+.global ext2_alloc_inode
+.type ext2_alloc_inode, @function
+ext2_alloc_inode:
+    push %ebx
+    push %esi
+    movl $IBITMAP_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz none_ai
+    movl %eax, %esi
+    movl B_DATA(%esi), %ebx
+    movl $1, %ecx
+1:  cmpl $NR_INODES, %ecx
+    ja none_ai
+    btl %ecx, (%ebx)
+    jnc take_ai
+    incl %ecx
+    jmp 1b
+take_ai:
+    btsl %ecx, (%ebx)
+    push %ecx
+    movl %esi, %eax
+    call bwrite
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 2f
+    movl B_DATA(%eax), %edx
+    decl SB_FREEI(%edx)
+    call bwrite
+2:  pop %eax
+    pop %esi
+    pop %ebx
+    ret
+none_ai:
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# ext2_free_inode(ino=%eax)
+.global ext2_free_inode
+.type ext2_free_inode, @function
+ext2_free_inode:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    movl $IBITMAP_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl %eax, %esi
+    movl B_DATA(%esi), %edx
+    btrl %ebx, (%edx)
+    movl %esi, %eax
+    call bwrite
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 9f
+    movl B_DATA(%eax), %edx
+    incl SB_FREEI(%edx)
+    call bwrite
+9:  pop %esi
+    pop %ebx
+    ret
+
+# ---- directory entries ------------------------------------------------------
+
+# ext2_find_entry(dir_ino=%eax, name=%edx) -> inode number or 0.
+# Remembers the entry's (block, offset) for ext2_delete_entry.
+.global ext2_find_entry
+.type ext2_find_entry, @function
+ext2_find_entry:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %edx, %ebp           # name
+    movl $dir_inode_buf, %edx
+    push %eax                 # dir ino
+    call ext2_read_inode
+    xorl %edi, %edi           # offset
+fe_loop:
+    cmpl dir_inode_buf+I_SIZE, %edi
+    jae fe_none
+    # block index = offset >> 10
+    movl %edi, %edx
+    shrl $10, %edx
+    movl $dir_inode_buf, %eax
+    call ext2_bmap
+    testl %eax, %eax
+    jz fe_skip_block
+    movl %eax, found_block
+    call bread
+    testl %eax, %eax
+    jz fe_none
+    movl B_DATA(%eax), %esi
+    movl %edi, %ebx
+    andl $BLOCK_SIZE-1, %ebx
+    addl %ebx, %esi           # entry pointer
+    movl D_INO(%esi), %eax
+    testl %eax, %eax
+    jz fe_next
+    leal D_NAME(%esi), %eax
+    movl %ebp, %edx
+    movl $D_NAMELEN, %ecx
+    call strncmp
+    testl %eax, %eax
+    jnz fe_next
+    # found
+    movl %edi, %eax
+    andl $BLOCK_SIZE-1, %eax
+    movl %eax, found_offset
+    movl D_INO(%esi), %eax
+    pop %edx                  # drop saved dir ino
+    jmp fe_out
+fe_next:
+    addl $DIRENT_SIZE, %edi
+    jmp fe_loop
+fe_skip_block:
+    addl $BLOCK_SIZE, %edi
+    andl $~(BLOCK_SIZE-1), %edi
+    jmp fe_loop
+fe_none:
+    pop %edx
+    xorl %eax, %eax
+fe_out:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# ext2_delete_entry(dir_ino=%eax, name=%edx) -> inode number or 0.
+# Clears the directory slot found by ext2_find_entry.
+.global ext2_delete_entry
+.type ext2_delete_entry, @function
+ext2_delete_entry:
+    push %ebx
+    call ext2_find_entry
+    testl %eax, %eax
+    jz 9f
+    movl %eax, %ebx           # the unlinked ino
+    movl found_block, %eax
+    call bread
+    testl %eax, %eax
+    jz 8f
+    push %eax
+    movl B_DATA(%eax), %edx
+    addl found_offset, %edx
+    movl $0, D_INO(%edx)
+    pop %eax
+    call bwrite
+8:  movl %ebx, %eax
+9:  pop %ebx
+    ret
+
+# ext2_add_entry(dir_ino=%eax, name=%edx, ino=%ecx) -> 0 / -ENOSPC.
+# Reuses a cleared slot when one exists, else appends (growing the
+# directory by a block if necessary).
+.global ext2_add_entry
+.type ext2_add_entry, @function
+ext2_add_entry:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %ebp           # dir ino
+    push %edx                 # [esp+4] name   (after next push)
+    push %ecx                 # [esp]   new ino
+    movl $dir_inode_buf, %edx
+    call ext2_read_inode
+    xorl %edi, %edi           # offset
+ae_scan:
+    cmpl dir_inode_buf+I_SIZE, %edi
+    jae ae_append
+    movl %edi, %edx
+    shrl $10, %edx
+    movl $dir_inode_buf, %eax
+    call ext2_bmap
+    testl %eax, %eax
+    jz ae_append
+    movl %eax, %ebx           # block number
+    call bread
+    testl %eax, %eax
+    jz ae_nospace
+    movl %eax, %esi           # bh
+    movl B_DATA(%eax), %edx
+    movl %edi, %eax
+    andl $BLOCK_SIZE-1, %eax
+    addl %eax, %edx           # entry ptr
+    movl D_INO(%edx), %eax
+    testl %eax, %eax
+    jz ae_fill                # reusable hole
+    addl $DIRENT_SIZE, %edi
+    jmp ae_scan
+ae_append:
+    # grow: entry goes at offset = i_size
+    movl dir_inode_buf+I_SIZE, %edi
+    movl %edi, %edx
+    shrl $10, %edx
+    movl $dir_inode_buf, %eax
+    movl %ebp, %ecx
+    call ext2_bmap_alloc
+    testl %eax, %eax
+    jz ae_nospace
+    movl %eax, %ebx
+    call bread
+    testl %eax, %eax
+    jz ae_nospace
+    movl %eax, %esi
+    movl B_DATA(%eax), %edx
+    movl %edi, %eax
+    andl $BLOCK_SIZE-1, %eax
+    addl %eax, %edx
+    # i_size += DIRENT_SIZE, persist inode
+    movl dir_inode_buf+I_SIZE, %eax
+    addl $DIRENT_SIZE, %eax
+    movl %eax, dir_inode_buf+I_SIZE
+    push %edx
+    movl %ebp, %eax
+    movl $dir_inode_buf, %edx
+    call ext2_write_inode
+    pop %edx
+ae_fill:
+    # edx = entry ptr, esi = bh; stack: [new ino][name]
+    pop %eax                  # new ino
+    movl %eax, D_INO(%edx)
+    pop %eax                  # name
+    push %edx
+    movl %edx, %ecx
+    leal D_NAME(%ecx), %ecx
+    movl %eax, %edx
+    movl %ecx, %eax
+    movl $D_NAMELEN, %ecx
+    call strncpy
+    pop %edx
+    movl %esi, %eax
+    call bwrite
+    xorl %eax, %eax
+    jmp ae_out
+ae_nospace:
+    pop %ecx
+    pop %ecx
+    movl $-ENOSPC, %eax
+ae_out:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# ---- truncate ----------------------------------------------------------------
+
+# ext2_truncate(ino=%eax): free all data blocks, size := 0.
+.global ext2_truncate
+.type ext2_truncate, @function
+ext2_truncate:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # ino
+    push %eax
+    call remove_inode_pages   # keep the page cache coherent
+    pop %eax
+    movl %esi, %eax
+    movl $trunc_inode_buf, %edx
+    call ext2_read_inode
+    # direct blocks
+    xorl %ebx, %ebx
+1:  cmpl $NR_DIRECT, %ebx
+    jae 2f
+    movl trunc_inode_buf+I_BLOCK0(,%ebx,4), %eax
+    testl %eax, %eax
+    jz 3f
+    call ext2_free_block
+    movl $0, trunc_inode_buf+I_BLOCK0(,%ebx,4)
+3:  incl %ebx
+    jmp 1b
+2:  # indirect chain
+    movl trunc_inode_buf+I_INDIR, %eax
+    testl %eax, %eax
+    jz 6f
+    call bread
+    testl %eax, %eax
+    jz 5f
+    movl B_DATA(%eax), %edi
+    xorl %ebx, %ebx
+4:  cmpl $256, %ebx
+    jae 5f
+    movl (%edi,%ebx,4), %eax
+    testl %eax, %eax
+    jz 7f
+    push %edi
+    call ext2_free_block
+    pop %edi
+7:  incl %ebx
+    jmp 4b
+5:  movl trunc_inode_buf+I_INDIR, %eax
+    call ext2_free_block
+    movl $0, trunc_inode_buf+I_INDIR
+6:  movl $0, trunc_inode_buf+I_SIZE
+    movl $0, trunc_inode_buf+I_SIZE_HI
+    movl %esi, %eax
+    movl $trunc_inode_buf, %edx
+    call ext2_write_inode
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+.data
+.align 4
+found_block:    .long 0
+found_offset:   .long 0
+.global dir_inode_buf
+dir_inode_buf:  .space 64
+trunc_inode_buf: .space 64

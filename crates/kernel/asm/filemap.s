@@ -1,0 +1,289 @@
+# filemap.s — the page cache and the generic file read path (`mm`
+# module). do_generic_file_read reproduces the structure of the paper's
+# Figure 5 case study, including the 64-bit `i_size >> PAGE_SHIFT`
+# computed with shrd that the catastrophic mov corruption defeated.
+
+.subsystem mm
+.text
+
+# page_cache_init(): clear the cache table.
+.global page_cache_init
+.type page_cache_init, @function
+page_cache_init:
+    movl $page_cache, %eax
+    xorl %edx, %edx
+    movl $PGC_ENTRIES << PGC_SHIFT, %ecx
+    call memset
+    movl $0, pgc_tick
+    ret
+
+# find_page(ino=%eax, index=%edx) -> cached page (kernel virt) or 0.
+.global find_page
+.type find_page, @function
+find_page:
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 9f
+    ud2a                      # BUG(): page-cache lookup for inode 0
+9:
+#ASSERT_END
+    push %ebx
+    movl $page_cache, %ecx
+    movl $PGC_ENTRIES, %ebx
+1:  cmpl PC_INO(%ecx), %eax
+    jne 2f
+    cmpl PC_IDX(%ecx), %edx
+    jne 2f
+    # hit: stamp LRU and return the page
+    push %eax
+    movl pgc_tick, %eax
+    incl %eax
+    movl %eax, pgc_tick
+    movl %eax, PC_TICK(%ecx)
+    pop %eax
+    movl PC_PAGE(%ecx), %eax
+    pop %ebx
+    ret
+2:  addl $1 << PGC_SHIFT, %ecx
+    decl %ebx
+    jnz 1b
+    xorl %eax, %eax
+    pop %ebx
+    ret
+
+# add_to_page_cache(ino=%eax, index=%edx, page=%ecx): insert, evicting
+# the least recently used entry if the table is full (its page is
+# released).
+.global add_to_page_cache
+.type add_to_page_cache, @function
+add_to_page_cache:
+    push %ebx
+    push %esi
+    push %edi
+    push %eax
+    push %edx
+    push %ecx
+    # find a free slot, or the minimum-tick victim
+    movl $page_cache, %esi    # best
+    movl $page_cache, %ebx    # cursor
+    movl $PGC_ENTRIES, %edi
+1:  movl PC_INO(%ebx), %eax
+    testl %eax, %eax
+    jz use_slot               # free slot: take it immediately
+    movl PC_TICK(%ebx), %eax
+    cmpl PC_TICK(%esi), %eax
+    jae 2f
+    movl %ebx, %esi
+2:  addl $1 << PGC_SHIFT, %ebx
+    decl %edi
+    jnz 1b
+    movl %esi, %ebx
+    # evict: free the old page
+    movl PC_PAGE(%ebx), %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+use_slot:
+    pop %ecx
+    pop %edx
+    pop %eax
+    movl %eax, PC_INO(%ebx)
+    movl %edx, PC_IDX(%ebx)
+    movl %ecx, PC_PAGE(%ebx)
+    movl pgc_tick, %eax
+    incl %eax
+    movl %eax, pgc_tick
+    movl %eax, PC_TICK(%ebx)
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# remove_inode_pages(ino=%eax): drop every cached page of an inode
+# (called on write, truncate and unlink to keep the cache coherent).
+.global remove_inode_pages
+.type remove_inode_pages, @function
+remove_inode_pages:
+    push %ebx
+    push %esi
+    movl %eax, %esi
+    movl $page_cache, %ebx
+    movl $PGC_ENTRIES, %ecx
+1:  cmpl PC_INO(%ebx), %esi
+    jne 2f
+    movl $0, PC_INO(%ebx)
+    push %ecx
+    movl PC_PAGE(%ebx), %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+    pop %ecx
+2:  addl $1 << PGC_SHIFT, %ebx
+    decl %ecx
+    jnz 1b
+    pop %esi
+    pop %ebx
+    ret
+
+# read_page(ino=%eax, index=%edx) -> page (kernel virt) or 0 on OOM.
+# Fills a fresh page from the four 1 KiB filesystem blocks backing it
+# (holes read as zeroes) and inserts it into the page cache.
+.global read_page
+.type read_page, @function
+read_page:
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 8f
+    ud2a                      # BUG(): reading pages of inode 0
+8:
+#ASSERT_END
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %esi           # ino
+    movl %edx, %edi           # index
+    call get_free_page
+    testl %eax, %eax
+    jz rp_out
+    movl %eax, %ebp           # page
+    # load the inode into the shared scratch (non-blocking path)
+    movl %esi, %eax
+    movl $scratch_inode, %edx
+    call ext2_read_inode
+    xorl %ebx, %ebx           # block-in-page 0..3
+rp_blk:
+    cmpl $4, %ebx
+    jae rp_done
+    movl %edi, %edx
+    shll $2, %edx
+    addl %ebx, %edx           # file block index
+    movl $scratch_inode, %eax
+    call ext2_bmap
+    testl %eax, %eax
+    jz rp_next                # hole: stays zero
+    call bread
+    testl %eax, %eax
+    jz rp_next
+    movl B_DATA(%eax), %edx   # src
+    movl %ebx, %eax
+    shll $10, %eax
+    addl %ebp, %eax           # dst = page + 1K*blk
+    movl $BLOCK_SIZE, %ecx
+    call memcpy
+rp_next:
+    incl %ebx
+    jmp rp_blk
+rp_done:
+    movl %esi, %eax
+    movl %edi, %edx
+    movl %ebp, %ecx
+    call add_to_page_cache
+    movl %ebp, %eax
+rp_out:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# do_generic_file_read(ino=%eax, pos=%edx, buf=%ecx, count=%esi)
+#   -> bytes read (0 at EOF) or negative errno.
+# The read loop mirrors Linux 2.4: end_index = i_size >> PAGE_SHIFT
+# computed on the 64-bit size with shrd, and the loop breaks as soon as
+# index passes end_index (the paper's Figure 5 corruption zeroed
+# end_index here and caused a silent short read).
+.global do_generic_file_read
+.type do_generic_file_read, @function
+do_generic_file_read:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %ebx           # ino
+    movl %edx, %ebp           # pos
+    movl %ecx, %edi           # buf
+    # esi already = count
+    # load the inode
+    movl $dgfr_save_cnt, %edx
+    movl %esi, (%edx)
+    movl %ebx, %eax
+    movl $read_inode_buf, %edx
+    call ext2_read_inode
+    # clamp count to file size
+    movl read_inode_buf+I_SIZE, %eax
+    cmpl %ebp, %eax
+    ja 1f
+    xorl %eax, %eax           # pos >= size: EOF
+    jmp dgfr_out
+1:  subl %ebp, %eax           # size - pos
+    cmpl %esi, %eax
+    jae 2f
+    movl %eax, %esi           # count = size - pos
+2:  movl $0, dgfr_total
+    # end_index = (u64)i_size >> PAGE_SHIFT  (shrd, as in the paper)
+    movl read_inode_buf+I_SIZE, %eax
+    movl read_inode_buf+I_SIZE_HI, %edx
+    shrd $12, %edx, %eax
+    movl %eax, dgfr_end_index
+read_loop:
+    testl %esi, %esi
+    jz dgfr_done
+    movl %ebp, %edx
+    shrl $12, %edx            # index
+    cmpl dgfr_end_index, %edx
+    ja dgfr_done              # past the last page: stop
+    movl %ebx, %eax
+    call find_page
+    testl %eax, %eax
+    jnz have_page
+    movl %ebx, %eax
+    movl %ebp, %edx
+    shrl $12, %edx
+    call read_page
+    testl %eax, %eax
+    jnz have_page
+    movl $-ENOMEM, %eax
+    jmp dgfr_out
+have_page:
+    # chunk = min(PAGE_SIZE - (pos & 0xfff), count)
+    movl %ebp, %ecx
+    andl $0xFFF, %ecx
+    addl %ecx, %eax           # src = page + offset
+    movl $PAGE_SIZE, %edx
+    subl %ecx, %edx           # room in page
+    cmpl %esi, %edx
+    jbe 3f
+    movl %esi, %edx
+3:  # memcpy(buf, src, chunk) — may fault on the user buffer, which the
+    # page-fault path resolves (demand allocation / COW).
+    push %edx
+    movl %edx, %ecx
+    movl %eax, %edx
+    movl %edi, %eax
+    call memcpy
+    pop %edx
+    addl %edx, %edi
+    addl %edx, %ebp
+    subl %edx, %esi
+    addl %edx, dgfr_total
+    jmp read_loop
+dgfr_done:
+    movl dgfr_total, %eax
+dgfr_out:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+.data
+.align 4
+pgc_tick:       .long 0
+dgfr_total:     .long 0
+dgfr_end_index: .long 0
+dgfr_save_cnt:  .long 0
+.global read_inode_buf
+read_inode_buf: .space 64
+.global scratch_inode
+scratch_inode:  .space 64
+.align 16
+page_cache:     .space PGC_ENTRIES << PGC_SHIFT

@@ -1,0 +1,294 @@
+# fork.s — process creation and teardown (`kernel` module): sys_fork,
+# sys_waitpid, do_exit.
+
+.subsystem kernel
+.text
+
+# sys_fork() -> child pid (parent) / 0 (child) / negative errno.
+# The child's kernel stack is crafted so its first schedule() lands in
+# ret_from_fork with a zero return value.
+.global sys_fork
+.type sys_fork, @function
+sys_fork:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    # --- find a free task slot (never slot 0) ---
+    movl $task_table+TASK_SIZE, %ebx
+    movl $NR_TASKS-1, %ecx
+1:  cmpl $TS_UNUSED, T_STATE(%ebx)
+    je slot_ok
+    addl $TASK_SIZE, %ebx
+    decl %ecx
+    jnz 1b
+    movl $-EAGAIN, %eax
+    jmp out_fork
+slot_ok:
+    # --- page directory ---
+    call get_free_page
+    testl %eax, %eax
+    jz nomem_fork
+    movl %eax, %edi           # child pgd (virt)
+    # share the kernel half with everyone: copy PDEs 768..1023
+    leal 768*4(%edi), %eax
+    movl $KERNEL_BASE+BOOT_PGD_PHYS+768*4, %edx
+    movl $256*4, %ecx
+    call memcpy
+    # --- kernel stack ---
+    call get_free_page
+    testl %eax, %eax
+    jz nomem_fork_pgd
+    movl %eax, %ebp           # child kstack page (virt)
+    # --- fill the task struct ---
+    movl next_pid, %eax
+    movl %eax, T_PID(%ebx)
+    incl next_pid
+    movl %edi, %eax
+    subl $KERNEL_BASE, %eax
+    movl %eax, T_PGD(%ebx)
+    leal 4096(%ebp), %eax
+    movl %eax, T_KSTACK(%ebx)
+    movl current, %edx
+    movl T_PID(%edx), %eax
+    movl %eax, T_PARENT(%ebx)
+    movl T_BRK(%edx), %eax
+    movl %eax, T_BRK(%ebx)
+    movl $TIMESLICE, T_COUNTER(%ebx)
+    movl $0, T_TICKS(%ebx)
+    movl $0, T_CHAN(%ebx)
+    movl $0, T_EXIT(%ebx)
+    # --- inherit file descriptors ---
+    xorl %ecx, %ecx
+2:  cmpl $NR_FDS, %ecx
+    jae fds_done
+    movl T_FDS(%edx,%ecx,4), %eax
+    movl %eax, T_FDS(%ebx,%ecx,4)
+    testl %eax, %eax
+    jz 3f
+    incl F_REFS(%eax)
+3:  incl %ecx
+    jmp 2b
+fds_done:
+    # --- clone the user address space (COW) ---
+    movl current, %eax
+    movl %ebx, %edx
+    call copy_page_tables
+    testl %eax, %eax
+    js nomem_fork_all
+    # --- craft the child kernel stack ---
+    # parent frame: pusha(32) + iret(16) starts at entry esp + 4 (the
+    # dispatcher's return address) = current esp + 16 (callee pushes) + 4.
+    leal 4096-48(%ebp), %eax  # dst for the 48-byte frame
+    leal 20(%esp), %edx       # src
+    movl $48, %ecx
+    call memcpy
+    movl $0, 4096-48+28(%ebp) # child's saved eax = 0
+    movl $ret_from_fork, %eax
+    movl %eax, 4096-52(%ebp)
+    # 4 callee-saved dummies below (page is zeroed)
+    leal 4096-68(%ebp), %eax
+    movl %eax, T_ESP(%ebx)
+    # --- go ---
+    movl $TS_READY, T_STATE(%ebx)
+    movl T_PID(%ebx), %eax
+out_fork:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+nomem_fork_all:
+    # roll back the partially copied page tables + both pages
+    movl %ebx, %eax
+    call unmap_and_free_task_memory
+    movl %ebp, %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+nomem_fork_pgd:
+    movl %edi, %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+nomem_fork:
+    movl $-ENOMEM, %eax
+    jmp out_fork
+
+# unmap_and_free_task_memory(task=%eax): release every user page and
+# page table of a dead (or aborted) task. The pgd page itself stays —
+# the reaper frees it once nothing can still be running on it.
+.global unmap_and_free_task_memory
+.type unmap_and_free_task_memory, @function
+unmap_and_free_task_memory:
+    push %ebx
+    push %esi
+    movl %eax, %esi
+    movl T_PGD(%esi), %ebx
+    addl $KERNEL_BASE, %ebx   # pgd virt
+    xorl %ecx, %ecx
+1:  cmpl $768, %ecx
+    jae 2f
+    movl (%ebx,%ecx,4), %eax
+    testl $PTE_P, %eax
+    jz next_ufm
+    # free every mapped page in this table
+    push %ecx
+    movl %eax, %edx
+    andl $0xFFFFF000, %edx
+    addl $KERNEL_BASE, %edx   # pt virt
+    xorl %ecx, %ecx
+3:  cmpl $1024, %ecx
+    jae 4f
+    movl (%edx,%ecx,4), %eax
+    testl $PTE_P, %eax
+    jz 5f
+    andl $0xFFFFF000, %eax
+    push %ecx
+    push %edx
+    call free_page
+    pop %edx
+    pop %ecx
+5:  incl %ecx
+    jmp 3b
+4:  # free the page table page itself
+    movl %edx, %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+    pop %ecx
+    movl $0, (%ebx,%ecx,4)
+next_ufm:
+    incl %ecx
+    jmp 1b
+2:  pop %esi
+    pop %ebx
+    ret
+
+# sys_waitpid(pid=%eax, status_user=%edx) -> reaped pid or errno.
+# pid <= 0 waits for any child.
+.global sys_waitpid
+.type sys_waitpid, @function
+sys_waitpid:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # wanted pid
+    movl %edx, %edi           # status pointer (may be 0)
+wp_restart:
+    movl current, %eax
+    movl T_PID(%eax), %edx    # our pid
+    movl $task_table, %ebx
+    movl $NR_TASKS, %ecx
+    push %ebp
+    xorl %ebp, %ebp           # has_children flag
+wp_scan:
+    cmpl $TS_UNUSED, T_STATE(%ebx)
+    je wp_next
+    cmpl T_PARENT(%ebx), %edx
+    jne wp_next
+    cmpl $0, T_PID(%ebx)
+    je wp_next                # idle is nobody's child
+    # does this child match the pid filter?
+    cmpl $0, %esi
+    jle wp_match
+    movl T_PID(%ebx), %eax
+    cmpl %esi, %eax
+    jne wp_next
+wp_match:
+    movl $1, %ebp             # a matching child exists
+    cmpl $TS_ZOMBIE, T_STATE(%ebx)
+    jne wp_next
+wp_reap:
+    pop %ebp
+    # store the status if requested
+    testl %edi, %edi
+    jz 1f
+    movl %edi, %eax
+    movl $4, %edx
+    call verify_area
+    testl %eax, %eax
+    js 1f
+    movl T_EXIT(%ebx), %eax
+    movl %eax, (%edi)
+1:  # free the child's pgd and kernel stack
+    movl T_PGD(%ebx), %eax
+    call free_page
+    movl T_KSTACK(%ebx), %eax
+    subl $4096, %eax
+    subl $KERNEL_BASE, %eax
+    call free_page
+    movl T_PID(%ebx), %esi
+    movl $TS_UNUSED, T_STATE(%ebx)
+    movl %esi, %eax
+    jmp out_waitp
+wp_next:
+    addl $TASK_SIZE, %ebx
+    decl %ecx
+    jnz wp_scan
+    testl %ebp, %ebp
+    pop %ebp
+    jz wp_nochild
+    # children exist but none dead yet: wait for an exit
+    movl $task_table, %eax
+    call sleep_on
+    jmp wp_restart
+wp_nochild:
+    movl $-ECHILD, %eax
+out_waitp:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# do_exit(code=%eax): terminate the current task. Never returns.
+.global do_exit
+.type do_exit, @function
+do_exit:
+    push %ebx
+    push %esi
+    movl %eax, %esi           # exit code
+    movl current, %ebx
+#ASSERT_BEGIN
+    cmpl $TS_ZOMBIE, T_STATE(%ebx)
+    jne 9f
+    ud2a                      # BUG(): exiting task already a zombie
+9:
+#ASSERT_END
+    # killing init brings the system down
+    cmpl $1, T_PID(%ebx)
+    jne 1f
+    movl $init_died_msg, %eax
+    call panic
+1:  # close every descriptor
+    xorl %ecx, %ecx
+2:  cmpl $NR_FDS, %ecx
+    jae fds_closed
+    cmpl $0, T_FDS(%ebx,%ecx,4)
+    jz 3f
+    push %ecx
+    movl %ecx, %eax
+    call sys_close
+    pop %ecx
+3:  incl %ecx
+    jmp 2b
+fds_closed:
+    # release the whole user address space
+    movl %ebx, %eax
+    call unmap_and_free_task_memory
+    call flush_tlb
+    movl %esi, T_EXIT(%ebx)
+    movl $TS_ZOMBIE, T_STATE(%ebx)
+    # let a waiting parent reap us
+    movl $task_table, %eax
+    call wake_up
+    call schedule
+    # a zombie must never be scheduled again
+    ud2a
+
+# sys_exit(code=%eax)
+.global sys_exit
+.type sys_exit, @function
+sys_exit:
+    call do_exit
+    ud2a
+
+.data
+init_died_msg: .asciz "Attempted to kill init!"

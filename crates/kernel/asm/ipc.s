@@ -1,0 +1,63 @@
+# ipc.s — a minimal System-V-style semaphore (`ipc` module; Table 1
+# profiles a single ipc function, so one realistic entry point exists).
+
+.subsystem ipc
+.text
+
+# sys_sem(op=%eax, sem=%edx) -> value or errno.
+# op 0: semget (returns sem index if valid), op 1: P (down, may block),
+# op 2: V (up).
+.global sys_sem
+.type sys_sem, @function
+sys_sem:
+    push %ebx
+    push %esi
+    movl %edx, %esi           # sem index
+    cmpl $NR_SEMS, %esi
+    jae inval_sem
+    movl %esi, %ebx
+    shll $2, %ebx
+    addl $sem_table, %ebx     # &value
+    cmpl $0, %eax
+    je get_sem
+    cmpl $1, %eax
+    je down_sem
+    cmpl $2, %eax
+    je up_sem
+inval_sem:
+    movl $-EINVAL, %eax
+    pop %esi
+    pop %ebx
+    ret
+get_sem:
+    movl %esi, %eax
+    pop %esi
+    pop %ebx
+    ret
+down_sem:
+    movl (%ebx), %eax
+    testl %eax, %eax
+    jg take_sem
+    movl %ebx, %eax
+    call sleep_on
+    jmp down_sem
+take_sem:
+    decl (%ebx)
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+up_sem:
+    incl (%ebx)
+    movl %ebx, %eax
+    call wake_up
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+.equ NR_SEMS, 4
+
+.data
+.align 4
+sem_table: .long 1, 1, 1, 1

@@ -1,0 +1,133 @@
+# lib.s — string/memory helpers (the `lib` module in the kernel tree).
+#
+# Kernel calling convention throughout: arg1 = %eax, arg2 = %edx,
+# arg3 = %ecx, result = %eax; %ebx/%esi/%edi/%ebp are callee-saved.
+
+.subsystem lib
+.text
+
+# memcpy(dst=%eax, src=%edx, n=%ecx)
+.global memcpy
+.type memcpy, @function
+memcpy:
+    push %esi
+    push %edi
+    movl %eax, %edi
+    movl %edx, %esi
+    movl %ecx, %edx          # keep byte count
+    shrl $2, %ecx
+    cld
+    rep movsl
+    movl %edx, %ecx
+    andl $3, %ecx
+    rep movsb
+    pop %edi
+    pop %esi
+    ret
+
+# memset(dst=%eax, byte=%edx, n=%ecx)
+.global memset
+.type memset, @function
+memset:
+    push %edi
+    movl %eax, %edi
+    movl %edx, %eax
+    movb %al, %ah
+    movl %eax, %edx
+    shll $16, %eax
+    orl %edx, %eax           # replicate byte into all four lanes (low 16 ok)
+    andl $0xffff, %edx
+    orl %edx, %eax
+    movl %ecx, %edx
+    shrl $2, %ecx
+    cld
+    rep stosl
+    movl %edx, %ecx
+    andl $3, %ecx
+    rep stosb
+    pop %edi
+    ret
+
+# memcmp(a=%eax, b=%edx, n=%ecx) -> 0 if equal, nonzero otherwise
+.global memcmp
+.type memcmp, @function
+memcmp:
+    push %esi
+    push %edi
+    movl %eax, %esi
+    movl %edx, %edi
+    cld
+    rep cmpsb
+    jne 1f
+    xorl %eax, %eax
+    jmp 2f
+1:  movl $1, %eax
+2:  pop %edi
+    pop %esi
+    ret
+
+# strlen(s=%eax) -> length
+.global strlen
+.type strlen, @function
+strlen:
+    push %edi
+    movl %eax, %edi
+    xorl %eax, %eax
+    movl $-1, %ecx
+    cld
+    repne scasb
+    notl %ecx
+    decl %ecx
+    movl %ecx, %eax
+    pop %edi
+    ret
+
+# strncmp(a=%eax, b=%edx, n=%ecx) -> 0 if equal up to n (or both NUL)
+.global strncmp
+.type strncmp, @function
+strncmp:
+    push %esi
+    push %edi
+    movl %eax, %esi
+    movl %edx, %edi
+1:  testl %ecx, %ecx
+    jz 4f                     # exhausted n: equal
+    movzbl (%esi), %eax
+    movzbl (%edi), %edx
+    cmpl %edx, %eax
+    jne 3f
+    testl %eax, %eax
+    jz 4f                     # both NUL: equal
+    incl %esi
+    incl %edi
+    decl %ecx
+    jmp 1b
+3:  movl $1, %eax
+    jmp 5f
+4:  xorl %eax, %eax
+5:  pop %edi
+    pop %esi
+    ret
+
+# strncpy(dst=%eax, src=%edx, n=%ecx): always NUL-terminates within n.
+.global strncpy
+.type strncpy, @function
+strncpy:
+    push %esi
+    push %edi
+    movl %eax, %edi
+    movl %edx, %esi
+1:  cmpl $1, %ecx
+    jbe 2f
+    movzbl (%esi), %eax
+    movb %al, (%edi)
+    testb %al, %al
+    jz 3f
+    incl %esi
+    incl %edi
+    decl %ecx
+    jmp 1b
+2:  movb $0, (%edi)
+3:  pop %edi
+    pop %esi
+    ret

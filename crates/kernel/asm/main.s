@@ -1,0 +1,128 @@
+# main.s — start_kernel, the syscall table, init-task creation and the
+# idle loop (`init` module, like Linux init/main.c).
+
+.subsystem init
+.text
+
+.global start_kernel
+.type start_kernel, @function
+start_kernel:
+    movl $banner, %eax
+    call printk
+    call trap_init
+    call init_mem
+    call buffer_init
+    call page_cache_init
+    call files_init
+    call sched_init
+    call mount_root
+    call spawn_init
+    movl $boot_ok_msg, %eax
+    call printk
+    movl $EVT_BOOT_OK, %eax
+    outl %eax, $PORT_MON_EVENT
+# the idle loop (task 0)
+idle_loop:
+    call schedule
+    sti
+    hlt
+    cli
+    jmp idle_loop
+
+# spawn_init(): hand-build task 1; its first schedule lands in
+# init_entry which execs /init.
+.global spawn_init
+.type spawn_init, @function
+spawn_init:
+    push %ebx
+    push %esi
+    movl $task_table+TASK_SIZE, %ebx
+    # page directory with the shared kernel half
+    call get_free_page
+    testl %eax, %eax
+    jz no_init_mem
+    movl %eax, %esi
+    leal 768*4(%esi), %eax
+    movl $KERNEL_BASE+BOOT_PGD_PHYS+768*4, %edx
+    movl $256*4, %ecx
+    call memcpy
+    movl %esi, %eax
+    subl $KERNEL_BASE, %eax
+    movl %eax, T_PGD(%ebx)
+    # kernel stack
+    call get_free_page
+    testl %eax, %eax
+    jz no_init_mem
+    movl %eax, %esi           # stack page
+    leal 4096(%esi), %eax
+    movl %eax, T_KSTACK(%ebx)
+    # entry thunk: schedule() pops 4 dummies then returns to init_entry
+    movl $init_entry, %eax
+    movl %eax, 4096-4(%esi)
+    leal 4096-20(%esi), %eax
+    movl %eax, T_ESP(%ebx)
+    # identity
+    movl $1, T_PID(%ebx)
+    movl $0, T_PARENT(%ebx)
+    movl $USER_CODE_BASE, T_BRK(%ebx)
+    movl $TIMESLICE, T_COUNTER(%ebx)
+    # stdin/stdout/stderr on the console file
+    movl $file_table, %eax
+    movl %eax, T_FDS+0(%ebx)
+    movl %eax, T_FDS+4(%ebx)
+    movl %eax, T_FDS+8(%ebx)
+    addl $3, F_REFS(%eax)
+    movl $TS_READY, T_STATE(%ebx)
+    pop %esi
+    pop %ebx
+    ret
+no_init_mem:
+    movl $no_init_mem_msg, %eax
+    call panic
+
+# init_entry(): kernel-mode springboard of pid 1.
+.global init_entry
+.type init_entry, @function
+init_entry:
+    movl $init_path, %eax
+    call do_execve
+    # only reached when /init could not be loaded
+    movl $no_init_msg, %eax
+    call panic
+
+.data
+banner:          .asciz "Linux version 2.4.19-kfi (kfi@crhc) #1 SMP\n"
+boot_ok_msg:     .asciz "kfi: boot complete\n"
+no_init_msg:     .asciz "No init found"
+no_init_mem_msg: .asciz "spawn_init: out of memory"
+init_path:       .asciz "/init"
+
+# ---- the system call table ---------------------------------------------------
+.align 4
+.global sys_call_table
+sys_call_table:
+    .long 0                   #  0 (ni)
+    .long sys_exit            #  1
+    .long sys_fork            #  2
+    .long sys_read            #  3
+    .long sys_write           #  4
+    .long sys_open            #  5
+    .long sys_close           #  6
+    .long sys_waitpid         #  7
+    .long sys_unlink          #  8
+    .long sys_execve          #  9
+    .long sys_getpid          # 10
+    .long sys_pipe            # 11
+    .long sys_brk             # 12
+    .long sys_lseek           # 13
+    .long sys_reboot          # 14
+    .long sys_yield           # 15
+    .long sys_report          # 16
+    .long sys_mark            # 17
+    .long sys_getmode         # 18
+    .long sys_stat            # 19
+    .long sys_time            # 20
+    .long sys_sem             # 21
+    .long sys_socketcall      # 22
+    .long sys_sync            # 23
+    .long sys_kill            # 24

@@ -1,0 +1,365 @@
+# memory.s — page-table management, demand paging and COW (`mm` module).
+
+.subsystem mm
+.text
+
+# flush_tlb(): reload CR3 (the ISA subset has no invlpg).
+.global flush_tlb
+.type flush_tlb, @function
+flush_tlb:
+    movl %cr3, %eax
+    movl %eax, %cr3
+    ret
+
+# verify_area(addr=%eax, len=%edx) -> 0 ok, -EFAULT for kernel range.
+.global verify_area
+.type verify_area, @function
+verify_area:
+    cmpl $KERNEL_BASE, %eax
+    jae 1f
+    addl %eax, %edx
+    jc 1f                      # wrapped
+    cmpl $KERNEL_BASE, %edx
+    ja 1f
+    xorl %eax, %eax
+    ret
+1:  movl $-EFAULT, %eax
+    ret
+
+# pte_offset(addr=%eax) -> pointer (kernel virt) to the PTE mapping
+# addr in the current page tables, or 0 when the page table is absent.
+.global pte_offset
+.type pte_offset, @function
+pte_offset:
+    push %ebx
+    movl %eax, %ebx
+    movl current, %eax
+    movl T_PGD(%eax), %eax    # phys
+    addl $KERNEL_BASE, %eax
+    movl %ebx, %edx
+    shrl $22, %edx
+    movl (%eax,%edx,4), %eax  # PDE
+    testl $PTE_P, %eax
+    jz 1f
+    andl $0xFFFFF000, %eax
+    addl $KERNEL_BASE, %eax
+    movl %ebx, %edx
+    shrl $12, %edx
+    andl $0x3FF, %edx
+    leal (%eax,%edx,4), %eax
+    pop %ebx
+    ret
+1:  xorl %eax, %eax
+    pop %ebx
+    ret
+
+# pte_alloc(addr=%eax) -> PTE pointer, allocating the page table if
+# needed; 0 on out-of-memory.
+.global pte_alloc
+.type pte_alloc, @function
+pte_alloc:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    movl current, %eax
+    movl T_PGD(%eax), %eax
+    addl $KERNEL_BASE, %eax
+    movl %ebx, %edx
+    shrl $22, %edx
+    leal (%eax,%edx,4), %esi  # &PDE
+    movl (%esi), %eax
+    testl $PTE_P, %eax
+    jnz 2f
+    call get_free_page
+    testl %eax, %eax
+    jz 9f
+    subl $KERNEL_BASE, %eax
+    orl $PG_USER, %eax
+    movl %eax, (%esi)
+2:  movl (%esi), %eax
+    andl $0xFFFFF000, %eax
+    addl $KERNEL_BASE, %eax
+    movl %ebx, %edx
+    shrl $12, %edx
+    andl $0x3FF, %edx
+    leal (%eax,%edx,4), %eax
+9:  pop %esi
+    pop %ebx
+    ret
+
+# handle_mm_fault(addr=%eax, error_code=%edx) -> 0 ok, 1 out of memory.
+# Dispatches between demand-zero and copy-on-write.
+.global handle_mm_fault
+.type handle_mm_fault, @function
+handle_mm_fault:
+#ASSERT_BEGIN
+    cmpl $KERNEL_BASE, %eax
+    jb 9f
+    ud2a                      # BUG(): mm fault for a kernel address
+9:
+#ASSERT_END
+    testl $1, %edx            # page present?
+    jnz 1f
+    call do_anonymous_page
+    ret
+1:  call do_wp_page
+    ret
+
+# do_anonymous_page(addr=%eax) -> 0 ok, 1 OOM. Demand-zero mapping.
+.global do_anonymous_page
+.type do_anonymous_page, @function
+do_anonymous_page:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    call pte_alloc
+    testl %eax, %eax
+    jz oom1
+    movl %eax, %esi           # &PTE
+    call get_free_page
+    testl %eax, %eax
+    jz oom1
+    subl $KERNEL_BASE, %eax
+    orl $PG_USER, %eax
+    movl %eax, (%esi)
+    call flush_tlb
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+oom1:
+    movl $1, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# do_wp_page(addr=%eax) -> 0 ok, 1 OOM. Copy-on-write resolution: the
+# page is present but write-protected. A sole reference is simply
+# re-enabled for writing; a shared page is copied first.
+.global do_wp_page
+.type do_wp_page, @function
+do_wp_page:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %edx
+    call pte_offset
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 1f
+    ud2a                      # BUG(): WP fault with no page table
+1:
+#ASSERT_END
+    movl %eax, %esi           # &PTE
+    movl (%esi), %ebx
+#ASSERT_BEGIN
+    testl $PTE_P, %ebx
+    jne 2f
+    ud2a                      # BUG(): WP fault on absent page
+2:
+#ASSERT_END
+    andl $0xFFFFF000, %ebx    # old phys
+    movl %ebx, %eax
+    call page_ref_count
+    cmpl $1, %eax
+    jne cow_copy
+    # Sole owner: just make it writable again.
+    orl $PTE_RW, (%esi)
+    call flush_tlb
+    xorl %eax, %eax
+    jmp out_wp
+cow_copy:
+    call get_free_page
+    testl %eax, %eax
+    jz oom2
+    movl %eax, %edi           # new page (virt)
+    movl %ebx, %edx
+    addl $KERNEL_BASE, %edx   # old page (virt)
+    movl $PAGE_SIZE, %ecx
+    call memcpy               # memcpy(new, old, 4096)
+    movl %ebx, %eax
+    call free_page            # drop the shared reference
+    movl %edi, %eax
+    subl $KERNEL_BASE, %eax
+    orl $PG_USER, %eax
+    movl %eax, (%esi)
+    call flush_tlb
+    xorl %eax, %eax
+out_wp:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+oom2:
+    movl $1, %eax
+    jmp out_wp
+
+# zap_page_range(start=%eax, end=%edx): unmap and release every user
+# page in [start, end). Page tables themselves stay allocated (freed at
+# exit by free_page_tables).
+.global zap_page_range
+.type zap_page_range, @function
+zap_page_range:
+    push %ebx
+    push %esi
+#ASSERT_BEGIN
+    cmpl %edx, %eax
+    jbe 9f
+    ud2a                      # BUG(): zap range start past end
+9:
+#ASSERT_END
+    movl %eax, %ebx           # cursor
+    movl %edx, %esi           # end
+    andl $0xFFFFF000, %ebx
+1:  cmpl %esi, %ebx
+    jae 2f
+    movl %ebx, %eax
+    call pte_offset
+    testl %eax, %eax
+    jz next_page
+    movl (%eax), %edx
+    testl $PTE_P, %edx
+    jz next_page
+    movl $0, (%eax)
+    movl %edx, %eax
+    andl $0xFFFFF000, %eax
+    call free_page
+next_page:
+    addl $PAGE_SIZE, %ebx
+    jmp 1b
+2:  call flush_tlb
+    pop %esi
+    pop %ebx
+    ret
+
+# copy_page_tables(src_task=%eax, dst_task=%edx) -> 0 ok, -ENOMEM.
+# Clones the user half of the address space with COW semantics: every
+# writable PTE loses PTE_RW in *both* trees and gains a reference.
+.global copy_page_tables
+.type copy_page_tables, @function
+copy_page_tables:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl T_PGD(%eax), %esi
+    addl $KERNEL_BASE, %esi   # src pgd (virt)
+    movl T_PGD(%edx), %edi
+    addl $KERNEL_BASE, %edi   # dst pgd (virt)
+    xorl %ebx, %ebx           # dir index
+dir_loop:
+    cmpl $768, %ebx
+    jae done_ok
+    movl (%esi,%ebx,4), %eax
+    testl $PTE_P, %eax
+    jz next_dir
+    # allocate a page table for the child
+    push %eax
+    call get_free_page
+    testl %eax, %eax
+    jz nomem_ptbl
+    movl %eax, %ebp           # child PT (virt)
+    pop %eax
+    movl %eax, %edx
+    andl $0xFFFFF000, %edx
+    addl $KERNEL_BASE, %edx   # parent PT (virt)
+    # child PDE: same flags, new frame
+    andl $0xFFF, %eax
+    movl %ebp, %ecx
+    subl $KERNEL_BASE, %ecx
+    orl %ecx, %eax
+    movl %eax, (%edi,%ebx,4)
+    # copy PTEs with COW
+    xorl %ecx, %ecx
+pte_loop:
+    cmpl $1024, %ecx
+    jae next_dir
+    movl (%edx,%ecx,4), %eax
+    testl $PTE_P, %eax
+    jz 3f
+    andl $~PTE_RW, %eax       # write-protect both sides
+    movl %eax, (%edx,%ecx,4)
+    movl %eax, (%ebp,%ecx,4)
+    andl $0xFFFFF000, %eax
+    push %ecx
+    push %edx
+    call page_ref_inc
+    pop %edx
+    pop %ecx
+3:  incl %ecx
+    jmp pte_loop
+next_dir:
+    incl %ebx
+    jmp dir_loop
+done_ok:
+    call flush_tlb
+    xorl %eax, %eax
+out_cpt:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+nomem_ptbl:
+    pop %eax
+    movl $-ENOMEM, %eax
+    jmp out_cpt
+
+# free_page_tables(task=%eax): release the user page tables and the
+# page directory itself (all user pages must already be zapped).
+.global free_page_tables
+.type free_page_tables, @function
+free_page_tables:
+    push %ebx
+    push %esi
+    movl T_PGD(%eax), %esi
+    addl $KERNEL_BASE, %esi
+    xorl %ebx, %ebx
+1:  cmpl $768, %ebx
+    jae 2f
+    movl (%esi,%ebx,4), %eax
+    testl $PTE_P, %eax
+    jz 3f
+    movl $0, (%esi,%ebx,4)
+    andl $0xFFFFF000, %eax
+    call free_page
+3:  incl %ebx
+    jmp 1b
+2:  movl %esi, %eax
+    subl $KERNEL_BASE, %eax
+    call free_page            # the pgd page
+    pop %esi
+    pop %ebx
+    ret
+
+# sys_brk(new=%eax) -> new break (or the current one when new == 0 or
+# out of range). Shrinking releases the pages immediately.
+.global sys_brk
+.type sys_brk, @function
+sys_brk:
+    push %ebx
+    movl %eax, %ebx
+    movl current, %ecx
+    testl %ebx, %ebx
+    jz query
+    cmpl $USER_CODE_BASE, %ebx
+    jb query
+    cmpl $USER_STACK_LOW, %ebx
+    ja query
+    movl T_BRK(%ecx), %eax
+    cmpl %eax, %ebx
+    jae grow
+    # shrink: free [new_aligned_up, old)
+    movl %ebx, %eax
+    addl $PAGE_SIZE-1, %eax
+    andl $0xFFFFF000, %eax
+    movl T_BRK(%ecx), %edx
+    push %ecx
+    call zap_page_range
+    pop %ecx
+grow:
+    movl %ebx, T_BRK(%ecx)
+query:
+    movl T_BRK(%ecx), %eax
+    pop %ebx
+    ret

@@ -1,0 +1,208 @@
+# namei.s — path resolution (`fs` module): link_path_walk, dir_namei,
+# open_namei.
+
+.subsystem fs
+.text
+
+# link_path_walk(path=%eax) -> inode number or -ENOENT/-ENOTDIR.
+# Walks absolute paths ("/bin/dhry") component by component from the
+# root directory.
+.global link_path_walk
+.type link_path_walk, @function
+link_path_walk:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # cursor
+    movzbl (%esi), %eax
+    cmpl $'/', %eax
+    jne bad_walk
+    incl %esi
+    movl $ROOT_INO, %ebx      # current inode
+walk_loop:
+    movzbl (%esi), %eax
+    testb %al, %al
+    jz walk_done
+    # extract the next component into name_buf
+    movl $name_buf, %edi
+    xorl %ecx, %ecx
+1:  movzbl (%esi), %eax
+    testb %al, %al
+    jz 2f
+    cmpb $'/', %al
+    je 2f
+    cmpl $D_NAMELEN-1, %ecx
+    jae bad_walk              # component too long
+    movb %al, (%edi)
+    incl %edi
+    incl %esi
+    incl %ecx
+    jmp 1b
+2:  movb $0, (%edi)
+    testl %ecx, %ecx
+    jz skip_slash             # empty component ("//")
+    movl %ebx, %eax
+    movl $name_buf, %edx
+    call ext2_find_entry
+    testl %eax, %eax
+    jz noent_walk
+    movl %eax, %ebx
+skip_slash:
+    movzbl (%esi), %eax
+    cmpb $'/', %al
+    jne walk_loop
+    incl %esi
+    jmp walk_loop
+walk_done:
+    movl %ebx, %eax
+    jmp out_walk
+noent_walk:
+    movl $-ENOENT, %eax
+    jmp out_walk
+bad_walk:
+    movl $-ENOENT, %eax
+out_walk:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# dir_namei(path=%eax, lastbuf=%edx) -> parent directory inode (or
+# negative errno). Copies the final component into lastbuf (D_NAMELEN).
+.global dir_namei
+.type dir_namei, @function
+dir_namei:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %esi           # path
+    movl %edx, %ebp           # lastbuf
+    # find the final '/' to split parent from leaf
+    movl %esi, %edi           # last slash position
+    movl %esi, %ebx
+1:  movzbl (%ebx), %eax
+    testb %al, %al
+    jz 2f
+    cmpb $'/', %al
+    jne 3f
+    movl %ebx, %edi
+3:  incl %ebx
+    jmp 1b
+2:  # leaf = edi+1
+    leal 1(%edi), %eax
+    movzbl (%eax), %edx
+    testb %dl, %dl
+    jz bad_dn                 # trailing slash / empty leaf
+    push %eax
+    movl %ebp, %eax
+    pop %edx                  # src = leaf
+    push %edx
+    movl $D_NAMELEN, %ecx
+    call strncpy
+    pop %edx
+    # parent path: "/" when the leaf is directly under root
+    cmpl %esi, %edi
+    jne deep
+    movl $ROOT_INO, %eax
+    jmp out_dn
+deep:
+    # temporarily terminate the parent prefix in a copy
+    movl $parent_buf, %eax
+    movl %esi, %edx
+    movl %edi, %ecx
+    subl %esi, %ecx
+    incl %ecx                 # include the final '/'... then terminate
+    cmpl $63, %ecx
+    ja bad_dn
+    push %ecx
+    call memcpy
+    pop %ecx
+    movb $0, parent_buf(%ecx)
+    movl $parent_buf, %eax
+    call link_path_walk
+    jmp out_dn
+bad_dn:
+    movl $-ENOENT, %eax
+out_dn:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# open_namei(path=%eax, flags=%edx) -> inode number or negative errno.
+# Handles O_CREAT and O_TRUNC.
+.global open_namei
+.type open_namei, @function
+open_namei:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # path
+    movl %edx, %edi           # flags
+    movl $leaf_buf, %edx
+    call dir_namei
+    testl %eax, %eax
+    js out_on                 # propagate errno
+    movl %eax, %ebx           # parent ino
+    movl %eax, %eax
+    movl $leaf_buf, %edx
+    call ext2_find_entry
+    testl %eax, %eax
+    jnz exists
+    # not found: create?
+    testl $O_CREAT, %edi
+    jz noent_on
+    call ext2_alloc_inode
+    testl %eax, %eax
+    jz nospc_on
+    push %eax
+    # initialise the fresh inode
+    movl $new_inode_buf, %eax
+    xorl %edx, %edx
+    movl $64, %ecx
+    call memset
+    # mode (low 16) | links (high 16) packed in the first dword
+    movl $IMODE_REG | 1<<16, %eax
+    movl %eax, new_inode_buf+I_MODE
+    movl (%esp), %eax
+    movl $new_inode_buf, %edx
+    call ext2_write_inode
+    movl %ebx, %eax
+    movl $leaf_buf, %edx
+    movl (%esp), %ecx
+    call ext2_add_entry
+    testl %eax, %eax
+    jnz addfail_on
+    pop %eax
+    jmp out_on
+exists:
+    testl $O_TRUNC, %edi
+    jz out_on
+    push %eax
+    call ext2_truncate
+    pop %eax
+    jmp out_on
+addfail_on:
+    pop %eax
+    call ext2_free_inode
+    movl $-ENOSPC, %eax
+    jmp out_on
+noent_on:
+    movl $-ENOENT, %eax
+    jmp out_on
+nospc_on:
+    movl $-ENOSPC, %eax
+out_on:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+.data
+.global name_buf
+name_buf:   .space 32
+leaf_buf:   .space 32
+parent_buf: .space 64
+new_inode_buf: .space 64

@@ -1,0 +1,36 @@
+# net.s — network stubs (`net` module). The paper did not inject into
+# net, but Table 1 shows its functions being profiled; these entry
+# points give the profiler the same surface.
+
+.subsystem net
+.text
+
+# sys_socketcall(call=%eax, args=%edx) -> -ENOSYS after basic
+# validation (sock_poll-style bookkeeping for realism).
+.global sys_socketcall
+.type sys_socketcall, @function
+sys_socketcall:
+    push %ebx
+    movl %eax, %ebx
+    cmpl $17, %ebx            # SYS_RECVMSG is the highest call
+    ja einval_sc
+    call sock_poll
+    movl $-ENOSYS, %eax
+    pop %ebx
+    ret
+einval_sc:
+    movl $-EINVAL, %eax
+    pop %ebx
+    ret
+
+# sock_poll(): placeholder poll bookkeeping.
+.global sock_poll
+.type sock_poll, @function
+sock_poll:
+    incl net_polls
+    xorl %eax, %eax
+    ret
+
+.data
+.align 4
+net_polls: .long 0

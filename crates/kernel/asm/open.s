@@ -1,0 +1,357 @@
+# open.s — file table management, open/close/lseek/stat/unlink
+# (`fs` module).
+
+.subsystem fs
+.text
+
+# files_init(): clear the file and pipe tables and build the shared
+# console file in slot 0.
+.global files_init
+.type files_init, @function
+files_init:
+    movl $file_table, %eax
+    xorl %edx, %edx
+    movl $NR_FILES << FILE_SHIFT, %ecx
+    call memset
+    movl $pipe_table, %eax
+    xorl %edx, %edx
+    movl $NR_PIPES << PIPE_SHIFT, %ecx
+    call memset
+    # slot 0: the console (never freed; high refcount)
+    movl $FT_CONS, file_table+F_TYPE
+    movl $1000, file_table+F_REFS
+    ret
+
+# get_empty_file() -> file struct pointer or 0 (ENFILE).
+.global get_empty_file
+.type get_empty_file, @function
+get_empty_file:
+    movl $file_table, %eax
+    movl $NR_FILES, %ecx
+1:  movl F_REFS(%eax), %edx
+    testl %edx, %edx
+    jz 2f
+    addl $1 << FILE_SHIFT, %eax
+    decl %ecx
+    jnz 1b
+    xorl %eax, %eax
+    ret
+2:  movl $1, F_REFS(%eax)
+    movl $0, F_POS(%eax)
+    movl $0, F_INODE(%eax)
+    ret
+
+# get_fd(file=%eax) -> fd or -EMFILE: bind a free descriptor slot of
+# the current task to the file.
+.global get_fd
+.type get_fd, @function
+get_fd:
+    movl current, %edx
+    xorl %ecx, %ecx
+1:  cmpl $NR_FDS, %ecx
+    jae 2f
+    cmpl $0, T_FDS(%edx,%ecx,4)
+    je 3f
+    incl %ecx
+    jmp 1b
+2:  movl $-EMFILE, %eax
+    ret
+3:  movl %eax, T_FDS(%edx,%ecx,4)
+    movl %ecx, %eax
+    ret
+
+# fd_to_file(fd=%eax) -> file pointer or 0.
+.global fd_to_file
+.type fd_to_file, @function
+fd_to_file:
+    cmpl $NR_FDS, %eax
+    jae 1f
+    movl current, %edx
+    movl T_FDS(%edx,%eax,4), %eax
+    ret
+1:  xorl %eax, %eax
+    ret
+
+# sys_open(path_user=%eax, flags=%edx) -> fd or negative errno.
+.global sys_open
+.type sys_open, @function
+sys_open:
+    push %ebx
+    push %esi
+    movl %edx, %esi           # flags
+    # copy the path in from user space
+    movl %eax, %edx
+    movl $path_buf, %eax
+    movl $64, %ecx
+    call strncpy_from_user
+    testl %eax, %eax
+    js out_open
+    movl $path_buf, %eax
+    movl %esi, %edx
+    call open_namei
+    testl %eax, %eax
+    js out_open
+    movl %eax, %ebx           # ino
+    call get_empty_file
+    testl %eax, %eax
+    jz nfile_open
+    movl %eax, %esi           # file (flags no longer needed)
+    movl $FT_REG, F_TYPE(%eax)
+    movl %ebx, F_INODE(%eax)
+    call get_fd
+    testl %eax, %eax
+    jns out_open
+    # -EMFILE: release the file struct reference again
+    movl $0, F_REFS(%esi)
+out_open:
+    pop %esi
+    pop %ebx
+    ret
+nfile_open:
+    movl $-ENFILE, %eax
+    jmp out_open
+
+# sys_close(fd=%eax) -> 0 or -EBADF.
+.global sys_close
+.type sys_close, @function
+sys_close:
+    push %ebx
+    push %esi
+    movl %eax, %esi           # fd
+    call fd_to_file
+    testl %eax, %eax
+    jz badf_close
+    movl %eax, %ebx
+    # clear the descriptor slot
+    movl current, %edx
+    movl $0, T_FDS(%edx,%esi,4)
+    # drop the file reference
+    movl F_REFS(%ebx), %eax
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 1f
+    ud2a                      # BUG(): closing a free file
+1:
+#ASSERT_END
+    decl %eax
+    movl %eax, F_REFS(%ebx)
+    jnz done_close
+    # last reference: pipe ends adjust reader/writer counts
+    movl F_TYPE(%ebx), %eax
+    cmpl $FT_PIPER, %eax
+    je close_piper
+    cmpl $FT_PIPEW, %eax
+    je close_pipew
+done_close:
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+close_piper:
+    movl F_INODE(%ebx), %edx  # pipe pointer for pipe files
+    decl P_READERS(%edx)
+    movl %edx, %eax
+    call wake_up
+    jmp free_pipe_maybe
+close_pipew:
+    movl F_INODE(%ebx), %edx
+    decl P_WRITERS(%edx)
+    movl %edx, %eax
+    call wake_up
+free_pipe_maybe:
+    movl F_INODE(%ebx), %edx
+    movl P_READERS(%edx), %eax
+    addl P_WRITERS(%edx), %eax
+    testl %eax, %eax
+    jnz done_close
+    # release the buffer page and the pipe slot
+    movl P_PAGE(%edx), %eax
+    subl $KERNEL_BASE, %eax
+    push %edx
+    call free_page
+    pop %edx
+    movl $0, P_PAGE(%edx)
+    jmp done_close
+
+# sys_lseek(fd=%eax, offset=%edx, whence=%ecx) -> new position.
+.global sys_lseek
+.type sys_lseek, @function
+sys_lseek:
+    push %ebx
+    push %esi
+    push %edi
+    movl %edx, %esi           # offset
+    movl %ecx, %edi           # whence
+    call fd_to_file
+    testl %eax, %eax
+    jz badf_lseek
+    movl %eax, %ebx
+    movl F_TYPE(%ebx), %eax
+    cmpl $FT_REG, %eax
+    jne espipe_lseek          # "Seeks are not allowed on pipes"
+    cmpl $0, %edi
+    je seek_set
+    cmpl $1, %edi
+    je seek_cur
+    cmpl $2, %edi
+    jne einval_lseek
+    # SEEK_END: need the inode size
+    movl F_INODE(%ebx), %eax
+    movl $seek_inode_buf, %edx
+    call ext2_read_inode
+    movl seek_inode_buf+I_SIZE, %eax
+    addl %esi, %eax
+    jmp commit_seek
+seek_cur:
+    movl F_POS(%ebx), %eax
+    addl %esi, %eax
+    jmp commit_seek
+seek_set:
+    movl %esi, %eax
+commit_seek:
+    movl %eax, F_POS(%ebx)
+out_lseek:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+badf_lseek:
+    movl $-EBADF, %eax
+    jmp out_lseek
+espipe_lseek:
+    movl $-ESPIPE, %eax
+    jmp out_lseek
+einval_lseek:
+    movl $-EINVAL, %eax
+    jmp out_lseek
+
+# sys_stat(path_user=%eax, buf_user=%edx) -> 0 or errno.
+# Fills {ino, mode, size, links} (4 dwords).
+.global sys_stat
+.type sys_stat, @function
+sys_stat:
+    push %ebx
+    push %esi
+    movl %edx, %esi           # user buf
+    movl %eax, %edx
+    movl $path_buf, %eax
+    movl $64, %ecx
+    call strncpy_from_user
+    testl %eax, %eax
+    js out_stat
+    movl $path_buf, %eax
+    call link_path_walk
+    testl %eax, %eax
+    js out_stat
+    movl %eax, %ebx
+    movl $seek_inode_buf, %edx
+    call ext2_read_inode
+    # validate the user buffer
+    movl %esi, %eax
+    movl $16, %edx
+    call verify_area
+    testl %eax, %eax
+    js out_stat
+    movl %ebx, (%esi)
+    movl seek_inode_buf+I_MODE, %eax
+    andl $0xFFFF, %eax
+    movl %eax, 4(%esi)
+    movl seek_inode_buf+I_SIZE, %eax
+    movl %eax, 8(%esi)
+    movl seek_inode_buf+I_MODE, %eax
+    shrl $16, %eax
+    movl %eax, 12(%esi)
+    xorl %eax, %eax
+out_stat:
+    pop %esi
+    pop %ebx
+    ret
+
+# sys_unlink(path_user=%eax) -> 0 or errno.
+.global sys_unlink
+.type sys_unlink, @function
+sys_unlink:
+    push %ebx
+    push %esi
+    movl %eax, %edx
+    movl $path_buf, %eax
+    movl $64, %ecx
+    call strncpy_from_user
+    testl %eax, %eax
+    js out_unlink
+    movl $path_buf, %eax
+    movl $leaf2_buf, %edx
+    call dir_namei
+    testl %eax, %eax
+    js out_unlink
+    movl $leaf2_buf, %edx
+    call ext2_delete_entry
+    testl %eax, %eax
+    jz noent_unlink
+    movl %eax, %ebx           # unlinked ino
+    # drop a link; free storage at zero
+    movl $seek_inode_buf, %edx
+    call ext2_read_inode
+    movl seek_inode_buf+I_MODE, %eax
+    shrl $16, %eax            # links live in the high half
+    decl %eax
+    movl %eax, %esi
+    movl seek_inode_buf+I_MODE, %eax
+    andl $0xFFFF, %eax
+    movl %esi, %edx
+    shll $16, %edx
+    orl %edx, %eax
+    movl %eax, seek_inode_buf+I_MODE
+    movl %ebx, %eax
+    movl $seek_inode_buf, %edx
+    call ext2_write_inode
+    testl %esi, %esi
+    jnz ok_unlink
+    movl %ebx, %eax
+    call ext2_truncate
+    movl %ebx, %eax
+    call ext2_free_inode
+ok_unlink:
+    xorl %eax, %eax
+out_unlink:
+    pop %esi
+    pop %ebx
+    ret
+noent_unlink:
+    movl $-ENOENT, %eax
+    jmp out_unlink
+badf_close:
+    movl $-EBADF, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# strncpy_from_user(dst=%eax, user_src=%edx, n=%ecx) -> 0 or -EFAULT.
+.global strncpy_from_user
+.type strncpy_from_user, @function
+strncpy_from_user:
+    push %eax
+    push %ecx
+    movl %edx, %eax
+    push %edx
+    movl %ecx, %edx
+    call verify_area
+    pop %edx
+    pop %ecx
+    testl %eax, %eax
+    pop %eax
+    js 1f
+    call strncpy
+    xorl %eax, %eax
+    ret
+1:  movl $-EFAULT, %eax
+    ret
+
+.data
+.global file_table
+file_table: .space NR_FILES << FILE_SHIFT
+.global pipe_table
+pipe_table: .space NR_PIPES << PIPE_SHIFT
+path_buf:   .space 64
+leaf2_buf:  .space 32
+seek_inode_buf: .space 64

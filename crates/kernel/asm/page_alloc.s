@@ -1,0 +1,125 @@
+# page_alloc.s — the physical page allocator (the `mm` module).
+# mem_map holds one reference count byte per physical page frame:
+# 0 = free, 1..254 = in use (shared COW pages count references),
+# 255 = reserved (kernel image, boot structures).
+
+.subsystem mm
+.text
+
+# init_mem(): initialise mem_map from the boot_info block the loader
+# filled in (phys_free_start at +0, phys_mem_size at +4).
+.global init_mem
+.type init_mem, @function
+init_mem:
+    push %ebx
+    # everything reserved...
+    movl $mem_map, %eax
+    movl $255, %edx
+    movl $NR_PAGE_FRAMES, %ecx
+    call memset
+    # ...then free the pool [phys_free_start, phys_mem_size)
+    movl BOOT_INFO+0, %ebx
+    shrl $12, %ebx            # first free pfn
+    movl BOOT_INFO+4, %ecx
+    shrl $12, %ecx            # end pfn
+    movl %ecx, %edx
+    subl %ebx, %edx
+    movl %edx, nr_free_pages
+    movl $0, %eax
+1:  cmpl %ecx, %ebx
+    jae 2f
+    movb $0, mem_map(%ebx)
+    incl %ebx
+    jmp 1b
+2:  movl $0, page_rover
+    pop %ebx
+    ret
+
+# get_free_page() -> zeroed page (kernel virt) or 0 when out of memory.
+.global get_free_page
+.type get_free_page, @function
+get_free_page:
+    push %ebx
+    movl page_rover, %ebx
+    movl $NR_PAGE_FRAMES, %ecx
+1:  testl %ecx, %ecx
+    jz nomem
+    cmpl $NR_PAGE_FRAMES, %ebx
+    jb 2f
+    xorl %ebx, %ebx
+2:  movzbl mem_map(%ebx), %eax
+    testl %eax, %eax
+    jz found
+    incl %ebx
+    decl %ecx
+    jmp 1b
+found:
+    movb $1, mem_map(%ebx)
+    decl nr_free_pages
+    leal 1(%ebx), %eax
+    movl %eax, page_rover
+    movl %ebx, %eax
+    shll $12, %eax
+    addl $KERNEL_BASE, %eax
+    push %eax
+    xorl %edx, %edx
+    movl $PAGE_SIZE, %ecx
+    call memset
+    pop %eax
+    pop %ebx
+    ret
+nomem:
+    xorl %eax, %eax
+    pop %ebx
+    ret
+
+# free_page(phys=%eax): drop one reference; frees when it hits zero.
+.global free_page
+.type free_page, @function
+free_page:
+    shrl $12, %eax
+    cmpl $NR_PAGE_FRAMES, %eax
+    jb 1f
+    ud2a                      # BUG(): freeing a bad physical address
+1:  movzbl mem_map(%eax), %edx
+#ASSERT_BEGIN
+    testl %edx, %edx
+    jne 2f
+    ud2a                      # BUG(): double free
+2:  cmpl $255, %edx
+    jne 3f
+    ud2a                      # BUG(): freeing a reserved page
+3:
+#ASSERT_END
+    decl %edx
+    movb %dl, mem_map(%eax)
+    testl %edx, %edx
+    jnz 4f
+    incl nr_free_pages
+4:  ret
+
+# page_ref_inc(phys=%eax): extra reference for a shared (COW) page.
+.global page_ref_inc
+.type page_ref_inc, @function
+page_ref_inc:
+    shrl $12, %eax
+    movzbl mem_map(%eax), %edx
+    incl %edx
+    movb %dl, mem_map(%eax)
+    ret
+
+# page_ref_count(phys=%eax) -> current reference count.
+.global page_ref_count
+.type page_ref_count, @function
+page_ref_count:
+    shrl $12, %eax
+    movzbl mem_map(%eax), %eax
+    ret
+
+.data
+.global nr_free_pages
+nr_free_pages: .long 0
+page_rover:    .long 0
+.align 4
+.global mem_map
+mem_map:       .space 2048       # NR_PAGE_FRAMES bytes

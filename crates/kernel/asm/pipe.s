@@ -1,0 +1,211 @@
+# pipe.s — pipes (`fs` module, like Linux fs/pipe.c): sys_pipe,
+# pipe_read, pipe_write. The pipe buffer is one page used as a ring;
+# head == tail means empty.
+
+.subsystem fs
+.text
+
+# sys_pipe(fds_user=%eax) -> 0 or errno. Writes two descriptors into
+# the user array.
+.global sys_pipe
+.type sys_pipe, @function
+sys_pipe:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # user fds pointer
+    movl %eax, %eax
+    movl $8, %edx
+    call verify_area
+    testl %eax, %eax
+    js out_sp
+    # find a free pipe slot (page == 0)
+    movl $pipe_table, %ebx
+    movl $NR_PIPES, %ecx
+1:  cmpl $0, P_PAGE(%ebx)
+    je got_pipe
+    addl $1 << PIPE_SHIFT, %ebx
+    decl %ecx
+    jnz 1b
+    movl $-ENFILE, %eax
+    jmp out_sp
+got_pipe:
+    call get_free_page
+    testl %eax, %eax
+    jz nomem_sp
+    movl %eax, P_PAGE(%ebx)
+    movl $0, P_HEAD(%ebx)
+    movl $0, P_TAIL(%ebx)
+    movl $1, P_READERS(%ebx)
+    movl $1, P_WRITERS(%ebx)
+    # reader file
+    call get_empty_file
+    testl %eax, %eax
+    jz relpage_sp
+    movl %eax, %edi
+    movl $FT_PIPER, F_TYPE(%eax)
+    movl %ebx, F_INODE(%eax)
+    call get_fd
+    testl %eax, %eax
+    js relfile_sp
+    movl %eax, (%esi)         # fds[0]
+    # writer file
+    call get_empty_file
+    testl %eax, %eax
+    jz relfd_sp
+    movl %eax, %edi
+    movl $FT_PIPEW, F_TYPE(%eax)
+    movl %ebx, F_INODE(%eax)
+    call get_fd
+    testl %eax, %eax
+    js relfile_sp
+    movl %eax, 4(%esi)        # fds[1]
+    xorl %eax, %eax
+out_sp:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+nomem_sp:
+    movl $-ENOMEM, %eax
+    jmp out_sp
+relfile_sp:
+    movl $0, F_REFS(%edi)
+relpage_sp:
+relfd_sp:
+    # partial construction failed; report exhaustion. (Slots already
+    # handed out are reclaimed when the task exits.)
+    movl $-ENFILE, %eax
+    jmp out_sp
+
+# pipe_read(pipe=%eax, buf=%edx, count=%ecx) -> bytes read.
+# Blocks while the pipe is empty and writers exist; EOF (0) once all
+# writers are gone. The `ppos` guard mirrors the paper's Section 8
+# fail-silence example (-ESPIPE on a reversed branch).
+.global pipe_read
+.type pipe_read, @function
+pipe_read:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %ebx           # pipe
+    movl %edx, %esi           # buf
+    movl %ecx, %edi           # count
+    xorl %ebp, %ebp           # read so far
+    # Seeks are not allowed on pipes (structural guard: a reversed
+    # branch here returns -ESPIPE to a well-behaved caller).
+    testl %ebx, %ebx
+    jne 1f
+    movl $-ESPIPE, %eax
+    jmp out_pr
+1:
+wait_data:
+    movl P_HEAD(%ebx), %eax
+    cmpl P_TAIL(%ebx), %eax
+    jne have_data
+    # empty: EOF when no writers remain
+    movl P_WRITERS(%ebx), %eax
+    testl %eax, %eax
+    jz eof_pr
+    movl %ebx, %eax
+    call sleep_on
+    jmp wait_data
+have_data:
+#ASSERT_BEGIN
+    # ring invariant: head - tail never exceeds the buffer
+    movl P_HEAD(%ebx), %eax
+    subl P_TAIL(%ebx), %eax
+    cmpl $PAGE_SIZE, %eax
+    jbe 2f
+    ud2a                      # BUG(): pipe ring overflow
+2:
+#ASSERT_END
+copy_pr:
+    testl %edi, %edi
+    jz done_pr
+    movl P_HEAD(%ebx), %eax
+    cmpl P_TAIL(%ebx), %eax
+    je done_pr                # drained
+    movl P_TAIL(%ebx), %eax
+    movl %eax, %edx
+    andl $PAGE_SIZE-1, %edx
+    addl P_PAGE(%ebx), %edx
+    movzbl (%edx), %ecx
+    movb %cl, (%esi)
+    incl %esi
+    incl %eax
+    movl %eax, P_TAIL(%ebx)
+    incl %ebp
+    decl %edi
+    jmp copy_pr
+done_pr:
+    # wake sleeping writers
+    movl %ebx, %eax
+    call wake_up
+    movl %ebp, %eax
+    jmp out_pr
+eof_pr:
+    movl %ebp, %eax
+out_pr:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# pipe_write(pipe=%eax, buf=%edx, count=%ecx) -> bytes written or -EPIPE.
+.global pipe_write
+.type pipe_write, @function
+pipe_write:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %ebx
+    movl %edx, %esi
+    movl %ecx, %edi
+    xorl %ebp, %ebp           # written so far
+wr_loop:
+    testl %edi, %edi
+    jz done_pw
+    # no readers -> broken pipe
+    movl P_READERS(%ebx), %eax
+    testl %eax, %eax
+    jnz 1f
+    movl $-EPIPE, %eax
+    jmp out_pw
+1:  # full?
+    movl P_HEAD(%ebx), %eax
+    subl P_TAIL(%ebx), %eax
+    cmpl $PAGE_SIZE, %eax
+    jb room_pw
+    # wake readers, then sleep until space
+    movl %ebx, %eax
+    call wake_up
+    movl %ebx, %eax
+    call sleep_on
+    jmp wr_loop
+room_pw:
+    movl P_HEAD(%ebx), %eax
+    movl %eax, %edx
+    andl $PAGE_SIZE-1, %edx
+    addl P_PAGE(%ebx), %edx
+    movzbl (%esi), %ecx
+    movb %cl, (%edx)
+    incl %esi
+    incl %eax
+    movl %eax, P_HEAD(%ebx)
+    incl %ebp
+    decl %edi
+    jmp wr_loop
+done_pw:
+    movl %ebx, %eax
+    call wake_up
+    movl %ebp, %eax
+out_pw:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret

@@ -1,0 +1,97 @@
+# printk.s — kernel logging and panic (part of the `kernel` module).
+
+.subsystem kernel
+.text
+
+# printk(str=%eax): print a NUL-terminated kernel string.
+.global printk
+.type printk, @function
+printk:
+    push %esi
+    movl %eax, %esi
+1:  movzbl (%esi), %eax
+    testb %al, %al
+    jz 2f
+    outb %al, $PORT_CONSOLE
+    incl %esi
+    jmp 1b
+2:  pop %esi
+    ret
+
+# printk_hex(val=%eax): print `0x` + 8 hex digits.
+.global printk_hex
+.type printk_hex, @function
+printk_hex:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    movb $'0', %al
+    outb %al, $PORT_CONSOLE
+    movb $'x', %al
+    outb %al, $PORT_CONSOLE
+    movl $8, %esi
+1:  movl %ebx, %eax
+    shrl $28, %eax
+    shll $4, %ebx
+    cmpl $10, %eax
+    jb 2f
+    addl $'a'-10, %eax
+    jmp 3f
+2:  addl $'0', %eax
+3:  outb %al, $PORT_CONSOLE
+    decl %esi
+    jnz 1b
+    pop %esi
+    pop %ebx
+    ret
+
+# printk_dec(val=%eax): print unsigned decimal.
+.global printk_dec
+.type printk_dec, @function
+printk_dec:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    xorl %esi, %esi           # digit count
+    movl $10, %ecx
+1:  movl %ebx, %eax
+    xorl %edx, %edx
+    divl %ecx
+    movl %eax, %ebx           # quotient
+    addl $'0', %edx
+    push %edx                 # stack the digits
+    incl %esi
+    testl %ebx, %ebx
+    jnz 1b
+2:  pop %eax
+    outb %al, $PORT_CONSOLE
+    decl %esi
+    jnz 2b
+    pop %esi
+    pop %ebx
+    ret
+
+# panic(str=%eax): report, print and stop the machine. Never returns.
+.global panic
+.type panic, @function
+panic:
+    cli
+    push %eax
+    movl $panic_msg, %eax
+    call printk
+    pop %eax
+    call printk
+    movl $newline, %eax
+    call printk
+    movl $CAUSE_PANIC, %eax
+    outl %eax, $PORT_MON_CRASH_CAUSE
+    movl $EVT_PANIC, %eax
+    outl %eax, $PORT_MON_EVENT
+1:  cli
+    hlt
+    jmp 1b
+
+.data
+panic_msg:  .asciz "Kernel panic: "
+.global newline
+newline:    .asciz "\n"

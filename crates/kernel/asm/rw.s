@@ -1,0 +1,219 @@
+# rw.s — sys_read / sys_write and the regular-file write path
+# (`fs` module).
+
+.subsystem fs
+.text
+
+# sys_read(fd=%eax, buf=%edx, count=%ecx) -> bytes read or errno.
+.global sys_read
+.type sys_read, @function
+sys_read:
+    push %ebx
+    push %esi
+    push %edi
+    movl %edx, %esi           # buf
+    movl %ecx, %edi           # count
+    call fd_to_file
+    testl %eax, %eax
+    jz badf_rd
+    movl %eax, %ebx
+    # validate the user buffer
+    movl %esi, %eax
+    movl %edi, %edx
+    call verify_area
+    testl %eax, %eax
+    js out_rd
+    movl F_TYPE(%ebx), %eax
+    cmpl $FT_CONS, %eax
+    je cons_rd
+    cmpl $FT_PIPER, %eax
+    je pipe_rd
+    cmpl $FT_PIPEW, %eax
+    je badf_rd                # wrong end
+    cmpl $FT_REG, %eax
+    jne badf_rd
+    # regular file: do_generic_file_read(ino, pos, buf, count=%esi)
+    movl F_INODE(%ebx), %eax
+    movl F_POS(%ebx), %edx
+    movl %esi, %ecx
+    movl %edi, %esi
+    call do_generic_file_read
+    testl %eax, %eax
+    js out_rd
+    addl %eax, F_POS(%ebx)
+    jmp out_rd
+pipe_rd:
+    movl F_INODE(%ebx), %eax  # pipe pointer
+    movl %esi, %edx
+    movl %edi, %ecx
+    call pipe_read
+    jmp out_rd
+cons_rd:
+    xorl %eax, %eax           # console reads return EOF
+out_rd:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+badf_rd:
+    movl $-EBADF, %eax
+    jmp out_rd
+
+# sys_write(fd=%eax, buf=%edx, count=%ecx) -> bytes written or errno.
+.global sys_write
+.type sys_write, @function
+sys_write:
+    push %ebx
+    push %esi
+    push %edi
+    movl %edx, %esi
+    movl %ecx, %edi
+    call fd_to_file
+    testl %eax, %eax
+    jz badf_wr
+    movl %eax, %ebx
+    movl %esi, %eax
+    movl %edi, %edx
+    call verify_area
+    testl %eax, %eax
+    js out_wr
+    movl F_TYPE(%ebx), %eax
+    cmpl $FT_CONS, %eax
+    je cons_wr
+    cmpl $FT_PIPEW, %eax
+    je pipe_wr
+    cmpl $FT_PIPER, %eax
+    je badf_wr
+    cmpl $FT_REG, %eax
+    jne badf_wr
+    # regular file: generic_file_write(file, buf, count)
+    movl %ebx, %eax
+    movl %esi, %edx
+    movl %edi, %ecx
+    call generic_file_write
+    jmp out_wr
+pipe_wr:
+    movl F_INODE(%ebx), %eax
+    movl %esi, %edx
+    movl %edi, %ecx
+    call pipe_write
+    jmp out_wr
+cons_wr:
+    movl %esi, %eax
+    movl %edi, %edx
+    call console_write
+    movl %edi, %eax           # everything written
+out_wr:
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+badf_wr:
+    movl $-EBADF, %eax
+    jmp out_wr
+
+# generic_file_write(file=%eax, buf=%edx, count=%ecx) -> written or errno.
+# Block-by-block read-modify-write through the buffer cache, allocating
+# blocks as the file grows; generic_commit_write updates the size.
+.global generic_file_write
+.type generic_file_write, @function
+generic_file_write:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl %eax, %ebx           # file
+#ASSERT_BEGIN
+    cmpl $FT_REG, F_TYPE(%ebx)
+    je 9f
+    ud2a                      # BUG(): generic write on a non-regular file
+9:
+#ASSERT_END
+    movl %edx, %esi           # user buf
+    movl %ecx, %edi           # remaining
+    movl $0, gfw_total
+    movl F_INODE(%ebx), %eax
+    movl $write_inode_buf, %edx
+    call ext2_read_inode
+    # drop cached pages, they are about to go stale
+    movl F_INODE(%ebx), %eax
+    call remove_inode_pages
+gfw_loop:
+    testl %edi, %edi
+    jz gfw_done
+    # block index + offset within block
+    movl F_POS(%ebx), %edx
+    shrl $10, %edx
+    movl $write_inode_buf, %eax
+    movl F_INODE(%ebx), %ecx
+    call ext2_bmap_alloc
+    testl %eax, %eax
+    jz gfw_nospace
+    call bread
+    testl %eax, %eax
+    jz gfw_nospace
+    movl %eax, %ebp           # bh
+    # chunk = min(BLOCK_SIZE - (pos & 1023), remaining)
+    movl F_POS(%ebx), %ecx
+    andl $BLOCK_SIZE-1, %ecx
+    movl $BLOCK_SIZE, %edx
+    subl %ecx, %edx
+    cmpl %edi, %edx
+    jbe 1f
+    movl %edi, %edx
+1:  # memcpy(bh_data + off, buf, chunk)
+    movl B_DATA(%ebp), %eax
+    addl %ecx, %eax
+    push %edx
+    movl %edx, %ecx
+    movl %esi, %edx
+    call memcpy
+    movl %ebp, %eax
+    call bwrite
+    pop %edx
+    addl %edx, %esi
+    addl %edx, F_POS(%ebx)
+    addl %edx, gfw_total
+    subl %edx, %edi
+    # commit: extend i_size if we passed it
+    movl %ebx, %eax
+    call generic_commit_write
+    jmp gfw_loop
+gfw_nospace:
+    movl gfw_total, %eax
+    testl %eax, %eax
+    jnz gfw_out
+    movl $-ENOSPC, %eax
+    jmp gfw_out
+gfw_done:
+    movl gfw_total, %eax
+gfw_out:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# generic_commit_write(file=%eax): if the file position moved past
+# i_size, grow i_size and persist the inode. (The paper's Table 5 case 8
+# was a corruption here that *shrank* the inode size.)
+.global generic_commit_write
+.type generic_commit_write, @function
+generic_commit_write:
+    push %ebx
+    movl %eax, %ebx
+    movl F_POS(%ebx), %eax
+    cmpl write_inode_buf+I_SIZE, %eax
+    jbe 1f
+    movl %eax, write_inode_buf+I_SIZE
+    movl F_INODE(%ebx), %eax
+    movl $write_inode_buf, %edx
+    call ext2_write_inode
+1:  pop %ebx
+    ret
+
+.data
+.align 4
+gfw_total: .long 0
+.global write_inode_buf
+write_inode_buf: .space 64

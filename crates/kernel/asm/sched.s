@@ -1,0 +1,223 @@
+# sched.s — the process scheduler (`kernel` module): schedule,
+# switch_to, wake_up, sleep_on, do_timer and small syscalls.
+
+.subsystem kernel
+.text
+
+# sched_init(): clear the task table and install task 0 (idle/boot).
+.global sched_init
+.type sched_init, @function
+sched_init:
+    movl $task_table, %eax
+    xorl %edx, %edx
+    movl $NR_TASKS << TASK_SHIFT, %ecx
+    call memset
+    movl $task_table, %eax
+    movl $TS_READY, T_STATE(%eax)
+    movl $0, T_PID(%eax)
+    movl $BOOT_PGD_PHYS, T_PGD(%eax)
+    movl $BOOT_STACK_TOP, T_KSTACK(%eax)
+    movl $TIMESLICE, T_COUNTER(%eax)
+    movl %eax, current
+    movl $2, next_pid
+    movl $0, jiffies
+    movl $0, need_resched
+    ret
+
+# do_timer(): the timer-interrupt body.
+.global do_timer
+.type do_timer, @function
+do_timer:
+    incl jiffies
+    movl current, %eax
+    incl T_TICKS(%eax)
+    decl T_COUNTER(%eax)
+    jg 1f
+    movl $1, need_resched
+1:  ret
+
+# reschedule_idle(p=%eax): fast path when waking a task — on a
+# uniprocessor can_schedule() is always true, so the branch below is
+# one of the "inherent redundancy" sites the paper's Section 8
+# describes (reversing it changes nothing observable).
+.global reschedule_idle
+.type reschedule_idle, @function
+reschedule_idle:
+    movl nr_cpus, %edx
+    cmpl $1, %edx
+    jne 1f                    # never taken on UP
+    movl $1, need_resched
+    ret
+1:  # (unreachable SMP path kept for structure)
+    movl $1, need_resched
+    ret
+
+# wake_up(channel=%eax): make every task sleeping on the channel
+# runnable again.
+.global wake_up
+.type wake_up, @function
+wake_up:
+    push %ebx
+    push %esi
+    movl %eax, %esi
+    movl $task_table, %ebx
+    movl $NR_TASKS, %ecx
+1:  cmpl $TS_BLOCKED, T_STATE(%ebx)
+    jne 2f
+    cmpl T_CHAN(%ebx), %esi
+    jne 2f
+    movl $TS_READY, T_STATE(%ebx)
+    movl $0, T_CHAN(%ebx)
+    push %ecx
+    movl %ebx, %eax
+    call reschedule_idle
+    pop %ecx
+2:  addl $TASK_SIZE, %ebx
+    decl %ecx
+    jnz 1b
+    pop %esi
+    pop %ebx
+    ret
+
+# sleep_on(channel=%eax): block the current task on the channel and
+# yield. Returns when woken.
+.global sleep_on
+.type sleep_on, @function
+sleep_on:
+#ASSERT_BEGIN
+    testl %eax, %eax
+    jne 8f
+    ud2a                      # BUG(): sleeping on a NULL channel
+8:
+#ASSERT_END
+    movl current, %edx
+    movl %eax, T_CHAN(%edx)
+    movl $TS_BLOCKED, T_STATE(%edx)
+    call schedule
+    ret
+
+# schedule(): pick the next runnable task round-robin (task 0, the
+# idle task, only when nothing else can run) and switch to it.
+.global schedule
+.type schedule, @function
+schedule:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl $0, need_resched
+    movl current, %ebx
+#ASSERT_BEGIN
+    testl %ebx, %ebx
+    jne 1f
+    ud2a                      # BUG(): no current task
+1:
+#ASSERT_END
+    # scan from the slot after current, wrapping, skipping task 0
+    movl %ebx, %esi
+    subl $task_table, %esi
+    shrl $TASK_SHIFT, %esi    # current index
+    movl $NR_TASKS, %ecx
+    movl %esi, %edx
+pick_loop:
+    incl %edx
+    cmpl $NR_TASKS, %edx
+    jb 2f
+    movl $1, %edx             # wrap to task 1 (skip idle)
+2:  movl %edx, %eax
+    shll $TASK_SHIFT, %eax
+    addl $task_table, %eax
+    cmpl $TS_READY, T_STATE(%eax)
+    je found_next
+    decl %ecx
+    jnz pick_loop
+    # nothing runnable: the idle task
+    movl $task_table, %eax
+found_next:
+#ASSERT_BEGIN
+    cmpl $TS_READY, T_STATE(%eax)
+    je 9f
+    ud2a                      # BUG(): scheduling a non-runnable task
+9:
+#ASSERT_END
+    movl $TIMESLICE, T_COUNTER(%eax)
+    cmpl %eax, %ebx
+    je no_switch
+    # ---- context switch ----
+    movl %eax, %esi           # next
+    movl %esp, T_ESP(%ebx)    # save old kernel stack
+    movl %esi, current
+    movl T_PID(%esi), %eax
+    outl %eax, $PORT_MON_PID
+    movl T_KSTACK(%esi), %eax
+    outl %eax, $PORT_SET_ESP0
+    movl T_PGD(%esi), %eax
+    movl %eax, %cr3           # switch address space (flushes TLB)
+    movl T_ESP(%esi), %esp
+no_switch:
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+# ---- tiny syscalls ----------------------------------------------------------
+
+.global sys_getpid
+.type sys_getpid, @function
+sys_getpid:
+    movl current, %eax
+    movl T_PID(%eax), %eax
+    ret
+
+.global sys_yield
+.type sys_yield, @function
+sys_yield:
+    call schedule
+    xorl %eax, %eax
+    ret
+
+.global sys_time
+.type sys_time, @function
+sys_time:
+    movl jiffies, %eax
+    ret
+
+# sys_report(value=%eax): deliver a workload result to the host
+# monitor (the fail-silence oracle channel).
+.global sys_report
+.type sys_report, @function
+sys_report:
+    outl %eax, $PORT_MON_RESULT
+    xorl %eax, %eax
+    ret
+
+# sys_mark(value=%eax): progress marker.
+.global sys_mark
+.type sys_mark, @function
+sys_mark:
+    outl %eax, $PORT_MON_EVENT
+    xorl %eax, %eax
+    ret
+
+# sys_getmode() -> the host-selected run mode from boot_info.
+.global sys_getmode
+.type sys_getmode, @function
+sys_getmode:
+    movl BOOT_INFO+8, %eax
+    ret
+
+.data
+.align 4
+.global current
+current:      .long 0
+.global jiffies
+jiffies:      .long 0
+.global need_resched
+need_resched: .long 0
+.global next_pid
+next_pid:     .long 0
+nr_cpus:      .long 1
+.align 16
+.global task_table
+task_table:   .space NR_TASKS << TASK_SHIFT

@@ -1,0 +1,121 @@
+# signal.s — minimal signal support (`kernel` module, like Linux
+# kernel/signal.c): sys_kill / send_sig set pending bits; do_signal
+# delivers on the return-to-user path. Only fatal default dispositions
+# are modeled (every signal kills; SIGCHLD/SIGCONT are ignored).
+
+.subsystem kernel
+.text
+
+# send_sig(task=%eax, sig=%edx) -> 0. Sets the pending bit and wakes the
+# task so a blocked process can die.
+.global send_sig
+.type send_sig, @function
+send_sig:
+    push %ebx
+    movl %eax, %ebx
+#ASSERT_BEGIN
+    cmpl $32, %edx
+    jb 9f
+    ud2a                      # BUG(): signal number out of range
+9:
+#ASSERT_END
+    movl T_SIGPENDING(%ebx), %eax
+    btsl %edx, %eax
+    movl %eax, T_SIGPENDING(%ebx)
+    # wake it if it is blocked so the signal can be delivered
+    cmpl $TS_BLOCKED, T_STATE(%ebx)
+    jne 1f
+    movl $TS_READY, T_STATE(%ebx)
+    movl $0, T_CHAN(%ebx)
+    movl %ebx, %eax
+    call reschedule_idle
+1:  xorl %eax, %eax
+    pop %ebx
+    ret
+
+# sys_kill(pid=%eax, sig=%edx) -> 0 or -ESRCH/-EINVAL.
+.global sys_kill
+.type sys_kill, @function
+sys_kill:
+    push %ebx
+    push %esi
+    movl %eax, %esi           # pid
+    cmpl $32, %edx
+    jae inval_kill
+    testl %esi, %esi
+    jz inval_kill
+    movl $task_table, %ebx
+    movl $NR_TASKS, %ecx
+1:  cmpl $TS_UNUSED, T_STATE(%ebx)
+    je 2f
+    movl T_PID(%ebx), %eax
+    cmpl %esi, %eax
+    jne 2f
+    movl %ebx, %eax
+    push %edx
+    call send_sig
+    pop %edx
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+2:  addl $TASK_SIZE, %ebx
+    decl %ecx
+    jnz 1b
+    movl $-ESRCH, %eax
+    pop %esi
+    pop %ebx
+    ret
+inval_kill:
+    movl $-EINVAL, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# do_signal(): deliver pending signals to the current task. Called on
+# every return to user space. SIGCHLD (17) and SIGCONT (18) are ignored;
+# anything else is fatal (exit code 128+sig).
+.global do_signal
+.type do_signal, @function
+do_signal:
+    push %ebx
+    movl current, %ebx
+    movl T_SIGPENDING(%ebx), %eax
+    testl %eax, %eax
+    jz out_sig
+    # clear ignorable signals
+    andl $~(1<<17 | 1<<18), %eax
+    movl $0, T_SIGPENDING(%ebx)
+    testl %eax, %eax
+    jz out_sig
+    # find the lowest pending fatal signal
+    xorl %ecx, %ecx
+1:  btl %ecx, %eax
+    jc fatal_sig
+    incl %ecx
+    cmpl $32, %ecx
+    jb 1b
+    jmp out_sig
+fatal_sig:
+    push %ecx
+    movl $killed_msg, %eax
+    call printk
+    movl T_PID(%ebx), %eax
+    call printk_dec
+    movl $bysig_msg, %eax
+    call printk
+    movl (%esp), %eax
+    call printk_dec
+    movl $newline, %eax
+    call printk
+    pop %eax
+    addl $128, %eax
+    call do_exit
+    ud2a
+out_sig:
+    pop %ebx
+    ret
+
+.data
+killed_msg: .asciz "signal: pid "
+bysig_msg:  .asciz " killed by signal "

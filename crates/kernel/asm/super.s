@@ -1,0 +1,95 @@
+# super.s — superblock handling (`fs` module): mount_root, sync, and
+# the clean/dirty state flag that the host-side fsck inspects.
+
+.subsystem fs
+.text
+
+# mount_root(): read and validate the superblock, bump the mount count
+# and mark the filesystem dirty (cleared again by a clean shutdown).
+# Panics when the superblock is not recognizable — the "reformat and
+# reinstall" scenario of the paper's most-severe crash category.
+.global mount_root
+.type mount_root, @function
+mount_root:
+    push %ebx
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz nosup
+    movl %eax, %ebx
+    movl B_DATA(%ebx), %edx
+    movl SB_MAGIC(%edx), %eax
+    cmpl $EXT2_MAGIC, %eax
+    jne nosup
+    incl SB_MOUNTS(%edx)
+    movl $0, SB_STATE(%edx)   # dirty until clean shutdown
+    movl %ebx, %eax
+    call bwrite
+    movl $mounted_msg, %eax
+    call printk
+    pop %ebx
+    ret
+nosup:
+    movl $nosup_msg, %eax
+    call panic
+
+# sync_fs_clean(): mark the filesystem clean (shutdown path).
+.global sync_fs_clean
+.type sync_fs_clean, @function
+sync_fs_clean:
+    push %ebx
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 1f
+    movl %eax, %ebx
+    movl B_DATA(%ebx), %edx
+    movl $1, SB_STATE(%edx)
+    movl %ebx, %eax
+    call bwrite
+1:  pop %ebx
+    ret
+
+# sys_sync() -> 0. The cache is write-through, so this only exists as a
+# realistic injection surface (and re-persists the superblock).
+.global sys_sync
+.type sys_sync, @function
+sys_sync:
+    push %ebx
+    movl $SB_BLOCK, %eax
+    call bread
+    testl %eax, %eax
+    jz 1f
+    call bwrite
+1:  xorl %eax, %eax
+    pop %ebx
+    ret
+
+# sys_reboot(magic=%eax) -> never (clean shutdown) or -EINVAL/-EPERM.
+.global sys_reboot
+.type sys_reboot, @function
+sys_reboot:
+    cmpl $0xFEE1DEAD, %eax
+    jne badmagic_rb
+    movl current, %eax
+    cmpl $1, T_PID(%eax)
+    jne noperm_rb
+    call sync_fs_clean
+    movl $halted_msg, %eax
+    call printk
+    movl $EVT_SHUTDOWN, %eax
+    outl %eax, $PORT_MON_EVENT
+1:  cli
+    hlt
+    jmp 1b
+badmagic_rb:
+    movl $-EINVAL, %eax
+    ret
+noperm_rb:
+    movl $-EPERM, %eax
+    ret
+
+.data
+nosup_msg:   .asciz "VFS: Unable to mount root fs"
+mounted_msg: .asciz "VFS: Mounted root (ext2 filesystem).\n"
+halted_msg:  .asciz "System halted.\n"

@@ -1,0 +1,359 @@
+# traps.s — IDT setup, trap dispatch, die()/oops and the page-fault
+# entry (the `arch` module). The custom crash handler mirrors the
+# paper's instrumentation: before halting it reports the crash cause and
+# faulting EIP through the monitor port so the host-side injector can
+# classify the crash without parsing console text.
+
+.subsystem arch
+.text
+
+# set_idt_gate(vector=%eax, handler=%edx, flags=%ecx)
+.global set_idt_gate
+.type set_idt_gate, @function
+set_idt_gate:
+    shll $3, %eax
+    addl $idt_table, %eax
+    movl %edx, (%eax)
+    movl %ecx, 4(%eax)
+    ret
+
+# trap_init(): build the IDT and load it.
+.global trap_init
+.type trap_init, @function
+trap_init:
+    push %ebx
+    # wipe the table
+    movl $idt_table, %eax
+    xorl %edx, %edx
+    movl $256*8, %ecx
+    call memset
+    # processor faults (kernel-only gates)
+    movl $0,  %eax
+    movl $divide_error, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $2,  %eax
+    movl $nmi_trap, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $3,  %eax
+    movl $int3_trap, %edx
+    movl $3, %ecx             # user-callable (breakpoints)
+    call set_idt_gate
+    movl $4,  %eax
+    movl $overflow_trap, %edx
+    movl $3, %ecx
+    call set_idt_gate
+    movl $5,  %eax
+    movl $bounds_trap, %edx
+    movl $3, %ecx
+    call set_idt_gate
+    movl $6,  %eax
+    movl $invalid_op, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $7,  %eax
+    movl $device_na, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $8,  %eax
+    movl $double_fault, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $9,  %eax
+    movl $coproc_overrun, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $10, %eax
+    movl $invalid_tss, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $11, %eax
+    movl $segment_np, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $12, %eax
+    movl $stack_fault, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $13, %eax
+    movl $general_protection, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $14, %eax
+    movl $page_fault, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    # external interrupts + syscall gate
+    movl $0x20, %eax
+    movl $timer_interrupt, %edx
+    movl $1, %ecx
+    call set_idt_gate
+    movl $0x80, %eax
+    movl $system_call, %edx
+    movl $3, %ecx             # DPL3: user programs may call
+    call set_idt_gate
+    lidt idt_descr
+    pop %ebx
+    ret
+
+# do_trap(vector=%eax, frame=%edx)
+# frame points at [vector][error][eip][cs][eflags][user-esp?].
+.global do_trap
+.type do_trap, @function
+do_trap:
+    push %ebx
+    push %esi
+    movl %eax, %ebx           # vector
+    movl %edx, %esi           # frame
+    movl 12(%esi), %eax       # saved cs
+    cmpl $USER_CS_SEL, %eax
+    jne kernel_trap
+    # User-mode trap: print and kill the offending process.
+    movl $utrap_msg, %eax
+    call printk
+    movl current, %eax
+    movl T_PID(%eax), %eax
+    call printk_dec
+    movl $utrap_msg2, %eax
+    call printk
+    movl %ebx, %eax
+    call printk_dec
+    movl $newline, %eax
+    call printk
+    movl %ebx, %eax
+    addl $128, %eax           # exit code 128+vector
+    call do_exit
+    # not reached
+    ud2a
+
+kernel_trap:
+    # A trap in kernel mode is fatal: classify and die.
+    movl %ebx, %eax
+    call trap_cause_code
+    movl %eax, %edx           # cause
+    movl 8(%esi), %ecx        # faulting eip
+    movl $oops_trap_msg, %eax
+    call die
+
+# trap_cause_code(vector=%eax) -> monitor cause code
+.global trap_cause_code
+.type trap_cause_code, @function
+trap_cause_code:
+    cmpl $0, %eax
+    jne 1f
+    movl $CAUSE_DIVIDE, %eax
+    ret
+1:  cmpl $4, %eax
+    jne 2f
+    movl $CAUSE_OVERFLOW, %eax
+    ret
+2:  cmpl $5, %eax
+    jne 3f
+    movl $CAUSE_BOUNDS, %eax
+    ret
+3:  cmpl $6, %eax
+    jne 4f
+    movl $CAUSE_INVOP, %eax
+    ret
+4:  cmpl $8, %eax
+    jne 5f
+    movl $CAUSE_DOUBLEFAULT, %eax
+    ret
+5:  cmpl $10, %eax
+    jne 6f
+    movl $CAUSE_INVTSS, %eax
+    ret
+6:  cmpl $11, %eax
+    jne 7f
+    movl $CAUSE_SEGNP, %eax
+    ret
+7:  cmpl $12, %eax
+    jne 8f
+    movl $CAUSE_STACK, %eax
+    ret
+8:  cmpl $13, %eax
+    jne 9f
+    movl $CAUSE_GP, %eax
+    ret
+9:  cmpl $3, %eax
+    jne 10f
+    movl $CAUSE_INT3, %eax
+    ret
+10: cmpl $2, %eax
+    jne 11f
+    movl $CAUSE_NMI, %eax
+    ret
+11: cmpl $9, %eax
+    jne 12f
+    movl $CAUSE_COPROC, %eax
+    ret
+12: movl $CAUSE_PANIC, %eax
+    ret
+
+# die(msg=%eax, cause=%edx, eip=%ecx): the embedded crash handler.
+# Reports cause + EIP to the monitor (LKCD-equivalent trigger), prints
+# an oops, and halts. Never returns.
+.global die
+.type die, @function
+die:
+    cli
+    push %ebx
+    push %esi
+    movl %eax, %esi           # message
+    movl %ecx, %ebx           # eip
+    movl %edx, %eax
+    outl %eax, $PORT_MON_CRASH_CAUSE
+    movl %ebx, %eax
+    outl %eax, $PORT_MON_CRASH_EIP
+    movl $oops_pre, %eax
+    call printk
+    movl %esi, %eax
+    call printk
+    movl $oops_eip, %eax
+    call printk
+    movl %ebx, %eax
+    call printk_hex
+    movl $newline, %eax
+    call printk
+    movl $EVT_OOPS, %eax
+    outl %eax, $PORT_MON_EVENT
+1:  cli
+    hlt
+    jmp 1b
+
+# ---- page fault handling ---------------------------------------------------
+
+# do_page_fault(error_code=%eax, frame=%edx)
+# frame points at [eip][cs][eflags][user-esp?].
+# Error code bits: 0 present, 1 write, 2 user.
+.global do_page_fault
+.type do_page_fault, @function
+do_page_fault:
+    push %ebx
+    push %esi
+    push %edi
+    movl %eax, %esi           # error code
+    movl %edx, %edi           # frame
+    movl %cr2, %ebx           # faulting address
+    # Kernel addresses are never demand-paged: straight to the oops.
+    cmpl $KERNEL_BASE, %ebx
+    jae bad_fault
+    # Stack area?
+    cmpl $USER_STACK_LOW, %ebx
+    jae good_area
+    # Heap/code area: USER_CODE_BASE <= addr < current->brk
+    cmpl $USER_CODE_BASE, %ebx
+    jb bad_fault
+    movl current, %eax
+    cmpl T_BRK(%eax), %ebx
+    jae bad_fault
+good_area:
+    movl %ebx, %eax
+    movl %esi, %edx
+    call handle_mm_fault
+    testl %eax, %eax
+    jnz out_of_memory
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+out_of_memory:
+    # The kernel ran out of pages servicing the fault.
+    testl $4, %esi
+    jz 1f
+    movl $oom_msg, %eax
+    call printk
+    movl $137, %eax
+    call do_exit
+    ud2a
+1:  movl $oom_msg, %eax
+    movl $CAUSE_OOM, %edx
+    movl 0(%edi), %ecx
+    call die
+
+bad_fault:
+    testl $4, %esi
+    jz kernel_fault
+    # User segfault: kill the process.
+    movl $segv_msg, %eax
+    call printk
+    movl current, %eax
+    movl T_PID(%eax), %eax
+    call printk_dec
+    movl $segv_msg2, %eax
+    call printk
+    movl %ebx, %eax
+    call printk_hex
+    movl $newline, %eax
+    call printk
+    movl $139, %eax
+    call do_exit
+    ud2a
+
+kernel_fault:
+    # Discriminate the paper's two page-fault crash causes.
+    cmpl $PAGE_SIZE, %ebx
+    jae 1f
+    movl $null_msg, %eax
+    movl $CAUSE_NULL, %edx
+    jmp 2f
+1:  movl $paging_msg, %eax
+    movl $CAUSE_PAGING, %edx
+2:  push %eax
+    push %edx
+    # print the address like the real oops does
+    movl %eax, %esi
+    movl $oops_pre, %eax
+    call printk
+    movl %esi, %eax
+    call printk
+    movl %ebx, %eax
+    call printk_hex
+    movl $newline, %eax
+    call printk
+    pop %edx
+    pop %eax
+    movl 0(%edi), %ecx        # faulting eip
+    call die_quiet
+
+# die_quiet(msg=%eax, cause=%edx, eip=%ecx): like die() but the caller
+# already printed the descriptive line.
+.global die_quiet
+.type die_quiet, @function
+die_quiet:
+    cli
+    push %ebx
+    movl %ecx, %ebx
+    movl %edx, %eax
+    outl %eax, $PORT_MON_CRASH_CAUSE
+    movl %ebx, %eax
+    outl %eax, $PORT_MON_CRASH_EIP
+    movl $oops_eip, %eax
+    call printk
+    movl %ebx, %eax
+    call printk_hex
+    movl $newline, %eax
+    call printk
+    movl $EVT_OOPS, %eax
+    outl %eax, $PORT_MON_EVENT
+1:  cli
+    hlt
+    jmp 1b
+
+.data
+idt_descr:     .long idt_table
+utrap_msg:     .asciz "trap: pid "
+utrap_msg2:    .asciz " got fatal trap "
+oops_pre:      .asciz "Oops: "
+oops_trap_msg: .asciz "kernel trap"
+oops_eip:      .asciz "EIP: "
+null_msg:      .asciz "Unable to handle kernel NULL pointer dereference at virtual address "
+paging_msg:    .asciz "Unable to handle kernel paging request at virtual address "
+oom_msg:       .asciz "Out of memory\n"
+segv_msg:      .asciz "segfault: pid "
+segv_msg2:     .asciz " at "
+.align 8
+.global idt_table
+idt_table:     .space 2048

@@ -1,0 +1,290 @@
+//! The KBIN flat-binary format for guest user programs.
+//!
+//! Layout: a 16-byte header `{magic, entry, payload_size, bss_size}`
+//! followed by the payload, which the kernel's `do_execve` maps at
+//! `USER_CODE_BASE`. Data is placed at its in-memory offset within the
+//! payload (padding between text and data is zero-filled).
+
+use crate::layout::USER_CODE_BASE;
+use kfi_asm::{AsmError, AsmOptions, Assembler, Program};
+
+/// KBIN magic ("KBIN" little-endian).
+pub const KBIN_MAGIC: u32 = 0x4E49_424B;
+
+/// A built user program: the flat binary plus its symbol table (useful
+/// for tests and disassembly).
+#[derive(Debug, Clone)]
+pub struct UserProgram {
+    /// The KBIN file contents (header + payload).
+    pub bytes: Vec<u8>,
+    /// Entry point virtual address.
+    pub entry: u32,
+    /// The assembled program.
+    pub program: Program,
+}
+
+/// Assembles a user program from assembly source.
+///
+/// The source must define `_start`. It is linked at `USER_CODE_BASE`
+/// with `.data` on the following page boundary.
+///
+/// # Errors
+///
+/// Assembly errors, or a missing `_start` symbol.
+pub fn build(name: &str, source: &str) -> Result<UserProgram, AsmError> {
+    let mut asm = Assembler::new();
+    asm.add_source(name, source)?;
+    let program = asm.finish(&AsmOptions { text_base: USER_CODE_BASE, data_base: None })?;
+    let entry = program.symbols.addr_of("_start").ok_or_else(|| AsmError {
+        file: name.into(),
+        line: 0,
+        msg: "user program must define _start".into(),
+    })?;
+
+    // Payload: text, zero padding up to the data offset, then data.
+    let mut payload = program.text.bytes.clone();
+    if !program.data.bytes.is_empty() {
+        let data_off = (program.data.base - USER_CODE_BASE) as usize;
+        assert!(data_off >= payload.len(), "data below text end");
+        payload.resize(data_off, 0);
+        payload.extend_from_slice(&program.data.bytes);
+    }
+
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(&KBIN_MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&entry.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes()); // bss (explicit .space instead)
+    bytes.extend_from_slice(&payload);
+
+    Ok(UserProgram { bytes, entry, program })
+}
+
+/// The user-side syscall stub library, prepended to workload sources by
+/// [`build_with_runtime`]. ABI: `int 0x80`, nr in `%eax`, args in
+/// `%ebx`/`%ecx`/`%edx`.
+pub const USER_RUNTIME: &str = r#"
+# ---- kfi user runtime (crt0 + syscall stubs) ----
+.equ SYS_EXIT, 1
+.equ SYS_FORK, 2
+.equ SYS_READ, 3
+.equ SYS_WRITE, 4
+.equ SYS_OPEN, 5
+.equ SYS_CLOSE, 6
+.equ SYS_WAITPID, 7
+.equ SYS_UNLINK, 8
+.equ SYS_EXECVE, 9
+.equ SYS_GETPID, 10
+.equ SYS_PIPE, 11
+.equ SYS_BRK, 12
+.equ SYS_LSEEK, 13
+.equ SYS_REBOOT, 14
+.equ SYS_YIELD, 15
+.equ SYS_REPORT, 16
+.equ SYS_MARK, 17
+.equ SYS_GETMODE, 18
+.equ SYS_STAT, 19
+.equ SYS_TIME, 20
+.equ SYS_SEM, 21
+.equ SYS_SOCKETCALL, 22
+.equ SYS_SYNC, 23
+.equ SYS_KILL, 24
+
+.macro SYS0 name, nr
+.type \name, @function
+\name:
+    movl $\nr, %eax
+    int $0x80
+    ret
+.endm
+
+.macro SYS1 name, nr
+.type \name, @function
+\name:
+    push %ebx
+    movl %eax, %ebx
+    movl $\nr, %eax
+    int $0x80
+    pop %ebx
+    ret
+.endm
+
+.macro SYS2 name, nr
+.type \name, @function
+\name:
+    push %ebx
+    movl %eax, %ebx
+    movl %edx, %ecx
+    movl $\nr, %eax
+    int $0x80
+    pop %ebx
+    ret
+.endm
+
+.macro SYS3 name, nr
+.type \name, @function
+\name:
+    push %ebx
+    movl %eax, %ebx
+    push %ecx
+    movl %edx, %ecx
+    pop %edx
+    movl $\nr, %eax
+    int $0x80
+    pop %ebx
+    ret
+.endm
+
+.text
+SYS1 sys_exit, SYS_EXIT
+SYS0 sys_fork, SYS_FORK
+SYS3 sys_read, SYS_READ
+SYS3 sys_write, SYS_WRITE
+SYS2 sys_open, SYS_OPEN
+SYS1 sys_close, SYS_CLOSE
+SYS2 sys_waitpid, SYS_WAITPID
+SYS1 sys_unlink, SYS_UNLINK
+SYS1 sys_execve, SYS_EXECVE
+SYS0 sys_getpid, SYS_GETPID
+SYS1 sys_pipe, SYS_PIPE
+SYS1 sys_brk, SYS_BRK
+SYS3 sys_lseek, SYS_LSEEK
+SYS1 sys_reboot, SYS_REBOOT
+SYS0 sys_yield, SYS_YIELD
+SYS1 sys_report, SYS_REPORT
+SYS1 sys_mark, SYS_MARK
+SYS0 sys_getmode, SYS_GETMODE
+SYS2 sys_stat, SYS_STAT
+SYS0 sys_time, SYS_TIME
+SYS2 sys_sem, SYS_SEM
+SYS1 sys_sync, SYS_SYNC
+SYS2 sys_kill, SYS_KILL
+
+# print(str=%eax): write a NUL-terminated string to stdout.
+.type print, @function
+print:
+    push %esi
+    movl %eax, %esi
+    # strlen
+    xorl %ecx, %ecx
+1:  movzbl (%esi,%ecx,1), %edx
+    testl %edx, %edx
+    jz 2f
+    incl %ecx
+    jmp 1b
+2:  movl $1, %eax
+    movl %esi, %edx
+    call sys_write
+    pop %esi
+    ret
+
+# print_dec(val=%eax): decimal to stdout.
+.type print_dec, @function
+print_dec:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    xorl %esi, %esi
+    movl $10, %ecx
+1:  movl %ebx, %eax
+    xorl %edx, %edx
+    divl %ecx
+    movl %eax, %ebx
+    addl $'0', %edx
+    push %edx
+    incl %esi
+    testl %ebx, %ebx
+    jnz 1b
+2:  movl %esp, %edx
+    movl $1, %eax
+    movl $1, %ecx
+    call sys_write
+    addl $4, %esp
+    decl %esi
+    jnz 2b
+    pop %esi
+    pop %ebx
+    ret
+
+.text
+.global _start
+_start:
+    call main
+    call sys_exit
+    ud2a
+# ---- end runtime ----
+"#;
+
+/// Builds a user program with the standard runtime (crt0 + syscall
+/// stubs + print helpers) prepended; the source defines `main`
+/// (argument-less, returns the exit status in `%eax`).
+///
+/// # Errors
+///
+/// See [`build`].
+pub fn build_with_runtime(name: &str, source: &str) -> Result<UserProgram, AsmError> {
+    let mut asm = Assembler::new();
+    asm.add_source("runtime.s", USER_RUNTIME)?;
+    asm.add_source(name, source)?;
+    let program = asm.finish(&AsmOptions { text_base: USER_CODE_BASE, data_base: None })?;
+    let entry = program.symbols.addr_of("_start").expect("runtime defines _start");
+    let mut payload = program.text.bytes.clone();
+    if !program.data.bytes.is_empty() {
+        let data_off = (program.data.base - USER_CODE_BASE) as usize;
+        payload.resize(data_off, 0);
+        payload.extend_from_slice(&program.data.bytes);
+    }
+    let mut bytes = Vec::with_capacity(16 + payload.len());
+    bytes.extend_from_slice(&KBIN_MAGIC.to_le_bytes());
+    bytes.extend_from_slice(&entry.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    bytes.extend_from_slice(&payload);
+    Ok(UserProgram { bytes, entry, program })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn header_fields() {
+        let p = build("t.s", ".text\n_start:\n ret\n").unwrap();
+        assert_eq!(&p.bytes[0..4], &KBIN_MAGIC.to_le_bytes());
+        assert_eq!(
+            u32::from_le_bytes(p.bytes[4..8].try_into().unwrap()),
+            USER_CODE_BASE
+        );
+        assert_eq!(u32::from_le_bytes(p.bytes[8..12].try_into().unwrap()), 1);
+    }
+
+    #[test]
+    fn data_lands_at_page_offset() {
+        let p = build("t.s", ".text\n_start:\n movl v, %eax\n ret\n.data\nv: .long 42\n")
+            .unwrap();
+        let data_off = (p.program.data.base - USER_CODE_BASE) as usize;
+        assert_eq!(data_off % 4096, 0);
+        assert_eq!(
+            &p.bytes[16 + data_off..16 + data_off + 4],
+            &42u32.to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn runtime_provides_stubs() {
+        let p = build_with_runtime(
+            "t.s",
+            ".text\nmain:\n movl $7, %eax\n call sys_report\n xorl %eax, %eax\n ret\n",
+        )
+        .unwrap();
+        assert!(p.program.symbols.addr_of("sys_report").is_some());
+        assert!(p.program.symbols.addr_of("_start").is_some());
+        assert!(p.bytes.len() > 200);
+    }
+
+    #[test]
+    fn missing_start_is_an_error() {
+        let e = build("t.s", ".text\nmain: ret\n").unwrap_err();
+        assert!(e.msg.contains("_start"));
+    }
+}

@@ -1,0 +1,187 @@
+//! CPU architectural state.
+
+use kfi_isa::{Eflags, Reg};
+
+/// Kernel code-segment selector (CPL0).
+pub const KERNEL_CS: u32 = 0x08;
+/// User code-segment selector (CPL3).
+pub const USER_CS: u32 = 0x1b;
+
+/// CR0 paging-enable bit.
+pub const CR0_PG: u32 = 1 << 31;
+
+/// Architectural CPU state for the simulated processor.
+///
+/// Debug registers DR0..DR3 with per-register enable bits in DR7 provide
+/// the instruction-breakpoint trigger the paper's injector uses ("the
+/// injection driver sets the contents of one of the debug registers to
+/// the address of the target instruction").
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    /// General-purpose registers, indexed by hardware number.
+    pub regs: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// Flags.
+    pub eflags: Eflags,
+    /// Code segment selector ([`KERNEL_CS`] or [`USER_CS`]).
+    pub cs: u32,
+    /// Control register 0 (bit 31 enables paging).
+    pub cr0: u32,
+    /// Page-fault linear address.
+    pub cr2: u32,
+    /// Page-directory base.
+    pub cr3: u32,
+    /// IDT linear base address (set by `lidt`).
+    pub idt_base: u32,
+    /// Kernel stack pointer loaded on user→kernel transitions (TSS.esp0).
+    pub esp0: u32,
+    /// Debug registers DR0..DR3 (instruction breakpoints).
+    pub dr: [u32; 4],
+    /// Debug control: bit *i* enables DR*i* (simplified DR7).
+    pub dr7: u32,
+    /// Time-stamp counter.
+    pub tsc: u64,
+    /// True after `hlt` until the next interrupt.
+    pub halted: bool,
+}
+
+impl Cpu {
+    /// Reset state: paging off, CPL0, everything zeroed, EIP at `entry`.
+    pub fn new(entry: u32) -> Cpu {
+        Cpu {
+            regs: [0; 8],
+            eip: entry,
+            eflags: Eflags::new(),
+            cs: KERNEL_CS,
+            cr0: 0,
+            cr2: 0,
+            cr3: 0,
+            idt_base: 0,
+            esp0: 0,
+            dr: [0; 4],
+            dr7: 0,
+            tsc: 0,
+            halted: false,
+        }
+    }
+
+    /// True when executing at CPL3.
+    pub fn is_user(&self) -> bool {
+        self.cs == USER_CS
+    }
+
+    /// True when paging is enabled.
+    pub fn paging(&self) -> bool {
+        self.cr0 & CR0_PG != 0
+    }
+
+    /// Reads a 32-bit register by hardware number.
+    pub fn reg(&self, r: u8) -> u32 {
+        self.regs[(r & 7) as usize]
+    }
+
+    /// Writes a 32-bit register by hardware number.
+    pub fn set_reg(&mut self, r: u8, v: u32) {
+        self.regs[(r & 7) as usize] = v;
+    }
+
+    /// Reads a named register.
+    pub fn get(&self, r: Reg) -> u32 {
+        self.regs[r.index() as usize]
+    }
+
+    /// Writes a named register.
+    pub fn set(&mut self, r: Reg, v: u32) {
+        self.regs[r.index() as usize] = v;
+    }
+
+    /// Reads an 8-bit register by hardware number (0..=3 are the low
+    /// bytes of EAX..EBX; 4..=7 the high bytes, as on IA-32).
+    pub fn reg8(&self, r: u8) -> u8 {
+        let r = r & 7;
+        if r < 4 {
+            self.regs[r as usize] as u8
+        } else {
+            (self.regs[(r - 4) as usize] >> 8) as u8
+        }
+    }
+
+    /// Writes an 8-bit register by hardware number.
+    pub fn set_reg8(&mut self, r: u8, v: u8) {
+        let r = r & 7;
+        if r < 4 {
+            let full = &mut self.regs[r as usize];
+            *full = (*full & !0xff) | v as u32;
+        } else {
+            let full = &mut self.regs[(r - 4) as usize];
+            *full = (*full & !0xff00) | ((v as u32) << 8);
+        }
+    }
+
+    /// Arms debug register `index` as a one-shot instruction breakpoint
+    /// at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 3`.
+    pub fn arm_breakpoint(&mut self, index: usize, addr: u32) {
+        self.dr[index] = addr;
+        self.dr7 |= 1 << index;
+    }
+
+    /// Disarms debug register `index`.
+    pub fn disarm_breakpoint(&mut self, index: usize) {
+        self.dr7 &= !(1 << index);
+    }
+
+    /// Returns the armed debug register matching `eip`, if any.
+    pub fn breakpoint_match(&self, eip: u32) -> Option<usize> {
+        (0..4).find(|&i| self.dr7 & (1 << i) != 0 && self.dr[i] == eip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_registers_alias_dwords() {
+        let mut c = Cpu::new(0);
+        c.set(Reg::Eax, 0x1122_3344);
+        assert_eq!(c.reg8(0), 0x44); // AL
+        assert_eq!(c.reg8(4), 0x33); // AH
+        c.set_reg8(0, 0xaa);
+        c.set_reg8(4, 0xbb);
+        assert_eq!(c.get(Reg::Eax), 0x1122_bbaa);
+        // BL/BH alias EBX (hardware number 3 / 7).
+        c.set(Reg::Ebx, 0);
+        c.set_reg8(3, 0x11);
+        c.set_reg8(7, 0x22);
+        assert_eq!(c.get(Reg::Ebx), 0x2211);
+    }
+
+    #[test]
+    fn breakpoints() {
+        let mut c = Cpu::new(0);
+        assert_eq!(c.breakpoint_match(0x100), None);
+        c.arm_breakpoint(0, 0x100);
+        c.arm_breakpoint(2, 0x200);
+        assert_eq!(c.breakpoint_match(0x100), Some(0));
+        assert_eq!(c.breakpoint_match(0x200), Some(2));
+        c.disarm_breakpoint(0);
+        assert_eq!(c.breakpoint_match(0x100), None);
+        assert_eq!(c.breakpoint_match(0x200), Some(2));
+    }
+
+    #[test]
+    fn mode_predicates() {
+        let mut c = Cpu::new(0x1000);
+        assert!(!c.is_user());
+        assert!(!c.paging());
+        c.cs = USER_CS;
+        c.cr0 |= CR0_PG;
+        assert!(c.is_user());
+        assert!(c.paging());
+    }
+}

@@ -1,0 +1,849 @@
+//! The simulated machine: CPU + memory + MMU + devices + trap delivery.
+
+use crate::cpu::{Cpu, KERNEL_CS, USER_CS};
+use crate::mem::PhysMem;
+use crate::mmu::{translate, Access, PageFault, Tlb};
+use crate::ramdisk::{Ramdisk, SECTOR_SIZE};
+use crate::trap::{TrapRecord, Vector};
+
+/// Well-known I/O port numbers.
+pub mod ports {
+    /// Console byte output (like the Bochs/QEMU 0xE9 debug port).
+    pub const CONSOLE: u16 = 0xe9;
+    /// Monitor: generic event code.
+    pub const MON_EVENT: u16 = 0xf0;
+    /// Monitor: workload result value.
+    pub const MON_RESULT: u16 = 0xf1;
+    /// Monitor: crash cause code (written by the guest crash handler).
+    pub const MON_CRASH_CAUSE: u16 = 0xf2;
+    /// Monitor: crash EIP (written by the guest crash handler).
+    pub const MON_CRASH_EIP: u16 = 0xf3;
+    /// Monitor: current pid trace.
+    pub const MON_PID: u16 = 0xf4;
+    /// Monitor: set TSS.esp0 (kernel stack for user→kernel transitions).
+    pub const MON_SET_ESP0: u16 = 0xf8;
+    /// Block device: LBA latch.
+    pub const BLK_LBA: u16 = 0x1f0;
+    /// Block device: DMA physical address latch.
+    pub const BLK_DMA: u16 = 0x1f1;
+    /// Block device: command (1 = read sector, 2 = write sector).
+    pub const BLK_CMD: u16 = 0x1f2;
+    /// Block device: status (0 = ok, 1 = error, read-only).
+    pub const BLK_STATUS: u16 = 0x1f7;
+}
+
+/// A monitor-port event recorded with its TSC timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MonitorEvent {
+    /// Generic event code (`OUT 0xF0`).
+    Event(u32),
+    /// Workload result value (`OUT 0xF1`).
+    Result(u32),
+    /// Crash cause code from the guest crash handler (`OUT 0xF2`).
+    CrashCause(u32),
+    /// Crash EIP from the guest crash handler (`OUT 0xF3`).
+    CrashEip(u32),
+    /// Current pid trace (`OUT 0xF4`).
+    Pid(u32),
+}
+
+/// The outcome of a single [`Machine::step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// One instruction (or one trap delivery) completed.
+    Executed,
+    /// An armed debug-register breakpoint matched EIP *before* execution.
+    /// The breakpoint auto-disarms (one-shot), mirroring the injector's
+    /// use of DR registers.
+    DebugBreak {
+        /// Which DR register matched (0..=3).
+        index: usize,
+    },
+    /// CPU halted with interrupts disabled: nothing can wake it.
+    Halted,
+    /// Trap delivery failed recursively; the machine has reset itself
+    /// conceptually (the run must end).
+    TripleFault,
+}
+
+/// Why [`Machine::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Debug breakpoint hit.
+    DebugBreak {
+        /// Which DR register matched.
+        index: usize,
+    },
+    /// `cli; hlt` — the guest stopped itself (shutdown or panic).
+    Halted,
+    /// Triple fault.
+    TripleFault,
+    /// The cycle budget was exhausted (the watchdog's view of a hang).
+    CycleLimit,
+}
+
+/// Machine configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Guest physical memory in bytes (default 8 MiB).
+    pub phys_mem: u32,
+    /// Timer interrupt period in cycles (default 50 000).
+    pub timer_period: u64,
+    /// Whether the timer fires at all.
+    pub timer_enabled: bool,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig { phys_mem: 8 << 20, timer_period: 50_000, timer_enabled: true }
+    }
+}
+
+/// Counters the host can inspect after a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Faults delivered (vectors 0..=14).
+    pub faults: u64,
+    /// System calls delivered.
+    pub syscalls: u64,
+    /// Timer interrupts delivered.
+    pub timer_irqs: u64,
+}
+
+/// A point-in-time machine snapshot (CPU + memory + timer/device latches).
+///
+/// The disk is deliberately *not* part of the snapshot: it models the
+/// persistent medium that survives reboots.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    cpu: Cpu,
+    mem: Vec<u8>,
+    next_tick: u64,
+    blk_lba: u32,
+    blk_dma: u32,
+    blk_status: u32,
+}
+
+pub(crate) enum Fault {
+    Page(PageFault),
+    Vec(Vector, Option<u32>),
+}
+
+pub(crate) type XResult<T> = Result<T, Fault>;
+
+/// The simulated machine.
+///
+/// # Examples
+///
+/// ```
+/// use kfi_machine::{Machine, MachineConfig, RunExit};
+///
+/// let mut m = Machine::new(MachineConfig::default());
+/// // mov $0x2a, %eax ; out %al, $0xe9 ; cli ; hlt
+/// m.mem.load(0x1000, &[0xb0, 0x2a, 0xe6, 0xe9, 0xfa, 0xf4]);
+/// m.cpu.eip = 0x1000;
+/// assert_eq!(m.run(1_000), RunExit::Halted);
+/// assert_eq!(m.console(), &[0x2a]);
+/// ```
+#[derive(Debug)]
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Guest physical memory.
+    pub mem: PhysMem,
+    /// The attached disk, if any.
+    pub disk: Option<Ramdisk>,
+    pub(crate) tlb: Tlb,
+    config: MachineConfig,
+    console: Vec<u8>,
+    monitor: Vec<(u64, MonitorEvent)>,
+    trap_log: Vec<TrapRecord>,
+    counters: Counters,
+    next_tick: u64,
+    blk_lba: u32,
+    blk_dma: u32,
+    blk_status: u32,
+    delivering: u32,
+    triple_faulted: bool,
+}
+
+impl Machine {
+    /// Creates a machine with zeroed memory, no disk, EIP = 0.
+    pub fn new(config: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::new(0),
+            mem: PhysMem::new(config.phys_mem),
+            disk: None,
+            tlb: Tlb::new(),
+            config,
+            console: Vec::new(),
+            monitor: Vec::new(),
+            trap_log: Vec::new(),
+            counters: Counters::default(),
+            next_tick: config.timer_period,
+            blk_lba: 0,
+            blk_dma: 0,
+            blk_status: 0,
+            delivering: 0,
+            triple_faulted: false,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &MachineConfig {
+        &self.config
+    }
+
+    /// Console output so far.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Console output as lossy UTF-8.
+    pub fn console_string(&self) -> String {
+        String::from_utf8_lossy(&self.console).into_owned()
+    }
+
+    /// Monitor events `(tsc, event)` so far.
+    pub fn monitor_events(&self) -> &[(u64, MonitorEvent)] {
+        &self.monitor
+    }
+
+    /// Recorded fault deliveries.
+    pub fn trap_log(&self) -> &[TrapRecord] {
+        &self.trap_log
+    }
+
+    /// Execution counters.
+    pub fn counters(&self) -> Counters {
+        self.counters
+    }
+
+    /// Captures CPU + memory + device-latch state.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            cpu: self.cpu.clone(),
+            mem: self.mem.snapshot(),
+            next_tick: self.next_tick,
+            blk_lba: self.blk_lba,
+            blk_dma: self.blk_dma,
+            blk_status: self.blk_status,
+        }
+    }
+
+    /// Restores a snapshot, clearing logs and counters. The disk is left
+    /// untouched (swap it explicitly if the experiment needs a fresh one).
+    pub fn restore(&mut self, s: &Snapshot) {
+        self.cpu = s.cpu.clone();
+        self.mem.restore(&s.mem);
+        self.next_tick = s.next_tick;
+        self.blk_lba = s.blk_lba;
+        self.blk_dma = s.blk_dma;
+        self.blk_status = s.blk_status;
+        self.tlb.flush();
+        self.console.clear();
+        self.monitor.clear();
+        self.trap_log.clear();
+        self.counters = Counters::default();
+        self.delivering = 0;
+        self.triple_faulted = false;
+    }
+
+    /// Clears logs, counters and latched fault state (the reboot path:
+    /// a machine reset ends a triple-fault condition).
+    pub fn clear_logs(&mut self) {
+        self.console.clear();
+        self.monitor.clear();
+        self.trap_log.clear();
+        self.counters = Counters::default();
+        self.delivering = 0;
+        self.triple_faulted = false;
+    }
+
+    /// Translates a linear address for host-side inspection (no fault
+    /// side effects, kernel privilege, read access).
+    pub fn probe_translate(&mut self, addr: u32) -> Option<u32> {
+        translate(
+            &self.mem,
+            &mut self.tlb,
+            self.cpu.cr3,
+            self.cpu.paging(),
+            addr,
+            Access::Read,
+            false,
+        )
+        .ok()
+    }
+
+    /// Reads guest-virtual memory for host-side inspection. Returns the
+    /// number of bytes successfully read (stops at the first unmapped
+    /// page).
+    pub fn probe_read(&mut self, addr: u32, buf: &mut [u8]) -> usize {
+        for (i, b) in buf.iter_mut().enumerate() {
+            match self.probe_translate(addr.wrapping_add(i as u32)) {
+                Some(pa) => *b = self.mem.read_u8(pa),
+                None => return i,
+            }
+        }
+        buf.len()
+    }
+
+    /// Writes guest-virtual memory for host-side instrumentation (the
+    /// injector's bit flips). Returns `false` if any page is unmapped.
+    pub fn probe_write(&mut self, addr: u32, bytes: &[u8]) -> bool {
+        // Translate everything first so the write is all-or-nothing.
+        let mut phys = Vec::with_capacity(bytes.len());
+        for i in 0..bytes.len() {
+            match self.probe_translate(addr.wrapping_add(i as u32)) {
+                Some(pa) => phys.push(pa),
+                None => return false,
+            }
+        }
+        for (pa, b) in phys.into_iter().zip(bytes) {
+            self.mem.write_u8(pa, *b);
+        }
+        true
+    }
+
+    // ---- guest memory access (with faults) ----
+
+    pub(crate) fn xlate(&mut self, addr: u32, access: Access) -> XResult<u32> {
+        let user = self.cpu.is_user();
+        translate(&self.mem, &mut self.tlb, self.cpu.cr3, self.cpu.paging(), addr, access, user)
+            .map_err(Fault::Page)
+    }
+
+    fn xlate_kernel(&mut self, addr: u32, access: Access) -> XResult<u32> {
+        translate(&self.mem, &mut self.tlb, self.cpu.cr3, self.cpu.paging(), addr, access, false)
+            .map_err(Fault::Page)
+    }
+
+    pub(crate) fn read_virt_u8(&mut self, addr: u32) -> XResult<u8> {
+        let pa = self.xlate(addr, Access::Read)?;
+        Ok(self.mem.read_u8(pa))
+    }
+
+    pub(crate) fn read_virt_u32(&mut self, addr: u32) -> XResult<u32> {
+        if addr & 0xfff <= 0xffc {
+            let pa = self.xlate(addr, Access::Read)?;
+            Ok(self.mem.read_u32(pa))
+        } else {
+            let mut v = 0u32;
+            for i in 0..4 {
+                v |= (self.read_virt_u8(addr.wrapping_add(i))? as u32) << (8 * i);
+            }
+            Ok(v)
+        }
+    }
+
+    pub(crate) fn write_virt_u8(&mut self, addr: u32, val: u8) -> XResult<()> {
+        let pa = self.xlate(addr, Access::Write)?;
+        self.mem.write_u8(pa, val);
+        Ok(())
+    }
+
+    pub(crate) fn write_virt_u32(&mut self, addr: u32, val: u32) -> XResult<()> {
+        if addr & 0xfff <= 0xffc {
+            let pa = self.xlate(addr, Access::Write)?;
+            self.mem.write_u32(pa, val);
+            Ok(())
+        } else {
+            // Check both pages before writing anything.
+            let _ = self.xlate(addr, Access::Write)?;
+            let _ = self.xlate(addr.wrapping_add(3), Access::Write)?;
+            for (i, b) in val.to_le_bytes().iter().enumerate() {
+                self.write_virt_u8(addr.wrapping_add(i as u32), *b)?;
+            }
+            Ok(())
+        }
+    }
+
+    fn write_kernel_u32(&mut self, addr: u32, val: u32) -> XResult<()> {
+        let pa = self.xlate_kernel(addr, Access::Write)?;
+        self.mem.write_u32(pa, val);
+        Ok(())
+    }
+
+    fn read_kernel_u32(&mut self, addr: u32) -> XResult<u32> {
+        let pa = self.xlate_kernel(addr, Access::Read)?;
+        Ok(self.mem.read_u32(pa))
+    }
+
+    // ---- stack helpers ----
+
+    pub(crate) fn push(&mut self, val: u32) -> XResult<()> {
+        let esp = self.cpu.reg(4).wrapping_sub(4);
+        self.write_virt_u32(esp, val)?;
+        self.cpu.set_reg(4, esp);
+        Ok(())
+    }
+
+    pub(crate) fn pop(&mut self) -> XResult<u32> {
+        let esp = self.cpu.reg(4);
+        let v = self.read_virt_u32(esp)?;
+        self.cpu.set_reg(4, esp.wrapping_add(4));
+        Ok(v)
+    }
+
+    // ---- port I/O ----
+
+    pub(crate) fn port_in(&mut self, port: u16) -> u32 {
+        match port {
+            ports::BLK_STATUS => self.blk_status,
+            ports::CONSOLE => 0,
+            _ => 0xffff_ffff,
+        }
+    }
+
+    pub(crate) fn port_out(&mut self, port: u16, value: u32) {
+        let tsc = self.cpu.tsc;
+        match port {
+            ports::CONSOLE => self.console.push(value as u8),
+            ports::MON_EVENT => self.monitor.push((tsc, MonitorEvent::Event(value))),
+            ports::MON_RESULT => self.monitor.push((tsc, MonitorEvent::Result(value))),
+            ports::MON_CRASH_CAUSE => self.monitor.push((tsc, MonitorEvent::CrashCause(value))),
+            ports::MON_CRASH_EIP => self.monitor.push((tsc, MonitorEvent::CrashEip(value))),
+            ports::MON_PID => self.monitor.push((tsc, MonitorEvent::Pid(value))),
+            ports::MON_SET_ESP0 => self.cpu.esp0 = value,
+            ports::BLK_LBA => self.blk_lba = value,
+            ports::BLK_DMA => self.blk_dma = value,
+            ports::BLK_CMD => self.block_command(value),
+            _ => {}
+        }
+    }
+
+    fn block_command(&mut self, cmd: u32) {
+        let Some(disk) = self.disk.as_mut() else {
+            self.blk_status = 1;
+            return;
+        };
+        let mut buf = [0u8; SECTOR_SIZE];
+        match cmd {
+            1 => {
+                let ok = disk.read_sector(self.blk_lba, &mut buf);
+                for (i, b) in buf.iter().enumerate() {
+                    self.mem.write_u8(self.blk_dma.wrapping_add(i as u32), *b);
+                }
+                self.blk_status = u32::from(!ok);
+            }
+            2 => {
+                for (i, b) in buf.iter_mut().enumerate() {
+                    *b = self.mem.read_u8(self.blk_dma.wrapping_add(i as u32));
+                }
+                let ok = disk.write_sector(self.blk_lba, &buf);
+                self.blk_status = u32::from(!ok);
+            }
+            _ => self.blk_status = 1,
+        }
+    }
+
+    // ---- trap delivery ----
+
+    /// Delivers a trap/interrupt through the IDT. `return_eip` is what
+    /// the handler's `iret` resumes to (the faulting instruction for
+    /// faults; the next instruction for `int n` and interrupts).
+    pub(crate) fn deliver(&mut self, vector: Vector, err: Option<u32>, return_eip: u32) {
+        let from_user = self.cpu.is_user();
+        if vector.is_fault() {
+            self.counters.faults += 1;
+            self.trap_log.push(TrapRecord {
+                tsc: self.cpu.tsc,
+                vector,
+                error_code: err,
+                eip: return_eip,
+                cr2: self.cpu.cr2,
+                from_user,
+            });
+        } else if vector == Vector::Syscall {
+            self.counters.syscalls += 1;
+        } else {
+            self.counters.timer_irqs += 1;
+        }
+
+        self.delivering += 1;
+        let result = self.try_deliver(vector, err, return_eip, from_user);
+        self.delivering -= 1;
+
+        if result.is_err() {
+            if vector == Vector::DoubleFault {
+                self.triple_faulted = true;
+            } else {
+                self.deliver(Vector::DoubleFault, Some(0), return_eip);
+            }
+        } else {
+            self.cpu.tsc += 40; // mode-switch cost
+        }
+    }
+
+    fn try_deliver(
+        &mut self,
+        vector: Vector,
+        err: Option<u32>,
+        return_eip: u32,
+        from_user: bool,
+    ) -> XResult<()> {
+        let base = self.cpu.idt_base.wrapping_add(vector.number() as u32 * 8);
+        let handler = self.read_kernel_u32(base)?;
+        let flags = self.read_kernel_u32(base.wrapping_add(4))?;
+        if flags & 1 == 0 {
+            // Not present. Escalate as a nested failure so the caller
+            // goes to double fault (delivering *anything* else through
+            // the same broken IDT would loop).
+            return Err(Fault::Vec(Vector::SegmentNotPresent, Some((vector.number() as u32) << 3 | 2)));
+        }
+
+        let old_esp = self.cpu.reg(4);
+        let old_cs = self.cpu.cs;
+        let old_flags = self.cpu.eflags.bits();
+
+        // Switch to the kernel stack for user→kernel transitions.
+        let mut sp = if from_user { self.cpu.esp0 } else { old_esp };
+        let kpush = |m: &mut Machine, sp: &mut u32, v: u32| -> XResult<()> {
+            *sp = sp.wrapping_sub(4);
+            m.write_kernel_u32(*sp, v)
+        };
+        if from_user {
+            kpush(self, &mut sp, old_esp)?;
+        }
+        kpush(self, &mut sp, old_flags)?;
+        kpush(self, &mut sp, old_cs)?;
+        kpush(self, &mut sp, return_eip)?;
+        if let Some(e) = err {
+            kpush(self, &mut sp, e)?;
+        }
+
+        self.cpu.set_reg(4, sp);
+        self.cpu.cs = KERNEL_CS;
+        self.cpu.eip = handler;
+        self.cpu.eflags.set_if(false);
+        self.cpu.halted = false;
+        Ok(())
+    }
+
+    pub(crate) fn do_iret(&mut self) -> XResult<()> {
+        let esp = self.cpu.reg(4);
+        let eip = self.read_virt_u32(esp)?;
+        let cs = self.read_virt_u32(esp.wrapping_add(4))?;
+        let flags = self.read_virt_u32(esp.wrapping_add(8))?;
+        match cs {
+            KERNEL_CS => {
+                self.cpu.set_reg(4, esp.wrapping_add(12));
+                self.cpu.cs = KERNEL_CS;
+            }
+            USER_CS => {
+                let user_esp = self.read_virt_u32(esp.wrapping_add(12))?;
+                self.cpu.set_reg(4, user_esp);
+                self.cpu.cs = USER_CS;
+            }
+            _ => return Err(Fault::Vec(Vector::GeneralProtection, Some(cs & 0xffff))),
+        }
+        self.cpu.eip = eip;
+        let was_if = self.cpu.eflags.if_();
+        self.cpu.eflags = kfi_isa::Eflags::from_bits(flags);
+        if self.cpu.is_user() && !was_if {
+            // Returning to user always re-enables interrupts in our
+            // model (the kernel frame carries IF anyway).
+            let mut f = self.cpu.eflags;
+            f.set_if(true);
+            self.cpu.eflags = f;
+        }
+        Ok(())
+    }
+
+    // ---- stepping ----
+
+    /// Executes one instruction (or delivers one pending interrupt).
+    pub fn step(&mut self) -> StepEvent {
+        if self.triple_faulted {
+            return StepEvent::TripleFault;
+        }
+
+        if self.cpu.halted {
+            if self.config.timer_enabled && self.cpu.eflags.if_() {
+                // Fast-forward to the next tick.
+                self.cpu.tsc = self.cpu.tsc.max(self.next_tick);
+            } else {
+                return StepEvent::Halted;
+            }
+        }
+
+        // Debug-register instruction breakpoint (one-shot).
+        if self.cpu.dr7 != 0 && !self.cpu.halted {
+            if let Some(index) = self.cpu.breakpoint_match(self.cpu.eip) {
+                self.cpu.disarm_breakpoint(index);
+                return StepEvent::DebugBreak { index };
+            }
+        }
+
+        // Timer.
+        if self.config.timer_enabled && self.cpu.tsc >= self.next_tick {
+            while self.next_tick <= self.cpu.tsc {
+                self.next_tick += self.config.timer_period;
+            }
+            if self.cpu.eflags.if_() {
+                self.cpu.halted = false;
+                let eip = self.cpu.eip;
+                self.deliver(Vector::Timer, None, eip);
+                if self.triple_faulted {
+                    return StepEvent::TripleFault;
+                }
+                return StepEvent::Executed;
+            }
+        }
+
+        self.counters.instructions += 1;
+        match self.exec_one() {
+            Ok(()) => StepEvent::Executed,
+            Err(fault) => {
+                let eip = self.cpu.eip;
+                let (vector, err) = match fault {
+                    Fault::Page(pf) => {
+                        self.cpu.cr2 = pf.addr;
+                        (Vector::PageFault, Some(pf.error_code()))
+                    }
+                    Fault::Vec(v, e) => (v, e),
+                };
+                self.deliver(vector, err, eip);
+                if self.triple_faulted {
+                    StepEvent::TripleFault
+                } else {
+                    StepEvent::Executed
+                }
+            }
+        }
+    }
+
+    /// Runs until a breakpoint, halt, triple fault, or the cycle budget
+    /// is exhausted.
+    pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        let deadline = self.cpu.tsc.saturating_add(max_cycles);
+        loop {
+            if self.cpu.tsc >= deadline {
+                return RunExit::CycleLimit;
+            }
+            match self.step() {
+                StepEvent::Executed => {}
+                StepEvent::DebugBreak { index } => return RunExit::DebugBreak { index },
+                StepEvent::Halted => return RunExit::Halted,
+                StepEvent::TripleFault => return RunExit::TripleFault,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine_with(code: &[u8]) -> Machine {
+        let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+        m.mem.load(0x1000, code);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000); // stack
+        m
+    }
+
+    #[test]
+    fn console_output() {
+        // mov $'h', %al; out %al,$0xe9; mov $'i', %al; out %al,$0xe9; cli; hlt
+        let mut m = machine_with(&[0xb0, b'h', 0xe6, 0xe9, 0xb0, b'i', 0xe6, 0xe9, 0xfa, 0xf4]);
+        assert_eq!(m.run(1000), RunExit::Halted);
+        assert_eq!(m.console_string(), "hi");
+    }
+
+    #[test]
+    fn monitor_events() {
+        // mov $42,%eax ; mov $0xf1,%dx ... we use out to imm port 0xf1:
+        // b8 2a 00 00 00  mov $42,%eax
+        // e7 f1           out %eax,$0xf1
+        // fa f4           cli; hlt
+        let mut m = machine_with(&[0xb8, 42, 0, 0, 0, 0xe7, 0xf1, 0xfa, 0xf4]);
+        assert_eq!(m.run(1000), RunExit::Halted);
+        assert_eq!(m.monitor_events().len(), 1);
+        assert!(matches!(m.monitor_events()[0].1, MonitorEvent::Result(42)));
+    }
+
+    #[test]
+    fn debug_breakpoint_fires_once() {
+        // Two NOPs then cli;hlt.
+        let mut m = machine_with(&[0x90, 0x90, 0xfa, 0xf4]);
+        m.cpu.arm_breakpoint(1, 0x1001);
+        assert_eq!(m.run(1000), RunExit::DebugBreak { index: 1 });
+        assert_eq!(m.cpu.eip, 0x1001);
+        // Resuming continues past the (disarmed) breakpoint.
+        assert_eq!(m.run(1000), RunExit::Halted);
+    }
+
+    #[test]
+    fn ud2_without_idt_triple_faults() {
+        let mut m = machine_with(&[0x0f, 0x0b]);
+        // IDT base 0 with zeroed memory: entry not present -> #NP
+        // escalation -> #DF -> also bad -> triple fault.
+        assert_eq!(m.run(1000), RunExit::TripleFault);
+        // The fault was recorded before delivery failed.
+        assert!(m.trap_log().iter().any(|t| t.vector == Vector::InvalidOpcode));
+        assert!(m.trap_log().iter().any(|t| t.vector == Vector::DoubleFault));
+    }
+
+    #[test]
+    fn idt_dispatch_and_iret() {
+        // Set up an IDT at 0x2000 with vector 6 (#UD) -> handler 0x3000.
+        // Code at 0x1000: ud2  (raises #UD)
+        // Handler at 0x3000: writes 'U' to console, then iret to... the
+        // return eip is the ud2 itself, so the handler instead skips it:
+        // add $2, (%esp)  -- bump saved eip past the 2-byte ud2
+        // iret
+        let mut m = machine_with(&[0x0f, 0x0b, 0xb0, b'K', 0xe6, 0xe9, 0xfa, 0xf4]);
+        m.cpu.idt_base = 0x2000;
+        m.mem.write_u32(0x2000 + 6 * 8, 0x3000);
+        m.mem.write_u32(0x2000 + 6 * 8 + 4, 1);
+        m.mem.load(
+            0x3000,
+            &[
+                0xb0, b'U', 0xe6, 0xe9, // mov $'U',%al; out
+                0x83, 0x04, 0x24, 0x02, // addl $2, (%esp)
+                0xcf, // iret
+            ],
+        );
+        assert_eq!(m.run(10_000), RunExit::Halted);
+        assert_eq!(m.console_string(), "UK");
+        assert_eq!(m.trap_log().len(), 1);
+        assert_eq!(m.trap_log()[0].vector, Vector::InvalidOpcode);
+        assert_eq!(m.trap_log()[0].eip, 0x1000);
+    }
+
+    #[test]
+    fn page_fault_sets_cr2_and_error_code() {
+        // Enable paging with an empty page directory at 0x4000 except
+        // one identity-mapped 4 MiB... simpler: map the code page and
+        // leave the target unmapped.
+        let mut m = machine_with(&[]);
+        // Build identity mapping for 0x0000_0000..0x0040_0000.
+        let cr3 = 0x4000u32;
+        let pt = 0x5000u32;
+        m.mem.write_u32(cr3, pt | 7);
+        for i in 0..1024u32 {
+            m.mem.write_u32(pt + i * 4, (i << 12) | 3);
+        }
+        // Unmap page at 0x6000 to force a fault.
+        m.mem.write_u32(pt + 6 * 4, 0);
+        // Code: mov 0x6000, %eax  (a1 00 60 00 00) -> #PF
+        m.mem.load(0x1000, &[0xa1, 0x00, 0x60, 0x00, 0x00]);
+        m.cpu.cr3 = cr3;
+        m.cpu.cr0 |= crate::cpu::CR0_PG;
+        let _ = m.run(100);
+        let pf = m.trap_log().iter().find(|t| t.vector == Vector::PageFault).unwrap();
+        assert_eq!(pf.cr2, 0x6000);
+        assert_eq!(pf.error_code, Some(0)); // not-present, read, kernel
+        assert_eq!(pf.eip, 0x1000);
+    }
+
+    #[test]
+    fn timer_preempts() {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: true,
+            timer_period: 100,
+            ..Default::default()
+        });
+        // IDT at 0x2000: vector 0x20 -> handler 0x3000 (counts, iret).
+        m.cpu.idt_base = 0x2000;
+        m.mem.write_u32(0x2000 + 0x20 * 8, 0x3000);
+        m.mem.write_u32(0x2000 + 0x20 * 8 + 4, 1);
+        // handler: inc %ecx... must preserve; just: inc %ebx; iret
+        m.mem.load(0x3000, &[0x43, 0xcf]);
+        // main: sti; spin: jmp spin
+        m.mem.load(0x1000, &[0xfb, 0xeb, 0xfe]);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        let _ = m.run(1000);
+        assert!(m.cpu.get(kfi_isa::Reg::Ebx) >= 2, "timer fired repeatedly");
+        assert!(m.counters().timer_irqs >= 2);
+    }
+
+    #[test]
+    fn hlt_with_interrupts_waits_for_timer() {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: true,
+            timer_period: 1000,
+            ..Default::default()
+        });
+        m.cpu.idt_base = 0x2000;
+        m.mem.write_u32(0x2000 + 0x20 * 8, 0x3000);
+        m.mem.write_u32(0x2000 + 0x20 * 8 + 4, 1);
+        // Timer handler: cli; hlt (stop everything).
+        m.mem.load(0x3000, &[0xfa, 0xf4]);
+        // main: sti; hlt; (should wake into handler)
+        m.mem.load(0x1000, &[0xfb, 0xf4]);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        assert_eq!(m.run(100_000), RunExit::Halted);
+        assert_eq!(m.counters().timer_irqs, 1);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = machine_with(&[0x40, 0x40, 0x40, 0xfa, 0xf4]); // inc eax x3
+        let snap = m.snapshot();
+        assert_eq!(m.run(100), RunExit::Halted);
+        assert_eq!(m.cpu.get(kfi_isa::Reg::Eax), 3);
+        m.restore(&snap);
+        assert_eq!(m.cpu.get(kfi_isa::Reg::Eax), 0);
+        assert_eq!(m.cpu.eip, 0x1000);
+        assert_eq!(m.run(100), RunExit::Halted);
+        assert_eq!(m.cpu.get(kfi_isa::Reg::Eax), 3);
+    }
+
+    #[test]
+    fn block_device_dma() {
+        let mut m = machine_with(&[]);
+        let mut disk = Ramdisk::new(8);
+        let mut sect = [0u8; SECTOR_SIZE];
+        sect[0] = 0x5a;
+        sect[511] = 0xa5;
+        disk.write_sector(3, &sect);
+        m.disk = Some(disk);
+        // Program the latches directly via port_out (host-side test).
+        m.port_out(ports::BLK_LBA, 3);
+        m.port_out(ports::BLK_DMA, 0x7000);
+        m.port_out(ports::BLK_CMD, 1);
+        assert_eq!(m.port_in(ports::BLK_STATUS), 0);
+        assert_eq!(m.mem.read_u8(0x7000), 0x5a);
+        assert_eq!(m.mem.read_u8(0x7000 + 511), 0xa5);
+        // Write path.
+        m.mem.write_u8(0x7000, 0x77);
+        m.port_out(ports::BLK_CMD, 2);
+        let mut back = [0u8; SECTOR_SIZE];
+        m.disk.as_mut().unwrap().read_sector(3, &mut back);
+        assert_eq!(back[0], 0x77);
+        // Out-of-range -> error status.
+        m.port_out(ports::BLK_LBA, 999);
+        m.port_out(ports::BLK_CMD, 1);
+        assert_eq!(m.port_in(ports::BLK_STATUS), 1);
+    }
+
+    #[test]
+    fn cycle_limit_is_watchdog() {
+        let mut m = machine_with(&[0xeb, 0xfe]); // jmp self
+        assert_eq!(m.run(500), RunExit::CycleLimit);
+    }
+}
+#[cfg(test)]
+mod reboot_tests {
+    use super::*;
+
+    #[test]
+    fn clear_logs_ends_a_triple_fault() {
+        let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+        m.mem.load(0x1000, &[0x0f, 0x0b]); // ud2 with no IDT -> triple fault
+        m.cpu.eip = 0x1000;
+        assert_eq!(m.run(1000), RunExit::TripleFault);
+        // A "reboot" must clear the latched condition.
+        m.clear_logs();
+        m.mem.clear();
+        m.mem.load(0x1000, &[0xfa, 0xf4]); // cli; hlt
+        m.cpu = crate::cpu::Cpu::new(0x1000);
+        assert_eq!(m.run(1000), RunExit::Halted);
+    }
+}

@@ -1,0 +1,176 @@
+//! Guest physical memory.
+
+/// Page size (4 KiB, as on IA-32).
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Guest physical memory: a flat byte array with open-bus semantics for
+/// out-of-range accesses.
+///
+/// Reads beyond the installed memory return `0xFF` (open bus) and writes
+/// are dropped — the behaviour a real machine exhibits when a corrupted
+/// pointer or page-table entry targets nonexistent physical memory. This
+/// matters for fault injection: a flipped bit can produce a page-table
+/// walk through garbage physical addresses, and the machine must keep
+/// running (and crash *the guest*, not the simulator).
+#[derive(Debug, Clone)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+    dropped_writes: u64,
+}
+
+impl PhysMem {
+    /// Allocates zeroed physical memory of `size` bytes (rounded up to a
+    /// page multiple).
+    pub fn new(size: u32) -> PhysMem {
+        let size = size.next_multiple_of(PAGE_SIZE);
+        PhysMem { bytes: vec![0; size as usize], dropped_writes: 0 }
+    }
+
+    /// Installed memory size in bytes.
+    pub fn size(&self) -> u32 {
+        self.bytes.len() as u32
+    }
+
+    /// Number of writes dropped on the floor (out-of-range).
+    pub fn dropped_writes(&self) -> u64 {
+        self.dropped_writes
+    }
+
+    /// Reads a byte; out-of-range returns `0xFF`.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        self.bytes.get(addr as usize).copied().unwrap_or(0xff)
+    }
+
+    /// Writes a byte; out-of-range writes are counted and dropped.
+    pub fn write_u8(&mut self, addr: u32, val: u8) {
+        match self.bytes.get_mut(addr as usize) {
+            Some(b) => *b = val,
+            None => self.dropped_writes += 1,
+        }
+    }
+
+    /// Reads a little-endian dword; may straddle the end of memory (the
+    /// missing bytes read as `0xFF`).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        let a = addr as usize;
+        if let Some(slice) = self.bytes.get(a..a + 4) {
+            u32::from_le_bytes(slice.try_into().expect("4 bytes"))
+        } else {
+            let mut v = [0xffu8; 4];
+            for (i, b) in v.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
+            }
+            u32::from_le_bytes(v)
+        }
+    }
+
+    /// Writes a little-endian dword.
+    pub fn write_u32(&mut self, addr: u32, val: u32) {
+        let a = addr as usize;
+        if let Some(slice) = self.bytes.get_mut(a..a + 4) {
+            slice.copy_from_slice(&val.to_le_bytes());
+        } else {
+            for (i, b) in val.to_le_bytes().iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Copies `src` into physical memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region does not fit in installed memory — this is a
+    /// host-side loader operation, not a guest access.
+    pub fn load(&mut self, addr: u32, src: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + src.len()].copy_from_slice(src);
+    }
+
+    /// Borrows a physical range for host-side inspection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, addr: u32, len: u32) -> &[u8] {
+        &self.bytes[addr as usize..(addr + len) as usize]
+    }
+
+    /// Zeroes all memory (used on reboot).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+        self.dropped_writes = 0;
+    }
+
+    /// Replaces the entire contents from a snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has a different length than installed memory.
+    pub fn restore(&mut self, snapshot: &[u8]) {
+        assert_eq!(snapshot.len(), self.bytes.len(), "snapshot size mismatch");
+        self.bytes.copy_from_slice(snapshot);
+        self.dropped_writes = 0;
+    }
+
+    /// Clones the raw contents for a snapshot.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.bytes.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rounds_to_page_multiple() {
+        let m = PhysMem::new(5000);
+        assert_eq!(m.size(), 8192);
+    }
+
+    #[test]
+    fn rw_roundtrip() {
+        let mut m = PhysMem::new(PAGE_SIZE);
+        m.write_u32(100, 0xdead_beef);
+        assert_eq!(m.read_u32(100), 0xdead_beef);
+        assert_eq!(m.read_u8(100), 0xef);
+        assert_eq!(m.read_u8(103), 0xde);
+    }
+
+    #[test]
+    fn open_bus_reads_ff() {
+        let m = PhysMem::new(PAGE_SIZE);
+        assert_eq!(m.read_u8(PAGE_SIZE), 0xff);
+        assert_eq!(m.read_u32(PAGE_SIZE - 2), 0xffff_0000 | m.read_u8(PAGE_SIZE - 2) as u32 | ((m.read_u8(PAGE_SIZE - 1) as u32) << 8));
+        assert_eq!(m.read_u32(0xffff_fff0), 0xffff_ffff);
+    }
+
+    #[test]
+    fn out_of_range_writes_are_dropped() {
+        let mut m = PhysMem::new(PAGE_SIZE);
+        m.write_u8(PAGE_SIZE + 10, 42);
+        m.write_u32(0xffff_fff0, 42);
+        assert_eq!(m.dropped_writes(), 5);
+        assert_eq!(m.read_u8(PAGE_SIZE + 10), 0xff);
+    }
+
+    #[test]
+    fn straddling_dword_write() {
+        let mut m = PhysMem::new(PAGE_SIZE);
+        m.write_u32(PAGE_SIZE - 2, 0x11223344);
+        assert_eq!(m.read_u8(PAGE_SIZE - 2), 0x44);
+        assert_eq!(m.read_u8(PAGE_SIZE - 1), 0x33);
+        assert_eq!(m.dropped_writes(), 2);
+    }
+
+    #[test]
+    fn snapshot_restore() {
+        let mut m = PhysMem::new(PAGE_SIZE);
+        m.write_u32(0, 1234);
+        let snap = m.snapshot();
+        m.write_u32(0, 9999);
+        m.restore(&snap);
+        assert_eq!(m.read_u32(0), 1234);
+    }
+}

@@ -1,0 +1,294 @@
+//! Two-level paging MMU with a small software TLB.
+
+use crate::mem::{PhysMem, PAGE_SIZE};
+
+/// Page-table entry flag bits (same layout as IA-32 PDE/PTE).
+pub mod pte {
+    /// Present.
+    pub const P: u32 = 1 << 0;
+    /// Writable.
+    pub const RW: u32 = 1 << 1;
+    /// User-accessible.
+    pub const US: u32 = 1 << 2;
+}
+
+/// The kind of memory access being translated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Data read.
+    Read,
+    /// Data write.
+    Write,
+    /// Instruction fetch.
+    Exec,
+}
+
+/// A failed translation, carrying the information needed to build the
+/// #PF error code and CR2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageFault {
+    /// The faulting linear address (becomes CR2).
+    pub addr: u32,
+    /// True when the page was present but the access violated protection.
+    pub present: bool,
+    /// True for writes.
+    pub write: bool,
+    /// True for user-mode accesses.
+    pub user: bool,
+}
+
+impl PageFault {
+    /// Builds the IA-32 #PF error code.
+    pub fn error_code(&self) -> u32 {
+        use crate::trap::pf_err;
+        let mut e = 0;
+        if self.present {
+            e |= pf_err::PRESENT;
+        }
+        if self.write {
+            e |= pf_err::WRITE;
+        }
+        if self.user {
+            e |= pf_err::USER;
+        }
+        e
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TlbEntry {
+    vpn: u32,
+    pfn: u32,
+    writable: bool,
+    user: bool,
+}
+
+const TLB_SLOTS: usize = 512;
+
+/// A direct-mapped software TLB keyed by virtual page number.
+///
+/// The guest kernel must reload CR3 after modifying page tables (our
+/// kernel does; there is no `invlpg` in the ISA subset), which flushes
+/// this cache — exactly the discipline Linux 2.4 followed on CPUs
+/// without per-page invalidation.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<Option<TlbEntry>>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Creates an empty TLB.
+    pub fn new() -> Tlb {
+        Tlb { entries: vec![None; TLB_SLOTS], hits: 0, misses: 0 }
+    }
+
+    /// Drops all cached translations (CR3 reload / paging toggle).
+    pub fn flush(&mut self) {
+        self.entries.fill(None);
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
+        let slot = (vpn as usize) % TLB_SLOTS;
+        match self.entries[slot] {
+            Some(e) if e.vpn == vpn => {
+                self.hits += 1;
+                Some(e)
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, e: TlbEntry) {
+        let slot = (e.vpn as usize) % TLB_SLOTS;
+        self.entries[slot] = Some(e);
+    }
+}
+
+impl Default for Tlb {
+    fn default() -> Tlb {
+        Tlb::new()
+    }
+}
+
+/// Translates a linear address to a physical address.
+///
+/// With paging disabled (`paging == false`) this is the identity map.
+/// Otherwise a two-level walk through guest physical memory is performed
+/// (PDE at `cr3 + 4*dir`, PTE at `pde_frame + 4*table`), honouring
+/// present/write/user bits at both levels. Walk reads go through
+/// [`PhysMem`], so corrupted CR3 or PDE values walk through garbage and
+/// produce garbage translations — open-bus semantics, as on hardware.
+///
+/// # Errors
+///
+/// Returns [`PageFault`] when a level is not present or protection is
+/// violated (user access to supervisor page, write to read-only page —
+/// write protection is enforced in *both* modes, modeling a CR0.WP=1
+/// kernel, which Linux 2.4 relies on for COW).
+pub fn translate(
+    mem: &PhysMem,
+    tlb: &mut Tlb,
+    cr3: u32,
+    paging: bool,
+    addr: u32,
+    access: Access,
+    user: bool,
+) -> Result<u32, PageFault> {
+    if !paging {
+        return Ok(addr);
+    }
+    let vpn = addr >> 12;
+    let offset = addr & (PAGE_SIZE - 1);
+    let fault = |present: bool| PageFault {
+        addr,
+        present,
+        write: access == Access::Write,
+        user,
+    };
+
+    if let Some(e) = tlb.lookup(vpn) {
+        if user && !e.user {
+            return Err(fault(true));
+        }
+        if access == Access::Write && !e.writable {
+            return Err(fault(true));
+        }
+        return Ok((e.pfn << 12) | offset);
+    }
+
+    let dir = addr >> 22;
+    let table = (addr >> 12) & 0x3ff;
+    let pde = mem.read_u32((cr3 & !0xfff).wrapping_add(dir * 4));
+    if pde & pte::P == 0 {
+        return Err(fault(false));
+    }
+    let pte_addr = (pde & !0xfff).wrapping_add(table * 4);
+    let entry = mem.read_u32(pte_addr);
+    if entry & pte::P == 0 {
+        return Err(fault(false));
+    }
+    let writable = pde & pte::RW != 0 && entry & pte::RW != 0;
+    let user_ok = pde & pte::US != 0 && entry & pte::US != 0;
+    if user && !user_ok {
+        return Err(fault(true));
+    }
+    if access == Access::Write && !writable {
+        return Err(fault(true));
+    }
+    tlb.insert(TlbEntry { vpn, pfn: entry >> 12, writable, user: user_ok });
+    Ok((entry & !0xfff) | offset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds a one-entry page table: maps `vaddr`'s page to `paddr`'s
+    /// page with `flags`, placing the directory at 0x1000 and the table
+    /// at 0x2000.
+    fn setup(mem: &mut PhysMem, vaddr: u32, paddr: u32, flags: u32) -> u32 {
+        let cr3 = 0x1000;
+        let dir = vaddr >> 22;
+        let table = (vaddr >> 12) & 0x3ff;
+        mem.write_u32(cr3 + dir * 4, 0x2000 | pte::P | pte::RW | pte::US);
+        mem.write_u32(0x2000 + table * 4, (paddr & !0xfff) | flags);
+        cr3
+    }
+
+    #[test]
+    fn identity_when_paging_off() {
+        let mem = PhysMem::new(PAGE_SIZE * 4);
+        let mut tlb = Tlb::new();
+        assert_eq!(
+            translate(&mem, &mut tlb, 0, false, 0x1234, Access::Read, false),
+            Ok(0x1234)
+        );
+    }
+
+    #[test]
+    fn basic_walk() {
+        let mut mem = PhysMem::new(PAGE_SIZE * 16);
+        let mut tlb = Tlb::new();
+        let cr3 = setup(&mut mem, 0xc010_0000, 0x5000, pte::P | pte::RW);
+        let pa = translate(&mem, &mut tlb, cr3, true, 0xc010_0123, Access::Read, false).unwrap();
+        assert_eq!(pa, 0x5123);
+        // Second access hits the TLB.
+        let _ = translate(&mem, &mut tlb, cr3, true, 0xc010_0456, Access::Read, false).unwrap();
+        assert_eq!(tlb.stats().0, 1);
+    }
+
+    #[test]
+    fn not_present_faults() {
+        let mut mem = PhysMem::new(PAGE_SIZE * 16);
+        let mut tlb = Tlb::new();
+        let cr3 = setup(&mut mem, 0x40_0000, 0x5000, pte::P);
+        // Different directory entry entirely absent.
+        let e = translate(&mem, &mut tlb, cr3, true, 0x0000_0000, Access::Read, false).unwrap_err();
+        assert!(!e.present);
+        assert_eq!(e.addr, 0);
+        assert_eq!(e.error_code(), 0);
+        // Same directory, PTE absent.
+        let e = translate(&mem, &mut tlb, cr3, true, 0x40_1000, Access::Read, false).unwrap_err();
+        assert!(!e.present);
+    }
+
+    #[test]
+    fn write_protection_enforced_for_kernel() {
+        let mut mem = PhysMem::new(PAGE_SIZE * 16);
+        let mut tlb = Tlb::new();
+        let cr3 = setup(&mut mem, 0x40_0000, 0x5000, pte::P | pte::US);
+        // Kernel read OK, kernel write faults (CR0.WP model, needed for COW).
+        assert!(translate(&mem, &mut tlb, cr3, true, 0x40_0000, Access::Read, false).is_ok());
+        let e = translate(&mem, &mut tlb, cr3, true, 0x40_0000, Access::Write, false).unwrap_err();
+        assert!(e.present);
+        assert!(e.write);
+        assert_eq!(e.error_code(), crate::trap::pf_err::PRESENT | crate::trap::pf_err::WRITE);
+    }
+
+    #[test]
+    fn user_cannot_touch_supervisor_pages() {
+        let mut mem = PhysMem::new(PAGE_SIZE * 16);
+        let mut tlb = Tlb::new();
+        let cr3 = setup(&mut mem, 0xc010_0000, 0x5000, pte::P | pte::RW);
+        let e = translate(&mem, &mut tlb, cr3, true, 0xc010_0000, Access::Read, true).unwrap_err();
+        assert!(e.present);
+        assert!(e.user);
+        assert!(e.error_code() & crate::trap::pf_err::USER != 0);
+    }
+
+    #[test]
+    fn tlb_flush_forces_rewalk() {
+        let mut mem = PhysMem::new(PAGE_SIZE * 16);
+        let mut tlb = Tlb::new();
+        let cr3 = setup(&mut mem, 0x40_0000, 0x5000, pte::P | pte::RW | pte::US);
+        let _ = translate(&mem, &mut tlb, cr3, true, 0x40_0000, Access::Read, false).unwrap();
+        // Swap the mapping; the stale TLB still wins until flushed.
+        mem.write_u32(0x2000 + 0, 0x6000 | pte::P | pte::RW | pte::US);
+        let pa = translate(&mem, &mut tlb, cr3, true, 0x40_0000, Access::Read, false).unwrap();
+        assert_eq!(pa, 0x5000);
+        tlb.flush();
+        let pa = translate(&mem, &mut tlb, cr3, true, 0x40_0000, Access::Read, false).unwrap();
+        assert_eq!(pa, 0x6000);
+    }
+
+    #[test]
+    fn garbage_cr3_walks_open_bus() {
+        let mem = PhysMem::new(PAGE_SIZE * 4);
+        let mut tlb = Tlb::new();
+        // CR3 pointing far out of range: PDE reads 0xFFFFFFFF (present),
+        // PTE likewise, so translation "succeeds" to a garbage frame.
+        let pa = translate(&mem, &mut tlb, 0xfff0_0000, true, 0x1000, Access::Read, false).unwrap();
+        assert_eq!(pa & 0xfff, 0);
+        assert_eq!(pa, 0xffff_f000);
+    }
+}

@@ -1,0 +1,119 @@
+//! The simulated block device backing store.
+
+/// Sector size in bytes.
+pub const SECTOR_SIZE: usize = 512;
+
+/// A RAM-backed disk image.
+///
+/// This is the persistence boundary of the simulation: the machine's
+/// memory is wiped on reboot but the `Ramdisk` survives, so filesystem
+/// corruption caused by an injected error persists across reboots —
+/// which is what makes the paper's *severe* (fsck) and *most severe*
+/// (reformat) crash categories observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ramdisk {
+    bytes: Vec<u8>,
+    reads: u64,
+    writes: u64,
+}
+
+impl Ramdisk {
+    /// Creates a zeroed disk with `sectors` sectors.
+    pub fn new(sectors: u32) -> Ramdisk {
+        Ramdisk { bytes: vec![0; sectors as usize * SECTOR_SIZE], reads: 0, writes: 0 }
+    }
+
+    /// Wraps existing image bytes (must be a sector multiple).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not a multiple of [`SECTOR_SIZE`].
+    pub fn from_bytes(bytes: Vec<u8>) -> Ramdisk {
+        assert_eq!(bytes.len() % SECTOR_SIZE, 0, "image not sector-aligned");
+        Ramdisk { bytes, reads: 0, writes: 0 }
+    }
+
+    /// Number of sectors.
+    pub fn sectors(&self) -> u32 {
+        (self.bytes.len() / SECTOR_SIZE) as u32
+    }
+
+    /// Total (read, write) sector operations performed.
+    pub fn io_stats(&self) -> (u64, u64) {
+        (self.reads, self.writes)
+    }
+
+    /// Reads sector `lba` into `buf`. Returns `false` (and fills `0xFF`)
+    /// when `lba` is out of range.
+    pub fn read_sector(&mut self, lba: u32, buf: &mut [u8; SECTOR_SIZE]) -> bool {
+        self.reads += 1;
+        let start = lba as usize * SECTOR_SIZE;
+        match self.bytes.get(start..start + SECTOR_SIZE) {
+            Some(s) => {
+                buf.copy_from_slice(s);
+                true
+            }
+            None => {
+                buf.fill(0xff);
+                false
+            }
+        }
+    }
+
+    /// Writes `buf` to sector `lba`. Returns `false` (dropping the write)
+    /// when `lba` is out of range.
+    pub fn write_sector(&mut self, lba: u32, buf: &[u8; SECTOR_SIZE]) -> bool {
+        self.writes += 1;
+        let start = lba as usize * SECTOR_SIZE;
+        match self.bytes.get_mut(start..start + SECTOR_SIZE) {
+            Some(s) => {
+                s.copy_from_slice(buf);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The whole image, for host-side `mkfs`/`fsck`.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Mutable image access, for host-side `mkfs`.
+    pub fn bytes_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sector_roundtrip() {
+        let mut d = Ramdisk::new(4);
+        let mut w = [0u8; SECTOR_SIZE];
+        w[0] = 0xab;
+        w[511] = 0xcd;
+        assert!(d.write_sector(2, &w));
+        let mut r = [0u8; SECTOR_SIZE];
+        assert!(d.read_sector(2, &mut r));
+        assert_eq!(r, w);
+        assert_eq!(d.io_stats(), (1, 1));
+    }
+
+    #[test]
+    fn out_of_range() {
+        let mut d = Ramdisk::new(2);
+        let mut buf = [0u8; SECTOR_SIZE];
+        assert!(!d.read_sector(2, &mut buf));
+        assert_eq!(buf[0], 0xff);
+        assert!(!d.write_sector(99, &buf));
+    }
+
+    #[test]
+    #[should_panic(expected = "sector-aligned")]
+    fn misaligned_image_rejected() {
+        let _ = Ramdisk::from_bytes(vec![0; 100]);
+    }
+}

@@ -1,0 +1,195 @@
+//! Exception vectors and trap records.
+
+use core::fmt;
+
+/// IA-32 exception/interrupt vectors modeled by the machine.
+///
+/// The names mirror the crash categories the paper's custom crash
+/// handlers discriminate (Table 3): kernel panic, invalid opcode, divide
+/// error, int3, bounds, invalid TSS, overflow, page fault, general
+/// protection fault, segment not present, stack exception.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Vector {
+    /// #DE — divide error.
+    DivideError = 0,
+    /// #DB — debug exception.
+    Debug = 1,
+    /// NMI.
+    Nmi = 2,
+    /// #BP — breakpoint (`int3`).
+    Breakpoint = 3,
+    /// #OF — overflow (`into`).
+    Overflow = 4,
+    /// #BR — bounds check (`bound`).
+    Bounds = 5,
+    /// #UD — invalid opcode (including `ud2a`, the kernel `BUG()`).
+    InvalidOpcode = 6,
+    /// #NM — device not available.
+    DeviceNotAvailable = 7,
+    /// #DF — double fault.
+    DoubleFault = 8,
+    /// Coprocessor segment overrun (legacy).
+    CoprocSegOverrun = 9,
+    /// #TS — invalid TSS.
+    InvalidTss = 10,
+    /// #NP — segment not present.
+    SegmentNotPresent = 11,
+    /// #SS — stack exception.
+    StackFault = 12,
+    /// #GP — general protection fault.
+    GeneralProtection = 13,
+    /// #PF — page fault.
+    PageFault = 14,
+    /// Timer interrupt (IRQ0 remapped to 0x20).
+    Timer = 0x20,
+    /// System call gate (`int $0x80`).
+    Syscall = 0x80,
+}
+
+impl Vector {
+    /// The vector number as delivered through the IDT.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Constructs from a raw vector number when it is one we model.
+    pub fn from_number(n: u8) -> Option<Vector> {
+        Some(match n {
+            0 => Vector::DivideError,
+            1 => Vector::Debug,
+            2 => Vector::Nmi,
+            3 => Vector::Breakpoint,
+            4 => Vector::Overflow,
+            5 => Vector::Bounds,
+            6 => Vector::InvalidOpcode,
+            7 => Vector::DeviceNotAvailable,
+            8 => Vector::DoubleFault,
+            9 => Vector::CoprocSegOverrun,
+            10 => Vector::InvalidTss,
+            11 => Vector::SegmentNotPresent,
+            12 => Vector::StackFault,
+            13 => Vector::GeneralProtection,
+            14 => Vector::PageFault,
+            0x20 => Vector::Timer,
+            0x80 => Vector::Syscall,
+            _ => return None,
+        })
+    }
+
+    /// True when delivery pushes an error code.
+    pub fn has_error_code(self) -> bool {
+        matches!(
+            self,
+            Vector::DoubleFault
+                | Vector::InvalidTss
+                | Vector::SegmentNotPresent
+                | Vector::StackFault
+                | Vector::GeneralProtection
+                | Vector::PageFault
+        )
+    }
+
+    /// True for processor faults (as opposed to external interrupts or
+    /// the syscall gate).
+    pub fn is_fault(self) -> bool {
+        !matches!(self, Vector::Timer | Vector::Syscall)
+    }
+
+    /// Human-readable name used by oops messages, matching the kernel's
+    /// own phrasing where one exists.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vector::DivideError => "divide error",
+            Vector::Debug => "debug",
+            Vector::Nmi => "nmi",
+            Vector::Breakpoint => "int3",
+            Vector::Overflow => "overflow",
+            Vector::Bounds => "bounds",
+            Vector::InvalidOpcode => "invalid opcode",
+            Vector::DeviceNotAvailable => "device not available",
+            Vector::DoubleFault => "double fault",
+            Vector::CoprocSegOverrun => "coprocessor segment overrun",
+            Vector::InvalidTss => "invalid TSS",
+            Vector::SegmentNotPresent => "segment not present",
+            Vector::StackFault => "stack exception",
+            Vector::GeneralProtection => "general protection fault",
+            Vector::PageFault => "page fault",
+            Vector::Timer => "timer interrupt",
+            Vector::Syscall => "system call",
+        }
+    }
+}
+
+impl fmt::Display for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Page-fault error code bits (pushed with #PF, readable by the guest's
+/// `do_page_fault`).
+pub mod pf_err {
+    /// Set when the fault was a protection violation (page present).
+    pub const PRESENT: u32 = 1 << 0;
+    /// Set when the access was a write.
+    pub const WRITE: u32 = 1 << 1;
+    /// Set when the access originated in user mode.
+    pub const USER: u32 = 1 << 2;
+}
+
+/// A trap delivered by the machine, recorded for host-side analysis
+/// (crash-cause classification, latency, propagation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrapRecord {
+    /// TSC at delivery.
+    pub tsc: u64,
+    /// The vector delivered.
+    pub vector: Vector,
+    /// Error code if the vector pushes one.
+    pub error_code: Option<u32>,
+    /// EIP of the faulting/interrupted instruction.
+    pub eip: u32,
+    /// CR2 at delivery (meaningful for #PF).
+    pub cr2: u32,
+    /// True when the CPU was in user mode (CPL3) when the trap hit.
+    pub from_user: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn number_roundtrip() {
+        for v in [
+            Vector::DivideError,
+            Vector::InvalidOpcode,
+            Vector::DoubleFault,
+            Vector::GeneralProtection,
+            Vector::PageFault,
+            Vector::Timer,
+            Vector::Syscall,
+        ] {
+            assert_eq!(Vector::from_number(v.number()), Some(v));
+        }
+        assert_eq!(Vector::from_number(200), None);
+    }
+
+    #[test]
+    fn error_code_vectors_match_hardware() {
+        assert!(Vector::PageFault.has_error_code());
+        assert!(Vector::GeneralProtection.has_error_code());
+        assert!(Vector::DoubleFault.has_error_code());
+        assert!(!Vector::InvalidOpcode.has_error_code());
+        assert!(!Vector::DivideError.has_error_code());
+        assert!(!Vector::Timer.has_error_code());
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(Vector::PageFault.is_fault());
+        assert!(!Vector::Timer.is_fault());
+        assert!(!Vector::Syscall.is_fault());
+    }
+}

@@ -1,0 +1,66 @@
+//! Property-based robustness: arbitrary guest code must never panic the
+//! *host* — it can only crash the *guest* (traps, triple fault, hang).
+
+use kfi_machine::{Machine, MachineConfig, RunExit};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random byte soup as guest code: the host survives and the run
+    /// terminates within the budget.
+    #[test]
+    fn random_code_cannot_kill_the_host(code in proptest::collection::vec(any::<u8>(), 1..512)) {
+        let mut m = Machine::new(MachineConfig {
+            phys_mem: 1 << 20,
+            timer_period: 1000,
+            timer_enabled: true,
+        });
+        m.mem.load(0x1000, &code);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        let exit = m.run(200_000);
+        prop_assert!(matches!(
+            exit,
+            RunExit::Halted | RunExit::TripleFault | RunExit::CycleLimit
+        ));
+    }
+
+    /// Snapshots round-trip exactly, and re-execution is deterministic.
+    #[test]
+    fn snapshot_roundtrip(code in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let mut m = Machine::new(MachineConfig {
+            phys_mem: 1 << 20,
+            timer_enabled: false,
+            ..Default::default()
+        });
+        m.mem.load(0x1000, &code);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        let snap = m.snapshot();
+        let _ = m.run(10_000);
+        m.restore(&snap);
+        prop_assert_eq!(m.cpu.eip, 0x1000);
+        prop_assert_eq!(m.cpu.regs, [0, 0, 0, 0, 0x8000, 0, 0, 0]);
+        let e1 = m.run(10_000);
+        let t1 = m.cpu.tsc;
+        m.restore(&snap);
+        let e2 = m.run(10_000);
+        prop_assert_eq!(e1, e2);
+        prop_assert_eq!(t1, m.cpu.tsc);
+    }
+
+    /// probe_write of arbitrary bytes at mapped addresses is exact.
+    #[test]
+    fn probe_roundtrip(addr in 0u32..((1 << 20) - 64), data in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut m = Machine::new(MachineConfig {
+            phys_mem: 1 << 20,
+            timer_enabled: false,
+            ..Default::default()
+        });
+        prop_assert!(m.probe_write(addr, &data));
+        let mut back = vec![0u8; data.len()];
+        prop_assert_eq!(m.probe_read(addr, &mut back), data.len());
+        prop_assert_eq!(back, data);
+    }
+}

@@ -1,0 +1,256 @@
+//! # kfi-profiler — Kernprof-equivalent kernel profiling
+//!
+//! Samples the simulated program counter at a fixed cycle period while
+//! the benchmark suite runs (exactly the paper's methodology: "each
+//! activated kernel function is associated with a *profiling value* that
+//! indicates the number of times the sampled program counter falls into
+//! a given function"). The output drives
+//!
+//! * Table 1 — function distribution among kernel modules, and the
+//!   top-N functions covering ≥95% of all profiling values, and
+//! * the injector's choice of which workload to run when targeting a
+//!   given function.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kfi_kernel::{boot, mkfs::FileSpec, BootConfig, KernelImage};
+use kfi_machine::{StepEvent, KERNEL_CS};
+use std::collections::BTreeMap;
+
+/// One profiled kernel function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionProfile {
+    /// Function name.
+    pub name: String,
+    /// Subsystem tag (`arch`, `fs`, `kernel`, `mm`, `drivers`, `lib`,
+    /// `ipc`, `net`, `init`).
+    pub subsystem: String,
+    /// Start address.
+    pub addr: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// Profiling value: number of PC samples that fell in the function.
+    pub samples: u64,
+    /// Per-workload sample counts (indexed by run mode).
+    pub per_workload: Vec<u64>,
+}
+
+/// A complete kernel profile.
+#[derive(Debug, Clone)]
+pub struct KernelProfile {
+    /// Profiled functions, sorted by descending profiling value.
+    pub functions: Vec<FunctionProfile>,
+    /// Total samples landing in known kernel functions.
+    pub total_samples: u64,
+    /// Samples in kernel mode but outside any known function.
+    pub unknown_samples: u64,
+    /// Samples in user mode (not attributed).
+    pub user_samples: u64,
+    /// The sampling period in cycles.
+    pub period: u64,
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProfilerConfig {
+    /// Sampling period in cycles (Kernprof used timer-driven sampling).
+    pub period: u64,
+    /// Cycle budget per workload run.
+    pub budget: u64,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> ProfilerConfig {
+        ProfilerConfig { period: 211, budget: 120_000_000 }
+    }
+}
+
+/// Profiles the kernel by running each workload (modes `0..n`) once and
+/// sampling the PC every `config.period` cycles.
+///
+/// # Panics
+///
+/// Panics if a profiling run does not reach a clean halt (the golden
+/// environment must be healthy before experiments start).
+pub fn profile(
+    image: &KernelImage,
+    files: &[FileSpec],
+    workloads: &[&str],
+    config: &ProfilerConfig,
+) -> KernelProfile {
+    let fsimg = kfi_kernel::mkfs(2048, files);
+    let mut counts: BTreeMap<u32, Vec<u64>> = BTreeMap::new(); // fn addr -> per-mode samples
+    let mut unknown = 0u64;
+    let mut user = 0u64;
+
+    for mode in 0..workloads.len() {
+        let mut m = boot(
+            image,
+            fsimg.disk.clone(),
+            &BootConfig { run_mode: mode as u32, ..Default::default() },
+        );
+        let mut next_sample = config.period;
+        let deadline = config.budget;
+        loop {
+            if m.cpu.tsc >= deadline {
+                panic!(
+                    "profiling run (mode {mode}) exceeded budget; console:\n{}",
+                    m.console_string()
+                );
+            }
+            match m.step() {
+                StepEvent::Executed => {}
+                StepEvent::Halted => break,
+                other => panic!("profiling run (mode {mode}) ended with {other:?}"),
+            }
+            if m.cpu.tsc >= next_sample {
+                while next_sample <= m.cpu.tsc {
+                    next_sample += config.period;
+                }
+                if m.cpu.cs == KERNEL_CS {
+                    match image.function_of(m.cpu.eip) {
+                        Some(f) => {
+                            counts
+                                .entry(f.value)
+                                .or_insert_with(|| vec![0; workloads.len()])[mode] += 1;
+                        }
+                        None => unknown += 1,
+                    }
+                } else {
+                    user += 1;
+                }
+            }
+        }
+    }
+
+    let mut functions: Vec<FunctionProfile> = counts
+        .into_iter()
+        .filter_map(|(addr, per_workload)| {
+            let sym = image.function_of(addr)?;
+            Some(FunctionProfile {
+                name: sym.name.clone(),
+                subsystem: sym.subsystem.clone().unwrap_or_else(|| "?".into()),
+                addr,
+                size: sym.size,
+                samples: per_workload.iter().sum(),
+                per_workload,
+            })
+        })
+        .collect();
+    functions.sort_by(|a, b| b.samples.cmp(&a.samples).then(a.name.cmp(&b.name)));
+    let total_samples = functions.iter().map(|f| f.samples).sum();
+    KernelProfile {
+        functions,
+        total_samples,
+        unknown_samples: unknown,
+        user_samples: user,
+        period: config.period,
+    }
+}
+
+impl KernelProfile {
+    /// The smallest prefix of top functions whose profiling values cover
+    /// at least `fraction` (e.g. 0.95) of all samples — the paper's
+    /// "top 32 functions account for 95% of all profiling values".
+    pub fn top_covering(&self, fraction: f64) -> Vec<&FunctionProfile> {
+        let want = (self.total_samples as f64 * fraction).ceil() as u64;
+        let mut acc = 0;
+        let mut out = Vec::new();
+        for f in &self.functions {
+            if acc >= want {
+                break;
+            }
+            acc += f.samples;
+            out.push(f);
+        }
+        out
+    }
+
+    /// Per-subsystem `(profiled function count, sample total)`.
+    pub fn by_subsystem(&self) -> BTreeMap<String, (usize, u64)> {
+        let mut map: BTreeMap<String, (usize, u64)> = BTreeMap::new();
+        for f in &self.functions {
+            let e = map.entry(f.subsystem.clone()).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += f.samples;
+        }
+        map
+    }
+
+    /// The run mode (workload index) that activates `function` the most,
+    /// if any workload does.
+    pub fn best_workload_for(&self, function: &str) -> Option<u32> {
+        let f = self.functions.iter().find(|f| f.name == function)?;
+        let (best, n) = f
+            .per_workload
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, n)| **n)?;
+        if *n == 0 {
+            None
+        } else {
+            Some(best as u32)
+        }
+    }
+
+    /// Looks up a function's profile entry.
+    pub fn get(&self, function: &str) -> Option<&FunctionProfile> {
+        self.functions.iter().find(|f| f.name == function)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_kernel::{build_kernel, KernelBuildOptions};
+
+    fn sample_profile() -> (KernelImage, KernelProfile) {
+        let image = build_kernel(KernelBuildOptions::default()).unwrap();
+        let files = kfi_workloads::suite_files().unwrap();
+        // Profile only three workloads to keep the test quick.
+        let p = profile(
+            &image,
+            &files,
+            &["context1", "dhry", "fstime"],
+            &ProfilerConfig { period: 97, budget: 120_000_000 },
+        );
+        (image, p)
+    }
+
+    #[test]
+    fn profiling_finds_hot_kernel_functions() {
+        let (_image, p) = sample_profile();
+        assert!(p.total_samples > 100, "too few samples: {}", p.total_samples);
+        assert!(!p.functions.is_empty());
+        let names: Vec<&str> = p.functions.iter().map(|f| f.name.as_str()).collect();
+        assert!(names.contains(&"schedule"), "{names:?}");
+        let top = p.top_covering(0.95);
+        assert!(!top.is_empty());
+        assert!(top.len() <= p.functions.len());
+        let covered: u64 = top.iter().map(|f| f.samples).sum();
+        assert!(covered as f64 >= 0.95 * p.total_samples as f64);
+    }
+
+    #[test]
+    fn per_workload_attribution() {
+        let (_image, p) = sample_profile();
+        // pipe_read is driven by context1 (mode 0 here), not by dhry.
+        if let Some(f) = p.get("pipe_read") {
+            assert!(f.per_workload[0] > 0, "{f:?}");
+        }
+        if let Some(m) = p.best_workload_for("schedule") {
+            assert!(m < 3);
+        }
+    }
+
+    #[test]
+    fn subsystem_rollup_sums_to_total() {
+        let (_image, p) = sample_profile();
+        let by = p.by_subsystem();
+        let sum: u64 = by.values().map(|(_, s)| *s).sum();
+        assert_eq!(sum, p.total_samples);
+        let nfuncs: usize = by.values().map(|(n, _)| *n).sum();
+        assert_eq!(nfuncs, p.functions.len());
+    }
+}

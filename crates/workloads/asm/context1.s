@@ -1,0 +1,79 @@
+# context1.s — UnixBench context1 analog: two processes exchange a
+# counter through two pipes, forcing a context switch per hop.
+
+.text
+main:
+    movl $p1, %eax
+    call sys_pipe
+    testl %eax, %eax
+    jnz fail
+    movl $p2, %eax
+    call sys_pipe
+    testl %eax, %eax
+    jnz fail
+    call sys_fork
+    testl %eax, %eax
+    jnz parent
+# child: read p1, increment, write p2
+    xorl %edi, %edi
+c_loop:
+    cmpl $ROUNDS, %edi
+    jae c_done
+    movl p1, %eax
+    movl $word, %edx
+    movl $4, %ecx
+    call sys_read
+    cmpl $4, %eax
+    jne fail
+    incl word
+    movl p2+4, %eax
+    movl $word, %edx
+    movl $4, %ecx
+    call sys_write
+    incl %edi
+    jmp c_loop
+c_done:
+    xorl %eax, %eax
+    call sys_exit
+parent:
+    movl %eax, %ebp
+    xorl %edi, %edi
+    movl $0, word2
+p_loop:
+    cmpl $ROUNDS, %edi
+    jae p_done
+    movl p1+4, %eax
+    movl $word2, %edx
+    movl $4, %ecx
+    call sys_write
+    movl p2, %eax
+    movl $word2, %edx
+    movl $4, %ecx
+    call sys_read
+    cmpl $4, %eax
+    jne fail
+    incl word2
+    incl %edi
+    jmp p_loop
+p_done:
+    movl %ebp, %eax
+    xorl %edx, %edx
+    call sys_waitpid
+    # counter made ROUNDS round trips, +1 by child +1 by us per round
+    movl word2, %eax
+    call sys_report
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    movl $1, %eax
+    ret
+
+.equ ROUNDS, 40
+
+.data
+p1:    .long 0, 0
+p2:    .long 0, 0
+word:  .long 0
+word2: .long 0

@@ -1,0 +1,59 @@
+# dhry.s — Dhrystone-flavoured integer/string mix: arithmetic, record
+# copies, string comparison, array indexing. Pure CPU, one syscall at
+# the end to report the checksum.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    push %ebp
+    movl $2000, %ebp          # outer loop count
+    xorl %ebx, %ebx           # checksum
+d_loop:
+    # arithmetic mix
+    movl %ebp, %eax
+    imul $13, %eax, %ecx
+    addl %ecx, %ebx
+    movl %ebp, %eax
+    xorl %edx, %edx
+    movl $7, %ecx
+    divl %ecx
+    addl %edx, %ebx           # + (i mod 7)
+    # "record assignment": copy 32 bytes via rep movsl
+    movl $rec_a, %esi
+    movl $rec_b, %edi
+    movl $8, %ecx
+    cld
+    rep movsl
+    # string compare
+    movl $str_a, %esi
+    movl $str_b, %edi
+    movl $12, %ecx
+    repe cmpsb
+    je 1f
+    incl %ebx
+1:  # array walk
+    movl %ebp, %eax
+    andl $31, %eax
+    movl arr(,%eax,4), %ecx
+    addl %ebp, %ecx
+    movl %ecx, arr(,%eax,4)
+    addl %ecx, %ebx
+    decl %ebp
+    jnz d_loop
+    movl %ebx, %eax
+    call sys_report
+    pop %ebp
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+
+.data
+rec_a: .long 1, 2, 3, 4, 5, 6, 7, 8
+rec_b: .space 32
+str_a: .asciz "DHRYSTONE PG"
+str_b: .asciz "DHRYSTONE PG"
+arr:   .space 128

@@ -1,0 +1,86 @@
+# fstime.s — file I/O throughput analog: write an 8 KiB file in 512 B
+# chunks, read it back in 1 KiB chunks, checksum, unlink.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    # fill the write buffer with a pattern
+    xorl %ecx, %ecx
+1:  cmpl $512, %ecx
+    jae 2f
+    movl %ecx, %eax
+    addl $0xA5, %eax
+    movb %al, wbuf(%ecx)
+    incl %ecx
+    jmp 1b
+2:  # create
+    movl $path, %eax
+    movl $0x242, %edx
+    call sys_open
+    testl %eax, %eax
+    js fail
+    movl %eax, %ebx           # fd
+    # 16 writes of 512B
+    movl $16, %edi
+w_loop:
+    movl %ebx, %eax
+    movl $wbuf, %edx
+    movl $512, %ecx
+    call sys_write
+    cmpl $512, %eax
+    jne fail
+    decl %edi
+    jnz w_loop
+    movl %ebx, %eax
+    call sys_close
+    # reopen + read back 8 x 1KiB, checksum
+    movl $path, %eax
+    xorl %edx, %edx
+    call sys_open
+    testl %eax, %eax
+    js fail
+    movl %eax, %ebx
+    xorl %esi, %esi           # checksum
+    movl $8, %edi
+r_loop:
+    movl %ebx, %eax
+    movl $rbuf, %edx
+    movl $1024, %ecx
+    call sys_read
+    cmpl $1024, %eax
+    jne fail
+    # add all dwords
+    xorl %ecx, %ecx
+3:  cmpl $256, %ecx
+    jae 4f
+    addl rbuf(,%ecx,4), %esi
+    incl %ecx
+    jmp 3b
+4:  decl %edi
+    jnz r_loop
+    movl %ebx, %eax
+    call sys_close
+    movl $path, %eax
+    call sys_unlink
+    movl %esi, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    movl $1, %eax
+    pop %edi
+    pop %esi
+    pop %ebx
+    ret
+
+.data
+path: .asciz "/fstime.tmp"
+wbuf: .space 512
+rbuf: .space 1024

@@ -1,0 +1,31 @@
+# hanoi.s — recursion benchmark: towers of Hanoi, counting moves.
+
+.text
+main:
+    movl $0, moves
+    movl $10, %eax            # discs
+    call hanoi
+    movl moves, %eax          # 2^10 - 1 = 1023
+    call sys_report
+    xorl %eax, %eax
+    ret
+
+# hanoi(n=%eax)
+.type hanoi, @function
+hanoi:
+    cmpl $1, %eax
+    jbe base
+    push %eax
+    decl %eax
+    call hanoi                # move n-1
+    incl moves                # move the big disc
+    pop %eax
+    decl %eax
+    call hanoi                # move n-1 again
+    ret
+base:
+    incl moves
+    ret
+
+.data
+moves: .long 0

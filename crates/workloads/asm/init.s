@@ -1,0 +1,35 @@
+# init.s — pid 1: a minimal supervisor, like a real init. Spawns the
+# benchmark runner, waits for it, and shuts the system down. Keeping
+# pid 1's syscall surface tiny means injected errors usually kill the
+# runner or a workload (an application abort the paper counts as a fail
+# silence violation) rather than panicking the kernel by killing init.
+
+.text
+main:
+    call sys_fork
+    testl %eax, %eax
+    jnz supervise
+    # child: become the runner
+    movl $runner_path, %eax
+    call sys_execve
+    movl $127, %eax
+    call sys_exit
+supervise:
+    movl %eax, %eax           # runner pid
+    movl $status, %edx
+    call sys_waitpid
+    movl status, %eax
+    testl %eax, %eax
+    jz shutdown
+    movl $failed_msg, %eax
+    call print
+shutdown:
+    movl $0xFEE1DEAD, %eax
+    call sys_reboot
+    movl $1, %eax
+    ret
+
+.data
+runner_path: .asciz "/bin/runner"
+failed_msg:  .asciz "init: runner failed\n"
+status:      .long 0

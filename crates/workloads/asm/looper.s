@@ -1,0 +1,36 @@
+# looper.s — execl-throughput analog: repeatedly fork + exec a trivial
+# program and wait for it.
+
+.text
+main:
+    push %ebx
+    movl $5, %ebx
+l_loop:
+    call sys_fork
+    testl %eax, %eax
+    jnz l_parent
+    movl $nullpath, %eax
+    call sys_execve
+    movl $127, %eax
+    call sys_exit
+l_parent:
+    xorl %edx, %edx
+    call sys_waitpid
+    testl %eax, %eax
+    js fail
+    decl %ebx
+    jnz l_loop
+    movl $505, %eax
+    call sys_report
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %ebx
+    movl $1, %eax
+    ret
+
+.data
+nullpath: .asciz "/bin/nulltask"

@@ -1,0 +1,5 @@
+# nulltask.s — smallest possible program (exec target for looper).
+.text
+main:
+    xorl %eax, %eax
+    ret

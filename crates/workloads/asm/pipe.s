@@ -1,0 +1,53 @@
+# pipe.s — UnixBench pipe analog: single process bounces a 128-byte
+# buffer through a pipe.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    movl $fds, %eax
+    call sys_pipe
+    testl %eax, %eax
+    jnz fail
+    xorl %esi, %esi           # checksum
+    movl $60, %edi            # rounds
+p_loop:
+    movl fds+4, %eax
+    movl $buf, %edx
+    movl $128, %ecx
+    call sys_write
+    cmpl $128, %eax
+    jne fail
+    movl fds, %eax
+    movl $buf, %edx
+    movl $128, %ecx
+    call sys_read
+    cmpl $128, %eax
+    jne fail
+    # mutate + fold
+    movl buf, %eax
+    addl %edi, %eax
+    movl %eax, buf
+    addl %eax, %esi
+    decl %edi
+    jnz p_loop
+    movl %esi, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret
+
+.data
+fds: .long 0, 0
+buf: .space 128

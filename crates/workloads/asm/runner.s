@@ -1,0 +1,102 @@
+# runner.s — the benchmark runner (pid 2), exec'd by the supervisor
+# init. Announces itself to the host monitor (the snapshot point), reads
+# the host-selected run mode, and runs the workloads.
+
+.text
+main:
+    # snapshot point: the host snapshots the machine here and pokes the
+    # run mode before resuming
+    movl $0x512, %eax         # EVT_RUNNER
+    call sys_mark
+    movl $banner, %eax
+    call print
+    call sys_getmode
+    movl %eax, %esi           # mode
+    cmpl $0xFF, %esi
+    je run_all
+    cmpl $NR_WORKLOADS, %esi
+    jae run_all
+    movl %esi, %eax
+    call run_one
+    jmp done
+run_all:
+    xorl %edi, %edi
+1:  cmpl $NR_WORKLOADS, %edi
+    jae done
+    movl %edi, %eax
+    call run_one
+    incl %edi
+    jmp 1b
+done:
+    movl $done_msg, %eax
+    call print
+    xorl %eax, %eax
+    ret
+
+# run_one(index=%eax): fork + exec + wait + report.
+.type run_one, @function
+run_one:
+    push %ebx
+    push %esi
+    movl %eax, %ebx
+    movl $run_msg, %eax
+    call print
+    movl name_table(,%ebx,4), %eax
+    call print
+    movl $colon, %eax
+    call print
+    movl %ebx, %eax
+    addl $0x111, %eax
+    call sys_mark
+    call sys_fork
+    testl %eax, %eax
+    jnz ro_parent
+    movl path_table(,%ebx,4), %eax
+    call sys_execve
+    movl $execfail, %eax
+    call print
+    movl $127, %eax
+    call sys_exit
+ro_parent:
+    movl %eax, %esi
+    movl %eax, %eax
+    movl $status, %edx
+    call sys_waitpid
+    movl status, %eax
+    call print_dec
+    movl $nl, %eax
+    call print
+    pop %esi
+    pop %ebx
+    ret
+
+.equ NR_WORKLOADS, 8
+
+.data
+banner:   .asciz "runner: kfi benchmark runner\n"
+run_msg:  .asciz "runner: run "
+colon:    .asciz " -> "
+nl:       .asciz "\n"
+done_msg: .asciz "runner: all done\n"
+execfail: .asciz "runner: exec failed\n"
+status:   .long 0
+name_table:
+    .long n0, n1, n2, n3, n4, n5, n6, n7
+path_table:
+    .long p0, p1, p2, p3, p4, p5, p6, p7
+n0: .asciz "context1"
+n1: .asciz "dhry"
+n2: .asciz "fstime"
+n3: .asciz "hanoi"
+n4: .asciz "looper"
+n5: .asciz "pipe"
+n6: .asciz "spawn"
+n7: .asciz "syscall"
+p0: .asciz "/bin/context1"
+p1: .asciz "/bin/dhry"
+p2: .asciz "/bin/fstime"
+p3: .asciz "/bin/hanoi"
+p4: .asciz "/bin/looper"
+p5: .asciz "/bin/pipe"
+p6: .asciz "/bin/spawn"
+p7: .asciz "/bin/syscall"

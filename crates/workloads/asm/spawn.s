@@ -1,0 +1,38 @@
+# spawn.s — process-creation throughput: fork + immediate exit + wait.
+
+.text
+main:
+    push %ebx
+    push %esi
+    movl $12, %ebx            # rounds
+    xorl %esi, %esi           # pid accumulator
+s_loop:
+    call sys_fork
+    testl %eax, %eax
+    jnz s_parent
+    xorl %eax, %eax
+    call sys_exit
+s_parent:
+    testl %eax, %eax
+    js fail
+    incl %esi
+    xorl %eax, %eax
+    xorl %edx, %edx
+    call sys_waitpid
+    testl %eax, %eax
+    js fail
+    decl %ebx
+    jnz s_loop
+    movl %esi, %eax           # 12 successful spawns
+    call sys_report
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret

@@ -1,0 +1,22 @@
+# syscall.s — raw system-call rate: getpid/time/yield in a tight loop.
+
+.text
+main:
+    push %ebx
+    push %esi
+    movl $200, %ebx
+    xorl %esi, %esi
+y_loop:
+    call sys_getpid
+    addl %eax, %esi
+    call sys_time
+    call sys_getpid
+    addl %eax, %esi
+    decl %ebx
+    jnz y_loop
+    movl %esi, %eax           # 400 * pid
+    call sys_report
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret

@@ -1,0 +1,100 @@
+//! # kfi-workloads — the UnixBench-analog guest workload suite
+//!
+//! Eight user-space benchmark programs mirroring the programs the paper
+//! selected from UnixBench (`context1`, `dhry`, `fstime`, `hanoi`,
+//! `looper`, `pipe`, `spawn`, `syscall`), plus the `/init` runner that
+//! executes them and the `nulltask` exec target. Built as KBIN flat
+//! binaries and installed into the filesystem image.
+//!
+//! Each workload is deterministic and finishes by reporting a checksum
+//! through `sys_report` — the golden-run oracle the injector compares
+//! against to classify fail-silence violations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use kfi_asm::AsmError;
+use kfi_kernel::mkfs::FileSpec;
+use kfi_kernel::{build_with_runtime, standard_fixtures};
+
+/// The benchmark programs, in run-mode order (mode `i` runs
+/// `WORKLOADS[i]`; mode `0xFF` runs the full suite).
+pub const WORKLOADS: &[&str] = &[
+    "context1", "dhry", "fstime", "hanoi", "looper", "pipe", "spawn", "syscall",
+];
+
+/// Run mode value that runs the complete suite.
+pub const MODE_ALL: u32 = 0xff;
+
+/// The workload sources (name → assembly).
+pub const SOURCES: &[(&str, &str)] = &[
+    ("context1", include_str!("../asm/context1.s")),
+    ("dhry", include_str!("../asm/dhry.s")),
+    ("fstime", include_str!("../asm/fstime.s")),
+    ("hanoi", include_str!("../asm/hanoi.s")),
+    ("looper", include_str!("../asm/looper.s")),
+    ("pipe", include_str!("../asm/pipe.s")),
+    ("spawn", include_str!("../asm/spawn.s")),
+    ("syscall", include_str!("../asm/syscall.s")),
+    ("nulltask", include_str!("../asm/nulltask.s")),
+    ("runner", include_str!("../asm/runner.s")),
+];
+
+/// The `/init` runner source.
+pub const INIT_SOURCE: &str = include_str!("../asm/init.s");
+
+/// Builds the full file set for a benchmark-ready filesystem image:
+/// `/init`, `/bin/<workload>` for every workload, `/bin/nulltask`, and
+/// the standard fixtures.
+///
+/// # Errors
+///
+/// Assembly errors in any program (with file/line positions).
+pub fn suite_files() -> Result<Vec<FileSpec>, AsmError> {
+    let mut files = standard_fixtures();
+    files.push(FileSpec {
+        path: "/init".into(),
+        data: build_with_runtime("init.s", INIT_SOURCE)?.bytes,
+    });
+    for (name, src) in SOURCES {
+        files.push(FileSpec {
+            path: format!("/bin/{name}"),
+            data: build_with_runtime(name, src)?.bytes,
+        });
+    }
+    Ok(files)
+}
+
+/// The run-mode value for a named workload.
+pub fn mode_of(name: &str) -> Option<u32> {
+    WORKLOADS.iter().position(|w| *w == name).map(|i| i as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_programs_assemble() {
+        let files = suite_files().expect("suite assembles");
+        assert!(files.iter().any(|f| f.path == "/init"));
+        for w in WORKLOADS {
+            assert!(
+                files.iter().any(|f| f.path == format!("/bin/{w}")),
+                "missing {w}"
+            );
+        }
+        assert!(files.iter().any(|f| f.path == "/bin/nulltask"));
+        assert!(files.iter().any(|f| f.path == "/bin/runner"));
+        for f in &files {
+            assert!(!f.data.is_empty(), "{} is empty", f.path);
+        }
+    }
+
+    #[test]
+    fn modes_resolve() {
+        assert_eq!(mode_of("context1"), Some(0));
+        assert_eq!(mode_of("syscall"), Some(7));
+        assert_eq!(mode_of("nope"), None);
+    }
+}

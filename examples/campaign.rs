@@ -1,0 +1,82 @@
+//! Run a scaled-down version of the paper's full study — all three
+//! campaigns over the profiled kernel functions — and print the
+//! Figure 4 outcome tables plus the headline findings.
+//!
+//! Run with: `cargo run --release --example campaign`
+//! (pass --full for paper-scale: every byte of every instruction)
+
+fn main() {
+    let mut opts = kfi_bench_options();
+    opts.cap = opts.cap.or(Some(8));
+    let config = kfi::core::ExperimentConfig {
+        seed: opts.seed,
+        max_per_function: opts.cap,
+        threads: opts.threads,
+        ..Default::default()
+    };
+    let exp = kfi::core::Experiment::prepare(config).expect("experiment prepares");
+    println!(
+        "targets: {} core functions (95% of kernel activity)",
+        exp.target_functions.len()
+    );
+    let study = exp.run_all();
+    println!("{}", kfi::report::figure4(&study));
+    println!("{}", kfi::report::figure6(&study));
+
+    // Headline findings, paper-style.
+    let mut all: Vec<kfi::injector::RunRecord> = Vec::new();
+    for r in study.campaigns.values() {
+        all.extend(r.records.iter().cloned());
+    }
+    println!("headline findings:");
+    println!(
+        "  four major causes cover {:.1}% of crashes (paper: 95%)",
+        kfi::core::stats::four_major_causes_share(&all)
+    );
+    println!(
+        "  cross-subsystem propagation: {:.1}% of crashes (paper: <10%)",
+        kfi::core::stats::overall_propagation_share(&all)
+    );
+    let h = kfi::core::stats::latency_histogram(&all, None);
+    let total: usize = h.iter().sum::<usize>().max(1);
+    println!(
+        "  crash latency <10 cycles: {:.1}% (paper: ~40-60%)",
+        100.0 * h[0] as f64 / total as f64
+    );
+    println!(
+        "  most severe crashes (reformat): {}",
+        kfi::core::stats::most_severe_crashes(&all).len()
+    );
+}
+
+struct Opts {
+    cap: Option<usize>,
+    seed: u64,
+    threads: usize,
+}
+
+fn kfi_bench_options() -> Opts {
+    let mut o = Opts {
+        cap: Some(8),
+        seed: 2003,
+        threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--full" => o.cap = None,
+            "--seed" => {
+                i += 1;
+                o.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.seed);
+            }
+            "--threads" => {
+                i += 1;
+                o.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.threads);
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    o
+}

@@ -1,0 +1,52 @@
+//! Kernel profiling (the paper's Section 4): run the benchmark suite
+//! under the PC-sampling profiler and print the Table 1 data — which
+//! functions account for 95% of kernel activity, and which workload
+//! drives each of them.
+//!
+//! Run with: `cargo run --release --example profile_kernel`
+
+use kfi::kernel::{build_kernel, KernelBuildOptions};
+use kfi::profiler::{profile, ProfilerConfig};
+
+fn main() {
+    let image = build_kernel(KernelBuildOptions::default()).expect("kernel assembles");
+    let files = kfi::workloads::suite_files().expect("workloads assemble");
+    println!("profiling the full suite (this boots the kernel 8 times)...");
+    let p = profile(&image, &files, kfi::workloads::WORKLOADS, &ProfilerConfig::default());
+
+    println!(
+        "\n{} kernel functions profiled, {} samples total\n",
+        p.functions.len(),
+        p.total_samples
+    );
+    println!("{:<28} {:<8} {:>9} {:>10}  hottest workload", "function", "module", "samples", "share");
+    let mut cum = 0u64;
+    for f in p.top_covering(0.95) {
+        cum += f.samples;
+        let best = p
+            .best_workload_for(&f.name)
+            .map(|m| kfi::workloads::WORKLOADS[m as usize])
+            .unwrap_or("-");
+        println!(
+            "{:<28} {:<8} {:>9} {:>9.1}%  {}",
+            f.name,
+            f.subsystem,
+            f.samples,
+            100.0 * f.samples as f64 / p.total_samples as f64,
+            best
+        );
+    }
+    println!(
+        "\ntop {} functions cover {:.1}% of all profiling values (paper: top 32 cover 95%)",
+        p.top_covering(0.95).len(),
+        100.0 * cum as f64 / p.total_samples as f64
+    );
+
+    println!("\nper-module distribution (Table 1):");
+    for (sub, (nfuncs, samples)) in p.by_subsystem() {
+        println!(
+            "  {sub:<8} {nfuncs:>3} functions, {:>5.1}% of samples",
+            100.0 * samples as f64 / p.total_samples as f64
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! # kfi — Characterization of Linux Kernel Behavior under Errors
+//!
+//! A full reproduction of Gu, Kalbarczyk, Iyer & Yang, *Characterization
+//! of Linux Kernel Behavior under Errors* (DSN 2003), as a Rust library:
+//! a simulated IA-32 machine, a miniature Unix kernel written in its
+//! assembly, a UnixBench-analog workload suite, and a debug-register-
+//! triggered single-bit fault injector with the paper's outcome
+//! classification, crash-cause/latency/propagation/severity analyses.
+//!
+//! This crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`isa`] | IA-32 subset: decoder, encoder, condition codes |
+//! | [`machine`] | CPU + MMU + traps + devices + debug registers |
+//! | [`asm`] | AT&T assembler / disassembler |
+//! | [`kernel`] | the guest kernel, boot, mkfs/fsck, KBIN loader |
+//! | [`workloads`] | the eight benchmark programs + init/runner |
+//! | [`profiler`] | Kernprof-equivalent PC-sampling profiler |
+//! | [`injector`] | campaigns A/B/C, the rig, outcome classification |
+//! | [`dump`] | crash dumps, oops capture, case-study listings |
+//! | [`core`] | experiment orchestration + statistics |
+//! | [`report`] | table/figure renderers |
+//!
+//! # Examples
+//!
+//! Boot the kernel and run the benchmark suite:
+//!
+//! ```no_run
+//! use kfi::kernel::{boot, build_kernel, mkfs, BootConfig};
+//!
+//! let image = build_kernel(Default::default())?;
+//! let files = kfi::workloads::suite_files()?;
+//! let fsimg = mkfs(2048, &files);
+//! let mut m = boot(&image, fsimg.disk, &BootConfig::default());
+//! m.run(200_000_000);
+//! println!("{}", m.console_string());
+//! # Ok::<(), kfi::asm::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use kfi_asm as asm;
+pub use kfi_core as core;
+pub use kfi_dump as dump;
+pub use kfi_injector as injector;
+pub use kfi_isa as isa;
+pub use kfi_kernel as kernel;
+pub use kfi_machine as machine;
+pub use kfi_profiler as profiler;
+pub use kfi_report as report;
+pub use kfi_workloads as workloads;

@@ -1,0 +1,173 @@
+//! The `kfi` command-line tool: boot the guest system, run workloads,
+//! inject errors, and regenerate the paper's artifacts.
+
+use kfi::injector::{plan_function, Campaign, InjectorRig, Outcome, RigConfig};
+use kfi::kernel::{boot, build_kernel, mkfs, BootConfig, KernelBuildOptions};
+use rand::SeedableRng;
+
+const USAGE: &str = "\
+kfi — Characterization of Linux Kernel Behavior under Errors (DSN 2003)
+
+USAGE:
+    kfi boot [--mode N|all]        boot the kernel, run workloads, show console
+    kfi profile                    profile the kernel (Table 1 data)
+    kfi inject <function> [opts]   inject errors into a kernel function
+        --campaign A|B|C           error model (default A)
+        --mode N                   workload (default: hottest for the function)
+        --count N                  max injections (default 20)
+        --seed N                   RNG seed (default 2003)
+    kfi disasm <function>          disassemble a kernel function
+    kfi report [--cap N|--full]    run the study and print all tables/figures
+    kfi help                       this text
+";
+
+fn arg_val(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("boot") => cmd_boot(&args),
+        Some("profile") => cmd_profile(),
+        Some("inject") => cmd_inject(&args),
+        Some("disasm") => cmd_disasm(&args),
+        Some("report") => cmd_report(&args),
+        _ => print!("{USAGE}"),
+    }
+}
+
+fn cmd_boot(args: &[String]) {
+    let mode = match arg_val(args, "--mode").as_deref() {
+        None | Some("all") => kfi::workloads::MODE_ALL,
+        Some(n) => n.parse().unwrap_or(kfi::workloads::MODE_ALL),
+    };
+    let image = build_kernel(KernelBuildOptions::default()).expect("kernel assembles");
+    let files = kfi::workloads::suite_files().expect("workloads assemble");
+    let fsimg = mkfs(2048, &files);
+    let mut m = boot(&image, fsimg.disk, &BootConfig { run_mode: mode, ..Default::default() });
+    let exit = m.run(400_000_000);
+    print!("{}", m.console_string());
+    println!("-- exit: {exit:?} after {} cycles", m.cpu.tsc);
+}
+
+fn cmd_profile() {
+    let image = build_kernel(KernelBuildOptions::default()).expect("kernel assembles");
+    let files = kfi::workloads::suite_files().expect("workloads assemble");
+    let p = kfi::profiler::profile(&image, &files, kfi::workloads::WORKLOADS, &Default::default());
+    println!("{}", kfi::report::table1(&p, 0.95));
+}
+
+fn cmd_inject(args: &[String]) {
+    let Some(function) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("inject: missing function name");
+        return;
+    };
+    let campaign = match arg_val(args, "--campaign").as_deref() {
+        Some("B") | Some("b") => Campaign::B,
+        Some("C") | Some("c") => Campaign::C,
+        _ => Campaign::A,
+    };
+    let count: usize = arg_val(args, "--count").and_then(|v| v.parse().ok()).unwrap_or(20);
+    let seed: u64 = arg_val(args, "--seed").and_then(|v| v.parse().ok()).unwrap_or(2003);
+
+    let image = build_kernel(KernelBuildOptions::default()).expect("kernel assembles");
+    if image.program.symbols.lookup(function).is_none() {
+        eprintln!("inject: unknown kernel function `{function}`");
+        return;
+    }
+    let files = kfi::workloads::suite_files().expect("workloads assemble");
+    eprintln!("booting + golden runs...");
+    let mut rig = InjectorRig::new(
+        image,
+        &files,
+        kfi::workloads::WORKLOADS.len() as u32,
+        RigConfig::default(),
+    )
+    .expect("baseline system is healthy");
+
+    // Pick the workload covering the function, preferring the first.
+    let faddr = rig.image.program.symbols.addr_of(function).expect("checked");
+    let mode = arg_val(args, "--mode")
+        .and_then(|v| v.parse().ok())
+        .or_else(|| (0..kfi::workloads::WORKLOADS.len() as u32).find(|m| rig.would_activate(faddr, *m)))
+        .unwrap_or(0);
+    println!(
+        "injecting campaign {} into {function} under workload {}",
+        campaign.letter(),
+        kfi::workloads::WORKLOADS[mode as usize]
+    );
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let targets = plan_function(&rig.image, function, campaign, &mut rng);
+    for t in targets.iter().take(count) {
+        let rec = rig.run_one(t, mode);
+        print!(
+            "{:#010x} byte {} mask {:#04x}: {}",
+            t.insn_addr,
+            t.byte_index,
+            t.bit_mask,
+            rec.outcome.category()
+        );
+        if let Outcome::Crash(i) = &rec.outcome {
+            print!(
+                " [{} in {} ({}), latency {}, {}]",
+                kfi::kernel::layout::cause_name(i.cause),
+                i.function.as_deref().unwrap_or("?"),
+                i.subsystem,
+                i.latency,
+                i.severity.name()
+            );
+        }
+        println!();
+    }
+}
+
+fn cmd_disasm(args: &[String]) {
+    let Some(function) = args.get(1) else {
+        eprintln!("disasm: missing function name");
+        return;
+    };
+    let image = build_kernel(KernelBuildOptions::default()).expect("kernel assembles");
+    let Some(sym) = image.program.symbols.lookup(function) else {
+        eprintln!("disasm: unknown function `{function}`");
+        return;
+    };
+    let bytes = image
+        .program
+        .slice_at(sym.value, sym.size as usize)
+        .expect("function bytes");
+    println!(
+        "{} ({}), {} bytes at {:#010x}:",
+        sym.name,
+        sym.subsystem.as_deref().unwrap_or("?"),
+        sym.size,
+        sym.value
+    );
+    print!("{}", kfi::asm::format_listing(&kfi::asm::disassemble(bytes, sym.value)));
+}
+
+fn cmd_report(args: &[String]) {
+    let cap = if args.iter().any(|a| a == "--full") {
+        None
+    } else {
+        Some(
+            arg_val(args, "--cap")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12),
+        )
+    };
+    let config = kfi::core::ExperimentConfig {
+        max_per_function: cap,
+        ..Default::default()
+    };
+    let exp = kfi::core::Experiment::prepare(config).expect("experiment prepares");
+    let study = exp.run_all();
+    println!(
+        "{}",
+        kfi::report::full_report(&exp.image, &exp.profile, &study, exp.config.top_fraction)
+    );
+}
