@@ -4,8 +4,8 @@ use crate::expr::Expr;
 use crate::parse::{AsmError, GenInsn, Item, Mnem, Parser, SectionId, TMem, TOperand};
 use crate::program::{Program, Section, Symbol, SymbolKind, SymbolTable};
 use kfi_isa::{
-    encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, Cond, Grp3Kind,
-    MemRef, Op, PortArg, Rm, ShiftCount, Src, Width,
+    encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, Cond, Grp3Kind, MemRef, Op,
+    PortArg, Rm, ShiftCount, Src, Width,
 };
 use std::collections::HashMap;
 
@@ -557,15 +557,14 @@ impl Layout {
             for (i, addr) in placements {
                 let Item::Insn(insn) = &l.items[i] else { continue };
                 let mut resolver = resolver_for(&symbols, addr);
-                let real = realize(insn, &mut resolver)
-                    .map_err(|m| err_at(insn, m))?;
+                let real = realize(insn, &mut resolver).map_err(|m| err_at(insn, m))?;
                 match emit_real(&real, addr, l.wide[i]) {
                     Ok(bytes) => {
                         if bytes.len() as u32 != l.sizes[i] {
                             if !l.wide[i] {
                                 l.wide[i] = true;
-                                let wb = emit_real(&real, addr, true)
-                                    .map_err(|f| emit_err(insn, f))?;
+                                let wb =
+                                    emit_real(&real, addr, true).map_err(|f| emit_err(insn, f))?;
                                 l.sizes[i] = wb.len() as u32;
                             } else {
                                 l.sizes[i] = bytes.len() as u32;
@@ -587,11 +586,7 @@ impl Layout {
             }
             let _ = iter;
         }
-        Err(AsmError {
-            file: "<layout>".into(),
-            line: 0,
-            msg: "layout did not converge".into(),
-        })
+        Err(AsmError { file: "<layout>".into(), line: 0, msg: "layout did not converge".into() })
     }
 
     /// Initial size estimates: branches optimistic-short, everything else
@@ -629,8 +624,10 @@ impl Layout {
     /// Walks items assigning addresses. Returns the label table and the
     /// (item index, address) placement of every instruction/data item.
     #[allow(clippy::type_complexity)]
-    fn walk(&self, opts: &AsmOptions) -> Result<(HashMap<String, u32>, Vec<(usize, u32)>), AsmError>
-    {
+    fn walk(
+        &self,
+        opts: &AsmOptions,
+    ) -> Result<(HashMap<String, u32>, Vec<(usize, u32)>), AsmError> {
         let mut labels = HashMap::new();
         let mut placements = Vec::new();
         // Two passes over sections: first text to learn its size, then data.
@@ -695,19 +692,17 @@ impl Layout {
         symbols: &HashMap<String, u32>,
     ) -> Result<Program, AsmError> {
         let (labels, _) = self.walk(opts)?;
-        let data_base = opts
-            .data_base
-            .unwrap_or_else(|| {
-                // Recompute text length for the default placement.
-                let text_end = labels
-                    .values()
-                    .copied()
-                    .filter(|a| *a >= opts.text_base)
-                    .max()
-                    .unwrap_or(opts.text_base);
-                let _ = text_end;
-                0 // replaced below by the walk-based layout
-            });
+        let data_base = opts.data_base.unwrap_or_else(|| {
+            // Recompute text length for the default placement.
+            let text_end = labels
+                .values()
+                .copied()
+                .filter(|a| *a >= opts.text_base)
+                .max()
+                .unwrap_or(opts.text_base);
+            let _ = text_end;
+            0 // replaced below by the walk-based layout
+        });
         let _ = data_base;
 
         // Emit section bytes.
@@ -805,10 +800,8 @@ impl Layout {
         // Build symbols.
         let mut syms = Vec::new();
         for (name, value) in &labels {
-            let (section, subsystem) = label_meta
-                .get(name)
-                .cloned()
-                .unwrap_or((SectionId::Text, None));
+            let (section, subsystem) =
+                label_meta.get(name).cloned().unwrap_or((SectionId::Text, None));
             let kind = if func_marks.iter().any(|f| f == name) {
                 SymbolKind::Function
             } else {
@@ -848,19 +841,12 @@ impl Layout {
         // Function sizes: distance to the next function or section end.
         let text_end = opts.text_base + text_len;
         let data_end = data_base_actual + data.len() as u32;
-        let mut func_addrs: Vec<u32> = syms
-            .iter()
-            .filter(|s| s.kind == SymbolKind::Function)
-            .map(|s| s.value)
-            .collect();
+        let mut func_addrs: Vec<u32> =
+            syms.iter().filter(|s| s.kind == SymbolKind::Function).map(|s| s.value).collect();
         func_addrs.sort_unstable();
         for s in &mut syms {
             if s.kind == SymbolKind::Function {
-                let next = func_addrs
-                    .iter()
-                    .copied()
-                    .find(|a| *a > s.value)
-                    .unwrap_or(u32::MAX);
+                let next = func_addrs.iter().copied().find(|a| *a > s.value).unwrap_or(u32::MAX);
                 let section_end = if s.value >= data_base_actual && data_base_actual > 0 {
                     data_end
                 } else {

@@ -66,10 +66,9 @@ impl Expr {
         match self {
             Expr::Num(n) => Ok(*n),
             Expr::Sym(s) if s == "." => Ok(dot as i64),
-            Expr::Sym(s) => symbols
-                .get(s)
-                .map(|v| *v as i64)
-                .ok_or_else(|| EvalError::Undefined(s.clone())),
+            Expr::Sym(s) => {
+                symbols.get(s).map(|v| *v as i64).ok_or_else(|| EvalError::Undefined(s.clone()))
+            }
             Expr::Neg(e) => Ok(e.eval(symbols, dot)?.wrapping_neg()),
             Expr::Not(e) => Ok(!e.eval(symbols, dot)?),
             Expr::Bin(op, a, b) => {
@@ -305,16 +304,16 @@ impl<'a> ExprParser<'a> {
     fn parse_number(&mut self) -> Result<Expr, String> {
         let start = self.pos;
         let bytes = self.s;
-        let (radix, mut i) = if bytes[self.pos..].starts_with(b"0x") || bytes[self.pos..].starts_with(b"0X")
-        {
-            (16, self.pos + 2)
-        } else if bytes[self.pos..].starts_with(b"0b") || bytes[self.pos..].starts_with(b"0B") {
-            (2, self.pos + 2)
-        } else if bytes[self.pos..].starts_with(b"0o") {
-            (8, self.pos + 2)
-        } else {
-            (10, self.pos)
-        };
+        let (radix, mut i) =
+            if bytes[self.pos..].starts_with(b"0x") || bytes[self.pos..].starts_with(b"0X") {
+                (16, self.pos + 2)
+            } else if bytes[self.pos..].starts_with(b"0b") || bytes[self.pos..].starts_with(b"0B") {
+                (2, self.pos + 2)
+            } else if bytes[self.pos..].starts_with(b"0o") {
+                (8, self.pos + 2)
+            } else {
+                (10, self.pos)
+            };
         let digits_start = i;
         while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
             i += 1;
@@ -325,9 +324,9 @@ impl<'a> ExprParser<'a> {
             .filter(|c| *c != '_')
             .collect();
         self.pos = i;
-        u64::from_str_radix(&text, radix)
-            .map(|v| Expr::Num(v as i64))
-            .map_err(|_| format!("bad number literal `{}`", std::str::from_utf8(&bytes[start..i]).unwrap_or("?")))
+        u64::from_str_radix(&text, radix).map(|v| Expr::Num(v as i64)).map_err(|_| {
+            format!("bad number literal `{}`", std::str::from_utf8(&bytes[start..i]).unwrap_or("?"))
+        })
     }
 }
 
@@ -381,9 +380,6 @@ mod tests {
         assert!(parse_expr("(2").is_err());
         assert!(parse_expr("2 2").is_err());
         assert!(parse_expr("0xzz").is_err());
-        assert_eq!(
-            parse_expr("1/0").unwrap().eval(&HashMap::new(), 0),
-            Err(EvalError::DivByZero)
-        );
+        assert_eq!(parse_expr("1/0").unwrap().eval(&HashMap::new(), 0), Err(EvalError::DivByZero));
     }
 }

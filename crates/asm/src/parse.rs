@@ -223,10 +223,7 @@ impl Parser {
         }
         if let Some(def) = rest.strip_prefix(".macro") {
             let mut words = def.split_whitespace();
-            let name = words
-                .next()
-                .ok_or_else(|| self.err(".macro needs a name"))?
-                .to_string();
+            let name = words.next().ok_or_else(|| self.err(".macro needs a name"))?.to_string();
             let params: Vec<String> = def
                 .trim_start_matches(char::is_whitespace)
                 .strip_prefix(&name)
@@ -323,9 +320,8 @@ impl Parser {
                 }
             }
             "equ" | "set" => {
-                let (n, e) = args
-                    .split_once(',')
-                    .ok_or_else(|| self.err(".equ needs `name, expr`"))?;
+                let (n, e) =
+                    args.split_once(',').ok_or_else(|| self.err(".equ needs `name, expr`"))?;
                 let expr = parse_expr(e.trim()).map_err(|m| self.err(m))?;
                 let v = expr
                     .eval(&to_u32_map(&self.equs), 0)
@@ -378,12 +374,7 @@ impl Parser {
         for part in split_top_commas(args) {
             exprs.push(parse_expr(part.trim()).map_err(|m| self.err(m))?);
         }
-        self.items.push(Item::Data {
-            width,
-            exprs,
-            file: self.file.clone(),
-            line: self.line,
-        });
+        self.items.push(Item::Data { width, exprs, file: self.file.clone(), line: self.line });
         Ok(())
     }
 
@@ -450,9 +441,8 @@ impl Parser {
                 return Ok(TOperand::Dx);
             }
             if let Some(n) = lower.strip_prefix("cr") {
-                let n: u8 = n
-                    .parse()
-                    .map_err(|_| self.err(format!("bad control register `%{r}`")))?;
+                let n: u8 =
+                    n.parse().map_err(|_| self.err(format!("bad control register `%{r}`")))?;
                 return Ok(TOperand::Cr(n));
             }
             return Err(self.err(format!("unknown register `%{r}`")));
@@ -463,9 +453,8 @@ impl Parser {
         }
         if let Some(open) = find_top_paren(text) {
             let disp_text = text[..open].trim();
-            let close = text
-                .rfind(')')
-                .ok_or_else(|| self.err(format!("missing `)` in `{text}`")))?;
+            let close =
+                text.rfind(')').ok_or_else(|| self.err(format!("missing `)` in `{text}`")))?;
             let inner = &text[open + 1..close];
             let disp = if disp_text.is_empty() {
                 None
@@ -499,9 +488,7 @@ impl Parser {
                 let reg = Reg::parse(name)
                     .ok_or_else(|| self.err(format!("bad index register `{i}`")))?;
                 let scale: u8 = match parts.get(2) {
-                    Some(s) => s
-                        .parse()
-                        .map_err(|_| self.err(format!("bad scale in `{text}`")))?,
+                    Some(s) => s.parse().map_err(|_| self.err(format!("bad scale in `{text}`")))?,
                     None => 1,
                 };
                 if !matches!(scale, 1 | 2 | 4 | 8) {
@@ -523,7 +510,9 @@ impl Parser {
     /// Parses an expression, handling `1f`/`1b` local-label references.
     fn parse_target_expr(&mut self, text: &str) -> Result<Expr, AsmError> {
         let t = text.trim();
-        if t.len() >= 2 && t.ends_with(['f', 'b']) && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit())
+        if t.len() >= 2
+            && t.ends_with(['f', 'b'])
+            && t[..t.len() - 1].chars().all(|c| c.is_ascii_digit())
         {
             let n: u32 = t[..t.len() - 1].parse().expect("digits");
             let current = self.local_counts.get(&n).copied().unwrap_or(0);
@@ -575,10 +564,7 @@ fn find_label_colon(s: &str) -> Option<usize> {
     if candidate.is_empty() {
         return None;
     }
-    if candidate
-        .chars()
-        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$')
-    {
+    if candidate.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.' || c == '$') {
         Some(colon)
     } else {
         None
@@ -839,7 +825,8 @@ mod tests {
 
     #[test]
     fn operand_shapes() {
-        let items = parse_one("movl 8(%ebp), %eax\nlea (%edx,%eax,4), %ecx\nmovl table(,%ebx,4), %esi\n");
+        let items =
+            parse_one("movl 8(%ebp), %eax\nlea (%edx,%eax,4), %ecx\nmovl table(,%ebx,4), %esi\n");
         let Item::Insn(i) = &items[0] else { panic!() };
         assert!(matches!(&i.ops[0], TOperand::Mem(m) if m.base == Some(Reg::Ebp)));
         let Item::Insn(i) = &items[1] else { panic!() };
@@ -847,7 +834,9 @@ mod tests {
             matches!(&i.ops[0], TOperand::Mem(m) if m.index == Some((Reg::Eax, 4)) && m.base == Some(Reg::Edx))
         );
         let Item::Insn(i) = &items[2] else { panic!() };
-        assert!(matches!(&i.ops[0], TOperand::Mem(m) if m.base.is_none() && m.index == Some((Reg::Ebx, 4)) && m.disp.is_some()));
+        assert!(
+            matches!(&i.ops[0], TOperand::Mem(m) if m.base.is_none() && m.index == Some((Reg::Ebx, 4)) && m.disp.is_some())
+        );
     }
 
     #[test]
@@ -913,14 +902,19 @@ mod tests {
         assert_eq!(lookup_mnem("cmovne").map(|m| m.0), Some(Mnem::Cmov(Cond::Ne)));
         assert_eq!(lookup_mnem("frobnicate"), None);
         // 'movsb' is a string op, not mov+sb.
-        assert_eq!(lookup_mnem("movsb"), Some((Mnem::Str(StrKind::Movs, Width::B), Some(Width::B))));
+        assert_eq!(
+            lookup_mnem("movsb"),
+            Some((Mnem::Str(StrKind::Movs, Width::B), Some(Width::B)))
+        );
     }
 
     #[test]
     fn star_operands() {
         let items = parse_one("jmp *%eax\ncall *4(%ebx)\n");
         let Item::Insn(i) = &items[0] else { panic!() };
-        assert!(matches!(&i.ops[0], TOperand::Star(inner) if matches!(**inner, TOperand::Reg(Reg::Eax))));
+        assert!(
+            matches!(&i.ops[0], TOperand::Star(inner) if matches!(**inner, TOperand::Reg(Reg::Eax)))
+        );
         let Item::Insn(i) = &items[1] else { panic!() };
         assert!(matches!(&i.ops[0], TOperand::Star(_)));
     }

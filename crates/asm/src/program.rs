@@ -91,9 +91,7 @@ impl SymbolTable {
 
     /// Finds the function containing `addr`, if any.
     pub fn function_at(&self, addr: u32) -> Option<&Symbol> {
-        let idx = self
-            .func_order
-            .partition_point(|&i| self.symbols[i].value <= addr);
+        let idx = self.func_order.partition_point(|&i| self.symbols[i].value <= addr);
         if idx == 0 {
             return None;
         }

@@ -31,6 +31,18 @@ fn bench_machine(c: &mut Criterion) {
             criterion::black_box(m.counters().instructions)
         })
     });
+    // Same workload with a ring sink installed: the loop raises no
+    // traps, so this measures the pure cost of carrying the sink
+    // through the exec loop (the ≤2% TraceSink::Null budget, plus the
+    // enabled-but-idle case).
+    g.bench_function("interpret_2M_insns_ring_sink", |b| {
+        b.iter(|| {
+            let mut m = tight_loop_machine();
+            m.set_trace_sink(kfi_trace::TraceSink::ring(256));
+            assert_eq!(m.run(u64::MAX / 2), kfi_machine::RunExit::Halted);
+            criterion::black_box(m.counters().instructions)
+        })
+    });
     g.finish();
 
     let image = kfi_kernel::build_kernel(Default::default()).unwrap();
@@ -47,8 +59,7 @@ fn bench_machine(c: &mut Criterion) {
                     kfi_machine::StepEvent::Executed => {}
                     e => panic!("boot ended early: {e:?}"),
                 }
-                if let Some((_, kfi_machine::MonitorEvent::Event(v))) = m.monitor_events().last()
-                {
+                if let Some((_, kfi_machine::MonitorEvent::Event(v))) = m.monitor_events().last() {
                     if *v == kfi_kernel::layout::events::BOOT_OK {
                         break;
                     }

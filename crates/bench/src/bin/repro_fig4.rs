@@ -6,6 +6,8 @@ fn main() {
     let exp = kfi_bench::prepare(&opts);
     let study = kfi_bench::run_study(&exp);
     println!("Table 3 outcome categories: activated / not manifested / fail silence violation / crash / hang");
-    println!("Table 4 campaigns: A random non-branch, B random branch, C valid-but-incorrect branch\n");
+    println!(
+        "Table 4 campaigns: A random non-branch, B random branch, C valid-but-incorrect branch\n"
+    );
     println!("{}", kfi_report::figure4(&study));
 }

@@ -25,9 +25,14 @@ fn main() {
         match &rec.outcome {
             Outcome::FailSilenceViolation(kind) => {
                 println!("=== Figure 5 case study: silent corruption in do_generic_file_read ===");
-                println!("injected: byte {} mask {:#04x} at {:#010x}", t.byte_index, t.bit_mask, t.insn_addr);
+                println!(
+                    "injected: byte {} mask {:#04x} at {:#010x}",
+                    t.byte_index, t.bit_mask, t.insn_addr
+                );
                 println!("outcome: fail silence violation: {kind:?}\n");
-                if let Some(cs) = kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14) {
+                if let Some(cs) =
+                    kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14)
+                {
                     println!("{}", cs.format());
                 }
                 return;
@@ -41,9 +46,14 @@ fn main() {
     match best {
         Some((t, outcome)) => {
             println!("=== Figure 5 case study: severe crash in do_generic_file_read ===");
-            println!("injected: byte {} mask {:#04x} at {:#010x}", t.byte_index, t.bit_mask, t.insn_addr);
+            println!(
+                "injected: byte {} mask {:#04x} at {:#010x}",
+                t.byte_index, t.bit_mask, t.insn_addr
+            );
             println!("outcome: {outcome:?}\n");
-            if let Some(cs) = kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14) {
+            if let Some(cs) =
+                kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 14)
+            {
                 println!("{}", cs.format());
             }
         }

@@ -7,9 +7,6 @@ fn main() {
     println!("{}", kfi_report::table1(&exp.profile, exp.config.top_fraction));
     println!("top functions:");
     for f in exp.profile.top_covering(exp.config.top_fraction) {
-        println!(
-            "  {:<28} {:<8} {:>8} samples",
-            f.name, f.subsystem, f.samples
-        );
+        println!("  {:<28} {:<8} {:>8} samples", f.name, f.subsystem, f.samples);
     }
 }

@@ -3,7 +3,7 @@
 //! disassembly of the corrupted instruction stream.
 
 use kfi_injector::{plan_function, Campaign, Outcome};
-use kfi_kernel::layout::{causes, cause_name};
+use kfi_kernel::layout::{cause_name, causes};
 use rand::SeedableRng;
 
 fn main() {
@@ -37,12 +37,7 @@ fn main() {
 
     // ---- Table 7: crash-cause case studies ----
     println!("\n=== Table 7: Example Case Studies of Crash Causes ===\n");
-    let want = [
-        causes::NULL_POINTER,
-        causes::PAGING_REQUEST,
-        causes::GPF,
-        causes::INVALID_OP,
-    ];
+    let want = [causes::NULL_POINTER, causes::PAGING_REQUEST, causes::GPF, causes::INVALID_OP];
     let mut found: std::collections::BTreeMap<u32, bool> = Default::default();
     'outer2: for f in &exp.target_functions {
         for campaign in [Campaign::A, Campaign::C] {

@@ -1,0 +1,12 @@
+//! Replays one Table 7 crash case study with the `kfi-trace` ring sink
+//! installed, printing the injected instruction's disassembly, the
+//! trailing event timeline and the metrics of the traced run.
+
+fn main() {
+    let opts = kfi_bench::ReproOptions::from_args();
+    let exp = kfi_bench::prepare(&opts);
+    match kfi_bench::trace_case_study(&exp, opts.seed) {
+        Some(text) => print!("{text}"),
+        None => println!("no crash found under cap {:?}; try --full", opts.cap),
+    }
+}

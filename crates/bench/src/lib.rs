@@ -8,8 +8,11 @@
 #![warn(missing_docs)]
 
 use kfi_core::{Experiment, ExperimentConfig, StudyResult};
+use kfi_injector::{plan_function, Campaign, Outcome};
 use kfi_kernel::KernelBuildOptions;
 use kfi_profiler::ProfilerConfig;
+use rand::SeedableRng;
+use std::fmt::Write as _;
 
 /// Command-line options shared by the repro binaries.
 #[derive(Debug, Clone)]
@@ -97,6 +100,78 @@ pub fn prepare(opts: &ReproOptions) -> Experiment {
         exp.target_functions.len()
     );
     exp
+}
+
+/// How many trailing events the trace replay keeps (the interesting
+/// part of a crash timeline is its tail: trigger, flip, fault cascade,
+/// classification).
+pub const TRACE_RING_CAPACITY: usize = 256;
+
+/// Replays one Table 7 case study with tracing enabled.
+///
+/// Scans campaign A's planned targets in fixed order (tracing off,
+/// same cap as the experiment config) until a run crashes, then
+/// re-runs that exact injection with a ring sink installed and renders
+/// the corrupted-instruction disassembly, the trailing event timeline
+/// and the metrics of the traced run. Fully deterministic for a given
+/// experiment + seed, which the golden transcript test pins down.
+///
+/// Returns `None` when no scanned target crashes (raise the cap).
+///
+/// # Panics
+///
+/// Panics when the rig cannot boot the baseline system.
+pub fn trace_case_study(exp: &Experiment, seed: u64) -> Option<String> {
+    let mut rig = exp.make_rig().expect("rig boots");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    for f in &exp.target_functions {
+        let mut targets = plan_function(&exp.image, f, Campaign::A, &mut rng);
+        if let Some(cap) = exp.config.max_per_function {
+            targets.truncate(cap);
+        }
+        for t in &targets {
+            let mode = exp.mode_for(t);
+            let rec = rig.run_one(t, mode);
+            let Outcome::Crash(_) = rec.outcome else { continue };
+
+            // Replay the same injection with the ring sink installed.
+            rig.enable_tracing(TRACE_RING_CAPACITY);
+            let _ = rig.take_metrics();
+            let traced = rig.run_one(t, mode);
+            let events = rig.take_events();
+            let metrics = rig.take_metrics();
+            rig.disable_tracing();
+
+            let mut s = String::new();
+            let _ = writeln!(
+                s,
+                "=== Trace replay: {} ({}), insn {:#010x} byte {} mask {:#04x}, mode {mode} ===",
+                t.function, t.subsystem, t.insn_addr, t.byte_index, t.bit_mask
+            );
+            if let Some(cs) =
+                kfi_dump::case_study(&exp.image, t.insn_addr, t.byte_index, t.bit_mask, 8)
+            {
+                s.push_str(&cs.format());
+                s.push('\n');
+            }
+            if let Outcome::Crash(info) = &traced.outcome {
+                let _ = writeln!(
+                    s,
+                    "outcome: crash at {:#010x} in {} ({}), latency {} cycles\n",
+                    info.eip,
+                    info.function.as_deref().unwrap_or("?"),
+                    info.subsystem,
+                    info.latency
+                );
+            }
+            let _ = writeln!(s, "--- last {} events ---", events.len());
+            s.push_str(&kfi_report::trace_timeline(&events));
+            s.push('\n');
+            s.push_str(&kfi_report::metrics_table(&metrics));
+            return Some(s);
+        }
+    }
+    None
 }
 
 /// Runs all three campaigns, printing progress.

@@ -1,10 +1,9 @@
-//! Flat, serializable run records for dataset export (CSV/JSON lines).
+//! Flat, serializable run records for dataset export (CSV lines).
 
 use kfi_injector::{Outcome, RunRecord};
-use serde::{Deserialize, Serialize};
 
 /// One flattened run record.
-#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RecordRow {
     /// Campaign letter (A/B/C).
     pub campaign: char,
@@ -40,13 +39,9 @@ impl RecordRow {
     /// Flattens a [`RunRecord`].
     pub fn from_record(r: &RunRecord) -> RecordRow {
         let (cause, crash_eip, crash_subsystem, latency, severity) = match &r.outcome {
-            Outcome::Crash(i) => (
-                i.cause,
-                i.eip,
-                i.subsystem.clone(),
-                i.latency,
-                i.severity.name().to_string(),
-            ),
+            Outcome::Crash(i) => {
+                (i.cause, i.eip, i.subsystem.clone(), i.latency, i.severity.name().to_string())
+            }
             _ => (0, 0, String::new(), 0, String::new()),
         };
         RecordRow {

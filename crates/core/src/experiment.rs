@@ -5,6 +5,7 @@ use crate::stats;
 use kfi_injector::{plan_function, Campaign, InjectionTarget, InjectorRig, RigConfig, RunRecord};
 use kfi_kernel::{build_kernel, mkfs::FileSpec, KernelBuildOptions, KernelImage};
 use kfi_profiler::{profile, KernelProfile, ProfilerConfig};
+use kfi_trace::Metrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -36,9 +37,7 @@ impl Default for ExperimentConfig {
             seed: 2003,
             top_fraction: 0.95,
             max_per_function: None,
-            threads: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4),
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             kernel: KernelBuildOptions::default(),
             profiler: ProfilerConfig::default(),
             rig: RigConfig::default(),
@@ -75,6 +74,10 @@ pub struct CampaignResult {
     pub records: Vec<RunRecord>,
     /// Number of distinct functions injected.
     pub functions_injected: usize,
+    /// Execution metrics, merged across workers in worker-index order
+    /// (merge is pure addition, so the result is identical for any
+    /// thread count).
+    pub metrics: Metrics,
 }
 
 /// Results of the full study (all three campaigns).
@@ -97,12 +100,7 @@ impl Experiment {
     pub fn prepare(config: ExperimentConfig) -> Result<Experiment, String> {
         let image = build_kernel(config.kernel).map_err(|e| e.to_string())?;
         let files = kfi_workloads::suite_files().map_err(|e| e.to_string())?;
-        let profile = profile(
-            &image,
-            &files,
-            kfi_workloads::WORKLOADS,
-            &config.profiler,
-        );
+        let profile = profile(&image, &files, kfi_workloads::WORKLOADS, &config.profiler);
         let target_functions: Vec<String> = profile
             .top_covering(config.top_fraction)
             .into_iter()
@@ -149,9 +147,7 @@ impl Experiment {
 
     /// Plans a campaign's targets over [`Experiment::functions_for`].
     pub fn plan(&self, campaign: Campaign) -> Vec<InjectionTarget> {
-        let mut rng = StdRng::seed_from_u64(
-            self.config.seed ^ (campaign.letter() as u64) << 32,
-        );
+        let mut rng = StdRng::seed_from_u64(self.config.seed ^ (campaign.letter() as u64) << 32);
         let mut out = Vec::new();
         for f in self.functions_for(campaign) {
             let mut t = plan_function(&self.image, &f, campaign, &mut rng);
@@ -166,9 +162,7 @@ impl Experiment {
     /// Picks the workload (run mode) for a target: the workload that
     /// activates the target's function the most in the profile.
     pub fn mode_for(&self, target: &InjectionTarget) -> u32 {
-        self.profile
-            .best_workload_for(&target.function)
-            .unwrap_or(0)
+        self.profile.best_workload_for(&target.function).unwrap_or(0)
     }
 
     /// Builds an injection rig (one per worker thread).
@@ -211,19 +205,15 @@ impl Experiment {
             .collect();
 
         let threads = self.config.threads.max(1);
+        let mut metrics = Metrics::default();
         let mut records: Vec<(usize, RunRecord)> = if threads == 1 {
             let mut rig = self.make_rig().expect("rig boots");
-            jobs.iter()
-                .map(|(i, t, mode)| (*i, rig.run_one(t, *mode)))
-                .collect()
+            let records = jobs.iter().map(|(i, t, mode)| (*i, rig.run_one(t, *mode))).collect();
+            metrics.merge(rig.metrics());
+            records
         } else {
             let chunks: Vec<Vec<(usize, InjectionTarget, u32)>> = (0..threads)
-                .map(|w| {
-                    jobs.iter()
-                        .filter(|(i, _, _)| i % threads == w)
-                        .cloned()
-                        .collect()
-                })
+                .map(|w| jobs.iter().filter(|(i, _, _)| i % threads == w).cloned().collect())
                 .collect();
             std::thread::scope(|s| {
                 let handles: Vec<_> = chunks
@@ -231,17 +221,24 @@ impl Experiment {
                     .map(|chunk| {
                         s.spawn(move || {
                             let mut rig = self.make_rig().expect("rig boots");
-                            chunk
+                            let records = chunk
                                 .into_iter()
                                 .map(|(i, t, mode)| (i, rig.run_one(&t, mode)))
-                                .collect::<Vec<_>>()
+                                .collect::<Vec<_>>();
+                            (records, rig.take_metrics())
                         })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("worker panicked"))
-                    .collect()
+                // Joining in spawn order merges worker metrics in
+                // worker-index order; merge is additive, so any order
+                // would give the same totals.
+                let mut records = Vec::new();
+                for h in handles {
+                    let (worker_records, worker_metrics) = h.join().expect("worker panicked");
+                    records.extend(worker_records);
+                    metrics.merge(&worker_metrics);
+                }
+                records
             })
         };
         records.sort_by_key(|(i, _)| *i);
@@ -249,6 +246,7 @@ impl Experiment {
             campaign,
             records: records.into_iter().map(|(_, r)| r).collect(),
             functions_injected,
+            metrics,
         }
     }
 

@@ -124,10 +124,7 @@ pub const LATENCY_BUCKETS: [(u64, &str); 6] = [
 
 /// Buckets a latency value.
 pub fn latency_bucket(latency: u64) -> usize {
-    LATENCY_BUCKETS
-        .iter()
-        .position(|(hi, _)| latency < *hi)
-        .unwrap_or(LATENCY_BUCKETS.len() - 1)
+    LATENCY_BUCKETS.iter().position(|(hi, _)| latency < *hi).unwrap_or(LATENCY_BUCKETS.len() - 1)
 }
 
 /// Latency histogram over crashes, optionally filtered by injected
@@ -163,10 +160,7 @@ pub struct Propagation {
 impl Propagation {
     /// Percentage of crashes that stayed in the injected subsystem.
     pub fn self_share(&self, subsystem: &str) -> f64 {
-        pct(
-            self.to.get(subsystem).copied().unwrap_or(0),
-            self.total_crashes,
-        )
+        pct(self.to.get(subsystem).copied().unwrap_or(0), self.total_crashes)
     }
 
     /// Percentage of crashes that escaped to other subsystems.
@@ -185,8 +179,7 @@ pub fn propagation(records: &[RunRecord], from: &str) -> Propagation {
         if let Outcome::Crash(info) = &r.outcome {
             p.total_crashes += 1;
             *p.to.entry(info.subsystem.clone()).or_insert(0) += 1;
-            *p
-                .causes_at
+            *p.causes_at
                 .entry(info.subsystem.clone())
                 .or_default()
                 .entry(info.cause)
@@ -247,10 +240,8 @@ pub fn crash_concentration(records: &[RunRecord], subsystem: &str) -> Vec<(Strin
             total += 1;
         }
     }
-    let mut v: Vec<(String, usize, f64)> = counts
-        .into_iter()
-        .map(|(f, n)| (f, n, pct(n, total)))
-        .collect();
+    let mut v: Vec<(String, usize, f64)> =
+        counts.into_iter().map(|(f, n)| (f, n, pct(n, total))).collect();
     v.sort_by(|a, b| b.1.cmp(&a.1));
     v
 }
@@ -267,17 +258,13 @@ pub fn assertion_candidates(records: &[RunRecord]) -> Vec<(String, String, usize
         if let Outcome::Crash(info) = &r.outcome {
             if info.subsystem != r.target.subsystem {
                 if let Some(f) = &info.function {
-                    *counts
-                        .entry((f.clone(), info.subsystem.clone()))
-                        .or_insert(0) += 1;
+                    *counts.entry((f.clone(), info.subsystem.clone())).or_insert(0) += 1;
                 }
             }
         }
     }
-    let mut v: Vec<(String, String, usize)> = counts
-        .into_iter()
-        .map(|((f, s), n)| (f, s, n))
-        .collect();
+    let mut v: Vec<(String, String, usize)> =
+        counts.into_iter().map(|((f, s), n)| (f, s, n)).collect();
     v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)));
     v
 }

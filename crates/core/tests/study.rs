@@ -92,6 +92,38 @@ fn threads_do_not_change_results() {
     assert_eq!(k1, k4);
 }
 
+/// Campaign metrics are merged from per-worker registries with pure
+/// addition, so the aggregate must be bit-identical for any worker
+/// count — the sharding (`i % threads`) must be invisible.
+#[test]
+fn threads_do_not_change_metrics() {
+    let base = ExperimentConfig {
+        seed: 11,
+        max_per_function: Some(2),
+        threads: 1,
+        profiler: ProfilerConfig { period: 997, budget: 200_000_000 },
+        ..Default::default()
+    };
+    let mut results = Vec::new();
+    for threads in [1, 2, 4] {
+        let exp = Experiment::prepare(ExperimentConfig { threads, ..base.clone() }).unwrap();
+        results.push((threads, exp.run_campaign(Campaign::A).metrics));
+    }
+    let (_, one) = &results[0];
+    assert!(one.runs > 0);
+    assert_eq!(
+        one.runs,
+        one.outcomes.iter().sum::<u64>(),
+        "every run must be classified exactly once"
+    );
+    assert_eq!(one.runs, one.run_cycles.total());
+    assert!(one.runs_not_activated < one.runs, "some runs must activate");
+    assert!(one.instructions > 0);
+    for (threads, m) in &results[1..] {
+        assert_eq!(one, m, "metrics changed between 1 and {threads} workers");
+    }
+}
+
 #[test]
 fn stats_pipeline_over_real_records() {
     let exp = small_experiment();

@@ -153,10 +153,7 @@ impl CrashDump {
         if !self.backtrace.is_empty() {
             let _ = writeln!(s, "Call Trace:");
             for r in &self.backtrace {
-                let f = image
-                    .function_of(*r)
-                    .map(|f| f.name.clone())
-                    .unwrap_or_else(|| "?".into());
+                let f = image.function_of(*r).map(|f| f.name.clone()).unwrap_or_else(|| "?".into());
                 let _ = writeln!(s, "  [{r:#010x}] {f}");
             }
         }

@@ -8,6 +8,8 @@ use kfi_kernel::{boot, fsck, mkfs::FileSpec, BootConfig, FsckReport, KernelImage
 use kfi_machine::{
     Machine, MonitorEvent, Ramdisk, RunExit, Snapshot, StepEvent, TrapRecord, Vector,
 };
+use kfi_trace::{outcome as trace_outcome, subsystem as trace_subsystem};
+use kfi_trace::{Event, EventKind, Metrics, TraceSink};
 use std::collections::BTreeMap;
 
 /// Rig configuration.
@@ -92,6 +94,18 @@ pub struct InjectorRig {
     post_boot_disk: Vec<u8>,
     manifest: BTreeMap<String, (u32, u32)>,
     golden: Vec<GoldenRun>,
+    metrics: Metrics,
+}
+
+/// Stable [`trace_outcome`] code for an [`Outcome`].
+fn outcome_code(o: &Outcome) -> u8 {
+    match o {
+        Outcome::NotActivated => trace_outcome::NOT_ACTIVATED,
+        Outcome::NotManifested => trace_outcome::NOT_MANIFESTED,
+        Outcome::FailSilenceViolation(_) => trace_outcome::FAIL_SILENCE_VIOLATION,
+        Outcome::Crash(_) => trace_outcome::CRASH,
+        Outcome::Hang => trace_outcome::HANG,
+    }
 }
 
 fn results_of(m: &Machine) -> Vec<u32> {
@@ -105,9 +119,7 @@ fn results_of(m: &Machine) -> Vec<u32> {
 }
 
 fn has_event(m: &Machine, code: u32) -> bool {
-    m.monitor_events()
-        .iter()
-        .any(|(_, e)| matches!(e, MonitorEvent::Event(v) if *v == code))
+    m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Event(v) if *v == code))
 }
 
 fn event_tsc(m: &Machine, code: u32) -> Option<u64> {
@@ -193,6 +205,7 @@ impl InjectorRig {
             post_boot_disk,
             manifest,
             golden: Vec::new(),
+            metrics: Metrics::default(),
         };
 
         for mode in 0..n_modes {
@@ -212,10 +225,41 @@ impl InjectorRig {
         self.boot_cycles
     }
 
+    /// Installs a ring-buffer trace sink of the given capacity on the
+    /// rig's machine. Subsequent runs record their event timeline.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.machine.set_trace_sink(TraceSink::ring(capacity));
+    }
+
+    /// Removes the trace sink (back to zero-cost [`TraceSink::Null`]).
+    pub fn disable_tracing(&mut self) {
+        self.machine.set_trace_sink(TraceSink::Null);
+    }
+
+    /// Drains the recorded events (oldest first) without disturbing the
+    /// sink. Empty when tracing is off.
+    pub fn take_events(&mut self) -> Vec<Event> {
+        let events = self.machine.trace_sink().events();
+        self.machine.trace_sink_mut().clear();
+        events
+    }
+
+    /// The metrics accumulated by this rig's runs so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Removes and returns the accumulated metrics, leaving zeroes.
+    pub fn take_metrics(&mut self) -> Metrics {
+        std::mem::take(&mut self.metrics)
+    }
+
     fn reset_to_snapshot(&mut self, mode: u32) {
         self.machine.restore(&self.snapshot);
         self.machine.disk = Some(Ramdisk::from_bytes(self.post_boot_disk.clone()));
         kfi_kernel::set_run_mode(&mut self.machine, mode);
+        let tsc = self.machine.cpu.tsc;
+        self.machine.trace_sink_mut().emit(tsc, EventKind::SnapshotRestore { mode });
     }
 
     fn capture_golden(&mut self, mode: u32) -> Result<GoldenRun, RigError> {
@@ -276,8 +320,12 @@ impl InjectorRig {
 
     /// Executes one injection run and classifies the outcome.
     pub fn run_one(&mut self, target: &InjectionTarget, mode: u32) -> RunRecord {
+        self.metrics.runs += 1;
+
         // Fast path: provably never executed under this workload.
         if !self.would_activate(target.insn_addr, mode) {
+            self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
+            self.metrics.run_cycles.record(0);
             return RunRecord {
                 target: target.clone(),
                 mode,
@@ -288,16 +336,24 @@ impl InjectorRig {
         }
 
         self.reset_to_snapshot(mode);
+        self.metrics.snapshot_restores += 1;
+        // TLB stats are cumulative across restores; diff around the run.
+        let (tlb_hits_0, tlb_miss_0) = self.machine.tlb_stats();
         let golden_cycles = self.golden[mode as usize].cycles;
-        let budget =
-            golden_cycles * self.config.budget_factor + self.config.budget_slack;
+        let budget = golden_cycles * self.config.budget_factor + self.config.budget_slack;
         let start = self.snapshot_tsc();
         self.machine.cpu.arm_breakpoint(0, target.insn_addr);
+        self.machine
+            .trace_sink_mut()
+            .emit(start, EventKind::InjectionArmed { addr: target.insn_addr });
 
         let exit1 = self.machine.run(budget);
         let activation_tsc = match exit1 {
             RunExit::DebugBreak { .. } => {
                 let t = self.machine.cpu.tsc;
+                self.machine
+                    .trace_sink_mut()
+                    .emit(t, EventKind::TriggerHit { addr: target.insn_addr });
                 // Apply the flip (persistent for the rest of the run).
                 let addr = target.insn_addr + target.byte_index as u32;
                 let mut b = [0u8; 1];
@@ -306,18 +362,26 @@ impl InjectorRig {
                 b[0] ^= target.bit_mask;
                 let ok = self.machine.probe_write(addr, &b);
                 debug_assert!(ok);
+                self.machine
+                    .trace_sink_mut()
+                    .emit(t, EventKind::BitFlipApplied { addr, mask: target.bit_mask });
                 t
             }
             // The breakpoint never fired even though coverage said it
             // would — only possible if coverage and run diverge, which
             // determinism forbids; classify conservatively.
             _ => {
+                let run_cycles = self.machine.cpu.tsc - start;
+                self.absorb_run_counters(tlb_hits_0, tlb_miss_0);
+                self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
+                self.metrics.run_cycles.record(run_cycles);
+                self.metrics.run_cycles_total += run_cycles;
                 return RunRecord {
                     target: target.clone(),
                     mode,
                     outcome: Outcome::NotActivated,
                     activation_tsc: None,
-                    run_cycles: self.machine.cpu.tsc - start,
+                    run_cycles,
                 };
             }
         };
@@ -330,9 +394,32 @@ impl InjectorRig {
         }
 
         // Measure before classification: the severity assessment reboots
-        // the machine (resetting the TSC).
-        let run_cycles = self.machine.cpu.tsc.saturating_sub(start);
+        // the machine (resetting the TSC and its counters).
+        let end_tsc = self.machine.cpu.tsc;
+        let run_cycles = end_tsc.saturating_sub(start);
+        self.absorb_run_counters(tlb_hits_0, tlb_miss_0);
+
+        // Keep the severity-assessment reboot out of the timeline.
+        let sink = self.machine.take_trace_sink();
         let outcome = self.classify(target, mode, activation_tsc, exit2);
+        self.machine.set_trace_sink(sink);
+
+        let code = outcome_code(&outcome);
+        self.metrics.record_outcome(code);
+        self.metrics.run_cycles.record(run_cycles);
+        self.metrics.run_cycles_total += run_cycles;
+        self.machine.trace_sink_mut().emit(end_tsc, EventKind::OutcomeClassified { code });
+        if let Outcome::Crash(info) = &outcome {
+            self.metrics.crash_latency.record(info.latency);
+            let from = trace_subsystem::id(&target.subsystem);
+            let to = trace_subsystem::id(&info.subsystem);
+            if from != to {
+                self.machine
+                    .trace_sink_mut()
+                    .emit(end_tsc, EventKind::SubsystemTransition { from, to });
+            }
+        }
+
         RunRecord {
             target: target.clone(),
             mode,
@@ -340,6 +427,25 @@ impl InjectorRig {
             activation_tsc: Some(activation_tsc),
             run_cycles,
         }
+    }
+
+    /// Folds the machine's per-run execution counters and the TLB delta
+    /// since `(tlb_hits_0, tlb_miss_0)` into the rig metrics. Must run
+    /// before classification: severity assessment reboots the machine.
+    fn absorb_run_counters(&mut self, tlb_hits_0: u64, tlb_miss_0: u64) {
+        let c = self.machine.counters();
+        self.metrics.instructions += c.instructions;
+        self.metrics.syscalls += c.syscalls;
+        self.metrics.timer_irqs += c.timer_irqs;
+        for t in self.machine.trap_log() {
+            let v = t.vector.number() as usize;
+            if v < self.metrics.faults_by_vector.len() {
+                self.metrics.faults_by_vector[v] += 1;
+            }
+        }
+        let (h, m) = self.machine.tlb_stats();
+        self.metrics.tlb_hits += h - tlb_hits_0;
+        self.metrics.tlb_miss_walks += m - tlb_miss_0;
     }
 
     fn classify(
@@ -431,9 +537,8 @@ impl InjectorRig {
                 _ => {}
             }
         }
-        let oops_tsc = event_tsc(m, events::OOPS)
-            .or_else(|| event_tsc(m, events::PANIC))
-            .unwrap_or(m.cpu.tsc);
+        let oops_tsc =
+            event_tsc(m, events::OOPS).or_else(|| event_tsc(m, events::PANIC)).unwrap_or(m.cpu.tsc);
         let fatal = self.fatal_trap(activation_tsc);
         let cause = cause
             .or_else(|| fatal.map(|t| vector_to_cause(t.vector, t.cr2)))

@@ -178,10 +178,7 @@ pub fn plan_campaign<R: Rng>(
     campaign: Campaign,
     rng: &mut R,
 ) -> Vec<InjectionTarget> {
-    functions
-        .iter()
-        .flat_map(|f| plan_function(image, f, campaign, rng))
-        .collect()
+    functions.iter().flat_map(|f| plan_function(image, f, campaign, rng)).collect()
 }
 
 #[cfg(test)]
@@ -203,17 +200,11 @@ mod tests {
         assert!(c.iter().all(|t| t.is_branch));
         // A has one target per byte: more targets than instructions.
         let insns = function_insns(&image, "pipe_read");
-        let non_branch_bytes: usize = insns
-            .iter()
-            .filter(|i| i.class != InsnClass::CondBranch)
-            .map(|i| i.len as usize)
-            .sum();
+        let non_branch_bytes: usize =
+            insns.iter().filter(|i| i.class != InsnClass::CondBranch).map(|i| i.len as usize).sum();
         assert_eq!(a.len(), non_branch_bytes);
         // C has exactly one target per conditional branch.
-        let branches = insns
-            .iter()
-            .filter(|i| i.class == InsnClass::CondBranch)
-            .count();
+        let branches = insns.iter().filter(|i| i.class == InsnClass::CondBranch).count();
         assert_eq!(c.len(), branches);
         // C's flips reverse the condition bit (mask 1 on the cc byte).
         assert!(c.iter().all(|t| t.bit_mask == 1));

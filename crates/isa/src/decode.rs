@@ -188,7 +188,9 @@ fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeE
     match opcode {
         // ALU blocks: 00..3D in groups of 8 (with 06/07/0E/16/17/1E/1F/27/
         // 2F/37/3F being legacy push-sreg/BCD, which we treat as invalid).
-        0x00..=0x3f if opcode & 7 <= 5 && opcode & 0x38 != 0x38 || (0x38..=0x3d).contains(&opcode) => {
+        0x00..=0x3f
+            if opcode & 7 <= 5 && opcode & 0x38 != 0x38 || (0x38..=0x3d).contains(&opcode) =>
+        {
             let kind = ALU_BY_BLOCK[(opcode >> 3) as usize & 7];
             decode_alu_block(c, kind, opcode & 7)
         }
@@ -225,17 +227,32 @@ fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeE
         0x80 | 0x82 => {
             let m = decode_modrm(c)?;
             let imm = c.u8()? as u32;
-            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::B, dst: m.rm, src: Src::Imm(imm) })
+            Ok(Op::Alu {
+                kind: GRP1[m.reg as usize],
+                width: Width::B,
+                dst: m.rm,
+                src: Src::Imm(imm),
+            })
         }
         0x81 => {
             let m = decode_modrm(c)?;
             let imm = c.u32()?;
-            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::D, dst: m.rm, src: Src::Imm(imm) })
+            Ok(Op::Alu {
+                kind: GRP1[m.reg as usize],
+                width: Width::D,
+                dst: m.rm,
+                src: Src::Imm(imm),
+            })
         }
         0x83 => {
             let m = decode_modrm(c)?;
             let imm = c.i8ext()?;
-            Ok(Op::Alu { kind: GRP1[m.reg as usize], width: Width::D, dst: m.rm, src: Src::Imm(imm) })
+            Ok(Op::Alu {
+                kind: GRP1[m.reg as usize],
+                width: Width::D,
+                dst: m.rm,
+                src: Src::Imm(imm),
+            })
         }
         0x84 => {
             let m = decode_modrm(c)?;
@@ -316,11 +333,21 @@ fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeE
         0xa7 => Ok(Op::Str { kind: StrKind::Cmps, width: Width::D, rep }),
         0xa8 => {
             let imm = c.u8()? as u32;
-            Ok(Op::Alu { kind: AluKind::Test, width: Width::B, dst: Rm::Reg(0), src: Src::Imm(imm) })
+            Ok(Op::Alu {
+                kind: AluKind::Test,
+                width: Width::B,
+                dst: Rm::Reg(0),
+                src: Src::Imm(imm),
+            })
         }
         0xa9 => {
             let imm = c.u32()?;
-            Ok(Op::Alu { kind: AluKind::Test, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(imm) })
+            Ok(Op::Alu {
+                kind: AluKind::Test,
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Imm(imm),
+            })
         }
         0xaa => Ok(Op::Str { kind: StrKind::Stos, width: Width::B, rep }),
         0xab => Ok(Op::Str { kind: StrKind::Stos, width: Width::D, rep }),
@@ -339,12 +366,22 @@ fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeE
         0xc0 => {
             let m = decode_modrm(c)?;
             let count = c.u8()? & 0x1f;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::Imm(count) })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::B,
+                dst: m.rm,
+                count: ShiftCount::Imm(count),
+            })
         }
         0xc1 => {
             let m = decode_modrm(c)?;
             let count = c.u8()? & 0x1f;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::Imm(count) })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::D,
+                dst: m.rm,
+                count: ShiftCount::Imm(count),
+            })
         }
         0xc2 => Ok(Op::RetImm(c.u16()?)),
         0xc3 => Ok(Op::Ret),
@@ -376,19 +413,39 @@ fn decode_opcode(c: &mut Cursor<'_>, opcode: u8, rep: Rep) -> Result<Op, DecodeE
         0xcf => Ok(Op::Iret),
         0xd0 => {
             let m = decode_modrm(c)?;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::One })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::B,
+                dst: m.rm,
+                count: ShiftCount::One,
+            })
         }
         0xd1 => {
             let m = decode_modrm(c)?;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::One })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::D,
+                dst: m.rm,
+                count: ShiftCount::One,
+            })
         }
         0xd2 => {
             let m = decode_modrm(c)?;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::B, dst: m.rm, count: ShiftCount::Cl })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::B,
+                dst: m.rm,
+                count: ShiftCount::Cl,
+            })
         }
         0xd3 => {
             let m = decode_modrm(c)?;
-            Ok(Op::Shift { kind: ShiftKind::from_digit(m.reg), width: Width::D, dst: m.rm, count: ShiftCount::Cl })
+            Ok(Op::Shift {
+                kind: ShiftKind::from_digit(m.reg),
+                width: Width::D,
+                dst: m.rm,
+                count: ShiftCount::Cl,
+            })
         }
         0xd4 => Ok(Op::Aam(c.u8()?)),
         0xd5 => Ok(Op::Aad(c.u8()?)),
@@ -625,10 +682,7 @@ mod tests {
     fn mov_imm_to_reg() {
         let i = dec(&[0xb8, 0x28, 0xb7, 0x00, 0x00]);
         assert_eq!(i.len, 5);
-        assert_eq!(
-            i.op,
-            Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Imm(0xb728) }
-        );
+        assert_eq!(i.op, Op::Mov { width: Width::D, dst: Rm::Reg(0), src: Src::Imm(0xb728) });
     }
 
     #[test]
@@ -749,7 +803,12 @@ mod tests {
         // 83 c0 ff = add $-1, %eax
         assert_eq!(
             dec(&[0x83, 0xc0, 0xff]).op,
-            Op::Alu { kind: AluKind::Add, width: Width::D, dst: Rm::Reg(0), src: Src::Imm(0xffff_ffff) }
+            Op::Alu {
+                kind: AluKind::Add,
+                width: Width::D,
+                dst: Rm::Reg(0),
+                src: Src::Imm(0xffff_ffff)
+            }
         );
     }
 
@@ -817,10 +876,7 @@ mod tests {
         assert_eq!(dec(&[0x68, 1, 0, 0, 0]).op, Op::Push(Src::Imm(1)));
         assert_eq!(dec(&[0x6a, 0xff]).op, Op::Push(Src::Imm(0xffff_ffff)));
         // ff 75 08 = push 0x8(%ebp)
-        assert_eq!(
-            dec(&[0xff, 0x75, 0x08]).op,
-            Op::Push(Src::Mem(MemRef::base_disp(Reg::Ebp, 8)))
-        );
+        assert_eq!(dec(&[0xff, 0x75, 0x08]).op, Op::Push(Src::Mem(MemRef::base_disp(Reg::Ebp, 8))));
     }
 
     #[test]
@@ -854,12 +910,22 @@ mod tests {
         // c1 e0 0c = shl $12, %eax
         assert_eq!(
             dec(&[0xc1, 0xe0, 0x0c]).op,
-            Op::Shift { kind: ShiftKind::Shl, width: Width::D, dst: Rm::Reg(0), count: ShiftCount::Imm(12) }
+            Op::Shift {
+                kind: ShiftKind::Shl,
+                width: Width::D,
+                dst: Rm::Reg(0),
+                count: ShiftCount::Imm(12)
+            }
         );
         // d1 e8 = shr $1, %eax
         assert_eq!(
             dec(&[0xd1, 0xe8]).op,
-            Op::Shift { kind: ShiftKind::Shr, width: Width::D, dst: Rm::Reg(0), count: ShiftCount::One }
+            Op::Shift {
+                kind: ShiftKind::Shr,
+                width: Width::D,
+                dst: Rm::Reg(0),
+                count: ShiftCount::One
+            }
         );
         // 0f ac d0 0c = shrd $12, %edx, %eax (the paper's Figure 5 uses shrd)
         assert_eq!(
@@ -940,10 +1006,7 @@ mod tests {
         assert_eq!(i.len, 4);
         assert!(matches!(i.op, Op::Mov { .. }));
         // Five or more prefixes: invalid.
-        assert_eq!(
-            decode(&[0x3e, 0x3e, 0x3e, 0x3e, 0x3e, 0x89, 0xd8]),
-            Err(DecodeError::Invalid)
-        );
+        assert_eq!(decode(&[0x3e, 0x3e, 0x3e, 0x3e, 0x3e, 0x89, 0xd8]), Err(DecodeError::Invalid));
     }
 
     #[test]
@@ -959,7 +1022,8 @@ mod tests {
         // padding, may panic the decoder.
         for b0 in 0..=255u8 {
             for pad in [0x00u8, 0xff, 0x55, 0xc3] {
-                let bytes = [b0, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
+                let bytes =
+                    [b0, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
                 let _ = decode(&bytes);
             }
         }
@@ -969,7 +1033,8 @@ mod tests {
     fn every_two_byte_opcode_decodes_or_fails_cleanly() {
         for b1 in 0..=255u8 {
             for pad in [0x00u8, 0xff, 0x24, 0x05] {
-                let bytes = [0x0f, b1, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
+                let bytes =
+                    [0x0f, b1, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad, pad];
                 let _ = decode(&bytes);
             }
         }

@@ -239,34 +239,30 @@ fn encode_impl(op: &Op, wide: bool) -> Result<Vec<u8>, EncodeError> {
                 }
             }
         }
-        Op::Shld { dst, src, count } => {
-            match count {
-                ShiftCount::Imm(n) => {
-                    out.extend_from_slice(&[0x0f, 0xa4]);
-                    emit_modrm_w(&mut out, src.index(), dst, wide);
-                    out.push(*n & 0x1f);
-                }
-                ShiftCount::Cl => {
-                    out.extend_from_slice(&[0x0f, 0xa5]);
-                    emit_modrm_w(&mut out, src.index(), dst, wide);
-                }
-                ShiftCount::One => return Err(EncodeError::Unencodable),
+        Op::Shld { dst, src, count } => match count {
+            ShiftCount::Imm(n) => {
+                out.extend_from_slice(&[0x0f, 0xa4]);
+                emit_modrm_w(&mut out, src.index(), dst, wide);
+                out.push(*n & 0x1f);
             }
-        }
-        Op::Shrd { dst, src, count } => {
-            match count {
-                ShiftCount::Imm(n) => {
-                    out.extend_from_slice(&[0x0f, 0xac]);
-                    emit_modrm_w(&mut out, src.index(), dst, wide);
-                    out.push(*n & 0x1f);
-                }
-                ShiftCount::Cl => {
-                    out.extend_from_slice(&[0x0f, 0xad]);
-                    emit_modrm_w(&mut out, src.index(), dst, wide);
-                }
-                ShiftCount::One => return Err(EncodeError::Unencodable),
+            ShiftCount::Cl => {
+                out.extend_from_slice(&[0x0f, 0xa5]);
+                emit_modrm_w(&mut out, src.index(), dst, wide);
             }
-        }
+            ShiftCount::One => return Err(EncodeError::Unencodable),
+        },
+        Op::Shrd { dst, src, count } => match count {
+            ShiftCount::Imm(n) => {
+                out.extend_from_slice(&[0x0f, 0xac]);
+                emit_modrm_w(&mut out, src.index(), dst, wide);
+                out.push(*n & 0x1f);
+            }
+            ShiftCount::Cl => {
+                out.extend_from_slice(&[0x0f, 0xad]);
+                emit_modrm_w(&mut out, src.index(), dst, wide);
+            }
+            ShiftCount::One => return Err(EncodeError::Unencodable),
+        },
         Op::Bt { kind, dst, src } => match src {
             Src::Reg(r) => {
                 let second = match kind {
@@ -594,7 +590,12 @@ mod tests {
             Op::Movsx { dst: Reg::Ecx, src: Rm::Reg(3) },
             Op::Lea { dst: Reg::Eax, mem: sibm },
             Op::Xchg { reg: Reg::Ebx, rm: Rm::Mem(mem) },
-            Op::Shift { kind: ShiftKind::Shl, width: D, dst: Rm::Reg(0), count: ShiftCount::Imm(12) },
+            Op::Shift {
+                kind: ShiftKind::Shl,
+                width: D,
+                dst: Rm::Reg(0),
+                count: ShiftCount::Imm(12),
+            },
             Op::Shift { kind: ShiftKind::Sar, width: D, dst: Rm::Reg(2), count: ShiftCount::Cl },
             Op::Shift { kind: ShiftKind::Shr, width: D, dst: Rm::Mem(mem), count: ShiftCount::One },
             Op::Shrd { dst: Rm::Reg(0), src: Reg::Edx, count: ShiftCount::Imm(12) },
@@ -701,12 +702,7 @@ mod tests {
     #[test]
     fn mem_to_mem_is_unencodable() {
         let m = MemRef::base(Reg::Eax);
-        let op = Op::Alu {
-            kind: AluKind::Add,
-            width: Width::D,
-            dst: Rm::Mem(m),
-            src: Src::Mem(m),
-        };
+        let op = Op::Alu { kind: AluKind::Add, width: Width::D, dst: Rm::Mem(m), src: Src::Mem(m) };
         assert_eq!(encode(&op), Err(EncodeError::Unencodable));
     }
 

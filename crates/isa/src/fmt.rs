@@ -74,7 +74,13 @@ pub fn format_insn(insn: &Insn, addr: u32) -> String {
     let target = |rel: i32| addr.wrapping_add(insn.len as u32).wrapping_add(rel as u32);
     match &insn.op {
         Op::Alu { kind, width, dst, src } => {
-            format!("{}{} {},{}", kind.mnemonic(), suffix(*width), fmt_src(*width, src), fmt_rm(*width, dst))
+            format!(
+                "{}{} {},{}",
+                kind.mnemonic(),
+                suffix(*width),
+                fmt_src(*width, src),
+                fmt_rm(*width, dst)
+            )
         }
         Op::Mov { width, dst, src } => {
             format!("mov{} {},{}", suffix(*width), fmt_src(*width, src), fmt_rm(*width, dst))
@@ -97,10 +103,20 @@ pub fn format_insn(insn: &Insn, addr: u32) -> String {
             format!("{} {},{}", kind.mnemonic(), fmt_src(Width::D, src), fmt_rm(Width::D, dst))
         }
         Op::Xadd { width, dst, src } => {
-            format!("xadd{} %{},{}", suffix(*width), reg_name(*width, src.index()), fmt_rm(*width, dst))
+            format!(
+                "xadd{} %{},{}",
+                suffix(*width),
+                reg_name(*width, src.index()),
+                fmt_rm(*width, dst)
+            )
         }
         Op::Cmpxchg { width, dst, src } => {
-            format!("cmpxchg{} %{},{}", suffix(*width), reg_name(*width, src.index()), fmt_rm(*width, dst))
+            format!(
+                "cmpxchg{} %{},{}",
+                suffix(*width),
+                reg_name(*width, src.index()),
+                fmt_rm(*width, dst)
+            )
         }
         Op::Grp3 { kind, width, rm } => {
             format!("{}{} {}", kind.mnemonic(), suffix(*width), fmt_rm(*width, rm))

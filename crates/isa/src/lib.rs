@@ -46,7 +46,9 @@ mod reg;
 
 pub use cond::{Cond, ALL_CONDS};
 pub use decode::{decode, DecodeError, MAX_INSN_LEN};
-pub use encode::{call_rel, encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, EncodeError};
+pub use encode::{
+    call_rel, encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, EncodeError,
+};
 pub use flags::{alu_add, alu_logic, alu_sub, mask_width, sign_bit, AluResult, Eflags};
 pub use fmt::format_insn;
 pub use insn::{

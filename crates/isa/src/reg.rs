@@ -30,16 +30,8 @@ pub enum Reg {
 }
 
 /// All eight registers in encoding order.
-pub const ALL_REGS: [Reg; 8] = [
-    Reg::Eax,
-    Reg::Ecx,
-    Reg::Edx,
-    Reg::Ebx,
-    Reg::Esp,
-    Reg::Ebp,
-    Reg::Esi,
-    Reg::Edi,
-];
+pub const ALL_REGS: [Reg; 8] =
+    [Reg::Eax, Reg::Ecx, Reg::Edx, Reg::Ebx, Reg::Esp, Reg::Ebp, Reg::Esi, Reg::Edi];
 
 impl Reg {
     /// Returns the register for a 3-bit hardware register number.
@@ -97,10 +89,7 @@ impl Reg {
     /// encodes to (0..=7).
     pub fn parse8(name: &str) -> Option<u8> {
         let lower = name.to_ascii_lowercase();
-        ALL_REGS
-            .iter()
-            .position(|r| r.name8() == lower)
-            .map(|i| i as u8)
+        ALL_REGS.iter().position(|r| r.name8() == lower).map(|i| i as u8)
     }
 }
 

@@ -51,12 +51,8 @@ pub fn load_into(m: &mut Machine, image: &KernelImage, config: &BootConfig) {
 
     // Boot page tables: the kernel linear map (dirs 768, 769 -> phys
     // 0..8 MiB, supervisor read/write).
-    for (i, pt_phys) in [layout::BOOT_PT0_PHYS, layout::BOOT_PT1_PHYS]
-        .into_iter()
-        .enumerate()
-    {
-        m.mem
-            .write_u32(layout::BOOT_PGD_PHYS + (768 + i as u32) * 4, pt_phys | 0x3);
+    for (i, pt_phys) in [layout::BOOT_PT0_PHYS, layout::BOOT_PT1_PHYS].into_iter().enumerate() {
+        m.mem.write_u32(layout::BOOT_PGD_PHYS + (768 + i as u32) * 4, pt_phys | 0x3);
         for e in 0..1024u32 {
             let phys = (i as u32 * 1024 + e) << 12;
             m.mem.write_u32(pt_phys + e * 4, phys | 0x3);
@@ -65,10 +61,8 @@ pub fn load_into(m: &mut Machine, image: &KernelImage, config: &BootConfig) {
 
     // Boot info.
     let bi = layout::BOOT_INFO_PHYS;
-    m.mem
-        .write_u32(bi + boot_info::PHYS_FREE_START, image.phys_free_start());
-    m.mem
-        .write_u32(bi + boot_info::PHYS_MEM_SIZE, layout::PHYS_MEM_SIZE);
+    m.mem.write_u32(bi + boot_info::PHYS_FREE_START, image.phys_free_start());
+    m.mem.write_u32(bi + boot_info::PHYS_MEM_SIZE, layout::PHYS_MEM_SIZE);
     m.mem.write_u32(bi + boot_info::RUN_MODE, config.run_mode);
     m.mem.write_u32(bi + boot_info::FLAGS, 0);
 
@@ -90,6 +84,5 @@ pub fn load_into(m: &mut Machine, image: &KernelImage, config: &BootConfig) {
 /// Sets the run mode in guest memory (used after restoring a post-boot
 /// snapshot, before resuming).
 pub fn set_run_mode(m: &mut Machine, mode: u32) {
-    m.mem
-        .write_u32(layout::BOOT_INFO_PHYS + boot_info::RUN_MODE, mode);
+    m.mem.write_u32(layout::BOOT_INFO_PHYS + boot_info::RUN_MODE, mode);
 }

@@ -8,7 +8,7 @@
 //!   binaries corrupted: reformat + reinstall, the *most severe* case.
 
 use crate::mkfs::{
-    checksum, sb, BLOCK_SIZE, BITMAP_BLOCK, DATA_START, EXT2_MAGIC, IBITMAP_BLOCK, IMODE_DIR,
+    checksum, sb, BITMAP_BLOCK, BLOCK_SIZE, DATA_START, EXT2_MAGIC, IBITMAP_BLOCK, IMODE_DIR,
     IMODE_REG, ITABLE_BLOCK, NR_DIRECT, NR_INODES, ROOT_INO, SB_BLOCK,
 };
 use std::collections::{BTreeMap, BTreeSet};
@@ -134,9 +134,7 @@ impl<'a> Fs<'a> {
                 if ino == 0 {
                     return None;
                 }
-                let name = String::from_utf8_lossy(&e[4..])
-                    .trim_end_matches('\0')
-                    .to_string();
+                let name = String::from_utf8_lossy(&e[4..]).trim_end_matches('\0').to_string();
                 Some((name, ino))
             })
             .collect()
@@ -169,16 +167,11 @@ pub fn fsck(image: &[u8], manifest: &BTreeMap<String, (u32, u32)>) -> FsckReport
     let fs = Fs { bytes: image, nblocks: (image.len() / BLOCK_SIZE) as u32 };
     let magic = fs.u32_at(SB_BLOCK, sb::MAGIC);
     if magic != EXT2_MAGIC {
-        return FsckReport::Unrecoverable {
-            reason: format!("bad superblock magic {magic:#x}"),
-        };
+        return FsckReport::Unrecoverable { reason: format!("bad superblock magic {magic:#x}") };
     }
     let sb_blocks = fs.u32_at(SB_BLOCK, sb::BLOCKS);
     if sb_blocks != fs.nblocks {
-        problems.push(format!(
-            "superblock block count {sb_blocks} != device {}",
-            fs.nblocks
-        ));
+        problems.push(format!("superblock block count {sb_blocks} != device {}", fs.nblocks));
     }
     let dirty = fs.u32_at(SB_BLOCK, sb::STATE) == 0;
 
@@ -280,7 +273,9 @@ pub fn fsck(image: &[u8], manifest: &BTreeMap<String, (u32, u32)>) -> FsckReport
                 let got = checksum(&fs.read_file(&inode));
                 if got != *want {
                     return FsckReport::Unrecoverable {
-                        reason: format!("{path}: contents corrupted (checksum {got:#x} != {want:#x})"),
+                        reason: format!(
+                            "{path}: contents corrupted (checksum {got:#x} != {want:#x})"
+                        ),
                     };
                 }
             }
@@ -327,20 +322,14 @@ mod tests {
     fn bad_magic_is_unrecoverable() {
         let (mut bytes, manifest) = image();
         bytes[BLOCK_SIZE] ^= 0xff;
-        assert!(matches!(
-            fsck(&bytes, &manifest),
-            FsckReport::Unrecoverable { .. }
-        ));
+        assert!(matches!(fsck(&bytes, &manifest), FsckReport::Unrecoverable { .. }));
     }
 
     #[test]
     fn corrupted_binary_is_unrecoverable() {
         let (mut bytes, manifest) = image();
         // find the file's data (a long run of 7s) and flip one byte
-        let pos = bytes
-            .windows(64)
-            .position(|w| w.iter().all(|b| *b == 7))
-            .unwrap();
+        let pos = bytes.windows(64).position(|w| w.iter().all(|b| *b == 7)).unwrap();
         bytes[pos] ^= 1;
         let r = fsck(&bytes, &manifest);
         match r {
@@ -368,8 +357,7 @@ mod tests {
         // easier: corrupt an existing root entry's inode to 100 (free).
         // Find root dir block: inode 2 at table block 4 offset 64.
         let ioff = ITABLE_BLOCK as usize * BLOCK_SIZE + 64;
-        let blk0 =
-            u32::from_le_bytes(bytes[ioff + 8..ioff + 12].try_into().unwrap()) as usize;
+        let blk0 = u32::from_le_bytes(bytes[ioff + 8..ioff + 12].try_into().unwrap()) as usize;
         // entry 2 (after . and ..) — overwrite its ino with a free one
         let e = blk0 * BLOCK_SIZE + 2 * 32;
         bytes[e..e + 4].copy_from_slice(&100u32.to_le_bytes());
@@ -386,9 +374,6 @@ mod tests {
         let (bytes, _) = image();
         let mut manifest = BTreeMap::new();
         manifest.insert("/bin/nonexistent".to_string(), (1u32, 0u32));
-        assert!(matches!(
-            fsck(&bytes, &manifest),
-            FsckReport::Unrecoverable { .. }
-        ));
+        assert!(matches!(fsck(&bytes, &manifest), FsckReport::Unrecoverable { .. }));
     }
 }

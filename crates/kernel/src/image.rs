@@ -118,24 +118,13 @@ pub fn build_kernel(options: KernelBuildOptions) -> Result<KernelImage, AsmError
             asm.add_source(name, &strip_assertions(src))?;
         }
     }
-    let program = asm.finish(&AsmOptions {
-        text_base: layout::KERNEL_TEXT,
-        data_base: None,
+    let program = asm.finish(&AsmOptions { text_base: layout::KERNEL_TEXT, data_base: None })?;
+    let entry = program.symbols.addr_of("start_kernel").ok_or_else(|| AsmError {
+        file: "main.s".into(),
+        line: 0,
+        msg: "missing start_kernel".into(),
     })?;
-    let entry = program
-        .symbols
-        .addr_of("start_kernel")
-        .ok_or_else(|| AsmError {
-            file: "main.s".into(),
-            line: 0,
-            msg: "missing start_kernel".into(),
-        })?;
-    Ok(KernelImage {
-        program,
-        entry,
-        loc_by_subsystem: count_loc(KERNEL_SOURCES),
-        options,
-    })
+    Ok(KernelImage { program, entry, loc_by_subsystem: count_loc(KERNEL_SOURCES), options })
 }
 
 impl KernelImage {
@@ -153,10 +142,7 @@ impl KernelImage {
 
     /// The subsystem tag of the function containing `addr`, if known.
     pub fn subsystem_of(&self, addr: u32) -> Option<&str> {
-        self.program
-            .symbols
-            .function_at(addr)
-            .and_then(|s| s.subsystem.as_deref())
+        self.program.symbols.function_at(addr).and_then(|s| s.subsystem.as_deref())
     }
 
     /// The function containing `addr`, if known.
@@ -187,11 +173,7 @@ mod tests {
             ("get_hash_table", "fs"),
             ("do_wp_page", "mm"),
         ] {
-            let sym = img
-                .program
-                .symbols
-                .lookup(f)
-                .unwrap_or_else(|| panic!("missing {f}"));
+            let sym = img.program.symbols.lookup(f).unwrap_or_else(|| panic!("missing {f}"));
             assert_eq!(sym.subsystem.as_deref(), Some(subsys), "{f}");
             assert!(sym.size > 0, "{f} has no size");
         }
@@ -214,10 +196,7 @@ mod tests {
     fn loc_by_subsystem_covers_modules() {
         let img = build_kernel(KernelBuildOptions::default()).unwrap();
         for m in ["arch", "fs", "kernel", "mm", "drivers", "lib", "ipc", "net"] {
-            assert!(
-                img.loc_by_subsystem.get(m).copied().unwrap_or(0) > 0,
-                "no LoC for {m}"
-            );
+            assert!(img.loc_by_subsystem.get(m).copied().unwrap_or(0) > 0, "no LoC for {m}");
         }
         // fs is the biggest module, as in the paper's Figure 1 shape
         // (relative to the modules we inject into).

@@ -251,23 +251,16 @@ mod tests {
     fn header_fields() {
         let p = build("t.s", ".text\n_start:\n ret\n").unwrap();
         assert_eq!(&p.bytes[0..4], &KBIN_MAGIC.to_le_bytes());
-        assert_eq!(
-            u32::from_le_bytes(p.bytes[4..8].try_into().unwrap()),
-            USER_CODE_BASE
-        );
+        assert_eq!(u32::from_le_bytes(p.bytes[4..8].try_into().unwrap()), USER_CODE_BASE);
         assert_eq!(u32::from_le_bytes(p.bytes[8..12].try_into().unwrap()), 1);
     }
 
     #[test]
     fn data_lands_at_page_offset() {
-        let p = build("t.s", ".text\n_start:\n movl v, %eax\n ret\n.data\nv: .long 42\n")
-            .unwrap();
+        let p = build("t.s", ".text\n_start:\n movl v, %eax\n ret\n.data\nv: .long 42\n").unwrap();
         let data_off = (p.program.data.base - USER_CODE_BASE) as usize;
         assert_eq!(data_off % 4096, 0);
-        assert_eq!(
-            &p.bytes[16 + data_off..16 + data_off + 4],
-            &42u32.to_le_bytes()
-        );
+        assert_eq!(&p.bytes[16 + data_off..16 + data_off + 4], &42u32.to_le_bytes());
     }
 
     #[test]

@@ -113,7 +113,7 @@ impl Builder {
         b.inode_bitmap[0] = true;
         b.inode_bitmap[1] = true;
         b.inode_bitmap[2] = true; // root
-        // inodes beyond NR_INODES don't exist
+                                  // inodes beyond NR_INODES don't exist
         for i in (NR_INODES + 1)..(BLOCK_SIZE as u32 * 8) {
             b.inode_bitmap[i as usize] = true;
         }
@@ -186,15 +186,10 @@ pub fn mkfs(nblocks: u32, files: &[FileSpec]) -> FsImage {
     for f in files {
         let trimmed = f.path.strip_prefix('/').expect("absolute path");
         match trimmed.split_once('/') {
-            None => dirs
-                .entry(String::new())
-                .or_default()
-                .push((trimmed.to_string(), f)),
+            None => dirs.entry(String::new()).or_default().push((trimmed.to_string(), f)),
             Some((dir, leaf)) => {
                 assert!(!leaf.contains('/'), "at most one directory level: {}", f.path);
-                dirs.entry(dir.to_string())
-                    .or_default()
-                    .push((leaf.to_string(), f))
+                dirs.entry(dir.to_string()).or_default().push((leaf.to_string(), f))
             }
         }
     }
@@ -284,10 +279,7 @@ fn encode_dir(entries: &[(String, u32)]) -> Vec<u8> {
 /// Standard test-fixture files every image gets in addition to the
 /// caller's programs.
 pub fn standard_fixtures() -> Vec<FileSpec> {
-    vec![FileSpec {
-        path: "/etc/motd".into(),
-        data: b"welcome to kfi linux 2.4.19\n".to_vec(),
-    }]
+    vec![FileSpec { path: "/etc/motd".into(), data: b"welcome to kfi linux 2.4.19\n".to_vec() }]
 }
 
 #[cfg(test)]
@@ -308,9 +300,7 @@ mod tests {
         let magic = u32::from_le_bytes(bytes[BLOCK_SIZE..BLOCK_SIZE + 4].try_into().unwrap());
         assert_eq!(magic, EXT2_MAGIC);
         let state = u32::from_le_bytes(
-            bytes[BLOCK_SIZE + sb::STATE..BLOCK_SIZE + sb::STATE + 4]
-                .try_into()
-                .unwrap(),
+            bytes[BLOCK_SIZE + sb::STATE..BLOCK_SIZE + sb::STATE + 4].try_into().unwrap(),
         );
         assert_eq!(state, 1);
     }
@@ -339,11 +329,7 @@ mod tests {
         let dir = &bytes[blk0 as usize * BLOCK_SIZE..][..size as usize];
         let names: Vec<String> = dir
             .chunks(32)
-            .map(|e| {
-                String::from_utf8_lossy(&e[4..])
-                    .trim_end_matches('\0')
-                    .to_string()
-            })
+            .map(|e| String::from_utf8_lossy(&e[4..]).trim_end_matches('\0').to_string())
             .collect();
         assert!(names.contains(&"init".to_string()));
         assert!(names.contains(&"bin".to_string()));

@@ -3,8 +3,8 @@
 
 use kfi_kernel::layout::events;
 use kfi_kernel::{
-    boot, build_kernel, build_with_runtime, fsck, mkfs, standard_fixtures, BootConfig,
-    FileSpec, FsckReport, KernelBuildOptions,
+    boot, build_kernel, build_with_runtime, fsck, mkfs, standard_fixtures, BootConfig, FileSpec,
+    FsckReport, KernelBuildOptions,
 };
 use kfi_machine::{MonitorEvent, RunExit};
 
@@ -64,10 +64,7 @@ fn boots_to_clean_shutdown() {
     assert!(evts.contains(&events::SHUTDOWN), "{evts:x?}");
     assert!(!evts.contains(&events::PANIC), "{evts:x?}");
     // the reported result came through
-    assert!(m
-        .monitor_events()
-        .iter()
-        .any(|(_, e)| matches!(e, MonitorEvent::Result(42))));
+    assert!(m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(42))));
 }
 
 #[test]
@@ -82,9 +79,7 @@ fn filesystem_is_clean_after_shutdown() {
     let disk = m.disk.take().unwrap();
     assert_eq!(fsck(disk.bytes(), &manifest), FsckReport::Clean);
     // clean shutdown resets the dirty flag
-    let state = u32::from_le_bytes(
-        disk.bytes()[1024 + 20..1024 + 24].try_into().unwrap(),
-    );
+    let state = u32::from_le_bytes(disk.bytes()[1024 + 20..1024 + 24].try_into().unwrap());
     assert_eq!(state, 1, "superblock should be clean");
 }
 
@@ -162,9 +157,7 @@ buf:     .space 64
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(!console.contains("FAIL"), "{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(777))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(777))),
         "console:\n{console}"
     );
 }
@@ -300,9 +293,7 @@ val2: .long 0
     let console = m.console_string();
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(1024))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(1024))),
         "console:\n{console}\nevents: {:?}",
         m.monitor_events()
     );
@@ -351,9 +342,7 @@ childpath: .asciz "/bin/child"
     let console = m.console_string();
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(31337))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(31337))),
         "console:\n{console}"
     );
 }
@@ -385,9 +374,7 @@ parent:
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(console.contains("segfault"), "{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(555))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(555))),
         "the system survived: {console}"
     );
     let evts = events_of(&m);
@@ -430,9 +417,7 @@ bad:
     let console = m.console_string();
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(888))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(888))),
         "console:\n{console}"
     );
 }
@@ -533,9 +518,7 @@ data: .long 0x55aa55aa
     kfi_kernel::load_into(&mut m, &image, &BootConfig { run_mode: 1, ..Default::default() });
     assert_eq!(m.run(BUDGET), RunExit::Halted, "{}", m.console_string());
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(2))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(2))),
         "second boot didn't find the file: {}",
         m.console_string()
     );
@@ -563,11 +546,7 @@ fn corrupt_superblock_panics_at_mount() {
     let mut m = boot(&image, disk, &BootConfig::default());
     let exit = m.run(BUDGET);
     assert_eq!(exit, RunExit::Halted);
-    assert!(
-        m.console_string().contains("Unable to mount root fs"),
-        "{}",
-        m.console_string()
-    );
+    assert!(m.console_string().contains("Unable to mount root fs"), "{}", m.console_string());
     assert!(events_of(&m).contains(&events::PANIC));
 }
 
@@ -704,7 +683,8 @@ do_cycle:
     assert_eq!(samples.len(), 3, "console: {}", m.console_string());
     // Steady state: batch 2 consumes no net pages vs batch 1.
     assert_eq!(
-        samples[1], samples[2],
+        samples[1],
+        samples[2],
         "fork/exit cycles leak pages: {samples:?}\nconsole: {}",
         m.console_string()
     );
@@ -745,9 +725,7 @@ fds: .long 0, 0
     let mut m = boot_with_init(body);
     assert_eq!(m.run(BUDGET), RunExit::Halted, "{}", m.console_string());
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(424242))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(424242))),
         "{}",
         m.console_string()
     );
@@ -796,9 +774,7 @@ status: .long 0
     assert_eq!(exit, RunExit::Halted, "console:\n{console}");
     assert!(console.contains("killed by signal 9"), "{console}");
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(137))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(137))),
         "console:\n{console}"
     );
 }
@@ -824,9 +800,7 @@ bad:
     let mut m = boot_with_init(body);
     assert_eq!(m.run(BUDGET), RunExit::Halted, "{}", m.console_string());
     assert!(
-        m.monitor_events()
-            .iter()
-            .any(|(_, e)| matches!(e, MonitorEvent::Result(314))),
+        m.monitor_events().iter().any(|(_, e)| matches!(e, MonitorEvent::Result(314))),
         "{}",
         m.console_string()
     );

@@ -7,11 +7,7 @@ use proptest::prelude::*;
 
 fn arb_files() -> impl Strategy<Value = Vec<FileSpec>> {
     proptest::collection::vec(
-        (
-            "[a-z]{1,8}",
-            proptest::collection::vec(any::<u8>(), 0..5000),
-            any::<bool>(),
-        ),
+        ("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..5000), any::<bool>()),
         1..10,
     )
     .prop_map(|specs| {

@@ -16,7 +16,7 @@ pub const CR0_PG: u32 = 1 << 31;
 /// the instruction-breakpoint trigger the paper's injector uses ("the
 /// injection driver sets the contents of one of the debug registers to
 /// the address of the target instruction").
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Cpu {
     /// General-purpose registers, indexed by hardware number.
     pub regs: [u32; 8],

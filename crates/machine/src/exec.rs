@@ -434,10 +434,7 @@ impl Machine {
             }
             Op::Int(n) => {
                 if self.cpu.is_user() && !self.idt_user_callable(n)? {
-                    return Err(Fault::Vec(
-                        Vector::GeneralProtection,
-                        Some((n as u32) << 3 | 2),
-                    ));
+                    return Err(Fault::Vec(Vector::GeneralProtection, Some((n as u32) << 3 | 2)));
                 }
                 match Vector::from_number(n) {
                     Some(v) => {
@@ -559,9 +556,12 @@ impl Machine {
                     }
                     2 => self.cpu.cr2 = v,
                     3 => {
+                        let old = self.cpu.cr3;
                         self.cpu.cr3 = v;
                         self.tlb.flush();
                         self.cpu.tsc += 8;
+                        self.trace
+                            .emit(self.cpu.tsc, kfi_trace::EventKind::Cr3Switch { old, new: v });
                     }
                     4 => {}
                     _ => return Err(Fault::Vec(Vector::InvalidOpcode, None)),
@@ -740,8 +740,7 @@ impl Machine {
                 }
                 match width {
                     Width::D => {
-                        let dividend =
-                            ((self.cpu.reg(2) as u64) << 32) | self.cpu.reg(0) as u64;
+                        let dividend = ((self.cpu.reg(2) as u64) << 32) | self.cpu.reg(0) as u64;
                         let q = dividend / v as u64;
                         if q > u32::MAX as u64 {
                             return Err(Fault::Vec(Vector::DivideError, None));
@@ -906,7 +905,8 @@ fn shift_op(kind: ShiftKind, v: u32, count: u32, width: Width, flags: Eflags) ->
         ShiftKind::Sar => {
             let sv = ((v << (32 - bits)) as i32) >> (32 - bits); // sign-extend to i32
             let r = if count >= 31 { (sv >> 31) as u32 } else { (sv >> count) as u32 };
-            let carry = if count <= 31 { ((sv >> (count - 1)) & 1) as u32 } else { (sv < 0) as u32 };
+            let carry =
+                if count <= 31 { ((sv >> (count - 1)) & 1) as u32 } else { (sv < 0) as u32 };
             let r = mask_width(r, bits);
             f.set_cf(carry != 0);
             if count == 1 {
@@ -981,10 +981,7 @@ mod tests {
     #[test]
     fn arithmetic_chain() {
         // mov $10,%eax; add $5,%eax; sub $3,%eax; imul $4,%eax,%ebx
-        let m = run_code(
-            &[0xb8, 10, 0, 0, 0, 0x83, 0xc0, 5, 0x83, 0xe8, 3, 0x6b, 0xd8, 4],
-            |_| {},
-        );
+        let m = run_code(&[0xb8, 10, 0, 0, 0, 0x83, 0xc0, 5, 0x83, 0xe8, 3, 0x6b, 0xd8, 4], |_| {});
         assert_eq!(m.cpu.get(Reg::Eax), 12);
         assert_eq!(m.cpu.get(Reg::Ebx), 48);
     }
@@ -996,7 +993,7 @@ mod tests {
         // Healthy: mov $0xb728,%eax ; xor %edx,%edx ; shrd $12,%edx,%eax
         let m = run_code(&[0xb8, 0x28, 0xb7, 0, 0, 0x31, 0xd2, 0x0f, 0xac, 0xd0, 0x0c], |_| {});
         assert_eq!(m.cpu.get(Reg::Eax), 0xb); // 0xb728 >> 12
-        // Corrupted: eax = 0x80
+                                              // Corrupted: eax = 0x80
         let m = run_code(&[0xb8, 0x80, 0, 0, 0, 0x31, 0xd2, 0x0f, 0xac, 0xd0, 0x0c], |_| {});
         assert_eq!(m.cpu.get(Reg::Eax), 0); // 0x80 >> 12 == 0
     }
@@ -1018,7 +1015,7 @@ mod tests {
             &[
                 0xe8, 0x03, 0, 0, 0, // call +3 -> 0x1008
                 0xfa, 0xf4, 0x90, // cli; hlt; (pad)
-                0xb8, 7, 0, 0, 0, // 0x1008: mov $7,%eax
+                0xb8, 7, 0, 0, 0,    // 0x1008: mov $7,%eax
                 0xc3, // ret
             ],
             |_| {},
@@ -1045,10 +1042,7 @@ mod tests {
         m.cpu.eip = 0x1000;
         m.cpu.set_reg(4, 0x8000);
         let _ = m.run(1000);
-        assert!(m
-            .trap_log()
-            .iter()
-            .any(|t| t.vector == Vector::DivideError && t.eip == 0x1009));
+        assert!(m.trap_log().iter().any(|t| t.vector == Vector::DivideError && t.eip == 0x1009));
     }
 
     #[test]
@@ -1056,10 +1050,7 @@ mod tests {
         // Copy 8 dwords from 0x2000 to 0x3000.
         // mov $0x2000,%esi; mov $0x3000,%edi; mov $8,%ecx; cld; rep movsl
         let m = run_code(
-            &[
-                0xbe, 0x00, 0x20, 0, 0, 0xbf, 0x00, 0x30, 0, 0, 0xb9, 8, 0, 0, 0, 0xfc, 0xf3,
-                0xa5,
-            ],
+            &[0xbe, 0x00, 0x20, 0, 0, 0xbf, 0x00, 0x30, 0, 0, 0xb9, 8, 0, 0, 0, 0xfc, 0xf3, 0xa5],
             |m| {
                 for i in 0..8u32 {
                     m.mem.write_u32(0x2000 + i * 4, 0x100 + i);
@@ -1096,10 +1087,7 @@ mod tests {
     #[test]
     fn bit_ops_on_memory_with_offset_extension() {
         // bts %ebx,(%esi) with ebx=37 sets bit 5 of dword 1.
-        let m = run_code(
-            &[0xbe, 0x00, 0x20, 0, 0, 0xbb, 37, 0, 0, 0, 0x0f, 0xab, 0x1e],
-            |_| {},
-        );
+        let m = run_code(&[0xbe, 0x00, 0x20, 0, 0, 0xbb, 37, 0, 0, 0, 0x0f, 0xab, 0x1e], |_| {});
         assert_eq!(m.mem.read_u32(0x2004), 1 << 5);
         assert!(!m.cpu.eflags.cf());
     }
@@ -1169,7 +1157,7 @@ mod tests {
     fn pusha_popa_roundtrip() {
         let m = run_code(
             &[
-                0xb8, 1, 0, 0, 0, 0xbb, 2, 0, 0, 0, // eax=1, ebx=2
+                0xb8, 1, 0, 0, 0, 0xbb, 2, 0, 0, 0,    // eax=1, ebx=2
                 0x60, // pusha
                 0x31, 0xc0, 0x31, 0xdb, // clear
                 0x61, // popa
@@ -1195,12 +1183,12 @@ mod tests {
     #[test]
     fn user_mode_cannot_do_privileged_ops() {
         for code in [
-            vec![0xf4u8],             // hlt
-            vec![0xfa],               // cli
-            vec![0xe6, 0xe9],         // out
-            vec![0xec],               // in
-            vec![0x0f, 0x22, 0xd8],   // mov %eax,%cr3
-            vec![0x0f, 0x20, 0xd0],   // mov %cr2,%eax
+            vec![0xf4u8],           // hlt
+            vec![0xfa],             // cli
+            vec![0xe6, 0xe9],       // out
+            vec![0xec],             // in
+            vec![0x0f, 0x22, 0xd8], // mov %eax,%cr3
+            vec![0x0f, 0x20, 0xd0], // mov %cr2,%eax
         ] {
             let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
             m.mem.load(0x1000, &code);
@@ -1244,7 +1232,7 @@ mod tests {
         let (r, nf) = shift_op(ShiftKind::Shr, 0x18, 4, Width::D, f);
         assert_eq!(r, 1);
         assert!(nf.cf()); // bit 3 of 0x18 is 1
-        // sar of negative keeps sign.
+                          // sar of negative keeps sign.
         let (r, _) = shift_op(ShiftKind::Sar, 0x8000_0000, 4, Width::D, f);
         assert_eq!(r, 0xf800_0000);
         // rol byte.
@@ -1328,7 +1316,7 @@ mod more_exec_tests {
             &[
                 0xbe, 0x0c, 0x20, 0, 0, // mov $0x200c,%esi
                 0xbf, 0x0c, 0x30, 0, 0, // mov $0x300c,%edi
-                0xb9, 4, 0, 0, 0, // mov $4,%ecx
+                0xb9, 4, 0, 0, 0,    // mov $4,%ecx
                 0xfd, // std
                 0xf3, 0xa5, // rep movsl
                 0xfc, // cld
@@ -1405,10 +1393,7 @@ mod more_exec_tests {
         m.cpu.cs = USER_CS;
         m.cpu.set_reg(4, 0x8000);
         let _ = m.run(100);
-        assert!(m
-            .trap_log()
-            .iter()
-            .any(|t| t.vector == Vector::GeneralProtection));
+        assert!(m.trap_log().iter().any(|t| t.vector == Vector::GeneralProtection));
     }
 
     #[test]
@@ -1439,7 +1424,7 @@ mod more_exec_tests {
             &[
                 0xbf, 0x00, 0x20, 0, 0, // mov $0x2000,%edi
                 0xb0, 0x7f, // mov $0x7f,%al
-                0xb9, 16, 0, 0, 0, // mov $16,%ecx
+                0xb9, 16, 0, 0, 0,    // mov $16,%ecx
                 0xfc, // cld
                 0xf2, 0xae, // repne scasb
             ],

@@ -5,6 +5,7 @@ use crate::mem::PhysMem;
 use crate::mmu::{translate, Access, PageFault, Tlb};
 use crate::ramdisk::{Ramdisk, SECTOR_SIZE};
 use crate::trap::{TrapRecord, Vector};
+use kfi_trace::{EventKind, TraceSink};
 
 /// Well-known I/O port numbers.
 pub mod ports {
@@ -116,7 +117,7 @@ pub struct Counters {
 ///
 /// The disk is deliberately *not* part of the snapshot: it models the
 /// persistent medium that survives reboots.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Snapshot {
     cpu: Cpu,
     mem: Vec<u8>,
@@ -156,6 +157,7 @@ pub struct Machine {
     /// The attached disk, if any.
     pub disk: Option<Ramdisk>,
     pub(crate) tlb: Tlb,
+    pub(crate) trace: TraceSink,
     config: MachineConfig,
     console: Vec<u8>,
     monitor: Vec<(u64, MonitorEvent)>,
@@ -177,6 +179,7 @@ impl Machine {
             mem: PhysMem::new(config.phys_mem),
             disk: None,
             tlb: Tlb::new(),
+            trace: TraceSink::Null,
             config,
             console: Vec::new(),
             monitor: Vec::new(),
@@ -219,6 +222,35 @@ impl Machine {
     /// Execution counters.
     pub fn counters(&self) -> Counters {
         self.counters
+    }
+
+    /// Cumulative TLB `(hits, misses)` since construction. Unlike
+    /// [`Machine::counters`], these are *not* cleared by
+    /// [`Machine::restore`] — callers wanting per-run numbers must diff
+    /// before/after.
+    pub fn tlb_stats(&self) -> (u64, u64) {
+        self.tlb.stats()
+    }
+
+    /// Installs a trace sink. [`TraceSink::Null`] (the default) makes
+    /// every emit site a no-op.
+    pub fn set_trace_sink(&mut self, sink: TraceSink) {
+        self.trace = sink;
+    }
+
+    /// The current trace sink.
+    pub fn trace_sink(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable access to the trace sink (e.g. to drain or clear it).
+    pub fn trace_sink_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Removes and returns the trace sink, leaving [`TraceSink::Null`].
+    pub fn take_trace_sink(&mut self) -> TraceSink {
+        std::mem::take(&mut self.trace)
     }
 
     /// Captures CPU + memory + device-latch state.
@@ -456,10 +488,20 @@ impl Machine {
                 cr2: self.cpu.cr2,
                 from_user,
             });
+            self.trace.emit(
+                self.cpu.tsc,
+                EventKind::ExceptionRaised {
+                    vector: vector.number(),
+                    eip: return_eip,
+                    error_code: err,
+                },
+            );
         } else if vector == Vector::Syscall {
             self.counters.syscalls += 1;
+            self.trace.emit(self.cpu.tsc, EventKind::SyscallEntry { nr: self.cpu.reg(0) });
         } else {
             self.counters.timer_irqs += 1;
+            self.trace.emit(self.cpu.tsc, EventKind::WatchdogTick { eip: return_eip });
         }
 
         self.delivering += 1;
@@ -491,7 +533,10 @@ impl Machine {
             // Not present. Escalate as a nested failure so the caller
             // goes to double fault (delivering *anything* else through
             // the same broken IDT would loop).
-            return Err(Fault::Vec(Vector::SegmentNotPresent, Some((vector.number() as u32) << 3 | 2)));
+            return Err(Fault::Vec(
+                Vector::SegmentNotPresent,
+                Some((vector.number() as u32) << 3 | 2),
+            ));
         }
 
         let old_esp = self.cpu.reg(4);

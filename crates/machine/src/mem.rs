@@ -142,7 +142,12 @@ mod tests {
     fn open_bus_reads_ff() {
         let m = PhysMem::new(PAGE_SIZE);
         assert_eq!(m.read_u8(PAGE_SIZE), 0xff);
-        assert_eq!(m.read_u32(PAGE_SIZE - 2), 0xffff_0000 | m.read_u8(PAGE_SIZE - 2) as u32 | ((m.read_u8(PAGE_SIZE - 1) as u32) << 8));
+        assert_eq!(
+            m.read_u32(PAGE_SIZE - 2),
+            0xffff_0000
+                | m.read_u8(PAGE_SIZE - 2) as u32
+                | ((m.read_u8(PAGE_SIZE - 1) as u32) << 8)
+        );
         assert_eq!(m.read_u32(0xffff_fff0), 0xffff_ffff);
     }
 

@@ -149,12 +149,7 @@ pub fn translate(
     }
     let vpn = addr >> 12;
     let offset = addr & (PAGE_SIZE - 1);
-    let fault = |present: bool| PageFault {
-        addr,
-        present,
-        write: access == Access::Write,
-        user,
-    };
+    let fault = |present: bool| PageFault { addr, present, write: access == Access::Write, user };
 
     if let Some(e) = tlb.lookup(vpn) {
         if user && !e.user {
@@ -209,10 +204,7 @@ mod tests {
     fn identity_when_paging_off() {
         let mem = PhysMem::new(PAGE_SIZE * 4);
         let mut tlb = Tlb::new();
-        assert_eq!(
-            translate(&mem, &mut tlb, 0, false, 0x1234, Access::Read, false),
-            Ok(0x1234)
-        );
+        assert_eq!(translate(&mem, &mut tlb, 0, false, 0x1234, Access::Read, false), Ok(0x1234));
     }
 
     #[test]

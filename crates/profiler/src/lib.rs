@@ -111,9 +111,8 @@ pub fn profile(
                 if m.cpu.cs == KERNEL_CS {
                     match image.function_of(m.cpu.eip) {
                         Some(f) => {
-                            counts
-                                .entry(f.value)
-                                .or_insert_with(|| vec![0; workloads.len()])[mode] += 1;
+                            counts.entry(f.value).or_insert_with(|| vec![0; workloads.len()])
+                                [mode] += 1;
                         }
                         None => unknown += 1,
                     }
@@ -182,11 +181,7 @@ impl KernelProfile {
     /// if any workload does.
     pub fn best_workload_for(&self, function: &str) -> Option<u32> {
         let f = self.functions.iter().find(|f| f.name == function)?;
-        let (best, n) = f
-            .per_workload
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, n)| **n)?;
+        let (best, n) = f.per_workload.iter().enumerate().max_by_key(|(_, n)| **n)?;
         if *n == 0 {
             None
         } else {

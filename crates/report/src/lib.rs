@@ -15,9 +15,15 @@
 //! | Figure 8 (error propagation)      | [`figure8`]  |
 //! | Table 5 (most severe crashes)     | [`table5`]   |
 //! | Tables 6/7 (case studies)         | [`case_study_table`] |
+//!
+//! Beyond the paper artifacts, [`trace_timeline`] and [`metrics_table`]
+//! render [`kfi_trace`] event streams and counter registries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+mod trace;
+pub use trace::{metrics_table, trace_timeline};
 
 use kfi_core::{stats, CampaignResult, StudyResult};
 use kfi_injector::{Campaign, Outcome};
@@ -40,11 +46,7 @@ pub fn figure1(image: &KernelImage) -> String {
     let mut s = String::from("Figure 1: Size of Kernel Subsystems (guest assembly source lines)\n");
     let max = image.loc_by_subsystem.values().copied().max().unwrap_or(1) as f64;
     for (sub, loc) in &image.loc_by_subsystem {
-        let _ = writeln!(
-            s,
-            "{sub:>8}  {loc:>6}  {}",
-            bar(100.0 * *loc as f64 / max, 40)
-        );
+        let _ = writeln!(s, "{sub:>8}  {loc:>6}  {}", bar(100.0 * *loc as f64 / max, 40));
     }
     s
 }
@@ -150,7 +152,8 @@ fn campaign_table(result: &CampaignResult) -> String {
 /// Figure 4: outcome statistics per campaign (tables + overall
 /// distribution, the pie charts rendered as percentage bars).
 pub fn figure4(study: &StudyResult) -> String {
-    let mut s = String::from("Figure 4: Statistics on Error Activation and Failure Distribution\n\n");
+    let mut s =
+        String::from("Figure 4: Statistics on Error Activation and Failure Distribution\n\n");
     for c in [Campaign::A, Campaign::B, Campaign::C] {
         let Some(result) = study.campaigns.get(&c.letter()) else { continue };
         let _ = writeln!(s, "--- Campaign {}: {} ---", c.letter(), c.name());
@@ -208,11 +211,8 @@ pub fn figure7(study: &StudyResult) -> String {
             let _ = write!(s, "{label:>10}");
         }
         s.push('\n');
-        let mut subsystems: Vec<String> = result
-            .records
-            .iter()
-            .map(|r| r.target.subsystem.clone())
-            .collect();
+        let mut subsystems: Vec<String> =
+            result.records.iter().map(|r| r.target.subsystem.clone()).collect();
         subsystems.sort();
         subsystems.dedup();
         for sub in &subsystems {
@@ -324,10 +324,8 @@ pub fn table5(study: &StudyResult) -> String {
     if idx == 0 {
         let _ = writeln!(s, "  (no most-severe crashes in this run)");
     }
-    let _ = writeln!(
-        s,
-        "most severe (reformat): {idx}; severe or worse (fsck needed): {severe_count}"
-    );
+    let _ =
+        writeln!(s, "most severe (reformat): {idx}; severe or worse (fsck needed): {severe_count}");
     s
 }
 
@@ -355,16 +353,16 @@ pub fn case_study_table(
 /// `do_page_fault`, `schedule` and `zap_page_range` cause 70%/50%/30%
 /// of their subsystems' crashes under random injection).
 pub fn crash_concentration(study: &StudyResult) -> String {
-    let mut s = String::from("Crash concentration (campaign A, per injected subsystem)
-");
+    let mut s = String::from(
+        "Crash concentration (campaign A, per injected subsystem)
+",
+    );
     let Some(a) = study.campaigns.get(&'A') else { return s };
     for sub in ["arch", "fs", "kernel", "mm"] {
         let top = stats::crash_concentration(&a.records, sub);
         if let Some((f, n, share)) = top.first() {
-            let _ = writeln!(
-                s,
-                "  {sub:<8} {f:<28} {n:>5} crashes ({share:>5.1}% of the subsystem's)"
-            );
+            let _ =
+                writeln!(s, "  {sub:<8} {f:<28} {n:>5} crashes ({share:>5.1}% of the subsystem's)");
         }
     }
     s
@@ -374,8 +372,10 @@ pub fn crash_concentration(study: &StudyResult) -> String {
 /// per-severity budget argument ("to achieve 5 nines one can only
 /// afford one most-severe failure in 12 years").
 pub fn availability_summary(study: &StudyResult) -> String {
-    let mut s = String::from("Availability impact (modeled downtime)
-");
+    let mut s = String::from(
+        "Availability impact (modeled downtime)
+",
+    );
     let mut all: Vec<kfi_injector::RunRecord> = Vec::new();
     for r in study.campaigns.values() {
         all.extend(r.records.iter().cloned());
@@ -391,10 +391,8 @@ pub fn availability_summary(study: &StudyResult) -> String {
     }
     let total = stats::total_downtime_secs(&all);
     let _ = writeln!(s, "  total modeled downtime: {total} s ({:.1} h)", total as f64 / 3600.0);
-    let _ = writeln!(
-        s,
-        "  five-nines budget: 5 min/yr => one most-severe (1 h) failure per 12 years"
-    );
+    let _ =
+        writeln!(s, "  five-nines budget: 5 min/yr => one most-severe (1 h) failure per 12 years");
     s
 }
 
@@ -497,7 +495,12 @@ mod synthetic_tests {
             rec(Campaign::A, "fs", "pipe_read", Outcome::NotActivated),
             rec(Campaign::A, "fs", "pipe_read", Outcome::NotManifested),
             rec(Campaign::A, "fs", "pipe_read", crash(c::NULL_POINTER, 5, Severity::Normal, "fs")),
-            rec(Campaign::A, "fs", "sys_read", crash(c::PAGING_REQUEST, 200_000, Severity::Severe, "kernel")),
+            rec(
+                Campaign::A,
+                "fs",
+                "sys_read",
+                crash(c::PAGING_REQUEST, 200_000, Severity::Severe, "kernel"),
+            ),
             rec(Campaign::A, "mm", "do_wp_page", crash(c::GPF, 50, Severity::MostSevere, "mm")),
             rec(Campaign::A, "mm", "do_wp_page", Outcome::Hang),
         ];
@@ -508,9 +511,33 @@ mod synthetic_tests {
             "pipe_read",
             crash(c::INVALID_OP, 3, Severity::Normal, "fs"),
         )];
-        campaigns.insert('A', CampaignResult { campaign: Campaign::A, records: a, functions_injected: 3 });
-        campaigns.insert('B', CampaignResult { campaign: Campaign::B, records: b, functions_injected: 1 });
-        campaigns.insert('C', CampaignResult { campaign: Campaign::C, records: cc, functions_injected: 1 });
+        campaigns.insert(
+            'A',
+            CampaignResult {
+                campaign: Campaign::A,
+                records: a,
+                functions_injected: 3,
+                metrics: Default::default(),
+            },
+        );
+        campaigns.insert(
+            'B',
+            CampaignResult {
+                campaign: Campaign::B,
+                records: b,
+                functions_injected: 1,
+                metrics: Default::default(),
+            },
+        );
+        campaigns.insert(
+            'C',
+            CampaignResult {
+                campaign: Campaign::C,
+                records: cc,
+                functions_injected: 1,
+                metrics: Default::default(),
+            },
+        );
         StudyResult { campaigns, seed: 1 }
     }
 

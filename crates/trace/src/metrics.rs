@@ -1,0 +1,212 @@
+//! The metrics counter registry.
+
+use crate::event::outcome;
+
+/// A log2-bucketed histogram of cycle counts.
+///
+/// Bucket `i` holds values `v` with `2^(i-1) <= v < 2^i` (bucket 0
+/// holds exactly 0). 65 buckets cover the full `u64` range, matching
+/// the paper's decade-style crash-latency buckets (Figure 7) closely
+/// enough to re-derive them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleHist {
+    buckets: [u64; 65],
+}
+
+impl Default for CycleHist {
+    fn default() -> CycleHist {
+        CycleHist { buckets: [0; 65] }
+    }
+}
+
+impl CycleHist {
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Lower bound of a bucket.
+    pub fn bucket_floor(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else {
+            1u64 << (i - 1)
+        }
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Count of values `< bound` (bucket-resolution: exact when `bound`
+    /// is a power of two).
+    pub fn count_below(&self, bound: u64) -> u64 {
+        self.buckets
+            .iter()
+            .enumerate()
+            .take_while(|(i, _)| Self::bucket_floor(*i) < bound)
+            .map(|(_, c)| c)
+            .sum()
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &CycleHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Non-empty `(bucket_floor, count)` pairs, ascending.
+    pub fn nonzero(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (Self::bucket_floor(i), *c))
+            .collect()
+    }
+}
+
+/// Aggregate counters for a rig, a worker, or a whole campaign.
+///
+/// Every field is additive, so [`Metrics::merge`] is commutative and
+/// associative — aggregating per-worker metrics yields bit-identical
+/// results for any thread count and any merge order, which the
+/// thread-invariance tests pin down.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Guest instructions retired during measured runs.
+    pub instructions: u64,
+    /// Fault deliveries by vector number (0..=31).
+    pub faults_by_vector: [u64; 32],
+    /// System calls delivered.
+    pub syscalls: u64,
+    /// Timer interrupts delivered.
+    pub timer_irqs: u64,
+    /// TLB hits during measured runs.
+    pub tlb_hits: u64,
+    /// TLB-miss page-table walks during measured runs.
+    pub tlb_miss_walks: u64,
+    /// Post-boot snapshot restores (one per activated run).
+    pub snapshot_restores: u64,
+    /// Injection runs executed (including not-activated fast-path runs).
+    pub runs: u64,
+    /// Runs short-circuited by the coverage pre-check.
+    pub runs_not_activated: u64,
+    /// Outcome tallies indexed by [`outcome`] code.
+    pub outcomes: [u64; 5],
+    /// Total cycles consumed by measured runs.
+    pub run_cycles_total: u64,
+    /// Distribution of per-run cycle counts.
+    pub run_cycles: CycleHist,
+    /// Distribution of crash latencies (activation → fatal trap).
+    pub crash_latency: CycleHist,
+}
+
+impl Metrics {
+    /// Folds `other` into `self` (pure addition).
+    pub fn merge(&mut self, other: &Metrics) {
+        self.instructions += other.instructions;
+        for (a, b) in self.faults_by_vector.iter_mut().zip(other.faults_by_vector.iter()) {
+            *a += b;
+        }
+        self.syscalls += other.syscalls;
+        self.timer_irqs += other.timer_irqs;
+        self.tlb_hits += other.tlb_hits;
+        self.tlb_miss_walks += other.tlb_miss_walks;
+        self.snapshot_restores += other.snapshot_restores;
+        self.runs += other.runs;
+        self.runs_not_activated += other.runs_not_activated;
+        for (a, b) in self.outcomes.iter_mut().zip(other.outcomes.iter()) {
+            *a += b;
+        }
+        self.run_cycles_total += other.run_cycles_total;
+        self.run_cycles.merge(&other.run_cycles);
+        self.crash_latency.merge(&other.crash_latency);
+    }
+
+    /// Total faults across vectors.
+    pub fn faults(&self) -> u64 {
+        self.faults_by_vector.iter().sum()
+    }
+
+    /// Outcome count by code.
+    pub fn outcome(&self, code: u8) -> u64 {
+        self.outcomes.get(code as usize).copied().unwrap_or(0)
+    }
+
+    /// Records one classified run.
+    pub fn record_outcome(&mut self, code: u8) {
+        if let Some(c) = self.outcomes.get_mut(code as usize) {
+            *c += 1;
+        }
+        if code == outcome::NOT_ACTIVATED {
+            self.runs_not_activated += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hist_buckets() {
+        assert_eq!(CycleHist::bucket_of(0), 0);
+        assert_eq!(CycleHist::bucket_of(1), 1);
+        assert_eq!(CycleHist::bucket_of(2), 2);
+        assert_eq!(CycleHist::bucket_of(3), 2);
+        assert_eq!(CycleHist::bucket_of(4), 3);
+        assert_eq!(CycleHist::bucket_of(u64::MAX), 64);
+        assert_eq!(CycleHist::bucket_floor(0), 0);
+        assert_eq!(CycleHist::bucket_floor(1), 1);
+        assert_eq!(CycleHist::bucket_floor(10), 512);
+    }
+
+    #[test]
+    fn hist_count_below() {
+        let mut h = CycleHist::default();
+        for v in [0, 1, 5, 9, 100, 5000] {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.count_below(16), 4);
+        assert_eq!(h.count_below(1), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        let mut a = Metrics::default();
+        a.instructions = 10;
+        a.faults_by_vector[14] = 3;
+        a.run_cycles.record(100);
+        a.record_outcome(outcome::CRASH);
+        let mut b = Metrics::default();
+        b.instructions = 7;
+        b.faults_by_vector[14] = 1;
+        b.faults_by_vector[6] = 2;
+        b.run_cycles.record(90_000);
+        b.record_outcome(outcome::HANG);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.instructions, 17);
+        assert_eq!(ab.faults(), 6);
+        assert_eq!(ab.outcome(outcome::CRASH), 1);
+        assert_eq!(ab.outcome(outcome::HANG), 1);
+    }
+}

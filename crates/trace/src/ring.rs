@@ -1,0 +1,112 @@
+//! The bounded event ring.
+
+use crate::event::Event;
+
+/// A single-writer, overwrite-oldest event buffer.
+///
+/// "Lock-free-ish": there is exactly one producer (the machine/rig that
+/// owns the sink), so no synchronization exists at all — pushes are an
+/// index increment and a slot write, which is what keeps tracing cheap
+/// enough to leave on during full campaigns. Bounded capacity means a
+/// hung run cannot eat the host's memory; when the ring wraps, the
+/// oldest events are lost and [`EventRing::dropped`] counts them.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<Event>,
+    capacity: usize,
+    written: u64,
+}
+
+impl EventRing {
+    /// A ring keeping the most recent `capacity` events (min 1).
+    pub fn new(capacity: usize) -> EventRing {
+        let capacity = capacity.max(1);
+        EventRing { buf: Vec::with_capacity(capacity.min(4096)), capacity, written: 0 }
+    }
+
+    /// Appends one event, overwriting the oldest once full.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            let slot = (self.written % self.capacity as u64) as usize;
+            self.buf[slot] = ev;
+        }
+        self.written += 1;
+    }
+
+    /// Total events ever pushed.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events lost to wrapping.
+    pub fn dropped(&self) -> u64 {
+        self.written.saturating_sub(self.buf.len() as u64)
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> Vec<Event> {
+        if self.written <= self.capacity as u64 {
+            self.buf.clone()
+        } else {
+            let split = (self.written % self.capacity as u64) as usize;
+            let mut out = Vec::with_capacity(self.buf.len());
+            out.extend_from_slice(&self.buf[split..]);
+            out.extend_from_slice(&self.buf[..split]);
+            out
+        }
+    }
+
+    /// Empties the ring (the written/dropped tallies reset too).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.written = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(tsc: u64) -> Event {
+        Event { tsc, kind: EventKind::WatchdogTick { eip: tsc as u32 } }
+    }
+
+    #[test]
+    fn keeps_most_recent_when_wrapping() {
+        let mut r = EventRing::new(4);
+        for i in 0..10u64 {
+            r.push(ev(i));
+        }
+        let got: Vec<u64> = r.events().iter().map(|e| e.tsc).collect();
+        assert_eq!(got, vec![6, 7, 8, 9]);
+        assert_eq!(r.written(), 10);
+        assert_eq!(r.dropped(), 6);
+    }
+
+    #[test]
+    fn no_wrap_keeps_everything() {
+        let mut r = EventRing::new(16);
+        for i in 0..5u64 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.events().len(), 5);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut r = EventRing::new(2);
+        r.push(ev(1));
+        r.push(ev(2));
+        r.push(ev(3));
+        r.clear();
+        assert!(r.events().is_empty());
+        assert_eq!(r.written(), 0);
+        r.push(ev(4));
+        assert_eq!(r.events().len(), 1);
+    }
+}

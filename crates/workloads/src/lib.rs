@@ -19,9 +19,8 @@ use kfi_kernel::{build_with_runtime, standard_fixtures};
 
 /// The benchmark programs, in run-mode order (mode `i` runs
 /// `WORKLOADS[i]`; mode `0xFF` runs the full suite).
-pub const WORKLOADS: &[&str] = &[
-    "context1", "dhry", "fstime", "hanoi", "looper", "pipe", "spawn", "syscall",
-];
+pub const WORKLOADS: &[&str] =
+    &["context1", "dhry", "fstime", "hanoi", "looper", "pipe", "spawn", "syscall"];
 
 /// Run mode value that runs the complete suite.
 pub const MODE_ALL: u32 = 0xff;
@@ -79,10 +78,7 @@ mod tests {
         let files = suite_files().expect("suite assembles");
         assert!(files.iter().any(|f| f.path == "/init"));
         for w in WORKLOADS {
-            assert!(
-                files.iter().any(|f| f.path == format!("/bin/{w}")),
-                "missing {w}"
-            );
+            assert!(files.iter().any(|f| f.path == format!("/bin/{w}")), "missing {w}");
         }
         assert!(files.iter().any(|f| f.path == "/bin/nulltask"));
         assert!(files.iter().any(|f| f.path == "/bin/runner"));

@@ -15,10 +15,7 @@ fn main() {
         ..Default::default()
     };
     let exp = kfi::core::Experiment::prepare(config).expect("experiment prepares");
-    println!(
-        "targets: {} core functions (95% of kernel activity)",
-        exp.target_functions.len()
-    );
+    println!("targets: {} core functions (95% of kernel activity)", exp.target_functions.len());
     let study = exp.run_all();
     println!("{}", kfi::report::figure4(&study));
     println!("{}", kfi::report::figure6(&study));

@@ -22,7 +22,8 @@ fn main() {
         if let Outcome::Crash(_) = record.outcome {
             println!("injection: reversed branch at {:#010x}\n", t.insn_addr);
             // Show the before/after listing (Table 7 style)...
-            if let Some(cs) = kfi::dump::case_study(&rig.image, t.insn_addr, t.byte_index, t.bit_mask, 10)
+            if let Some(cs) =
+                kfi::dump::case_study(&rig.image, t.insn_addr, t.byte_index, t.bit_mask, 10)
             {
                 println!("{}", cs.format());
             }

@@ -19,7 +19,10 @@ fn main() {
         p.functions.len(),
         p.total_samples
     );
-    println!("{:<28} {:<8} {:>9} {:>10}  hottest workload", "function", "module", "samples", "share");
+    println!(
+        "{:<28} {:<8} {:>9} {:>10}  hottest workload",
+        "function", "module", "samples", "share"
+    );
     let mut cum = 0u64;
     for f in p.top_covering(0.95) {
         cum += f.samples;

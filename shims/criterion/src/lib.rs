@@ -1,0 +1,294 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides
+//! a small, honest wall-clock benchmark harness with criterion's API
+//! shape: [`criterion_group!`]/[`criterion_main!`], `bench_function`,
+//! benchmark groups with `sample_size`/`throughput`, and [`black_box`].
+//!
+//! Measurement model: each benchmark is warmed up for ~3 iterations or
+//! 0.5 s (whichever first), then timed for `sample_size` samples; the
+//! report prints mean and min time per iteration plus elements/second
+//! when a [`Throughput`] was set. Passing `--test` (what `cargo test
+//! --benches` does) runs each closure exactly once without timing, like
+//! real criterion's test mode. Passing `--save-baseline NAME` /
+//! `--baseline NAME` stores / compares mean ns-per-iter under
+//! `target/shim-criterion/` so before/after comparisons work offline.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    mode: Mode,
+    samples: &'a mut Vec<Duration>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    Measure { sample_size: usize },
+    TestOnce,
+}
+
+impl Bencher<'_> {
+    /// Runs `f` under the timing loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        match self.mode {
+            Mode::TestOnce => {
+                black_box(f());
+            }
+            Mode::Measure { sample_size } => {
+                // Warmup: at least 3 iters, stop early after 500 ms.
+                let warm_start = Instant::now();
+                for _ in 0..3 {
+                    black_box(f());
+                    if warm_start.elapsed() > Duration::from_millis(500) {
+                        break;
+                    }
+                }
+                for _ in 0..sample_size {
+                    let t0 = Instant::now();
+                    black_box(f());
+                    self.samples.push(t0.elapsed());
+                }
+            }
+        }
+    }
+}
+
+/// The benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    test_mode: bool,
+    save_baseline: Option<String>,
+    compare_baseline: Option<String>,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let args: Vec<String> = std::env::args().collect();
+        let flag_value =
+            |name: &str| args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned();
+        let mut filter = None;
+        let mut i = 1;
+        while i < args.len() {
+            let a = &args[i];
+            if a == "--save-baseline" || a == "--baseline" {
+                i += 2;
+                continue;
+            }
+            if !a.starts_with('-') {
+                filter = Some(a.clone());
+                break;
+            }
+            i += 1;
+        }
+        Criterion {
+            test_mode: args.iter().any(|a| a == "--test"),
+            save_baseline: flag_value("--save-baseline"),
+            compare_baseline: flag_value("--baseline"),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors real criterion's builder hook; a no-op here.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        run_bench(self, id, None, 20, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing settings (subset of criterion's).
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let (sample_size, throughput) = (self.sample_size, self.throughput);
+        run_bench(self.criterion, &full, throughput, sample_size, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn baseline_path(name: &str, id: &str) -> std::path::PathBuf {
+    let sanitized: String =
+        id.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    std::path::Path::new("target").join("shim-criterion").join(name).join(format!("{sanitized}.ns"))
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    c: &mut Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+    mut f: F,
+) {
+    if let Some(filter) = &c.filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut samples = Vec::new();
+    let mode = if c.test_mode { Mode::TestOnce } else { Mode::Measure { sample_size } };
+    let mut b = Bencher { mode, samples: &mut samples };
+    f(&mut b);
+    if c.test_mode {
+        println!("{id}: test mode, ran once");
+        return;
+    }
+    if samples.is_empty() {
+        println!("{id}: no samples (closure never called iter)");
+        return;
+    }
+    let ns: Vec<f64> = samples.iter().map(|d| d.as_nanos() as f64).collect();
+    let mean = ns.iter().sum::<f64>() / ns.len() as f64;
+    let min = ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let human = |x: f64| {
+        if x >= 1e9 {
+            format!("{:.3} s", x / 1e9)
+        } else if x >= 1e6 {
+            format!("{:.3} ms", x / 1e6)
+        } else if x >= 1e3 {
+            format!("{:.3} µs", x / 1e3)
+        } else {
+            format!("{x:.1} ns")
+        }
+    };
+    let mut line =
+        format!("{id}: mean {} / min {} per iter ({} samples)", human(mean), human(min), ns.len());
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            line.push_str(&format!(", {:.1} Melem/s", n as f64 / mean * 1e3));
+        }
+        Some(Throughput::Bytes(n)) => {
+            line.push_str(&format!(", {:.1} MiB/s", n as f64 / mean * 1e9 / (1 << 20) as f64));
+        }
+        None => {}
+    }
+    if let Some(base) = &c.compare_baseline {
+        if let Ok(prev) = std::fs::read_to_string(baseline_path(base, id)) {
+            if let Ok(prev) = prev.trim().parse::<f64>() {
+                let delta = (mean - prev) / prev * 100.0;
+                line.push_str(&format!(", {delta:+.2}% vs baseline '{base}'"));
+            }
+        }
+    }
+    println!("{line}");
+    if let Some(base) = &c.save_baseline {
+        let path = baseline_path(base, id);
+        if let Some(dir) = path.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        let _ = std::fs::write(&path, format!("{mean}\n"));
+    }
+}
+
+/// Declares a function running a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion {
+            test_mode: false,
+            save_baseline: None,
+            compare_baseline: None,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(5).throughput(Throughput::Elements(10));
+        g.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(calls)
+            })
+        });
+        g.finish();
+        // 3 warmup + 5 samples.
+        assert_eq!(calls, 8);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            save_baseline: None,
+            compare_baseline: None,
+            filter: None,
+        };
+        let mut calls = 0u64;
+        c.bench_function("once", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+}

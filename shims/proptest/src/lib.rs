@@ -1,0 +1,466 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest the workspace's property tests
+//! use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(...)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`],
+//! * [`any`]`::<T>()` for integers and `bool`,
+//! * half-open ranges as strategies (`0usize..200`),
+//! * tuples of strategies, [`collection::vec`], `prop_map`,
+//! * `&str` character-class patterns of the shape `[a-z]{m,n}`.
+//!
+//! Differences from real proptest, on purpose: no shrinking (a failure
+//! reports the deterministic case index instead), and generation uses a
+//! fixed internal seed so failures are exactly reproducible run-to-run
+//! — the same property the rest of this repository guarantees for its
+//! experiments.
+
+#![forbid(unsafe_code)]
+
+/// Per-test configuration (subset of `proptest::test_runner::Config`).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Real proptest defaults to 256; that is also affordable here.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic generation state handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG for one case of one property. The function name keeps
+    /// different properties on different streams.
+    pub fn for_case(name: &str, case: u32) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        let mut sm = h;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        TestRng { s: [next(), next(), next(), next()] }
+    }
+
+    /// Next raw 64 random bits (xoshiro256**).
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound > 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        let span = bound as u128;
+        let mut m = (self.next_u64() as u128).wrapping_mul(span);
+        if (m as u64 as u128) < span {
+            let t = (u64::MAX as u128 + 1 - span) % span;
+            while (m as u64 as u128) < t {
+                m = (self.next_u64() as u128).wrapping_mul(span);
+            }
+        }
+        (m >> 64) as u64
+    }
+}
+
+/// A value generator (subset of `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy type returned by [`any`].
+    type Strategy: Strategy<Value = Self>;
+    /// The full-range strategy for the type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (subset of `proptest::arbitrary::any`).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Full-range strategy for a primitive (returned by [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyPrim<T>(std::marker::PhantomData<T>);
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyPrim<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+        impl Arbitrary for $t {
+            type Strategy = AnyPrim<$t>;
+            fn arbitrary() -> AnyPrim<$t> {
+                AnyPrim(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for AnyPrim<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyPrim<bool>;
+    fn arbitrary() -> AnyPrim<bool> {
+        AnyPrim(std::marker::PhantomData)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0);
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+
+/// `&str` patterns of the shape `[a-z]{m,n}` (plus plain literals):
+/// the only regex forms the workspace's tests use.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let s = *self;
+        if let Some(parsed) = parse_class_pattern(s) {
+            let (lo, hi, chars) = parsed;
+            let n = lo + rng.below((hi - lo + 1) as u64) as usize;
+            (0..n).map(|_| chars[rng.below(chars.len() as u64) as usize]).collect()
+        } else {
+            s.to_string()
+        }
+    }
+}
+
+/// Parses `[x-y...]{m,n}` into (m, n, expanded character set).
+fn parse_class_pattern(s: &str) -> Option<(usize, usize, Vec<char>)> {
+    let rest = s.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class = &rest[..close];
+    let counts = rest[close + 1..].strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = counts.parse().ok()?;
+            (n, n)
+        }
+    };
+    let mut chars = Vec::new();
+    let cs: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < cs.len() {
+        if i + 2 < cs.len() && cs[i + 1] == '-' {
+            let (a, b) = (cs[i] as u32, cs[i + 2] as u32);
+            for c in a..=b {
+                chars.push(char::from_u32(c)?);
+            }
+            i += 3;
+        } else {
+            chars.push(cs[i]);
+            i += 1;
+        }
+    }
+    if chars.is_empty() || lo > hi {
+        return None;
+    }
+    Some((lo, hi, chars))
+}
+
+/// Collection strategies (subset of `proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// `Vec` strategy over `element` with length in `len` (half-open).
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(len.start < len.end, "empty vec length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start) as u64;
+            let n = self.len.start + rng.below(span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a test usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, collection, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case
+/// fails with the stringified condition (plus optional format args).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(), line!(), format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed at {}:{}: `{} == {}`\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return Err(format!(
+                "assertion failed at {}:{}: `{} == {}` ({})\n  left: {:?}\n right: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right),
+                format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed at {}:{}: `{} != {}`\n  both: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return Err(format!(
+                "assertion failed at {}:{}: `{} != {}` ({})\n  both: {:?}",
+                file!(), line!(), stringify!($left), stringify!($right),
+                format!($($fmt)+), l
+            ));
+        }
+    }};
+}
+
+/// Defines property tests. Grammar (matching real proptest):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     #[test]
+///     fn name(x in strategy, y in strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            for case in 0..cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let result: ::std::result::Result<(), ::std::string::String> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(msg) = result {
+                    panic!(
+                        "proptest {} failed at case {}/{}:\n{}",
+                        stringify!($name), case, cfg.cases, msg
+                    );
+                }
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn class_pattern_parses() {
+        let (lo, hi, chars) = super::parse_class_pattern("[a-c]{1,8}").unwrap();
+        assert_eq!((lo, hi), (1, 8));
+        assert_eq!(chars, vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let s = collection::vec(any::<u8>(), 1..64);
+        let a = Strategy::generate(&s, &mut super::TestRng::for_case("x", 3));
+        let b = Strategy::generate(&s, &mut super::TestRng::for_case("x", 3));
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10usize..20, y in 0u32..3) {
+            prop_assert!(x >= 10 && x < 20);
+            prop_assert!(y < 3, "y = {}", y);
+        }
+
+        #[test]
+        fn vec_and_tuple_and_map(
+            v in collection::vec((any::<u8>(), any::<bool>()), 2..5),
+            s in "[a-z]{1,8}",
+            w in collection::vec(any::<u8>(), 0..4).prop_map(|v| v.len()),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            prop_assert!(!s.is_empty() && s.len() <= 8);
+            prop_assert!(s.bytes().all(|b| b.is_ascii_lowercase()));
+            prop_assert!(w < 4);
+            prop_assert_ne!(v.len(), 0);
+            prop_assert_eq!(v.len(), v.len());
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The workspace builds in an air-gapped environment with no crates.io
+//! mirror, so this crate provides the (small) subset of the `rand 0.8`
+//! API the reproduction actually uses: [`rngs::StdRng`], seeded via
+//! [`SeedableRng::seed_from_u64`], drawing values with
+//! [`Rng::gen_range`]. The generator is xoshiro256** seeded through
+//! SplitMix64 — a different stream than the real `StdRng` (ChaCha12),
+//! but every property the experiments rely on holds: deterministic for
+//! a fixed seed, platform-independent, and statistically unbiased for
+//! range sampling.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+
+/// Types that can be sampled uniformly from a [`Range`].
+pub trait SampleUniform: Copy {
+    /// Draws one value in `range` (half-open) from `rng`.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "empty gen_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Debiased multiply-shift (Lemire): uniform over `span`.
+                let mut x = rng.next_u64() as u128;
+                let mut m = x.wrapping_mul(span);
+                let mut lo = m as u64 as u128;
+                if lo < span {
+                    let t = (u64::MAX as u128 + 1 - span) % span;
+                    while lo < t {
+                        x = rng.next_u64() as u128;
+                        m = x.wrapping_mul(span);
+                        lo = m as u64 as u128;
+                    }
+                }
+                let off = (m >> 64) as i128;
+                (range.start as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The user-facing random-value interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_range(self, range)
+    }
+
+    /// A uniformly random `bool`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of RNGs from seeds (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Named generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (xoshiro256** under the hood).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(2003);
+        let mut b = StdRng::seed_from_u64(2003);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_in_bounds_and_covers() {
+        let mut r = StdRng::seed_from_u64(7);
+        let mut seen = [false; 8];
+        for _ in 0..400 {
+            let v: usize = r.gen_range(0..8);
+            assert!(v < 8);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|s| *s), "all 8 values hit: {seen:?}");
+        for _ in 0..100 {
+            let v = r.gen_range(10u32..11);
+            assert_eq!(v, 10);
+        }
+    }
+
+    #[test]
+    fn works_through_mut_ref() {
+        fn take<R: Rng>(rng: &mut R) -> u64 {
+            rng.gen_range(0u64..1000)
+        }
+        let mut r = StdRng::seed_from_u64(9);
+        let _ = take(&mut r);
+    }
+}

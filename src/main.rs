@@ -22,10 +22,7 @@ USAGE:
 ";
 
 fn arg_val(args: &[String], name: &str) -> Option<String> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .cloned()
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
 }
 
 fn main() {
@@ -93,7 +90,9 @@ fn cmd_inject(args: &[String]) {
     let faddr = rig.image.program.symbols.addr_of(function).expect("checked");
     let mode = arg_val(args, "--mode")
         .and_then(|v| v.parse().ok())
-        .or_else(|| (0..kfi::workloads::WORKLOADS.len() as u32).find(|m| rig.would_activate(faddr, *m)))
+        .or_else(|| {
+            (0..kfi::workloads::WORKLOADS.len() as u32).find(|m| rig.would_activate(faddr, *m))
+        })
         .unwrap_or(0);
     println!(
         "injecting campaign {} into {function} under workload {}",
@@ -136,10 +135,7 @@ fn cmd_disasm(args: &[String]) {
         eprintln!("disasm: unknown function `{function}`");
         return;
     };
-    let bytes = image
-        .program
-        .slice_at(sym.value, sym.size as usize)
-        .expect("function bytes");
+    let bytes = image.program.slice_at(sym.value, sym.size as usize).expect("function bytes");
     println!(
         "{} ({}), {} bytes at {:#010x}:",
         sym.name,
@@ -154,16 +150,9 @@ fn cmd_report(args: &[String]) {
     let cap = if args.iter().any(|a| a == "--full") {
         None
     } else {
-        Some(
-            arg_val(args, "--cap")
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(12),
-        )
+        Some(arg_val(args, "--cap").and_then(|v| v.parse().ok()).unwrap_or(12))
     };
-    let config = kfi::core::ExperimentConfig {
-        max_per_function: cap,
-        ..Default::default()
-    };
+    let config = kfi::core::ExperimentConfig { max_per_function: cap, ..Default::default() };
     let exp = kfi::core::Experiment::prepare(config).expect("experiment prepares");
     let study = exp.run_all();
     println!(

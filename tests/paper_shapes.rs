@@ -25,11 +25,7 @@ fn study() -> &'static (Experiment, kfi::core::StudyResult) {
 
 fn all_records() -> Vec<RunRecord> {
     let (_, study) = study();
-    study
-        .campaigns
-        .values()
-        .flat_map(|c| c.records.iter().cloned())
-        .collect()
+    study.campaigns.values().flat_map(|c| c.records.iter().cloned()).collect()
 }
 
 #[test]
@@ -54,18 +50,8 @@ fn campaign_b_has_most_not_manifested() {
     // Paper: B's not-manifested (47.5%) far exceeds A's and C's (~33%).
     let (_, study) = study();
     let nm = |l: char| study.campaigns[&l].total().pct_not_manifested();
-    assert!(
-        nm('B') > nm('A'),
-        "B NM {:.1}% must exceed A NM {:.1}%",
-        nm('B'),
-        nm('A')
-    );
-    assert!(
-        nm('B') > nm('C'),
-        "B NM {:.1}% must exceed C NM {:.1}%",
-        nm('B'),
-        nm('C')
-    );
+    assert!(nm('B') > nm('A'), "B NM {:.1}% must exceed A NM {:.1}%", nm('B'), nm('A'));
+    assert!(nm('B') > nm('C'), "B NM {:.1}% must exceed C NM {:.1}%", nm('B'), nm('C'));
 }
 
 #[test]
@@ -105,8 +91,7 @@ fn campaign_c_crashes_are_dominated_by_invalid_opcode() {
     let paging = |l: char| {
         let cc = stats::crash_causes(&study.campaigns[&l].records);
         let total: usize = cc.values().sum();
-        100.0 * cc.get(&causes::PAGING_REQUEST).copied().unwrap_or(0) as f64
-            / total.max(1) as f64
+        100.0 * cc.get(&causes::PAGING_REQUEST).copied().unwrap_or(0) as f64 / total.max(1) as f64
     };
     assert!(
         paging('C') < paging('A'),
@@ -124,10 +109,7 @@ fn many_crashes_are_immediate_and_some_are_late() {
     let total: usize = h.iter().sum();
     assert!(total > 50, "too few crashes to check latency: {total}");
     let under10 = 100.0 * h[0] as f64 / total as f64;
-    assert!(
-        (20.0..=85.0).contains(&under10),
-        "<10-cycle share {under10:.1}% implausible"
-    );
+    assert!((20.0..=85.0).contains(&under10), "<10-cycle share {under10:.1}% implausible");
     assert!(h[4] + h[5] > 0, "no long-latency crashes at all");
 }
 
@@ -138,11 +120,7 @@ fn propagation_is_minority_and_fs_mostly_self_crashes() {
     assert!(overall < 20.0, "propagation {overall:.1}% too high");
     let p = stats::propagation(&records, "fs");
     assert!(p.total_crashes > 10);
-    assert!(
-        p.self_share("fs") > 50.0,
-        "fs self-crash share {:.1}%",
-        p.self_share("fs")
-    );
+    assert!(p.self_share("fs") > 50.0, "fs self-crash share {:.1}%", p.self_share("fs"));
 }
 
 #[test]
