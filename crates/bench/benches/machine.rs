@@ -3,9 +3,10 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use kfi_machine::{Machine, MachineConfig};
 
-fn tight_loop_machine() -> Machine {
+fn tight_loop_machine_with(decode_cache: bool) -> Machine {
     // 1M-iteration dec/jnz loop + cli/hlt.
-    let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+    let mut m =
+        Machine::new(MachineConfig { timer_enabled: false, decode_cache, ..Default::default() });
     m.mem.load(
         0x1000,
         &[
@@ -20,6 +21,10 @@ fn tight_loop_machine() -> Machine {
     m
 }
 
+fn tight_loop_machine() -> Machine {
+    tight_loop_machine_with(true)
+}
+
 fn bench_machine(c: &mut Criterion) {
     let mut g = c.benchmark_group("machine");
     g.sample_size(10);
@@ -27,6 +32,14 @@ fn bench_machine(c: &mut Criterion) {
     g.bench_function("interpret_2M_insns", |b| {
         b.iter(|| {
             let mut m = tight_loop_machine();
+            assert_eq!(m.run(u64::MAX / 2), kfi_machine::RunExit::Halted);
+            criterion::black_box(m.counters().instructions)
+        })
+    });
+    // The decode-cache ablation: every fetch pays the full decoder.
+    g.bench_function("interpret_2M_insns_no_decode_cache", |b| {
+        b.iter(|| {
+            let mut m = tight_loop_machine_with(false);
             assert_eq!(m.run(u64::MAX / 2), kfi_machine::RunExit::Halted);
             criterion::black_box(m.counters().instructions)
         })
@@ -73,9 +86,21 @@ fn bench_machine(c: &mut Criterion) {
     let m = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
     let snap = m.snapshot();
     let mut m2 = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
+    // After the first restore syncs the dirty tracking, back-to-back
+    // restores against the same snapshot copy only dirtied pages.
     c.bench_function("snapshot_restore_8MiB", |b| {
         b.iter(|| {
             m2.restore(&snap);
+            criterion::black_box(m2.cpu.eip)
+        })
+    });
+    // Alternating two snapshots defeats the dirty tracking, so every
+    // restore pays the full O(memory) copy — the pre-optimization cost.
+    let snap_b = m.snapshot();
+    c.bench_function("snapshot_restore_8MiB_full", |b| {
+        b.iter(|| {
+            m2.restore(&snap);
+            m2.restore(&snap_b);
             criterion::black_box(m2.cpu.eip)
         })
     });

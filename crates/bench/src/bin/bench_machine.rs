@@ -1,0 +1,158 @@
+//! Emits `BENCH_machine.json`: the machine-core performance baseline
+//! (exec-loop MIPS with the decode cache on/off, per-run snapshot
+//! restore cost full vs dirty-tracked, and small-campaign wall clock at
+//! 1 and 4 worker threads).
+//!
+//! `--check` runs a scaled-down version of every measurement, prints
+//! the JSON to stdout and writes nothing — the CI smoke mode. Without
+//! it, the JSON lands in `BENCH_machine.json` in the current directory.
+
+use kfi_core::{Experiment, ExperimentConfig};
+use kfi_injector::Campaign;
+use kfi_machine::{Machine, MachineConfig, RunExit};
+use kfi_profiler::ProfilerConfig;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The bench workload: a register-ALU loop heavy on multi-byte
+/// encodings (imm32 forms, modrm+sib+disp8), so per-fetch decode cost
+/// is a realistic share of the interpreter's work.
+fn alu_loop_machine(iters: u32, decode_cache: bool) -> Machine {
+    let mut m =
+        Machine::new(MachineConfig { timer_enabled: false, decode_cache, ..Default::default() });
+    let mut code = vec![0xb9]; // mov ecx, iters
+    code.extend_from_slice(&iters.to_le_bytes());
+    code.extend_from_slice(&[
+        // loop:
+        0x05, 0x78, 0x56, 0x34, 0x12, // add eax, 0x12345678
+        0x8d, 0x54, 0x98, 0x44, // lea edx, [eax+ebx*4+0x44]
+        0x35, 0x0f, 0x0f, 0x0f, 0x0f, // xor eax, 0x0f0f0f0f
+        0x81, 0xc3, 0x01, 0x00, 0x00, 0x00, // add ebx, 1
+        0x31, 0xd0, // xor eax, edx
+        0x49, // dec ecx
+        0x75, 0xe7, // jnz loop
+        0xfa, 0xf4, // cli; hlt
+    ]);
+    m.mem.load(0x1000, &code);
+    m.cpu.eip = 0x1000;
+    m.cpu.set_reg(4, 0x8000);
+    m
+}
+
+/// Interprets the ALU loop and returns (MIPS, instructions retired).
+fn measure_mips(iters: u32, decode_cache: bool) -> (f64, u64) {
+    let mut m = alu_loop_machine(iters, decode_cache);
+    let t = Instant::now();
+    assert_eq!(m.run(u64::MAX / 2), RunExit::Halted);
+    let dt = t.elapsed().as_secs_f64();
+    let insns = m.counters().instructions;
+    (insns as f64 / dt / 1e6, insns)
+}
+
+/// Measures per-restore cost in microseconds against a booted kernel
+/// snapshot: `full` alternates two snapshots (every restore copies all
+/// of physical memory), `dirty` reuses one snapshot with guest work in
+/// between (every restore copies only the pages that work dirtied).
+/// Returns (full_us, dirty_us, dirty_pages_per_run).
+fn measure_restore(reps: u32) -> (f64, f64, u32) {
+    let image = kfi_kernel::build_kernel(Default::default()).expect("kernel builds");
+    let files = kfi_workloads::suite_files().expect("workloads build");
+    let fsimg = kfi_kernel::mkfs(2048, &files);
+    let m = kfi_kernel::boot(&image, fsimg.disk.clone(), &Default::default());
+    let snap_a = m.snapshot();
+    let snap_b = m.snapshot();
+
+    let mut m = kfi_kernel::boot(&image, fsimg.disk, &Default::default());
+    let t = Instant::now();
+    for _ in 0..reps {
+        m.restore(&snap_a);
+        m.restore(&snap_b);
+    }
+    let full_us = t.elapsed().as_secs_f64() * 1e6 / (2 * reps) as f64;
+
+    m.restore(&snap_a); // sync the dirty tracking to snap_a
+    let mut dirty_time = 0.0;
+    let mut dirty_pages = 0u64;
+    for _ in 0..reps {
+        let _ = m.run(50_000);
+        dirty_pages += u64::from(m.dirty_page_count());
+        let t = Instant::now();
+        m.restore(&snap_a);
+        dirty_time += t.elapsed().as_secs_f64();
+    }
+    (full_us, dirty_time * 1e6 / reps as f64, (dirty_pages / u64::from(reps)) as u32)
+}
+
+/// Wall-clock seconds for one campaign A at the given thread count.
+fn measure_campaign(exp: &Experiment, threads: usize) -> f64 {
+    let exp = Experiment {
+        config: ExperimentConfig { threads, ..exp.config.clone() },
+        image: exp.image.clone(),
+        files: exp.files.clone(),
+        profile: exp.profile.clone(),
+        target_functions: exp.target_functions.clone(),
+    };
+    let t = Instant::now();
+    let r = exp.run_campaign(Campaign::A);
+    assert!(r.metrics.runs > 0);
+    t.elapsed().as_secs_f64()
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let (loop_iters, restore_reps, cap) = if check { (20_000, 8, 1) } else { (500_000, 64, 4) };
+
+    eprintln!("[bench_machine] exec loop ({loop_iters} iterations)...");
+    let (mips_off, insns) = measure_mips(loop_iters, false);
+    let (mips_on, insns_on) = measure_mips(loop_iters, true);
+    assert_eq!(insns, insns_on, "cache must not change the instruction count");
+    let exec_speedup = mips_on / mips_off;
+
+    eprintln!("[bench_machine] snapshot restore ({restore_reps} reps)...");
+    let (full_us, dirty_us, dirty_pages) = measure_restore(restore_reps);
+    let restore_speedup = full_us / dirty_us;
+
+    eprintln!("[bench_machine] campaign A wall clock (cap {cap})...");
+    let exp = Experiment::prepare(ExperimentConfig {
+        seed: 2003,
+        max_per_function: Some(cap),
+        threads: 1,
+        profiler: ProfilerConfig { period: 501, budget: 200_000_000 },
+        ..Default::default()
+    })
+    .expect("experiment prepares");
+    let wall_1 = measure_campaign(&exp, 1);
+    let wall_4 = measure_campaign(&exp, 4);
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"machine\",");
+    let _ = writeln!(json, "  \"mode\": \"{}\",", if check { "check" } else { "full" });
+    let _ = writeln!(json, "  \"exec_loop\": {{");
+    let _ = writeln!(json, "    \"instructions\": {insns},");
+    let _ = writeln!(json, "    \"mips_cache_off\": {mips_off:.1},");
+    let _ = writeln!(json, "    \"mips_cache_on\": {mips_on:.1},");
+    let _ = writeln!(json, "    \"speedup\": {exec_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"snapshot_restore\": {{");
+    let _ = writeln!(json, "    \"phys_mem_bytes\": {},", 8 << 20);
+    let _ = writeln!(json, "    \"full_restore_us\": {full_us:.1},");
+    let _ = writeln!(json, "    \"dirty_restore_us\": {dirty_us:.1},");
+    let _ = writeln!(json, "    \"dirty_pages_per_run\": {dirty_pages},");
+    let _ = writeln!(json, "    \"speedup\": {restore_speedup:.2}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"campaign\": {{");
+    let _ = writeln!(json, "    \"seed\": 2003,");
+    let _ = writeln!(json, "    \"cap\": {cap},");
+    let _ = writeln!(json, "    \"wall_s_threads_1\": {wall_1:.2},");
+    let _ = writeln!(json, "    \"wall_s_threads_4\": {wall_4:.2}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+
+    if check {
+        print!("{json}");
+        eprintln!("[bench_machine] check ok (speedups: exec {exec_speedup:.2}x, restore {restore_speedup:.2}x)");
+    } else {
+        std::fs::write("BENCH_machine.json", &json).expect("write BENCH_machine.json");
+        eprintln!("[bench_machine] wrote BENCH_machine.json (exec {exec_speedup:.2}x, restore {restore_speedup:.2}x)");
+    }
+}

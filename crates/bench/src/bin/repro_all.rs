@@ -1,5 +1,6 @@
 //! Regenerates every table and figure in one run and dumps the raw
-//! dataset as CSV on stdout when `--csv` is given.
+//! dataset (run records, then per-campaign execution metrics) as CSV
+//! on stdout when `--csv` is given.
 
 fn main() {
     let opts = kfi_bench::ReproOptions::from_args();
@@ -17,5 +18,9 @@ fn main() {
             .flat_map(|c| c.records.iter().map(kfi_core::RecordRow::from_record))
             .collect();
         println!("{}", kfi_core::to_csv(&rows));
+        println!(
+            "{}",
+            kfi_core::metrics_to_csv(study.campaigns.iter().map(|(c, r)| (*c, &r.metrics)))
+        );
     }
 }

@@ -1,6 +1,7 @@
 //! Flat, serializable run records for dataset export (CSV lines).
 
 use kfi_injector::{Outcome, RunRecord};
+use kfi_trace::Metrics;
 
 /// One flattened run record.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,6 +100,47 @@ pub fn to_csv(rows: &[RecordRow]) -> String {
     s
 }
 
+/// CSV header matching [`metrics_csv_line`]: one row of campaign
+/// execution metrics (the `CampaignResult::metrics` aggregate).
+pub const METRICS_CSV_HEADER: &str = "campaign,runs,runs_not_activated,snapshot_restores,instructions,faults,syscalls,timer_irqs,tlb_hits,tlb_miss_walks,decode_hits,decode_misses,decode_invalidations,dirty_pages,run_cycles_total";
+
+/// Renders one campaign's merged [`Metrics`] as a CSV line.
+pub fn metrics_csv_line(campaign: char, m: &Metrics) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        campaign,
+        m.runs,
+        m.runs_not_activated,
+        m.snapshot_restores,
+        m.instructions,
+        m.faults(),
+        m.syscalls,
+        m.timer_irqs,
+        m.tlb_hits,
+        m.tlb_miss_walks,
+        m.decode_hits,
+        m.decode_misses,
+        m.decode_invalidations,
+        m.dirty_pages,
+        m.run_cycles_total
+    )
+}
+
+/// Renders per-campaign metrics as a CSV table, campaigns in the given
+/// order.
+pub fn metrics_to_csv<'a, I>(campaigns: I) -> String
+where
+    I: IntoIterator<Item = (char, &'a Metrics)>,
+{
+    let mut s = String::from(METRICS_CSV_HEADER);
+    s.push('\n');
+    for (c, m) in campaigns {
+        s.push_str(&metrics_csv_line(c, m));
+        s.push('\n');
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -131,5 +173,22 @@ mod tests {
         let line = lines.next().unwrap();
         assert!(line.starts_with("B,schedule,kernel,0xc0102000,1,0x40,3,not_manifested"));
         assert_eq!(line.split(',').count(), CSV_HEADER.split(',').count());
+    }
+
+    #[test]
+    fn metrics_csv_shape() {
+        let mut m = Metrics::default();
+        m.runs = 4;
+        m.instructions = 1_000;
+        m.decode_hits = 800;
+        m.decode_misses = 200;
+        m.dirty_pages = 16;
+        let csv = metrics_to_csv([('A', &m)]);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some(METRICS_CSV_HEADER));
+        let line = lines.next().unwrap();
+        assert_eq!(line.split(',').count(), METRICS_CSV_HEADER.split(',').count());
+        assert!(line.starts_with("A,4,"));
+        assert!(line.contains(",800,200,"));
     }
 }

@@ -14,7 +14,7 @@ pub mod experiment;
 pub mod setup;
 pub mod stats;
 
-pub use dataset::{to_csv, RecordRow};
+pub use dataset::{metrics_to_csv, to_csv, RecordRow, METRICS_CSV_HEADER};
 pub use experiment::{
     CampaignResult, Experiment, ExperimentConfig, StudyResult, INJECTED_SUBSYSTEMS,
 };

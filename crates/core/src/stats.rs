@@ -112,20 +112,11 @@ pub fn four_major_causes_share(records: &[RunRecord]) -> f64 {
     pct(four, total)
 }
 
-/// Crash-latency buckets in cycles (Figure 7's x axis).
-pub const LATENCY_BUCKETS: [(u64, &str); 6] = [
-    (10, "<10"),
-    (100, "10-100"),
-    (1_000, "100-1k"),
-    (10_000, "1k-10k"),
-    (100_000, "10k-100k"),
-    (u64::MAX, ">100k"),
-];
-
-/// Buckets a latency value.
-pub fn latency_bucket(latency: u64) -> usize {
-    LATENCY_BUCKETS.iter().position(|(hi, _)| latency < *hi).unwrap_or(LATENCY_BUCKETS.len() - 1)
-}
+// The bucket boundaries live in `kfi_trace::latency` — the single
+// definition shared with the rig's metrics-side histogram — and are
+// re-exported here so record-level and metrics-level latency figures
+// can never drift apart.
+pub use kfi_trace::latency::{latency_bucket, LATENCY_BUCKETS};
 
 /// Latency histogram over crashes, optionally filtered by injected
 /// subsystem.

@@ -114,7 +114,7 @@ impl Outcome {
 }
 
 /// A complete record of one injection run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunRecord {
     /// What was injected.
     pub target: InjectionTarget,

@@ -23,11 +23,20 @@ pub struct RigConfig {
     /// subtracted from raw crash latencies (paper §5.3). The trap
     /// delivery itself costs a fixed 40 cycles in the machine model.
     pub switch_overhead: u64,
+    /// Whether the machine's decoded-instruction cache is enabled
+    /// (default true; the off position is the reference path for the
+    /// cached-vs-uncached equivalence tests).
+    pub decode_cache: bool,
 }
 
 impl Default for RigConfig {
     fn default() -> RigConfig {
-        RigConfig { budget_factor: 6, budget_slack: 2_000_000, switch_overhead: 0 }
+        RigConfig {
+            budget_factor: 6,
+            budget_slack: 2_000_000,
+            switch_overhead: 0,
+            decode_cache: true,
+        }
     }
 }
 
@@ -171,7 +180,8 @@ impl InjectorRig {
     ) -> Result<InjectorRig, RigError> {
         let fsimg = kfi_kernel::mkfs(2048, files);
         let manifest = fsimg.manifest.clone();
-        let mut m = boot(&image, fsimg.disk, &BootConfig::default());
+        let boot_config = BootConfig { decode_cache: config.decode_cache, ..Default::default() };
+        let mut m = boot(&image, fsimg.disk, &boot_config);
 
         // Run to the snapshot point: the runner announcing itself (all
         // of init's own risky setup — fork, exec, file reads — is behind
@@ -337,8 +347,10 @@ impl InjectorRig {
 
         self.reset_to_snapshot(mode);
         self.metrics.snapshot_restores += 1;
-        // TLB stats are cumulative across restores; diff around the run.
-        let (tlb_hits_0, tlb_miss_0) = self.machine.tlb_stats();
+        // TLB and decode-cache stats are cumulative across restores;
+        // diff around the run.
+        let tlb_0 = self.machine.tlb_stats();
+        let dec_0 = self.machine.decode_stats();
         let golden_cycles = self.golden[mode as usize].cycles;
         let budget = golden_cycles * self.config.budget_factor + self.config.budget_slack;
         let start = self.snapshot_tsc();
@@ -372,7 +384,7 @@ impl InjectorRig {
             // determinism forbids; classify conservatively.
             _ => {
                 let run_cycles = self.machine.cpu.tsc - start;
-                self.absorb_run_counters(tlb_hits_0, tlb_miss_0);
+                self.absorb_run_counters(tlb_0, dec_0);
                 self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
                 self.metrics.run_cycles.record(run_cycles);
                 self.metrics.run_cycles_total += run_cycles;
@@ -397,7 +409,7 @@ impl InjectorRig {
         // the machine (resetting the TSC and its counters).
         let end_tsc = self.machine.cpu.tsc;
         let run_cycles = end_tsc.saturating_sub(start);
-        self.absorb_run_counters(tlb_hits_0, tlb_miss_0);
+        self.absorb_run_counters(tlb_0, dec_0);
 
         // Keep the severity-assessment reboot out of the timeline.
         let sink = self.machine.take_trace_sink();
@@ -410,7 +422,7 @@ impl InjectorRig {
         self.metrics.run_cycles_total += run_cycles;
         self.machine.trace_sink_mut().emit(end_tsc, EventKind::OutcomeClassified { code });
         if let Outcome::Crash(info) = &outcome {
-            self.metrics.crash_latency.record(info.latency);
+            self.metrics.record_crash_latency(info.latency);
             let from = trace_subsystem::id(&target.subsystem);
             let to = trace_subsystem::id(&info.subsystem);
             if from != to {
@@ -429,10 +441,12 @@ impl InjectorRig {
         }
     }
 
-    /// Folds the machine's per-run execution counters and the TLB delta
-    /// since `(tlb_hits_0, tlb_miss_0)` into the rig metrics. Must run
-    /// before classification: severity assessment reboots the machine.
-    fn absorb_run_counters(&mut self, tlb_hits_0: u64, tlb_miss_0: u64) {
+    /// Folds the machine's per-run execution counters plus the TLB and
+    /// decode-cache deltas since the start-of-run baselines into the rig
+    /// metrics, and records the run's dirty-page footprint. Must run
+    /// before classification: severity assessment reboots the machine
+    /// (and its reboot-and-fsck activity must stay out of run metrics).
+    fn absorb_run_counters(&mut self, tlb_0: (u64, u64), dec_0: (u64, u64, u64)) {
         let c = self.machine.counters();
         self.metrics.instructions += c.instructions;
         self.metrics.syscalls += c.syscalls;
@@ -444,8 +458,17 @@ impl InjectorRig {
             }
         }
         let (h, m) = self.machine.tlb_stats();
-        self.metrics.tlb_hits += h - tlb_hits_0;
-        self.metrics.tlb_miss_walks += m - tlb_miss_0;
+        self.metrics.tlb_hits += h - tlb_0.0;
+        self.metrics.tlb_miss_walks += m - tlb_0.1;
+        let (dh, dm, di) = self.machine.decode_stats();
+        self.metrics.decode_hits += dh - dec_0.0;
+        self.metrics.decode_misses += dm - dec_0.1;
+        self.metrics.decode_invalidations += di - dec_0.2;
+        // The run's *own* footprint, not the pages copied at restore
+        // time: restore cost depends on what the previous run on this
+        // worker touched, which would vary with scheduling, while the
+        // dirty count here is a pure function of this run.
+        self.metrics.dirty_pages += u64::from(self.machine.dirty_page_count());
     }
 
     fn classify(

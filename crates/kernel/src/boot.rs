@@ -14,11 +14,13 @@ pub struct BootConfig {
     pub run_mode: u32,
     /// Timer period in cycles.
     pub timer_period: u64,
+    /// Whether the machine's decoded-instruction cache is enabled.
+    pub decode_cache: bool,
 }
 
 impl Default for BootConfig {
     fn default() -> BootConfig {
-        BootConfig { run_mode: 0xff, timer_period: 50_000 }
+        BootConfig { run_mode: 0xff, timer_period: 50_000, decode_cache: true }
     }
 }
 
@@ -31,6 +33,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         phys_mem: layout::PHYS_MEM_SIZE,
         timer_period: config.timer_period,
         timer_enabled: true,
+        decode_cache: config.decode_cache,
     });
     m.disk = Some(disk);
     load_into(&mut m, image, config);

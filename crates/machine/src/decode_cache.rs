@@ -1,0 +1,152 @@
+//! Per-physical-address decoded-instruction cache.
+//!
+//! [`Machine::fetch`](crate::Machine) consults this cache before running
+//! the variable-length decoder. Entries are keyed by the exact physical
+//! address of the instruction's first byte and validated against the
+//! containing page's write generation ([`PhysMem::page_gen`]), so any
+//! physical write — self-modifying guest code, block-device DMA, or the
+//! injector's bit flip — invalidates exactly the written page. An entry
+//! is only ever created for an instruction decoded entirely from one
+//! page (page-straddling fetches always take the slow path), which makes
+//! page-generation validation exact.
+//!
+//! The cache is flushed (epoch bump, O(1)) on every snapshot restore.
+//! Entries for untouched pages would still be *correct* across a restore,
+//! but keeping them would make per-run hit/miss counts depend on which
+//! runs a worker executed earlier — and campaign metrics must be
+//! bit-identical for any thread count.
+
+use crate::mem::PhysMem;
+use kfi_isa::{Insn, Op};
+
+/// Slot count (power of two). 16 Ki entries ≈ 1 MiB and comfortably
+/// cover the guest kernel's text plus handlers without conflict misses.
+const SLOTS: usize = 16 * 1024;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    pa: u32,
+    gen: u64,
+    /// Epoch the entry was inserted in; 0 = never filled.
+    epoch: u64,
+    insn: Insn,
+}
+
+const EMPTY: Slot = Slot { pa: 0, gen: 0, epoch: 0, insn: Insn { op: Op::Nop, len: 1 } };
+
+/// A direct-mapped decoded-instruction cache with hit/miss/invalidation
+/// counters. Counters are cumulative for the life of the machine (like
+/// TLB stats); callers wanting per-run numbers diff around the run.
+#[derive(Debug)]
+pub(crate) struct DecodeCache {
+    slots: Vec<Slot>,
+    epoch: u64,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl DecodeCache {
+    pub(crate) fn new(enabled: bool) -> DecodeCache {
+        DecodeCache {
+            // No allocation when disabled: a disabled cache costs nothing.
+            slots: if enabled { vec![EMPTY; SLOTS] } else { Vec::new() },
+            epoch: 1,
+            enabled,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cumulative `(hits, misses, invalidations)`. A hit returned a
+    /// cached decode; a miss ran the decoder; an invalidation is a miss
+    /// that found a matching entry killed by a write to its page.
+    pub(crate) fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Drops every entry in O(1) by advancing the epoch.
+    pub(crate) fn flush(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Looks up the instruction at physical address `pa`, validating the
+    /// entry against the page's current write generation.
+    #[inline]
+    pub(crate) fn lookup(&mut self, pa: u32, mem: &PhysMem) -> Option<Insn> {
+        if !self.enabled {
+            return None;
+        }
+        let slot = &self.slots[pa as usize & (SLOTS - 1)];
+        if slot.epoch == self.epoch && slot.pa == pa {
+            if slot.gen == mem.page_gen(pa) {
+                self.hits += 1;
+                return Some(slot.insn);
+            }
+            self.invalidations += 1;
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Caches a successfully decoded instruction. The caller guarantees
+    /// every consumed byte lives in the page containing `pa`.
+    #[inline]
+    pub(crate) fn insert(&mut self, pa: u32, mem: &PhysMem, insn: Insn) {
+        if !self.enabled {
+            return;
+        }
+        self.slots[pa as usize & (SLOTS - 1)] =
+            Slot { pa, gen: mem.page_gen(pa), epoch: self.epoch, insn };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_isa::decode;
+
+    #[test]
+    fn hit_after_insert_until_page_write() {
+        let mem = &mut PhysMem::new(8192);
+        let mut c = DecodeCache::new(true);
+        let insn = decode(&[0x90]).unwrap();
+        c.insert(0x1000, mem, insn);
+        assert_eq!(c.lookup(0x1000, mem), Some(insn));
+        // A write anywhere in the page kills the entry...
+        mem.write_u8(0x1fff, 0);
+        assert_eq!(c.lookup(0x1000, mem), None);
+        // ...and it was counted as an invalidation, not a plain miss.
+        assert_eq!(c.stats(), (1, 1, 1));
+        // A write to a *different* page would not have (fresh entry):
+        c.insert(0x1000, mem, insn);
+        mem.write_u8(0x2003, 0);
+        assert_eq!(c.lookup(0x1000, mem), Some(insn));
+    }
+
+    #[test]
+    fn flush_drops_everything() {
+        let mem = &PhysMem::new(4096);
+        let mut c = DecodeCache::new(true);
+        let insn = decode(&[0x90]).unwrap();
+        c.insert(0x10, mem, insn);
+        c.flush();
+        assert_eq!(c.lookup(0x10, mem), None);
+        assert_eq!(c.stats(), (0, 1, 0));
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mem = &PhysMem::new(4096);
+        let mut c = DecodeCache::new(false);
+        c.insert(0, mem, decode(&[0x90]).unwrap());
+        assert_eq!(c.lookup(0, mem), None);
+        assert_eq!(c.stats(), (0, 0, 0));
+    }
+}

@@ -15,16 +15,26 @@ const PAGE_MASK: u32 = 0xfff;
 impl Machine {
     fn fetch(&mut self) -> XResult<Insn> {
         let eip = self.cpu.eip;
-        let mut buf = [0u8; 15];
+        // Translation runs on every fetch, hit or miss, so paging faults
+        // and TLB statistics are identical with the cache on or off.
         let pa = self.xlate(eip, Access::Exec)?;
+        if let Some(insn) = self.decode_cache.lookup(pa, &self.mem) {
+            return Ok(insn);
+        }
+        let mut buf = [0u8; 15];
         let in_page = (4096 - (eip & PAGE_MASK)) as usize;
         let take = in_page.min(15);
-        for (i, b) in buf[..take].iter_mut().enumerate() {
-            *b = self.mem.read_u8(pa.wrapping_add(i as u32));
-        }
+        self.mem.read_into(pa, &mut buf[..take]);
         match decode(&buf[..take]) {
-            Ok(i) => Ok(i),
+            Ok(i) => {
+                // Every consumed byte came from the page containing
+                // `pa`, so page-generation validation is exact.
+                self.decode_cache.insert(pa, &self.mem, i);
+                Ok(i)
+            }
             Err(DecodeError::Truncated { .. }) if take < 15 => {
+                // Page-straddling instruction: never cached (its bytes
+                // span two independently-invalidated pages).
                 let next_page = (eip & !PAGE_MASK).wrapping_add(4096);
                 let pa2 = self.xlate(next_page, Access::Exec)?;
                 for i in take..15 {

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod cpu;
+mod decode_cache;
 mod exec;
 mod machine;
 mod mem;

@@ -92,11 +92,20 @@ pub struct MachineConfig {
     pub timer_period: u64,
     /// Whether the timer fires at all.
     pub timer_enabled: bool,
+    /// Whether fetch consults the decoded-instruction cache (default
+    /// true; turning it off is the reference path for equivalence tests
+    /// and benchmarks — execution must be observationally identical).
+    pub decode_cache: bool,
 }
 
 impl Default for MachineConfig {
     fn default() -> MachineConfig {
-        MachineConfig { phys_mem: 8 << 20, timer_period: 50_000, timer_enabled: true }
+        MachineConfig {
+            phys_mem: 8 << 20,
+            timer_period: 50_000,
+            timer_enabled: true,
+            decode_cache: true,
+        }
     }
 }
 
@@ -117,8 +126,14 @@ pub struct Counters {
 ///
 /// The disk is deliberately *not* part of the snapshot: it models the
 /// persistent medium that survives reboots.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Each snapshot carries a process-unique `id` so [`Machine::restore`]
+/// can recognise "restoring the same baseline as last time" and copy
+/// back only the pages dirtied since — the identity is bookkeeping, not
+/// state, so equality compares contents only.
+#[derive(Debug, Clone)]
 pub struct Snapshot {
+    id: u64,
     cpu: Cpu,
     mem: Vec<u8>,
     next_tick: u64,
@@ -126,6 +141,21 @@ pub struct Snapshot {
     blk_dma: u32,
     blk_status: u32,
 }
+
+impl PartialEq for Snapshot {
+    fn eq(&self, other: &Snapshot) -> bool {
+        self.cpu == other.cpu
+            && self.mem == other.mem
+            && self.next_tick == other.next_tick
+            && self.blk_lba == other.blk_lba
+            && self.blk_dma == other.blk_dma
+            && self.blk_status == other.blk_status
+    }
+}
+
+impl Eq for Snapshot {}
+
+static NEXT_SNAPSHOT_ID: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
 
 pub(crate) enum Fault {
     Page(PageFault),
@@ -157,6 +187,7 @@ pub struct Machine {
     /// The attached disk, if any.
     pub disk: Option<Ramdisk>,
     pub(crate) tlb: Tlb,
+    pub(crate) decode_cache: crate::decode_cache::DecodeCache,
     pub(crate) trace: TraceSink,
     config: MachineConfig,
     console: Vec<u8>,
@@ -179,6 +210,7 @@ impl Machine {
             mem: PhysMem::new(config.phys_mem),
             disk: None,
             tlb: Tlb::new(),
+            decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
             trace: TraceSink::Null,
             config,
             console: Vec::new(),
@@ -232,6 +264,25 @@ impl Machine {
         self.tlb.stats()
     }
 
+    /// Cumulative decoded-instruction cache `(hits, misses,
+    /// invalidations)` since construction. Like [`Machine::tlb_stats`],
+    /// these survive [`Machine::restore`] — diff around a run for
+    /// per-run numbers. All zero when the cache is disabled.
+    pub fn decode_stats(&self) -> (u64, u64, u64) {
+        self.decode_cache.stats()
+    }
+
+    /// Whether the decoded-instruction cache is enabled.
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.decode_cache.enabled()
+    }
+
+    /// Number of physical pages dirtied since the last snapshot restore
+    /// (the copy footprint the next restore will pay).
+    pub fn dirty_page_count(&self) -> u32 {
+        self.mem.dirty_page_count()
+    }
+
     /// Installs a trace sink. [`TraceSink::Null`] (the default) makes
     /// every emit site a no-op.
     pub fn set_trace_sink(&mut self, sink: TraceSink) {
@@ -256,6 +307,7 @@ impl Machine {
     /// Captures CPU + memory + device-latch state.
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
+            id: NEXT_SNAPSHOT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             cpu: self.cpu.clone(),
             mem: self.mem.snapshot(),
             next_tick: self.next_tick,
@@ -267,9 +319,16 @@ impl Machine {
 
     /// Restores a snapshot, clearing logs and counters. The disk is left
     /// untouched (swap it explicitly if the experiment needs a fresh one).
+    ///
+    /// When restoring the same snapshot as the previous restore, only
+    /// the pages dirtied in between are copied back. The decode cache is
+    /// flushed either way — entries for untouched pages would still be
+    /// valid, but carrying cache warmth across runs would make per-run
+    /// hit/miss counts depend on worker scheduling.
     pub fn restore(&mut self, s: &Snapshot) {
         self.cpu = s.cpu.clone();
-        self.mem.restore(&s.mem);
+        self.mem.restore_from(&s.mem, s.id);
+        self.decode_cache.flush();
         self.next_tick = s.next_tick;
         self.blk_lba = s.blk_lba;
         self.blk_dma = s.blk_dma;
@@ -362,11 +421,20 @@ impl Machine {
             let pa = self.xlate(addr, Access::Read)?;
             Ok(self.mem.read_u32(pa))
         } else {
-            let mut v = 0u32;
-            for i in 0..4 {
-                v |= (self.read_virt_u8(addr.wrapping_add(i))? as u32) << (8 * i);
+            // Straddles a page boundary: one translation per page (the
+            // byte-wise path did four), faulting in the same order with
+            // the same CR2 — first `addr`, then the second page's base.
+            let pa1 = self.xlate(addr, Access::Read)?;
+            let page2 = (addr | 0xfff).wrapping_add(1);
+            let pa2 = self.xlate(page2, Access::Read)?;
+            let k = page2.wrapping_sub(addr); // bytes on page 1 (1..=3)
+            let mut v = [0u8; 4];
+            for (i, b) in v.iter_mut().enumerate() {
+                let i = i as u32;
+                let pa = if i < k { pa1.wrapping_add(i) } else { pa2.wrapping_add(i - k) };
+                *b = self.mem.read_u8(pa);
             }
-            Ok(v)
+            Ok(u32::from_le_bytes(v))
         }
     }
 
@@ -382,11 +450,17 @@ impl Machine {
             self.mem.write_u32(pa, val);
             Ok(())
         } else {
-            // Check both pages before writing anything.
-            let _ = self.xlate(addr, Access::Write)?;
-            let _ = self.xlate(addr.wrapping_add(3), Access::Write)?;
+            // Check both pages before writing anything (all-or-nothing,
+            // same translation order and CR2 as before), then write the
+            // bytes physically — two translations instead of six.
+            let pa1 = self.xlate(addr, Access::Write)?;
+            let pa_last = self.xlate(addr.wrapping_add(3), Access::Write)?;
+            let page2_pa = pa_last & !0xfff;
+            let k = 0x1000 - (addr & 0xfff); // bytes on page 1 (1..=3)
             for (i, b) in val.to_le_bytes().iter().enumerate() {
-                self.write_virt_u8(addr.wrapping_add(i as u32), *b)?;
+                let i = i as u32;
+                let pa = if i < k { pa1.wrapping_add(i) } else { page2_pa.wrapping_add(i - k) };
+                self.mem.write_u8(pa, *b);
             }
             Ok(())
         }

@@ -3,6 +3,8 @@
 /// Page size (4 KiB, as on IA-32).
 pub const PAGE_SIZE: u32 = 4096;
 
+const PAGE_SHIFT: u32 = 12;
+
 /// Guest physical memory: a flat byte array with open-bus semantics for
 /// out-of-range accesses.
 ///
@@ -12,10 +14,29 @@ pub const PAGE_SIZE: u32 = 4096;
 /// matters for fault injection: a flipped bit can produce a page-table
 /// walk through garbage physical addresses, and the machine must keep
 /// running (and crash *the guest*, not the simulator).
+///
+/// Every mutation funnels through a per-page write hook that maintains
+/// two structures consumed by the machine's hot paths:
+///
+/// * a **write generation** per page ([`PhysMem::page_gen`]), bumped on
+///   every write that lands in the page — the decoded-instruction cache
+///   validates entries against it, so self-modifying code and the
+///   injector's bit flip invalidate exactly the flipped page;
+/// * a **dirty bitset** of pages touched since the last snapshot restore
+///   ([`PhysMem::restore_from`]) — restoring copies back only those
+///   pages, turning the per-run reset from O(memory) into O(pages
+///   touched).
 #[derive(Debug, Clone)]
 pub struct PhysMem {
     bytes: Vec<u8>,
     dropped_writes: u64,
+    /// Per-page write generation (never reset; monotonically increasing).
+    page_gens: Vec<u64>,
+    /// Bitset over pages: dirtied since the last restore.
+    dirty: Vec<u64>,
+    /// Snapshot id the memory contents were last restored from, when the
+    /// dirty bitset tracks divergence from exactly that baseline.
+    synced_to: Option<u64>,
 }
 
 impl PhysMem {
@@ -23,7 +44,14 @@ impl PhysMem {
     /// page multiple).
     pub fn new(size: u32) -> PhysMem {
         let size = size.next_multiple_of(PAGE_SIZE);
-        PhysMem { bytes: vec![0; size as usize], dropped_writes: 0 }
+        let pages = (size / PAGE_SIZE) as usize;
+        PhysMem {
+            bytes: vec![0; size as usize],
+            dropped_writes: 0,
+            page_gens: vec![0; pages],
+            dirty: vec![0; pages.div_ceil(64)],
+            synced_to: None,
+        }
     }
 
     /// Installed memory size in bytes.
@@ -36,15 +64,52 @@ impl PhysMem {
         self.dropped_writes
     }
 
+    /// The write generation of the page containing `addr`. Out-of-range
+    /// pages are constant `0`: open-bus writes are dropped, so their
+    /// contents never change.
+    #[inline]
+    pub fn page_gen(&self, addr: u32) -> u64 {
+        self.page_gens.get((addr >> PAGE_SHIFT) as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of pages dirtied since the last restore.
+    pub fn dirty_page_count(&self) -> u32 {
+        self.dirty.iter().map(|w| w.count_ones()).sum()
+    }
+
+    #[inline]
+    fn touch(&mut self, page: usize) {
+        self.page_gens[page] += 1;
+        self.dirty[page / 64] |= 1 << (page % 64);
+    }
+
+    fn touch_all(&mut self) {
+        for g in &mut self.page_gens {
+            *g += 1;
+        }
+        self.dirty.fill(!0);
+        let pages = self.page_gens.len();
+        if pages % 64 != 0 {
+            // Keep the tail bits of the bitset clean so popcounts and
+            // the restore scan never see phantom pages.
+            *self.dirty.last_mut().expect("non-empty") = (1u64 << (pages % 64)) - 1;
+        }
+    }
+
     /// Reads a byte; out-of-range returns `0xFF`.
+    #[inline]
     pub fn read_u8(&self, addr: u32) -> u8 {
         self.bytes.get(addr as usize).copied().unwrap_or(0xff)
     }
 
     /// Writes a byte; out-of-range writes are counted and dropped.
+    #[inline]
     pub fn write_u8(&mut self, addr: u32, val: u8) {
         match self.bytes.get_mut(addr as usize) {
-            Some(b) => *b = val,
+            Some(b) => {
+                *b = val;
+                self.touch((addr >> PAGE_SHIFT) as usize);
+            }
             None => self.dropped_writes += 1,
         }
     }
@@ -69,9 +134,29 @@ impl PhysMem {
         let a = addr as usize;
         if let Some(slice) = self.bytes.get_mut(a..a + 4) {
             slice.copy_from_slice(&val.to_le_bytes());
+            let p1 = (addr >> PAGE_SHIFT) as usize;
+            let p2 = ((addr + 3) >> PAGE_SHIFT) as usize;
+            self.touch(p1);
+            if p2 != p1 {
+                self.touch(p2);
+            }
         } else {
             for (i, b) in val.to_le_bytes().iter().enumerate() {
                 self.write_u8(addr.wrapping_add(i as u32), *b);
+            }
+        }
+    }
+
+    /// Copies up to `buf.len()` bytes starting at `addr` into `buf` in
+    /// one slice operation; bytes beyond installed memory read as `0xFF`.
+    #[inline]
+    pub fn read_into(&self, addr: u32, buf: &mut [u8]) {
+        let a = addr as usize;
+        if let Some(src) = self.bytes.get(a..a + buf.len()) {
+            buf.copy_from_slice(src);
+        } else {
+            for (i, b) in buf.iter_mut().enumerate() {
+                *b = self.read_u8(addr.wrapping_add(i as u32));
             }
         }
     }
@@ -85,6 +170,13 @@ impl PhysMem {
     pub fn load(&mut self, addr: u32, src: &[u8]) {
         let a = addr as usize;
         self.bytes[a..a + src.len()].copy_from_slice(src);
+        if !src.is_empty() {
+            let first = a >> PAGE_SHIFT as usize;
+            let last = (a + src.len() - 1) >> PAGE_SHIFT as usize;
+            for page in first..=last {
+                self.touch(page);
+            }
+        }
     }
 
     /// Borrows a physical range for host-side inspection.
@@ -100,9 +192,11 @@ impl PhysMem {
     pub fn clear(&mut self) {
         self.bytes.fill(0);
         self.dropped_writes = 0;
+        self.touch_all();
     }
 
-    /// Replaces the entire contents from a snapshot.
+    /// Replaces the entire contents from a snapshot of unknown identity.
+    /// Always a full copy; the dirty baseline becomes unknown.
     ///
     /// # Panics
     ///
@@ -111,6 +205,46 @@ impl PhysMem {
         assert_eq!(snapshot.len(), self.bytes.len(), "snapshot size mismatch");
         self.bytes.copy_from_slice(snapshot);
         self.dropped_writes = 0;
+        self.touch_all();
+        self.dirty.fill(0);
+        self.synced_to = None;
+    }
+
+    /// Restores from a snapshot identified by `id`, copying only the
+    /// pages dirtied since the last restore when the baseline matches
+    /// (otherwise a full copy establishes the new baseline). Returns the
+    /// number of pages copied. Write generations of the copied pages are
+    /// bumped so stale decoded-instruction cache entries die.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `snapshot` has a different length than installed memory.
+    pub fn restore_from(&mut self, snapshot: &[u8], id: u64) -> u32 {
+        assert_eq!(snapshot.len(), self.bytes.len(), "snapshot size mismatch");
+        let page = PAGE_SIZE as usize;
+        let copied = if self.synced_to == Some(id) {
+            let mut n = 0u32;
+            for (w, word) in self.dirty.iter().enumerate() {
+                let mut bits = *word;
+                while bits != 0 {
+                    let p = w * 64 + bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let off = p * page;
+                    self.bytes[off..off + page].copy_from_slice(&snapshot[off..off + page]);
+                    self.page_gens[p] += 1;
+                    n += 1;
+                }
+            }
+            n
+        } else {
+            self.bytes.copy_from_slice(snapshot);
+            self.touch_all();
+            self.synced_to = Some(id);
+            self.page_gens.len() as u32
+        };
+        self.dirty.fill(0);
+        self.dropped_writes = 0;
+        copied
     }
 
     /// Clones the raw contents for a snapshot.
@@ -158,6 +292,9 @@ mod tests {
         m.write_u32(0xffff_fff0, 42);
         assert_eq!(m.dropped_writes(), 5);
         assert_eq!(m.read_u8(PAGE_SIZE + 10), 0xff);
+        // Dropped writes never dirty anything or move a generation.
+        assert_eq!(m.dirty_page_count(), 0);
+        assert_eq!(m.page_gen(PAGE_SIZE + 10), 0);
     }
 
     #[test]
@@ -177,5 +314,63 @@ mod tests {
         m.write_u32(0, 9999);
         m.restore(&snap);
         assert_eq!(m.read_u32(0), 1234);
+    }
+
+    #[test]
+    fn writes_bump_generation_and_dirty_exactly_one_page() {
+        let mut m = PhysMem::new(4 * PAGE_SIZE);
+        let g0 = m.page_gen(PAGE_SIZE);
+        m.write_u8(PAGE_SIZE + 7, 1);
+        assert_eq!(m.page_gen(PAGE_SIZE), g0 + 1);
+        assert_eq!(m.page_gen(0), 0, "neighbour pages untouched");
+        assert_eq!(m.page_gen(2 * PAGE_SIZE), 0);
+        assert_eq!(m.dirty_page_count(), 1);
+        // A dword write straddling a page boundary touches both pages.
+        m.write_u32(2 * PAGE_SIZE - 2, 0xaabbccdd);
+        assert_eq!(m.dirty_page_count(), 2);
+        assert_eq!(m.page_gen(2 * PAGE_SIZE - 1), g0 + 2);
+        assert_eq!(m.page_gen(2 * PAGE_SIZE), 1);
+    }
+
+    #[test]
+    fn tracked_restore_copies_only_dirty_pages() {
+        let mut m = PhysMem::new(4 * PAGE_SIZE);
+        m.write_u32(0, 0x1111_1111);
+        let snap = m.snapshot();
+        // First restore against a new id is always a full copy.
+        assert_eq!(m.restore_from(&snap, 1), 4);
+        assert_eq!(m.dirty_page_count(), 0);
+        // Touch one page; only it is copied back.
+        m.write_u32(2 * PAGE_SIZE + 8, 0x2222_2222);
+        assert_eq!(m.restore_from(&snap, 1), 1);
+        assert_eq!(m.read_u32(2 * PAGE_SIZE + 8), 0);
+        assert_eq!(m.read_u32(0), 0x1111_1111);
+        // Untouched machine: nothing to copy at all.
+        assert_eq!(m.restore_from(&snap, 1), 0);
+        // A different snapshot id forces a full copy again.
+        assert_eq!(m.restore_from(&snap, 2), 4);
+    }
+
+    #[test]
+    fn restore_bumps_generations_of_copied_pages() {
+        let mut m = PhysMem::new(2 * PAGE_SIZE);
+        let snap = m.snapshot();
+        m.restore_from(&snap, 7);
+        let g = m.page_gen(0);
+        m.write_u8(4, 9);
+        assert_eq!(m.page_gen(0), g + 1);
+        m.restore_from(&snap, 7);
+        // The restored page's generation moved again: any cached decode
+        // of the in-run contents is now stale.
+        assert_eq!(m.page_gen(0), g + 2);
+        assert_eq!(m.page_gen(PAGE_SIZE), g, "clean page generation unchanged");
+    }
+
+    #[test]
+    fn clear_dirties_everything() {
+        let mut m = PhysMem::new(3 * PAGE_SIZE);
+        m.clear();
+        assert_eq!(m.dirty_page_count(), 3);
+        assert!(m.page_gen(0) > 0);
     }
 }

@@ -94,6 +94,7 @@ impl Tlb {
         (self.hits, self.misses)
     }
 
+    #[inline]
     fn lookup(&mut self, vpn: u32) -> Option<TlbEntry> {
         let slot = (vpn as usize) % TLB_SLOTS;
         match self.entries[slot] {
@@ -108,6 +109,7 @@ impl Tlb {
         }
     }
 
+    #[inline]
     fn insert(&mut self, e: TlbEntry) {
         let slot = (e.vpn as usize) % TLB_SLOTS;
         self.entries[slot] = Some(e);
@@ -135,6 +137,7 @@ impl Default for Tlb {
 /// violated (user access to supervisor page, write to read-only page —
 /// write protection is enforced in *both* modes, modeling a CR0.WP=1
 /// kernel, which Linux 2.4 relies on for COW).
+#[inline]
 pub fn translate(
     mem: &PhysMem,
     tlb: &mut Tlb,

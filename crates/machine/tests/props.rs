@@ -15,6 +15,7 @@ proptest! {
             phys_mem: 1 << 20,
             timer_period: 1000,
             timer_enabled: true,
+            ..Default::default()
         });
         m.mem.load(0x1000, &code);
         m.cpu.eip = 0x1000;

@@ -11,8 +11,12 @@ use proptest::prelude::*;
 fn machine_with(code: &[u8]) -> Machine {
     // Timer on so WatchdogTick emission is exercised; random byte soup
     // exercises ExceptionRaised (and occasionally the rest).
-    let mut m =
-        Machine::new(MachineConfig { phys_mem: 1 << 20, timer_period: 1000, timer_enabled: true });
+    let mut m = Machine::new(MachineConfig {
+        phys_mem: 1 << 20,
+        timer_period: 1000,
+        timer_enabled: true,
+        ..Default::default()
+    });
     m.mem.load(0x1000, code);
     m.cpu.eip = 0x1000;
     m.cpu.set_reg(4, 0x8000);

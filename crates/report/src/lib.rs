@@ -396,6 +396,18 @@ pub fn availability_summary(study: &StudyResult) -> String {
     s
 }
 
+/// Per-campaign execution metrics (the `CampaignResult::metrics`
+/// aggregate): one [`metrics_table`] per campaign, in campaign order.
+pub fn campaign_metrics(study: &StudyResult) -> String {
+    let mut s = String::from("Campaign execution metrics\n\n");
+    for (letter, result) in &study.campaigns {
+        let _ = writeln!(s, "--- Campaign {letter} ---");
+        s.push_str(&metrics_table(&result.metrics));
+        s.push('\n');
+    }
+    s
+}
+
 /// Renders the complete study report (all tables and figures).
 pub fn full_report(
     image: &KernelImage,
@@ -420,6 +432,8 @@ pub fn full_report(
     s.push_str(&crash_concentration(study));
     s.push('\n');
     s.push_str(&availability_summary(study));
+    s.push('\n');
+    s.push_str(&campaign_metrics(study));
     s
 }
 
@@ -572,6 +586,20 @@ mod synthetic_tests {
         assert!(s.contains("(fs, campaign A)"));
         assert!(s.contains("propagated"));
         assert!(s.contains("overall cross-subsystem propagation"));
+    }
+
+    #[test]
+    fn campaign_metrics_renders_per_campaign() {
+        let mut st = study();
+        let m = &mut st.campaigns.get_mut(&'A').unwrap().metrics;
+        m.runs = 6;
+        m.decode_hits = 500;
+        m.dirty_pages = 9;
+        let s = campaign_metrics(&st);
+        assert!(s.contains("--- Campaign A ---"));
+        assert!(s.contains("--- Campaign C ---"));
+        assert!(s.contains("decode cache hits"));
+        assert!(s.contains("dirty pages"));
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub fn metrics_table(m: &Metrics) -> String {
     row("timer irqs", m.timer_irqs);
     row("tlb hits", m.tlb_hits);
     row("tlb miss walks", m.tlb_miss_walks);
+    row("decode cache hits", m.decode_hits);
+    row("decode cache misses", m.decode_misses);
+    row("decode invalidations", m.decode_invalidations);
+    row("dirty pages", m.dirty_pages);
     row("run cycles total", m.run_cycles_total);
     for (v, n) in m.faults_by_vector.iter().enumerate().filter(|(_, n)| **n > 0) {
         let _ = writeln!(s, "    fault vector {v:<13} {n:>14}");
@@ -77,6 +81,14 @@ pub fn metrics_table(m: &Metrics) -> String {
     }
     hist_lines(&mut s, "  run cycles", &m.run_cycles);
     hist_lines(&mut s, "  crash latency", &m.crash_latency);
+    if m.crash_latency_paper.total() > 0 {
+        let _ = writeln!(s, "  crash latency (paper buckets):");
+        for (label, count) in m.crash_latency_paper.rows() {
+            if count > 0 {
+                let _ = writeln!(s, "    {label:<26} {count:>14}");
+            }
+        }
+    }
     s
 }
 
@@ -107,11 +119,17 @@ mod tests {
         m.runs = 3;
         m.instructions = 1_000;
         m.faults_by_vector[14] = 2;
+        m.decode_hits = 900;
+        m.decode_misses = 100;
+        m.dirty_pages = 12;
         m.record_outcome(outcome::CRASH);
-        m.crash_latency.record(500);
+        m.record_crash_latency(500);
         let text = metrics_table(&m);
         assert!(text.contains("fault vector 14"));
         assert!(text.contains("crash"));
         assert!(text.contains("crash latency"));
+        assert!(text.contains("decode cache hits"));
+        assert!(text.contains("crash latency (paper buckets):"));
+        assert!(text.contains("100-1k"));
     }
 }

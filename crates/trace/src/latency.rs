@@ -1,0 +1,99 @@
+//! The paper's crash-latency buckets (Figure 7), as a mergeable
+//! histogram.
+//!
+//! This is the single definition of the decade-style bucket boundaries;
+//! `kfi-core`'s record-level statistics re-export it, and the rig
+//! records crash latencies into a [`LatencyHist`] inside
+//! [`Metrics`](crate::Metrics) so campaign-level histograms come out of
+//! the additive metrics pipeline instead of a second implementation.
+
+/// Crash-latency buckets in cycles (Figure 7's x axis): upper bound
+/// (exclusive) and display label.
+pub const LATENCY_BUCKETS: [(u64, &str); 6] = [
+    (10, "<10"),
+    (100, "10-100"),
+    (1_000, "100-1k"),
+    (10_000, "1k-10k"),
+    (100_000, "10k-100k"),
+    (u64::MAX, ">100k"),
+];
+
+/// The bucket index a latency value falls into.
+pub fn latency_bucket(latency: u64) -> usize {
+    LATENCY_BUCKETS.iter().position(|(hi, _)| latency < *hi).unwrap_or(LATENCY_BUCKETS.len() - 1)
+}
+
+/// A histogram over [`LATENCY_BUCKETS`]. Merging is pure addition, so
+/// it composes with [`Metrics::merge`](crate::Metrics::merge) and stays
+/// thread-invariant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: [u64; LATENCY_BUCKETS.len()],
+}
+
+impl LatencyHist {
+    /// Records one latency value.
+    pub fn record(&mut self, latency: u64) {
+        self.buckets[latency_bucket(latency)] += 1;
+    }
+
+    /// Count in bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The raw bucket counts, ordered like [`LATENCY_BUCKETS`].
+    pub fn counts(&self) -> [u64; LATENCY_BUCKETS.len()] {
+        self.buckets
+    }
+
+    /// Total recorded values.
+    pub fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+
+    /// `(label, count)` rows in bucket order.
+    pub fn rows(&self) -> [(&'static str, u64); LATENCY_BUCKETS.len()] {
+        let mut out = [("", 0u64); LATENCY_BUCKETS.len()];
+        for (i, (o, (_, label))) in out.iter_mut().zip(LATENCY_BUCKETS.iter()).enumerate() {
+            *o = (label, self.buckets[i]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_cover_all() {
+        assert_eq!(latency_bucket(0), 0);
+        assert_eq!(latency_bucket(9), 0);
+        assert_eq!(latency_bucket(10), 1);
+        assert_eq!(latency_bucket(99), 1);
+        assert_eq!(latency_bucket(100_000), 5);
+        assert_eq!(latency_bucket(u64::MAX - 1), 5);
+    }
+
+    #[test]
+    fn record_merge_rows() {
+        let mut a = LatencyHist::default();
+        a.record(5);
+        a.record(50_000);
+        let mut b = LatencyHist::default();
+        b.record(7);
+        a.merge(&b);
+        assert_eq!(a.total(), 3);
+        assert_eq!(a.bucket(0), 2);
+        assert_eq!(a.bucket(4), 1);
+        assert_eq!(a.rows()[0], ("<10", 2));
+    }
+}

@@ -34,8 +34,10 @@ mod metrics;
 mod ring;
 
 pub mod codec;
+pub mod latency;
 
 pub use event::{outcome, subsystem, Event, EventKind};
+pub use latency::LatencyHist;
 pub use metrics::{CycleHist, Metrics};
 pub use ring::EventRing;
 

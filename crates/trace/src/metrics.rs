@@ -1,6 +1,7 @@
 //! The metrics counter registry.
 
 use crate::event::outcome;
+use crate::latency::LatencyHist;
 
 /// A log2-bucketed histogram of cycle counts.
 ///
@@ -98,6 +99,16 @@ pub struct Metrics {
     pub tlb_hits: u64,
     /// TLB-miss page-table walks during measured runs.
     pub tlb_miss_walks: u64,
+    /// Decoded-instruction cache hits during measured runs.
+    pub decode_hits: u64,
+    /// Decoded-instruction cache misses during measured runs.
+    pub decode_misses: u64,
+    /// Decode-cache entries killed by a write to their page (subset of
+    /// misses; the bit-flip and self-modifying-code path).
+    pub decode_invalidations: u64,
+    /// Physical pages dirtied by measured runs — the copy footprint the
+    /// dirty-page snapshot restore pays instead of full memory.
+    pub dirty_pages: u64,
     /// Post-boot snapshot restores (one per activated run).
     pub snapshot_restores: u64,
     /// Injection runs executed (including not-activated fast-path runs).
@@ -112,6 +123,9 @@ pub struct Metrics {
     pub run_cycles: CycleHist,
     /// Distribution of crash latencies (activation → fatal trap).
     pub crash_latency: CycleHist,
+    /// Crash latencies in the paper's Figure 7 buckets (the unified
+    /// histogram shared with `kfi-core`'s record-level statistics).
+    pub crash_latency_paper: LatencyHist,
 }
 
 impl Metrics {
@@ -125,6 +139,10 @@ impl Metrics {
         self.timer_irqs += other.timer_irqs;
         self.tlb_hits += other.tlb_hits;
         self.tlb_miss_walks += other.tlb_miss_walks;
+        self.decode_hits += other.decode_hits;
+        self.decode_misses += other.decode_misses;
+        self.decode_invalidations += other.decode_invalidations;
+        self.dirty_pages += other.dirty_pages;
         self.snapshot_restores += other.snapshot_restores;
         self.runs += other.runs;
         self.runs_not_activated += other.runs_not_activated;
@@ -134,6 +152,13 @@ impl Metrics {
         self.run_cycles_total += other.run_cycles_total;
         self.run_cycles.merge(&other.run_cycles);
         self.crash_latency.merge(&other.crash_latency);
+        self.crash_latency_paper.merge(&other.crash_latency_paper);
+    }
+
+    /// Records a crash latency into both latency histograms.
+    pub fn record_crash_latency(&mut self, latency: u64) {
+        self.crash_latency.record(latency);
+        self.crash_latency_paper.record(latency);
     }
 
     /// Total faults across vectors.
@@ -190,12 +215,18 @@ mod tests {
         let mut a = Metrics::default();
         a.instructions = 10;
         a.faults_by_vector[14] = 3;
+        a.decode_hits = 100;
+        a.decode_invalidations = 1;
+        a.dirty_pages = 12;
         a.run_cycles.record(100);
         a.record_outcome(outcome::CRASH);
+        a.record_crash_latency(500);
         let mut b = Metrics::default();
         b.instructions = 7;
         b.faults_by_vector[14] = 1;
         b.faults_by_vector[6] = 2;
+        b.decode_misses = 4;
+        b.dirty_pages = 3;
         b.run_cycles.record(90_000);
         b.record_outcome(outcome::HANG);
 
@@ -208,5 +239,10 @@ mod tests {
         assert_eq!(ab.faults(), 6);
         assert_eq!(ab.outcome(outcome::CRASH), 1);
         assert_eq!(ab.outcome(outcome::HANG), 1);
+        assert_eq!(ab.decode_hits, 100);
+        assert_eq!(ab.decode_misses, 4);
+        assert_eq!(ab.dirty_pages, 15);
+        assert_eq!(ab.crash_latency_paper.total(), 1);
+        assert_eq!(ab.crash_latency_paper.bucket(2), 1);
     }
 }
