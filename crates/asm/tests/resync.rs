@@ -1,0 +1,208 @@
+//! Disassembler resynchronization on bit-flipped instruction streams.
+//!
+//! The paper's Table 7 (example 2) shows what a single flipped bit does
+//! to an IA-32 stream: the corrupted instruction changes length, the
+//! following bytes decode as different instructions, and — because the
+//! encoding is dense — the walk *resynchronizes* onto the original
+//! boundaries within a few instructions. The crash-dump listings lean
+//! on this objdump-style behavior, and the machine's fetch path decodes
+//! with the same [`kfi_isa::decode`], so the disassembler's boundaries
+//! must agree with what the machine actually executes.
+
+use kfi_asm::disassemble;
+use kfi_isa::{decode, encode, DecodeError, Op, Reg, Rm, Src, Width};
+use kfi_machine::{Machine, MachineConfig, StepEvent};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Reference walk: exactly the advance rule the machine's fetch uses —
+/// `len` bytes per decoded instruction, 1 byte after an invalid one.
+fn reference_boundaries(bytes: &[u8], addr: u32) -> Vec<(u32, usize)> {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let a = addr + pos as u32;
+        match decode(&bytes[pos..]) {
+            Ok(insn) => {
+                out.push((a, insn.len as usize));
+                pos += insn.len as usize;
+            }
+            Err(DecodeError::Invalid) => {
+                out.push((a, 1));
+                pos += 1;
+            }
+            Err(DecodeError::Truncated { .. }) => {
+                out.push((a, bytes.len() - pos));
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// A small straight-line program (no control flow), canonical bytes.
+fn straight_line_program() -> Vec<u8> {
+    let ops = [
+        Op::Mov { width: Width::D, dst: Rm::reg(Reg::Eax), src: Src::Imm(0x11223344) },
+        Op::Alu {
+            kind: kfi_isa::AluKind::Add,
+            width: Width::D,
+            dst: Rm::reg(Reg::Ebx),
+            src: Src::Imm(1),
+        },
+        Op::Alu {
+            kind: kfi_isa::AluKind::Xor,
+            width: Width::D,
+            dst: Rm::reg(Reg::Ecx),
+            src: Src::Reg(Reg::Ecx as u8),
+        },
+        Op::IncDec { inc: true, width: Width::D, rm: Rm::reg(Reg::Edx) },
+        Op::Mov { width: Width::D, dst: Rm::reg(Reg::Esi), src: Src::Imm(0xdeadbeef) },
+        Op::Nop,
+        Op::Nop,
+        Op::Alu {
+            kind: kfi_isa::AluKind::Sub,
+            width: Width::D,
+            dst: Rm::reg(Reg::Edi),
+            src: Src::Imm(0x7f),
+        },
+        Op::Bswap(Reg::Eax),
+        Op::Nop,
+    ];
+    let mut bytes = Vec::new();
+    for op in &ops {
+        bytes.extend_from_slice(&encode(op).expect("straight-line op encodes"));
+    }
+    bytes
+}
+
+#[test]
+fn disassembly_matches_the_reference_walk_on_flipped_streams() {
+    let base = straight_line_program();
+    let mut rng = StdRng::seed_from_u64(2003);
+    for case in 0..200u32 {
+        let mut bytes = base.clone();
+        // 1–3 random single-bit flips (the injector's corruption model).
+        for _ in 0..rng.gen_range(1usize..4) {
+            let off = rng.gen_range(0usize..bytes.len());
+            bytes[off] ^= 1 << rng.gen_range(0u32..8);
+        }
+        let addr = 0xc010_0000;
+        let lines = disassemble(&bytes, addr);
+        let reference = reference_boundaries(&bytes, addr);
+        assert_eq!(
+            lines.iter().map(|l| (l.addr, l.bytes.len())).collect::<Vec<_>>(),
+            reference,
+            "case {case}: disassembler boundaries disagree with the decode walk"
+        );
+        let covered: usize = lines.iter().map(|l| l.bytes.len()).sum();
+        assert_eq!(covered, bytes.len(), "case {case}: bytes dropped from the listing");
+    }
+}
+
+#[test]
+fn disassembly_matches_the_reference_walk_on_random_bytes() {
+    let mut rng = StdRng::seed_from_u64(77);
+    for case in 0..100u32 {
+        let len = rng.gen_range(8usize..64);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen_range(0u32..256) as u8).collect();
+        let lines = disassemble(&bytes, 0x1000);
+        let reference = reference_boundaries(&bytes, 0x1000);
+        assert_eq!(
+            lines.iter().map(|l| (l.addr, l.bytes.len())).collect::<Vec<_>>(),
+            reference,
+            "case {case}: boundaries disagree on random bytes"
+        );
+    }
+}
+
+/// The Table 7 shape: a flip inside a `mov $imm32` makes the immediate
+/// bytes execute as instructions, and the walk resynchronizes onto the
+/// original boundaries before the stream ends.
+#[test]
+fn flipped_stream_resynchronizes_within_the_listing() {
+    let bytes = straight_line_program();
+    let addr = 0x1000u32;
+    let orig: Vec<u32> = disassemble(&bytes, addr).iter().map(|l| l.addr).collect();
+
+    // Flip bit 3 of the first opcode: B8 (mov $imm32,%eax) becomes B0
+    // (mov $imm8,%al), shearing four bytes off the first instruction.
+    let mut flipped = bytes.clone();
+    flipped[0] ^= 0x08;
+    let corrupt: Vec<u32> = disassemble(&flipped, addr).iter().map(|l| l.addr).collect();
+
+    assert_ne!(orig, corrupt, "the flip must desynchronize the stream");
+    // Resync: some original boundary past the flip appears in both
+    // walks, and from there on the boundaries are identical.
+    let resync = orig
+        .iter()
+        .skip(1)
+        .find(|a| corrupt.contains(a))
+        .expect("the walks must share a boundary again (resync)");
+    let otail: Vec<u32> = orig.iter().copied().filter(|a| a >= resync).collect();
+    let ctail: Vec<u32> = corrupt.iter().copied().filter(|a| a >= resync).collect();
+    assert_eq!(otail, ctail, "after resync the boundaries must agree exactly");
+}
+
+/// The machine executes exactly the boundaries the disassembler prints:
+/// single-step a flipped straight-line stream and check every
+/// sequentially executed instruction advanced EIP by the listed length.
+#[test]
+fn machine_execution_follows_disassembly_boundaries() {
+    let base = straight_line_program();
+    let mut rng = StdRng::seed_from_u64(4242);
+    for case in 0..50u32 {
+        let mut bytes = base.clone();
+        let off = rng.gen_range(0usize..bytes.len());
+        bytes[off] ^= 1 << rng.gen_range(0u32..8);
+        bytes.extend_from_slice(&[0xfa, 0xf4]); // cli; hlt terminator
+
+        let addr = 0x1000u32;
+        let lines = disassemble(&bytes, addr);
+        let len_at: std::collections::HashMap<u32, usize> =
+            lines.iter().map(|l| (l.addr, l.bytes.len())).collect();
+
+        let mut m = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+        m.mem.load(addr, &bytes);
+        m.cpu.eip = addr;
+        let end = addr + bytes.len() as u32;
+
+        for _ in 0..200 {
+            let eip = m.cpu.eip;
+            let traps_before = m.trap_log().len();
+            let ev = m.step();
+            if !matches!(ev, StepEvent::Executed) {
+                break;
+            }
+            if m.trap_log().len() != traps_before {
+                break; // a fault redirected EIP; boundary math is off the table
+            }
+            let Some(&len) = len_at.get(&eip) else {
+                // EIP left the disassembled window (e.g. a flip created
+                // a branch): nothing further to compare.
+                break;
+            };
+            let next = m.cpu.eip;
+            if next < addr || next >= end {
+                break;
+            }
+            if next != eip + len as u32 {
+                // Sequential execution must match the listing; anything
+                // else must be a control-flow instruction the flip made.
+                let line = lines.iter().find(|l| l.addr == eip).expect("line exists");
+                assert!(
+                    line.text.starts_with('j')
+                        || line.text.starts_with("call")
+                        || line.text.starts_with("ret")
+                        || line.text.starts_with("loop")
+                        || line.text.starts_with("(bad)"),
+                    "case {case}: at {eip:#x} machine advanced to {next:#x}, \
+                     listing says {} bytes ({})",
+                    len,
+                    line.text
+                );
+                break;
+            }
+        }
+    }
+}

@@ -12,15 +12,6 @@ fn main() {
         kfi_report::full_report(&exp.image, &exp.profile, &study, exp.config.top_fraction)
     );
     if csv {
-        let rows: Vec<kfi_core::RecordRow> = study
-            .campaigns
-            .values()
-            .flat_map(|c| c.records.iter().map(kfi_core::RecordRow::from_record))
-            .collect();
-        println!("{}", kfi_core::to_csv(&rows));
-        println!(
-            "{}",
-            kfi_core::metrics_to_csv(study.campaigns.iter().map(|(c, r)| (*c, &r.metrics)))
-        );
+        print!("{}", kfi_bench::csv_dataset(&study));
     }
 }

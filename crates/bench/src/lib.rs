@@ -174,6 +174,23 @@ pub fn trace_case_study(exp: &Experiment, seed: u64) -> Option<String> {
     None
 }
 
+/// Renders a study's raw dataset as CSV: every run record, then the
+/// per-campaign execution metrics — exactly what `repro_all --csv`
+/// prints. Shared with the golden-corpus test so the pinned file and
+/// the tool output cannot drift apart.
+pub fn csv_dataset(study: &StudyResult) -> String {
+    let rows: Vec<kfi_core::RecordRow> = study
+        .campaigns
+        .values()
+        .flat_map(|c| c.records.iter().map(kfi_core::RecordRow::from_record))
+        .collect();
+    format!(
+        "{}\n{}\n",
+        kfi_core::to_csv(&rows),
+        kfi_core::metrics_to_csv(study.campaigns.iter().map(|(c, r)| (*c, &r.metrics)))
+    )
+}
+
 /// Runs all three campaigns, printing progress.
 pub fn run_study(exp: &Experiment) -> StudyResult {
     eprintln!(

@@ -1,0 +1,203 @@
+//! Deterministic differential sweep + sanitizer self-test for CI.
+//!
+//! For each seed, generates a guest program in three corruption
+//! variants (clean, pre-run bit flips, mid-run bit flip) and runs it
+//! through the three machine-level differential pairs (decode cache
+//! on/off, ring/null trace sink, snapshot-restore/fresh-boot) with the
+//! architectural-state sanitizer enabled on every machine. A smaller
+//! sweep of full injection campaigns compares 1-worker vs 2-worker
+//! execution record-for-record. Before any of that, a self-test seeds a
+//! known flag-update bug through a test-only machine hook and asserts
+//! the sanitizer reports it — proving the net can actually catch fish.
+//!
+//! Exit status is nonzero iff any divergence, sanitizer violation, or
+//! self-test failure occurred.
+
+use kfi_checker::diff::{pair_decode_cache, pair_restore, pair_trace_sink, PairOutcome};
+use kfi_checker::gen::{generate, Variant};
+use kfi_core::{Experiment, ExperimentConfig};
+use kfi_injector::Campaign;
+use kfi_machine::{Machine, MachineConfig, RunExit};
+use kfi_profiler::ProfilerConfig;
+
+struct Options {
+    seeds: u64,
+    campaign_seeds: u64,
+    verbose: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options { seeds: 32, campaign_seeds: 2, verbose: false };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let v = args.next().ok_or("--seeds needs a value")?;
+                opts.seeds = v.parse().map_err(|_| format!("bad --seeds value: {v}"))?;
+            }
+            "--campaign-seeds" => {
+                let v = args.next().ok_or("--campaign-seeds needs a value")?;
+                opts.campaign_seeds =
+                    v.parse().map_err(|_| format!("bad --campaign-seeds value: {v}"))?;
+            }
+            "--verbose" => opts.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: check_machine [--seeds N] [--campaign-seeds N] [--verbose]\n\
+                     \n\
+                     Differential sweep over the simulated machine's paired\n\
+                     configurations plus a sanitizer self-test. Defaults:\n\
+                     --seeds 32, --campaign-seeds 2."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn sanitized_config() -> MachineConfig {
+    MachineConfig { sanitizer: true, ..MachineConfig::default() }
+}
+
+/// The sanitizer must catch a seeded flag-update bug, and must stay
+/// silent on the identical program without the bug.
+fn self_test() -> Result<(), String> {
+    // add $1,%eax ; cli ; hlt — one ALU flag write, then stop.
+    const PROGRAM: [u8; 5] = [0x83, 0xc0, 0x01, 0xfa, 0xf4];
+    let run = |flag_update_bug: bool| -> (u64, RunExit) {
+        let mut m = Machine::new(MachineConfig { flag_update_bug, ..sanitized_config() });
+        m.mem.load(0x1000, &PROGRAM);
+        m.cpu.eip = 0x1000;
+        let exit = m.run(10_000);
+        (m.sanitizer_violation_count(), exit)
+    };
+
+    let (clean, exit) = run(false);
+    if exit != RunExit::Halted {
+        return Err(format!("self-test control run did not halt: {exit:?}"));
+    }
+    if clean != 0 {
+        return Err(format!("sanitizer reported {clean} violations on a correct machine"));
+    }
+    let (buggy, _) = run(true);
+    if buggy == 0 {
+        return Err("sanitizer MISSED the seeded flag-update bug".to_string());
+    }
+    Ok(())
+}
+
+fn report_pair(seed: u64, variant: Variant, name: &str, out: &PairOutcome) -> bool {
+    if out.clean() {
+        return true;
+    }
+    eprintln!("FAIL seed={seed} variant={variant:?} pair={name} after {} steps", out.steps);
+    if let Some(d) = &out.divergence {
+        eprintln!("  divergence at step {}: {}", d.step, d.detail);
+        eprint!("{}", d.context);
+    }
+    for v in &out.violations {
+        eprintln!("  sanitizer: {v}");
+    }
+    false
+}
+
+fn machine_sweep(opts: &Options) -> (u64, u64) {
+    let mut pairs = 0u64;
+    let mut failures = 0u64;
+    for seed in 0..opts.seeds {
+        for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
+            let prog = generate(seed, variant);
+            let cfg = sanitized_config();
+            for (name, out) in [
+                ("decode-cache", pair_decode_cache(&prog, cfg)),
+                ("trace-sink", pair_trace_sink(&prog, cfg)),
+                ("restore", pair_restore(&prog, cfg)),
+            ] {
+                pairs += 1;
+                if !report_pair(seed, variant, name, &out) {
+                    failures += 1;
+                } else if opts.verbose {
+                    println!("ok seed={seed} variant={variant:?} pair={name} steps={}", out.steps);
+                }
+            }
+        }
+    }
+    (pairs, failures)
+}
+
+/// Pair 4: a full (small) injection campaign at 1 worker vs 2 workers
+/// must produce bit-identical records and metrics.
+fn campaign_sweep(opts: &Options) -> (u64, u64) {
+    let mut pairs = 0u64;
+    let mut failures = 0u64;
+    let mut exp = match Experiment::prepare(ExperimentConfig {
+        max_per_function: Some(1),
+        threads: 1,
+        profiler: ProfilerConfig { period: 997, budget: 200_000_000 },
+        ..Default::default()
+    }) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("FAIL campaign sweep: prepare failed: {e}");
+            return (1, 1);
+        }
+    };
+    for seed in 0..opts.campaign_seeds {
+        pairs += 1;
+        exp.config.seed = 2003 + seed;
+        exp.config.threads = 1;
+        let one = exp.run_campaign(Campaign::A);
+        exp.config.threads = 2;
+        let many = exp.run_campaign(Campaign::A);
+        if one.records != many.records || one.metrics != many.metrics {
+            failures += 1;
+            eprintln!(
+                "FAIL campaign seed={} pair=workers-1-vs-2: {} records vs {} records",
+                exp.config.seed,
+                one.records.len(),
+                many.records.len()
+            );
+        } else if opts.verbose {
+            println!(
+                "ok campaign seed={} pair=workers-1-vs-2 records={}",
+                exp.config.seed,
+                one.records.len()
+            );
+        }
+    }
+    (pairs, failures)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("check_machine: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    match self_test() {
+        Ok(()) => println!("self-test: sanitizer catches the seeded flag-update bug"),
+        Err(e) => {
+            eprintln!("self-test FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    let (mpairs, mfail) = machine_sweep(&opts);
+    println!(
+        "machine sweep: {} seeds x 3 variants x 3 pairs = {} pairs, {} failures",
+        opts.seeds, mpairs, mfail
+    );
+    let (cpairs, cfail) = campaign_sweep(&opts);
+    println!("campaign sweep: {cpairs} pairs (1 vs 2 workers), {cfail} failures");
+
+    if mfail + cfail > 0 {
+        eprintln!("check_machine: {} failing pairs", mfail + cfail);
+        std::process::exit(1);
+    }
+    println!("check_machine: all pairs agree, no sanitizer violations");
+}

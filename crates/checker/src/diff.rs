@@ -1,0 +1,394 @@
+//! Lockstep differential execution over paired machine configurations.
+//!
+//! Two machines running the same [`GenProgram`](crate::gen::GenProgram)
+//! under configurations that must be observationally equivalent (decode
+//! cache on/off, ring/null trace sink, snapshot-restore vs fresh boot)
+//! are stepped together; their [`StepEvent`]s are compared after every
+//! step and the full architectural state — registers, flags, control
+//! registers, TSC, console, monitor, trap history, counters, and an
+//! FNV-1a digest of all of physical memory — at checkpoints and at
+//! termination. The first divergence is reported with a disassembly of
+//! the instruction stream around the diverging EIP.
+
+use crate::gen::{apply_mid_flip, install, GenProgram, CODE_BASE};
+use kfi_machine::{Counters, Machine, MachineConfig, MonitorEvent, StepEvent, TrapRecord};
+
+/// How often (in steps) the full architectural state is compared during
+/// lockstep; step events are compared every step regardless.
+pub const CHECKPOINT_INTERVAL: u64 = 64;
+
+/// Lockstep never runs longer than this many steps per side.
+pub const MAX_STEPS: u64 = 200_000;
+
+/// Which cumulative statistics participate in a state comparison.
+///
+/// The decode-cache and TLB counters survive [`Machine::restore`] by
+/// design (they are host-side plumbing, not guest state), and the cache
+/// counters necessarily differ between cache-on and cache-off machines
+/// — pairs exclude exactly the fields their configurations legitimately
+/// perturb, and nothing else.
+#[derive(Debug, Clone, Copy)]
+pub struct StateMask {
+    /// Compare `(decode_hits, decode_misses, decode_invalidations)`.
+    pub decode_stats: bool,
+    /// Compare `(tlb_hits, tlb_misses)`.
+    pub tlb_stats: bool,
+}
+
+impl StateMask {
+    /// Compare everything.
+    pub fn full() -> StateMask {
+        StateMask { decode_stats: true, tlb_stats: true }
+    }
+}
+
+/// A comparable capture of everything architecturally observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// EAX..EDI in encoding order.
+    pub regs: [u32; 8],
+    /// Instruction pointer.
+    pub eip: u32,
+    /// EFLAGS image.
+    pub eflags: u32,
+    /// Code segment selector.
+    pub cs: u32,
+    /// CR0.
+    pub cr0: u32,
+    /// CR2 (page-fault linear address).
+    pub cr2: u32,
+    /// CR3 (page-directory base).
+    pub cr3: u32,
+    /// IDT base.
+    pub idt_base: u32,
+    /// Kernel stack pointer for privilege transitions.
+    pub esp0: u32,
+    /// Time-stamp counter.
+    pub tsc: u64,
+    /// Halted with interrupts off.
+    pub halted: bool,
+    /// Console output.
+    pub console: Vec<u8>,
+    /// Monitor events with timestamps.
+    pub monitor: Vec<(u64, MonitorEvent)>,
+    /// Delivered faults.
+    pub traps: Vec<TrapRecord>,
+    /// Execution counters.
+    pub counters: Counters,
+    /// `(hits, misses)` — zeroed when masked out.
+    pub tlb_stats: (u64, u64),
+    /// `(hits, misses, invalidations)` — zeroed when masked out.
+    pub decode_stats: (u64, u64, u64),
+    /// FNV-1a over all of physical memory.
+    pub mem_digest: u64,
+}
+
+impl ArchState {
+    /// Captures `m` under `mask`.
+    pub fn capture(m: &Machine, mask: &StateMask) -> ArchState {
+        ArchState {
+            regs: m.cpu.regs,
+            eip: m.cpu.eip,
+            eflags: m.cpu.eflags.bits(),
+            cs: m.cpu.cs,
+            cr0: m.cpu.cr0,
+            cr2: m.cpu.cr2,
+            cr3: m.cpu.cr3,
+            idt_base: m.cpu.idt_base,
+            esp0: m.cpu.esp0,
+            tsc: m.cpu.tsc,
+            halted: m.cpu.halted,
+            console: m.console().to_vec(),
+            monitor: m.monitor_events().to_vec(),
+            traps: m.trap_log().to_vec(),
+            counters: m.counters(),
+            tlb_stats: if mask.tlb_stats { m.tlb_stats() } else { (0, 0) },
+            decode_stats: if mask.decode_stats { m.decode_stats() } else { (0, 0, 0) },
+            mem_digest: fnv1a(m.mem.slice(0, m.mem.size())),
+        }
+    }
+
+    /// Human-readable list of fields differing between two captures.
+    pub fn diff(&self, other: &ArchState) -> Vec<String> {
+        let mut out = Vec::new();
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    out.push(format!(
+                        "{}: {:x?} != {:x?}",
+                        stringify!($field),
+                        self.$field,
+                        other.$field
+                    ));
+                }
+            };
+        }
+        cmp!(regs);
+        cmp!(eip);
+        cmp!(eflags);
+        cmp!(cs);
+        cmp!(cr0);
+        cmp!(cr2);
+        cmp!(cr3);
+        cmp!(idt_base);
+        cmp!(esp0);
+        cmp!(tsc);
+        cmp!(halted);
+        cmp!(console);
+        cmp!(monitor);
+        cmp!(traps);
+        cmp!(counters);
+        cmp!(tlb_stats);
+        cmp!(decode_stats);
+        cmp!(mem_digest);
+        out
+    }
+}
+
+/// 64-bit FNV-1a.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+/// The first observed disagreement between paired machines.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// Step index at which the disagreement was observed.
+    pub step: u64,
+    /// What disagreed.
+    pub detail: String,
+    /// Disassembly context around the first machine's EIP.
+    pub context: String,
+}
+
+/// Result of running one pair to completion.
+#[derive(Debug, Clone)]
+pub struct PairOutcome {
+    /// Steps executed per side.
+    pub steps: u64,
+    /// First divergence, if any.
+    pub divergence: Option<Divergence>,
+    /// Sanitizer reports from both sides, labeled `a:` / `b:`.
+    pub violations: Vec<String>,
+}
+
+impl PairOutcome {
+    /// No divergence and no sanitizer violations.
+    pub fn clean(&self) -> bool {
+        self.divergence.is_none() && self.violations.is_empty()
+    }
+}
+
+fn disasm_context(m: &mut Machine) -> String {
+    let eip = m.cpu.eip;
+    let start = eip.saturating_sub(8).max(CODE_BASE);
+    let mut buf = [0u8; 32];
+    let n = m.probe_read(start, &mut buf);
+    let mut out = String::new();
+    for line in kfi_asm::disassemble(&buf[..n], start) {
+        let marker = if line.addr == eip { ">" } else { " " };
+        out.push_str(&format!("  {marker} {:#07x}: {}\n", line.addr, line.text));
+    }
+    out
+}
+
+fn collect_violations(label: &str, m: &Machine, into: &mut Vec<String>) {
+    for v in m.sanitizer_violations() {
+        into.push(format!("{label}: {v}"));
+    }
+    let extra = m.sanitizer_violation_count() as usize - m.sanitizer_violations().len();
+    if extra > 0 {
+        into.push(format!("{label}: … {extra} further violations elided"));
+    }
+}
+
+fn terminal(ev: StepEvent) -> bool {
+    matches!(ev, StepEvent::Halted | StepEvent::TripleFault)
+}
+
+/// Steps `a` and `b` in lockstep over `prog` until both terminate (or
+/// [`MAX_STEPS`]), comparing step events every step and full state at
+/// checkpoints. A mid-run flip in `prog` is applied to both machines
+/// before the same step index.
+pub fn run_lockstep(
+    a: &mut Machine,
+    b: &mut Machine,
+    prog: &GenProgram,
+    mask: &StateMask,
+) -> PairOutcome {
+    let mut step = 0u64;
+    let mut divergence = None;
+    loop {
+        if let Some(f) = prog.mid_flip.filter(|f| f.step == step) {
+            apply_mid_flip(a, &f);
+            apply_mid_flip(b, &f);
+        }
+        let eva = a.step();
+        let evb = b.step();
+        step += 1;
+        if eva != evb {
+            divergence = Some(Divergence {
+                step,
+                detail: format!("step events diverged: a={eva:?} b={evb:?}"),
+                context: disasm_context(a),
+            });
+            break;
+        }
+        let done = terminal(eva);
+        if done || step % CHECKPOINT_INTERVAL == 0 {
+            let sa = ArchState::capture(a, mask);
+            let sb = ArchState::capture(b, mask);
+            if sa != sb {
+                divergence = Some(Divergence {
+                    step,
+                    detail: format!("state diverged:\n    {}", sa.diff(&sb).join("\n    ")),
+                    context: disasm_context(a),
+                });
+                break;
+            }
+        }
+        if done || step >= MAX_STEPS {
+            break;
+        }
+    }
+    let mut violations = Vec::new();
+    collect_violations("a", a, &mut violations);
+    collect_violations("b", b, &mut violations);
+    PairOutcome { steps: step, divergence, violations }
+}
+
+/// Pair: decode cache on vs off (lockstep; cache counters excluded).
+pub fn pair_decode_cache(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let mut a = install(prog, MachineConfig { decode_cache: true, ..base });
+    let mut b = install(prog, MachineConfig { decode_cache: false, ..base });
+    run_lockstep(&mut a, &mut b, prog, &StateMask { decode_stats: false, tlb_stats: true })
+}
+
+/// Pair: ring trace sink vs null sink (lockstep; tracing must be
+/// invisible to the guest).
+pub fn pair_trace_sink(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let mut a = install(prog, base);
+    a.set_trace_sink(kfi_trace::TraceSink::ring(256));
+    let mut b = install(prog, base);
+    run_lockstep(&mut a, &mut b, prog, &StateMask::full())
+}
+
+/// Pair: snapshot-restore-rerun vs fresh boot. Machine `a` runs the
+/// program once, restores its boot snapshot, and runs again; machine
+/// `b` boots fresh and runs once. Final states must match except for
+/// the cumulative cache/TLB statistics that deliberately survive
+/// restore.
+pub fn pair_restore(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let mask = StateMask { decode_stats: false, tlb_stats: false };
+    let mut a = install(prog, base);
+    let snap = a.snapshot();
+    let first = run_to_end(&mut a, prog);
+    a.restore(&snap);
+    let second = run_to_end(&mut a, prog);
+    let mut b = install(prog, base);
+    let third = run_to_end(&mut b, prog);
+
+    let sa = ArchState::capture(&a, &mask);
+    let sb = ArchState::capture(&b, &mask);
+    let divergence = if first != second || second != third {
+        Some(Divergence {
+            step: second.min(third),
+            detail: format!(
+                "step counts diverged: first-run={first} restored-rerun={second} fresh={third}"
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else if sa != sb {
+        Some(Divergence {
+            step: second,
+            detail: format!(
+                "restored-rerun state != fresh-boot state:\n    {}",
+                sa.diff(&sb).join("\n    ")
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else {
+        None
+    };
+    let mut violations = Vec::new();
+    collect_violations("a", &a, &mut violations);
+    collect_violations("b", &b, &mut violations);
+    PairOutcome { steps: second, divergence, violations }
+}
+
+fn run_to_end(m: &mut Machine, prog: &GenProgram) -> u64 {
+    let mut step = 0u64;
+    loop {
+        if let Some(f) = prog.mid_flip.filter(|f| f.step == step) {
+            apply_mid_flip(m, &f);
+        }
+        let ev = m.step();
+        step += 1;
+        if terminal(ev) || step >= MAX_STEPS {
+            return step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, Variant};
+
+    fn base() -> MachineConfig {
+        MachineConfig { sanitizer: true, ..MachineConfig::default() }
+    }
+
+    #[test]
+    fn identical_configs_never_diverge() {
+        let prog = generate(3, Variant::Clean);
+        let mut a = install(&prog, base());
+        let mut b = install(&prog, base());
+        let out = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+        assert!(out.clean(), "identical machines diverged: {out:?}");
+        assert!(out.steps > 0);
+    }
+
+    #[test]
+    fn lockstep_detects_a_seeded_state_difference() {
+        let prog = generate(3, Variant::Clean);
+        let mut a = install(&prog, base());
+        let mut b = install(&prog, base());
+        b.cpu.regs[3] ^= 0x40; // perturb EBX on one side only
+        let out = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+        let d = out.divergence.expect("perturbed machine must diverge");
+        assert!(
+            d.detail.contains("regs") || d.detail.contains("events"),
+            "unexpected divergence detail: {}",
+            d.detail
+        );
+        assert!(!d.context.is_empty(), "divergence must carry disassembly context");
+    }
+
+    #[test]
+    fn all_three_machine_pairs_agree_on_a_sample() {
+        for seed in [0, 1, 2, 5] {
+            for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
+                let prog = generate(seed, variant);
+                for (name, out) in [
+                    ("decode-cache", pair_decode_cache(&prog, base())),
+                    ("trace-sink", pair_trace_sink(&prog, base())),
+                    ("restore", pair_restore(&prog, base())),
+                ] {
+                    assert!(out.clean(), "seed {seed} {variant:?} pair {name} failed:\n{:#?}", out);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fnv_digest_distinguishes_memory() {
+        assert_ne!(fnv1a(&[0, 1, 2]), fnv1a(&[0, 1, 3]));
+        assert_eq!(fnv1a(&[]), 0xcbf2_9ce4_8422_2325);
+    }
+}

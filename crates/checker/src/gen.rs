@@ -1,0 +1,470 @@
+//! Seeded random guest-program generator.
+//!
+//! Builds small self-terminating IA-32 programs over the [`kfi_isa`]
+//! subset and installs them into fresh [`Machine`]s, so two differently
+//! configured machines can execute the *same* program in lockstep. The
+//! generated environment is deliberately fault-tolerant: every IDT
+//! vector points at a `cli; hlt` handler, so any exception a random (or
+//! bit-flipped) instruction raises is terminal on both machines rather
+//! than a reason for the harness to special-case anything.
+//!
+//! Memory map (physical = virtual in the identity-mapped low window):
+//!
+//! | region          | address            |
+//! |-----------------|--------------------|
+//! | code            | `0x1000..`         |
+//! | fault handler   | `0x6000` (cli;hlt) |
+//! | IDT (256 × 8)   | `0x7000..0x7800`   |
+//! | stack top       | `0xF000`           |
+//! | seeded data     | `0x10000..0x20000` |
+//! | page dir/table  | `0x80000/0x81000`  |
+//!
+//! In the paging variant only the low `0..0x40000` window is mapped;
+//! wild pointers page-fault into the terminal handler. The page-table
+//! pages themselves sit *outside* the mapped window, so generated code
+//! can never rewrite live translations (which would make the MMU
+//! sanitizer's re-walk disagree with the TLB by design — see
+//! [`kfi_machine::sanitizer`]).
+
+use kfi_isa::{
+    encode, AluKind, BtKind, Grp3Kind, MemRef, Op, PortArg, Reg, Rm, ShiftCount, ShiftKind, Src,
+    Width, ALL_CONDS,
+};
+use kfi_machine::{pte, Machine, MachineConfig, CR0_PG};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Where generated code is loaded.
+pub const CODE_BASE: u32 = 0x1000;
+/// The terminal fault handler (`cli; hlt`).
+pub const HANDLER: u32 = 0x6000;
+/// IDT base (256 entries, all present, all pointing at [`HANDLER`]).
+pub const IDT_BASE: u32 = 0x7000;
+/// Initial ESP.
+pub const STACK_TOP: u32 = 0xF000;
+/// Seeded data region base.
+pub const DATA_BASE: u32 = 0x1_0000;
+/// Seeded data region length.
+pub const DATA_LEN: u32 = 0x1_0000;
+/// Physical memory given to checker machines — small, so full-memory
+/// digests at divergence checkpoints stay cheap.
+pub const PHYS_MEM: u32 = 1 << 20;
+
+const PAGE_DIR: u32 = 0x8_0000;
+const PAGE_TABLE: u32 = 0x8_1000;
+/// Top of the identity-mapped window in the paging variant.
+const MAPPED_TOP: u32 = 0x4_0000;
+/// Generated code never exceeds this many bytes.
+const MAX_CODE: usize = 0x1800;
+
+/// A deferred single-bit corruption applied while the program runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MidFlip {
+    /// Step index (0-based) *before* which the flip lands.
+    pub step: u64,
+    /// Offset into the code region.
+    pub offset: u32,
+    /// Bit index 0..8.
+    pub bit: u8,
+}
+
+/// Which corruption the program carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Valid instruction stream, no corruption.
+    Clean,
+    /// 1–3 bits flipped in the code image before the first fetch.
+    PreFlip,
+    /// One bit flipped mid-run (exercises decode-cache invalidation).
+    MidRunFlip,
+}
+
+/// A generated program plus the machine state it expects.
+#[derive(Debug, Clone)]
+pub struct GenProgram {
+    /// The seed it was generated from.
+    pub seed: u64,
+    /// Whether the paging variant is used.
+    pub paging: bool,
+    /// Encoded instruction stream (pre-flip corruption already applied).
+    pub code: Vec<u8>,
+    /// Seeded contents of the data region.
+    pub data: Vec<u8>,
+    /// Initial register file (EAX..EDI, encoding order).
+    pub regs: [u32; 8],
+    /// Mid-run corruption, if any.
+    pub mid_flip: Option<MidFlip>,
+}
+
+/// Generates the program for `seed`. The paging variant is chosen by
+/// seed parity so a sweep alternates; everything else comes from the
+/// seeded RNG, so the same seed always yields the same program.
+pub fn generate(seed: u64, variant: Variant) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b66_692d_6368_6b00);
+    let paging = seed % 2 == 1;
+
+    let mut code: Vec<u8> = Vec::new();
+    let n_insns = rng.gen_range(24usize..80);
+    for _ in 0..n_insns {
+        if code.len() >= MAX_CODE - 64 {
+            break;
+        }
+        let bytes = random_insn(&mut rng);
+        // Occasionally guard the next instruction with a conditional
+        // branch that skips exactly over it — a taken/not-taken split
+        // that both machines must agree on.
+        if bytes.len() <= 127 && rng.gen_bool(0.15) {
+            let cond = ALL_CONDS[rng.gen_range(0usize..16)];
+            let jcc = encode(&Op::Jcc { cond, rel: bytes.len() as i32 }).expect("short jcc");
+            code.extend_from_slice(&jcc);
+        }
+        code.extend_from_slice(&bytes);
+    }
+
+    // A tight countdown loop (dec %ecx; jne -3) so the decode cache sees
+    // real hits: mov $k,%ecx first, then the two-instruction loop body.
+    if rng.gen_bool(0.6) {
+        let k = rng.gen_range(4u32..40);
+        code.extend_from_slice(
+            &encode(&Op::Mov { width: Width::D, dst: Rm::reg(Reg::Ecx), src: Src::Imm(k) })
+                .expect("mov imm"),
+        );
+        code.extend_from_slice(&[0x49, 0x75, 0xfd]); // dec %ecx; jne .-1
+    }
+
+    code.extend_from_slice(&[0xfa, 0xf4]); // cli; hlt
+
+    let mut data = vec![0u8; DATA_LEN as usize];
+    for b in data.iter_mut() {
+        *b = rng.gen_range(0u32..256) as u8;
+    }
+
+    let mut regs = [0u32; 8];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = match i {
+            4 => STACK_TOP,
+            // Pointer-ish registers land inside the data region so
+            // generated memory operands mostly hit seeded bytes.
+            5 | 6 | 7 => DATA_BASE + (rng.gen_range(0u32..0x8000) & !3),
+            _ => rng.gen_range(0u32..0x1_0000),
+        };
+    }
+
+    let code_len = code.len() as u32;
+    match variant {
+        Variant::Clean => {}
+        Variant::PreFlip => {
+            for _ in 0..rng.gen_range(1u32..4) {
+                let off = rng.gen_range(0u32..code_len);
+                let bit = rng.gen_range(0u32..8) as u8;
+                code[off as usize] ^= 1 << bit;
+            }
+        }
+        Variant::MidRunFlip => {}
+    }
+    let mid_flip = match variant {
+        Variant::MidRunFlip => Some(MidFlip {
+            step: rng.gen_range(4u64..48),
+            offset: rng.gen_range(0u32..code_len),
+            bit: rng.gen_range(0u32..8) as u8,
+        }),
+        _ => None,
+    };
+
+    GenProgram { seed, paging, code, data, regs, mid_flip }
+}
+
+/// Installs `prog` into a fresh machine built from `config` (with
+/// `phys_mem` forced to [`PHYS_MEM`]).
+pub fn install(prog: &GenProgram, mut config: MachineConfig) -> Machine {
+    config.phys_mem = PHYS_MEM;
+    let mut m = Machine::new(config);
+
+    m.mem.load(HANDLER, &[0xfa, 0xf4]);
+    for v in 0..256u32 {
+        m.mem.write_u32(IDT_BASE + v * 8, HANDLER);
+        m.mem.write_u32(IDT_BASE + v * 8 + 4, 1); // present
+    }
+    m.mem.load(CODE_BASE, &prog.code);
+    m.mem.load(DATA_BASE, &prog.data);
+
+    m.cpu.regs = prog.regs;
+    m.cpu.eip = CODE_BASE;
+    m.cpu.idt_base = IDT_BASE;
+    m.cpu.esp0 = STACK_TOP;
+
+    if prog.paging {
+        // One page table identity-mapping the low window; everything
+        // else (including the table pages themselves) is unmapped.
+        m.mem.write_u32(PAGE_DIR, PAGE_TABLE | pte::P | pte::RW);
+        for page in 0..(MAPPED_TOP / kfi_machine::PAGE_SIZE) {
+            let pa = page * kfi_machine::PAGE_SIZE;
+            m.mem.write_u32(PAGE_TABLE + page * 4, pa | pte::P | pte::RW);
+        }
+        m.cpu.cr3 = PAGE_DIR;
+        m.cpu.cr0 |= CR0_PG;
+    }
+    m
+}
+
+/// Applies a mid-run flip to a machine's code image. Routing the write
+/// through [`PhysMem`](kfi_machine::PhysMem) bumps the page generation,
+/// so a decode-cache-enabled machine invalidates exactly like it would
+/// for the injector's flips.
+pub fn apply_mid_flip(m: &mut Machine, flip: &MidFlip) {
+    let addr = CODE_BASE + flip.offset;
+    let b = m.mem.read_u8(addr);
+    m.mem.load(addr, &[b ^ (1 << flip.bit)]);
+}
+
+/// One random encodable instruction (retrying unencodable picks).
+fn random_insn(rng: &mut StdRng) -> Vec<u8> {
+    loop {
+        if let Ok(bytes) = encode(&random_op(rng)) {
+            return bytes;
+        }
+    }
+}
+
+fn reg(rng: &mut StdRng) -> Reg {
+    kfi_isa::ALL_REGS[rng.gen_range(0usize..8)]
+}
+
+/// A register other than ESP — ESP-relative clobbers make the stack
+/// walk off into the weeds too fast to exercise anything interesting.
+fn reg_not_sp(rng: &mut StdRng) -> Reg {
+    loop {
+        let r = reg(rng);
+        if r != Reg::Esp {
+            return r;
+        }
+    }
+}
+
+fn mem_ref(rng: &mut StdRng) -> MemRef {
+    match rng.gen_range(0u32..4) {
+        0 => MemRef::abs(DATA_BASE + rng.gen_range(0u32..DATA_LEN - 16)),
+        1 => {
+            let base = [Reg::Ebp, Reg::Esi, Reg::Edi][rng.gen_range(0usize..3)];
+            MemRef::base_disp(base, rng.gen_range(0i32..0xE00))
+        }
+        2 => {
+            let base = [Reg::Ebp, Reg::Esi, Reg::Edi][rng.gen_range(0usize..3)];
+            let index = reg_not_sp(rng);
+            let scale = [1u8, 2, 4][rng.gen_range(0usize..3)];
+            MemRef {
+                base: Some(base),
+                index: Some((index, scale)),
+                disp: rng.gen_range(0i32..0x100),
+            }
+        }
+        _ => MemRef::base_disp([Reg::Ebp, Reg::Esi, Reg::Edi][rng.gen_range(0usize..3)], 0),
+    }
+}
+
+fn rm(rng: &mut StdRng) -> Rm {
+    if rng.gen_bool(0.4) {
+        Rm::Mem(mem_ref(rng))
+    } else {
+        Rm::reg(reg(rng))
+    }
+}
+
+fn src(rng: &mut StdRng) -> Src {
+    match rng.gen_range(0u32..3) {
+        0 => Src::Reg(reg(rng) as u8),
+        1 => Src::Imm(imm(rng)),
+        _ => Src::Mem(mem_ref(rng)),
+    }
+}
+
+fn imm(rng: &mut StdRng) -> u32 {
+    match rng.gen_range(0u32..5) {
+        0 => rng.gen_range(0u32..0x80),
+        1 => 0,
+        2 => 0xffff_ffff,
+        3 => 1 << rng.gen_range(0u32..32),
+        _ => rng.next_u64() as u32,
+    }
+}
+
+fn width(rng: &mut StdRng) -> Width {
+    if rng.gen_bool(0.25) {
+        Width::B
+    } else {
+        Width::D
+    }
+}
+
+fn shift_count(rng: &mut StdRng) -> ShiftCount {
+    match rng.gen_range(0u32..3) {
+        0 => ShiftCount::One,
+        1 => ShiftCount::Imm(rng.gen_range(0u32..32) as u8),
+        _ => ShiftCount::Cl,
+    }
+}
+
+fn random_op(rng: &mut StdRng) -> Op {
+    const ALU: [AluKind; 8] = [
+        AluKind::Add,
+        AluKind::Or,
+        AluKind::Adc,
+        AluKind::Sbb,
+        AluKind::And,
+        AluKind::Sub,
+        AluKind::Xor,
+        AluKind::Cmp,
+    ];
+    const SHIFTS: [ShiftKind; 7] = [
+        ShiftKind::Rol,
+        ShiftKind::Ror,
+        ShiftKind::Rcl,
+        ShiftKind::Rcr,
+        ShiftKind::Shl,
+        ShiftKind::Shr,
+        ShiftKind::Sar,
+    ];
+    const BTS: [BtKind; 4] = [BtKind::Bt, BtKind::Bts, BtKind::Btr, BtKind::Btc];
+    match rng.gen_range(0u32..100) {
+        0..=24 => Op::Alu {
+            kind: ALU[rng.gen_range(0usize..8)],
+            width: width(rng),
+            dst: rm(rng),
+            src: src(rng),
+        },
+        25..=39 => Op::Mov { width: width(rng), dst: rm(rng), src: src(rng) },
+        40..=44 => Op::Shift {
+            kind: SHIFTS[rng.gen_range(0usize..7)],
+            width: width(rng),
+            dst: rm(rng),
+            count: shift_count(rng),
+        },
+        45..=49 => Op::IncDec { inc: rng.gen_bool(0.5), width: width(rng), rm: rm(rng) },
+        50..=52 => Op::Lea { dst: reg(rng), mem: mem_ref(rng) },
+        53..=55 => Op::Push(src(rng)),
+        56..=57 => Op::Pop(Rm::reg(reg_not_sp(rng))),
+        58..=59 => {
+            if rng.gen_bool(0.5) {
+                Op::Movzx { dst: reg(rng), src: rm(rng) }
+            } else {
+                Op::Movsx { dst: reg(rng), src: rm(rng) }
+            }
+        }
+        60..=61 => Op::Xchg { reg: reg_not_sp(rng), rm: rm(rng) },
+        62..=63 => Op::Bt { kind: BTS[rng.gen_range(0usize..4)], dst: rm(rng), src: src(rng) },
+        64..=65 => Op::Setcc { cond: ALL_CONDS[rng.gen_range(0usize..16)], rm: rm(rng) },
+        66..=67 => {
+            Op::Cmov { cond: ALL_CONDS[rng.gen_range(0usize..16)], dst: reg(rng), src: rm(rng) }
+        }
+        68..=69 => Op::Imul2 { dst: reg(rng), src: rm(rng) },
+        70 => Op::Imul3 { dst: reg(rng), src: rm(rng), imm: imm(rng) as i32 },
+        71..=73 => Op::Grp3 {
+            // Div/Idiv excluded from the uniform pick (a zero divisor is
+            // terminal); they get their own low-probability arm below.
+            kind: [Grp3Kind::Not, Grp3Kind::Neg, Grp3Kind::Mul, Grp3Kind::Imul]
+                [rng.gen_range(0usize..4)],
+            width: width(rng),
+            rm: rm(rng),
+        },
+        74 => Op::Grp3 {
+            kind: if rng.gen_bool(0.5) { Grp3Kind::Div } else { Grp3Kind::Idiv },
+            width: width(rng),
+            rm: rm(rng),
+        },
+        75 => Op::Xadd { width: width(rng), dst: rm(rng), src: reg(rng) },
+        76 => Op::Cmpxchg { width: width(rng), dst: rm(rng), src: reg(rng) },
+        77 => {
+            if rng.gen_bool(0.5) {
+                Op::Shld { dst: rm(rng), src: reg(rng), count: shift_count(rng) }
+            } else {
+                Op::Shrd { dst: rm(rng), src: reg(rng), count: shift_count(rng) }
+            }
+        }
+        78..=79 => {
+            if rng.gen_bool(0.5) {
+                Op::Pushf
+            } else {
+                Op::Popf
+            }
+        }
+        80 => {
+            if rng.gen_bool(0.5) {
+                Op::Pusha
+            } else {
+                Op::Popa
+            }
+        }
+        81..=82 => {
+            if rng.gen_bool(0.5) {
+                Op::Cwde
+            } else {
+                Op::Cdq
+            }
+        }
+        83 => Op::Bswap(reg(rng)),
+        84 => Op::Rdtsc,
+        85 => Op::Out { width: Width::B, port: PortArg::Imm(0xe9) },
+        86..=87 => [Op::Cmc, Op::Clc, Op::Stc, Op::Cld, Op::Std][rng.gen_range(0usize..5)],
+        88 => {
+            if rng.gen_bool(0.5) {
+                Op::Sahf
+            } else {
+                Op::Lahf
+            }
+        }
+        89 => Op::Aam(rng.gen_range(1u32..256) as u8),
+        90 => Op::Aad(rng.gen_range(0u32..256) as u8),
+        91 => Op::Xlat,
+        92 => Op::Cpuid,
+        93 => Op::MovToCr { cr: 2, src: reg(rng) },
+        94 => Op::MovFromCr { cr: 2, dst: reg(rng) },
+        _ => Op::Nop,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_machine::RunExit;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
+            let a = generate(7, variant);
+            let b = generate(7, variant);
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.data, b.data);
+            assert_eq!(a.regs, b.regs);
+            assert_eq!(a.mid_flip, b.mid_flip);
+        }
+        let a = generate(7, Variant::Clean);
+        let b = generate(8, Variant::Clean);
+        assert_ne!(a.code, b.code, "different seeds must differ");
+    }
+
+    #[test]
+    fn clean_programs_terminate() {
+        for seed in 0..16 {
+            let prog = generate(seed, Variant::Clean);
+            let mut m = install(&prog, MachineConfig::default());
+            let exit = m.run(500_000);
+            assert!(
+                matches!(exit, RunExit::Halted | RunExit::TripleFault),
+                "seed {seed} did not terminate: {exit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_programs_terminate() {
+        for seed in 0..16 {
+            let prog = generate(seed, Variant::PreFlip);
+            let mut m = install(&prog, MachineConfig::default());
+            let exit = m.run(500_000);
+            assert!(
+                matches!(exit, RunExit::Halted | RunExit::TripleFault),
+                "flipped seed {seed} did not terminate: {exit:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! # kfi-checker — differential fuzzing + sanitizer harness
+//!
+//! The workspace's correctness depends on several "must be invisible"
+//! mechanisms: the decoded-instruction cache, the dirty-page snapshot
+//! restore, the trace sinks, and multi-worker campaign scheduling. Each
+//! has targeted equivalence tests, but those only cover the programs
+//! someone thought to write. This crate closes the gap with:
+//!
+//! * a **seeded random program generator** ([`gen`]) over the
+//!   [`kfi_isa`] subset, emitting valid *and* bit-flipped instruction
+//!   streams (the same corruption model the injector uses);
+//! * a **lockstep differential executor** ([`diff`]) running each
+//!   program under paired configurations that must agree — decode
+//!   cache on/off, ring/null trace sink, snapshot-restore vs fresh
+//!   boot — and, at the campaign level, 1 vs N workers — comparing the
+//!   full architectural state and reporting the first divergence with
+//!   disassembly context;
+//! * the machine's always-on **architectural-state sanitizer**
+//!   ([`kfi_machine::sanitizer`], enabled on every checker machine via
+//!   [`MachineConfig::sanitizer`](kfi_machine::MachineConfig)), which
+//!   validates per-step invariants no differential pair can see
+//!   (canonical EFLAGS, monotonic TSC, CR2-iff-#PF, decode-cache
+//!   coherence, MMU walk idempotence).
+//!
+//! The `check_machine` binary drives a bounded deterministic seed sweep
+//! suitable for CI, plus a self-test that injects a known flag-update
+//! bug (behind a test-only [`MachineConfig`](kfi_machine::MachineConfig)
+//! hook) and asserts the sanitizer catches it — proof the net has no
+//! hole where it matters.
+//!
+//! # Examples
+//!
+//! ```
+//! use kfi_checker::gen::{generate, Variant};
+//! use kfi_checker::diff::pair_decode_cache;
+//! use kfi_machine::MachineConfig;
+//!
+//! let prog = generate(42, Variant::Clean);
+//! let cfg = MachineConfig { sanitizer: true, ..MachineConfig::default() };
+//! let out = pair_decode_cache(&prog, cfg);
+//! assert!(out.clean(), "{out:?}");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod gen;
+
+pub use diff::{
+    pair_decode_cache, pair_restore, pair_trace_sink, run_lockstep, ArchState, Divergence,
+    PairOutcome, StateMask,
+};
+pub use gen::{generate, install, GenProgram, MidFlip, Variant};

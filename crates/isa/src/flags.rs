@@ -68,6 +68,23 @@ impl Eflags {
         self.0
     }
 
+    /// True when `bits` is a flag image this model can legitimately
+    /// produce: only writable bits set, reserved always-one bit set.
+    /// The machine sanitizer checks this after every step — every flag
+    /// writer in the simulator goes through [`Eflags::from_bits`] or the
+    /// ALU helpers, so a non-canonical image is a simulator bug.
+    pub fn is_canonical(bits: u32) -> bool {
+        Eflags::from_bits(bits).0 == bits
+    }
+
+    #[doc(hidden)]
+    /// Constructs a flag image **without** canonicalization. Exists only
+    /// so the checker's sanitizer self-test can model a broken flag
+    /// update (a `popf` that forgets to mask); never use it elsewhere.
+    pub fn from_bits_raw(bits: u32) -> Eflags {
+        Eflags(bits)
+    }
+
     fn get(self, mask: u32) -> bool {
         self.0 & mask != 0
     }
@@ -275,6 +292,16 @@ mod tests {
         assert_eq!(f.bits() & 0b10, 0b10);
         // IOPL and other unmodeled bits must be masked away.
         assert_eq!(f.bits() & !(Eflags::WRITABLE | Eflags::RESERVED_ONE), 0);
+    }
+
+    #[test]
+    fn canonicality_matches_from_bits() {
+        assert!(Eflags::is_canonical(Eflags::new().bits()));
+        assert!(Eflags::is_canonical(Eflags::from_bits(u32::MAX).bits()));
+        // Reserved bit clear, or unmodeled bits set: not canonical.
+        assert!(!Eflags::is_canonical(0));
+        assert!(!Eflags::is_canonical(Eflags::RESERVED_ONE | (1 << 21)));
+        assert!(!Eflags::is_canonical(Eflags::from_bits_raw(0x3000 | 0b10).bits()));
     }
 
     #[test]

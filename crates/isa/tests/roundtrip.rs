@@ -1,0 +1,435 @@
+//! Exhaustive encode→decode→re-encode roundtrip over every instruction
+//! form, including boundary immediates/displacements and the forced
+//! maximum-length (`encode_wide`) encodings.
+//!
+//! Two properties per operation:
+//!
+//! 1. `decode(encode(op))` yields `op` with `len == bytes.len()`;
+//! 2. re-encoding the decoded op emits *byte-identical* output —
+//!    `encode` is canonical, so decode→encode is the identity on
+//!    canonically encoded streams (what the decode cache, the tracer's
+//!    disassembly and the injector's flip targeting all rely on).
+//!
+//! `encode_wide` picks non-canonical (longer) forms, so for those only
+//! property 1's op-equality half is asserted; the canonical re-encoding
+//! is allowed (expected!) to be shorter.
+
+use kfi_isa::{
+    decode, encode, encode_wide, jcc_near, jcc_short, jmp_near, jmp_short, AluKind, BtKind, Cond,
+    EncodeError, Grp3Kind, MemRef, Op, PortArg, Reg, Rep, Rm, ShiftCount, ShiftKind, Src, StrKind,
+    Width, ALL_CONDS, ALL_REGS, MAX_INSN_LEN,
+};
+
+/// Immediates straddling every encoder width decision: imm8 sign-extend
+/// boundaries, 16-bit boundaries, and full-width extremes.
+const IMMS: [u32; 9] = [0, 1, 0x7f, 0x80, 0xff, 0x100, 0x7fff_ffff, 0x8000_0000, 0xffff_ffff];
+
+/// Displacements straddling the disp8/disp32 boundary in both signs.
+const DISPS: [i32; 8] = [0, 1, 0x7f, -0x80, 0x80, -0x81, 0x7fff_ffff, i32::MIN];
+
+/// Counts successful roundtrips; `Unencodable` combinations are skipped
+/// (that *is* the encoder's answer for them), `RelOutOfRange` is a bug
+/// for the operands used here.
+struct Harness {
+    checked: u64,
+    skipped: u64,
+}
+
+impl Harness {
+    fn new() -> Harness {
+        Harness { checked: 0, skipped: 0 }
+    }
+
+    /// Property 1 + 2 for the canonical encoding of `op`.
+    fn check(&mut self, op: Op) {
+        let bytes = match encode(&op) {
+            Ok(b) => b,
+            Err(EncodeError::Unencodable) => {
+                self.skipped += 1;
+                return;
+            }
+            Err(e) => panic!("{op:?}: unexpected encode error {e:?}"),
+        };
+        assert!(bytes.len() <= MAX_INSN_LEN, "{op:?}: {} bytes", bytes.len());
+        let insn = decode(&bytes).unwrap_or_else(|e| panic!("{op:?}: decode failed: {e:?}"));
+        assert_eq!(insn.op, canonical(op), "decode(encode(op)) changed the operation");
+        assert_eq!(insn.len as usize, bytes.len(), "{op:?}: length mismatch");
+        let again = encode(&insn.op).expect("re-encode of a decoded op");
+        assert_eq!(again, bytes, "{op:?}: re-encoding is not byte-identical");
+        self.checked += 1;
+    }
+
+    /// Property 1 (op equality only) for the wide encoding of `op`.
+    fn check_wide(&mut self, op: Op) {
+        let bytes = match encode_wide(&op) {
+            Ok(b) => b,
+            Err(EncodeError::Unencodable) => {
+                self.skipped += 1;
+                return;
+            }
+            Err(e) => panic!("{op:?}: unexpected encode_wide error {e:?}"),
+        };
+        assert!(bytes.len() <= MAX_INSN_LEN, "{op:?}: wide {} bytes", bytes.len());
+        let insn = decode(&bytes).unwrap_or_else(|e| panic!("{op:?}: wide decode failed: {e:?}"));
+        assert_eq!(insn.op, op, "decode(encode_wide(op)) changed the operation");
+        assert_eq!(insn.len as usize, bytes.len(), "{op:?}: wide length mismatch");
+        self.checked += 1;
+    }
+}
+
+/// Memory operands covering every ModRM/SIB addressing shape: absolute,
+/// each base register (EBP forces disp8=0, ESP forces a SIB byte), each
+/// disp width, scaled indices with and without base, index-only.
+fn mem_refs() -> Vec<MemRef> {
+    let mut out = vec![MemRef::abs(0), MemRef::abs(0x1234), MemRef::abs(0xffff_ffff)];
+    for r in ALL_REGS {
+        out.push(MemRef::base(r));
+        for d in DISPS {
+            out.push(MemRef::base_disp(r, d));
+        }
+    }
+    for base in [Reg::Eax, Reg::Esp, Reg::Ebp] {
+        for index in [Reg::Eax, Reg::Ecx, Reg::Ebp, Reg::Edi] {
+            for scale in [1u8, 2, 4, 8] {
+                for d in [0, 0x7f, -0x80, 0x80] {
+                    out.push(MemRef::full(Some(base), Some((index, scale)), d));
+                }
+            }
+        }
+    }
+    for scale in [1u8, 2, 4, 8] {
+        out.push(MemRef::full(None, Some((Reg::Edx, scale)), 0x40));
+    }
+    out
+}
+
+/// A representative-but-complete set of r/m operands: every register
+/// plus every memory shape.
+fn rms() -> Vec<Rm> {
+    let mut out: Vec<Rm> = ALL_REGS.iter().map(|&r| Rm::reg(r)).collect();
+    out.extend(mem_refs().into_iter().map(Rm::Mem));
+    out
+}
+
+/// Sources: two registers, every boundary immediate, two memory shapes.
+fn srcs() -> Vec<Src> {
+    let mut out = vec![Src::Reg(Reg::Eax as u8), Src::Reg(Reg::Edi as u8)];
+    out.extend(IMMS.iter().map(|&i| Src::Imm(i)));
+    out.push(Src::Mem(MemRef::abs(0x2000)));
+    out.push(Src::Mem(MemRef::base_disp(Reg::Esi, -0x81)));
+    out
+}
+
+const WIDTHS: [Width; 2] = [Width::B, Width::D];
+
+/// What decode is expected to yield for `op`. `test` is commutative
+/// with a single `TEST r/m, r` encoding, so a register-destination /
+/// memory-source `Test` canonicalizes to the swapped operand order;
+/// everything else decodes to itself.
+fn canonical(op: Op) -> Op {
+    match op {
+        Op::Alu { kind: AluKind::Test, width, dst: Rm::Reg(r), src: Src::Mem(m) } => {
+            Op::Alu { kind: AluKind::Test, width, dst: Rm::Mem(m), src: Src::Reg(r) }
+        }
+        other => other,
+    }
+}
+
+/// Clamps an immediate to what a byte-width instruction can represent —
+/// the encoder emits the low 8 bits, so a wider immediate would decode
+/// to a (correctly) truncated operation, which is canonicalization, not
+/// a roundtrip failure.
+fn fit(src: Src, width: Width) -> Src {
+    match (src, width) {
+        (Src::Imm(i), Width::B) => Src::Imm(i & 0xff),
+        (s, _) => s,
+    }
+}
+
+#[test]
+fn alu_mov_all_forms_roundtrip() {
+    let mut h = Harness::new();
+    const KINDS: [AluKind; 9] = [
+        AluKind::Add,
+        AluKind::Or,
+        AluKind::Adc,
+        AluKind::Sbb,
+        AluKind::And,
+        AluKind::Sub,
+        AluKind::Xor,
+        AluKind::Cmp,
+        AluKind::Test,
+    ];
+    for kind in KINDS {
+        for width in WIDTHS {
+            for dst in rms() {
+                for src in srcs() {
+                    h.check(Op::Alu { kind, width, dst: dst.clone(), src: fit(src, width) });
+                }
+            }
+        }
+    }
+    for width in WIDTHS {
+        for dst in rms() {
+            for src in srcs() {
+                h.check(Op::Mov { width, dst: dst.clone(), src: fit(src, width) });
+            }
+        }
+    }
+    assert!(h.checked > 10_000, "only {} forms checked", h.checked);
+}
+
+#[test]
+fn data_movement_and_bit_ops_roundtrip() {
+    let mut h = Harness::new();
+    for dst in ALL_REGS {
+        for src in rms() {
+            h.check(Op::Movzx { dst, src: src.clone() });
+            h.check(Op::Movsx { dst, src: src.clone() });
+            h.check(Op::Imul2 { dst, src: src.clone() });
+            for &imm in &IMMS {
+                h.check(Op::Imul3 { dst, src: src.clone(), imm: imm as i32 });
+            }
+            h.check(Op::Xchg { reg: dst, rm: src.clone() });
+        }
+        for mem in mem_refs() {
+            h.check(Op::Lea { dst, mem });
+            h.check(Op::Bound { reg: dst, mem });
+        }
+        h.check(Op::Bswap(dst));
+    }
+    const BTS: [BtKind; 4] = [BtKind::Bt, BtKind::Bts, BtKind::Btr, BtKind::Btc];
+    for kind in BTS {
+        for dst in rms() {
+            for src in srcs() {
+                // Immediate bit offsets are imm8: clamp like `fit`.
+                h.check(Op::Bt { kind, dst: dst.clone(), src: fit(src, Width::B) });
+            }
+        }
+    }
+    for width in WIDTHS {
+        for dst in rms() {
+            for src in ALL_REGS {
+                h.check(Op::Xadd { width, dst: dst.clone(), src });
+                h.check(Op::Cmpxchg { width, dst: dst.clone(), src });
+            }
+        }
+    }
+    assert!(h.checked > 10_000, "only {} forms checked", h.checked);
+}
+
+#[test]
+fn shifts_and_grp3_roundtrip() {
+    let mut h = Harness::new();
+    const SHIFTS: [ShiftKind; 7] = [
+        ShiftKind::Rol,
+        ShiftKind::Ror,
+        ShiftKind::Rcl,
+        ShiftKind::Rcr,
+        ShiftKind::Shl,
+        ShiftKind::Shr,
+        ShiftKind::Sar,
+    ];
+    // Immediate shift counts decode masked to 0..=31 (the hardware
+    // masks them too), so only representable counts roundtrip.
+    let counts = [
+        ShiftCount::One,
+        ShiftCount::Imm(0),
+        ShiftCount::Imm(1),
+        ShiftCount::Imm(31),
+        ShiftCount::Cl,
+    ];
+    for kind in SHIFTS {
+        for width in WIDTHS {
+            for dst in rms() {
+                for count in counts {
+                    h.check(Op::Shift { kind, width, dst: dst.clone(), count });
+                }
+            }
+        }
+    }
+    for dst in rms() {
+        for src in ALL_REGS {
+            for count in counts {
+                h.check(Op::Shld { dst: dst.clone(), src, count });
+                h.check(Op::Shrd { dst: dst.clone(), src, count });
+            }
+        }
+    }
+    const G3: [Grp3Kind; 6] = [
+        Grp3Kind::Not,
+        Grp3Kind::Neg,
+        Grp3Kind::Mul,
+        Grp3Kind::Imul,
+        Grp3Kind::Div,
+        Grp3Kind::Idiv,
+    ];
+    for kind in G3 {
+        for width in WIDTHS {
+            for rm in rms() {
+                h.check(Op::Grp3 { kind, width, rm });
+            }
+        }
+    }
+    for inc in [true, false] {
+        for width in WIDTHS {
+            for rm in rms() {
+                h.check(Op::IncDec { inc, width, rm });
+            }
+        }
+    }
+    assert!(h.checked > 5_000, "only {} forms checked", h.checked);
+}
+
+#[test]
+fn stack_branch_and_misc_roundtrip() {
+    let mut h = Harness::new();
+    for src in srcs() {
+        h.check(Op::Push(src));
+    }
+    for rm in rms() {
+        h.check(Op::Pop(rm.clone()));
+        h.check(Op::JmpInd(rm.clone()));
+        h.check(Op::CallInd(rm));
+    }
+    // rel8/rel32 boundary on both signs, plus extremes.
+    let rels = [0, 1, 0x7f, -0x80, 0x80, -0x81, 0x7fff_0000, i32::MIN];
+    for rel in rels {
+        h.check(Op::Jmp { rel });
+        h.check(Op::Call { rel });
+        for cond in ALL_CONDS {
+            h.check(Op::Jcc { cond, rel });
+        }
+    }
+    for cond in ALL_CONDS {
+        for rm in rms() {
+            h.check(Op::Setcc { cond, rm });
+        }
+        for dst in [Reg::Eax, Reg::Ebp] {
+            for src in rms() {
+                h.check(Op::Cmov { cond, dst, src });
+            }
+        }
+    }
+    for v in [0u16, 1, 0x7f, 0x80, 0xffff] {
+        h.check(Op::RetImm(v));
+    }
+    for v in [0u8, 3, 0x80, 0xff] {
+        h.check(Op::Int(v));
+    }
+    for v in [1u8, 2, 10, 16, 0xff] {
+        h.check(Op::Aam(v));
+        h.check(Op::Aad(v));
+    }
+    for mem in mem_refs() {
+        h.check(Op::Lidt(mem));
+    }
+    for width in WIDTHS {
+        for port in [PortArg::Imm(0), PortArg::Imm(0xe9), PortArg::Imm(0xff), PortArg::Dx] {
+            h.check(Op::In { width, port });
+            h.check(Op::Out { width, port });
+        }
+        const STRS: [StrKind; 5] =
+            [StrKind::Movs, StrKind::Cmps, StrKind::Stos, StrKind::Lods, StrKind::Scas];
+        for kind in STRS {
+            for rep in [Rep::None, Rep::Rep, Rep::Repne] {
+                h.check(Op::Str { kind, width, rep });
+            }
+        }
+    }
+    for cr in [0u8, 2, 3] {
+        for r in ALL_REGS {
+            h.check(Op::MovToCr { cr, src: r });
+            h.check(Op::MovFromCr { cr, dst: r });
+        }
+    }
+    let nullary = [
+        Op::Pusha,
+        Op::Popa,
+        Op::Pushf,
+        Op::Popf,
+        Op::Ret,
+        Op::Lret,
+        Op::Leave,
+        Op::Int3,
+        Op::Into,
+        Op::Iret,
+        Op::Ud2,
+        Op::Hlt,
+        Op::Nop,
+        Op::Cwde,
+        Op::Cdq,
+        Op::Rdtsc,
+        Op::Cpuid,
+        Op::Cli,
+        Op::Sti,
+        Op::Xlat,
+        Op::Cmc,
+        Op::Clc,
+        Op::Stc,
+        Op::Cld,
+        Op::Std,
+        Op::Sahf,
+        Op::Lahf,
+    ];
+    for op in nullary {
+        h.check(op);
+    }
+    assert!(h.checked > 2_000, "only {} forms checked", h.checked);
+}
+
+#[test]
+fn wide_encodings_decode_to_the_same_op() {
+    let mut h = Harness::new();
+    for dst in rms() {
+        for src in srcs() {
+            h.check_wide(Op::Alu {
+                kind: AluKind::Add,
+                width: Width::D,
+                dst: dst.clone(),
+                src: src.clone(),
+            });
+            h.check_wide(Op::Mov { width: Width::D, dst: dst.clone(), src });
+        }
+        h.check_wide(Op::Push(Src::Imm(1)));
+    }
+    for rel in [0, 1, -1, 0x7f, -0x80] {
+        // Near branches whose displacement would fit the short form are
+        // exactly the non-canonical max-length encodings the assembler's
+        // widening fixpoint emits.
+        h.check_wide(Op::Jmp { rel });
+        h.check_wide(Op::Call { rel });
+        for cond in [Cond::E, Cond::G] {
+            h.check_wide(Op::Jcc { cond, rel });
+        }
+    }
+    assert!(h.checked > 500, "only {} wide forms checked", h.checked);
+}
+
+#[test]
+fn explicit_branch_helpers_roundtrip() {
+    for cond in ALL_CONDS {
+        for rel in [0i32, 1, 0x7f, -0x80] {
+            let s = jcc_short(cond, rel).expect("fits rel8");
+            let i = decode(&s).expect("short jcc decodes");
+            assert_eq!(i.op, Op::Jcc { cond, rel });
+            assert_eq!(i.len as usize, s.len());
+
+            let n = jcc_near(cond, rel);
+            let i = decode(&n).expect("near jcc decodes");
+            assert_eq!(i.op, Op::Jcc { cond, rel });
+            assert_eq!(i.len as usize, n.len());
+        }
+        assert!(jcc_short(cond, 0x80).is_err(), "rel8 overflow must be rejected");
+        assert!(jcc_short(cond, -0x81).is_err());
+    }
+    for rel in [0i32, 0x7f, -0x80, 0x100, i32::MIN] {
+        let n = jmp_near(rel);
+        assert_eq!(decode(&n).expect("near jmp").op, Op::Jmp { rel });
+        if let Ok(s) = jmp_short(rel) {
+            assert_eq!(decode(&s).expect("short jmp").op, Op::Jmp { rel });
+        } else {
+            assert!(!(-0x80..=0x7f).contains(&rel));
+        }
+    }
+}

@@ -34,6 +34,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         timer_period: config.timer_period,
         timer_enabled: true,
         decode_cache: config.decode_cache,
+        ..MachineConfig::default()
     });
     m.disk = Some(disk);
     load_into(&mut m, image, config);

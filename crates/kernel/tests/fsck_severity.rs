@@ -1,0 +1,171 @@
+//! fsck verdicts on crafted dirty images, pinning the three post-crash
+//! repair paths of the paper's severity scale (Table 8): a clean disk
+//! reboots normally (`Clean` → Normal, ~4 min), repairable metadata
+//! damage needs an interactive fsck (`Fixed` → Severe, ~5.5 min), and
+//! destroyed or content-corrupted system files mean reformat +
+//! reinstall (`Unrecoverable` → Most Severe, ~60 min).
+//!
+//! Each test hand-corrupts specific on-disk structures of a freshly
+//! mkfs'd image, so a behavior change in either mkfs layout or fsck
+//! logic shows up as a verdict change here.
+
+use std::collections::BTreeMap;
+
+use kfi_kernel::mkfs::{
+    sb, BITMAP_BLOCK, BLOCK_SIZE, EXT2_MAGIC, IBITMAP_BLOCK, ITABLE_BLOCK, ROOT_INO, SB_BLOCK,
+};
+use kfi_kernel::{fsck, mkfs, standard_fixtures, FileSpec, FsckReport};
+
+const NBLOCKS: u32 = 2048;
+
+fn image() -> (Vec<u8>, BTreeMap<String, (u32, u32)>) {
+    let mut files = standard_fixtures();
+    files.push(FileSpec { path: "/init".into(), data: vec![5; 100] });
+    files.push(FileSpec { path: "/bin/dhry".into(), data: vec![7; 2500] });
+    let img = mkfs(NBLOCKS, &files);
+    (img.disk.bytes().to_vec(), img.manifest)
+}
+
+fn put_u32(bytes: &mut [u8], block: u32, off: usize, v: u32) {
+    let p = block as usize * BLOCK_SIZE + off;
+    bytes[p..p + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+#[test]
+fn pristine_image_takes_the_normal_reboot_path() {
+    let (bytes, manifest) = image();
+    assert_eq!(fsck(&bytes, &manifest), FsckReport::Clean);
+}
+
+#[test]
+fn leaked_block_takes_the_interactive_fsck_path() {
+    let (mut bytes, manifest) = image();
+    // Mark a high data block used in the bitmap without any file
+    // claiming it: classic leak, repairable.
+    let blk = NBLOCKS - 10;
+    bytes[BITMAP_BLOCK as usize * BLOCK_SIZE + (blk / 8) as usize] |= 1 << (blk % 8);
+    match fsck(&bytes, &manifest) {
+        FsckReport::Fixed { problems, notes } => {
+            assert_eq!(problems, 1);
+            assert!(notes[0].contains("leaked"), "unexpected note: {}", notes[0]);
+        }
+        other => panic!("leaked block should be Fixed, got {other:?}"),
+    }
+}
+
+#[test]
+fn used_but_free_block_takes_the_interactive_fsck_path() {
+    let (mut bytes, manifest) = image();
+    // Clear the bitmap bit of every data block: everything reachable
+    // becomes "used but free in bitmap". Contents are untouched, so the
+    // manifest checks still pass and the damage stays repairable.
+    let bm = BITMAP_BLOCK as usize * BLOCK_SIZE;
+    for b in bytes[bm..bm + BLOCK_SIZE].iter_mut() {
+        *b = 0;
+    }
+    match fsck(&bytes, &manifest) {
+        FsckReport::Fixed { problems, notes } => {
+            assert!(problems > 1);
+            assert!(notes.iter().any(|n| n.contains("used but free")), "notes: {notes:?}");
+        }
+        other => panic!("cleared bitmap should be Fixed, got {other:?}"),
+    }
+}
+
+#[test]
+fn leaked_inode_takes_the_interactive_fsck_path() {
+    let (mut bytes, manifest) = image();
+    let ino = 100u32; // far beyond the handful of allocated inodes
+    bytes[IBITMAP_BLOCK as usize * BLOCK_SIZE + (ino / 8) as usize] |= 1 << (ino % 8);
+    match fsck(&bytes, &manifest) {
+        FsckReport::Fixed { problems: 1, notes } => {
+            assert!(notes[0].contains("inode 100 leaked"), "unexpected note: {}", notes[0]);
+        }
+        other => panic!("leaked inode should be Fixed, got {other:?}"),
+    }
+}
+
+#[test]
+fn wrong_superblock_block_count_is_repairable() {
+    let (mut bytes, manifest) = image();
+    put_u32(&mut bytes, SB_BLOCK, sb::BLOCKS, NBLOCKS + 512);
+    match fsck(&bytes, &manifest) {
+        FsckReport::Fixed { notes, .. } => {
+            assert!(notes.iter().any(|n| n.contains("block count")), "notes: {notes:?}");
+        }
+        other => panic!("bad block count should be Fixed, got {other:?}"),
+    }
+}
+
+#[test]
+fn zapped_magic_takes_the_reformat_path() {
+    let (mut bytes, manifest) = image();
+    put_u32(&mut bytes, SB_BLOCK, sb::MAGIC, EXT2_MAGIC ^ 0x1); // one flipped bit
+    match fsck(&bytes, &manifest) {
+        FsckReport::Unrecoverable { reason } => {
+            assert!(reason.contains("bad superblock magic"), "reason: {reason}");
+        }
+        other => panic!("bad magic should be Unrecoverable, got {other:?}"),
+    }
+}
+
+#[test]
+fn destroyed_root_inode_takes_the_reformat_path() {
+    let (mut bytes, manifest) = image();
+    // Root is inode 2: entry 1 of the first inode-table block, 64 bytes
+    // each. Zeroing the mode word makes it "not a directory".
+    let off = ITABLE_BLOCK as usize * BLOCK_SIZE + ((ROOT_INO - 1) % 16) as usize * 64;
+    bytes[off] = 0;
+    bytes[off + 1] = 0;
+    match fsck(&bytes, &manifest) {
+        FsckReport::Unrecoverable { reason } => {
+            assert!(reason.contains("root inode destroyed"), "reason: {reason}");
+        }
+        other => panic!("destroyed root should be Unrecoverable, got {other:?}"),
+    }
+}
+
+#[test]
+fn corrupted_system_file_contents_take_the_reformat_path() {
+    let (mut bytes, manifest) = image();
+    // /init is 100 bytes of 0x05: find its (unique) data block and flip
+    // one content byte. Metadata stays perfectly consistent — only the
+    // manifest checksum can catch this, and it must.
+    let block = (0..NBLOCKS as usize)
+        .find(|&b| {
+            let s = &bytes[b * BLOCK_SIZE..(b + 1) * BLOCK_SIZE];
+            s[..100].iter().all(|&x| x == 5) && s[100..].iter().all(|&x| x == 0)
+        })
+        .expect("/init data block present");
+    bytes[block * BLOCK_SIZE + 50] ^= 0x10;
+    match fsck(&bytes, &manifest) {
+        FsckReport::Unrecoverable { reason } => {
+            assert!(
+                reason.contains("/init") && reason.contains("contents corrupted"),
+                "reason: {reason}"
+            );
+        }
+        other => panic!("corrupted /init should be Unrecoverable, got {other:?}"),
+    }
+}
+
+#[test]
+fn missing_system_file_takes_the_reformat_path() {
+    let (bytes, mut manifest) = image();
+    // The manifest demands a file the tree never had: same verdict as a
+    // directory entry torn off by corruption.
+    manifest.insert("/sbin/getty".into(), (42, 0xdead_beef));
+    match fsck(&bytes, &manifest) {
+        FsckReport::Unrecoverable { reason } => {
+            assert!(reason.contains("system file missing"), "reason: {reason}");
+        }
+        other => panic!("missing file should be Unrecoverable, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_image_takes_the_reformat_path() {
+    let (bytes, manifest) = image();
+    let truncated = &bytes[..BLOCK_SIZE]; // superblock torn off
+    assert!(matches!(fsck(truncated, &manifest), FsckReport::Unrecoverable { .. }));
+}

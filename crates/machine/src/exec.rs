@@ -18,7 +18,13 @@ impl Machine {
         // Translation runs on every fetch, hit or miss, so paging faults
         // and TLB statistics are identical with the cache on or off.
         let pa = self.xlate(eip, Access::Exec)?;
+        if self.san.is_some() {
+            self.sanitize_fetch_translation(eip, pa);
+        }
         if let Some(insn) = self.decode_cache.lookup(pa, &self.mem) {
+            if self.san.is_some() {
+                self.sanitize_cached_decode(eip, pa, insn);
+            }
             return Ok(insn);
         }
         let mut buf = [0u8; 15];
@@ -43,6 +49,61 @@ impl Machine {
                 decode(&buf).map_err(|_| Fault::Vec(Vector::InvalidOpcode, None))
             }
             Err(_) => Err(Fault::Vec(Vector::InvalidOpcode, None)),
+        }
+    }
+
+    /// Sanitizer: the fetch translation must be reproducible by a fresh
+    /// page walk through an empty TLB (walk idempotence — see the
+    /// [`crate::sanitizer`] docs for the live-page-table caveat).
+    fn sanitize_fetch_translation(&mut self, eip: u32, pa: u32) {
+        let (cr3, paging, user) = (self.cpu.cr3, self.cpu.paging(), self.cpu.is_user());
+        let Some(san) = self.san.as_mut() else { return };
+        san.scratch_tlb.flush();
+        let first = crate::mmu::translate(
+            &self.mem,
+            &mut san.scratch_tlb,
+            cr3,
+            paging,
+            eip,
+            Access::Exec,
+            user,
+        );
+        let second = crate::mmu::translate(
+            &self.mem,
+            &mut san.scratch_tlb,
+            cr3,
+            paging,
+            eip,
+            Access::Exec,
+            user,
+        );
+        if first != second {
+            san.report(format!(
+                "MMU walk not idempotent for eip {eip:#010x}: {first:?} then {second:?}"
+            ));
+        } else if first != Ok(pa) {
+            san.report(format!(
+                "fetch translation {pa:#010x} for eip {eip:#010x} not reproduced by a fresh walk \
+                 ({first:?})"
+            ));
+        }
+    }
+
+    /// Sanitizer: a decode-cache hit must return exactly what decoding
+    /// the current memory bytes returns. Cached entries never straddle
+    /// pages, so the in-page byte window is sufficient.
+    fn sanitize_cached_decode(&mut self, eip: u32, pa: u32, cached: Insn) {
+        let mut buf = [0u8; 15];
+        let take = ((4096 - (pa & PAGE_MASK)) as usize).min(15);
+        self.mem.read_into(pa, &mut buf[..take]);
+        let fresh = decode(&buf[..take]);
+        if fresh != Ok(cached) {
+            let Some(san) = self.san.as_mut() else { return };
+            san.report(format!(
+                "decode cache served {cached:?} at eip {eip:#010x} (pa {pa:#010x}) but fresh \
+                 decode of {:02x?} gives {fresh:?}",
+                &buf[..cached.len.min(take as u8) as usize]
+            ));
         }
     }
 
@@ -173,6 +234,13 @@ impl Machine {
                     self.write_rm(&dst, r.value, width)?;
                 }
                 self.cpu.eflags = r.flags;
+                if self.config().flag_update_bug {
+                    // Test-only hook: model a flag writer that forgets
+                    // the canonicalization mask (clears the reserved
+                    // always-one bit, leaks an unmodeled IOPL bit). The
+                    // sanitizer self-test asserts this is caught.
+                    self.cpu.eflags = Eflags::from_bits_raw((r.flags.bits() & !0b10) | (1 << 12));
+                }
             }
             Op::Mov { width, dst, src } => {
                 let v = self.read_src(&src, width)?;
@@ -564,7 +632,12 @@ impl Machine {
                         self.cpu.cr0 = v;
                         self.tlb.flush();
                     }
-                    2 => self.cpu.cr2 = v,
+                    2 => {
+                        self.cpu.cr2 = v;
+                        if let Some(san) = self.san.as_mut() {
+                            san.cr2_write_ok = true;
+                        }
+                    }
                     3 => {
                         let old = self.cpu.cr3;
                         self.cpu.cr3 = v;

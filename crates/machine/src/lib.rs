@@ -41,6 +41,7 @@ mod machine;
 mod mem;
 mod mmu;
 mod ramdisk;
+pub mod sanitizer;
 mod trap;
 
 pub use cpu::{Cpu, CR0_PG, KERNEL_CS, USER_CS};

@@ -96,6 +96,18 @@ pub struct MachineConfig {
     /// true; turning it off is the reference path for equivalence tests
     /// and benchmarks — execution must be observationally identical).
     pub decode_cache: bool,
+    /// Per-step architectural-state sanitizer (default false). When on,
+    /// every step validates the invariants listed in the crate docs
+    /// (canonical EFLAGS, monotonic TSC, CR2-iff-#PF, decode-cache
+    /// coherence, MMU walk idempotence) and records violations for
+    /// [`Machine::sanitizer_violations`]. Roughly doubles execution
+    /// cost; meant for the checker's sweeps, not for campaigns.
+    pub sanitizer: bool,
+    #[doc(hidden)]
+    /// Test-only hook: makes every ALU flag update leak a non-canonical
+    /// EFLAGS image, so the checker's self-test can prove the sanitizer
+    /// detects a broken flag writer. Never set outside that self-test.
+    pub flag_update_bug: bool,
 }
 
 impl Default for MachineConfig {
@@ -105,6 +117,8 @@ impl Default for MachineConfig {
             timer_period: 50_000,
             timer_enabled: true,
             decode_cache: true,
+            sanitizer: false,
+            flag_update_bug: false,
         }
     }
 }
@@ -189,6 +203,9 @@ pub struct Machine {
     pub(crate) tlb: Tlb,
     pub(crate) decode_cache: crate::decode_cache::DecodeCache,
     pub(crate) trace: TraceSink,
+    /// Allocated iff `config.sanitizer`; boxed so the disabled case
+    /// costs one pointer.
+    pub(crate) san: Option<Box<crate::sanitizer::Sanitizer>>,
     config: MachineConfig,
     console: Vec<u8>,
     monitor: Vec<(u64, MonitorEvent)>,
@@ -212,6 +229,7 @@ impl Machine {
             tlb: Tlb::new(),
             decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
             trace: TraceSink::Null,
+            san: config.sanitizer.then(|| Box::new(crate::sanitizer::Sanitizer::new())),
             config,
             console: Vec::new(),
             monitor: Vec::new(),
@@ -281,6 +299,23 @@ impl Machine {
     /// (the copy footprint the next restore will pay).
     pub fn dirty_page_count(&self) -> u32 {
         self.mem.dirty_page_count()
+    }
+
+    /// Sanitizer violation messages recorded so far (empty when the
+    /// sanitizer is disabled or nothing fired). At most the first
+    /// [`32`](crate::sanitizer) distinct reports are retained verbatim;
+    /// [`Machine::sanitizer_violation_count`] keeps the full count.
+    /// Cumulative for the life of the machine — [`Machine::restore`]
+    /// and [`Machine::clear_logs`] do *not* clear them (a violation is
+    /// host-side evidence of a simulator bug, not guest state).
+    pub fn sanitizer_violations(&self) -> &[String] {
+        self.san.as_ref().map(|s| s.violations.as_slice()).unwrap_or(&[])
+    }
+
+    /// Total sanitizer violations recorded (including those past the
+    /// retained-message cap).
+    pub fn sanitizer_violation_count(&self) -> u64 {
+        self.san.as_ref().map(|s| s.count).unwrap_or(0)
     }
 
     /// Installs a trace sink. [`TraceSink::Null`] (the default) makes
@@ -675,6 +710,56 @@ impl Machine {
 
     /// Executes one instruction (or delivers one pending interrupt).
     pub fn step(&mut self) -> StepEvent {
+        if self.san.is_none() {
+            return self.step_inner();
+        }
+        let prev_tsc = self.cpu.tsc;
+        let prev_cr2 = self.cpu.cr2;
+        let prev_traps = self.trap_log.len();
+        if let Some(san) = self.san.as_mut() {
+            san.cr2_write_ok = false;
+        }
+        let ev = self.step_inner();
+        self.sanitize_step(prev_tsc, prev_cr2, prev_traps, ev);
+        ev
+    }
+
+    /// Post-step invariant validation (see [`crate::sanitizer`]).
+    fn sanitize_step(&mut self, prev_tsc: u64, prev_cr2: u32, prev_traps: usize, ev: StepEvent) {
+        let bits = self.cpu.eflags.bits();
+        let eip = self.cpu.eip;
+        let tsc = self.cpu.tsc;
+        let cr2 = self.cpu.cr2;
+        // #PF delivered this step => CR2 holds the logged fault address.
+        let pf_cr2_mismatch = self.trap_log[prev_traps..]
+            .iter()
+            .filter(|t| t.vector == Vector::PageFault)
+            .next_back()
+            .filter(|t| t.cr2 != cr2)
+            .map(|t| t.cr2);
+        let Some(san) = self.san.as_mut() else { return };
+        if !kfi_isa::Eflags::is_canonical(bits) {
+            san.report(format!("non-canonical EFLAGS image {bits:#010x} at eip {eip:#010x}"));
+        }
+        if tsc < prev_tsc {
+            san.report(format!("TSC moved backwards ({prev_tsc} -> {tsc}) at eip {eip:#010x}"));
+        } else if ev == StepEvent::Executed && tsc == prev_tsc {
+            san.report(format!("TSC did not advance over an executed step at eip {eip:#010x}"));
+        }
+        if cr2 != prev_cr2 && !san.cr2_write_ok {
+            san.report(format!(
+                "CR2 changed ({prev_cr2:#010x} -> {cr2:#010x}) without #PF delivery or mov-to-cr2 \
+                 at eip {eip:#010x}"
+            ));
+        }
+        if let Some(logged) = pf_cr2_mismatch {
+            san.report(format!(
+                "#PF delivered with CR2 {cr2:#010x} != logged fault address {logged:#010x}"
+            ));
+        }
+    }
+
+    fn step_inner(&mut self) -> StepEvent {
         if self.triple_faulted {
             return StepEvent::TripleFault;
         }
@@ -720,6 +805,9 @@ impl Machine {
                 let (vector, err) = match fault {
                     Fault::Page(pf) => {
                         self.cpu.cr2 = pf.addr;
+                        if let Some(san) = self.san.as_mut() {
+                            san.cr2_write_ok = true;
+                        }
                         (Vector::PageFault, Some(pf.error_code()))
                     }
                     Fault::Vec(v, e) => (v, e),
@@ -948,6 +1036,98 @@ mod tests {
         assert_eq!(m.run(500), RunExit::CycleLimit);
     }
 }
+#[cfg(test)]
+mod sanitizer_tests {
+    use super::*;
+
+    fn sanitized(code: &[u8]) -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: false,
+            sanitizer: true,
+            ..Default::default()
+        });
+        m.mem.load(0x1000, code);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        m
+    }
+
+    #[test]
+    fn clean_program_has_no_violations() {
+        // add $1,%eax x3; push/pop; cli; hlt — ALU flags, stack, halt.
+        let mut m = sanitized(&[0x40, 0x40, 0x40, 0x50, 0x58, 0xfa, 0xf4]);
+        assert_eq!(m.run(1000), RunExit::Halted);
+        assert_eq!(m.sanitizer_violations(), &[] as &[String]);
+        assert_eq!(m.sanitizer_violation_count(), 0);
+    }
+
+    #[test]
+    fn page_fault_and_mov_to_cr2_are_legal_cr2_writers() {
+        // Identity-map the low 4 MiB minus the page at 0x6000, fault on
+        // it, handle via IDT vector 14 -> cli;hlt handler.
+        let mut m = sanitized(&[]);
+        let cr3 = 0x4000u32;
+        let pt = 0x5000u32;
+        m.mem.write_u32(cr3, pt | 7);
+        for i in 0..1024u32 {
+            m.mem.write_u32(pt + i * 4, (i << 12) | 3);
+        }
+        m.mem.write_u32(pt + 6 * 4, 0);
+        m.cpu.idt_base = 0x2000;
+        m.mem.write_u32(0x2000 + 14 * 8, 0x3000);
+        m.mem.write_u32(0x2000 + 14 * 8 + 4, 1);
+        m.mem.load(0x3000, &[0xfa, 0xf4]); // handler: cli; hlt
+                                           // mov %eax,%cr2 ; mov 0x6000,%eax (#PF)
+        m.mem.load(0x1000, &[0x0f, 0x22, 0xd0, 0xa1, 0x00, 0x60, 0x00, 0x00]);
+        m.cpu.set_reg(0, 0xdead_0000);
+        m.cpu.cr3 = cr3;
+        m.cpu.cr0 |= crate::cpu::CR0_PG;
+        assert_eq!(m.run(10_000), RunExit::Halted);
+        assert!(m.trap_log().iter().any(|t| t.vector == Vector::PageFault));
+        assert_eq!(m.cpu.cr2, 0x6000);
+        assert_eq!(m.sanitizer_violations(), &[] as &[String]);
+    }
+
+    #[test]
+    fn broken_flag_update_is_caught() {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: false,
+            sanitizer: true,
+            flag_update_bug: true,
+            ..Default::default()
+        });
+        m.mem.load(0x1000, &[0x83, 0xc0, 0x01, 0xfa, 0xf4]); // add $1,%eax; cli; hlt
+        m.cpu.eip = 0x1000;
+        assert_eq!(m.run(1000), RunExit::Halted);
+        assert!(m.sanitizer_violation_count() > 0, "sanitizer missed the seeded flag bug");
+        assert!(m.sanitizer_violations()[0].contains("non-canonical EFLAGS"));
+    }
+
+    #[test]
+    fn decode_cache_hits_validated_against_fresh_decode() {
+        // Tight loop so the cache serves hits; the re-decode must agree.
+        let mut m = sanitized(&[0x48, 0x75, 0xfd, 0xfa, 0xf4]); // dec %eax; jne -3
+        m.cpu.set_reg(0, 50);
+        assert_eq!(m.run(100_000), RunExit::Halted);
+        let (hits, _, _) = m.decode_stats();
+        assert!(hits > 0, "loop must exercise the decode cache");
+        assert_eq!(m.sanitizer_violations(), &[] as &[String]);
+    }
+
+    #[test]
+    fn sanitizer_disabled_costs_nothing_and_reports_nothing() {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: false,
+            flag_update_bug: true, // bug present but no sanitizer watching
+            ..Default::default()
+        });
+        m.mem.load(0x1000, &[0x40, 0xfa, 0xf4]);
+        m.cpu.eip = 0x1000;
+        assert_eq!(m.run(1000), RunExit::Halted);
+        assert_eq!(m.sanitizer_violation_count(), 0);
+    }
+}
+
 #[cfg(test)]
 mod reboot_tests {
     use super::*;

@@ -1,0 +1,56 @@
+//! Golden regression test for the raw CSV dataset: a seeded mini study
+//! (all three campaigns, small per-function cap, one worker) rendered
+//! through the same [`kfi_bench::csv_dataset`] path as `repro_all
+//! --csv` must match the checked-in corpus byte for byte. Any change to
+//! injection planning, outcome classification, the metrics plumbing, or
+//! the CSV schema shows up here as a readable diff.
+//!
+//! To re-bless after an intentional change:
+//! `KFI_BLESS=1 cargo test --test golden_csv`.
+
+use kfi_core::{Experiment, ExperimentConfig};
+use kfi_profiler::ProfilerConfig;
+
+const GOLDEN_PATH: &str = "tests/golden/repro_mini.csv";
+
+fn dataset() -> String {
+    let exp = Experiment::prepare(ExperimentConfig {
+        seed: 2003,
+        max_per_function: Some(2),
+        threads: 1,
+        profiler: ProfilerConfig { period: 997, budget: 200_000_000 },
+        ..Default::default()
+    })
+    .expect("experiment prepares");
+    kfi_bench::csv_dataset(&exp.run_all())
+}
+
+#[test]
+fn mini_study_csv_matches_golden_corpus() {
+    let got = dataset();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(GOLDEN_PATH);
+    if std::env::var_os("KFI_BLESS").is_some() {
+        std::fs::write(&path, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden corpus {GOLDEN_PATH}: {e}"));
+    if got != want {
+        let diff: Vec<String> = want
+            .lines()
+            .zip(got.lines())
+            .enumerate()
+            .filter(|(_, (w, g))| w != g)
+            .take(20)
+            .map(|(i, (w, g))| format!("line {}:\n  golden: {w}\n  got:    {g}", i + 1))
+            .collect();
+        panic!(
+            "CSV dataset diverged from {GOLDEN_PATH} \
+             ({} golden lines, {} got lines).\n{}\n\
+             If the change is intentional, re-bless with KFI_BLESS=1.",
+            want.lines().count(),
+            got.lines().count(),
+            diff.join("\n")
+        );
+    }
+}
