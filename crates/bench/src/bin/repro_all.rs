@@ -6,7 +6,7 @@ fn main() {
     let opts = kfi_bench::ReproOptions::from_args();
     let csv = std::env::args().any(|a| a == "--csv");
     let exp = kfi_bench::prepare(&opts);
-    let study = kfi_bench::run_study(&exp);
+    let (study, _report) = kfi_bench::run_study_supervised(&exp, &opts.supervisor_config());
     println!(
         "{}",
         kfi_report::full_report(&exp.image, &exp.profile, &study, exp.config.top_fraction)

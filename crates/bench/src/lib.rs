@@ -7,12 +7,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use kfi_core::supervisor::{PanicInjection, SupervisorConfig, SupervisorReport};
 use kfi_core::{Experiment, ExperimentConfig, StudyResult};
-use kfi_injector::{plan_function, Campaign, Outcome};
+use kfi_injector::{plan_function, Campaign, Outcome, RigConfig};
 use kfi_kernel::KernelBuildOptions;
 use kfi_profiler::ProfilerConfig;
 use rand::SeedableRng;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 /// Command-line options shared by the repro binaries.
 #[derive(Debug, Clone)]
@@ -26,6 +28,22 @@ pub struct ReproOptions {
     pub threads: usize,
     /// Build the kernel without BUG() assertions (ablation).
     pub no_assertions: bool,
+    /// Journal path for checkpoint/resume (`--journal`).
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal instead of truncating it (`--resume`).
+    pub resume: bool,
+    /// Quarantine directory for persistent-offender artifacts
+    /// (`--quarantine`).
+    pub quarantine: Option<PathBuf>,
+    /// Run the rig with the machine's architectural-state sanitizer on
+    /// (`--sanitize`).
+    pub sanitize: bool,
+    /// Wall-clock watchdog budget per run in milliseconds
+    /// (`--wall-budget-ms`).
+    pub wall_budget_ms: Option<u64>,
+    /// Test-only harness-fault injection (`--inject-panic`,
+    /// `--inject-panic-persistent`).
+    pub inject_panic: PanicInjection,
 }
 
 impl Default for ReproOptions {
@@ -35,13 +53,26 @@ impl Default for ReproOptions {
             seed: 2003,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             no_assertions: false,
+            journal: None,
+            resume: false,
+            quarantine: None,
+            sanitize: false,
+            wall_budget_ms: None,
+            inject_panic: PanicInjection::None,
         }
     }
 }
 
+fn parse_index_list(s: &str) -> std::collections::BTreeSet<usize> {
+    s.split(',').filter_map(|v| v.trim().parse().ok()).collect()
+}
+
 impl ReproOptions {
     /// Parses `--full`, `--cap N`, `--seed N`, `--threads N`,
-    /// `--no-assertions` from the process arguments.
+    /// `--no-assertions`, `--journal PATH`, `--resume`,
+    /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N` and the
+    /// test-only `--inject-panic I,J,...` /
+    /// `--inject-panic-persistent I,J,...` from the process arguments.
     pub fn from_args() -> ReproOptions {
         let mut o = ReproOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -62,6 +93,33 @@ impl ReproOptions {
                     o.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.threads);
                 }
                 "--no-assertions" => o.no_assertions = true,
+                "--journal" => {
+                    i += 1;
+                    o.journal = args.get(i).map(PathBuf::from);
+                }
+                "--resume" => o.resume = true,
+                "--quarantine" => {
+                    i += 1;
+                    o.quarantine = args.get(i).map(PathBuf::from);
+                }
+                "--sanitize" => o.sanitize = true,
+                "--wall-budget-ms" => {
+                    i += 1;
+                    o.wall_budget_ms = args.get(i).and_then(|v| v.parse().ok());
+                }
+                "--inject-panic" => {
+                    i += 1;
+                    if let Some(list) = args.get(i) {
+                        o.inject_panic = PanicInjection::Transient(parse_index_list(list));
+                    }
+                }
+                "--inject-panic-persistent" => {
+                    i += 1;
+                    if let Some(list) = args.get(i) {
+                        o.inject_panic = PanicInjection::Persistent(parse_index_list(list));
+                    }
+                }
+                "--csv" => {} // handled by the binaries themselves
                 other => eprintln!("ignoring unknown argument `{other}`"),
             }
             i += 1;
@@ -77,7 +135,20 @@ impl ReproOptions {
             threads: self.threads,
             kernel: KernelBuildOptions { assertions: !self.no_assertions },
             profiler: ProfilerConfig::default(),
+            rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
             ..Default::default()
+        }
+    }
+
+    /// Converts to a supervisor policy.
+    pub fn supervisor_config(&self) -> SupervisorConfig {
+        SupervisorConfig {
+            wall_budget: self.wall_budget_ms.map(std::time::Duration::from_millis),
+            quarantine_dir: self.quarantine.clone(),
+            journal: self.journal.clone(),
+            resume: self.resume,
+            inject_panic: self.inject_panic.clone(),
+            ..SupervisorConfig::default()
         }
     }
 }
@@ -193,13 +264,30 @@ pub fn csv_dataset(study: &StudyResult) -> String {
 
 /// Runs all three campaigns, printing progress.
 pub fn run_study(exp: &Experiment) -> StudyResult {
+    run_study_supervised(exp, &SupervisorConfig::default()).0
+}
+
+/// Runs all three campaigns under the given supervisor policy,
+/// printing progress and the supervisor summary on stderr. The stdout
+/// dataset is unaffected by the policy: a resumed campaign prints
+/// byte-identical results to an uninterrupted one.
+///
+/// # Panics
+///
+/// Panics when the journal cannot be opened or its seed does not match
+/// — continuing would silently discard the requested checkpoints.
+pub fn run_study_supervised(
+    exp: &Experiment,
+    cfg: &SupervisorConfig,
+) -> (StudyResult, SupervisorReport) {
     eprintln!(
         "[kfi] running campaigns A/B/C over {} functions (cap {:?}, {} threads)...",
         exp.target_functions.len(),
         exp.config.max_per_function,
         exp.config.threads
     );
-    let study = exp.run_all();
+    let supervised = kfi_core::run_study_supervised(exp, cfg).expect("journal usable");
+    let study = supervised.study;
     for (l, r) in &study.campaigns {
         let t = r.total();
         eprintln!(
@@ -209,5 +297,31 @@ pub fn run_study(exp: &Experiment) -> StudyResult {
             t.crash_or_hang()
         );
     }
-    study
+    let rep = &supervised.report;
+    if cfg.journal.is_some() {
+        eprintln!(
+            "[kfi] journal: {} runs resumed, {} fsync batches",
+            rep.resumed_runs, rep.journal_flushes
+        );
+    }
+    if rep.rig_panics + rep.retries + rep.quarantined_runs + rep.watchdog_fired > 0
+        || rep.workers_lost > 0
+    {
+        eprintln!(
+            "[kfi] supervisor: {} panics caught, {} retries, {} quarantined, \
+             {} watchdog aborts, {} workers lost",
+            rep.rig_panics, rep.retries, rep.quarantined_runs, rep.watchdog_fired, rep.workers_lost
+        );
+    }
+    for q in &rep.quarantined {
+        eprintln!(
+            "[kfi] quarantined: campaign {} job {} ({}) — {}{}",
+            q.campaign,
+            q.index,
+            q.function,
+            q.reason,
+            q.path.as_deref().map(|p| format!(" [{}]", p.display())).unwrap_or_default()
+        );
+    }
+    (study, supervised.report)
 }

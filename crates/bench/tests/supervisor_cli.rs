@@ -1,0 +1,114 @@
+//! End-to-end supervisor robustness through the real `repro_all`
+//! binary: a SIGKILL mid-campaign followed by `--resume` must print a
+//! byte-identical dataset, and an injected worker panic must lose zero
+//! records.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+const BASE_ARGS: &[&str] = &["--cap", "2", "--seed", "11", "--csv"];
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kfi-bench-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// Runs `repro_all` to completion and returns its stdout (report +
+/// CSV dataset). stderr is passed through for debuggability.
+fn run_repro(extra: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .args(BASE_ARGS)
+        .args(extra)
+        .stderr(Stdio::inherit())
+        .output()
+        .expect("spawn repro_all");
+    assert!(out.status.success(), "repro_all failed with {:?}", out.status);
+    String::from_utf8(out.stdout).expect("stdout is UTF-8")
+}
+
+/// Blanks the supervisor's own bookkeeping — the "rig panics caught" /
+/// "run retries" metrics-table rows and the matching metrics-CSV
+/// columns. Those legitimately differ between a clean run and one with
+/// injected harness faults; *everything else* (every record row, every
+/// paper table) must not.
+fn without_supervisor_counters(s: &str) -> String {
+    let mut out = String::new();
+    for l in s.lines() {
+        let t = l.trim_start();
+        if t.starts_with("rig panics caught") || t.starts_with("run retries") {
+            continue;
+        }
+        let fields: Vec<&str> = l.split(',').collect();
+        if fields.len() == 20 && matches!(fields[0], "A" | "B" | "C") {
+            let mut f: Vec<String> = fields.into_iter().map(str::to_string).collect();
+            f[16] = "_".into(); // rig_panics
+            f[17] = "_".into(); // run_retries
+            out.push_str(&f.join(","));
+        } else {
+            out.push_str(l);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn injected_worker_panics_lose_zero_records() {
+    let clean = run_repro(&["--threads", "2"]);
+    assert!(clean.contains("campaign,function,subsystem"), "dataset missing from stdout");
+    // Transient panics at several job indices: workers die, their rigs
+    // are rebuilt, the jobs retry. Outside the supervisor's own panic
+    // and retry counters, stdout must not change by one byte.
+    let panicked = run_repro(&["--threads", "2", "--inject-panic", "0,3,7"]);
+    assert!(panicked.contains("rig panics caught"), "the injected panics never happened");
+    assert_eq!(
+        without_supervisor_counters(&clean),
+        without_supervisor_counters(&panicked),
+        "worker panics must not disturb the dataset"
+    );
+}
+
+#[test]
+fn sigkill_then_resume_reproduces_the_dataset() {
+    let journal = tmp("journal");
+    let _ = std::fs::remove_file(&journal);
+    let jarg = journal.to_str().unwrap();
+
+    // The uninterrupted truth, journal off.
+    let clean = run_repro(&["--threads", "1"]);
+
+    // Start a journaled run and SIGKILL it once the journal shows the
+    // campaign underway (a few fsync'd entries). If the child somehow
+    // finishes first the kill degrades to a full-journal resume —
+    // still a correct, just weaker, exercise.
+    let mut child = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .args(BASE_ARGS)
+        .args(["--threads", "1", "--journal", jarg])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn journaled repro_all");
+    for _ in 0..500 {
+        if child.try_wait().expect("poll child").is_some() {
+            break;
+        }
+        if std::fs::metadata(&journal).map(|m| m.len() > 2048).unwrap_or(false) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let _ = child.kill(); // SIGKILL on unix
+    let _ = child.wait();
+
+    // Resume at the same worker count...
+    let resumed1 = run_repro(&["--threads", "1", "--journal", jarg, "--resume"]);
+    assert_eq!(clean, resumed1, "resume at 1 worker must be byte-identical");
+
+    // ...and at a different one: the journal is worker-count agnostic.
+    let resumed2 = run_repro(&["--threads", "2", "--journal", jarg, "--resume"]);
+    assert_eq!(clean, resumed2, "resume at 2 workers must be byte-identical");
+
+    let _ = std::fs::remove_file(&journal);
+}

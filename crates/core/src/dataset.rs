@@ -34,6 +34,9 @@ pub struct RecordRow {
     pub severity: String,
     /// Cycles consumed by the run.
     pub run_cycles: u64,
+    /// Machine sanitizer violations observed during the run (0 when the
+    /// sanitizer is off).
+    pub sanitizer_violations: u64,
 }
 
 impl RecordRow {
@@ -60,18 +63,19 @@ impl RecordRow {
             latency,
             severity,
             run_cycles: r.run_cycles,
+            sanitizer_violations: r.sanitizer_violations,
         }
     }
 }
 
 /// CSV header matching [`to_csv_line`].
-pub const CSV_HEADER: &str = "campaign,function,subsystem,insn_addr,byte_index,bit_mask,mode,outcome,cause,crash_eip,crash_subsystem,latency,severity,run_cycles";
+pub const CSV_HEADER: &str = "campaign,function,subsystem,insn_addr,byte_index,bit_mask,mode,outcome,cause,crash_eip,crash_subsystem,latency,severity,run_cycles,sanitizer_violations";
 
 /// Renders one row as a CSV line (fields contain no commas by
 /// construction).
 pub fn to_csv_line(r: &RecordRow) -> String {
     format!(
-        "{},{},{},{:#x},{},{:#04x},{},{},{},{:#x},{},{},{},{}",
+        "{},{},{},{:#x},{},{:#04x},{},{},{},{:#x},{},{},{},{},{}",
         r.campaign,
         r.function,
         r.subsystem,
@@ -85,7 +89,8 @@ pub fn to_csv_line(r: &RecordRow) -> String {
         r.crash_subsystem,
         r.latency,
         if r.severity.is_empty() { "-" } else { &r.severity },
-        r.run_cycles
+        r.run_cycles,
+        r.sanitizer_violations
     )
 }
 
@@ -102,12 +107,17 @@ pub fn to_csv(rows: &[RecordRow]) -> String {
 
 /// CSV header matching [`metrics_csv_line`]: one row of campaign
 /// execution metrics (the `CampaignResult::metrics` aggregate).
-pub const METRICS_CSV_HEADER: &str = "campaign,runs,runs_not_activated,snapshot_restores,instructions,faults,syscalls,timer_irqs,tlb_hits,tlb_miss_walks,decode_hits,decode_misses,decode_invalidations,dirty_pages,run_cycles_total";
+pub const METRICS_CSV_HEADER: &str = "campaign,runs,runs_not_activated,snapshot_restores,instructions,faults,syscalls,timer_irqs,tlb_hits,tlb_miss_walks,decode_hits,decode_misses,decode_invalidations,dirty_pages,run_cycles_total,sanitizer_violations,rig_panics,run_retries,quarantined_runs,wall_watchdog_fired";
 
 /// Renders one campaign's merged [`Metrics`] as a CSV line.
+///
+/// `journal_flushes` is deliberately absent: flush counts depend on how
+/// (and whether) a campaign was interrupted and resumed, and this CSV
+/// must be bit-identical between an interrupted-and-resumed campaign
+/// and an uninterrupted one.
 pub fn metrics_csv_line(campaign: char, m: &Metrics) -> String {
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         campaign,
         m.runs,
         m.runs_not_activated,
@@ -122,7 +132,12 @@ pub fn metrics_csv_line(campaign: char, m: &Metrics) -> String {
         m.decode_misses,
         m.decode_invalidations,
         m.dirty_pages,
-        m.run_cycles_total
+        m.run_cycles_total,
+        m.sanitizer_violations,
+        m.rig_panics,
+        m.run_retries,
+        m.quarantined_runs,
+        m.wall_watchdog_fired
     )
 }
 
@@ -163,6 +178,7 @@ mod tests {
             outcome: Outcome::NotManifested,
             activation_tsc: Some(123),
             run_cycles: 456,
+            sanitizer_violations: 0,
         };
         let row = RecordRow::from_record(&r);
         assert_eq!(row.campaign, 'B');

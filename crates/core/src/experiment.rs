@@ -180,74 +180,24 @@ impl Experiment {
         .map_err(|e| e.to_string())
     }
 
-    /// Runs one campaign, fanning the planned targets across worker
-    /// threads (each with its own machine + rig).
+    /// Runs one campaign, fanning the planned targets across
+    /// supervised worker threads (each with its own machine + rig).
     ///
-    /// # Panics
+    /// This delegates to [`crate::supervisor::run_campaign_supervised`]
+    /// with the default [`SupervisorConfig`]: panicking runs are
+    /// contained and retried on a fresh rig (persistent offenders
+    /// become [`kfi_injector::Outcome::RigFault`] records), a dead
+    /// worker's jobs flow to the survivors, and the campaign always
+    /// completes with one record per planned target. Records are in
+    /// plan order and metrics totals are identical for any thread
+    /// count.
     ///
-    /// Panics when a worker cannot construct its rig — the baseline
-    /// system must be healthy before any experiment.
+    /// [`SupervisorConfig`]: crate::supervisor::SupervisorConfig
     pub fn run_campaign(&self, campaign: Campaign) -> CampaignResult {
-        let targets = self.plan(campaign);
-        let functions_injected = {
-            let mut fs: Vec<&str> = targets.iter().map(|t| t.function.as_str()).collect();
-            fs.sort_unstable();
-            fs.dedup();
-            fs.len()
-        };
-        let jobs: Vec<(usize, InjectionTarget, u32)> = targets
-            .into_iter()
-            .enumerate()
-            .map(|(i, t)| {
-                let mode = self.mode_for(&t);
-                (i, t, mode)
-            })
-            .collect();
-
-        let threads = self.config.threads.max(1);
-        let mut metrics = Metrics::default();
-        let mut records: Vec<(usize, RunRecord)> = if threads == 1 {
-            let mut rig = self.make_rig().expect("rig boots");
-            let records = jobs.iter().map(|(i, t, mode)| (*i, rig.run_one(t, *mode))).collect();
-            metrics.merge(rig.metrics());
-            records
-        } else {
-            let chunks: Vec<Vec<(usize, InjectionTarget, u32)>> = (0..threads)
-                .map(|w| jobs.iter().filter(|(i, _, _)| i % threads == w).cloned().collect())
-                .collect();
-            std::thread::scope(|s| {
-                let handles: Vec<_> = chunks
-                    .into_iter()
-                    .map(|chunk| {
-                        s.spawn(move || {
-                            let mut rig = self.make_rig().expect("rig boots");
-                            let records = chunk
-                                .into_iter()
-                                .map(|(i, t, mode)| (i, rig.run_one(&t, mode)))
-                                .collect::<Vec<_>>();
-                            (records, rig.take_metrics())
-                        })
-                    })
-                    .collect();
-                // Joining in spawn order merges worker metrics in
-                // worker-index order; merge is additive, so any order
-                // would give the same totals.
-                let mut records = Vec::new();
-                for h in handles {
-                    let (worker_records, worker_metrics) = h.join().expect("worker panicked");
-                    records.extend(worker_records);
-                    metrics.merge(&worker_metrics);
-                }
-                records
-            })
-        };
-        records.sort_by_key(|(i, _)| *i);
-        CampaignResult {
-            campaign,
-            records: records.into_iter().map(|(_, r)| r).collect(),
-            functions_injected,
-            metrics,
-        }
+        let cfg = crate::supervisor::SupervisorConfig::default();
+        crate::supervisor::run_campaign_supervised(self, campaign, &cfg)
+            .expect("supervisor without a journal cannot fail")
+            .result
     }
 
     /// Runs all three campaigns.

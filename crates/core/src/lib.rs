@@ -11,12 +11,19 @@
 
 pub mod dataset;
 pub mod experiment;
+pub mod journal;
 pub mod setup;
 pub mod stats;
+pub mod supervisor;
 
 pub use dataset::{metrics_to_csv, to_csv, RecordRow, METRICS_CSV_HEADER};
 pub use experiment::{
     CampaignResult, Experiment, ExperimentConfig, StudyResult, INJECTED_SUBSYSTEMS,
 };
+pub use journal::{Journal, JournalEntry};
 pub use setup::{setup_summary, SetupItem};
 pub use stats::OutcomeTally;
+pub use supervisor::{
+    run_campaign_supervised, run_study_supervised, PanicInjection, QuarantineReport,
+    SupervisedCampaign, SupervisedStudy, SupervisorConfig, SupervisorReport,
+};

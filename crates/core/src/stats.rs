@@ -19,6 +19,9 @@ pub struct OutcomeTally {
     pub crash: usize,
     /// Hangs (watchdog).
     pub hang: usize,
+    /// Rig faults (the harness failed, not the guest): excluded from
+    /// activation statistics, surfaced so lost runs are never silent.
+    pub rig_fault: usize,
 }
 
 impl OutcomeTally {
@@ -33,6 +36,7 @@ impl OutcomeTally {
             Outcome::FailSilenceViolation(_) => self.fsv += 1,
             Outcome::Crash(_) => self.crash += 1,
             Outcome::Hang => self.hang += 1,
+            Outcome::RigFault(_) => self.rig_fault += 1,
             Outcome::NotActivated => {}
         }
     }
@@ -293,6 +297,7 @@ mod tests {
             outcome,
             activation_tsc: Some(1),
             run_cycles: 10,
+            sanitizer_violations: 0,
         }
     }
 

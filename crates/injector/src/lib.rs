@@ -20,6 +20,7 @@
 mod outcome;
 mod rig;
 mod target;
+pub mod wire;
 
 pub use outcome::{CrashInfo, FsvKind, Outcome, RunRecord, Severity};
 pub use rig::{GoldenRun, InjectorRig, RigConfig, RigError};

@@ -88,12 +88,19 @@ pub enum Outcome {
     Crash(CrashInfo),
     /// The system wedged (hardware watchdog fired).
     Hang,
+    /// The *rig* failed, not the guest: the worker panicked during this
+    /// run and the campaign supervisor recorded the loss (with the
+    /// panic payload) instead of aborting the whole campaign. Says
+    /// nothing about the injected error's effect, so it is excluded
+    /// from activation statistics.
+    RigFault(String),
 }
 
 impl Outcome {
-    /// True when the error was activated (everything but NotActivated).
+    /// True when the error was activated — everything but NotActivated
+    /// and RigFault (a rig fault observed nothing about the guest).
     pub fn activated(&self) -> bool {
-        !matches!(self, Outcome::NotActivated)
+        !matches!(self, Outcome::NotActivated | Outcome::RigFault(_))
     }
 
     /// Short category label.
@@ -104,6 +111,7 @@ impl Outcome {
             Outcome::FailSilenceViolation(_) => "fail silence violation",
             Outcome::Crash(_) => "crash",
             Outcome::Hang => "hang",
+            Outcome::RigFault(_) => "rig fault",
         }
     }
 
@@ -126,6 +134,13 @@ pub struct RunRecord {
     pub activation_tsc: Option<u64>,
     /// Total cycles the run consumed.
     pub run_cycles: u64,
+    /// Machine sanitizer violations observed during this run (always 0
+    /// when the rig runs without [`MachineConfig::sanitizer`]; a
+    /// nonzero count marks the run as poisoned for the supervisor's
+    /// retry/quarantine path).
+    ///
+    /// [`MachineConfig::sanitizer`]: kfi_machine::MachineConfig
+    pub sanitizer_violations: u64,
 }
 
 #[cfg(test)]

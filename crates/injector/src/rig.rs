@@ -27,6 +27,18 @@ pub struct RigConfig {
     /// (default true; the off position is the reference path for the
     /// cached-vs-uncached equivalence tests).
     pub decode_cache: bool,
+    /// Cycle budget for reaching the post-boot snapshot point. Booting
+    /// past this without the runner announcing itself is a clean
+    /// [`RigError::BootFailed`], not a wedged rig.
+    pub boot_budget: u64,
+    /// Cycle budget for each golden (fault-free) reference run,
+    /// measured from the snapshot point.
+    pub golden_budget: u64,
+    /// Whether the machine's per-step architectural-state sanitizer is
+    /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
+    /// Violations observed during a run are counted into
+    /// [`RunRecord::sanitizer_violations`] and the rig metrics.
+    pub sanitizer: bool,
 }
 
 impl Default for RigConfig {
@@ -36,6 +48,9 @@ impl Default for RigConfig {
             budget_slack: 2_000_000,
             switch_overhead: 0,
             decode_cache: true,
+            boot_budget: 80_000_000,
+            golden_budget: 400_000_000,
+            sanitizer: false,
         }
     }
 }
@@ -114,6 +129,7 @@ fn outcome_code(o: &Outcome) -> u8 {
         Outcome::FailSilenceViolation(_) => trace_outcome::FAIL_SILENCE_VIOLATION,
         Outcome::Crash(_) => trace_outcome::CRASH,
         Outcome::Hang => trace_outcome::HANG,
+        Outcome::RigFault(_) => trace_outcome::RIG_FAULT,
     }
 }
 
@@ -180,14 +196,18 @@ impl InjectorRig {
     ) -> Result<InjectorRig, RigError> {
         let fsimg = kfi_kernel::mkfs(2048, files);
         let manifest = fsimg.manifest.clone();
-        let boot_config = BootConfig { decode_cache: config.decode_cache, ..Default::default() };
+        let boot_config = BootConfig {
+            decode_cache: config.decode_cache,
+            sanitizer: config.sanitizer,
+            ..Default::default()
+        };
         let mut m = boot(&image, fsimg.disk, &boot_config);
 
         // Run to the snapshot point: the runner announcing itself (all
         // of init's own risky setup — fork, exec, file reads — is behind
         // this point, mirroring the paper where the injected activity is
         // driven by benchmark processes rather than by init).
-        let boot_budget = 80_000_000;
+        let boot_budget = config.boot_budget;
         loop {
             if m.cpu.tsc > boot_budget {
                 return Err(RigError::BootFailed(m.console_string()));
@@ -277,7 +297,7 @@ impl InjectorRig {
         let text_base = self.image.program.text.base;
         let text_len = self.image.program.text.bytes.len() as u32;
         let mut coverage = vec![0u64; (text_len as usize).div_ceil(64)];
-        let budget = self.snapshot_tsc() + 400_000_000;
+        let budget = self.snapshot_tsc() + self.config.golden_budget;
         loop {
             let m = &mut self.machine;
             if m.cpu.tsc > budget {
@@ -342,15 +362,17 @@ impl InjectorRig {
                 outcome: Outcome::NotActivated,
                 activation_tsc: None,
                 run_cycles: 0,
+                sanitizer_violations: 0,
             };
         }
 
         self.reset_to_snapshot(mode);
         self.metrics.snapshot_restores += 1;
         // TLB and decode-cache stats are cumulative across restores;
-        // diff around the run.
+        // diff around the run (sanitizer violations likewise).
         let tlb_0 = self.machine.tlb_stats();
         let dec_0 = self.machine.decode_stats();
+        let san_0 = self.machine.sanitizer_violation_count();
         let golden_cycles = self.golden[mode as usize].cycles;
         let budget = golden_cycles * self.config.budget_factor + self.config.budget_slack;
         let start = self.snapshot_tsc();
@@ -384,6 +406,7 @@ impl InjectorRig {
             // determinism forbids; classify conservatively.
             _ => {
                 let run_cycles = self.machine.cpu.tsc - start;
+                let sanitizer_violations = self.absorb_sanitizer(san_0);
                 self.absorb_run_counters(tlb_0, dec_0);
                 self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
                 self.metrics.run_cycles.record(run_cycles);
@@ -394,6 +417,7 @@ impl InjectorRig {
                     outcome: Outcome::NotActivated,
                     activation_tsc: None,
                     run_cycles,
+                    sanitizer_violations,
                 };
             }
         };
@@ -409,11 +433,12 @@ impl InjectorRig {
         // the machine (resetting the TSC and its counters).
         let end_tsc = self.machine.cpu.tsc;
         let run_cycles = end_tsc.saturating_sub(start);
+        let sanitizer_violations = self.absorb_sanitizer(san_0);
         self.absorb_run_counters(tlb_0, dec_0);
 
         // Keep the severity-assessment reboot out of the timeline.
         let sink = self.machine.take_trace_sink();
-        let outcome = self.classify(target, mode, activation_tsc, exit2);
+        let outcome = self.classify_exit(target, mode, activation_tsc, exit2);
         self.machine.set_trace_sink(sink);
 
         let code = outcome_code(&outcome);
@@ -438,7 +463,16 @@ impl InjectorRig {
             outcome,
             activation_tsc: Some(activation_tsc),
             run_cycles,
+            sanitizer_violations,
         }
+    }
+
+    /// The sanitizer-violation delta since the start-of-run baseline,
+    /// folded into the rig metrics.
+    fn absorb_sanitizer(&mut self, san_0: u64) -> u64 {
+        let delta = self.machine.sanitizer_violation_count() - san_0;
+        self.metrics.sanitizer_violations += delta;
+        delta
     }
 
     /// Folds the machine's per-run execution counters plus the TLB and
@@ -471,7 +505,17 @@ impl InjectorRig {
         self.metrics.dirty_pages += u64::from(self.machine.dirty_page_count());
     }
 
-    fn classify(
+    /// Classifies a finished run's [`RunExit`] into an [`Outcome`]
+    /// (paper Table 3). Public so tests can pin the classification
+    /// boundary directly — e.g. that a `cli;hlt` halt without a
+    /// SHUTDOWN report, or a blown cycle budget, reads as [`Hang`]
+    /// from the watchdog's point of view.
+    ///
+    /// Crash exits trigger the severity assessment, which reboots the
+    /// rig's machine.
+    ///
+    /// [`Hang`]: Outcome::Hang
+    pub fn classify_exit(
         &mut self,
         target: &InjectionTarget,
         mode: u32,

@@ -16,11 +16,14 @@ pub struct BootConfig {
     pub timer_period: u64,
     /// Whether the machine's decoded-instruction cache is enabled.
     pub decode_cache: bool,
+    /// Whether the machine's per-step architectural-state sanitizer is
+    /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
+    pub sanitizer: bool,
 }
 
 impl Default for BootConfig {
     fn default() -> BootConfig {
-        BootConfig { run_mode: 0xff, timer_period: 50_000, decode_cache: true }
+        BootConfig { run_mode: 0xff, timer_period: 50_000, decode_cache: true, sanitizer: false }
     }
 }
 
@@ -34,6 +37,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         timer_period: config.timer_period,
         timer_enabled: true,
         decode_cache: config.decode_cache,
+        sanitizer: config.sanitizer,
         ..MachineConfig::default()
     });
     m.disk = Some(disk);

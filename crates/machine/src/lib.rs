@@ -47,6 +47,7 @@ mod trap;
 pub use cpu::{Cpu, CR0_PG, KERNEL_CS, USER_CS};
 pub use machine::{
     ports, Counters, Machine, MachineConfig, MonitorEvent, RunExit, Snapshot, StepEvent,
+    ABORT_CHECK_STEPS,
 };
 pub use mem::{PhysMem, PAGE_SIZE};
 pub use mmu::{pte, Access, PageFault, Tlb};

@@ -83,6 +83,12 @@ pub enum RunExit {
     CycleLimit,
 }
 
+/// How many executed steps may pass between polls of the wall-clock
+/// [abort flag](Machine::set_abort_flag) inside [`Machine::run`]. Small
+/// enough that a livelocked run is reaped promptly, large enough that
+/// the atomic load stays invisible in the exec-loop benchmarks.
+pub const ABORT_CHECK_STEPS: u32 = 4096;
+
 /// Machine configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineConfig {
@@ -217,6 +223,11 @@ pub struct Machine {
     blk_status: u32,
     delivering: u32,
     triple_faulted: bool,
+    /// Cooperative wall-clock abort: when the supervisor's watchdog
+    /// sets the flag, [`Machine::run`] returns [`RunExit::CycleLimit`]
+    /// at its next check, degrading the run to the watchdog's view of a
+    /// hang. Host-side only — never part of snapshots.
+    abort: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Machine {
@@ -241,7 +252,15 @@ impl Machine {
             blk_status: 0,
             delivering: 0,
             triple_faulted: false,
+            abort: None,
         }
+    }
+
+    /// Installs (or clears) the cooperative wall-clock abort flag.
+    /// While the flag reads `true`, [`Machine::run`] exits with
+    /// [`RunExit::CycleLimit`] within [`ABORT_CHECK_STEPS`] steps.
+    pub fn set_abort_flag(&mut self, flag: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.abort = flag;
     }
 
     /// The machine configuration.
@@ -822,13 +841,23 @@ impl Machine {
         }
     }
 
-    /// Runs until a breakpoint, halt, triple fault, or the cycle budget
-    /// is exhausted.
+    /// Runs until a breakpoint, halt, triple fault, the cycle budget is
+    /// exhausted, or the [abort flag](Machine::set_abort_flag) is set
+    /// (also reported as [`RunExit::CycleLimit`] — the watchdog's view).
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.cpu.tsc.saturating_add(max_cycles);
+        let mut steps: u32 = 0;
         loop {
             if self.cpu.tsc >= deadline {
                 return RunExit::CycleLimit;
+            }
+            steps = steps.wrapping_add(1);
+            if steps % ABORT_CHECK_STEPS == 0 {
+                if let Some(flag) = &self.abort {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return RunExit::CycleLimit;
+                    }
+                }
             }
             match self.step() {
                 StepEvent::Executed => {}
@@ -881,6 +910,26 @@ mod tests {
         assert_eq!(m.cpu.eip, 0x1001);
         // Resuming continues past the (disarmed) breakpoint.
         assert_eq!(m.run(1000), RunExit::Halted);
+    }
+
+    #[test]
+    fn abort_flag_reaps_a_tight_loop() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        // jmp .-0 (EB FE): livelocks forever without intervention.
+        let mut m = machine_with(&[0xeb, 0xfe]);
+        let flag = Arc::new(AtomicBool::new(true));
+        m.set_abort_flag(Some(flag.clone()));
+        // Budget far beyond what the abort check needs: the flag, not
+        // the cycle limit, must end the run.
+        let before = m.cpu.tsc;
+        assert_eq!(m.run(u64::MAX / 2), RunExit::CycleLimit);
+        assert!(m.cpu.tsc - before < 10 * u64::from(ABORT_CHECK_STEPS) * 16);
+        // Cleared flag: runs to the (small) cycle budget as usual.
+        flag.store(false, Ordering::Relaxed);
+        assert_eq!(m.run(1_000), RunExit::CycleLimit);
+        m.set_abort_flag(None);
+        assert_eq!(m.run(1_000), RunExit::CycleLimit);
     }
 
     #[test]

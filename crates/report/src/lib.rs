@@ -487,6 +487,7 @@ mod synthetic_tests {
             outcome,
             activation_tsc: Some(10),
             run_cycles: 100,
+            sanitizer_violations: 0,
         }
     }
 

@@ -69,6 +69,21 @@ pub fn metrics_table(m: &Metrics) -> String {
     row("decode invalidations", m.decode_invalidations);
     row("dirty pages", m.dirty_pages);
     row("run cycles total", m.run_cycles_total);
+    // Supervisor/sanitizer counters are zero on a healthy unsupervised
+    // run; render them only when something happened, so transcripts
+    // from before the supervisor existed stay stable.
+    for (name, v) in [
+        ("sanitizer violations", m.sanitizer_violations),
+        ("rig panics caught", m.rig_panics),
+        ("run retries", m.run_retries),
+        ("quarantined runs", m.quarantined_runs),
+        ("wall watchdog fired", m.wall_watchdog_fired),
+        ("journal flushes", m.journal_flushes),
+    ] {
+        if v > 0 {
+            row(name, v);
+        }
+    }
     for (v, n) in m.faults_by_vector.iter().enumerate().filter(|(_, n)| **n > 0) {
         let _ = writeln!(s, "    fault vector {v:<13} {n:>14}");
     }

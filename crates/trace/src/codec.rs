@@ -35,7 +35,9 @@ impl std::fmt::Display for CodecError {
 
 impl std::error::Error for CodecError {}
 
-fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+/// Appends a LEB128 varint — the workspace's shared wire primitive
+/// (event streams, the campaign run journal).
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     loop {
         let b = (v & 0x7f) as u8;
         v >>= 7;
@@ -47,7 +49,13 @@ fn put_varint(out: &mut Vec<u8>, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
+/// Reads a LEB128 varint written by [`put_varint`].
+///
+/// # Errors
+///
+/// [`CodecError::Truncated`] when the input ends mid-varint or the
+/// value overflows 64 bits.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Result<u64, CodecError> {
     let mut v = 0u64;
     let mut shift = 0u32;
     loop {

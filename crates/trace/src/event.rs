@@ -15,6 +15,13 @@ pub mod outcome {
     pub const CRASH: u8 = 3;
     /// Watchdog-detected hang.
     pub const HANG: u8 = 4;
+    /// The *rig* (not the guest) failed: a worker panicked mid-run and
+    /// the supervisor recorded the loss instead of aborting the
+    /// campaign.
+    pub const RIG_FAULT: u8 = 5;
+
+    /// Number of distinct outcome codes (sizes the metrics tally).
+    pub const COUNT: usize = 6;
 
     /// Human-readable name of an outcome code.
     pub fn name(code: u8) -> &'static str {
@@ -24,6 +31,7 @@ pub mod outcome {
             FAIL_SILENCE_VIOLATION => "fail silence violation",
             CRASH => "crash",
             HANG => "hang",
+            RIG_FAULT => "rig fault",
             _ => "?",
         }
     }

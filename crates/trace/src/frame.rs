@@ -1,0 +1,140 @@
+//! CRC-framed record streams for append-only files.
+//!
+//! The campaign run journal is a sequence of independent records
+//! appended as runs complete; a crashed or SIGKILLed writer leaves at
+//! most one partial frame at the tail. Each frame is
+//!
+//! ```text
+//! [len: u32 LE] [crc32(payload): u32 LE] [payload: len bytes]
+//! ```
+//!
+//! and [`read_frames`] stops cleanly at the first truncated or
+//! corrupted frame, returning everything before it — exactly the
+//! durability contract an interrupted campaign needs for `--resume`.
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for b in bytes {
+        crc ^= *b as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Appends one framed payload to `out`.
+pub fn write_frame(out: &mut Vec<u8>, payload: &[u8]) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// How a frame scan ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameTail {
+    /// The stream ended exactly on a frame boundary.
+    Clean,
+    /// The last frame was cut short (interrupted append); everything
+    /// before it was returned.
+    Truncated {
+        /// Byte offset where the partial frame starts.
+        offset: usize,
+    },
+    /// A frame's payload failed its CRC (torn write); everything before
+    /// it was returned.
+    Corrupt {
+        /// Byte offset of the corrupt frame's header.
+        offset: usize,
+    },
+}
+
+/// Splits a byte stream into the payloads of its complete, CRC-valid
+/// frames, stopping at the first truncated or corrupted one.
+pub fn read_frames(buf: &[u8]) -> (Vec<&[u8]>, FrameTail) {
+    let mut out = Vec::new();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        if buf.len() - pos < 8 {
+            return (out, FrameTail::Truncated { offset: pos });
+        }
+        let len = u32::from_le_bytes(buf[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + 8;
+        let Some(end) = start.checked_add(len).filter(|e| *e <= buf.len()) else {
+            return (out, FrameTail::Truncated { offset: pos });
+        };
+        let payload = &buf[start..end];
+        if crc32(payload) != want {
+            return (out, FrameTail::Corrupt { offset: pos });
+        }
+        out.push(payload);
+        pos = end;
+    }
+    (out, FrameTail::Clean)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn roundtrip_multiple_frames() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"first");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, &[0xAA; 300]);
+        let (frames, tail) = read_frames(&buf);
+        assert_eq!(tail, FrameTail::Clean);
+        assert_eq!(frames, vec![b"first" as &[u8], b"", &[0xAA; 300]]);
+    }
+
+    #[test]
+    fn truncated_tail_keeps_complete_prefix() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"keep me");
+        let whole = buf.len();
+        write_frame(&mut buf, b"torn off");
+        let (frames, tail) = read_frames(&buf[..whole]);
+        assert_eq!(frames, vec![b"keep me" as &[u8]]);
+        assert_eq!(tail, FrameTail::Clean);
+        for cut in whole + 1..buf.len() {
+            let (frames, tail) = read_frames(&buf[..cut]);
+            assert_eq!(frames, vec![b"keep me" as &[u8]], "cut at {cut}");
+            assert_eq!(tail, FrameTail::Truncated { offset: whole });
+        }
+    }
+
+    #[test]
+    fn corrupt_payload_is_fenced() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"good");
+        let second = buf.len();
+        write_frame(&mut buf, b"bad!");
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        let (frames, tail) = read_frames(&buf);
+        assert_eq!(frames, vec![b"good" as &[u8]]);
+        assert_eq!(tail, FrameTail::Corrupt { offset: second });
+    }
+
+    #[test]
+    fn absurd_length_is_truncation_not_panic() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        buf.extend_from_slice(&[1, 2, 3]);
+        let (frames, tail) = read_frames(&buf);
+        assert!(frames.is_empty());
+        assert_eq!(tail, FrameTail::Truncated { offset: 0 });
+    }
+}

@@ -47,6 +47,12 @@ impl LatencyHist {
         self.buckets
     }
 
+    /// Rebuilds a histogram from raw bucket counts (the journal's
+    /// decode path — inverse of [`LatencyHist::counts`]).
+    pub fn from_counts(buckets: [u64; LATENCY_BUCKETS.len()]) -> LatencyHist {
+        LatencyHist { buckets }
+    }
+
     /// Total recorded values.
     pub fn total(&self) -> u64 {
         self.buckets.iter().sum()

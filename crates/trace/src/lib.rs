@@ -34,6 +34,7 @@ mod metrics;
 mod ring;
 
 pub mod codec;
+pub mod frame;
 pub mod latency;
 
 pub use event::{outcome, subsystem, Event, EventKind};

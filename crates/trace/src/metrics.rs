@@ -1,5 +1,6 @@
 //! The metrics counter registry.
 
+use crate::codec::{get_varint, put_varint, CodecError};
 use crate::event::outcome;
 use crate::latency::LatencyHist;
 
@@ -68,6 +69,20 @@ impl CycleHist {
         }
     }
 
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        for b in &self.buckets {
+            put_varint(out, *b);
+        }
+    }
+
+    fn decode_from(buf: &[u8], pos: &mut usize) -> Result<CycleHist, CodecError> {
+        let mut h = CycleHist::default();
+        for b in h.buckets.iter_mut() {
+            *b = get_varint(buf, pos)?;
+        }
+        Ok(h)
+    }
+
     /// Non-empty `(bucket_floor, count)` pairs, ascending.
     pub fn nonzero(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -116,7 +131,25 @@ pub struct Metrics {
     /// Runs short-circuited by the coverage pre-check.
     pub runs_not_activated: u64,
     /// Outcome tallies indexed by [`outcome`] code.
-    pub outcomes: [u64; 5],
+    pub outcomes: [u64; outcome::COUNT],
+    /// Machine sanitizer violations observed during measured runs
+    /// (nonzero only when the rig runs with the sanitizer enabled).
+    pub sanitizer_violations: u64,
+    /// Worker panics caught and contained by the campaign supervisor.
+    pub rig_panics: u64,
+    /// Extra run attempts spent retrying poisoned runs on a fresh rig.
+    pub run_retries: u64,
+    /// Runs whose misbehaviour (panic / sanitizer violation) survived
+    /// every retry and were quarantined as repro artifacts.
+    pub quarantined_runs: u64,
+    /// Runs aborted by the supervisor's wall-clock watchdog and
+    /// degraded to hang-classified records.
+    pub wall_watchdog_fired: u64,
+    /// Journal flush+fsync batches. Deliberately *excluded* from the
+    /// CSV/report surfaces: flush counts differ between an interrupted
+    /// and an uninterrupted campaign, and resumed output must stay
+    /// byte-identical.
+    pub journal_flushes: u64,
     /// Total cycles consumed by measured runs.
     pub run_cycles_total: u64,
     /// Distribution of per-run cycle counts.
@@ -149,6 +182,12 @@ impl Metrics {
         for (a, b) in self.outcomes.iter_mut().zip(other.outcomes.iter()) {
             *a += b;
         }
+        self.sanitizer_violations += other.sanitizer_violations;
+        self.rig_panics += other.rig_panics;
+        self.run_retries += other.run_retries;
+        self.quarantined_runs += other.quarantined_runs;
+        self.wall_watchdog_fired += other.wall_watchdog_fired;
+        self.journal_flushes += other.journal_flushes;
         self.run_cycles_total += other.run_cycles_total;
         self.run_cycles.merge(&other.run_cycles);
         self.crash_latency.merge(&other.crash_latency);
@@ -169,6 +208,84 @@ impl Metrics {
     /// Outcome count by code.
     pub fn outcome(&self, code: u8) -> u64 {
         self.outcomes.get(code as usize).copied().unwrap_or(0)
+    }
+
+    /// Serializes every counter as varints in declaration order — the
+    /// journal's per-run metrics-delta payload. [`Metrics::decode_from`]
+    /// inverts it exactly.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.instructions);
+        for v in &self.faults_by_vector {
+            put_varint(out, *v);
+        }
+        put_varint(out, self.syscalls);
+        put_varint(out, self.timer_irqs);
+        put_varint(out, self.tlb_hits);
+        put_varint(out, self.tlb_miss_walks);
+        put_varint(out, self.decode_hits);
+        put_varint(out, self.decode_misses);
+        put_varint(out, self.decode_invalidations);
+        put_varint(out, self.dirty_pages);
+        put_varint(out, self.snapshot_restores);
+        put_varint(out, self.runs);
+        put_varint(out, self.runs_not_activated);
+        for v in &self.outcomes {
+            put_varint(out, *v);
+        }
+        put_varint(out, self.sanitizer_violations);
+        put_varint(out, self.rig_panics);
+        put_varint(out, self.run_retries);
+        put_varint(out, self.quarantined_runs);
+        put_varint(out, self.wall_watchdog_fired);
+        put_varint(out, self.journal_flushes);
+        put_varint(out, self.run_cycles_total);
+        self.run_cycles.encode_into(out);
+        self.crash_latency.encode_into(out);
+        for v in self.crash_latency_paper.counts() {
+            put_varint(out, v);
+        }
+    }
+
+    /// Decodes a [`Metrics::encode_into`] payload, advancing `pos`.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::Truncated`] when the buffer ends early.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Metrics, CodecError> {
+        let mut m = Metrics::default();
+        m.instructions = get_varint(buf, pos)?;
+        for v in m.faults_by_vector.iter_mut() {
+            *v = get_varint(buf, pos)?;
+        }
+        m.syscalls = get_varint(buf, pos)?;
+        m.timer_irqs = get_varint(buf, pos)?;
+        m.tlb_hits = get_varint(buf, pos)?;
+        m.tlb_miss_walks = get_varint(buf, pos)?;
+        m.decode_hits = get_varint(buf, pos)?;
+        m.decode_misses = get_varint(buf, pos)?;
+        m.decode_invalidations = get_varint(buf, pos)?;
+        m.dirty_pages = get_varint(buf, pos)?;
+        m.snapshot_restores = get_varint(buf, pos)?;
+        m.runs = get_varint(buf, pos)?;
+        m.runs_not_activated = get_varint(buf, pos)?;
+        for v in m.outcomes.iter_mut() {
+            *v = get_varint(buf, pos)?;
+        }
+        m.sanitizer_violations = get_varint(buf, pos)?;
+        m.rig_panics = get_varint(buf, pos)?;
+        m.run_retries = get_varint(buf, pos)?;
+        m.quarantined_runs = get_varint(buf, pos)?;
+        m.wall_watchdog_fired = get_varint(buf, pos)?;
+        m.journal_flushes = get_varint(buf, pos)?;
+        m.run_cycles_total = get_varint(buf, pos)?;
+        m.run_cycles = CycleHist::decode_from(buf, pos)?;
+        m.crash_latency = CycleHist::decode_from(buf, pos)?;
+        let mut latency = [0u64; crate::latency::LATENCY_BUCKETS.len()];
+        for v in latency.iter_mut() {
+            *v = get_varint(buf, pos)?;
+        }
+        m.crash_latency_paper = LatencyHist::from_counts(latency);
+        Ok(m)
     }
 
     /// Records one classified run.
@@ -208,6 +325,51 @@ mod tests {
         assert_eq!(h.total(), 6);
         assert_eq!(h.count_below(16), 4);
         assert_eq!(h.count_below(1), 1);
+    }
+
+    #[test]
+    fn wire_roundtrip_preserves_every_counter() {
+        let mut m = Metrics::default();
+        m.instructions = 123_456_789;
+        m.faults_by_vector[14] = 9;
+        m.faults_by_vector[6] = 2;
+        m.syscalls = 77;
+        m.timer_irqs = 31;
+        m.tlb_hits = 1 << 40;
+        m.tlb_miss_walks = 5;
+        m.decode_hits = 42;
+        m.decode_misses = 7;
+        m.decode_invalidations = 1;
+        m.dirty_pages = 64;
+        m.snapshot_restores = 3;
+        m.runs = 4;
+        m.runs_not_activated = 1;
+        m.record_outcome(outcome::CRASH);
+        m.record_outcome(outcome::RIG_FAULT);
+        m.sanitizer_violations = 11;
+        m.rig_panics = 2;
+        m.run_retries = 3;
+        m.quarantined_runs = 1;
+        m.wall_watchdog_fired = 1;
+        m.journal_flushes = 8;
+        m.run_cycles_total = u64::MAX / 3;
+        m.run_cycles.record(0);
+        m.run_cycles.record(u64::MAX);
+        m.crash_latency.record(500);
+        m.record_crash_latency(99_999);
+
+        let mut buf = Vec::new();
+        m.encode_into(&mut buf);
+        let mut pos = 0;
+        let back = Metrics::decode_from(&buf, &mut pos).expect("decodes");
+        assert_eq!(pos, buf.len(), "decode must consume exactly what encode wrote");
+        assert_eq!(back, m);
+
+        // Truncation anywhere errors instead of panicking.
+        for cut in 0..buf.len() {
+            let mut p = 0;
+            assert!(Metrics::decode_from(&buf[..cut], &mut p).is_err() || p <= cut);
+        }
     }
 
     #[test]
