@@ -1,8 +1,9 @@
 //! Lockstep differential execution over paired machine configurations.
 //!
-//! Two machines running the same [`GenProgram`](crate::gen::GenProgram)
+//! Two machines running the same [`GenProgram`]
 //! under configurations that must be observationally equivalent (decode
-//! cache on/off, ring/null trace sink, snapshot-restore vs fresh boot)
+//! cache on/off, block engine vs single-step, ring/null trace sink,
+//! snapshot-restore vs fresh boot)
 //! are stepped together; their [`StepEvent`]s are compared after every
 //! step and the full architectural state — registers, flags, control
 //! registers, TSC, console, monitor, trap history, counters, and an
@@ -321,6 +322,83 @@ pub fn pair_restore(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
     PairOutcome { steps: second, divergence, violations }
 }
 
+/// Pair: basic-block engine vs single-stepping. Machine `b` is the
+/// reference: it single-steps (via [`Machine::step`], which never uses
+/// blocks) while recording the TSC at the pre-flip boundary and at
+/// termination. Machine `a` has the block engine on and is driven by
+/// [`Machine::run`] against those recorded TSCs — instruction-boundary
+/// TSCs are bit-identical across the two modes, so a cycle deadline
+/// stops `a` exactly where the flip (or the comparison point) belongs.
+///
+/// The comparison uses [`StateMask::full`]: unlike the cache-on/off
+/// pair, the block engine keeps the decode-cache *and* TLB statistics
+/// identical to single-stepping — that is the property that lets the
+/// golden campaign CSV stay byte-identical with the engine enabled.
+///
+/// Both sides force the sanitizer off: `run` falls back to
+/// single-stepping under the sanitizer, which would make the pair
+/// vacuous.
+pub fn pair_block_engine(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let off = MachineConfig { block_engine: false, sanitizer: false, ..base };
+    let on = MachineConfig { block_engine: true, sanitizer: false, ..base };
+
+    // Reference pass: single-step, recording where the flip lands.
+    let mut b = install(prog, off);
+    let mut flip_tsc = None;
+    let mut step = 0u64;
+    let terminated = loop {
+        if let Some(f) = prog.mid_flip.filter(|f| f.step == step) {
+            flip_tsc = Some(b.cpu.tsc);
+            apply_mid_flip(&mut b, &f);
+        }
+        let ev = b.step();
+        step += 1;
+        if terminal(ev) {
+            break true;
+        }
+        if step >= MAX_STEPS {
+            break false;
+        }
+    };
+    let end_tsc = b.cpu.tsc;
+
+    // Block pass: run to the recorded TSCs.
+    let mut a = install(prog, on);
+    if let Some(f) = prog.mid_flip {
+        if let Some(t) = flip_tsc {
+            a.run(t - a.cpu.tsc);
+            apply_mid_flip(&mut a, &f);
+        }
+    }
+    if terminated {
+        // The reference halted or triple-faulted at `end_tsc`; the
+        // block side must reach the same terminal state. Slack covers
+        // the halted-side TSC not advancing past the terminal event.
+        a.run(end_tsc.saturating_sub(a.cpu.tsc).saturating_add(100_000));
+    } else {
+        a.run(end_tsc - a.cpu.tsc);
+    }
+
+    let sa = ArchState::capture(&a, &StateMask::full());
+    let sb = ArchState::capture(&b, &StateMask::full());
+    let divergence = if sa != sb {
+        Some(Divergence {
+            step,
+            detail: format!(
+                "block-engine state != single-step state:\n    {}",
+                sa.diff(&sb).join("\n    ")
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else {
+        None
+    };
+    let mut violations = Vec::new();
+    collect_violations("a", &a, &mut violations);
+    collect_violations("b", &b, &mut violations);
+    PairOutcome { steps: step, divergence, violations }
+}
+
 fn run_to_end(m: &mut Machine, prog: &GenProgram) -> u64 {
     let mut step = 0u64;
     loop {
@@ -371,12 +449,13 @@ mod tests {
     }
 
     #[test]
-    fn all_three_machine_pairs_agree_on_a_sample() {
+    fn all_four_machine_pairs_agree_on_a_sample() {
         for seed in [0, 1, 2, 5] {
             for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
                 let prog = generate(seed, variant);
                 for (name, out) in [
                     ("decode-cache", pair_decode_cache(&prog, base())),
+                    ("block-engine", pair_block_engine(&prog, base())),
                     ("trace-sink", pair_trace_sink(&prog, base())),
                     ("restore", pair_restore(&prog, base())),
                 ] {

@@ -11,16 +11,21 @@
 //!   streams (the same corruption model the injector uses);
 //! * a **lockstep differential executor** ([`diff`]) running each
 //!   program under paired configurations that must agree — decode
-//!   cache on/off, ring/null trace sink, snapshot-restore vs fresh
-//!   boot — and, at the campaign level, 1 vs N workers — comparing the
-//!   full architectural state and reporting the first divergence with
-//!   disassembly context;
-//! * the machine's always-on **architectural-state sanitizer**
-//!   ([`kfi_machine::sanitizer`], enabled on every checker machine via
-//!   [`MachineConfig::sanitizer`](kfi_machine::MachineConfig)), which
-//!   validates per-step invariants no differential pair can see
-//!   (canonical EFLAGS, monotonic TSC, CR2-iff-#PF, decode-cache
-//!   coherence, MMU walk idempotence).
+//!   cache on/off, basic-block engine vs single-step, ring/null trace
+//!   sink, snapshot-restore vs fresh boot — and, at the campaign
+//!   level, 1 vs N workers — comparing the full architectural state
+//!   and reporting the first divergence with disassembly context;
+//! * the machine's per-step **architectural-state sanitizer**
+//!   ([`kfi_machine::sanitizer`], opt-in via
+//!   [`MachineConfig::sanitizer`](kfi_machine::MachineConfig) and
+//!   enabled on the checker's sweep machines — campaigns opt in
+//!   through `RigConfig::sanitizer` instead), which validates per-step
+//!   invariants no differential pair can see (canonical EFLAGS,
+//!   monotonic TSC, CR2-iff-#PF, decode-cache coherence, MMU walk
+//!   idempotence). The block-engine pair is the one sweep that runs
+//!   *without* it: [`Machine::run`](kfi_machine::Machine::run) falls
+//!   back to single-stepping under the sanitizer, which would make
+//!   that comparison vacuous.
 //!
 //! The `check_machine` binary drives a bounded deterministic seed sweep
 //! suitable for CI, plus a self-test that injects a known flag-update
@@ -48,7 +53,7 @@ pub mod diff;
 pub mod gen;
 
 pub use diff::{
-    pair_decode_cache, pair_restore, pair_trace_sink, run_lockstep, ArchState, Divergence,
-    PairOutcome, StateMask,
+    pair_block_engine, pair_decode_cache, pair_restore, pair_trace_sink, run_lockstep, ArchState,
+    Divergence, PairOutcome, StateMask,
 };
 pub use gen::{generate, install, GenProgram, MidFlip, Variant};

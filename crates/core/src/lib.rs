@@ -5,6 +5,32 @@
 //! functions covering 95% of kernel activity, plan and execute the
 //! three fault-injection campaigns in parallel, and aggregate the
 //! statistics behind every table and figure of the paper.
+//!
+//! # Examples
+//!
+//! Run a miniature campaign and read the aggregated metrics (results
+//! are bit-identical for any `threads` value and a fixed `seed`):
+//!
+//! ```
+//! use kfi_core::{Experiment, ExperimentConfig};
+//! use kfi_injector::Campaign;
+//! use kfi_profiler::ProfilerConfig;
+//!
+//! let exp = Experiment::prepare(ExperimentConfig {
+//!     seed: 7,
+//!     max_per_function: Some(1), // one injection per target function
+//!     threads: 2,
+//!     profiler: ProfilerConfig { period: 997, budget: 200_000_000 },
+//!     ..Default::default()
+//! })?;
+//! let result = exp.run_campaign(Campaign::A);
+//!
+//! assert_eq!(result.metrics.runs, result.records.len() as u64);
+//! for rec in &result.records {
+//!     println!("{:#010x} -> {}", rec.target.insn_addr, rec.outcome.category());
+//! }
+//! # Ok::<(), String>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -25,11 +25,17 @@ fn campaign(decode_cache: bool, threads: usize) -> (Vec<kfi_injector::RunRecord>
 
 /// Zeroes the counters that are *about* the cache itself — the only
 /// fields allowed to differ between cached and uncached execution.
+/// Turning the decode cache off also disables the block engine (blocks
+/// validate against decode-cache entries), so the block counters go
+/// from nonzero to zero with it and are masked the same way.
 fn without_cache_counters(m: &Metrics) -> Metrics {
     let mut m = m.clone();
     m.decode_hits = 0;
     m.decode_misses = 0;
     m.decode_invalidations = 0;
+    m.block_hits = 0;
+    m.block_misses = 0;
+    m.block_invalidations = 0;
     m
 }
 
@@ -44,6 +50,8 @@ fn cached_campaign_is_bit_identical_to_uncached() {
         let (rec_on, met_on) = campaign(true, threads);
         assert_eq!(rec_off, rec_on, "records diverged with cache on ({threads} threads)");
         assert!(met_on.decode_hits > 0, "the cache must actually be exercised");
+        assert!(met_on.block_hits > 0, "the block engine must actually be exercised");
+        assert_eq!(met_off.block_hits, 0, "no decode cache implies no block engine");
         assert_eq!(
             without_cache_counters(&met_off),
             without_cache_counters(&met_on),

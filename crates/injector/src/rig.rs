@@ -27,6 +27,11 @@ pub struct RigConfig {
     /// (default true; the off position is the reference path for the
     /// cached-vs-uncached equivalence tests).
     pub decode_cache: bool,
+    /// Whether the machine's basic-block execution engine is enabled
+    /// (default true; takes effect only together with `decode_cache` —
+    /// see [`kfi_machine::MachineConfig::block_engine`]). Campaign
+    /// results, including the golden CSV, are bit-identical either way.
+    pub block_engine: bool,
     /// Cycle budget for reaching the post-boot snapshot point. Booting
     /// past this without the runner announcing itself is a clean
     /// [`RigError::BootFailed`], not a wedged rig.
@@ -48,6 +53,7 @@ impl Default for RigConfig {
             budget_slack: 2_000_000,
             switch_overhead: 0,
             decode_cache: true,
+            block_engine: true,
             boot_budget: 80_000_000,
             golden_budget: 400_000_000,
             sanitizer: false,
@@ -198,6 +204,7 @@ impl InjectorRig {
         let manifest = fsimg.manifest.clone();
         let boot_config = BootConfig {
             decode_cache: config.decode_cache,
+            block_engine: config.block_engine,
             sanitizer: config.sanitizer,
             ..Default::default()
         };
@@ -372,6 +379,7 @@ impl InjectorRig {
         // diff around the run (sanitizer violations likewise).
         let tlb_0 = self.machine.tlb_stats();
         let dec_0 = self.machine.decode_stats();
+        let blk_0 = self.machine.block_stats();
         let san_0 = self.machine.sanitizer_violation_count();
         let golden_cycles = self.golden[mode as usize].cycles;
         let budget = golden_cycles * self.config.budget_factor + self.config.budget_slack;
@@ -407,7 +415,7 @@ impl InjectorRig {
             _ => {
                 let run_cycles = self.machine.cpu.tsc - start;
                 let sanitizer_violations = self.absorb_sanitizer(san_0);
-                self.absorb_run_counters(tlb_0, dec_0);
+                self.absorb_run_counters(tlb_0, dec_0, blk_0);
                 self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
                 self.metrics.run_cycles.record(run_cycles);
                 self.metrics.run_cycles_total += run_cycles;
@@ -434,7 +442,7 @@ impl InjectorRig {
         let end_tsc = self.machine.cpu.tsc;
         let run_cycles = end_tsc.saturating_sub(start);
         let sanitizer_violations = self.absorb_sanitizer(san_0);
-        self.absorb_run_counters(tlb_0, dec_0);
+        self.absorb_run_counters(tlb_0, dec_0, blk_0);
 
         // Keep the severity-assessment reboot out of the timeline.
         let sink = self.machine.take_trace_sink();
@@ -480,7 +488,12 @@ impl InjectorRig {
     /// metrics, and records the run's dirty-page footprint. Must run
     /// before classification: severity assessment reboots the machine
     /// (and its reboot-and-fsck activity must stay out of run metrics).
-    fn absorb_run_counters(&mut self, tlb_0: (u64, u64), dec_0: (u64, u64, u64)) {
+    fn absorb_run_counters(
+        &mut self,
+        tlb_0: (u64, u64),
+        dec_0: (u64, u64, u64),
+        blk_0: (u64, u64, u64),
+    ) {
         let c = self.machine.counters();
         self.metrics.instructions += c.instructions;
         self.metrics.syscalls += c.syscalls;
@@ -498,6 +511,10 @@ impl InjectorRig {
         self.metrics.decode_hits += dh - dec_0.0;
         self.metrics.decode_misses += dm - dec_0.1;
         self.metrics.decode_invalidations += di - dec_0.2;
+        let (bh, bm, bi) = self.machine.block_stats();
+        self.metrics.block_hits += bh - blk_0.0;
+        self.metrics.block_misses += bm - blk_0.1;
+        self.metrics.block_invalidations += bi - blk_0.2;
         // The run's *own* footprint, not the pages copied at restore
         // time: restore cost depends on what the previous run on this
         // worker touched, which would vary with scheduling, while the

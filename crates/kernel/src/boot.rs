@@ -16,6 +16,9 @@ pub struct BootConfig {
     pub timer_period: u64,
     /// Whether the machine's decoded-instruction cache is enabled.
     pub decode_cache: bool,
+    /// Whether the machine's basic-block execution engine is enabled
+    /// (see [`kfi_machine::MachineConfig::block_engine`]).
+    pub block_engine: bool,
     /// Whether the machine's per-step architectural-state sanitizer is
     /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
     pub sanitizer: bool,
@@ -23,7 +26,13 @@ pub struct BootConfig {
 
 impl Default for BootConfig {
     fn default() -> BootConfig {
-        BootConfig { run_mode: 0xff, timer_period: 50_000, decode_cache: true, sanitizer: false }
+        BootConfig {
+            run_mode: 0xff,
+            timer_period: 50_000,
+            decode_cache: true,
+            block_engine: true,
+            sanitizer: false,
+        }
     }
 }
 
@@ -37,6 +46,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         timer_period: config.timer_period,
         timer_enabled: true,
         decode_cache: config.decode_cache,
+        block_engine: config.block_engine,
         sanitizer: config.sanitizer,
         ..MachineConfig::default()
     });

@@ -1,0 +1,439 @@
+//! Basic-block execution engine.
+//!
+//! The per-instruction decode cache removed the variable-length decoder
+//! from the hot loop but still dispatches one instruction at a time:
+//! every step pays the full run-loop ritual — deadline compare, abort
+//! poll, halted/triple-fault/breakpoint/timer checks — before a single
+//! cached instruction executes. This module extends the cache one level
+//! up: a **basic block** is a straight-line run of decoded instructions
+//! on one physical page, ending at the first control-flow or
+//! serializing instruction. [`Machine::run`] executes block-at-a-time,
+//! hoisting the watchdog/abort/timer checks to block boundaries, and
+//! falls back to the ordinary single-step path whenever precision
+//! demands it.
+//!
+//! # Correctness model
+//!
+//! A block is *pure acceleration metadata*: replaying one must be
+//! bit-identical to single-stepping the same instructions, including
+//! every counter the golden CSV pins (decode-cache and TLB statistics).
+//! Three mechanisms enforce that:
+//!
+//! * **Same invalidation as the decode cache.** Block entries are keyed
+//!   by the physical address of the first instruction and validated
+//!   against the page's write generation
+//!   ([`PhysMem::page_gen`](crate::PhysMem::page_gen)) — any physical
+//!   write to the page (self-modifying code, DMA, the injector's bit
+//!   flip) kills the block exactly as it kills the decoded instructions
+//!   inside it. The cache is epoch-flushed on every snapshot restore so
+//!   per-run hit/miss counts stay a pure function of the run
+//!   (thread-invariant campaign metrics).
+//! * **Per-instruction revalidation on replay.** Before each cached
+//!   instruction executes, the engine re-checks the cycle limit
+//!   (deadline and next timer tick), armed debug registers, the fetch
+//!   translation (when paging is on — keeping TLB statistics and #PF
+//!   behavior identical), and probes the decode cache for the
+//!   instruction's physical address. A successful probe proves the page
+//!   generation is unchanged since the bytes were decoded, so the
+//!   block's copy of the instruction is exactly what a fresh fetch
+//!   would return; the probe is then counted as the hit the single-step
+//!   path would have recorded. Any surprise — generation bump from a
+//!   mid-block store, conflict eviction, translation change — exits to
+//!   the full fetch path for that one instruction and ends the block.
+//! * **Fallback conditions.** [`Machine::run`] only enters block mode
+//!   when the decode cache is on and the sanitizer is off (the
+//!   sanitizer's contract is *per-step* validation); within block mode,
+//!   a pending timer tick, a halted CPU, a latched triple fault, or a
+//!   breakpoint match at the block head all route through the ordinary
+//!   [`Machine::step`] machinery. [`Machine::step`] itself never uses
+//!   blocks, so lockstep tools (the checker, golden-trace capture) see
+//!   unchanged per-step semantics.
+//!
+//! [`Machine::run`]: crate::Machine::run
+//! [`Machine::step`]: crate::Machine::step
+
+use crate::machine::{Fault, Machine};
+use crate::mem::{PhysMem, PAGE_SIZE};
+use crate::mmu::Access;
+use crate::trap::Vector;
+use kfi_isa::{Insn, Op};
+use std::sync::Arc;
+
+const PAGE_MASK: u32 = PAGE_SIZE - 1;
+
+/// Longest recorded block, in instructions. Blocks are bounded so a
+/// pathological straight-line page (e.g. 4096 single-byte instructions)
+/// cannot push one replay arbitrarily far from a boundary check.
+const MAX_BLOCK_INSNS: usize = 64;
+
+/// Slot count (power of two). Blocks are sparser than instructions —
+/// roughly one per branch target — so a quarter of the decode cache's
+/// 16 Ki slots covers the guest kernel's text without conflict churn.
+const SLOTS: usize = 4 * 1024;
+
+/// True when `op` must end a basic block: it writes EIP itself, can
+/// trap to a handler, serializes paging state, or pins EIP for `rep`
+/// resumption. Everything else falls through to `eip + len` and may be
+/// followed within the same block.
+fn ends_block(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Jcc { .. }
+            | Op::Jmp { .. }
+            | Op::JmpInd(_)
+            | Op::Call { .. }
+            | Op::CallInd(_)
+            | Op::Ret
+            | Op::RetImm(_)
+            | Op::Lret
+            | Op::Int(_)
+            | Op::Int3
+            | Op::Into
+            | Op::Iret
+            | Op::Ud2
+            | Op::Hlt
+            | Op::Str { .. }
+            | Op::MovToCr { .. }
+    )
+}
+
+/// A recorded straight-line run of decoded instructions, all resident
+/// on one physical page.
+#[derive(Debug)]
+pub(crate) struct Block {
+    insns: Vec<Insn>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    pa: u32,
+    gen: u64,
+    /// Epoch the entry was inserted in; 0 = never filled.
+    epoch: u64,
+    /// `Arc` so a replay can hold the block while `exec_insn` borrows
+    /// the machine mutably (and so hot-path clones stay O(1)).
+    block: Option<Arc<Block>>,
+}
+
+/// A direct-mapped basic-block cache with hit/miss/invalidation
+/// counters. Counters are cumulative for the life of the machine (like
+/// TLB and decode-cache stats); callers wanting per-run numbers diff
+/// around the run.
+#[derive(Debug)]
+pub(crate) struct BlockCache {
+    slots: Vec<Slot>,
+    epoch: u64,
+    enabled: bool,
+    hits: u64,
+    misses: u64,
+    invalidations: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new(enabled: bool) -> BlockCache {
+        BlockCache {
+            // No allocation when disabled: a disabled cache costs nothing.
+            slots: if enabled { vec![Slot::default(); SLOTS] } else { Vec::new() },
+            epoch: 1,
+            enabled,
+            hits: 0,
+            misses: 0,
+            invalidations: 0,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Cumulative `(hits, misses, invalidations)`. A hit replayed a
+    /// cached block; a miss recorded one; an invalidation is a miss
+    /// that found a matching entry killed by a write to its page.
+    pub(crate) fn stats(&self) -> (u64, u64, u64) {
+        (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Drops every entry in O(1) by advancing the epoch.
+    pub(crate) fn flush(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Looks up the block starting at physical address `pa`, validating
+    /// the entry against the page's current write generation (a block's
+    /// instructions were decoded from the page as it was at generation
+    /// `gen`; replaying them is only sound while that generation holds —
+    /// mid-block writes are caught by the per-instruction decode-cache
+    /// probe).
+    fn lookup(&mut self, pa: u32, mem: &PhysMem) -> Option<Arc<Block>> {
+        let slot = &self.slots[pa as usize & (SLOTS - 1)];
+        if slot.epoch == self.epoch && slot.pa == pa {
+            if slot.gen == mem.page_gen(pa) {
+                self.hits += 1;
+                return slot.block.clone();
+            }
+            self.invalidations += 1;
+        }
+        self.misses += 1;
+        None
+    }
+
+    fn insert(&mut self, pa: u32, gen: u64, block: Block) {
+        self.slots[pa as usize & (SLOTS - 1)] =
+            Slot { pa, gen, epoch: self.epoch, block: Some(Arc::new(block)) };
+    }
+}
+
+impl Machine {
+    /// Executes one basic block (or records one while executing it).
+    ///
+    /// The caller — the block-mode run loop — guarantees on entry: no
+    /// latched triple fault, CPU not halted, no pending timer tick, no
+    /// breakpoint match at the current EIP, and `tsc < deadline`.
+    pub(crate) fn exec_block(&mut self, deadline: u64) {
+        // Mid-block boundaries must stop wherever the single-step loop
+        // would have intervened: the run deadline or the next timer
+        // tick, whichever comes first. `next_tick` cannot move during a
+        // block (timer delivery happens only between blocks and
+        // `mov %cr` is a terminator), so the bound is hoisted.
+        let limit =
+            if self.config().timer_enabled { deadline.min(self.next_tick) } else { deadline };
+        let eip0 = self.cpu.eip;
+        // First instruction: counted and translated exactly like a
+        // single step (per-fetch translation keeps TLB statistics and
+        // paging faults bit-identical; with paging off, translation is
+        // the identity and touches no statistics on either path).
+        self.counters.instructions += 1;
+        let pa0 = if self.cpu.paging() {
+            match self.xlate(eip0, Access::Exec) {
+                Ok(pa) => pa,
+                Err(f) => return self.exec_fault(f),
+            }
+        } else {
+            eip0
+        };
+        match self.block_cache.lookup(pa0, &self.mem) {
+            Some(block) => self.replay_block(&block, pa0, limit),
+            None => self.record_block(eip0, pa0, limit),
+        }
+    }
+
+    /// Replays a cached block, revalidating each instruction boundary
+    /// against the same conditions the single-step loop checks.
+    fn replay_block(&mut self, block: &Block, pa0: u32, limit: u64) {
+        let paging = self.cpu.paging();
+        // No guest instruction writes the debug registers (there is no
+        // mov-to-DR op), so whether a breakpoint is armed is constant
+        // for the whole block.
+        let bp_armed = self.cpu.dr7 != 0;
+        let mut expected_pa = pa0;
+        for (i, &insn) in block.insns.iter().enumerate() {
+            let eip = self.cpu.eip;
+            let pa;
+            if i == 0 {
+                pa = pa0; // already translated and counted by exec_block
+            } else {
+                if self.cpu.tsc >= limit {
+                    return;
+                }
+                if bp_armed && self.cpu.breakpoint_match(eip).is_some() {
+                    return;
+                }
+                self.counters.instructions += 1;
+                pa = if paging {
+                    match self.xlate(eip, Access::Exec) {
+                        Ok(pa) => pa,
+                        Err(f) => return self.exec_fault(f),
+                    }
+                } else {
+                    eip
+                };
+            }
+            if pa != expected_pa || !self.decode_cache.probe(pa, &self.mem) {
+                // Translation discontinuity, page-generation bump from
+                // a mid-block store, or a decode-cache conflict
+                // eviction: complete this one instruction on the full
+                // single-step fetch path (which counts the miss or
+                // invalidation exactly as uncached execution would),
+                // then leave the block.
+                return self.exec_uncached_at(eip, pa);
+            }
+            // The probe proved the page generation is unchanged since
+            // this physical address was decoded, so the block's copy of
+            // the instruction equals a fresh decode of the live bytes.
+            self.decode_cache.count_hit();
+            expected_pa = pa.wrapping_add(u32::from(insn.len));
+            if let Err(f) = self.exec_insn(insn) {
+                return self.exec_fault(f);
+            }
+        }
+    }
+
+    /// Executes instructions on the single-step fetch path while
+    /// recording them, until a terminator, fault, page boundary, cycle
+    /// limit, breakpoint, or the length cap ends the block.
+    fn record_block(&mut self, eip0: u32, pa0: u32, limit: u64) {
+        let paging = self.cpu.paging();
+        let page = eip0 & !PAGE_MASK;
+        let start_gen = self.mem.page_gen(pa0);
+        let mut insns: Vec<Insn> = Vec::new();
+        let mut eip = eip0;
+        let mut pa = pa0;
+        loop {
+            let insn = match self.fetch_at(eip, pa) {
+                Ok(i) => i,
+                Err(f) => {
+                    self.exec_fault(f);
+                    break;
+                }
+            };
+            // A page-straddling instruction is never cached by the
+            // decode cache, so a replay probe could not validate it:
+            // execute it, but end the block without recording it.
+            let in_page = (pa & PAGE_MASK) + u32::from(insn.len) <= PAGE_SIZE;
+            let faulted = match self.exec_insn(insn) {
+                Ok(()) => false,
+                Err(f) => {
+                    self.exec_fault(f);
+                    true
+                }
+            };
+            if in_page {
+                // Faulting instructions are recorded too: a replay
+                // revalidates and re-executes them independently, and a
+                // block may legally end anywhere.
+                insns.push(insn);
+            }
+            if faulted || !in_page || ends_block(&insn.op) || insns.len() >= MAX_BLOCK_INSNS {
+                break;
+            }
+            // Next boundary: the same checks a cached replay performs.
+            let neip = self.cpu.eip;
+            if neip & !PAGE_MASK != page || self.cpu.tsc >= limit {
+                break;
+            }
+            if self.cpu.dr7 != 0 && self.cpu.breakpoint_match(neip).is_some() {
+                break;
+            }
+            self.counters.instructions += 1;
+            let npa = if paging {
+                match self.xlate(neip, Access::Exec) {
+                    Ok(p) => p,
+                    Err(f) => {
+                        self.exec_fault(f);
+                        break;
+                    }
+                }
+            } else {
+                neip
+            };
+            if npa != pa0.wrapping_add(neip.wrapping_sub(eip0)) {
+                // The page's physical mapping changed under us (page
+                // tables edited mid-block): execute this instruction
+                // off-block and stop recording.
+                self.exec_uncached_at(neip, npa);
+                break;
+            }
+            eip = neip;
+            pa = npa;
+        }
+        if !insns.is_empty() && self.mem.page_gen(pa0) == start_gen {
+            // Only insert if the code page survived the recording pass
+            // unwritten — otherwise the recorded instructions may not
+            // match the live bytes (e.g. a store into the block itself,
+            // or a fault pushing its frame onto a stack in this page).
+            self.block_cache.insert(pa0, start_gen, Block { insns });
+        }
+    }
+
+    /// Executes the single instruction at `eip`/`pa` through the full
+    /// fetch path (decode-cache lookup/insert with normal counting).
+    fn exec_uncached_at(&mut self, eip: u32, pa: u32) {
+        match self.fetch_at(eip, pa) {
+            Ok(insn) => {
+                if let Err(f) = self.exec_insn(insn) {
+                    self.exec_fault(f);
+                }
+            }
+            Err(f) => self.exec_fault(f),
+        }
+    }
+
+    /// Replicates the fault arm of the single-step path: latch CR2 for
+    /// page faults and deliver through the IDT. (Block mode never runs
+    /// with the sanitizer, so no `cr2_write_ok` bookkeeping is needed.)
+    fn exec_fault(&mut self, fault: Fault) {
+        let eip = self.cpu.eip;
+        let (vector, err) = match fault {
+            Fault::Page(pf) => {
+                self.cpu.cr2 = pf.addr;
+                (Vector::PageFault, Some(pf.error_code()))
+            }
+            Fault::Vec(v, e) => (v, e),
+        };
+        self.deliver(vector, err, eip);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use kfi_isa::decode;
+
+    #[test]
+    fn terminator_classification() {
+        let term: &[&[u8]] = &[
+            &[0xeb, 0x00],       // jmp
+            &[0x74, 0x00],       // je
+            &[0xc3],             // ret
+            &[0xe8, 0, 0, 0, 0], // call
+            &[0xcf],             // iret
+            &[0xf4],             // hlt
+            &[0x0f, 0x0b],       // ud2
+            &[0xcd, 0x80],       // int $0x80
+            &[0xf3, 0xa4],       // rep movsb
+            &[0x0f, 0x22, 0xd8], // mov %ebx,%cr3
+        ];
+        for bytes in term {
+            let i = decode(bytes).unwrap();
+            assert!(ends_block(&i.op), "{:?} must terminate a block", i.op);
+        }
+        let fall: &[&[u8]] = &[
+            &[0x90],       // nop
+            &[0x40],       // inc %eax
+            &[0xfa],       // cli
+            &[0xfb],       // sti
+            &[0x89, 0xd8], // mov %ebx,%eax
+            &[0x50],       // push %eax
+        ];
+        for bytes in fall {
+            let i = decode(bytes).unwrap();
+            assert!(!ends_block(&i.op), "{:?} must not terminate a block", i.op);
+        }
+    }
+
+    #[test]
+    fn cache_validates_generation_and_epoch() {
+        let mem = &mut PhysMem::new(8192);
+        let mut c = BlockCache::new(true);
+        let nop = decode(&[0x90]).unwrap();
+        c.insert(0x1000, mem.page_gen(0x1000), Block { insns: vec![nop] });
+        assert!(c.lookup(0x1000, mem).is_some());
+        // Any write in the page kills the block...
+        mem.write_u8(0x1fff, 0);
+        assert!(c.lookup(0x1000, mem).is_none());
+        // ...counted as an invalidation, not a plain miss.
+        assert_eq!(c.stats(), (1, 1, 1));
+        c.insert(0x1000, mem.page_gen(0x1000), Block { insns: vec![nop] });
+        c.flush();
+        assert!(c.lookup(0x1000, mem).is_none());
+        assert_eq!(c.stats(), (1, 2, 1));
+    }
+
+    #[test]
+    fn disabled_cache_allocates_nothing() {
+        let c = BlockCache::new(false);
+        assert!(!c.enabled());
+        assert_eq!(c.slots.len(), 0);
+        assert_eq!(c.stats(), (0, 0, 0));
+    }
+}

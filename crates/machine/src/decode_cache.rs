@@ -95,6 +95,29 @@ impl DecodeCache {
         None
     }
 
+    /// True when `pa` has a live entry that the next
+    /// [`lookup`](DecodeCache::lookup) would hit, without touching any
+    /// counter. The block engine uses this per replayed instruction: a
+    /// successful probe proves the page is unchanged since the entry
+    /// (and therefore the block) was decoded, and is then counted via
+    /// [`count_hit`](DecodeCache::count_hit) so hit/miss statistics
+    /// evolve exactly as on the single-step path.
+    #[inline]
+    pub(crate) fn probe(&self, pa: u32, mem: &PhysMem) -> bool {
+        if !self.enabled {
+            return false;
+        }
+        let slot = &self.slots[pa as usize & (SLOTS - 1)];
+        slot.epoch == self.epoch && slot.pa == pa && slot.gen == mem.page_gen(pa)
+    }
+
+    /// Counts the hit a successful [`probe`](DecodeCache::probe)
+    /// corresponds to.
+    #[inline]
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
     /// Caches a successfully decoded instruction. The caller guarantees
     /// every consumed byte lives in the page containing `pa`.
     #[inline]
@@ -139,6 +162,26 @@ mod tests {
         c.flush();
         assert_eq!(c.lookup(0x10, mem), None);
         assert_eq!(c.stats(), (0, 1, 0));
+    }
+
+    #[test]
+    fn probe_agrees_with_lookup_and_counts_nothing() {
+        let mem = &mut PhysMem::new(8192);
+        let mut c = DecodeCache::new(true);
+        let insn = decode(&[0x90]).unwrap();
+        assert!(!c.probe(0x1000, mem));
+        c.insert(0x1000, mem, insn);
+        assert!(c.probe(0x1000, mem));
+        assert_eq!(c.stats(), (0, 0, 0), "probe must not count");
+        c.count_hit();
+        assert_eq!(c.stats(), (1, 0, 0));
+        // Probe sees the same page-generation invalidation lookup does.
+        mem.write_u8(0x1001, 0);
+        assert!(!c.probe(0x1000, mem));
+        // A flush kills probes too.
+        c.insert(0x1000, mem, insn);
+        c.flush();
+        assert!(!c.probe(0x1000, mem));
     }
 
     #[test]

@@ -13,11 +13,23 @@ use kfi_isa::{
 const PAGE_MASK: u32 = 0xfff;
 
 impl Machine {
+    #[inline(always)]
     fn fetch(&mut self) -> XResult<Insn> {
         let eip = self.cpu.eip;
         // Translation runs on every fetch, hit or miss, so paging faults
         // and TLB statistics are identical with the cache on or off.
         let pa = self.xlate(eip, Access::Exec)?;
+        self.fetch_at(eip, pa)
+    }
+
+    /// Decodes the instruction at `eip`, whose first byte the caller has
+    /// already translated to physical address `pa`. This is the complete
+    /// decode path — cache lookup/insert, sanitizer hooks, page-straddle
+    /// handling — shared by [`fetch`](Machine::fetch) and the block
+    /// engine's slow-path exits, so decode-cache counters evolve
+    /// identically in both execution modes.
+    #[inline(always)]
+    pub(crate) fn fetch_at(&mut self, eip: u32, pa: u32) -> XResult<Insn> {
         if self.san.is_some() {
             self.sanitize_fetch_translation(eip, pa);
         }
@@ -209,8 +221,18 @@ impl Machine {
     }
 
     /// Fetch, decode and execute one instruction.
+    #[inline(always)]
     pub(crate) fn exec_one(&mut self) -> XResult<()> {
         let insn = self.fetch()?;
+        self.exec_insn(insn)
+    }
+
+    /// Executes an already-fetched instruction. The caller guarantees
+    /// `insn` is what decoding the bytes at the current EIP yields (the
+    /// block engine's per-instruction decode-cache probe enforces this
+    /// on cached replays).
+    #[inline(always)]
+    pub(crate) fn exec_insn(&mut self, insn: Insn) -> XResult<()> {
         let eip = self.cpu.eip;
         let next = eip.wrapping_add(insn.len as u32);
         self.cpu.tsc += 1;

@@ -20,6 +20,8 @@
 //!
 //! # Examples
 //!
+//! Build a machine, load code, run to completion:
+//!
 //! ```
 //! use kfi_machine::{Machine, MachineConfig, RunExit};
 //!
@@ -30,10 +32,29 @@
 //! assert_eq!(m.run(1_000), RunExit::Halted);
 //! assert_eq!(m.console(), &[0x2a]);
 //! ```
+//!
+//! Single-step with [`Machine::step`] and watch a one-shot debug
+//! breakpoint fire ([`Machine::run`] may execute block-at-a-time, but
+//! `step` is always one instruction):
+//!
+//! ```
+//! use kfi_machine::{Machine, MachineConfig, StepEvent};
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.mem.load(0x1000, &[0x40, 0x40, 0xfa, 0xf4]); // inc %eax x2 ; cli ; hlt
+//! m.cpu.eip = 0x1000;
+//! m.cpu.arm_breakpoint(0, 0x1001); // DR0 at the second inc
+//!
+//! assert_eq!(m.step(), StepEvent::Executed); // first inc
+//! assert_eq!(m.step(), StepEvent::DebugBreak { index: 0 });
+//! assert_eq!(m.cpu.eip, 0x1001); // stopped *before* executing it
+//! assert_eq!(m.cpu.reg(0), 1);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod cpu;
 mod decode_cache;
 mod exec;

@@ -102,6 +102,13 @@ pub struct MachineConfig {
     /// true; turning it off is the reference path for equivalence tests
     /// and benchmarks — execution must be observationally identical).
     pub decode_cache: bool,
+    /// Whether [`Machine::run`] may execute basic-block-at-a-time
+    /// (default true; requires `decode_cache` and no sanitizer to take
+    /// effect, and [`Machine::step`] always single-steps). Execution
+    /// must be observationally identical either way, including decode
+    /// cache and TLB statistics; the checker's `pair_block_engine`
+    /// config proves it in lockstep against single-stepping.
+    pub block_engine: bool,
     /// Per-step architectural-state sanitizer (default false). When on,
     /// every step validates the invariants listed in the crate docs
     /// (canonical EFLAGS, monotonic TSC, CR2-iff-#PF, decode-cache
@@ -123,6 +130,7 @@ impl Default for MachineConfig {
             timer_period: 50_000,
             timer_enabled: true,
             decode_cache: true,
+            block_engine: true,
             sanitizer: false,
             flag_update_bug: false,
         }
@@ -208,6 +216,7 @@ pub struct Machine {
     pub disk: Option<Ramdisk>,
     pub(crate) tlb: Tlb,
     pub(crate) decode_cache: crate::decode_cache::DecodeCache,
+    pub(crate) block_cache: crate::block::BlockCache,
     pub(crate) trace: TraceSink,
     /// Allocated iff `config.sanitizer`; boxed so the disabled case
     /// costs one pointer.
@@ -216,8 +225,8 @@ pub struct Machine {
     console: Vec<u8>,
     monitor: Vec<(u64, MonitorEvent)>,
     trap_log: Vec<TrapRecord>,
-    counters: Counters,
-    next_tick: u64,
+    pub(crate) counters: Counters,
+    pub(crate) next_tick: u64,
     blk_lba: u32,
     blk_dma: u32,
     blk_status: u32,
@@ -239,6 +248,7 @@ impl Machine {
             disk: None,
             tlb: Tlb::new(),
             decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
+            block_cache: crate::block::BlockCache::new(config.block_engine && config.decode_cache),
             trace: TraceSink::Null,
             san: config.sanitizer.then(|| Box::new(crate::sanitizer::Sanitizer::new())),
             config,
@@ -314,6 +324,23 @@ impl Machine {
         self.decode_cache.enabled()
     }
 
+    /// Cumulative basic-block cache `(hits, misses, invalidations)`
+    /// since construction. Like [`Machine::decode_stats`], these
+    /// survive [`Machine::restore`] — diff around a run for per-run
+    /// numbers. All zero when the block engine is disabled (or the
+    /// decode cache is off, which disables it transitively).
+    pub fn block_stats(&self) -> (u64, u64, u64) {
+        self.block_cache.stats()
+    }
+
+    /// Whether the basic-block engine is enabled (requires both
+    /// [`MachineConfig::block_engine`] and [`MachineConfig::decode_cache`];
+    /// even then, [`Machine::run`] still falls back to single-stepping
+    /// when the sanitizer is on).
+    pub fn block_engine_enabled(&self) -> bool {
+        self.block_cache.enabled()
+    }
+
     /// Number of physical pages dirtied since the last snapshot restore
     /// (the copy footprint the next restore will pay).
     pub fn dirty_page_count(&self) -> u32 {
@@ -383,6 +410,7 @@ impl Machine {
         self.cpu = s.cpu.clone();
         self.mem.restore_from(&s.mem, s.id);
         self.decode_cache.flush();
+        self.block_cache.flush();
         self.next_tick = s.next_tick;
         self.blk_lba = s.blk_lba;
         self.blk_dma = s.blk_dma;
@@ -846,6 +874,9 @@ impl Machine {
     /// (also reported as [`RunExit::CycleLimit`] — the watchdog's view).
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
         let deadline = self.cpu.tsc.saturating_add(max_cycles);
+        if self.block_cache.enabled() && self.san.is_none() {
+            return self.run_block_mode(deadline);
+        }
         let mut steps: u32 = 0;
         loop {
             if self.cpu.tsc >= deadline {
@@ -864,6 +895,45 @@ impl Machine {
                 StepEvent::DebugBreak { index } => return RunExit::DebugBreak { index },
                 StepEvent::Halted => return RunExit::Halted,
                 StepEvent::TripleFault => return RunExit::TripleFault,
+            }
+        }
+    }
+
+    /// Block-at-a-time body of [`Machine::run`]. Anything that needs
+    /// per-step precision — pending timer tick, halted CPU, latched
+    /// triple fault, breakpoint match at the block head — is routed
+    /// through one ordinary [`Machine::step`]; the straight-line rest
+    /// executes via the block engine with the abort flag polled once
+    /// per block (a block is at most 64 instructions, far inside the
+    /// [`ABORT_CHECK_STEPS`] contract).
+    fn run_block_mode(&mut self, deadline: u64) -> RunExit {
+        loop {
+            if self.cpu.tsc >= deadline {
+                return RunExit::CycleLimit;
+            }
+            if let Some(flag) = &self.abort {
+                if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                    return RunExit::CycleLimit;
+                }
+            }
+            let needs_step = self.triple_faulted
+                || self.cpu.halted
+                || (self.config.timer_enabled && self.cpu.tsc >= self.next_tick)
+                || (self.cpu.dr7 != 0 && self.cpu.breakpoint_match(self.cpu.eip).is_some());
+            if needs_step {
+                match self.step() {
+                    StepEvent::Executed => continue,
+                    StepEvent::DebugBreak { index } => return RunExit::DebugBreak { index },
+                    StepEvent::Halted => return RunExit::Halted,
+                    StepEvent::TripleFault => return RunExit::TripleFault,
+                }
+            }
+            self.exec_block(deadline);
+            // A fault cascade inside the block can latch a triple
+            // fault; report it before the deadline, as the single-step
+            // loop would.
+            if self.triple_faulted {
+                return RunExit::TripleFault;
             }
         }
     }

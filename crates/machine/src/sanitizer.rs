@@ -1,8 +1,11 @@
 //! Per-step architectural-state sanitizer.
 //!
-//! Enabled by [`MachineConfig::sanitizer`](crate::MachineConfig), this
-//! validates invariants the rest of the workspace silently relies on,
-//! after every [`Machine::step`](crate::Machine::step):
+//! Enabled by [`MachineConfig::sanitizer`](crate::MachineConfig) —
+//! injection campaigns opt in through `RigConfig::sanitizer` in
+//! `kfi-injector`, which plumbs down to it, and the checker's sweep
+//! machines enable it directly — this validates invariants the rest of
+//! the workspace silently relies on, after every
+//! [`Machine::step`](crate::Machine::step):
 //!
 //! * the EFLAGS image is canonical (only writable bits, reserved
 //!   always-one bit set — [`kfi_isa::Eflags::is_canonical`]);
@@ -23,7 +26,9 @@
 //! The sanitizer never mutates architectural state, but the fetch-site
 //! re-walk uses its own scratch TLB and the re-decode re-reads memory,
 //! so wall-clock cost roughly doubles — it is a checking mode, not a
-//! production mode.
+//! production mode. Because its invariants are per-*step*,
+//! [`Machine::run`](crate::Machine::run) disengages the basic-block
+//! engine and single-steps whenever the sanitizer is on.
 //!
 //! One caveat on the MMU re-walk: a guest that rewrites live page
 //! tables *without* reloading CR3 keeps serving stale TLB entries (by

@@ -121,6 +121,16 @@ pub struct Metrics {
     /// Decode-cache entries killed by a write to their page (subset of
     /// misses; the bit-flip and self-modifying-code path).
     pub decode_invalidations: u64,
+    /// Basic-block cache replays during measured runs. Like
+    /// `journal_flushes`, the block counters are *excluded* from the
+    /// CSV/report surfaces: the golden CSV must stay byte-identical
+    /// whether the block engine is on or off.
+    pub block_hits: u64,
+    /// Basic-block cache misses (blocks recorded) during measured runs.
+    pub block_misses: u64,
+    /// Block-cache entries killed by a write to their page (subset of
+    /// block misses).
+    pub block_invalidations: u64,
     /// Physical pages dirtied by measured runs — the copy footprint the
     /// dirty-page snapshot restore pays instead of full memory.
     pub dirty_pages: u64,
@@ -175,6 +185,9 @@ impl Metrics {
         self.decode_hits += other.decode_hits;
         self.decode_misses += other.decode_misses;
         self.decode_invalidations += other.decode_invalidations;
+        self.block_hits += other.block_hits;
+        self.block_misses += other.block_misses;
+        self.block_invalidations += other.block_invalidations;
         self.dirty_pages += other.dirty_pages;
         self.snapshot_restores += other.snapshot_restores;
         self.runs += other.runs;
@@ -225,6 +238,9 @@ impl Metrics {
         put_varint(out, self.decode_hits);
         put_varint(out, self.decode_misses);
         put_varint(out, self.decode_invalidations);
+        put_varint(out, self.block_hits);
+        put_varint(out, self.block_misses);
+        put_varint(out, self.block_invalidations);
         put_varint(out, self.dirty_pages);
         put_varint(out, self.snapshot_restores);
         put_varint(out, self.runs);
@@ -264,6 +280,9 @@ impl Metrics {
         m.decode_hits = get_varint(buf, pos)?;
         m.decode_misses = get_varint(buf, pos)?;
         m.decode_invalidations = get_varint(buf, pos)?;
+        m.block_hits = get_varint(buf, pos)?;
+        m.block_misses = get_varint(buf, pos)?;
+        m.block_invalidations = get_varint(buf, pos)?;
         m.dirty_pages = get_varint(buf, pos)?;
         m.snapshot_restores = get_varint(buf, pos)?;
         m.runs = get_varint(buf, pos)?;
@@ -340,6 +359,9 @@ mod tests {
         m.decode_hits = 42;
         m.decode_misses = 7;
         m.decode_invalidations = 1;
+        m.block_hits = 29;
+        m.block_misses = 6;
+        m.block_invalidations = 2;
         m.dirty_pages = 64;
         m.snapshot_restores = 3;
         m.runs = 4;
@@ -379,6 +401,7 @@ mod tests {
         a.faults_by_vector[14] = 3;
         a.decode_hits = 100;
         a.decode_invalidations = 1;
+        a.block_hits = 50;
         a.dirty_pages = 12;
         a.run_cycles.record(100);
         a.record_outcome(outcome::CRASH);
@@ -388,6 +411,8 @@ mod tests {
         b.faults_by_vector[14] = 1;
         b.faults_by_vector[6] = 2;
         b.decode_misses = 4;
+        b.block_hits = 5;
+        b.block_misses = 2;
         b.dirty_pages = 3;
         b.run_cycles.record(90_000);
         b.record_outcome(outcome::HANG);
@@ -403,6 +428,8 @@ mod tests {
         assert_eq!(ab.outcome(outcome::HANG), 1);
         assert_eq!(ab.decode_hits, 100);
         assert_eq!(ab.decode_misses, 4);
+        assert_eq!(ab.block_hits, 55);
+        assert_eq!(ab.block_misses, 2);
         assert_eq!(ab.dirty_pages, 15);
         assert_eq!(ab.crash_latency_paper.total(), 1);
         assert_eq!(ab.crash_latency_paper.bucket(2), 1);
