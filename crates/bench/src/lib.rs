@@ -44,6 +44,11 @@ pub struct ReproOptions {
     /// Test-only harness-fault injection (`--inject-panic`,
     /// `--inject-panic-persistent`).
     pub inject_panic: PanicInjection,
+    /// Disable the shared-snapshot/golden-memoization fast path and
+    /// fall back to booting + capturing goldens per rig (`--no-memo`).
+    /// The dataset is bit-identical either way; the flag exists so CI
+    /// can prove exactly that.
+    pub no_memo: bool,
 }
 
 impl Default for ReproOptions {
@@ -59,6 +64,7 @@ impl Default for ReproOptions {
             sanitize: false,
             wall_budget_ms: None,
             inject_panic: PanicInjection::None,
+            no_memo: false,
         }
     }
 }
@@ -70,8 +76,8 @@ fn parse_index_list(s: &str) -> std::collections::BTreeSet<usize> {
 impl ReproOptions {
     /// Parses `--full`, `--cap N`, `--seed N`, `--threads N`,
     /// `--no-assertions`, `--journal PATH`, `--resume`,
-    /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N` and the
-    /// test-only `--inject-panic I,J,...` /
+    /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N`,
+    /// `--no-memo` and the test-only `--inject-panic I,J,...` /
     /// `--inject-panic-persistent I,J,...` from the process arguments.
     pub fn from_args() -> ReproOptions {
         let mut o = ReproOptions::default();
@@ -103,6 +109,7 @@ impl ReproOptions {
                     o.quarantine = args.get(i).map(PathBuf::from);
                 }
                 "--sanitize" => o.sanitize = true,
+                "--no-memo" => o.no_memo = true,
                 "--wall-budget-ms" => {
                     i += 1;
                     o.wall_budget_ms = args.get(i).and_then(|v| v.parse().ok());
@@ -136,6 +143,7 @@ impl ReproOptions {
             kernel: KernelBuildOptions { assertions: !self.no_assertions },
             profiler: ProfilerConfig::default(),
             rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
+            memoize: !self.no_memo,
             ..Default::default()
         }
     }

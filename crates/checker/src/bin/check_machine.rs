@@ -2,9 +2,10 @@
 //!
 //! For each seed, generates a guest program in three corruption
 //! variants (clean, pre-run bit flips, mid-run bit flip) and runs it
-//! through the four machine-level differential pairs (decode cache
+//! through the five machine-level differential pairs (decode cache
 //! on/off, block engine vs single-step, ring/null trace sink,
-//! snapshot-restore/fresh-boot). The architectural-state sanitizer is
+//! snapshot-restore/fresh-boot, shared-snapshot-fork/fresh-boot).
+//! The architectural-state sanitizer is
 //! enabled on every machine except in the block-engine pair, which
 //! forces it off so block execution actually engages (the engine falls
 //! back to single-stepping under the sanitizer). A smaller
@@ -17,7 +18,7 @@
 //! self-test failure occurred.
 
 use kfi_checker::diff::{
-    pair_block_engine, pair_decode_cache, pair_restore, pair_trace_sink, PairOutcome,
+    pair_block_engine, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink, PairOutcome,
 };
 use kfi_checker::gen::{generate, Variant};
 use kfi_core::{Experiment, ExperimentConfig};
@@ -120,6 +121,7 @@ fn machine_sweep(opts: &Options) -> (u64, u64) {
                 ("block-engine", pair_block_engine(&prog, cfg)),
                 ("trace-sink", pair_trace_sink(&prog, cfg)),
                 ("restore", pair_restore(&prog, cfg)),
+                ("fork", pair_fork(&prog, cfg)),
             ] {
                 pairs += 1;
                 if !report_pair(seed, variant, name, &out) {
@@ -133,8 +135,12 @@ fn machine_sweep(opts: &Options) -> (u64, u64) {
     (pairs, failures)
 }
 
-/// Pair 4: a full (small) injection campaign at 1 worker vs 2 workers
-/// must produce bit-identical records and metrics.
+/// Campaign-level pair: a full (small) injection campaign at 1 worker
+/// vs 2 workers must produce bit-identical records and metrics. With
+/// memoization on (the default) both sides fork one shared base whose
+/// golden runs are seed-independent, so reusing the experiment across
+/// sweep seeds is sound — and the sweep doubles as an end-to-end check
+/// of the fork path under real campaign load.
 fn campaign_sweep(opts: &Options) -> (u64, u64) {
     let mut pairs = 0u64;
     let mut failures = 0u64;
@@ -195,7 +201,7 @@ fn main() {
 
     let (mpairs, mfail) = machine_sweep(&opts);
     println!(
-        "machine sweep: {} seeds x 3 variants x 4 pairs = {} pairs, {} failures",
+        "machine sweep: {} seeds x 3 variants x 5 pairs = {} pairs, {} failures",
         opts.seeds, mpairs, mfail
     );
     let (cpairs, cfail) = campaign_sweep(&opts);

@@ -3,7 +3,7 @@
 //! Two machines running the same [`GenProgram`]
 //! under configurations that must be observationally equivalent (decode
 //! cache on/off, block engine vs single-step, ring/null trace sink,
-//! snapshot-restore vs fresh boot)
+//! snapshot-restore vs fresh boot, shared-snapshot fork vs fresh boot)
 //! are stepped together; their [`StepEvent`]s are compared after every
 //! step and the full architectural state — registers, flags, control
 //! registers, TSC, console, monitor, trap history, counters, and an
@@ -399,6 +399,70 @@ pub fn pair_block_engine(prog: &GenProgram, base: MachineConfig) -> PairOutcome 
     PairOutcome { steps: step, divergence, violations }
 }
 
+/// Pair: shared-snapshot fork vs fresh boot, in two legs.
+///
+/// Leg 1: machine `a` is a [`Machine::fork`] of a snapshot taken from
+/// an installed (never-run) donor — the copy-on-write fork path the
+/// campaign rigs use — while machine `b` is installed fresh. The two
+/// run in full-mask lockstep: a fork starts with empty caches and
+/// zeroed statistics, so *everything* must match, cache and TLB
+/// counters included. A mid-run flip variant writes into the code page
+/// here, which is exactly the self-modifying-code case a stale shared
+/// decode/block cache would get wrong.
+///
+/// Leg 2: `a` then restores the shared snapshot — for a fork this is a
+/// dirty-page restore against the `Arc`-shared base image, the rig's
+/// per-run reset — and reruns, compared at termination against a second
+/// fresh boot with the cumulative cache/TLB statistics masked (they
+/// deliberately survive restore).
+pub fn pair_fork(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let donor = install(prog, base);
+    let snap = donor.snapshot();
+
+    // Fork with the donor's effective config (`install` overrides
+    // `phys_mem`), exactly as the rig forks with the boot machine's.
+    let mut a = Machine::fork(&snap, *donor.config());
+    let mut b = install(prog, base);
+    let first = run_lockstep(&mut a, &mut b, prog, &StateMask::full());
+    if !first.clean() {
+        return first;
+    }
+
+    a.restore(&snap);
+    let second = run_to_end(&mut a, prog);
+    let mut b2 = install(prog, base);
+    let third = run_to_end(&mut b2, prog);
+
+    let mask = StateMask { decode_stats: false, tlb_stats: false };
+    let sa = ArchState::capture(&a, &mask);
+    let sb = ArchState::capture(&b2, &mask);
+    let divergence = if first.steps != second || second != third {
+        Some(Divergence {
+            step: second.min(third),
+            detail: format!(
+                "step counts diverged: forked-lockstep={} restored-fork-rerun={second} fresh={third}",
+                first.steps
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else if sa != sb {
+        Some(Divergence {
+            step: second,
+            detail: format!(
+                "restored-fork state != fresh-boot state:\n    {}",
+                sa.diff(&sb).join("\n    ")
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else {
+        None
+    };
+    let mut violations = Vec::new();
+    collect_violations("a", &a, &mut violations);
+    collect_violations("b", &b2, &mut violations);
+    PairOutcome { steps: second, divergence, violations }
+}
+
 fn run_to_end(m: &mut Machine, prog: &GenProgram) -> u64 {
     let mut step = 0u64;
     loop {
@@ -449,7 +513,7 @@ mod tests {
     }
 
     #[test]
-    fn all_four_machine_pairs_agree_on_a_sample() {
+    fn all_five_machine_pairs_agree_on_a_sample() {
         for seed in [0, 1, 2, 5] {
             for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
                 let prog = generate(seed, variant);
@@ -458,6 +522,7 @@ mod tests {
                     ("block-engine", pair_block_engine(&prog, base())),
                     ("trace-sink", pair_trace_sink(&prog, base())),
                     ("restore", pair_restore(&prog, base())),
+                    ("fork", pair_fork(&prog, base())),
                 ] {
                     assert!(out.clean(), "seed {seed} {variant:?} pair {name} failed:\n{:#?}", out);
                 }

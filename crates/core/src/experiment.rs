@@ -2,13 +2,16 @@
 //! selection → parallel campaign execution.
 
 use crate::stats;
-use kfi_injector::{plan_function, Campaign, InjectionTarget, InjectorRig, RigConfig, RunRecord};
+use kfi_injector::{
+    plan_function, Campaign, InjectionTarget, InjectorRig, RigConfig, RigShared, RunRecord,
+};
 use kfi_kernel::{build_kernel, mkfs::FileSpec, KernelBuildOptions, KernelImage};
 use kfi_profiler::{profile, KernelProfile, ProfilerConfig};
 use kfi_trace::Metrics;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::{Arc, OnceLock};
 
 /// Experiment-wide configuration.
 #[derive(Debug, Clone)]
@@ -29,6 +32,12 @@ pub struct ExperimentConfig {
     pub profiler: ProfilerConfig,
     /// Rig settings.
     pub rig: RigConfig,
+    /// Whether workers share one post-boot snapshot and one memoized
+    /// set of golden runs ([`kfi_injector::RigShared`]) instead of each
+    /// booting and re-running the goldens privately. Default `true`;
+    /// the `false` position is the recompute-per-rig reference path —
+    /// results are bit-identical either way (`tests/golden_memo.rs`).
+    pub memoize: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -41,6 +50,7 @@ impl Default for ExperimentConfig {
             kernel: KernelBuildOptions::default(),
             profiler: ProfilerConfig::default(),
             rig: RigConfig::default(),
+            memoize: true,
         }
     }
 }
@@ -63,6 +73,12 @@ pub struct Experiment {
     /// `top_fraction` of samples, restricted to the four subsystems) —
     /// the paper's "top 32".
     pub target_functions: Vec<String>,
+    /// Lazily-booted shared post-boot base for the memoized rig path:
+    /// booted once by the first [`Experiment::make_rig`], then forked
+    /// by every later rig (including supervisor rebuild-on-panic).
+    /// Boot failures are memoized the same way. Untouched when
+    /// [`ExperimentConfig::memoize`] is off.
+    shared_base: OnceLock<Result<Arc<RigShared>, String>>,
 }
 
 /// Results of one campaign.
@@ -107,7 +123,30 @@ impl Experiment {
             .filter(|f| INJECTED_SUBSYSTEMS.contains(&f.subsystem.as_str()))
             .map(|f| f.name.clone())
             .collect();
-        Ok(Experiment { config, image, files, profile, target_functions })
+        Ok(Experiment {
+            config,
+            image,
+            files,
+            profile,
+            target_functions,
+            shared_base: OnceLock::new(),
+        })
+    }
+
+    /// A copy of this experiment with a different worker-thread count.
+    ///
+    /// The shared post-boot base travels with the copy (it is
+    /// thread-count independent), so sweeping thread counts — as the
+    /// campaign benchmarks do — boots and captures goldens only once.
+    pub fn with_threads(&self, threads: usize) -> Experiment {
+        Experiment {
+            config: ExperimentConfig { threads, ..self.config.clone() },
+            image: self.image.clone(),
+            files: self.files.clone(),
+            profile: self.profile.clone(),
+            target_functions: self.target_functions.clone(),
+            shared_base: self.shared_base.clone(),
+        }
     }
 
     /// The function set injected by a campaign. All campaigns target the
@@ -167,17 +206,61 @@ impl Experiment {
 
     /// Builds an injection rig (one per worker thread).
     ///
+    /// With [`ExperimentConfig::memoize`] on (the default) this forks
+    /// the shared post-boot base — booting it first if this is the
+    /// first rig — so the kernel boots once per experiment and each
+    /// golden run executes once campaign-wide. With it off, every call
+    /// boots and captures privately (the reference path). Either way a
+    /// fresh, uncontaminated rig is returned: the supervisor's
+    /// rebuild-on-panic path calls this and must never inherit state
+    /// from the rig it is replacing.
+    ///
     /// # Errors
     ///
     /// Propagates boot/golden-run failures as a string.
     pub fn make_rig(&self) -> Result<InjectorRig, String> {
-        InjectorRig::new(
-            self.image.clone(),
-            &self.files,
-            kfi_workloads::WORKLOADS.len() as u32,
-            self.config.rig,
-        )
-        .map_err(|e| e.to_string())
+        if self.config.memoize {
+            let shared = self.shared_base()?;
+            InjectorRig::fork(&shared).map_err(|e| e.to_string())
+        } else {
+            InjectorRig::new(
+                self.image.clone(),
+                &self.files,
+                kfi_workloads::WORKLOADS.len() as u32,
+                self.config.rig,
+            )
+            .map_err(|e| e.to_string())
+        }
+    }
+
+    /// The shared post-boot base, booting it on first call. Concurrent
+    /// first calls block until the one boot finishes; failures are
+    /// memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates boot failures as a string.
+    pub fn shared_base(&self) -> Result<Arc<RigShared>, String> {
+        self.shared_base
+            .get_or_init(|| {
+                RigShared::boot(
+                    self.image.clone(),
+                    &self.files,
+                    kfi_workloads::WORKLOADS.len() as u32,
+                    self.config.rig,
+                )
+                .map_err(|e| e.to_string())
+            })
+            .clone()
+    }
+
+    /// Number of golden captures the shared base actually executed so
+    /// far — the memoization test pins this to the number of workload
+    /// modes regardless of worker count. `None` when the base has not
+    /// been booted (memoization off, or no rig made yet).
+    pub fn golden_captures(&self) -> Option<u64> {
+        let shared = self.shared_base.get()?.as_ref().ok()?;
+        Some(shared.store().captures())
     }
 
     /// Runs one campaign, fanning the planned targets across

@@ -89,6 +89,12 @@ pub fn setup_summary() -> Vec<SetupItem> {
             paper: "Linux Kernel Injector",
             ours: "kfi-injector (DR-triggered bit flips)",
         },
+        SetupItem {
+            group: "Tools",
+            label: "Campaign setup",
+            paper: "reboot + golden rerun per injection",
+            ours: "CoW rig forks + memoized golden store",
+        },
     ]
 }
 

@@ -21,6 +21,9 @@
 //! * **Journal** — completed runs (record + per-run metrics delta) are
 //!   appended to a CRC-framed journal ([`crate::journal`]); `--resume`
 //!   replays the intact prefix and only executes what's missing.
+//!   Frames pass through a reorder buffer so they land in plan-index
+//!   order regardless of which worker finished first: the journal's
+//!   bytes are identical for any worker count.
 //! * **Quarantine** — runs that panic or trip the machine sanitizer are
 //!   retried up to [`SupervisorConfig::max_retries`] times on a fresh
 //!   rig; persistent offenders get a minimal-repro artifact written to
@@ -369,11 +372,54 @@ fn process_job(
     }
 }
 
+/// Reorder buffer in front of the journal: frames are appended in
+/// plan-index order, not worker-completion order, so the journal's
+/// bytes are identical for any worker count (and diffable between
+/// runs). Entries completed ahead of a still-running earlier job are
+/// held here until the gap closes; the window is usually the worker
+/// count, though one long run can briefly hold back many completions.
+struct JournalOrder {
+    /// Next plan index the journal is waiting for.
+    next: usize,
+    /// Completed-but-early entries, keyed by plan index.
+    held: BTreeMap<usize, JournalEntry>,
+    /// Plan indices already journaled by a previous (resumed) session;
+    /// `next` skips over these.
+    skip: BTreeSet<usize>,
+}
+
+impl JournalOrder {
+    fn new(skip: BTreeSet<usize>) -> JournalOrder {
+        JournalOrder { next: 0, held: BTreeMap::new(), skip }
+    }
+
+    /// Appends every entry that is now contiguous with the journal tail.
+    fn drain(&mut self, j: &mut Journal) {
+        loop {
+            if self.skip.remove(&self.next) {
+                self.next += 1;
+                continue;
+            }
+            match self.held.remove(&self.next) {
+                Some(e) => {
+                    // Journal I/O failure must not kill the campaign:
+                    // the run is already in memory; only resumability
+                    // degrades.
+                    let _ = j.append(&e);
+                    self.next += 1;
+                }
+                None => break,
+            }
+        }
+    }
+}
+
 /// Shared mutable campaign state.
 struct Shared<'a> {
     queue: Mutex<std::collections::VecDeque<Job>>,
     done: Mutex<Vec<JobDone>>,
     journal: Option<&'a Mutex<Journal>>,
+    order: Mutex<JournalOrder>,
 }
 
 impl Shared<'_> {
@@ -385,9 +431,9 @@ impl Shared<'_> {
                 record: done.record.clone(),
                 metrics: done.metrics.clone(),
             };
-            // Journal I/O failure must not kill the campaign: the run
-            // is already in memory; only resumability degrades.
-            let _ = j.lock().expect("journal lock").append(&entry);
+            let mut order = self.order.lock().expect("journal order lock");
+            order.held.insert(done.index, entry);
+            order.drain(&mut j.lock().expect("journal lock"));
         }
         self.done.lock().expect("done lock").push(done);
     }
@@ -529,10 +575,12 @@ fn run_campaign_inner(
     let journaled = resumed.get(&campaign.letter()).unwrap_or(&empty);
     let mut replayed: Vec<JobDone> = Vec::new();
     let mut jobs: std::collections::VecDeque<Job> = std::collections::VecDeque::new();
+    let mut skip: BTreeSet<usize> = BTreeSet::new();
     for (index, target) in targets.into_iter().enumerate() {
         let mode = exp.mode_for(&target);
         match journaled.get(&index) {
             Some(e) if e.record.target == target && e.record.mode == mode => {
+                skip.insert(index);
                 replayed.push(JobDone {
                     index,
                     record: e.record.clone(),
@@ -545,7 +593,12 @@ fn run_campaign_inner(
     }
     let resumed_runs = replayed.len();
 
-    let shared = Shared { queue: Mutex::new(jobs), done: Mutex::new(replayed), journal };
+    let shared = Shared {
+        queue: Mutex::new(jobs),
+        done: Mutex::new(replayed),
+        journal,
+        order: Mutex::new(JournalOrder::new(skip)),
+    };
     let threads = exp.config.threads.max(1);
     let slots: Vec<WatchSlot> = (0..threads).map(|_| WatchSlot::new()).collect();
     let watchdog_stop = AtomicBool::new(false);

@@ -6,18 +6,26 @@ use crate::target::InjectionTarget;
 use kfi_kernel::layout::{causes, events};
 use kfi_kernel::{boot, fsck, mkfs::FileSpec, BootConfig, FsckReport, KernelImage};
 use kfi_machine::{
-    Machine, MonitorEvent, Ramdisk, RunExit, Snapshot, StepEvent, TrapRecord, Vector,
+    Machine, MachineConfig, MonitorEvent, Ramdisk, RunExit, Snapshot, StepEvent, TrapRecord, Vector,
 };
 use kfi_trace::{outcome as trace_outcome, subsystem as trace_subsystem};
 use kfi_trace::{Event, EventKind, Metrics, TraceSink};
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Rig configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct RigConfig {
-    /// Multiplier on the golden run length used as the hang watchdog.
+    /// Multiplier on the golden run length for the per-injection-run
+    /// hang watchdog: each run's cycle budget is
+    /// `golden.cycles * budget_factor + budget_slack`. This budget
+    /// governs *injection* runs only — the golden capture itself is
+    /// watched by [`RigConfig::golden_budget`] (it has no golden run to
+    /// derive a multiplier from).
     pub budget_factor: u64,
-    /// Extra flat cycle budget per run.
+    /// Extra flat cycle budget per injection run, added on top of the
+    /// `budget_factor` multiple (see there).
     pub budget_slack: u64,
     /// Cycles attributed to injector↔kernel routine switching,
     /// subtracted from raw crash latencies (paper §5.3). The trap
@@ -36,8 +44,12 @@ pub struct RigConfig {
     /// past this without the runner announcing itself is a clean
     /// [`RigError::BootFailed`], not a wedged rig.
     pub boot_budget: u64,
-    /// Cycle budget for each golden (fault-free) reference run,
-    /// measured from the snapshot point.
+    /// Cycle budget for each golden (fault-free) reference run. The
+    /// budget is measured from the snapshot point — boot cycles do not
+    /// eat into it — and exceeding it surfaces as a clean
+    /// [`RigError::GoldenFailed`], never a wedged rig. A capture that
+    /// takes exactly this many cycles still succeeds (the boundary is
+    /// pinned by `tests/budgets.rs`).
     pub golden_budget: u64,
     /// Whether the machine's per-step architectural-state sanitizer is
     /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
@@ -86,7 +98,11 @@ impl GoldenRun {
 }
 
 /// Why the rig could not be constructed.
-#[derive(Debug)]
+///
+/// `Clone` because a memoized golden capture ([`GoldenStore`]) hands
+/// the same result — including a failure — to every rig sharing the
+/// store.
+#[derive(Debug, Clone)]
 pub enum RigError {
     /// The kernel never reported BOOT_OK.
     BootFailed(String),
@@ -112,8 +128,218 @@ impl std::fmt::Display for RigError {
 
 impl std::error::Error for RigError {}
 
+/// 64-bit FNV-1a.
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = if seed == 0 { 0xcbf2_9ce4_8422_2325 } else { seed };
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A campaign-wide memo of golden (fault-free) reference runs, keyed by
+/// `(kernel-config fingerprint, workload mode)`.
+///
+/// The paper's per-injection key is `(function, workload,
+/// kernel-config)`; the function dimension collapses here because a
+/// golden run never arms a breakpoint and never flips a bit — its
+/// outcome is independent of which function the campaign will later
+/// inject into, so one capture serves every function. What remains is
+/// one entry per workload mode per kernel configuration.
+///
+/// Each entry is captured **exactly once** across all workers: the
+/// first rig to ask runs the capture; concurrent askers block on the
+/// entry's [`OnceLock`] until it is ready and then share the same
+/// [`Arc<GoldenRun>`]. A failed capture is memoized too — every rig
+/// sharing the store sees the same [`RigError`].
+#[derive(Default)]
+pub struct GoldenStore {
+    #[allow(clippy::type_complexity)]
+    entries: Mutex<BTreeMap<(u64, u32), Arc<OnceLock<Result<Arc<GoldenRun>, RigError>>>>>,
+    hits: AtomicU64,
+    captures: AtomicU64,
+}
+
+impl GoldenStore {
+    /// Returns the memoized golden run for `key`, running `capture` to
+    /// produce it if this is the first request. Concurrent first
+    /// requests for the same key execute `capture` once; the losers
+    /// block until the winner finishes.
+    pub fn get_or_capture(
+        &self,
+        key: (u64, u32),
+        capture: impl FnOnce() -> Result<GoldenRun, RigError>,
+    ) -> Result<Arc<GoldenRun>, RigError> {
+        let cell = {
+            let mut entries = self.entries.lock().expect("golden store lock");
+            entries.entry(key).or_default().clone()
+        };
+        let mut ran = false;
+        let result = cell.get_or_init(|| {
+            ran = true;
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            capture().map(Arc::new)
+        });
+        if !ran {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Number of golden captures actually executed (one per distinct
+    /// key, regardless of how many rigs forked).
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served from the memo without executing.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// Everything produced by booting a workload once, before any golden
+/// run or injection: the post-boot machine, its snapshot, and the
+/// filesystem state.
+struct BootedBase {
+    machine: Machine,
+    snapshot: Snapshot,
+    boot_cycles: u64,
+    post_boot_disk: Arc<Vec<u8>>,
+    manifest: BTreeMap<String, (u32, u32)>,
+}
+
+/// Boots the kernel to the RUNNER_START snapshot point. The common
+/// prefix of [`InjectorRig::new`] and [`RigShared::boot`].
+fn boot_base(
+    image: &KernelImage,
+    files: &[FileSpec],
+    config: RigConfig,
+) -> Result<BootedBase, RigError> {
+    let fsimg = kfi_kernel::mkfs(2048, files);
+    let manifest = fsimg.manifest.clone();
+    let boot_config = BootConfig {
+        decode_cache: config.decode_cache,
+        block_engine: config.block_engine,
+        sanitizer: config.sanitizer,
+        ..Default::default()
+    };
+    let mut m = boot(image, fsimg.disk, &boot_config);
+
+    // Run to the snapshot point: the runner announcing itself (all
+    // of init's own risky setup — fork, exec, file reads — is behind
+    // this point, mirroring the paper where the injected activity is
+    // driven by benchmark processes rather than by init).
+    let boot_budget = config.boot_budget;
+    loop {
+        if m.cpu.tsc > boot_budget {
+            return Err(RigError::BootFailed(m.console_string()));
+        }
+        match m.step() {
+            StepEvent::Executed => {}
+            _ => return Err(RigError::BootFailed(m.console_string())),
+        }
+        if let Some((_, MonitorEvent::Event(v))) = m.monitor_events().last() {
+            if *v == events::RUNNER_START {
+                break;
+            }
+        }
+    }
+    let boot_cycles = m.cpu.tsc;
+    let snapshot = m.snapshot();
+    let post_boot_disk = Arc::new(m.disk.as_ref().expect("disk attached").bytes().to_vec());
+    Ok(BootedBase { machine: m, snapshot, boot_cycles, post_boot_disk, manifest })
+}
+
+/// The shared, immutable post-boot base of a campaign: one boot's worth
+/// of state ([`Snapshot`] with `Arc`-shared memory, post-boot disk,
+/// filesystem manifest) plus the campaign-wide [`GoldenStore`].
+///
+/// Boot once with [`RigShared::boot`], then hand the `Arc` to every
+/// worker; each [`InjectorRig::fork`] builds a private copy-on-write
+/// machine off the shared snapshot and resolves its golden runs through
+/// the store. Nothing here is ever written after construction, so any
+/// number of threads may fork concurrently — and a worker that poisons
+/// its private rig (panic, sanitizer violation) can be handed a fresh
+/// fork with no way to have contaminated the base.
+pub struct RigShared {
+    image: KernelImage,
+    config: RigConfig,
+    machine_config: MachineConfig,
+    snapshot: Snapshot,
+    boot_cycles: u64,
+    post_boot_disk: Arc<Vec<u8>>,
+    manifest: BTreeMap<String, (u32, u32)>,
+    n_modes: u32,
+    fingerprint: u64,
+    store: GoldenStore,
+}
+
+impl RigShared {
+    /// Boots the kernel once and captures the shared post-boot base.
+    /// Golden runs are *not* captured here — the first fork to need
+    /// each one captures it into the store.
+    ///
+    /// # Errors
+    ///
+    /// [`RigError::BootFailed`] when the kernel never reaches the
+    /// snapshot point within the boot budget.
+    pub fn boot(
+        image: KernelImage,
+        files: &[FileSpec],
+        n_modes: u32,
+        config: RigConfig,
+    ) -> Result<Arc<RigShared>, RigError> {
+        let base = boot_base(&image, files, config)?;
+        // Fingerprint the kernel-config dimension of the golden key:
+        // everything the golden run's outcome could depend on — the
+        // kernel image, the post-boot filesystem, and the execution
+        // configuration. Seeded per field so reordering can't collide.
+        let mut fp = fnv1a(0, &image.entry.to_le_bytes());
+        fp = fnv1a(fp, &image.program.text.base.to_le_bytes());
+        fp = fnv1a(fp, &image.program.text.bytes);
+        fp = fnv1a(fp, &image.program.data.bytes);
+        fp = fnv1a(fp, &base.post_boot_disk);
+        fp = fnv1a(
+            fp,
+            &[config.decode_cache as u8, config.block_engine as u8, config.sanitizer as u8],
+        );
+        fp = fnv1a(fp, &n_modes.to_le_bytes());
+        let machine_config = *base.machine.config();
+        Ok(Arc::new(RigShared {
+            image,
+            config,
+            machine_config,
+            snapshot: base.snapshot,
+            boot_cycles: base.boot_cycles,
+            post_boot_disk: base.post_boot_disk,
+            manifest: base.manifest,
+            n_modes,
+            fingerprint: fp,
+            store: GoldenStore::default(),
+        }))
+    }
+
+    /// The campaign-wide golden store.
+    pub fn store(&self) -> &GoldenStore {
+        &self.store
+    }
+
+    /// Boot duration in cycles (identical for every fork).
+    pub fn boot_cycles(&self) -> u64 {
+        self.boot_cycles
+    }
+}
+
 /// The injection rig: owns a machine, the post-boot snapshot, golden
 /// runs and coverage for every workload mode.
+///
+/// Built either standalone ([`InjectorRig::new`]: boot + capture
+/// everything privately — the recompute-per-rig reference path) or as a
+/// copy-on-write fork of a shared base ([`InjectorRig::fork`]). The two
+/// are observationally identical; `tests/fork_equivalence.rs` proves it
+/// run by run.
 pub struct InjectorRig {
     /// The kernel image under test.
     pub image: KernelImage,
@@ -121,9 +347,9 @@ pub struct InjectorRig {
     machine: Machine,
     snapshot: Snapshot,
     boot_cycles: u64,
-    post_boot_disk: Vec<u8>,
+    post_boot_disk: Arc<Vec<u8>>,
     manifest: BTreeMap<String, (u32, u32)>,
-    golden: Vec<GoldenRun>,
+    golden: Vec<Arc<GoldenRun>>,
     metrics: Metrics,
 }
 
@@ -200,53 +426,57 @@ impl InjectorRig {
         n_modes: u32,
         config: RigConfig,
     ) -> Result<InjectorRig, RigError> {
-        let fsimg = kfi_kernel::mkfs(2048, files);
-        let manifest = fsimg.manifest.clone();
-        let boot_config = BootConfig {
-            decode_cache: config.decode_cache,
-            block_engine: config.block_engine,
-            sanitizer: config.sanitizer,
-            ..Default::default()
-        };
-        let mut m = boot(&image, fsimg.disk, &boot_config);
-
-        // Run to the snapshot point: the runner announcing itself (all
-        // of init's own risky setup — fork, exec, file reads — is behind
-        // this point, mirroring the paper where the injected activity is
-        // driven by benchmark processes rather than by init).
-        let boot_budget = config.boot_budget;
-        loop {
-            if m.cpu.tsc > boot_budget {
-                return Err(RigError::BootFailed(m.console_string()));
-            }
-            match m.step() {
-                StepEvent::Executed => {}
-                _ => return Err(RigError::BootFailed(m.console_string())),
-            }
-            if let Some((_, MonitorEvent::Event(v))) = m.monitor_events().last() {
-                if *v == events::RUNNER_START {
-                    break;
-                }
-            }
-        }
-        let boot_cycles = m.cpu.tsc;
-        let snapshot = m.snapshot();
-        let post_boot_disk = m.disk.as_ref().expect("disk attached").bytes().to_vec();
-
+        let base = boot_base(&image, files, config)?;
         let mut rig = InjectorRig {
             image,
             config,
-            machine: m,
-            snapshot,
-            boot_cycles,
-            post_boot_disk,
-            manifest,
+            machine: base.machine,
+            snapshot: base.snapshot,
+            boot_cycles: base.boot_cycles,
+            post_boot_disk: base.post_boot_disk,
+            manifest: base.manifest,
             golden: Vec::new(),
             metrics: Metrics::default(),
         };
 
         for mode in 0..n_modes {
             let g = rig.capture_golden(mode)?;
+            rig.golden.push(Arc::new(g));
+        }
+        Ok(rig)
+    }
+
+    /// Forks a rig off a shared post-boot base: a private copy-on-write
+    /// machine built from the shared snapshot, with golden runs
+    /// resolved through the base's [`GoldenStore`] (captured on first
+    /// request per `(kernel-config, mode)` key, shared afterwards).
+    ///
+    /// Observationally identical to [`InjectorRig::new`] with the same
+    /// image/files/config — same records, metrics, trace events — but
+    /// the boot happens once per base and each golden run once per
+    /// store key, instead of once per rig.
+    ///
+    /// # Errors
+    ///
+    /// [`RigError::GoldenFailed`] when a golden capture fails (memoized:
+    /// every fork sharing the store sees the same error).
+    pub fn fork(shared: &Arc<RigShared>) -> Result<InjectorRig, RigError> {
+        let machine = Machine::fork(&shared.snapshot, shared.machine_config);
+        let mut rig = InjectorRig {
+            image: shared.image.clone(),
+            config: shared.config,
+            machine,
+            snapshot: shared.snapshot.clone(),
+            boot_cycles: shared.boot_cycles,
+            post_boot_disk: shared.post_boot_disk.clone(),
+            manifest: shared.manifest.clone(),
+            golden: Vec::new(),
+            metrics: Metrics::default(),
+        };
+        for mode in 0..shared.n_modes {
+            let g = shared
+                .store
+                .get_or_capture((shared.fingerprint, mode), || rig.capture_golden(mode))?;
             rig.golden.push(g);
         }
         Ok(rig)
@@ -293,7 +523,7 @@ impl InjectorRig {
 
     fn reset_to_snapshot(&mut self, mode: u32) {
         self.machine.restore(&self.snapshot);
-        self.machine.disk = Some(Ramdisk::from_bytes(self.post_boot_disk.clone()));
+        self.machine.disk = Some(Ramdisk::from_bytes(self.post_boot_disk.as_ref().clone()));
         kfi_kernel::set_run_mode(&mut self.machine, mode);
         let tsc = self.machine.cpu.tsc;
         self.machine.trace_sink_mut().emit(tsc, EventKind::SnapshotRestore { mode });
@@ -743,5 +973,89 @@ impl InjectorRig {
     /// Borrow the machine (post-run inspection, e.g. crash dumps).
     pub fn machine_mut(&mut self) -> &mut Machine {
         &mut self.machine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dummy_golden(mode: u32) -> GoldenRun {
+        GoldenRun {
+            mode,
+            console: format!("mode {mode}"),
+            results: vec![mode],
+            cycles: 1000 + mode as u64,
+            coverage: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn golden_store_captures_each_key_exactly_once() {
+        let store = GoldenStore::default();
+        let a = store.get_or_capture((1, 0), || Ok(dummy_golden(0))).unwrap();
+        let b = store.get_or_capture((1, 0), || panic!("second request must not capture")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "both callers share one GoldenRun");
+        let c = store.get_or_capture((1, 1), || Ok(dummy_golden(1))).unwrap();
+        assert_eq!(c.mode, 1);
+        // A different config fingerprint is a different key.
+        let d = store.get_or_capture((2, 0), || Ok(dummy_golden(0))).unwrap();
+        assert!(!Arc::ptr_eq(&a, &d));
+        assert_eq!(store.captures(), 3);
+        assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn golden_store_memoizes_failures_too() {
+        let store = GoldenStore::default();
+        let err = store
+            .get_or_capture((7, 0), || {
+                Err(RigError::GoldenFailed { mode: 0, console: "boom".into() })
+            })
+            .unwrap_err();
+        assert!(matches!(err, RigError::GoldenFailed { mode: 0, .. }));
+        let again = store
+            .get_or_capture((7, 0), || panic!("failure is memoized, not retried"))
+            .unwrap_err();
+        assert!(matches!(again, RigError::GoldenFailed { mode: 0, .. }), "{again}");
+        assert_eq!(store.captures(), 1);
+        assert_eq!(store.hits(), 1);
+    }
+
+    #[test]
+    fn golden_store_concurrent_askers_share_one_capture() {
+        let store = Arc::new(GoldenStore::default());
+        let captures = Arc::new(AtomicU64::new(0));
+        let runs: Vec<Arc<GoldenRun>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let store = Arc::clone(&store);
+                    let captures = Arc::clone(&captures);
+                    s.spawn(move || {
+                        store
+                            .get_or_capture((9, 0), || {
+                                captures.fetch_add(1, Ordering::Relaxed);
+                                Ok(dummy_golden(0))
+                            })
+                            .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(captures.load(Ordering::Relaxed), 1, "one thread captured");
+        assert_eq!(store.captures(), 1);
+        assert_eq!(store.hits(), 7);
+        for r in &runs[1..] {
+            assert!(Arc::ptr_eq(&runs[0], r));
+        }
+    }
+
+    #[test]
+    fn fnv1a_is_order_sensitive() {
+        let a = fnv1a(fnv1a(0, b"ab"), b"c");
+        let b = fnv1a(fnv1a(0, b"a"), b"bc");
+        assert_eq!(a, b, "fnv over concatenation is associative");
+        assert_ne!(fnv1a(0, b"abc"), fnv1a(0, b"acb"));
     }
 }

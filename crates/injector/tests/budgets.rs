@@ -48,6 +48,33 @@ fn tiny_golden_budget_is_a_clean_golden_error() {
 }
 
 #[test]
+fn golden_budget_is_measured_from_the_snapshot_not_from_reset() {
+    // Pin the boundary semantics the RigConfig docs promise: the
+    // golden budget covers the golden run alone — boot cycles do not
+    // eat into it — and a capture landing exactly on the budget still
+    // succeeds (the check is strictly-greater-than).
+    let reference = rig_with(RigConfig::default()).expect("rig boots");
+    let cycles = reference.golden(0).cycles;
+    assert!(cycles > 0);
+    assert!(
+        reference.boot_cycles() > 0,
+        "a zero-cycle boot would make the from-snapshot claim vacuous"
+    );
+
+    let exact = rig_with(RigConfig { golden_budget: cycles, ..RigConfig::default() })
+        .expect("exact-budget golden capture must succeed");
+    assert_eq!(exact.golden(0).cycles, cycles);
+
+    let err = rig_with(RigConfig { golden_budget: cycles / 2, ..RigConfig::default() })
+        .err()
+        .expect("half the needed cycles cannot fit the golden run");
+    match err {
+        RigError::GoldenFailed { mode, .. } => assert_eq!(mode, 0),
+        other => panic!("expected GoldenFailed, got {other}"),
+    }
+}
+
+#[test]
 fn default_budgets_match_the_former_magic_numbers() {
     let d = RigConfig::default();
     assert_eq!(d.boot_budget, 80_000_000);

@@ -159,11 +159,16 @@ pub struct Counters {
 /// can recognise "restoring the same baseline as last time" and copy
 /// back only the pages dirtied since — the identity is bookkeeping, not
 /// state, so equality compares contents only.
+///
+/// The memory image is held behind an [`Arc`](std::sync::Arc), so
+/// cloning a snapshot — and handing clones to worker threads — shares
+/// one immutable copy of guest memory. [`Machine::fork`] builds a whole
+/// machine directly in snapshot state off that shared image.
 #[derive(Debug, Clone)]
 pub struct Snapshot {
     id: u64,
     cpu: Cpu,
-    mem: Vec<u8>,
+    mem: std::sync::Arc<Vec<u8>>,
     next_tick: u64,
     blk_lba: u32,
     blk_dma: u32,
@@ -390,7 +395,7 @@ impl Machine {
         Snapshot {
             id: NEXT_SNAPSHOT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
             cpu: self.cpu.clone(),
-            mem: self.mem.snapshot(),
+            mem: std::sync::Arc::new(self.mem.snapshot()),
             next_tick: self.next_tick,
             blk_lba: self.blk_lba,
             blk_dma: self.blk_dma,
@@ -422,6 +427,60 @@ impl Machine {
         self.counters = Counters::default();
         self.delivering = 0;
         self.triple_faulted = false;
+    }
+
+    /// Builds a new machine directly in the state captured by `s`: a
+    /// copy-on-write fork off a shared snapshot.
+    ///
+    /// Observationally this is `Machine::new(config)` followed by
+    /// `restore(s)`, but it pays one memcpy of the snapshot image
+    /// instead of two (allocate-zeroed + full restore), and the new
+    /// memory's dirty baseline is already synced to `s` — the fork's
+    /// very first [`Machine::restore`] of the same snapshot is
+    /// O(pages dirtied), not a baseline-establishing full copy. The
+    /// snapshot's [`Arc`](std::sync::Arc)-shared memory image is read,
+    /// never written: any number of threads may fork the same snapshot
+    /// concurrently.
+    ///
+    /// All caches (decode, block, TLB) start empty, matching what
+    /// [`Machine::restore`] leaves behind; cumulative cache statistics
+    /// start at zero, which is the one observable difference from a
+    /// long-lived restored machine — callers that compare statistics
+    /// must diff around runs, as [`Machine::tlb_stats`] already
+    /// requires. No disk is attached (snapshots never contain one).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.phys_mem` differs from the snapshot's memory
+    /// size.
+    pub fn fork(s: &Snapshot, config: MachineConfig) -> Machine {
+        assert_eq!(
+            config.phys_mem.next_multiple_of(crate::mem::PAGE_SIZE),
+            s.mem.len() as u32,
+            "fork config memory size mismatch"
+        );
+        Machine {
+            cpu: s.cpu.clone(),
+            mem: PhysMem::fork_from(&s.mem, s.id),
+            disk: None,
+            tlb: Tlb::new(),
+            decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
+            block_cache: crate::block::BlockCache::new(config.block_engine && config.decode_cache),
+            trace: TraceSink::Null,
+            san: config.sanitizer.then(|| Box::new(crate::sanitizer::Sanitizer::new())),
+            config,
+            console: Vec::new(),
+            monitor: Vec::new(),
+            trap_log: Vec::new(),
+            counters: Counters::default(),
+            next_tick: s.next_tick,
+            blk_lba: s.blk_lba,
+            blk_dma: s.blk_dma,
+            blk_status: s.blk_status,
+            delivering: 0,
+            triple_faulted: false,
+            abort: None,
+        }
     }
 
     /// Clears logs, counters and latched fault state (the reboot path:
@@ -1119,6 +1178,47 @@ mod tests {
         assert_eq!(m.cpu.eip, 0x1000);
         assert_eq!(m.run(100), RunExit::Halted);
         assert_eq!(m.cpu.get(kfi_isa::Reg::Eax), 3);
+    }
+
+    #[test]
+    fn fork_matches_restore_and_is_isolated() {
+        let mut m = machine_with(&[0x40, 0x40, 0x40, 0xfa, 0xf4]); // inc eax x3
+        let snap = m.snapshot();
+        assert_eq!(m.run(100), RunExit::Halted);
+
+        // Two concurrent forks of the same snapshot, plus the original
+        // restored: all three run to the same final state.
+        let mut a = Machine::fork(&snap, *m.config());
+        let mut b = Machine::fork(&snap, *m.config());
+        m.restore(&snap);
+        assert_eq!(a.cpu, m.cpu);
+        assert_eq!(a.snapshot(), snap, "fork re-snapshots to equal contents");
+        assert_eq!(a.run(100), RunExit::Halted);
+        // Writes in fork `a` are invisible to fork `b` and to `m`.
+        a.mem.write_u8(0x5000, 0xee);
+        assert_eq!(b.mem.read_u8(0x5000), 0);
+        assert_eq!(m.mem.read_u8(0x5000), 0);
+        assert_eq!(b.run(100), RunExit::Halted);
+        assert_eq!(m.run(100), RunExit::Halted);
+        assert_eq!(a.cpu, b.cpu);
+        assert_eq!(b.cpu, m.cpu);
+        assert_eq!(a.counters(), m.counters());
+
+        // A fork's first restore of its own base snapshot is already a
+        // dirty-page restore, and brings it back to snapshot state.
+        a.restore(&snap);
+        assert_eq!(a.cpu, snap.cpu);
+        assert_eq!(a.mem.read_u8(0x5000), 0);
+        assert_eq!(a.run(100), RunExit::Halted);
+        assert_eq!(a.cpu.get(kfi_isa::Reg::Eax), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "fork config memory size mismatch")]
+    fn fork_rejects_mismatched_memory_size() {
+        let m = machine_with(&[0xf4]);
+        let snap = m.snapshot();
+        let _ = Machine::fork(&snap, MachineConfig { phys_mem: 4096, ..*m.config() });
     }
 
     #[test]

@@ -251,6 +251,29 @@ impl PhysMem {
     pub fn snapshot(&self) -> Vec<u8> {
         self.bytes.clone()
     }
+
+    /// Builds a new memory whose contents equal `base` and whose dirty
+    /// baseline is already synced to the snapshot identified by `id`: a
+    /// copy-on-write fork of a shared snapshot.
+    ///
+    /// The bytes are copied once, here; every later
+    /// [`PhysMem::restore_from`] against the same `(base, id)` pair is
+    /// O(pages dirtied) from the start, without the initial full-copy
+    /// round that `restore_from` pays to establish a baseline. Write
+    /// generations start at zero — a fork is a *new* memory, and any
+    /// caches layered on top of it must start empty (the machine-level
+    /// fork constructor guarantees this).
+    pub fn fork_from(base: &[u8], id: u64) -> PhysMem {
+        assert_eq!(base.len() % PAGE_SIZE as usize, 0, "snapshot not page-aligned");
+        let pages = base.len() / PAGE_SIZE as usize;
+        PhysMem {
+            bytes: base.to_vec(),
+            dropped_writes: 0,
+            page_gens: vec![0; pages],
+            dirty: vec![0; pages.div_ceil(64)],
+            synced_to: Some(id),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -364,6 +387,32 @@ mod tests {
         // of the in-run contents is now stale.
         assert_eq!(m.page_gen(0), g + 2);
         assert_eq!(m.page_gen(PAGE_SIZE), g, "clean page generation unchanged");
+    }
+
+    #[test]
+    fn fork_is_synced_to_its_base_from_the_start() {
+        let mut m = PhysMem::new(4 * PAGE_SIZE);
+        m.write_u32(PAGE_SIZE, 0xcafe_f00d);
+        let snap = m.snapshot();
+        let mut f = PhysMem::fork_from(&snap, 42);
+        assert_eq!(f.read_u32(PAGE_SIZE), 0xcafe_f00d);
+        assert_eq!(f.dirty_page_count(), 0);
+        assert_eq!(f.page_gen(0), 0, "forks start with virgin generations");
+        // The very first restore is already a dirty-page restore, not a
+        // baseline-establishing full copy.
+        f.write_u32(3 * PAGE_SIZE, 7);
+        assert_eq!(f.restore_from(&snap, 42), 1);
+        assert_eq!(f.read_u32(3 * PAGE_SIZE), 0);
+        // Writes in the fork never leak into the base bytes.
+        assert_eq!(m.read_u32(3 * PAGE_SIZE), 0);
+    }
+
+    #[test]
+    fn fork_with_foreign_id_falls_back_to_full_copy() {
+        let m = PhysMem::new(2 * PAGE_SIZE);
+        let snap = m.snapshot();
+        let mut f = PhysMem::fork_from(&snap, 1);
+        assert_eq!(f.restore_from(&snap, 2), 2, "unknown baseline: full copy");
     }
 
     #[test]
