@@ -2,13 +2,13 @@
 //!
 //! For each seed, generates a guest program in three corruption
 //! variants (clean, pre-run bit flips, mid-run bit flip) and runs it
-//! through the five machine-level differential pairs (decode cache
-//! on/off, block engine vs single-step, ring/null trace sink,
-//! snapshot-restore/fresh-boot, shared-snapshot-fork/fresh-boot).
-//! The architectural-state sanitizer is
-//! enabled on every machine except in the block-engine pair, which
-//! forces it off so block execution actually engages (the engine falls
-//! back to single-stepping under the sanitizer). A smaller
+//! through the six machine-level differential pairs (decode cache
+//! on/off, block engine vs single-step, block chaining on/off,
+//! ring/null trace sink, snapshot-restore/fresh-boot,
+//! shared-snapshot-fork/fresh-boot). The architectural-state sanitizer
+//! is enabled on every machine except in the block-engine and chain
+//! pairs, which force it off so block execution actually engages (the
+//! engine falls back to single-stepping under the sanitizer). A smaller
 //! sweep of full injection campaigns compares 1-worker vs 2-worker
 //! execution record-for-record. Before any of that, a self-test seeds a
 //! known flag-update bug through a test-only machine hook and asserts
@@ -18,7 +18,8 @@
 //! self-test failure occurred.
 
 use kfi_checker::diff::{
-    pair_block_engine, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink, PairOutcome,
+    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink,
+    PairOutcome,
 };
 use kfi_checker::gen::{generate, Variant};
 use kfi_core::{Experiment, ExperimentConfig};
@@ -119,6 +120,7 @@ fn machine_sweep(opts: &Options) -> (u64, u64) {
             for (name, out) in [
                 ("decode-cache", pair_decode_cache(&prog, cfg)),
                 ("block-engine", pair_block_engine(&prog, cfg)),
+                ("chain", pair_chain(&prog, cfg)),
                 ("trace-sink", pair_trace_sink(&prog, cfg)),
                 ("restore", pair_restore(&prog, cfg)),
                 ("fork", pair_fork(&prog, cfg)),
@@ -201,7 +203,7 @@ fn main() {
 
     let (mpairs, mfail) = machine_sweep(&opts);
     println!(
-        "machine sweep: {} seeds x 3 variants x 5 pairs = {} pairs, {} failures",
+        "machine sweep: {} seeds x 3 variants x 6 pairs = {} pairs, {} failures",
         opts.seeds, mpairs, mfail
     );
     let (cpairs, cfail) = campaign_sweep(&opts);

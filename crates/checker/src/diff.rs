@@ -399,6 +399,80 @@ pub fn pair_block_engine(prog: &GenProgram, base: MachineConfig) -> PairOutcome 
     PairOutcome { steps: step, divergence, violations }
 }
 
+/// Pair: block chaining on vs off, both under the block engine and both
+/// driven by [`Machine::run`]. A single-step pass first records the TSC
+/// at the pre-flip boundary and at termination (instruction-boundary
+/// TSCs are bit-identical across all execution modes); each block
+/// machine is then run against those recorded TSCs — so a mid-run flip
+/// lands *inside* chained segments, the case where a stale chain link
+/// or a skipped re-translation would show — and the two are compared
+/// under [`StateMask::full`]: chaining must keep even the TLB and
+/// decode-cache statistics identical to unchained block execution,
+/// which is what keeps golden corpora byte-identical with chaining on.
+///
+/// Both sides force the sanitizer off, as in [`pair_block_engine`].
+pub fn pair_chain(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let off = MachineConfig { block_engine: true, block_chain: false, sanitizer: false, ..base };
+    let on = MachineConfig { block_chain: true, ..off };
+
+    // Reference pass: single-step, recording where the flip lands.
+    let mut r = install(prog, MachineConfig { block_engine: false, ..off });
+    let mut flip_tsc = None;
+    let mut step = 0u64;
+    let terminated = loop {
+        if let Some(f) = prog.mid_flip.filter(|f| f.step == step) {
+            flip_tsc = Some(r.cpu.tsc);
+            apply_mid_flip(&mut r, &f);
+        }
+        let ev = r.step();
+        step += 1;
+        if terminal(ev) {
+            break true;
+        }
+        if step >= MAX_STEPS {
+            break false;
+        }
+    };
+    let end_tsc = r.cpu.tsc;
+
+    let run_side = |config: MachineConfig| -> Machine {
+        let mut m = install(prog, config);
+        if let Some(f) = prog.mid_flip {
+            if let Some(t) = flip_tsc {
+                m.run(t - m.cpu.tsc);
+                apply_mid_flip(&mut m, &f);
+            }
+        }
+        if terminated {
+            m.run(end_tsc.saturating_sub(m.cpu.tsc).saturating_add(100_000));
+        } else {
+            m.run(end_tsc - m.cpu.tsc);
+        }
+        m
+    };
+    let mut a = run_side(on);
+    let b = run_side(off);
+
+    let sa = ArchState::capture(&a, &StateMask::full());
+    let sb = ArchState::capture(&b, &StateMask::full());
+    let divergence = if sa != sb {
+        Some(Divergence {
+            step,
+            detail: format!(
+                "chained state != unchained state:\n    {}",
+                sa.diff(&sb).join("\n    ")
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else {
+        None
+    };
+    let mut violations = Vec::new();
+    collect_violations("a", &a, &mut violations);
+    collect_violations("b", &b, &mut violations);
+    PairOutcome { steps: step, divergence, violations }
+}
+
 /// Pair: shared-snapshot fork vs fresh boot, in two legs.
 ///
 /// Leg 1: machine `a` is a [`Machine::fork`] of a snapshot taken from
@@ -513,13 +587,14 @@ mod tests {
     }
 
     #[test]
-    fn all_five_machine_pairs_agree_on_a_sample() {
+    fn all_six_machine_pairs_agree_on_a_sample() {
         for seed in [0, 1, 2, 5] {
             for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
                 let prog = generate(seed, variant);
                 for (name, out) in [
                     ("decode-cache", pair_decode_cache(&prog, base())),
                     ("block-engine", pair_block_engine(&prog, base())),
+                    ("chain", pair_chain(&prog, base())),
                     ("trace-sink", pair_trace_sink(&prog, base())),
                     ("restore", pair_restore(&prog, base())),
                     ("fork", pair_fork(&prog, base())),

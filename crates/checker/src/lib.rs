@@ -11,9 +11,10 @@
 //!   streams (the same corruption model the injector uses);
 //! * a **lockstep differential executor** ([`diff`]) running each
 //!   program under paired configurations that must agree — decode
-//!   cache on/off, basic-block engine vs single-step, ring/null trace
-//!   sink, snapshot-restore vs fresh boot, shared-snapshot
-//!   copy-on-write fork vs fresh boot — and, at the campaign level,
+//!   cache on/off, basic-block engine vs single-step, block chaining
+//!   on vs off, ring/null trace sink, snapshot-restore vs fresh boot,
+//!   shared-snapshot copy-on-write fork vs fresh boot — and, at the
+//!   campaign level,
 //!   1 vs N workers — comparing the full architectural state and
 //!   reporting the first divergence with disassembly context;
 //! * the machine's per-step **architectural-state sanitizer**
@@ -54,7 +55,7 @@ pub mod diff;
 pub mod gen;
 
 pub use diff::{
-    pair_block_engine, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink, run_lockstep,
-    ArchState, Divergence, PairOutcome, StateMask,
+    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink,
+    run_lockstep, ArchState, Divergence, PairOutcome, StateMask,
 };
 pub use gen::{generate, install, GenProgram, MidFlip, Variant};

@@ -36,6 +36,9 @@ fn without_cache_counters(m: &Metrics) -> Metrics {
     m.block_hits = 0;
     m.block_misses = 0;
     m.block_invalidations = 0;
+    m.block_chain_links = 0;
+    m.block_chain_follows = 0;
+    m.block_chain_breaks = 0;
     m
 }
 
@@ -51,7 +54,9 @@ fn cached_campaign_is_bit_identical_to_uncached() {
         assert_eq!(rec_off, rec_on, "records diverged with cache on ({threads} threads)");
         assert!(met_on.decode_hits > 0, "the cache must actually be exercised");
         assert!(met_on.block_hits > 0, "the block engine must actually be exercised");
+        assert!(met_on.block_chain_follows > 0, "chaining must actually be exercised");
         assert_eq!(met_off.block_hits, 0, "no decode cache implies no block engine");
+        assert_eq!(met_off.block_chain_links, 0, "no block engine implies no chaining");
         assert_eq!(
             without_cache_counters(&met_off),
             without_cache_counters(&met_on),

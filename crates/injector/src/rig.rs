@@ -40,6 +40,12 @@ pub struct RigConfig {
     /// see [`kfi_machine::MachineConfig::block_engine`]). Campaign
     /// results, including the golden CSV, are bit-identical either way.
     pub block_engine: bool,
+    /// Whether the block engine chains block exits and validates
+    /// translations once per entry (default true; takes effect only
+    /// together with `block_engine` — see
+    /// [`kfi_machine::MachineConfig::block_chain`]). Campaign results,
+    /// including the golden CSV, are bit-identical either way.
+    pub block_chain: bool,
     /// Cycle budget for reaching the post-boot snapshot point. Booting
     /// past this without the runner announcing itself is a clean
     /// [`RigError::BootFailed`], not a wedged rig.
@@ -66,6 +72,7 @@ impl Default for RigConfig {
             switch_overhead: 0,
             decode_cache: true,
             block_engine: true,
+            block_chain: true,
             boot_budget: 80_000_000,
             golden_budget: 400_000_000,
             sanitizer: false,
@@ -222,6 +229,7 @@ fn boot_base(
     let boot_config = BootConfig {
         decode_cache: config.decode_cache,
         block_engine: config.block_engine,
+        block_chain: config.block_chain,
         sanitizer: config.sanitizer,
         ..Default::default()
     };
@@ -303,7 +311,12 @@ impl RigShared {
         fp = fnv1a(fp, &base.post_boot_disk);
         fp = fnv1a(
             fp,
-            &[config.decode_cache as u8, config.block_engine as u8, config.sanitizer as u8],
+            &[
+                config.decode_cache as u8,
+                config.block_engine as u8,
+                config.block_chain as u8,
+                config.sanitizer as u8,
+            ],
         );
         fp = fnv1a(fp, &n_modes.to_le_bytes());
         let machine_config = *base.machine.config();
@@ -461,7 +474,11 @@ impl InjectorRig {
     /// [`RigError::GoldenFailed`] when a golden capture fails (memoized:
     /// every fork sharing the store sees the same error).
     pub fn fork(shared: &Arc<RigShared>) -> Result<InjectorRig, RigError> {
-        let machine = Machine::fork(&shared.snapshot, shared.machine_config);
+        let mut machine = Machine::fork(&shared.snapshot, shared.machine_config);
+        // The disk forks copy-on-write off the shared post-boot image,
+        // just like physical memory forks off the snapshot: per-run
+        // resets then copy only the sectors the run wrote.
+        machine.disk = Some(Ramdisk::fork_from(&shared.post_boot_disk, shared.snapshot.id()));
         let mut rig = InjectorRig {
             image: shared.image.clone(),
             config: shared.config,
@@ -523,7 +540,19 @@ impl InjectorRig {
 
     fn reset_to_snapshot(&mut self, mode: u32) {
         self.machine.restore(&self.snapshot);
-        self.machine.disk = Some(Ramdisk::from_bytes(self.post_boot_disk.as_ref().clone()));
+        // Reset the disk to the post-boot image, copying only the
+        // sectors written since the last reset when the baseline is
+        // already established (a severity-assessment reboot swaps in a
+        // foreign disk, which forces — and survives — a full copy).
+        match self.machine.disk.as_mut() {
+            Some(d) => {
+                d.restore_from(&self.post_boot_disk, self.snapshot.id());
+            }
+            None => {
+                self.machine.disk =
+                    Some(Ramdisk::fork_from(&self.post_boot_disk, self.snapshot.id()));
+            }
+        }
         kfi_kernel::set_run_mode(&mut self.machine, mode);
         let tsc = self.machine.cpu.tsc;
         self.machine.trace_sink_mut().emit(tsc, EventKind::SnapshotRestore { mode });
@@ -610,6 +639,7 @@ impl InjectorRig {
         let tlb_0 = self.machine.tlb_stats();
         let dec_0 = self.machine.decode_stats();
         let blk_0 = self.machine.block_stats();
+        let chn_0 = self.machine.chain_stats();
         let san_0 = self.machine.sanitizer_violation_count();
         let golden_cycles = self.golden[mode as usize].cycles;
         let budget = golden_cycles * self.config.budget_factor + self.config.budget_slack;
@@ -645,7 +675,7 @@ impl InjectorRig {
             _ => {
                 let run_cycles = self.machine.cpu.tsc - start;
                 let sanitizer_violations = self.absorb_sanitizer(san_0);
-                self.absorb_run_counters(tlb_0, dec_0, blk_0);
+                self.absorb_run_counters(tlb_0, dec_0, blk_0, chn_0);
                 self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
                 self.metrics.run_cycles.record(run_cycles);
                 self.metrics.run_cycles_total += run_cycles;
@@ -672,7 +702,7 @@ impl InjectorRig {
         let end_tsc = self.machine.cpu.tsc;
         let run_cycles = end_tsc.saturating_sub(start);
         let sanitizer_violations = self.absorb_sanitizer(san_0);
-        self.absorb_run_counters(tlb_0, dec_0, blk_0);
+        self.absorb_run_counters(tlb_0, dec_0, blk_0, chn_0);
 
         // Keep the severity-assessment reboot out of the timeline.
         let sink = self.machine.take_trace_sink();
@@ -723,6 +753,7 @@ impl InjectorRig {
         tlb_0: (u64, u64),
         dec_0: (u64, u64, u64),
         blk_0: (u64, u64, u64),
+        chn_0: (u64, u64, u64),
     ) {
         let c = self.machine.counters();
         self.metrics.instructions += c.instructions;
@@ -745,6 +776,10 @@ impl InjectorRig {
         self.metrics.block_hits += bh - blk_0.0;
         self.metrics.block_misses += bm - blk_0.1;
         self.metrics.block_invalidations += bi - blk_0.2;
+        let (cl, cf, cb) = self.machine.chain_stats();
+        self.metrics.block_chain_links += cl - chn_0.0;
+        self.metrics.block_chain_follows += cf - chn_0.1;
+        self.metrics.block_chain_breaks += cb - chn_0.2;
         // The run's *own* footprint, not the pages copied at restore
         // time: restore cost depends on what the previous run on this
         // worker touched, which would vary with scheduling, while the

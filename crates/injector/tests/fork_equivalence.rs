@@ -7,7 +7,10 @@
 //! path (each run resets to the shared snapshot) and its bit flips are
 //! self-modifying-code writes into pages shared copy-on-write with the
 //! base image, so the proptest covers both of the scary cases: restore
-//! against an `Arc`-shared baseline and SMC against CoW pages.
+//! against an `Arc`-shared baseline and SMC against CoW pages. The
+//! post-run state includes a disk digest, so the disk's copy-on-write
+//! reset (sector-granular, against the shared post-boot image) is held
+//! to the same standard.
 
 use kfi_injector::{plan_campaign, Campaign, InjectorRig, RigConfig, RigShared};
 use kfi_kernel::{build_kernel, KernelBuildOptions};
@@ -94,9 +97,15 @@ struct PostRunState {
     halted: bool,
     console: Vec<u8>,
     mem_digest: u64,
+    /// Digest of the disk image — the fork's disk resets copy-on-write
+    /// against the shared post-boot image while the fresh rig's used to
+    /// be rebuilt from scratch, and the two must stay byte-identical.
+    disk_digest: u64,
+    disk_io: (u64, u64),
 }
 
 fn capture(m: &mut Machine) -> PostRunState {
+    let disk = m.disk.as_ref().expect("disk attached");
     PostRunState {
         regs: m.cpu.regs,
         eip: m.cpu.eip,
@@ -109,6 +118,8 @@ fn capture(m: &mut Machine) -> PostRunState {
         halted: m.cpu.halted,
         console: m.console().to_vec(),
         mem_digest: fnv1a(m.mem.slice(0, m.mem.size())),
+        disk_digest: fnv1a(disk.bytes()),
+        disk_io: disk.io_stats(),
     }
 }
 

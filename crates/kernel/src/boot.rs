@@ -19,6 +19,10 @@ pub struct BootConfig {
     /// Whether the machine's basic-block execution engine is enabled
     /// (see [`kfi_machine::MachineConfig::block_engine`]).
     pub block_engine: bool,
+    /// Whether the block engine chains block exits and validates
+    /// translations once per entry
+    /// (see [`kfi_machine::MachineConfig::block_chain`]).
+    pub block_chain: bool,
     /// Whether the machine's per-step architectural-state sanitizer is
     /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
     pub sanitizer: bool,
@@ -31,6 +35,7 @@ impl Default for BootConfig {
             timer_period: 50_000,
             decode_cache: true,
             block_engine: true,
+            block_chain: true,
             sanitizer: false,
         }
     }
@@ -47,6 +52,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         timer_enabled: true,
         decode_cache: config.decode_cache,
         block_engine: config.block_engine,
+        block_chain: config.block_chain,
         sanitizer: config.sanitizer,
         ..MachineConfig::default()
     });

@@ -1,16 +1,29 @@
-//! Basic-block execution engine.
+//! Basic-block execution engine with trace recording and block
+//! chaining.
 //!
 //! The per-instruction decode cache removed the variable-length decoder
 //! from the hot loop but still dispatches one instruction at a time:
 //! every step pays the full run-loop ritual — deadline compare, abort
 //! poll, halted/triple-fault/breakpoint/timer checks — before a single
 //! cached instruction executes. This module extends the cache one level
-//! up: a **basic block** is a straight-line run of decoded instructions
-//! on one physical page, ending at the first control-flow or
-//! serializing instruction. [`Machine::run`] executes block-at-a-time,
-//! hoisting the watchdog/abort/timer checks to block boundaries, and
-//! falls back to the ordinary single-step path whenever precision
-//! demands it.
+//! up, in two tiers selected by
+//! [`MachineConfig::block_chain`](crate::MachineConfig):
+//!
+//! * **Plain blocks** (chaining off): a **basic block** is a
+//!   straight-line run of decoded instructions on one physical page,
+//!   ending at the first control-flow or serializing instruction.
+//!   [`Machine::run`] executes block-at-a-time, hoisting the
+//!   watchdog/abort/timer checks to block boundaries.
+//! * **Chained traces** (chaining on): recording continues *through*
+//!   branches of any kind — direct, computed, across page boundaries —
+//!   forming a trace of the path actually executed, bounded by
+//!   [`MAX_BLOCK_INSNS`] and [`MAX_TRACE_PAGES`]. Exited traces link to
+//!   their successors ([`BlockCache::chain_next`]) so hot paths
+//!   dispatch block-to-block without returning to the run loop, and
+//!   replay validates its fetch translations *once per entry* instead
+//!   of once per instruction (see below). A quantum
+//!   ([`CHAIN_QUANTUM`]) bounds every chained segment so the abort
+//!   flag is polled as promptly as the single-step loop promises.
 //!
 //! # Correctness model
 //!
@@ -28,18 +41,21 @@
 //!   inside it. The cache is epoch-flushed on every snapshot restore so
 //!   per-run hit/miss counts stay a pure function of the run
 //!   (thread-invariant campaign metrics).
-//! * **Per-instruction revalidation on replay.** Before each cached
-//!   instruction executes, the engine re-checks the cycle limit
-//!   (deadline and next timer tick), armed debug registers, the fetch
-//!   translation (when paging is on — keeping TLB statistics and #PF
-//!   behavior identical), and probes the decode cache for the
-//!   instruction's physical address. A successful probe proves the page
-//!   generation is unchanged since the bytes were decoded, so the
-//!   block's copy of the instruction is exactly what a fresh fetch
-//!   would return; the probe is then counted as the hit the single-step
-//!   path would have recorded. Any surprise — generation bump from a
-//!   mid-block store, conflict eviction, translation change — exits to
-//!   the full fetch path for that one instruction and ends the block.
+//! * **Per-instruction revalidation on replay.** Each replayed step
+//!   re-establishes, one way or another, everything the single-step
+//!   path would have checked: the cycle limit (deadline and next timer
+//!   tick), armed debug registers, the fetch translation (when paging
+//!   is on — keeping TLB statistics and #PF behavior identical), and a
+//!   decode-cache probe proving the page generation is unchanged since
+//!   the bytes were decoded. The *hot* chained path discharges most of
+//!   these wholesale rather than per instruction — the limit check by
+//!   bounded-TSC chunking, the translation by a once-per-entry
+//!   page-set proof extended by TLB-generation compares
+//!   ([`Machine::replay_block_fast`] documents the argument) — but
+//!   every hoisted check is provably equivalent to the per-instruction
+//!   original, and any surprise (EIP divergence, generation bump,
+//!   conflict eviction, translation change) falls back to the careful
+//!   per-instruction path or exits to the full fetch machinery.
 //! * **Fallback conditions.** [`Machine::run`] only enters block mode
 //!   when the decode cache is on and the sanitizer is off (the
 //!   sanitizer's contract is *per-step* validation); within block mode,
@@ -61,15 +77,68 @@ use std::sync::Arc;
 
 const PAGE_MASK: u32 = PAGE_SIZE - 1;
 
-/// Longest recorded block, in instructions. Blocks are bounded so a
-/// pathological straight-line page (e.g. 4096 single-byte instructions)
-/// cannot push one replay arbitrarily far from a boundary check.
-const MAX_BLOCK_INSNS: usize = 64;
+/// Longest recorded block, in instructions. Blocks are bounded so one
+/// replay cannot run arbitrarily far from a boundary check: the bound
+/// caps both how much the batched quantum can over-subtract and how
+/// long a divergence-free stretch may defer the dispatcher. Chained
+/// traces routinely hit the cap (kernel code re-enters the same loops),
+/// so the cap is sized for the chained engine and plain blocks simply
+/// never reach it (a straight-line run ends at the page edge first).
+const MAX_BLOCK_INSNS: usize = 128;
 
 /// Slot count (power of two). Blocks are sparser than instructions —
 /// roughly one per branch target — so a quarter of the decode cache's
 /// 16 Ki slots covers the guest kernel's text without conflict churn.
 const SLOTS: usize = 4 * 1024;
+
+/// Instruction budget for one chained segment: how many instructions
+/// may retire block-to-block before control returns to
+/// [`Machine::run`]'s dispatch loop (where the wall-clock abort flag is
+/// polled). Half of [`ABORT_CHECK_STEPS`](crate::ABORT_CHECK_STEPS), so
+/// chained execution polls the flag at least as often as the
+/// single-step loop's contract promises and watchdog reap latency is
+/// unchanged.
+const CHAIN_QUANTUM: u32 = crate::machine::ABORT_CHECK_STEPS / 2;
+
+/// Most distinct pages one trace may fetch from. Replay re-proves the
+/// whole set whenever the TLB mutates mid-trace, so the set is kept
+/// small enough that the proof stays a handful of compares; recording
+/// ends a trace rather than let it roam further (kernel traces touch
+/// two or three pages — deep call chains hit [`MAX_BLOCK_INSNS`]
+/// first).
+const MAX_TRACE_PAGES: usize = 8;
+
+/// Largest TSC advance one non-terminator instruction can cause: the
+/// base cycle plus `in`/`out`'s +150 device latency (memory operands
+/// add +2 each, `div` +20 — all smaller). Blocks only carry a
+/// terminator as their *last* instruction, so every instruction feeding
+/// a mid-block limit check is bounded by this. When even a run of
+/// worst-case instructions cannot reach `limit`, none of that run's
+/// per-instruction limit checks could fire, and the hot replay path
+/// hoists them all into one comparison per chunk
+/// ([`Machine::replay_block_fast`]).
+const MAX_TSC_PER_INSN: u64 = 151;
+
+/// True when `op` must end a *trace* (a chained-mode block): it can
+/// change the privilege level or paging regime (`int`, `iret`, `lret`,
+/// `mov %cr`), halt, or trap to a handler. Everything else — including
+/// computed branches and `rep` string steps — may be recorded through:
+/// the replay's per-instruction physical-address compare verifies live
+/// control flow still follows the recorded path, wherever that path
+/// came from.
+fn chain_stops(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Lret
+            | Op::Int(_)
+            | Op::Int3
+            | Op::Into
+            | Op::Iret
+            | Op::Ud2
+            | Op::Hlt
+            | Op::MovToCr { .. }
+    )
+}
 
 /// True when `op` must end a basic block: it writes EIP itself, can
 /// trap to a handler, serializes paging state, or pins EIP for `rep`
@@ -97,11 +166,61 @@ fn ends_block(op: &Op) -> bool {
     )
 }
 
-/// A recorded straight-line run of decoded instructions, all resident
-/// on one physical page.
+/// A recorded run of decoded instructions.
+///
+/// Without chaining a block is strictly straight-line on one physical
+/// page (PR 5 semantics: it ends at the first control-flow or
+/// serializing instruction). With chaining enabled, recording continues
+/// through branches of any kind — direct, computed (`ret`, indirect
+/// `jmp`/`call`), across page boundaries, even pinned-EIP `rep` string
+/// iterations — forming a *trace* of the control-flow path actually
+/// taken. Each [`Step`] records the instruction's virtual and physical
+/// fetch addresses so a replay can verify that live control flow is
+/// still following the recorded path; the first divergence (a branch
+/// going the other way, a `ret` to a different caller) exits to the
+/// dispatcher exactly like any other discontinuity. Because a link is
+/// only ever an edge record and every step is re-verified, the
+/// *provenance* of the recorded path is irrelevant to soundness.
 #[derive(Debug)]
 pub(crate) struct Block {
-    insns: Vec<Insn>,
+    steps: Vec<Step>,
+    /// The distinct `(vpn, pfn)` pairs the trace fetches from, in
+    /// first-use order (head page first), bounded by
+    /// [`MAX_TRACE_PAGES`]. Replay proves *once per entry* that every
+    /// one of these mappings is TLB-resident with fetch permission
+    /// under the current privilege level; because every TLB mutation
+    /// bumps [`Tlb::generation`](crate::mmu::Tlb), a single generation
+    /// compare per instruction then extends the proof across the whole
+    /// trace — the recorded physical addresses are exactly what
+    /// per-instruction `mmu::translate` calls would return, without
+    /// making them. Empty when the trace was recorded with paging off.
+    pages: Vec<(u32, u32)>,
+    /// Paging mode the trace was recorded under. A trace is only
+    /// replayed hot in the same mode: the page-set proof above means
+    /// nothing across a regime change (the dispatcher hands mismatches
+    /// to the careful path, which re-translates every step).
+    paged: bool,
+}
+
+/// One recorded instruction of a [`Block`].
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    /// Virtual fetch address. Replay compares live EIP against this:
+    /// together with the entry-validated page set it proves the
+    /// reference translation would hit and yield `pa`.
+    eip: u32,
+    /// Physical fetch address (traces may branch backwards or across
+    /// pages, so addresses are not monotonic).
+    pa: u32,
+    /// Page generation observed when the instruction was recorded.
+    /// The head page's generation is re-anchored by the cache slot at
+    /// lookup time, but a trace may span further pages with no slot of
+    /// their own; comparing against the *record-time* generation (not
+    /// merely the decode cache's own) catches a page that was rewritten
+    /// and then re-decoded between record and replay, which the decode
+    /// probe alone could not see.
+    gen: u64,
+    insn: Insn,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -113,6 +232,16 @@ struct Slot {
     /// `Arc` so a replay can hold the block while `exec_insn` borrows
     /// the machine mutably (and so hot-path clones stay O(1)).
     block: Option<Arc<Block>>,
+    /// Chain links: the virtual successor address this block's exit was
+    /// last observed to reach, per exit direction (0 = branch taken /
+    /// unconditional / computed, 1 = fall-through). For computed exits
+    /// (`ret`, indirect branches) the link behaves like a one-entry
+    /// BTB, re-pointed whenever the observed target changes. A link is
+    /// an *edge record*, never a validity promise — every follow still
+    /// translates the successor address and revalidates the target
+    /// block's generation, so a stale link can at worst be torn down
+    /// (a chain break), not replay stale code.
+    links: [Option<u32>; 2],
 }
 
 /// A direct-mapped basic-block cache with hit/miss/invalidation
@@ -124,21 +253,29 @@ pub(crate) struct BlockCache {
     slots: Vec<Slot>,
     epoch: u64,
     enabled: bool,
+    chain: bool,
     hits: u64,
     misses: u64,
     invalidations: u64,
+    links: u64,
+    follows: u64,
+    breaks: u64,
 }
 
 impl BlockCache {
-    pub(crate) fn new(enabled: bool) -> BlockCache {
+    pub(crate) fn new(enabled: bool, chain: bool) -> BlockCache {
         BlockCache {
             // No allocation when disabled: a disabled cache costs nothing.
             slots: if enabled { vec![Slot::default(); SLOTS] } else { Vec::new() },
             epoch: 1,
             enabled,
+            chain: chain && enabled,
             hits: 0,
             misses: 0,
             invalidations: 0,
+            links: 0,
+            follows: 0,
+            breaks: 0,
         }
     }
 
@@ -146,11 +283,22 @@ impl BlockCache {
         self.enabled
     }
 
+    pub(crate) fn chain_enabled(&self) -> bool {
+        self.chain
+    }
+
     /// Cumulative `(hits, misses, invalidations)`. A hit replayed a
     /// cached block; a miss recorded one; an invalidation is a miss
     /// that found a matching entry killed by a write to its page.
     pub(crate) fn stats(&self) -> (u64, u64, u64) {
         (self.hits, self.misses, self.invalidations)
+    }
+
+    /// Cumulative `(links, follows, breaks)`: chain edges recorded,
+    /// edges traversed block-to-block, and edges torn down because the
+    /// successor vanished (page write, eviction, or flush).
+    pub(crate) fn chain_stats(&self) -> (u64, u64, u64) {
+        (self.links, self.follows, self.breaks)
     }
 
     /// Drops every entry in O(1) by advancing the epoch.
@@ -179,12 +327,162 @@ impl BlockCache {
 
     fn insert(&mut self, pa: u32, gen: u64, block: Block) {
         self.slots[pa as usize & (SLOTS - 1)] =
-            Slot { pa, gen, epoch: self.epoch, block: Some(Arc::new(block)) };
+            Slot { pa, gen, epoch: self.epoch, block: Some(Arc::new(block)), links: [None; 2] };
+    }
+
+    /// [`BlockCache::lookup`], but *moving* the block out of its slot
+    /// instead of cloning the `Arc`. The chained dispatch loop runs a
+    /// take / [`BlockCache::put_back`] bracket around every replay,
+    /// trading two reference-count updates per block entry for two
+    /// plain moves — nothing can touch the slot while the block is out
+    /// (replay never inserts, and flushes only happen between runs).
+    /// Counter behavior is identical to `lookup`.
+    fn take(&mut self, pa: u32, mem: &PhysMem) -> Option<Arc<Block>> {
+        let slot = &mut self.slots[pa as usize & (SLOTS - 1)];
+        if slot.epoch == self.epoch && slot.pa == pa {
+            if slot.gen == mem.page_gen(pa) {
+                if let Some(b) = slot.block.take() {
+                    self.hits += 1;
+                    return Some(b);
+                }
+            } else {
+                self.invalidations += 1;
+            }
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Returns a block taken with [`BlockCache::take`] to its slot.
+    fn put_back(&mut self, pa: u32, block: Arc<Block>) {
+        let slot = &mut self.slots[pa as usize & (SLOTS - 1)];
+        debug_assert!(slot.epoch == self.epoch && slot.pa == pa && slot.block.is_none());
+        slot.block = Some(block);
+    }
+
+    /// Chain step: the block at `from_pa` just exited via `dir` toward
+    /// virtual address `to_eip` (already translated to `to_pa`, with
+    /// the translation's statistics counted). Takes the successor
+    /// block out of its generation-validated slot ([`BlockCache::take`];
+    /// the dispatch loop puts it back after the replay) and maintains
+    /// the edge record on the source slot: a hit through an existing
+    /// matching link is a *follow*, a hit without one records a
+    /// *link*, and a miss with a link standing tears it down as a
+    /// *break* (the successor was invalidated or evicted since the
+    /// edge was recorded).
+    fn chain_next(
+        &mut self,
+        from_pa: u32,
+        dir: usize,
+        to_eip: u32,
+        to_pa: u32,
+        mem: &PhysMem,
+    ) -> Option<Arc<Block>> {
+        let hit = self.take(to_pa, mem);
+        let epoch = self.epoch;
+        let from = &mut self.slots[from_pa as usize & (SLOTS - 1)];
+        if from.epoch == epoch && from.pa == from_pa {
+            match (hit.is_some(), from.links[dir]) {
+                (true, Some(linked)) if linked == to_eip => self.follows += 1,
+                (true, _) => {
+                    // New edge, or one re-pointed because the same
+                    // physical block is being walked through a
+                    // different virtual mapping.
+                    from.links[dir] = Some(to_eip);
+                    self.links += 1;
+                }
+                (false, Some(_)) => {
+                    from.links[dir] = None;
+                    self.breaks += 1;
+                }
+                (false, None) => {}
+            }
+        }
+        hit
+    }
+}
+
+/// How a chained replay left a block.
+enum ChainExit {
+    /// The block ended somewhere the dispatch loop must see: a fault, a
+    /// mid-block boundary stop (limit, breakpoint, discontinuity), or a
+    /// terminator that can change the privilege level or paging regime
+    /// (`int`, `iret`, `lret`, `mov %cr`), halt, or trap.
+    Stop,
+    /// The block ran to completion and its successor address is already
+    /// in EIP, reached without changing CPL or the paging regime: `dir`
+    /// 0 is the taken/unconditional/computed edge (`jmp`, `call`, taken
+    /// `jcc`, and the near computed exits `ret` / `jmp*` / `call*` /
+    /// string-op continuation — the link merely remembers the *last
+    /// observed* target; every follow re-validates it), `dir` 1 the
+    /// fall-through edge (untaken `jcc`, or a block cut by the length
+    /// cap / page boundary rather than a terminator).
+    Chain { dir: usize },
+}
+
+/// Classifies the exit edge of a block whose last instruction (`insn`,
+/// at address `eip`) just executed without fault. Only exits that
+/// cannot change the privilege level or paging regime chain — the
+/// successor address is whatever the instruction left in EIP, and the
+/// chain's per-entry protocol re-validates it from scratch, so a
+/// *computed* successor (`ret`, indirect branch, a repeating string
+/// op's own address) is as chainable as a static one. Everything
+/// privilege- or regime-changing (`int`, `iret`, `lret`, `mov %cr`),
+/// plus halt and the trap instructions, goes back to the dispatcher.
+fn chain_exit(m: &Machine, insn: &Insn, eip: u32) -> ChainExit {
+    match insn.op {
+        Op::Jmp { .. }
+        | Op::Call { .. }
+        | Op::JmpInd(_)
+        | Op::CallInd(_)
+        | Op::Ret
+        | Op::RetImm(_)
+        | Op::Str { .. } => ChainExit::Chain { dir: 0 },
+        Op::Jcc { .. } => {
+            let fallthrough = eip.wrapping_add(u32::from(insn.len));
+            ChainExit::Chain { dir: usize::from(m.cpu.eip == fallthrough) }
+        }
+        ref op if !ends_block(op) => ChainExit::Chain { dir: 1 },
+        _ => ChainExit::Stop,
+    }
+}
+
+/// The once-per-entry translation record a chained replay validates
+/// against: the code page's `vpn -> pfn` mapping and the TLB generation
+/// it was observed under. While the generation is unchanged, the TLB
+/// entry that produced the mapping is provably still resident (lookups
+/// never mutate the entry array), so a full `mmu::translate` would hit
+/// with this exact result — the replay counts the hit and skips the
+/// walk-ready translation machinery. Any TLB mutation (an insert from a
+/// data access's miss, a flush) bumps the generation and the next fetch
+/// falls back to a real, identically-counted translation.
+/// Traces roam across pages (calls and returns ping-pong between the
+/// caller's and the callee's page), so the context keeps a few
+/// direct-mapped entries rather than one: each crossing back to a
+/// recently-proven page costs a compare instead of a page walk. All
+/// entries are guarded by the same generation; a bump invalidates the
+/// lot.
+struct FetchCtx {
+    vpn: [u32; Self::ENTRIES],
+    pfn: [u32; Self::ENTRIES],
+    tlb_gen: u64,
+}
+
+impl FetchCtx {
+    const ENTRIES: usize = 4;
+
+    /// A context proving nothing yet: no 32-bit EIP has a VPN of
+    /// `u32::MAX`, so every slot misses until a real translation primes
+    /// it.
+    fn new(tlb_gen: u64) -> Self {
+        FetchCtx { vpn: [u32::MAX; Self::ENTRIES], pfn: [0; Self::ENTRIES], tlb_gen }
     }
 }
 
 impl Machine {
-    /// Executes one basic block (or records one while executing it).
+    /// Executes one basic block (or records one while executing it) —
+    /// or, with chaining enabled, a whole segment of blocks linked by
+    /// statically-known exits.
     ///
     /// The caller — the block-mode run loop — guarantees on entry: no
     /// latched triple fault, CPU not halted, no pending timer tick, no
@@ -203,7 +501,8 @@ impl Machine {
         // paging faults bit-identical; with paging off, translation is
         // the identity and touches no statistics on either path).
         self.counters.instructions += 1;
-        let pa0 = if self.cpu.paging() {
+        let paging = self.cpu.paging();
+        let pa0 = if paging {
             match self.xlate(eip0, Access::Exec) {
                 Ok(pa) => pa,
                 Err(f) => return self.exec_fault(f),
@@ -211,10 +510,421 @@ impl Machine {
         } else {
             eip0
         };
-        match self.block_cache.lookup(pa0, &self.mem) {
-            Some(block) => self.replay_block(&block, pa0, limit),
-            None => self.record_block(eip0, pa0, limit),
+        if !self.block_cache.chain_enabled() {
+            match self.block_cache.lookup(pa0, &self.mem) {
+                Some(block) => self.replay_block(&block, pa0, limit),
+                None => self.record_block(eip0, pa0, limit),
+            }
+            return;
         }
+
+        // Chained dispatch. Each iteration replays one cached block and,
+        // when it exits over a statically-known edge, performs the exact
+        // per-entry protocol the dispatch loop would have (instruction
+        // count, counted translation, generation-validated lookup) and
+        // continues to the successor without returning to `Machine::run`.
+        // The segment is bounded by `CHAIN_QUANTUM` retired instructions
+        // so the abort flag and dispatch-loop conditions are still
+        // polled promptly.
+        let mut ctx = FetchCtx::new(self.tlb.generation());
+        // The entry translation above proved `eip0`'s page (its entry
+        // is TLB-resident at the current generation): prime its slot.
+        let slot = ((eip0 >> 12) as usize) & (FetchCtx::ENTRIES - 1);
+        ctx.vpn[slot] = eip0 >> 12;
+        ctx.pfn[slot] = pa0 >> 12;
+        let mut quantum = CHAIN_QUANTUM;
+        let mut pa = pa0;
+        let mut block = match self.block_cache.take(pa, &self.mem) {
+            Some(b) => b,
+            None => return self.record_block(eip0, pa0, limit),
+        };
+        loop {
+            let exit = self.replay_block_fast(&block, pa, limit, &mut quantum, &mut ctx);
+            self.block_cache.put_back(pa, block);
+            let dir = match exit {
+                ChainExit::Stop => return,
+                ChainExit::Chain { dir } => dir,
+            };
+            // Between blocks the dispatch loop would check the deadline
+            // and timer (both folded into `limit`), the abort flag and
+            // halt/triple-fault state (only reachable through exits that
+            // already `Stop`), and breakpoints at the new EIP.
+            if quantum == 0 || self.cpu.tsc >= limit {
+                return;
+            }
+            let neip = self.cpu.eip;
+            if self.cpu.dr7 != 0 && self.cpu.breakpoint_match(neip).is_some() {
+                return;
+            }
+            // Per-entry protocol for the successor, identical to the
+            // top of this function.
+            self.counters.instructions += 1;
+            let npa = if paging {
+                match self.fetch_pa(neip, &mut ctx) {
+                    Ok(p) => p,
+                    Err(f) => return self.exec_fault(f),
+                }
+            } else {
+                neip
+            };
+            match self.block_cache.chain_next(pa, dir, neip, npa, &self.mem) {
+                Some(b) => {
+                    pa = npa;
+                    block = b;
+                }
+                None => return self.record_block(neip, npa, limit),
+            }
+        }
+    }
+
+    /// Translates a fetch address inside a chained segment: the
+    /// fast path proven by [`FetchCtx`], or a real counted translation
+    /// (which re-primes the context) on any discontinuity.
+    #[inline]
+    fn fetch_pa(&mut self, eip: u32, ctx: &mut FetchCtx) -> Result<u32, Fault> {
+        let vpn = eip >> 12;
+        let slot = (vpn as usize) & (FetchCtx::ENTRIES - 1);
+        if ctx.vpn[slot] == vpn && self.tlb.generation() == ctx.tlb_gen {
+            self.tlb.count_hit();
+            return Ok((ctx.pfn[slot] << 12) | (eip & PAGE_MASK));
+        }
+        let pa = self.xlate(eip, Access::Exec)?;
+        // The translation itself may have inserted a TLB entry (bumping
+        // the generation): re-read it, and drop every previously-proven
+        // page if it moved — their proofs were against the old
+        // generation.
+        let gen = self.tlb.generation();
+        if gen != ctx.tlb_gen {
+            ctx.vpn = [u32::MAX; FetchCtx::ENTRIES];
+            ctx.tlb_gen = gen;
+        }
+        ctx.vpn[slot] = vpn;
+        ctx.pfn[slot] = pa >> 12;
+        Ok(pa)
+    }
+
+    /// Chained-mode replay of one cached block: identical boundary
+    /// checks and counting to [`Machine::replay_block`], with the exit
+    /// classified for chaining.
+    ///
+    /// The common case takes a *hot path* that hoists every
+    /// per-instruction check it can prove vacuous up front:
+    ///
+    /// * **Cycle limit.** Mid-block instructions are all
+    ///   non-terminators, each advancing TSC by at most
+    ///   [`MAX_TSC_PER_INSN`]; if even the worst case cannot reach
+    ///   `limit`, the per-instruction `tsc >= limit` checks are
+    ///   provably all-false and skipping them changes nothing.
+    /// * **Breakpoints.** No instruction writes the debug registers, so
+    ///   `dr7 == 0` at entry means no mid-block check could match.
+    /// * **Instruction counter / quantum.** Nothing observes the
+    ///   counters mid-block (trap records carry TSC, the sanitizer is
+    ///   never active in block mode), so both are batched: the counter
+    ///   is bumped for the whole block up front and walked back on an
+    ///   early exit; the quantum is debited for the whole block, which
+    ///   can only *shorten* a segment (more frequent abort polls).
+    /// * **Fetch translation.** Proven *once per entry*: every `(vpn,
+    ///   pfn)` pair the trace fetches from is checked TLB-resident with
+    ///   fetch permission ([`Machine::trace_pages_mapped`]). Because
+    ///   every TLB mutation bumps the generation, one generation
+    ///   compare per instruction then extends the proof: while it
+    ///   holds and live EIP equals the recorded EIP, the reference
+    ///   translation would hit and yield exactly the recorded physical
+    ///   address — so the per-instruction `mmu::translate` is replaced
+    ///   by one compare against a recorded constant. A mid-trace bump
+    ///   (a data access that missed the TLB) re-proves the page set
+    ///   and continues; if the proof fails, or EIP leaves the recorded
+    ///   path, the careful path below takes over with real, counted
+    ///   translations.
+    ///
+    /// The per-instruction decode-cache probe is *not* hoisted: its
+    /// hit/miss/invalidation counts are pinned by the golden CSV and a
+    /// conflict eviction between replays is invisible to every
+    /// generation check. (It is, however, *fused* with the recorded
+    /// page-generation compare — see [`DecodeCache::probe_at`] — so
+    /// validation reads one page generation and one slot per
+    /// instruction, every compare against recorded constants.)
+    ///
+    /// Blocks entered with breakpoints armed replay entirely on the
+    /// careful path, which performs the reference per-instruction
+    /// protocol verbatim. Blocks entered close to `limit` run the
+    /// longest provably-safe prefix hot, then hand the remainder to the
+    /// careful path mid-block.
+    fn replay_block_fast(
+        &mut self,
+        block: &Block,
+        pa0: u32,
+        limit: u64,
+        quantum: &mut u32,
+        ctx: &mut FetchCtx,
+    ) -> ChainExit {
+        let n = block.steps.len();
+        if self.cpu.dr7 != 0 {
+            return self.replay_block_careful(block, 0, pa0, limit, quantum, ctx);
+        }
+        let paging = self.cpu.paging();
+        // Entry validation: same paging regime, the head translation
+        // matches the recording, and the whole page set is mapped as
+        // recorded. Anything else runs on the reference protocol.
+        if block.paged != paging
+            || block.steps[0].pa != pa0
+            || (paging && !self.trace_pages_mapped(block))
+        {
+            return self.replay_block_careful(block, 0, pa0, limit, quantum, ctx);
+        }
+        let mut tlb_gen = self.tlb.generation();
+        // TLB and decode hit counters are *derived*, not accumulated:
+        // at any exit below, the decode-probe hits so far are a pure
+        // function of the exit index (every earlier step passed its
+        // probe), and likewise the TLB hits the reference's per-fetch
+        // translations would have recorded (one per step past the
+        // head, when paging). Each exit flushes both in one addition —
+        // bit-identical to the reference's per-instruction increments
+        // (TLB flushes clear entries, never statistics; nothing
+        // observes either count mid-block) with zero per-instruction
+        // bookkeeping.
+        macro_rules! flush_hits {
+            ($dec:expr, $tlb:expr) => {
+                if paging {
+                    self.tlb.count_hits($tlb);
+                }
+                self.decode_cache.count_hits($dec);
+            };
+        }
+        // The head step runs peeled: its instruction is counted and its
+        // translation performed (and TLB-counted) by the caller, so it
+        // needs no EIP compare, no generation check, and no walk-back —
+        // and peeling it lets the loops below drop the `i == 0` test
+        // from every iteration.
+        {
+            let st = &block.steps[0];
+            let eip = self.cpu.eip;
+            *quantum = quantum.saturating_sub(1);
+            if self.mem.page_gen(st.pa) != st.gen || !self.decode_cache.probe_at(st.pa, st.gen) {
+                self.exec_uncached_at(eip, st.pa);
+                return ChainExit::Stop;
+            }
+            if let Err(f) = self.exec_insn(st.insn) {
+                flush_hits!(1, 0);
+                self.exec_fault(f);
+                return ChainExit::Stop;
+            }
+            if n == 1 {
+                flush_hits!(1, 0);
+                return chain_exit(self, &st.insn, eip);
+            }
+        }
+        // The hot loop runs in *chunks*, each the longest prefix of the
+        // remaining steps whose per-instruction limit checks are
+        // provably vacuous: the check before instruction `i` compares
+        // `tsc >= limit` after at most `i - start` bounded advances
+        // ([`MAX_TSC_PER_INSN`] each), so every check up to `i = k - 1`
+        // is dead while `(k - 1 - start) * MAX_TSC_PER_INSN < limit -
+        // tsc`. Because real instructions advance TSC far less than the
+        // worst-case bound, the chunk boundary re-derives the proof
+        // from the *actual* elapsed cycles and almost always extends
+        // the hot run to the end of the block; only when the limit is
+        // genuinely exhausted (`slack == 0`, where the reference
+        // protocol stops before the next instruction) does the careful
+        // path take over. Chunk boundaries are invisible to the
+        // accounting: instructions are pre-counted per chunk, so at any
+        // step `i` everything in `[0, k)` is counted and the walk-back
+        // arithmetic below is chunk-agnostic.
+        // The terminator step (`n - 1`) is peeled out of the loop too —
+        // it is the only step that classifies a chain exit, so peeling
+        // it drops the `i == n - 1` test from every mid-trace
+        // iteration. The per-step protocol in both copies is: EIP
+        // compare (divergence → careful path), TLB generation compare
+        // (extend or re-prove the entry proof), fused page-generation /
+        // decode probe (failure → one uncached instruction, Stop), then
+        // execute.
+        let mut start = 1usize;
+        loop {
+            let slack = limit.saturating_sub(self.cpu.tsc);
+            if slack == 0 {
+                flush_hits!(start as u64, start as u64 - 1);
+                return self.replay_block_careful(block, start, pa0, limit, quantum, ctx);
+            }
+            let k = n.min(start + ((slack - 1) / MAX_TSC_PER_INSN) as usize + 1);
+            self.counters.instructions += (k - start) as u64;
+            *quantum = quantum.saturating_sub((k - start) as u32);
+            for (i, st) in block.steps[..k.min(n - 1)].iter().enumerate().skip(start) {
+                let eip = self.cpu.eip;
+                if eip != st.eip {
+                    // Live control flow left the recorded path (a
+                    // branch going the other way, a `ret` to a
+                    // different caller): the page-set proof says
+                    // nothing about this address, so instruction `i`
+                    // restarts on the careful path with a real
+                    // translation (which counts itself — walk back its
+                    // pre-count too).
+                    self.counters.instructions -= (k - i) as u64;
+                    flush_hits!(i as u64, i as u64 - 1);
+                    return self.replay_block_careful(block, i, pa0, limit, quantum, ctx);
+                }
+                if paging {
+                    let g = self.tlb.generation();
+                    if g != tlb_gen {
+                        // A data access missed the TLB and mutated it
+                        // mid-trace: the entry proof is stale. Re-prove
+                        // the page set against the new TLB state and
+                        // carry on; hand over to the careful path if
+                        // any mapping moved.
+                        if !self.trace_pages_mapped(block) {
+                            self.counters.instructions -= (k - i) as u64;
+                            flush_hits!(i as u64, i as u64 - 1);
+                            return self.replay_block_careful(block, i, pa0, limit, quantum, ctx);
+                        }
+                        tlb_gen = g;
+                    }
+                    // EIP matches the record and its page's mapping is
+                    // proven resident: the reference translation would
+                    // hit, yielding `st.pa` — and be counted at flush.
+                }
+                if self.mem.page_gen(st.pa) != st.gen || !self.decode_cache.probe_at(st.pa, st.gen)
+                {
+                    // A page written since the trace was recorded, or a
+                    // decode-cache conflict eviction: complete this one
+                    // instruction on the full single-step fetch path (which
+                    // counts the hit, miss, or invalidation exactly as the
+                    // reference would), then leave the block — and the
+                    // chain.
+                    self.counters.instructions -= (k - 1 - i) as u64;
+                    flush_hits!(i as u64, i as u64);
+                    self.exec_uncached_at(eip, st.pa);
+                    return ChainExit::Stop;
+                }
+                // The probe proved the page generation is unchanged since
+                // this physical address was decoded, so the block's copy of
+                // the instruction equals a fresh decode of the live bytes;
+                // its hit is part of every later flush.
+                if let Err(f) = self.exec_insn(st.insn) {
+                    self.counters.instructions -= (k - 1 - i) as u64;
+                    flush_hits!(i as u64 + 1, i as u64);
+                    self.exec_fault(f);
+                    return ChainExit::Stop;
+                }
+            }
+            if k < n {
+                // This chunk's provably-safe prefix ran out before the
+                // block's last instruction: re-derive the proof from
+                // the cycles actually spent and keep going hot.
+                start = k;
+                continue;
+            }
+            // Terminator step, same protocol, exit classified.
+            let i = n - 1;
+            let st = &block.steps[i];
+            let eip = self.cpu.eip;
+            if eip != st.eip {
+                self.counters.instructions -= 1;
+                flush_hits!(i as u64, i as u64 - 1);
+                return self.replay_block_careful(block, i, pa0, limit, quantum, ctx);
+            }
+            if paging && self.tlb.generation() != tlb_gen && !self.trace_pages_mapped(block) {
+                self.counters.instructions -= 1;
+                flush_hits!(i as u64, i as u64 - 1);
+                return self.replay_block_careful(block, i, pa0, limit, quantum, ctx);
+            }
+            if self.mem.page_gen(st.pa) != st.gen || !self.decode_cache.probe_at(st.pa, st.gen) {
+                flush_hits!(i as u64, i as u64);
+                self.exec_uncached_at(eip, st.pa);
+                return ChainExit::Stop;
+            }
+            if let Err(f) = self.exec_insn(st.insn) {
+                flush_hits!(i as u64 + 1, i as u64);
+                self.exec_fault(f);
+                return ChainExit::Stop;
+            }
+            flush_hits!(n as u64, n as u64 - 1);
+            return chain_exit(self, &st.insn, eip);
+        }
+    }
+
+    /// True when every `(vpn, pfn)` pair in the trace's recorded page
+    /// set is TLB-resident with fetch permission under the current
+    /// privilege level — the once-per-entry proof behind the hot
+    /// replay path's constant-compare fetch validation.
+    fn trace_pages_mapped(&self, block: &Block) -> bool {
+        let user = self.cpu.is_user();
+        block.pages.iter().all(|&(vpn, pfn)| self.tlb.fetch_maps_to(vpn, pfn, user))
+    }
+
+    /// Reference-protocol chained replay, used when the hot path's
+    /// preconditions fail (breakpoints armed) or its provably-safe
+    /// prefix ends before the block does (the block could cross `limit`
+    /// mid-way): every boundary check runs per instruction from index
+    /// `start`, exactly like [`Machine::replay_block`]. Every path that
+    /// executes an instruction decrements `quantum`.
+    #[cold]
+    fn replay_block_careful(
+        &mut self,
+        block: &Block,
+        start: usize,
+        pa0: u32,
+        limit: u64,
+        quantum: &mut u32,
+        ctx: &mut FetchCtx,
+    ) -> ChainExit {
+        let paging = self.cpu.paging();
+        // No guest instruction writes the debug registers (there is no
+        // mov-to-DR op), so whether a breakpoint is armed is constant
+        // for the whole block.
+        let bp_armed = self.cpu.dr7 != 0;
+        let last = block.steps.len() - 1;
+        for (i, st) in block.steps.iter().enumerate().skip(start) {
+            let (insn, rec_pa, rec_gen) = (st.insn, st.pa, st.gen);
+            let eip = self.cpu.eip;
+            let pa = if i == 0 {
+                pa0 // already translated and counted by exec_block
+            } else {
+                if self.cpu.tsc >= limit {
+                    return ChainExit::Stop;
+                }
+                if bp_armed && self.cpu.breakpoint_match(eip).is_some() {
+                    return ChainExit::Stop;
+                }
+                self.counters.instructions += 1;
+                if paging {
+                    match self.fetch_pa(eip, ctx) {
+                        Ok(pa) => pa,
+                        Err(f) => {
+                            self.exec_fault(f);
+                            return ChainExit::Stop;
+                        }
+                    }
+                } else {
+                    eip
+                }
+            };
+            if pa != rec_pa
+                || self.mem.page_gen(pa) != rec_gen
+                || !self.decode_cache.probe(pa, &self.mem)
+            {
+                // Live control flow left the recorded path, a
+                // translation discontinuity, a page written since the
+                // trace was recorded, or a decode-cache conflict
+                // eviction: complete this one instruction on the full
+                // single-step fetch path (which counts the hit, miss,
+                // or invalidation exactly as the reference would), then
+                // leave the block — and the chain.
+                self.exec_uncached_at(eip, pa);
+                return ChainExit::Stop;
+            }
+            // The probe proved the page generation is unchanged since
+            // this physical address was decoded, so the block's copy of
+            // the instruction equals a fresh decode of the live bytes.
+            self.decode_cache.count_hit();
+            *quantum = quantum.saturating_sub(1);
+            if let Err(f) = self.exec_insn(insn) {
+                self.exec_fault(f);
+                return ChainExit::Stop;
+            }
+            if i == last {
+                return chain_exit(self, &insn, eip);
+            }
+        }
+        ChainExit::Stop // unreachable: blocks are never empty
     }
 
     /// Replays a cached block, revalidating each instruction boundary
@@ -226,11 +936,11 @@ impl Machine {
         // for the whole block.
         let bp_armed = self.cpu.dr7 != 0;
         let mut expected_pa = pa0;
-        for (i, &insn) in block.insns.iter().enumerate() {
+        for (i, st) in block.steps.iter().enumerate() {
+            let insn = st.insn;
             let eip = self.cpu.eip;
-            let pa;
-            if i == 0 {
-                pa = pa0; // already translated and counted by exec_block
+            let pa = if i == 0 {
+                pa0 // already translated and counted by exec_block
             } else {
                 if self.cpu.tsc >= limit {
                     return;
@@ -239,15 +949,15 @@ impl Machine {
                     return;
                 }
                 self.counters.instructions += 1;
-                pa = if paging {
+                if paging {
                     match self.xlate(eip, Access::Exec) {
                         Ok(pa) => pa,
                         Err(f) => return self.exec_fault(f),
                     }
                 } else {
                     eip
-                };
-            }
+                }
+            };
             if pa != expected_pa || !self.decode_cache.probe(pa, &self.mem) {
                 // Translation discontinuity, page-generation bump from
                 // a mid-block store, or a decode-cache conflict
@@ -270,12 +980,21 @@ impl Machine {
 
     /// Executes instructions on the single-step fetch path while
     /// recording them, until a terminator, fault, page boundary, cycle
-    /// limit, breakpoint, or the length cap ends the block.
+    /// limit, breakpoint, or the length cap ends the block. With
+    /// chaining enabled, branches of any kind — direct, computed
+    /// (`ret`/`jmp*`/`call*`), cross-page, even pinned-EIP `rep` string
+    /// iterations — do *not* terminate recording: the block becomes a
+    /// trace of the path actually taken, and replays verify each step
+    /// against the recorded physical addresses and page generations
+    /// before trusting it.
     fn record_block(&mut self, eip0: u32, pa0: u32, limit: u64) {
+        let traces = self.block_cache.chain_enabled();
         let paging = self.cpu.paging();
         let page = eip0 & !PAGE_MASK;
+        let page_pa = pa0 & !PAGE_MASK;
         let start_gen = self.mem.page_gen(pa0);
-        let mut insns: Vec<Insn> = Vec::new();
+        let mut steps: Vec<Step> = Vec::with_capacity(MAX_BLOCK_INSNS);
+        let mut pages: Vec<(u32, u32)> = Vec::new();
         let mut eip = eip0;
         let mut pa = pa0;
         loop {
@@ -290,6 +1009,24 @@ impl Machine {
             // decode cache, so a replay probe could not validate it:
             // execute it, but end the block without recording it.
             let in_page = (pa & PAGE_MASK) + u32::from(insn.len) <= PAGE_SIZE;
+            // A trace's page set carries the once-per-entry translation
+            // proof, so an instruction whose page cannot join the set
+            // (the set is full) is executed but not recorded, ending
+            // the trace like a page-straddler.
+            let recordable = in_page
+                && (!traces || !paging || {
+                    let pair = (eip >> 12, pa >> 12);
+                    pages.contains(&pair)
+                        || pages.len() < MAX_TRACE_PAGES && {
+                            pages.push(pair);
+                            true
+                        }
+                });
+            // Sample the generation *before* executing: a store into
+            // the instruction's own page must leave the pre-store
+            // generation on record, so a replay of the now-stale copy
+            // fails the generation compare instead of running it.
+            let gen = self.mem.page_gen(pa);
             let faulted = match self.exec_insn(insn) {
                 Ok(()) => false,
                 Err(f) => {
@@ -297,18 +1034,33 @@ impl Machine {
                     true
                 }
             };
-            if in_page {
+            if recordable {
                 // Faulting instructions are recorded too: a replay
                 // revalidates and re-executes them independently, and a
                 // block may legally end anywhere.
-                insns.push(insn);
+                steps.push(Step { eip, pa, gen, insn });
             }
-            if faulted || !in_page || ends_block(&insn.op) || insns.len() >= MAX_BLOCK_INSNS {
+            // Traces record through branches — direct *and* computed —
+            // and through pinned-EIP `rep` string iterations (each
+            // iteration is one recorded step, exactly as single-step
+            // counts them): the replay's per-step physical-address
+            // compare verifies live control flow still follows the
+            // recorded path. Only privilege/regime changes, halts, and
+            // traps end a trace. Plain blocks keep the PR 5 rule.
+            let stop = if traces { chain_stops(&insn.op) } else { ends_block(&insn.op) };
+            if faulted || !recordable || stop || steps.len() >= MAX_BLOCK_INSNS {
                 break;
             }
             // Next boundary: the same checks a cached replay performs.
+            // Plain blocks are single-virtual-page; traces may roam —
+            // the replay re-translates each step and compares against
+            // the recorded address, so the page is not a soundness
+            // boundary once per-step validation exists.
             let neip = self.cpu.eip;
-            if neip & !PAGE_MASK != page || self.cpu.tsc >= limit {
+            if !traces && neip & !PAGE_MASK != page {
+                break;
+            }
+            if self.cpu.tsc >= limit {
                 break;
             }
             if self.cpu.dr7 != 0 && self.cpu.breakpoint_match(neip).is_some() {
@@ -326,22 +1078,25 @@ impl Machine {
             } else {
                 neip
             };
-            if npa != pa0.wrapping_add(neip.wrapping_sub(eip0)) {
+            if !traces && npa != page_pa | (neip & PAGE_MASK) {
                 // The page's physical mapping changed under us (page
                 // tables edited mid-block): execute this instruction
-                // off-block and stop recording.
+                // off-block and stop recording. (A trace just records
+                // the new address; replays verify it like any other.)
                 self.exec_uncached_at(neip, npa);
                 break;
             }
             eip = neip;
             pa = npa;
         }
-        if !insns.is_empty() && self.mem.page_gen(pa0) == start_gen {
-            // Only insert if the code page survived the recording pass
-            // unwritten — otherwise the recorded instructions may not
-            // match the live bytes (e.g. a store into the block itself,
-            // or a fault pushing its frame onto a stack in this page).
-            self.block_cache.insert(pa0, start_gen, Block { insns });
+        if !steps.is_empty() && self.mem.page_gen(pa0) == start_gen {
+            // Only insert if the head code page survived the recording
+            // pass unwritten — otherwise the recorded instructions may
+            // not match the live bytes (e.g. a store into the block
+            // itself, or a fault pushing its frame onto a stack in this
+            // page). Further pages a trace spans are anchored by their
+            // per-instruction recorded generations instead.
+            self.block_cache.insert(pa0, start_gen, Block { steps, pages, paged: paging });
         }
     }
 
@@ -379,6 +1134,11 @@ mod tests {
     use super::*;
     use kfi_isa::decode;
 
+    /// A minimal one-instruction unpaged block for cache-level tests.
+    fn test_block(insn: Insn) -> Block {
+        Block { steps: vec![Step { eip: 0, pa: 0, gen: 0, insn }], pages: vec![], paged: false }
+    }
+
     #[test]
     fn terminator_classification() {
         let term: &[&[u8]] = &[
@@ -414,16 +1174,16 @@ mod tests {
     #[test]
     fn cache_validates_generation_and_epoch() {
         let mem = &mut PhysMem::new(8192);
-        let mut c = BlockCache::new(true);
+        let mut c = BlockCache::new(true, true);
         let nop = decode(&[0x90]).unwrap();
-        c.insert(0x1000, mem.page_gen(0x1000), Block { insns: vec![nop] });
+        c.insert(0x1000, mem.page_gen(0x1000), test_block(nop));
         assert!(c.lookup(0x1000, mem).is_some());
         // Any write in the page kills the block...
         mem.write_u8(0x1fff, 0);
         assert!(c.lookup(0x1000, mem).is_none());
         // ...counted as an invalidation, not a plain miss.
         assert_eq!(c.stats(), (1, 1, 1));
-        c.insert(0x1000, mem.page_gen(0x1000), Block { insns: vec![nop] });
+        c.insert(0x1000, mem.page_gen(0x1000), test_block(nop));
         c.flush();
         assert!(c.lookup(0x1000, mem).is_none());
         assert_eq!(c.stats(), (1, 2, 1));
@@ -431,9 +1191,50 @@ mod tests {
 
     #[test]
     fn disabled_cache_allocates_nothing() {
-        let c = BlockCache::new(false);
+        let c = BlockCache::new(false, true);
         assert!(!c.enabled());
+        assert!(!c.chain_enabled(), "chaining requires the block cache");
         assert_eq!(c.slots.len(), 0);
         assert_eq!(c.stats(), (0, 0, 0));
+        assert_eq!(c.chain_stats(), (0, 0, 0));
+    }
+
+    #[test]
+    fn chain_next_links_follows_and_breaks() {
+        let mem = &mut PhysMem::new(8192);
+        let mut c = BlockCache::new(true, true);
+        let nop = decode(&[0x90]).unwrap();
+        c.insert(0x1000, mem.page_gen(0x1000), test_block(nop));
+        c.insert(0x1100, mem.page_gen(0x1100), test_block(nop));
+        // A hit moves the block out of its slot (the dispatch loop's
+        // take / put_back bracket), so every successful step here puts
+        // it back before the next, exactly as the loop does.
+        let mut step = |c: &mut BlockCache, mem: &PhysMem, to_eip: u32| {
+            let hit = c.chain_next(0x1000, 0, to_eip, 0x1100, mem);
+            if let Some(b) = hit {
+                c.put_back(0x1100, b);
+                true
+            } else {
+                false
+            }
+        };
+        // First traversal of the edge records a link...
+        assert!(step(&mut c, mem, 0x1100));
+        assert_eq!(c.chain_stats(), (1, 0, 0));
+        // ...subsequent traversals follow it...
+        assert!(step(&mut c, mem, 0x1100));
+        assert!(step(&mut c, mem, 0x1100));
+        assert_eq!(c.chain_stats(), (1, 2, 0));
+        // ...and a write into the successor's page breaks it.
+        mem.write_u8(0x1100, 0xcc);
+        assert!(!step(&mut c, mem, 0x1100));
+        assert_eq!(c.chain_stats(), (1, 2, 1));
+        // The link is gone: re-establishing the edge is a fresh link.
+        c.insert(0x1100, mem.page_gen(0x1100), test_block(nop));
+        assert!(step(&mut c, mem, 0x1100));
+        assert_eq!(c.chain_stats(), (2, 2, 1));
+        // A different virtual alias of the same edge re-points the link.
+        assert!(step(&mut c, mem, 0xc000_1100));
+        assert_eq!(c.chain_stats(), (3, 2, 1));
     }
 }

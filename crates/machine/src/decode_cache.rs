@@ -111,11 +111,33 @@ impl DecodeCache {
         slot.epoch == self.epoch && slot.pa == pa && slot.gen == mem.page_gen(pa)
     }
 
+    /// [`probe`](DecodeCache::probe) against a *recorded* page
+    /// generation instead of the live one: callers that have already
+    /// compared `mem.page_gen(pa)` to `gen` may substitute `gen` for
+    /// the live generation in the slot check (the conjunction is
+    /// equivalent), turning the probe into three compares against
+    /// constants with no second page-generation load. Callers guarantee
+    /// the cache is enabled (the block engine requires it).
+    #[inline]
+    pub(crate) fn probe_at(&self, pa: u32, gen: u64) -> bool {
+        let slot = &self.slots[pa as usize & (SLOTS - 1)];
+        slot.epoch == self.epoch && slot.pa == pa && slot.gen == gen
+    }
+
     /// Counts the hit a successful [`probe`](DecodeCache::probe)
     /// corresponds to.
     #[inline]
     pub(crate) fn count_hit(&mut self) {
         self.hits += 1;
+    }
+
+    /// Counts `n` probe hits in one addition — the hot replay path
+    /// batches its per-instruction [`count_hit`](DecodeCache::count_hit)
+    /// calls in a local and flushes on exit; hit counting is a pure sum
+    /// and nothing observes it mid-block.
+    #[inline]
+    pub(crate) fn count_hits(&mut self, n: u64) {
+        self.hits += n;
     }
 
     /// Caches a successfully decoded instruction. The caller guarantees

@@ -119,6 +119,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn ea(&self, m: &MemRef) -> u32 {
         let mut a = m.disp as u32;
         if let Some(b) = m.base {
@@ -130,6 +131,7 @@ impl Machine {
         a
     }
 
+    #[inline]
     fn read_mem(&mut self, addr: u32, w: Width) -> XResult<u32> {
         self.cpu.tsc += 2;
         match w {
@@ -138,6 +140,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn write_mem(&mut self, addr: u32, val: u32, w: Width) -> XResult<()> {
         self.cpu.tsc += 2;
         match w {
@@ -146,6 +149,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn read_reg_w(&self, r: u8, w: Width) -> u32 {
         match w {
             Width::B => self.cpu.reg8(r) as u32,
@@ -153,6 +157,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn write_reg_w(&mut self, r: u8, val: u32, w: Width) {
         match w {
             Width::B => self.cpu.set_reg8(r, val as u8),
@@ -160,6 +165,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn read_rm(&mut self, rm: &Rm, w: Width) -> XResult<u32> {
         match rm {
             Rm::Reg(r) => Ok(self.read_reg_w(*r, w)),
@@ -170,6 +176,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn write_rm(&mut self, rm: &Rm, val: u32, w: Width) -> XResult<()> {
         match rm {
             Rm::Reg(r) => {
@@ -183,6 +190,7 @@ impl Machine {
         }
     }
 
+    #[inline]
     fn read_src(&mut self, src: &Src, w: Width) -> XResult<u32> {
         match src {
             Src::Reg(r) => Ok(self.read_reg_w(*r, w)),

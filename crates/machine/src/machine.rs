@@ -109,6 +109,16 @@ pub struct MachineConfig {
     /// cache and TLB statistics; the checker's `pair_block_engine`
     /// config proves it in lockstep against single-stepping.
     pub block_engine: bool,
+    /// Whether the block engine may *chain* block exits: when a cached
+    /// block ends in a direct branch (or falls through), replay jumps
+    /// straight to the successor block without re-entering the
+    /// dispatch loop, and revalidates translations inside a chain with
+    /// one TLB-generation compare per instruction instead of a full
+    /// per-instruction translation (default true; only meaningful when
+    /// the block engine is active). Execution must be observationally
+    /// identical either way, including decode-cache and TLB statistics;
+    /// the checker's `pair_chain` config proves it in lockstep.
+    pub block_chain: bool,
     /// Per-step architectural-state sanitizer (default false). When on,
     /// every step validates the invariants listed in the crate docs
     /// (canonical EFLAGS, monotonic TSC, CR2-iff-#PF, decode-cache
@@ -131,6 +141,7 @@ impl Default for MachineConfig {
             timer_enabled: true,
             decode_cache: true,
             block_engine: true,
+            block_chain: true,
             sanitizer: false,
             flag_update_bug: false,
         }
@@ -173,6 +184,15 @@ pub struct Snapshot {
     blk_lba: u32,
     blk_dma: u32,
     blk_status: u32,
+}
+
+impl Snapshot {
+    /// The snapshot's globally unique identity — also the baseline key
+    /// for copy-on-write resets of state captured alongside it, such as
+    /// a post-boot disk image handed to [`crate::Ramdisk::fork_from`].
+    pub fn id(&self) -> u64 {
+        self.id
+    }
 }
 
 impl PartialEq for Snapshot {
@@ -253,7 +273,10 @@ impl Machine {
             disk: None,
             tlb: Tlb::new(),
             decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
-            block_cache: crate::block::BlockCache::new(config.block_engine && config.decode_cache),
+            block_cache: crate::block::BlockCache::new(
+                config.block_engine && config.decode_cache,
+                config.block_chain,
+            ),
             trace: TraceSink::Null,
             san: config.sanitizer.then(|| Box::new(crate::sanitizer::Sanitizer::new())),
             config,
@@ -336,6 +359,17 @@ impl Machine {
     /// decode cache is off, which disables it transitively).
     pub fn block_stats(&self) -> (u64, u64, u64) {
         self.block_cache.stats()
+    }
+
+    /// Cumulative block-chain `(links, follows, breaks)` since
+    /// construction: exits linked to a successor block, links followed
+    /// without re-entering the dispatch loop, and links torn down
+    /// because the successor block was invalidated or evicted. Like
+    /// [`Machine::block_stats`], these survive [`Machine::restore`] —
+    /// diff around a run for per-run numbers. All zero when chaining
+    /// (or the block engine) is disabled.
+    pub fn chain_stats(&self) -> (u64, u64, u64) {
+        self.block_cache.chain_stats()
     }
 
     /// Whether the basic-block engine is enabled (requires both
@@ -465,7 +499,10 @@ impl Machine {
             disk: None,
             tlb: Tlb::new(),
             decode_cache: crate::decode_cache::DecodeCache::new(config.decode_cache),
-            block_cache: crate::block::BlockCache::new(config.block_engine && config.decode_cache),
+            block_cache: crate::block::BlockCache::new(
+                config.block_engine && config.decode_cache,
+                config.block_chain,
+            ),
             trace: TraceSink::Null,
             san: config.sanitizer.then(|| Box::new(crate::sanitizer::Sanitizer::new())),
             config,
@@ -541,6 +578,7 @@ impl Machine {
 
     // ---- guest memory access (with faults) ----
 
+    #[inline]
     pub(crate) fn xlate(&mut self, addr: u32, access: Access) -> XResult<u32> {
         let user = self.cpu.is_user();
         translate(&self.mem, &mut self.tlb, self.cpu.cr3, self.cpu.paging(), addr, access, user)
@@ -552,11 +590,13 @@ impl Machine {
             .map_err(Fault::Page)
     }
 
+    #[inline]
     pub(crate) fn read_virt_u8(&mut self, addr: u32) -> XResult<u8> {
         let pa = self.xlate(addr, Access::Read)?;
         Ok(self.mem.read_u8(pa))
     }
 
+    #[inline]
     pub(crate) fn read_virt_u32(&mut self, addr: u32) -> XResult<u32> {
         if addr & 0xfff <= 0xffc {
             let pa = self.xlate(addr, Access::Read)?;
@@ -579,12 +619,14 @@ impl Machine {
         }
     }
 
+    #[inline]
     pub(crate) fn write_virt_u8(&mut self, addr: u32, val: u8) -> XResult<()> {
         let pa = self.xlate(addr, Access::Write)?;
         self.mem.write_u8(pa, val);
         Ok(())
     }
 
+    #[inline]
     pub(crate) fn write_virt_u32(&mut self, addr: u32, val: u32) -> XResult<()> {
         if addr & 0xfff <= 0xffc {
             let pa = self.xlate(addr, Access::Write)?;
@@ -963,8 +1005,10 @@ impl Machine {
     /// triple fault, breakpoint match at the block head — is routed
     /// through one ordinary [`Machine::step`]; the straight-line rest
     /// executes via the block engine with the abort flag polled once
-    /// per block (a block is at most 64 instructions, far inside the
-    /// [`ABORT_CHECK_STEPS`] contract).
+    /// per dispatch — a single block (at most 64 instructions) without
+    /// chaining, or one chained segment (bounded at half of
+    /// [`ABORT_CHECK_STEPS`] retired instructions) with it, so either
+    /// way the poll cadence stays inside the single-step contract.
     fn run_block_mode(&mut self, deadline: u64) -> RunExit {
         loop {
             if self.cpu.tsc >= deadline {

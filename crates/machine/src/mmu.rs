@@ -76,22 +76,70 @@ pub struct Tlb {
     entries: Vec<Option<TlbEntry>>,
     hits: u64,
     misses: u64,
+    /// Bumped by every mutation of the entry array ([`Tlb::insert`] and
+    /// [`Tlb::flush`]); lookups never change entries, so an unchanged
+    /// generation proves every translation that was resident is still
+    /// resident in the same slot. The block engine's chained replay
+    /// leans on this: one generation compare per instruction stands in
+    /// for a full (and identically-counted) re-translation.
+    generation: u64,
 }
 
 impl Tlb {
     /// Creates an empty TLB.
     pub fn new() -> Tlb {
-        Tlb { entries: vec![None; TLB_SLOTS], hits: 0, misses: 0 }
+        Tlb { entries: vec![None; TLB_SLOTS], hits: 0, misses: 0, generation: 1 }
     }
 
     /// Drops all cached translations (CR3 reload / paging toggle).
     pub fn flush(&mut self) {
         self.entries.fill(None);
+        self.generation += 1;
     }
 
     /// (hits, misses) since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// The entry-array mutation generation (see the field docs).
+    pub(crate) fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Records a hit without touching the entries — for callers that
+    /// have *proved* (via an unchanged [`Tlb::generation`]) that a
+    /// lookup would hit, and must keep the statistics identical to
+    /// having performed it.
+    pub(crate) fn count_hit(&mut self) {
+        self.hits += 1;
+    }
+
+    /// Records `n` proven hits in one addition — the block engine's hot
+    /// replay path accumulates its per-instruction [`Tlb::count_hit`]s
+    /// in a local and flushes on exit. Hit counting is a pure sum and
+    /// nothing reads it mid-block, so the batched total is
+    /// bit-identical to incrementing per instruction.
+    pub(crate) fn count_hits(&mut self, n: u64) {
+        self.hits += n;
+    }
+
+    /// True when a fetch translation of `vpn` would hit this TLB right
+    /// now and yield `pfn`, without touching any counter or entry. The
+    /// block engine proves a trace's whole page set with this once per
+    /// entry (and again after any generation bump); the per-instruction
+    /// hits the reference would have counted are then batched via
+    /// [`Tlb::count_hits`]. Fetches check only the user bit — there is
+    /// no execute permission — so a present mapping that fails here
+    /// would *fault* on the reference path, which the careful fallback
+    /// reproduces with a real translation.
+    #[inline]
+    pub(crate) fn fetch_maps_to(&self, vpn: u32, pfn: u32, user: bool) -> bool {
+        let slot = (vpn as usize) % TLB_SLOTS;
+        match self.entries[slot] {
+            Some(e) => e.vpn == vpn && e.pfn == pfn && (!user || e.user),
+            None => false,
+        }
     }
 
     #[inline]
@@ -113,6 +161,7 @@ impl Tlb {
     fn insert(&mut self, e: TlbEntry) {
         let slot = (e.vpn as usize) % TLB_SLOTS;
         self.entries[slot] = Some(e);
+        self.generation += 1;
     }
 }
 
@@ -137,7 +186,7 @@ impl Default for Tlb {
 /// violated (user access to supervisor page, write to read-only page —
 /// write protection is enforced in *both* modes, modeling a CR0.WP=1
 /// kernel, which Linux 2.4 relies on for COW).
-#[inline]
+#[inline(always)]
 pub fn translate(
     mem: &PhysMem,
     tlb: &mut Tlb,
@@ -152,18 +201,38 @@ pub fn translate(
     }
     let vpn = addr >> 12;
     let offset = addr & (PAGE_SIZE - 1);
-    let fault = |present: bool| PageFault { addr, present, write: access == Access::Write, user };
 
+    // The TLB-hit path is forced inline into every caller (it is a few
+    // compares on each data access and fetch — a call frame here is
+    // measurable interpreter overhead); the two-level walk is outlined
+    // so its body doesn't bloat those callers.
     if let Some(e) = tlb.lookup(vpn) {
         if user && !e.user {
-            return Err(fault(true));
+            return Err(PageFault { addr, present: true, write: access == Access::Write, user });
         }
         if access == Access::Write && !e.writable {
-            return Err(fault(true));
+            return Err(PageFault { addr, present: true, write: access == Access::Write, user });
         }
         return Ok((e.pfn << 12) | offset);
     }
+    translate_walk(mem, tlb, cr3, addr, access, user)
+}
 
+/// The two-level walk behind [`translate`]'s TLB miss (the miss is
+/// already counted by the failed lookup). Outlined: misses are rare and
+/// the walk's body would otherwise inflate every inlined hit path.
+#[inline(never)]
+fn translate_walk(
+    mem: &PhysMem,
+    tlb: &mut Tlb,
+    cr3: u32,
+    addr: u32,
+    access: Access,
+    user: bool,
+) -> Result<u32, PageFault> {
+    let offset = addr & (PAGE_SIZE - 1);
+    let vpn = addr >> 12;
+    let fault = |present: bool| PageFault { addr, present, write: access == Access::Write, user };
     let dir = addr >> 22;
     let table = (addr >> 12) & 0x3ff;
     let pde = mem.read_u32((cr3 & !0xfff).wrapping_add(dir * 4));

@@ -5,6 +5,11 @@
 //! must not force a re-bless. (The kfi-checker `pair_block_engine`
 //! config proves the same property in lockstep over generated kernels;
 //! these tests pin the targeted corner cases.)
+//!
+//! Block chaining defaults on, so every "engine on" machine below also
+//! exercises the chained dispatch path; the chain-specific tests at the
+//! bottom additionally pin chain accounting, chain breakage under
+//! bit flips, and the abort-flag latency bound with chaining engaged.
 
 use kfi_isa::Reg;
 use kfi_machine::{Machine, MachineConfig, RunExit};
@@ -32,8 +37,12 @@ fn assert_identical(on: &mut Machine, off: &mut Machine) {
     assert_eq!(on.console(), off.console());
 }
 
+// 4096 iterations: enough that the chained engine's capped traces
+// (which record *through* the back-edge, unrolling the loop) wrap
+// around and replay — a short loop would fit entirely inside a few
+// once-executed traces and never exercise the replay path.
 const LOOP_PROGRAM: &[u8] = &[
-    0xb9, 0x40, 0x00, 0x00, 0x00, // mov ecx, 64
+    0xb9, 0x00, 0x10, 0x00, 0x00, // mov ecx, 4096
     0x43, // loop: inc ebx
     0x43, // inc ebx
     0x49, // dec ecx
@@ -51,8 +60,8 @@ fn loop_is_identical_and_blocks_hit() {
     assert_eq!(off.run(100_000), RunExit::Halted);
     assert_identical(&mut on, &mut off);
     let (hits, misses, _) = on.block_stats();
-    assert!(hits >= 60, "63 back-edges should replay a cached block, got {hits}");
-    assert!(misses >= 1, "the first pass records the block");
+    assert!(hits >= 60, "the hot loop should replay cached traces, got {hits}");
+    assert!(misses >= 1, "the first pass records the trace");
     assert_eq!(off.block_stats(), (0, 0, 0), "a disabled engine counts nothing");
 }
 
@@ -163,8 +172,136 @@ fn restore_flushes_block_warmth() {
     assert_eq!(after.1 - before.1, misses1, "restore must flush cached blocks");
 }
 
+fn chain_cfg(code: &[u8], block_chain: bool) -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        phys_mem: 1 << 20,
+        timer_enabled: false,
+        block_engine: true,
+        block_chain,
+        ..Default::default()
+    });
+    m.mem.load(0x1000, code);
+    m.cpu.eip = 0x1000;
+    m.cpu.set_reg(4, 0x8000);
+    m
+}
+
+#[test]
+fn chaining_links_and_follows_on_a_hot_loop() {
+    let mut on = chain_cfg(LOOP_PROGRAM, true);
+    let mut off = chain_cfg(LOOP_PROGRAM, false);
+    assert_eq!(on.run(100_000), RunExit::Halted);
+    assert_eq!(off.run(100_000), RunExit::Halted);
+    assert_identical(&mut on, &mut off);
+    let (links, follows, _) = on.chain_stats();
+    assert!(links >= 1, "the loop back-edge must install a chain link, got {links}");
+    assert!(follows >= 50, "the hot back-edge should be followed, got {follows}");
+    assert_eq!(off.chain_stats(), (0, 0, 0), "chain off must count nothing");
+    assert!(off.block_stats().0 > 0, "chain off still replays blocks");
+}
+
+#[test]
+fn flip_into_chained_code_breaks_the_chain() {
+    // A chain break is only observable when a *fully valid* source
+    // trace traverses a standing link to a dead successor, so the loop
+    // body is sized to exactly one trace: 128 page-one instructions
+    // ending in `jmp 0x2000` (the trace cap splits recording right at
+    // the cross-page edge), with a 3-instruction tail on page two
+    // jumping back. The warm phase records the page-one body as one
+    // trace whose link points at the page-two head; flipping a byte on
+    // page two then kills the successor while the source stays valid,
+    // and re-entering at the source head must sever the link — not
+    // replay stale bytes.
+    let mut page1 = vec![
+        0xb9, 0x00, 0x04, 0x00, 0x00, // 0x1000: mov ecx, 1024
+        0x49, // 0x1005: dec ecx (loop head)
+        0x0f, 0x84, 0x82, 0x00, 0x00, 0x00, // 0x1006: jz 0x108e (exit)
+    ];
+    page1.extend(std::iter::repeat(0x90).take(125)); // 0x100c..0x1089: nops
+    page1.extend([0xe9, 0x72, 0x0f, 0x00, 0x00]); // 0x1089: jmp 0x2000
+    page1.extend([0xfa, 0xf4]); // 0x108e: cli; hlt
+    let page2: &[u8] = &[
+        0x43, // 0x2000: inc ebx
+        0x90, // 0x2001: nop
+        0xe9, 0xfe, 0xef, 0xff, 0xff, // 0x2002: jmp 0x1005
+    ];
+    let mut m = chain_cfg(&page1, true);
+    m.mem.load(0x2000, page2);
+    // 131 instructions per iteration and a 128-instruction cap are
+    // coprime, so trace heads rotate through every phase; warm long
+    // enough for the phase cycle to wrap twice so the loop-head trace
+    // exists and its cross-page link has been recorded and followed.
+    assert_eq!(m.run(60_000), RunExit::CycleLimit);
+    let (links_warm, follows_warm, breaks_0) = m.chain_stats();
+    assert!(links_warm > 0 && follows_warm > 0, "chain must be warm before the flip");
+    assert_eq!(breaks_0, 0);
+    // Kill page two (nop -> inc eax bumps the page generation), then
+    // force the next dispatch to enter at the loop-head trace, whose
+    // instructions all live on the untouched page one.
+    m.mem.write_u8(0x2001, 0x40);
+    m.cpu.eip = 0x1005;
+    m.cpu.set_reg(1, 2); // ecx: one more full iteration, then exit
+    assert_eq!(m.run(10_000), RunExit::Halted);
+    let (_, _, breaks) = m.chain_stats();
+    assert!(breaks >= 1, "the flip must sever at least one chain link, got {breaks}");
+}
+
+#[test]
+fn abort_flag_set_mid_run_reaps_a_chained_self_loop() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    // jmp .-0: with chaining on, the block chains to itself, so the
+    // run only ever returns because the chain-step quantum keeps the
+    // abort poll cadence bounded. A flag set *while* the machine spins
+    // must still end the run — the supervisor's wall-clock watchdog
+    // depends on it.
+    let mut m = chain_cfg(&[0xeb, 0xfe], true);
+    let flag = Arc::new(AtomicBool::new(false));
+    m.set_abort_flag(Some(flag.clone()));
+    let setter = {
+        let flag = flag.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            flag.store(true, Ordering::Relaxed);
+        })
+    };
+    // Returns only via the abort flag; a regression that lets a chain
+    // segment run unbounded would hang here (and trip the test timeout).
+    assert_eq!(m.run(u64::MAX / 2), RunExit::CycleLimit);
+    setter.join().unwrap();
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A bit flip landing mid-run — possibly inside already-chained hot
+    /// code — must leave execution bit-identical to single-stepping:
+    /// chained replay re-validates blocks on every followed edge, so a
+    /// dead successor breaks the chain instead of replaying stale bytes.
+    #[test]
+    fn midrun_flip_into_chained_code_converges_with_single_step(
+        byte_off in 0usize..12,
+        bit in 0u32..8,
+        pause in 20u64..400,
+    ) {
+        let mut on = machine_cfg(LOOP_PROGRAM, true, false);
+        let mut off = machine_cfg(LOOP_PROGRAM, false, false);
+        // Warm the chain, stopping both at the same boundary.
+        prop_assert_eq!(on.run(pause), off.run(pause));
+        prop_assert_eq!(on.cpu.tsc, off.cpu.tsc);
+        // Flip the same bit in both guests' code.
+        let addr = 0x1000 + byte_off as u32;
+        let v = on.mem.read_u8(addr) ^ (1 << bit);
+        on.mem.write_u8(addr, v);
+        off.mem.write_u8(addr, v);
+        prop_assert_eq!(on.run(100_000), off.run(100_000));
+        prop_assert_eq!(on.cpu.tsc, off.cpu.tsc);
+        prop_assert_eq!(on.snapshot(), off.snapshot());
+        prop_assert_eq!(on.counters(), off.counters());
+        prop_assert_eq!(on.decode_stats(), off.decode_stats());
+        prop_assert_eq!(on.tlb_stats(), off.tlb_stats());
+        prop_assert_eq!(on.console(), off.console());
+    }
 
     /// Random byte soup runs bit-identically block-at-a-time vs
     /// single-stepped — including the golden-pinned decode and TLB

@@ -131,6 +131,16 @@ pub struct Metrics {
     /// Block-cache entries killed by a write to their page (subset of
     /// block misses).
     pub block_invalidations: u64,
+    /// Block-exit chain links installed during measured runs. Like
+    /// `journal_flushes`, the chain counters are *excluded* from the
+    /// CSV/report surfaces: the golden CSV must stay byte-identical
+    /// whether block chaining is on or off.
+    pub block_chain_links: u64,
+    /// Block exits that followed an installed chain link.
+    pub block_chain_follows: u64,
+    /// Chain links severed because the successor block was gone
+    /// (evicted, invalidated, or re-pointed) at follow time.
+    pub block_chain_breaks: u64,
     /// Physical pages dirtied by measured runs — the copy footprint the
     /// dirty-page snapshot restore pays instead of full memory.
     pub dirty_pages: u64,
@@ -188,6 +198,9 @@ impl Metrics {
         self.block_hits += other.block_hits;
         self.block_misses += other.block_misses;
         self.block_invalidations += other.block_invalidations;
+        self.block_chain_links += other.block_chain_links;
+        self.block_chain_follows += other.block_chain_follows;
+        self.block_chain_breaks += other.block_chain_breaks;
         self.dirty_pages += other.dirty_pages;
         self.snapshot_restores += other.snapshot_restores;
         self.runs += other.runs;
@@ -241,6 +254,9 @@ impl Metrics {
         put_varint(out, self.block_hits);
         put_varint(out, self.block_misses);
         put_varint(out, self.block_invalidations);
+        put_varint(out, self.block_chain_links);
+        put_varint(out, self.block_chain_follows);
+        put_varint(out, self.block_chain_breaks);
         put_varint(out, self.dirty_pages);
         put_varint(out, self.snapshot_restores);
         put_varint(out, self.runs);
@@ -283,6 +299,9 @@ impl Metrics {
         m.block_hits = get_varint(buf, pos)?;
         m.block_misses = get_varint(buf, pos)?;
         m.block_invalidations = get_varint(buf, pos)?;
+        m.block_chain_links = get_varint(buf, pos)?;
+        m.block_chain_follows = get_varint(buf, pos)?;
+        m.block_chain_breaks = get_varint(buf, pos)?;
         m.dirty_pages = get_varint(buf, pos)?;
         m.snapshot_restores = get_varint(buf, pos)?;
         m.runs = get_varint(buf, pos)?;
@@ -362,6 +381,9 @@ mod tests {
         m.block_hits = 29;
         m.block_misses = 6;
         m.block_invalidations = 2;
+        m.block_chain_links = 17;
+        m.block_chain_follows = 900;
+        m.block_chain_breaks = 4;
         m.dirty_pages = 64;
         m.snapshot_restores = 3;
         m.runs = 4;
@@ -402,6 +424,8 @@ mod tests {
         a.decode_hits = 100;
         a.decode_invalidations = 1;
         a.block_hits = 50;
+        a.block_chain_links = 3;
+        a.block_chain_follows = 40;
         a.dirty_pages = 12;
         a.run_cycles.record(100);
         a.record_outcome(outcome::CRASH);
@@ -413,6 +437,8 @@ mod tests {
         b.decode_misses = 4;
         b.block_hits = 5;
         b.block_misses = 2;
+        b.block_chain_follows = 2;
+        b.block_chain_breaks = 1;
         b.dirty_pages = 3;
         b.run_cycles.record(90_000);
         b.record_outcome(outcome::HANG);
@@ -430,6 +456,9 @@ mod tests {
         assert_eq!(ab.decode_misses, 4);
         assert_eq!(ab.block_hits, 55);
         assert_eq!(ab.block_misses, 2);
+        assert_eq!(ab.block_chain_links, 3);
+        assert_eq!(ab.block_chain_follows, 42);
+        assert_eq!(ab.block_chain_breaks, 1);
         assert_eq!(ab.dirty_pages, 15);
         assert_eq!(ab.crash_latency_paper.total(), 1);
         assert_eq!(ab.crash_latency_paper.bucket(2), 1);
