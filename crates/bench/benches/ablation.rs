@@ -9,24 +9,30 @@ fn bench_ablation(c: &mut Criterion) {
     g.bench_function("assemble_kernel_with_assertions", |b| {
         b.iter(|| {
             criterion::black_box(
-                kfi_kernel::build_kernel(kfi_kernel::KernelBuildOptions { assertions: true })
-                    .unwrap()
-                    .program
-                    .text
-                    .bytes
-                    .len(),
+                kfi_kernel::build_kernel(kfi_kernel::KernelBuildOptions {
+                    assertions: true,
+                    ..Default::default()
+                })
+                .unwrap()
+                .program
+                .text
+                .bytes
+                .len(),
             )
         })
     });
     g.bench_function("assemble_kernel_no_assertions", |b| {
         b.iter(|| {
             criterion::black_box(
-                kfi_kernel::build_kernel(kfi_kernel::KernelBuildOptions { assertions: false })
-                    .unwrap()
-                    .program
-                    .text
-                    .bytes
-                    .len(),
+                kfi_kernel::build_kernel(kfi_kernel::KernelBuildOptions {
+                    assertions: false,
+                    ..Default::default()
+                })
+                .unwrap()
+                .program
+                .text
+                .bytes
+                .len(),
             )
         })
     });

@@ -1,10 +1,32 @@
 //! Regenerates every table and figure in one run and dumps the raw
 //! dataset (run records, then per-campaign execution metrics) as CSV
 //! on stdout when `--csv` is given.
+//!
+//! With `--matrix`, runs the campaign matrix (`kernel config ×
+//! workload × target subsystem`, axes selectable with
+//! `--matrix-kernels/--matrix-workloads/--matrix-subsystems`) instead:
+//! stdout carries the matrix CSV when `--csv` is given, and `--check`
+//! asserts the matrix invariants (non-empty cells, one record per
+//! planned target, traffic workloads activating their subsystems) with
+//! a nonzero exit on violation.
 
 fn main() {
     let opts = kfi_bench::ReproOptions::from_args();
     let csv = std::env::args().any(|a| a == "--csv");
+    if opts.matrix {
+        let m = kfi_bench::run_matrix(&opts);
+        if opts.check {
+            if let Err(e) = kfi_bench::check_matrix(&m) {
+                eprintln!("[kfi] matrix check FAILED: {e}");
+                std::process::exit(1);
+            }
+            eprintln!("[kfi] matrix check: all invariants hold");
+        }
+        if csv {
+            print!("{}", kfi_core::matrix_to_csv(&m));
+        }
+        return;
+    }
     let exp = kfi_bench::prepare(&opts);
     let (study, _report) = kfi_bench::run_study_supervised(&exp, &opts.supervisor_config());
     println!(

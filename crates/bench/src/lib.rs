@@ -49,6 +49,21 @@ pub struct ReproOptions {
     /// The dataset is bit-identical either way; the flag exists so CI
     /// can prove exactly that.
     pub no_memo: bool,
+    /// Run the campaign matrix (`kernel × workload × subsystem`)
+    /// instead of the paper's three campaigns (`--matrix`).
+    pub matrix: bool,
+    /// Matrix kernel axis as a comma list of `base`/`server`
+    /// (`--matrix-kernels`); `None` = both.
+    pub matrix_kernels: Option<String>,
+    /// Matrix workload axis as a comma list of traffic workloads
+    /// (`--matrix-workloads`); `None` = all four.
+    pub matrix_workloads: Option<String>,
+    /// Matrix subsystem axis as a comma list (`--matrix-subsystems`);
+    /// `None` = `ipc,net`.
+    pub matrix_subsystems: Option<String>,
+    /// Assert the matrix invariants after the run and fail nonzero on
+    /// violation (`--check`) — the CI smoke hook.
+    pub check: bool,
 }
 
 impl Default for ReproOptions {
@@ -65,6 +80,11 @@ impl Default for ReproOptions {
             wall_budget_ms: None,
             inject_panic: PanicInjection::None,
             no_memo: false,
+            matrix: false,
+            matrix_kernels: None,
+            matrix_workloads: None,
+            matrix_subsystems: None,
+            check: false,
         }
     }
 }
@@ -77,8 +97,11 @@ impl ReproOptions {
     /// Parses `--full`, `--cap N`, `--seed N`, `--threads N`,
     /// `--no-assertions`, `--journal PATH`, `--resume`,
     /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N`,
-    /// `--no-memo` and the test-only `--inject-panic I,J,...` /
-    /// `--inject-panic-persistent I,J,...` from the process arguments.
+    /// `--no-memo`, the matrix flags (`--matrix`,
+    /// `--matrix-kernels LIST`, `--matrix-workloads LIST`,
+    /// `--matrix-subsystems LIST`, `--check`) and the test-only
+    /// `--inject-panic I,J,...` / `--inject-panic-persistent I,J,...`
+    /// from the process arguments.
     pub fn from_args() -> ReproOptions {
         let mut o = ReproOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -110,6 +133,20 @@ impl ReproOptions {
                 }
                 "--sanitize" => o.sanitize = true,
                 "--no-memo" => o.no_memo = true,
+                "--matrix" => o.matrix = true,
+                "--matrix-kernels" => {
+                    i += 1;
+                    o.matrix_kernels = args.get(i).cloned();
+                }
+                "--matrix-workloads" => {
+                    i += 1;
+                    o.matrix_workloads = args.get(i).cloned();
+                }
+                "--matrix-subsystems" => {
+                    i += 1;
+                    o.matrix_subsystems = args.get(i).cloned();
+                }
+                "--check" => o.check = true,
                 "--wall-budget-ms" => {
                     i += 1;
                     o.wall_budget_ms = args.get(i).and_then(|v| v.parse().ok());
@@ -140,11 +177,60 @@ impl ReproOptions {
             seed: self.seed,
             max_per_function: self.cap,
             threads: self.threads,
-            kernel: KernelBuildOptions { assertions: !self.no_assertions },
+            kernel: KernelBuildOptions { assertions: !self.no_assertions, ..Default::default() },
             profiler: ProfilerConfig::default(),
             rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
             memoize: !self.no_memo,
             ..Default::default()
+        }
+    }
+
+    /// Converts to a campaign-matrix configuration. `--journal PATH` is
+    /// reused as the per-cell journal *directory* in matrix mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown `--matrix-kernels` name (only `base` and
+    /// `server` kernels exist).
+    pub fn matrix_config(&self) -> kfi_core::MatrixConfig {
+        let list = |s: &Option<String>| -> Option<Vec<String>> {
+            s.as_ref().map(|v| {
+                v.split(',').map(|w| w.trim().to_string()).filter(|w| !w.is_empty()).collect()
+            })
+        };
+        let defaults = kfi_core::MatrixConfig::default();
+        let kernel_names = list(&self.matrix_kernels)
+            .unwrap_or_else(|| defaults.kernels.iter().map(|(n, _)| n.clone()).collect());
+        let kernels = kernel_names
+            .into_iter()
+            .map(|n| {
+                let opts = match n.as_str() {
+                    "base" => {
+                        KernelBuildOptions { assertions: !self.no_assertions, ..Default::default() }
+                    }
+                    "server" => KernelBuildOptions {
+                        assertions: !self.no_assertions,
+                        server: true,
+                        ..Default::default()
+                    },
+                    other => panic!("unknown matrix kernel `{other}` (expected base|server)"),
+                };
+                (n, opts)
+            })
+            .collect();
+        kfi_core::MatrixConfig {
+            kernels,
+            workloads: list(&self.matrix_workloads).unwrap_or(defaults.workloads),
+            subsystems: list(&self.matrix_subsystems).unwrap_or(defaults.subsystems),
+            seed: self.seed,
+            threads: self.threads,
+            max_per_function: self.cap,
+            max_per_cell: None,
+            profiler: ProfilerConfig::default(),
+            rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
+            suite: kfi_workloads::Suite::Traffic,
+            journal_dir: self.journal.clone(),
+            resume: self.resume,
         }
     }
 
@@ -268,6 +354,88 @@ pub fn csv_dataset(study: &StudyResult) -> String {
         kfi_core::to_csv(&rows),
         kfi_core::metrics_to_csv(study.campaigns.iter().map(|(c, r)| (*c, &r.metrics)))
     )
+}
+
+/// Runs the campaign matrix, printing per-cell progress on stderr.
+///
+/// # Panics
+///
+/// Panics when a kernel variant fails to build, a workload does not
+/// resolve in the traffic suite, or a cell journal is unusable.
+pub fn run_matrix(opts: &ReproOptions) -> kfi_core::MatrixResult {
+    let cfg = opts.matrix_config();
+    eprintln!(
+        "[kfi] matrix: {} kernels x {} workloads x {} subsystems (cap {:?}, {} threads)...",
+        cfg.kernels.len(),
+        cfg.workloads.len(),
+        cfg.subsystems.len(),
+        cfg.max_per_function,
+        cfg.threads
+    );
+    let m = kfi_core::run_matrix(&cfg).expect("matrix runs");
+    for c in &m.cells {
+        let t = c.result.total();
+        eprintln!(
+            "[kfi] cell {}: {} runs, {} activated, {} crash/hang{}",
+            c.cell.key(),
+            c.result.metrics.runs,
+            t.activated,
+            t.crash_or_hang(),
+            if c.report.resumed_runs > 0 {
+                format!(" ({} resumed)", c.report.resumed_runs)
+            } else {
+                String::new()
+            }
+        );
+    }
+    m
+}
+
+/// The `--check` invariants for a matrix dataset:
+///
+/// * the grid is non-empty and every cell planned at least one
+///   injection (an empty cell means the subsystem tag or workload
+///   wiring broke);
+/// * every cell's merged metrics count exactly its plan size — one
+///   record per planned target, nothing dropped or duplicated;
+/// * the traffic workloads actually drive the handlers they exist to
+///   drive: any `server` cell pairing `echo` with `ipc` or `netstorm`
+///   with `net` must contain an activated injection.
+///
+/// # Errors
+///
+/// A description of the first violated invariant.
+pub fn check_matrix(m: &kfi_core::MatrixResult) -> Result<(), String> {
+    if m.cells.is_empty() {
+        return Err("matrix has no cells".into());
+    }
+    for c in &m.cells {
+        let key = c.cell.key();
+        if c.result.records.is_empty() {
+            return Err(format!("cell {key} planned no injections"));
+        }
+        if c.result.metrics.runs != c.result.records.len() as u64 {
+            return Err(format!(
+                "cell {key}: {} metrics runs != {} records",
+                c.result.metrics.runs,
+                c.result.records.len()
+            ));
+        }
+    }
+    for (w, s) in [("echo", "ipc"), ("netstorm", "net")] {
+        for c in &m.cells {
+            if c.cell.kernel != "server" || c.cell.workload != w || c.cell.subsystem != s {
+                continue;
+            }
+            if !c.result.records.iter().any(|r| r.outcome != Outcome::NotActivated) {
+                return Err(format!(
+                    "cell {}: no activated injection — {w} is not driving {s}",
+                    c.cell.key()
+                ));
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Runs all three campaigns, printing progress.

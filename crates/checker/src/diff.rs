@@ -2,9 +2,10 @@
 //!
 //! Two machines running the same [`GenProgram`]
 //! under configurations that must be observationally equivalent (decode
-//! cache on/off, block engine vs single-step, ring/null trace sink,
-//! snapshot-restore vs fresh boot, shared-snapshot fork vs fresh boot)
-//! are stepped together; their [`StepEvent`]s are compared after every
+//! cache on/off, block engine vs single-step, block chaining on/off,
+//! ring/null trace sink, snapshot-restore vs fresh boot, shared-snapshot
+//! fork vs fresh boot, full pipeline vs bare interpreter across
+//! user/kernel ring transitions) are stepped together; their [`StepEvent`]s are compared after every
 //! step and the full architectural state — registers, flags, control
 //! registers, TSC, console, monitor, trap history, counters, and an
 //! FNV-1a digest of all of physical memory — at checkpoints and at
@@ -537,6 +538,95 @@ pub fn pair_fork(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
     PairOutcome { steps: second, divergence, violations }
 }
 
+/// Pair: the full execution pipeline (decode cache + block engine +
+/// block chaining) vs the bare single-step interpreter, on a
+/// *ring-transition* program from
+/// [`generate_ring`](crate::gen::generate_ring): `int $0x80` through a
+/// user-callable IDT gate, the TSS.esp0 kernel-stack switch, `iret`
+/// back to ring 3, and asynchronous timer interrupts of user code — the
+/// transitions every campaign run crosses thousands of times, under the
+/// exact machinery stack campaigns run with.
+///
+/// The bare side single-steps as the reference, recording the TSC at
+/// the pre-flip boundary and at termination; the full side is driven by
+/// [`Machine::run`] against those TSCs (instruction-boundary TSCs are
+/// bit-identical across execution modes — and trap delivery costs are
+/// charged at instruction boundaries too). Decode-cache statistics are
+/// masked (the bare side has no cache); TLB statistics must still
+/// match, gate crossings and CR3-rooted walks included.
+///
+/// Both sides force the sanitizer off, as in [`pair_block_engine`].
+pub fn pair_ring(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let bare = MachineConfig {
+        decode_cache: false,
+        block_engine: false,
+        block_chain: false,
+        sanitizer: false,
+        ..base
+    };
+    let full = MachineConfig {
+        decode_cache: true,
+        block_engine: true,
+        block_chain: true,
+        sanitizer: false,
+        ..base
+    };
+
+    // Reference pass: single-step, recording where the flip lands.
+    let mut b = install(prog, bare);
+    let mut flip_tsc = None;
+    let mut step = 0u64;
+    let terminated = loop {
+        if let Some(f) = prog.mid_flip.filter(|f| f.step == step) {
+            flip_tsc = Some(b.cpu.tsc);
+            apply_mid_flip(&mut b, &f);
+        }
+        let ev = b.step();
+        step += 1;
+        if terminal(ev) {
+            break true;
+        }
+        if step >= MAX_STEPS {
+            break false;
+        }
+    };
+    let end_tsc = b.cpu.tsc;
+
+    // Full-pipeline pass: run to the recorded TSCs.
+    let mut a = install(prog, full);
+    if let Some(f) = prog.mid_flip {
+        if let Some(t) = flip_tsc {
+            a.run(t - a.cpu.tsc);
+            apply_mid_flip(&mut a, &f);
+        }
+    }
+    if terminated {
+        a.run(end_tsc.saturating_sub(a.cpu.tsc).saturating_add(100_000));
+    } else {
+        a.run(end_tsc - a.cpu.tsc);
+    }
+
+    let mask = StateMask { decode_stats: false, tlb_stats: true };
+    let sa = ArchState::capture(&a, &mask);
+    let sb = ArchState::capture(&b, &mask);
+    let divergence = if sa != sb {
+        Some(Divergence {
+            step,
+            detail: format!(
+                "full-pipeline state != single-step state across ring transitions:\n    {}",
+                sa.diff(&sb).join("\n    ")
+            ),
+            context: disasm_context(&mut a),
+        })
+    } else {
+        None
+    };
+    let mut violations = Vec::new();
+    collect_violations("a", &a, &mut violations);
+    collect_violations("b", &b, &mut violations);
+    PairOutcome { steps: step, divergence, violations }
+}
+
 fn run_to_end(m: &mut Machine, prog: &GenProgram) -> u64 {
     let mut step = 0u64;
     loop {
@@ -587,10 +677,11 @@ mod tests {
     }
 
     #[test]
-    fn all_six_machine_pairs_agree_on_a_sample() {
+    fn all_seven_machine_pairs_agree_on_a_sample() {
         for seed in [0, 1, 2, 5] {
             for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
                 let prog = generate(seed, variant);
+                let ring = crate::gen::generate_ring(seed, variant);
                 for (name, out) in [
                     ("decode-cache", pair_decode_cache(&prog, base())),
                     ("block-engine", pair_block_engine(&prog, base())),
@@ -598,10 +689,31 @@ mod tests {
                     ("trace-sink", pair_trace_sink(&prog, base())),
                     ("restore", pair_restore(&prog, base())),
                     ("fork", pair_fork(&prog, base())),
+                    ("ring", pair_ring(&ring, base())),
                 ] {
                     assert!(out.clean(), "seed {seed} {variant:?} pair {name} failed:\n{:#?}", out);
                 }
             }
+        }
+    }
+
+    #[test]
+    fn lockstep_detects_a_seeded_ring_switch_bug() {
+        // A machine that skips the TSS.esp0 switch writes interrupt
+        // frames to the *user* stack; lockstep against a correct
+        // machine must catch the difference (the memory digest sees
+        // the frame bytes land on the wrong page even when registers
+        // happen to reconverge).
+        let cfg = MachineConfig::default();
+        for seed in [0u64, 1, 2] {
+            let prog = crate::gen::generate_ring(seed, Variant::Clean);
+            let mut a = install(&prog, cfg);
+            let mut b = install(&prog, MachineConfig { ring_switch_bug: true, ..cfg });
+            let out = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+            assert!(
+                out.divergence.is_some(),
+                "seed {seed}: ring pair MISSED the seeded stack-switch bug"
+            );
         }
     }
 

@@ -25,12 +25,34 @@
 //! can never rewrite live translations (which would make the MMU
 //! sanitizer's re-walk disagree with the TLB by design — see
 //! [`kfi_machine::sanitizer`]).
+//!
+//! [`generate_ring`] builds the *two-ring* extension of this
+//! environment: the generated code runs at ring 3 on user-mapped pages
+//! and crosses into ring 0 through a user-callable `int $0x80` IDT
+//! gate (and asynchronously through the timer vector), with a seeded
+//! kernel-side handler counting the program down to a halt. Extra
+//! kernel regions:
+//!
+//! | region                   | address    |
+//! |--------------------------|------------|
+//! | syscall handler (ring 0) | `0x6100`   |
+//! | timer handler (`iret`)   | `0x6180`   |
+//! | springboard (boot entry) | `0x6200`   |
+//! | kernel scratch word      | `0x6FE0`   |
+//! | syscall countdown        | `0x6FF0`   |
+//! | user stack top           | `0xE000`   |
+//!
+//! Only the user code pages (`0x1000..0x3000`), the user stack page,
+//! and the data region carry the PTE user bit; the handlers, IDT, and
+//! kernel stack are supervisor-only, so the environment exercises the
+//! real privilege checks (user fetches of kernel pages fault, `int`
+//! DPL gating, the TSS.esp0 stack switch) rather than a flat machine.
 
 use kfi_isa::{
-    encode, AluKind, BtKind, Grp3Kind, MemRef, Op, PortArg, Reg, Rm, ShiftCount, ShiftKind, Src,
-    Width, ALL_CONDS,
+    encode, AluKind, BtKind, Cond, Grp3Kind, MemRef, Op, PortArg, Reg, Rm, ShiftCount, ShiftKind,
+    Src, Width, ALL_CONDS,
 };
-use kfi_machine::{pte, Machine, MachineConfig, CR0_PG};
+use kfi_machine::{pte, Machine, MachineConfig, CR0_PG, USER_CS};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -57,6 +79,25 @@ const MAPPED_TOP: u32 = 0x4_0000;
 /// Generated code never exceeds this many bytes.
 const MAX_CODE: usize = 0x1800;
 
+/// Ring-program syscall handler entry (ring 0).
+pub const RING_HANDLER: u32 = 0x6100;
+/// Ring-program timer handler (a bare `iret`, so the timer interrupts
+/// ring 3 and resumes it — the asynchronous transition path).
+pub const RING_TIMER_HANDLER: u32 = 0x6180;
+/// Ring-program boot springboard: ring 0 code building an `iret` frame
+/// that drops to ring 3 at [`CODE_BASE`].
+pub const RING_ENTRY: u32 = 0x6200;
+/// Kernel scratch word mutated by the handler's seeded burst.
+pub const KERNEL_SCRATCH: u32 = 0x6FE0;
+/// Syscall countdown cell; the handler halts the machine when it hits
+/// zero instead of `iret`ing back to ring 3.
+pub const SYSCALL_COUNTER: u32 = 0x6FF0;
+/// Initial ring-3 ESP (its page is user-mapped; the kernel stack under
+/// [`STACK_TOP`] is not).
+pub const USER_STACK_TOP: u32 = 0xE000;
+/// Exclusive top of the user-executable code window.
+const USER_CODE_TOP: u32 = 0x3000;
+
 /// A deferred single-bit corruption applied while the program runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MidFlip {
@@ -79,6 +120,21 @@ pub enum Variant {
     MidRunFlip,
 }
 
+/// The kernel half of a two-ring program (see [`generate_ring`]).
+#[derive(Debug, Clone)]
+pub struct RingSetup {
+    /// Syscall-handler code, loaded at [`RING_HANDLER`]: a seeded
+    /// kernel burst, the countdown decrement, then `iret` or halt.
+    pub handler: Vec<u8>,
+    /// Springboard code, loaded at [`RING_ENTRY`] and run first: builds
+    /// an `iret` frame and drops to ring 3 at [`CODE_BASE`].
+    pub entry: Vec<u8>,
+    /// Initial value of the [`SYSCALL_COUNTER`] countdown — the number
+    /// of `int $0x80` round trips a clean run performs before the
+    /// handler halts.
+    pub syscalls: u32,
+}
+
 /// A generated program plus the machine state it expects.
 #[derive(Debug, Clone)]
 pub struct GenProgram {
@@ -94,6 +150,10 @@ pub struct GenProgram {
     pub regs: [u32; 8],
     /// Mid-run corruption, if any.
     pub mid_flip: Option<MidFlip>,
+    /// Ring-transition environment; `Some` makes [`install`] set up the
+    /// user/kernel split and start at the springboard, and [`GenProgram
+    /// ::code`] then runs at ring 3.
+    pub ring: Option<RingSetup>,
 }
 
 /// Generates the program for `seed`. The paging variant is chosen by
@@ -171,7 +231,133 @@ pub fn generate(seed: u64, variant: Variant) -> GenProgram {
         _ => None,
     };
 
-    GenProgram { seed, paging, code, data, regs, mid_flip }
+    GenProgram { seed, paging, code, data, regs, mid_flip, ring: None }
+}
+
+/// Generates the two-ring variant for `seed`: bursts of unprivileged
+/// random instructions at ring 3 punctuated by `int $0x80` gate
+/// crossings, a seeded ring-0 handler that mutates kernel state and
+/// counts the program down to a halt, and (on some seeds) a countdown
+/// loop long enough that the timer interrupts ring 3 asynchronously.
+/// Paging is always on — the privilege checks live in the page tables
+/// and the IDT, so a flat variant would be vacuous. Corruption variants
+/// flip bits in the *user* code, as [`generate`] does.
+pub fn generate_ring(seed: u64, variant: Variant) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b66_692d_7269_6e67);
+    let rounds = rng.gen_range(3u32..9);
+    let long_round = if rng.gen_bool(0.35) { Some(rng.gen_range(0u32..rounds)) } else { None };
+
+    let mut code: Vec<u8> = Vec::new();
+    for round in 0..rounds {
+        if Some(round) == long_round {
+            // Long enough that at least one 50 000-cycle timer period
+            // elapses at ring 3: the timer vector's bare-iret handler
+            // gets exercised from an arbitrary user EIP.
+            let k = rng.gen_range(40_000u32..60_000);
+            code.extend_from_slice(
+                &encode(&Op::Mov { width: Width::D, dst: Rm::reg(Reg::Ecx), src: Src::Imm(k) })
+                    .expect("mov imm"),
+            );
+            code.extend_from_slice(&[0x49, 0x75, 0xfd]); // dec %ecx; jne .-1
+        }
+        for _ in 0..rng.gen_range(2usize..9) {
+            if code.len() >= MAX_CODE - 64 {
+                break;
+            }
+            let bytes = random_user_insn(&mut rng);
+            if bytes.len() <= 127 && rng.gen_bool(0.15) {
+                let cond = ALL_CONDS[rng.gen_range(0usize..16)];
+                code.extend_from_slice(
+                    &encode(&Op::Jcc { cond, rel: bytes.len() as i32 }).expect("short jcc"),
+                );
+            }
+            code.extend_from_slice(&bytes);
+        }
+        code.extend_from_slice(&[0xcd, 0x80]); // int $0x80
+    }
+    // Unreachable on clean runs (the handler halts on the last int);
+    // if corruption skips an int, user cli is #GP -> terminal handler.
+    code.extend_from_slice(&[0xfa, 0xf4]);
+
+    let mut data = vec![0u8; DATA_LEN as usize];
+    for b in data.iter_mut() {
+        *b = rng.gen_range(0u32..256) as u8;
+    }
+    let mut regs = [0u32; 8];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = match i {
+            4 => STACK_TOP,
+            5 | 6 | 7 => DATA_BASE + (rng.gen_range(0u32..0x8000) & !3),
+            _ => rng.gen_range(0u32..0x1_0000),
+        };
+    }
+
+    // Ring-0 handler: seeded burst on a kernel word, countdown, iret.
+    let mut handler: Vec<u8> = Vec::new();
+    for _ in 0..rng.gen_range(1usize..4) {
+        let kind =
+            [AluKind::Add, AluKind::Xor, AluKind::Sub, AluKind::Or][rng.gen_range(0usize..4)];
+        handler.extend_from_slice(
+            &encode(&Op::Alu {
+                kind,
+                width: Width::D,
+                dst: Rm::Mem(MemRef::abs(KERNEL_SCRATCH)),
+                src: Src::Imm(imm(&mut rng)),
+            })
+            .expect("kernel burst"),
+        );
+    }
+    handler.extend_from_slice(
+        &encode(&Op::IncDec {
+            inc: false,
+            width: Width::D,
+            rm: Rm::Mem(MemRef::abs(SYSCALL_COUNTER)),
+        })
+        .expect("dec counter"),
+    );
+    handler.extend_from_slice(&encode(&Op::Jcc { cond: Cond::E, rel: 1 }).expect("je over iret"));
+    handler.extend_from_slice(&encode(&Op::Iret).expect("iret"));
+    handler.extend_from_slice(&[0xfa, 0xf4]); // countdown done: cli; hlt
+    assert!(handler.len() <= (RING_TIMER_HANDLER - RING_HANDLER) as usize);
+
+    // Springboard: push an iret frame (user ESP, EFLAGS with IF, user
+    // CS, user EIP) and drop to ring 3.
+    let mut entry: Vec<u8> = Vec::new();
+    for v in [USER_STACK_TOP, 0x202, USER_CS, CODE_BASE] {
+        entry.extend_from_slice(&encode(&Op::Push(Src::Imm(v))).expect("push imm"));
+    }
+    entry.extend_from_slice(&encode(&Op::Iret).expect("iret"));
+
+    let code_len = code.len() as u32;
+    match variant {
+        Variant::Clean => {}
+        Variant::PreFlip => {
+            for _ in 0..rng.gen_range(1u32..4) {
+                let off = rng.gen_range(0u32..code_len);
+                let bit = rng.gen_range(0u32..8) as u8;
+                code[off as usize] ^= 1 << bit;
+            }
+        }
+        Variant::MidRunFlip => {}
+    }
+    let mid_flip = match variant {
+        Variant::MidRunFlip => Some(MidFlip {
+            step: rng.gen_range(4u64..48),
+            offset: rng.gen_range(0u32..code_len),
+            bit: rng.gen_range(0u32..8) as u8,
+        }),
+        _ => None,
+    };
+
+    GenProgram {
+        seed,
+        paging: true,
+        code,
+        data,
+        regs,
+        mid_flip,
+        ring: Some(RingSetup { handler, entry, syscalls: rounds }),
+    }
 }
 
 /// Installs `prog` into a fresh machine built from `config` (with
@@ -193,13 +379,36 @@ pub fn install(prog: &GenProgram, mut config: MachineConfig) -> Machine {
     m.cpu.idt_base = IDT_BASE;
     m.cpu.esp0 = STACK_TOP;
 
+    if let Some(ring) = &prog.ring {
+        m.mem.load(RING_HANDLER, &ring.handler);
+        m.mem.load(RING_TIMER_HANDLER, &[0xcf]); // timer: bare iret
+        m.mem.load(RING_ENTRY, &ring.entry);
+        m.mem.write_u32(SYSCALL_COUNTER, ring.syscalls);
+        // The syscall gate is user-callable (DPL 3); the timer gate is
+        // hardware-delivered, so it stays supervisor-only.
+        m.mem.write_u32(IDT_BASE + 0x80 * 8, RING_HANDLER);
+        m.mem.write_u32(IDT_BASE + 0x80 * 8 + 4, 3); // present | user
+        m.mem.write_u32(IDT_BASE + 0x20 * 8, RING_TIMER_HANDLER);
+        m.cpu.eip = RING_ENTRY;
+    }
+
     if prog.paging {
         // One page table identity-mapping the low window; everything
-        // else (including the table pages themselves) is unmapped.
-        m.mem.write_u32(PAGE_DIR, PAGE_TABLE | pte::P | pte::RW);
+        // else (including the table pages themselves) is unmapped. In
+        // the two-ring environment the user bit is set on exactly the
+        // user code pages, the user stack page, and the data region —
+        // both PDE and PTE must carry it for ring-3 access.
+        let ring = prog.ring.is_some();
+        let dir_us = if ring { pte::US } else { 0 };
+        m.mem.write_u32(PAGE_DIR, PAGE_TABLE | pte::P | pte::RW | dir_us);
         for page in 0..(MAPPED_TOP / kfi_machine::PAGE_SIZE) {
             let pa = page * kfi_machine::PAGE_SIZE;
-            m.mem.write_u32(PAGE_TABLE + page * 4, pa | pte::P | pte::RW);
+            let user_page = ring
+                && ((CODE_BASE..USER_CODE_TOP).contains(&pa)
+                    || (USER_STACK_TOP - kfi_machine::PAGE_SIZE..USER_STACK_TOP).contains(&pa)
+                    || pa >= DATA_BASE);
+            let us = if user_page { pte::US } else { 0 };
+            m.mem.write_u32(PAGE_TABLE + page * 4, pa | pte::P | pte::RW | us);
         }
         m.cpu.cr3 = PAGE_DIR;
         m.cpu.cr0 |= CR0_PG;
@@ -221,6 +430,24 @@ pub fn apply_mid_flip(m: &mut Machine, flip: &MidFlip) {
 fn random_insn(rng: &mut StdRng) -> Vec<u8> {
     loop {
         if let Ok(bytes) = encode(&random_op(rng)) {
+            return bytes;
+        }
+    }
+}
+
+/// Like [`random_insn`] but unprivileged-only, for ring-3 bursts:
+/// privileged picks would #GP into the terminal handler on the first
+/// instruction and the program would never reach its gate crossings.
+/// (Wild memory operands still page-fault terminally sometimes — that
+/// asymmetric ending is itself coverage, and both machines of a pair
+/// must agree on it.)
+fn random_user_insn(rng: &mut StdRng) -> Vec<u8> {
+    loop {
+        let op = random_op(rng);
+        if matches!(op, Op::Out { .. } | Op::MovToCr { .. } | Op::MovFromCr { .. }) {
+            continue;
+        }
+        if let Ok(bytes) = encode(&op) {
             return bytes;
         }
     }
@@ -464,6 +691,60 @@ mod tests {
             assert!(
                 matches!(exit, RunExit::Halted | RunExit::TripleFault),
                 "flipped seed {seed} did not terminate: {exit:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ring_generation_is_deterministic() {
+        for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
+            let a = generate_ring(7, variant);
+            let b = generate_ring(7, variant);
+            assert_eq!(a.code, b.code);
+            assert_eq!(a.ring.as_ref().unwrap().handler, b.ring.as_ref().unwrap().handler);
+            assert_eq!(a.ring.as_ref().unwrap().syscalls, b.ring.as_ref().unwrap().syscalls);
+            assert_eq!(a.mid_flip, b.mid_flip);
+        }
+        assert_ne!(
+            generate_ring(7, Variant::Clean).code,
+            generate_ring(8, Variant::Clean).code,
+            "different seeds must differ"
+        );
+    }
+
+    #[test]
+    fn ring_programs_cross_rings_and_terminate() {
+        let mut total_syscalls = 0u64;
+        let mut total_timer = 0u64;
+        for seed in 0..16 {
+            let prog = generate_ring(seed, Variant::Clean);
+            let mut m = install(&prog, MachineConfig::default());
+            let exit = m.run(2_000_000);
+            assert_eq!(exit, RunExit::Halted, "ring seed {seed} did not halt: {exit:?}");
+            // Every clean ring program must leave ring 0 at least once:
+            // either it comes back in through the syscall gate or a
+            // wild user access faults terminally — both are user-mode
+            // deliveries.
+            assert!(
+                m.counters().syscalls > 0 || m.counters().faults > 0,
+                "ring seed {seed} never left ring 0"
+            );
+            total_syscalls += m.counters().syscalls;
+            total_timer += m.counters().timer_irqs;
+        }
+        assert!(total_syscalls > 0, "no seed crossed the int $0x80 gate");
+        assert!(total_timer > 0, "no seed was interrupted asynchronously at ring 3");
+    }
+
+    #[test]
+    fn flipped_ring_programs_terminate() {
+        for seed in 0..16 {
+            let prog = generate_ring(seed, Variant::PreFlip);
+            let mut m = install(&prog, MachineConfig::default());
+            let exit = m.run(2_000_000);
+            assert!(
+                matches!(exit, RunExit::Halted | RunExit::TripleFault),
+                "flipped ring seed {seed} did not terminate: {exit:?}"
             );
         }
     }

@@ -8,13 +8,18 @@
 //!
 //! * a **seeded random program generator** ([`gen`]) over the
 //!   [`kfi_isa`] subset, emitting valid *and* bit-flipped instruction
-//!   streams (the same corruption model the injector uses);
+//!   streams (the same corruption model the injector uses) — including
+//!   a **two-ring variant** ([`gen::generate_ring`]) whose programs run
+//!   at ring 3 under paging and cross into ring 0 through a
+//!   user-callable `int $0x80` IDT gate and asynchronous timer
+//!   interrupts;
 //! * a **lockstep differential executor** ([`diff`]) running each
 //!   program under paired configurations that must agree — decode
 //!   cache on/off, basic-block engine vs single-step, block chaining
 //!   on vs off, ring/null trace sink, snapshot-restore vs fresh boot,
-//!   shared-snapshot copy-on-write fork vs fresh boot — and, at the
-//!   campaign level,
+//!   shared-snapshot copy-on-write fork vs fresh boot, the full
+//!   pipeline vs the bare interpreter across ring transitions
+//!   ([`diff::pair_ring`]) — and, at the campaign level,
 //!   1 vs N workers — comparing the full architectural state and
 //!   reporting the first divergence with disassembly context;
 //! * the machine's per-step **architectural-state sanitizer**
@@ -30,10 +35,11 @@
 //!   that comparison vacuous.
 //!
 //! The `check_machine` binary drives a bounded deterministic seed sweep
-//! suitable for CI, plus a self-test that injects a known flag-update
-//! bug (behind a test-only [`MachineConfig`](kfi_machine::MachineConfig)
-//! hook) and asserts the sanitizer catches it — proof the net has no
-//! hole where it matters.
+//! suitable for CI, plus two self-tests that seed known bugs behind
+//! test-only [`MachineConfig`](kfi_machine::MachineConfig) hooks — a
+//! broken ALU flag writer the sanitizer must catch, and a skipped
+//! TSS.esp0 stack switch the ring-transition lockstep must catch —
+//! proof the net has no hole where it matters.
 //!
 //! # Examples
 //!
@@ -55,7 +61,7 @@ pub mod diff;
 pub mod gen;
 
 pub use diff::{
-    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_trace_sink,
-    run_lockstep, ArchState, Divergence, PairOutcome, StateMask,
+    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_ring,
+    pair_trace_sink, run_lockstep, ArchState, Divergence, PairOutcome, StateMask,
 };
-pub use gen::{generate, install, GenProgram, MidFlip, Variant};
+pub use gen::{generate, generate_ring, install, GenProgram, MidFlip, RingSetup, Variant};

@@ -32,6 +32,12 @@ pub struct ExperimentConfig {
     pub profiler: ProfilerConfig,
     /// Rig settings.
     pub rig: RigConfig,
+    /// Workload suite driving the guest: the paper's eight UnixBench
+    /// analogs (default — the golden-corpus configuration) or the
+    /// traffic-shaped extension ([`kfi_workloads::Suite::Traffic`]).
+    /// Selects the filesystem contents, the profiled workload list, and
+    /// the number of golden run modes.
+    pub suite: kfi_workloads::Suite,
     /// Whether workers share one post-boot snapshot and one memoized
     /// set of golden runs ([`kfi_injector::RigShared`]) instead of each
     /// booting and re-running the goldens privately. Default `true`;
@@ -50,6 +56,7 @@ impl Default for ExperimentConfig {
             kernel: KernelBuildOptions::default(),
             profiler: ProfilerConfig::default(),
             rig: RigConfig::default(),
+            suite: kfi_workloads::Suite::Paper,
             memoize: true,
         }
     }
@@ -115,8 +122,9 @@ impl Experiment {
     /// assemble (programming error in the guest sources).
     pub fn prepare(config: ExperimentConfig) -> Result<Experiment, String> {
         let image = build_kernel(config.kernel).map_err(|e| e.to_string())?;
-        let files = kfi_workloads::suite_files().map_err(|e| e.to_string())?;
-        let profile = profile(&image, &files, kfi_workloads::WORKLOADS, &config.profiler);
+        let files = config.suite.files().map_err(|e| e.to_string())?;
+        let workloads = config.suite.workloads();
+        let profile = profile(&image, &files, &workloads, &config.profiler);
         let target_functions: Vec<String> = profile
             .top_covering(config.top_fraction)
             .into_iter()
@@ -226,7 +234,7 @@ impl Experiment {
             InjectorRig::new(
                 self.image.clone(),
                 &self.files,
-                kfi_workloads::WORKLOADS.len() as u32,
+                self.config.suite.n_modes(),
                 self.config.rig,
             )
             .map_err(|e| e.to_string())
@@ -246,7 +254,7 @@ impl Experiment {
                 RigShared::boot(
                     self.image.clone(),
                     &self.files,
-                    kfi_workloads::WORKLOADS.len() as u32,
+                    self.config.suite.n_modes(),
                     self.config.rig,
                 )
                 .map_err(|e| e.to_string())

@@ -38,6 +38,7 @@
 pub mod dataset;
 pub mod experiment;
 pub mod journal;
+pub mod matrix;
 pub mod setup;
 pub mod stats;
 pub mod supervisor;
@@ -47,9 +48,12 @@ pub use experiment::{
     CampaignResult, Experiment, ExperimentConfig, StudyResult, INJECTED_SUBSYSTEMS,
 };
 pub use journal::{Journal, JournalEntry};
+pub use matrix::{
+    matrix_to_csv, plan_cell, run_matrix, CellResult, MatrixCell, MatrixConfig, MatrixResult,
+};
 pub use setup::{setup_summary, SetupItem};
 pub use stats::OutcomeTally;
 pub use supervisor::{
-    run_campaign_supervised, run_study_supervised, PanicInjection, QuarantineReport,
-    SupervisedCampaign, SupervisedStudy, SupervisorConfig, SupervisorReport,
+    run_campaign_supervised, run_plan_supervised, run_study_supervised, PanicInjection,
+    QuarantineReport, SupervisedCampaign, SupervisedStudy, SupervisorConfig, SupervisorReport,
 };

@@ -527,6 +527,35 @@ pub fn run_study_supervised(
     Ok(SupervisedStudy { study: StudyResult { campaigns, seed: exp.config.seed }, report })
 }
 
+/// Runs an explicit `(target, mode)` plan under supervision — the
+/// campaign-matrix entry point. The plan is taken as given (no
+/// profile-driven target selection or mode choice), but everything
+/// else is the supervised campaign machinery: panic-isolated workers,
+/// the plan-index reorder buffer in front of the journal, watchdog,
+/// quarantine, and resume against [`SupervisorConfig::journal`] (a
+/// journaled entry only replays when it matches the plan's target and
+/// mode exactly).
+///
+/// # Errors
+///
+/// Journal open/read failures (bad header, seed mismatch, I/O).
+pub fn run_plan_supervised(
+    exp: &Experiment,
+    campaign: Campaign,
+    plan: Vec<(InjectionTarget, u32)>,
+    cfg: &SupervisorConfig,
+) -> Result<SupervisedCampaign, String> {
+    let (journal, resumed) = open_journal(exp, cfg)?;
+    let journal_mutex = journal.map(Mutex::new);
+    let mut out = run_plan_inner(exp, campaign, cfg, journal_mutex.as_ref(), &resumed, plan);
+    if let Some(m) = journal_mutex {
+        let mut j = m.into_inner().expect("journal lock");
+        j.sync().map_err(|e| e.to_string())?;
+        out.report.journal_flushes = j.flushes;
+    }
+    Ok(out)
+}
+
 /// Opens/creates the journal per config and reads any resumable
 /// entries, grouped by campaign letter.
 fn open_journal(
@@ -559,9 +588,27 @@ fn run_campaign_inner(
     journal: Option<&Mutex<Journal>>,
     resumed: &BTreeMap<char, BTreeMap<usize, JournalEntry>>,
 ) -> SupervisedCampaign {
-    let targets = exp.plan(campaign);
+    let plan: Vec<(InjectionTarget, u32)> = exp
+        .plan(campaign)
+        .into_iter()
+        .map(|t| {
+            let mode = exp.mode_for(&t);
+            (t, mode)
+        })
+        .collect();
+    run_plan_inner(exp, campaign, cfg, journal, resumed, plan)
+}
+
+fn run_plan_inner(
+    exp: &Experiment,
+    campaign: Campaign,
+    cfg: &SupervisorConfig,
+    journal: Option<&Mutex<Journal>>,
+    resumed: &BTreeMap<char, BTreeMap<usize, JournalEntry>>,
+    plan: Vec<(InjectionTarget, u32)>,
+) -> SupervisedCampaign {
     let functions_injected = {
-        let mut fs: Vec<&str> = targets.iter().map(|t| t.function.as_str()).collect();
+        let mut fs: Vec<&str> = plan.iter().map(|(t, _)| t.function.as_str()).collect();
         fs.sort_unstable();
         fs.dedup();
         fs.len()
@@ -576,8 +623,7 @@ fn run_campaign_inner(
     let mut replayed: Vec<JobDone> = Vec::new();
     let mut jobs: std::collections::VecDeque<Job> = std::collections::VecDeque::new();
     let mut skip: BTreeSet<usize> = BTreeSet::new();
-    for (index, target) in targets.into_iter().enumerate() {
-        let mode = exp.mode_for(&target);
+    for (index, (target, mode)) in plan.into_iter().enumerate() {
         match journaled.get(&index) {
             Some(e) if e.record.target == target && e.record.mode == mode => {
                 skip.insert(index);

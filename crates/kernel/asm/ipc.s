@@ -1,12 +1,18 @@
 # ipc.s — a minimal System-V-style semaphore (`ipc` module; Table 1
 # profiles a single ipc function, so one realistic entry point exists).
+#
+# The server variant (#SERVER regions, `KernelBuildOptions { server }`)
+# grows the module with System-V-style message queues multiplexed onto
+# the same syscall: op 3 is msgsnd, op 4 is msgrcv. The traffic-shaped
+# `echo` workload bounces requests and responses through them.
 
 .subsystem ipc
 .text
 
 # sys_sem(op=%eax, sem=%edx) -> value or errno.
 # op 0: semget (returns sem index if valid), op 1: P (down, may block),
-# op 2: V (up).
+# op 2: V (up). Server variant adds op 3: msgsnd(q, val=%ecx) and
+# op 4: msgrcv(q).
 .global sys_sem
 .type sys_sem, @function
 sys_sem:
@@ -24,6 +30,12 @@ sys_sem:
     je down_sem
     cmpl $2, %eax
     je up_sem
+#SERVER_BEGIN
+    cmpl $3, %eax
+    je sys_msgsnd
+    cmpl $4, %eax
+    je sys_msgrcv
+#SERVER_END
 inval_sem:
     movl $-EINVAL, %eax
     pop %esi
@@ -56,8 +68,92 @@ up_sem:
     pop %ebx
     ret
 
+#SERVER_BEGIN
+# sys_msgsnd(q=%esi, val=%ecx): append to queue q's ring. Returns 0, or
+# -EAGAIN when the ring is full (the queue never blocks senders — the
+# paper-style request/response workloads drain as they go). Entered
+# from the sys_sem dispatch with %ebx/%esi saved on the stack.
+.global sys_msgsnd
+.type sys_msgsnd, @function
+sys_msgsnd:
+    movl msgq_count(,%esi,4), %eax
+    cmpl $MSGQ_CAP, %eax
+    jae msgq_full
+    # slot = q * MSGQ_CAP + wr
+    movl %esi, %eax
+    shll $3, %eax
+    addl msgq_wr(,%esi,4), %eax
+    movl %ecx, msgq_buf(,%eax,4)
+    # wr = (wr + 1) mod MSGQ_CAP
+    movl msgq_wr(,%esi,4), %eax
+    incl %eax
+    cmpl $MSGQ_CAP, %eax
+    jne 1f
+    xorl %eax, %eax
+1:  movl %eax, msgq_wr(,%esi,4)
+    movl msgq_count(,%esi,4), %eax
+    incl %eax
+    movl %eax, msgq_count(,%esi,4)
+    # wake readers sleeping on &msgq_count[q]
+    movl %esi, %eax
+    shll $2, %eax
+    addl $msgq_count, %eax
+    call wake_up
+    xorl %eax, %eax
+    pop %esi
+    pop %ebx
+    ret
+msgq_full:
+    movl $-EAGAIN, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+# sys_msgrcv(q=%esi): pop the oldest message from queue q, blocking on
+# &msgq_count[q] while it is empty (the channel msgsnd wakes).
+.global sys_msgrcv
+.type sys_msgrcv, @function
+sys_msgrcv:
+    movl msgq_count(,%esi,4), %eax
+    testl %eax, %eax
+    jnz 2f
+    movl %esi, %eax
+    shll $2, %eax
+    addl $msgq_count, %eax
+    call sleep_on
+    jmp sys_msgrcv
+2:  # slot = q * MSGQ_CAP + rd
+    movl %esi, %eax
+    shll $3, %eax
+    addl msgq_rd(,%esi,4), %eax
+    movl msgq_buf(,%eax,4), %ebx
+    # rd = (rd + 1) mod MSGQ_CAP
+    movl msgq_rd(,%esi,4), %eax
+    incl %eax
+    cmpl $MSGQ_CAP, %eax
+    jne 3f
+    xorl %eax, %eax
+3:  movl %eax, msgq_rd(,%esi,4)
+    movl msgq_count(,%esi,4), %eax
+    decl %eax
+    movl %eax, msgq_count(,%esi,4)
+    movl %ebx, %eax
+    pop %esi
+    pop %ebx
+    ret
+
+.equ MSGQ_CAP, 8
+#SERVER_END
+
 .equ NR_SEMS, 4
 
 .data
 .align 4
 sem_table: .long 1, 1, 1, 1
+#SERVER_BEGIN
+.align 4
+msgq_count: .long 0, 0, 0, 0
+msgq_rd:    .long 0, 0, 0, 0
+msgq_wr:    .long 0, 0, 0, 0
+msgq_buf:   .space 128            # NR_SEMS queues x MSGQ_CAP slots x 4
+#SERVER_END

@@ -1,12 +1,19 @@
 # net.s — network stubs (`net` module). The paper did not inject into
 # net, but Table 1 shows its functions being profiled; these entry
 # points give the profiler the same surface.
+#
+# The server variant (#SERVER regions, `KernelBuildOptions { server }`)
+# implements a loopback datagram socket on a per-socket ring buffer:
+# call 1 (SYS_SOCKET) allocates, call 9 (SYS_SEND) enqueues a word,
+# call 10 (SYS_RECV) dequeues (blocking while empty). The
+# traffic-shaped `netstorm` workload drives it.
 
 .subsystem net
 .text
 
 # sys_socketcall(call=%eax, args=%edx) -> -ENOSYS after basic
-# validation (sock_poll-style bookkeeping for realism).
+# validation (sock_poll-style bookkeeping for realism). Server variant:
+# calls 1/9/10 are real (args=%edx is the socket, %ecx the payload).
 .global sys_socketcall
 .type sys_socketcall, @function
 sys_socketcall:
@@ -15,6 +22,14 @@ sys_socketcall:
     cmpl $17, %ebx            # SYS_RECVMSG is the highest call
     ja einval_sc
     call sock_poll
+#SERVER_BEGIN
+    cmpl $1, %ebx             # SYS_SOCKET
+    je sys_sock_create
+    cmpl $9, %ebx             # SYS_SEND
+    je sys_sock_send
+    cmpl $10, %ebx            # SYS_RECV
+    je sys_sock_recv
+#SERVER_END
     movl $-ENOSYS, %eax
     pop %ebx
     ret
@@ -31,6 +46,131 @@ sock_poll:
     xorl %eax, %eax
     ret
 
+#SERVER_BEGIN
+# sys_sock_create(): allocate the lowest free socket slot and reset its
+# ring. Returns the socket index, or -EAGAIN when the table is full.
+# Entered from the sys_socketcall dispatch with %ebx saved.
+.global sys_sock_create
+.type sys_sock_create, @function
+sys_sock_create:
+    xorl %edx, %edx
+1:  cmpl $NR_SOCKS, %edx
+    jae sock_none
+    movl sock_used(,%edx,4), %eax
+    testl %eax, %eax
+    jz 2f
+    incl %edx
+    jmp 1b
+2:  movl $1, %eax
+    movl %eax, sock_used(,%edx,4)
+    xorl %eax, %eax
+    movl %eax, sock_count(,%edx,4)
+    movl %eax, sock_rd(,%edx,4)
+    movl %eax, sock_wr(,%edx,4)
+    movl %edx, %eax
+    pop %ebx
+    ret
+sock_none:
+    movl $-EAGAIN, %eax
+    pop %ebx
+    ret
+
+# sys_sock_send(sock=%edx, val=%ecx): enqueue one word on the loopback
+# ring. Returns 0, or -EAGAIN when the ring is full.
+.global sys_sock_send
+.type sys_sock_send, @function
+sys_sock_send:
+    cmpl $NR_SOCKS, %edx
+    jae sock_inval
+    movl sock_used(,%edx,4), %eax
+    testl %eax, %eax
+    jz sock_inval
+    movl sock_count(,%edx,4), %eax
+    cmpl $SOCK_CAP, %eax
+    jae sock_again
+    # slot = sock * SOCK_CAP + wr
+    movl %edx, %eax
+    shll $3, %eax
+    addl sock_wr(,%edx,4), %eax
+    movl %ecx, sock_buf(,%eax,4)
+    # wr = (wr + 1) mod SOCK_CAP
+    movl sock_wr(,%edx,4), %eax
+    incl %eax
+    cmpl $SOCK_CAP, %eax
+    jne 3f
+    xorl %eax, %eax
+3:  movl %eax, sock_wr(,%edx,4)
+    movl sock_count(,%edx,4), %eax
+    incl %eax
+    movl %eax, sock_count(,%edx,4)
+    # wake receivers sleeping on &sock_count[sock]
+    movl %edx, %eax
+    shll $2, %eax
+    addl $sock_count, %eax
+    call wake_up
+    xorl %eax, %eax
+    pop %ebx
+    ret
+
+# sys_sock_recv(sock=%edx): dequeue the oldest word, blocking on
+# &sock_count[sock] while the ring is empty (the channel send wakes).
+.global sys_sock_recv
+.type sys_sock_recv, @function
+sys_sock_recv:
+    cmpl $NR_SOCKS, %edx
+    jae sock_inval
+    movl sock_used(,%edx,4), %eax
+    testl %eax, %eax
+    jz sock_inval
+4:  movl sock_count(,%edx,4), %eax
+    testl %eax, %eax
+    jnz 5f
+    push %edx
+    movl %edx, %eax
+    shll $2, %eax
+    addl $sock_count, %eax
+    call sleep_on
+    pop %edx
+    jmp 4b
+5:  # slot = sock * SOCK_CAP + rd
+    movl %edx, %eax
+    shll $3, %eax
+    addl sock_rd(,%edx,4), %eax
+    movl sock_buf(,%eax,4), %ecx
+    # rd = (rd + 1) mod SOCK_CAP
+    movl sock_rd(,%edx,4), %eax
+    incl %eax
+    cmpl $SOCK_CAP, %eax
+    jne 6f
+    xorl %eax, %eax
+6:  movl %eax, sock_rd(,%edx,4)
+    movl sock_count(,%edx,4), %eax
+    decl %eax
+    movl %eax, sock_count(,%edx,4)
+    movl %ecx, %eax
+    pop %ebx
+    ret
+sock_inval:
+    movl $-EINVAL, %eax
+    pop %ebx
+    ret
+sock_again:
+    movl $-EAGAIN, %eax
+    pop %ebx
+    ret
+
+.equ NR_SOCKS, 4
+.equ SOCK_CAP, 8
+#SERVER_END
+
 .data
 .align 4
 net_polls: .long 0
+#SERVER_BEGIN
+.align 4
+sock_used:  .long 0, 0, 0, 0
+sock_count: .long 0, 0, 0, 0
+sock_rd:    .long 0, 0, 0, 0
+sock_wr:    .long 0, 0, 0, 0
+sock_buf:   .space 128            # NR_SOCKS rings x SOCK_CAP slots x 4
+#SERVER_END

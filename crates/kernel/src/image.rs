@@ -40,11 +40,18 @@ pub struct KernelBuildOptions {
     /// regions). Disabling them is the paper-motivated ablation: campaign
     /// C's invalid-opcode dominance should collapse without assertions.
     pub assertions: bool,
+    /// Include the server-variant code (`#SERVER_BEGIN`/`#SERVER_END`
+    /// regions): real `ipc` message-queue ops behind `sys_sem` and a
+    /// loopback socket ring behind `sys_socketcall`, the handlers the
+    /// traffic-shaped workload suite drives. Off by default so the
+    /// default image stays byte-identical to the paper configuration
+    /// (golden corpora depend on its exact text/data placement).
+    pub server: bool,
 }
 
 impl Default for KernelBuildOptions {
     fn default() -> KernelBuildOptions {
-        KernelBuildOptions { assertions: true }
+        KernelBuildOptions { assertions: true, server: false }
     }
 }
 
@@ -61,21 +68,21 @@ pub struct KernelImage {
     pub options: KernelBuildOptions,
 }
 
-/// Strips `#ASSERT_BEGIN` / `#ASSERT_END` regions from a source.
-fn strip_assertions(src: &str) -> String {
+/// Strips `#<TAG>_BEGIN` / `#<TAG>_END` regions from a source.
+fn strip_regions(src: &str, begin: &str, end: &str) -> String {
     let mut out = String::with_capacity(src.len());
-    let mut in_assert = false;
+    let mut stripping = false;
     for line in src.lines() {
         let t = line.trim();
-        if t == "#ASSERT_BEGIN" {
-            in_assert = true;
+        if t == begin {
+            stripping = true;
             continue;
         }
-        if t == "#ASSERT_END" {
-            in_assert = false;
+        if t == end {
+            stripping = false;
             continue;
         }
-        if !in_assert {
+        if !stripping {
             out.push_str(line);
             out.push('\n');
         }
@@ -83,8 +90,24 @@ fn strip_assertions(src: &str) -> String {
     out
 }
 
+/// Applies the build options to one source: drops the assertion and/or
+/// server regions that the variant excludes, and the region marker
+/// lines themselves either way.
+fn preprocess(src: &str, options: KernelBuildOptions) -> String {
+    let mut s = src.to_string();
+    if !options.assertions {
+        s = strip_regions(&s, "#ASSERT_BEGIN", "#ASSERT_END");
+    }
+    if !options.server {
+        s = strip_regions(&s, "#SERVER_BEGIN", "#SERVER_END");
+    }
+    s
+}
+
 /// Counts non-blank, non-comment source lines per `.subsystem` region.
-fn count_loc(sources: &[(&str, &str)]) -> BTreeMap<String, usize> {
+/// Counted over the *preprocessed* sources, so a variant's Figure 1
+/// numbers describe the code actually in its image.
+fn count_loc(sources: &[(String, String)]) -> BTreeMap<String, usize> {
     let mut map = BTreeMap::new();
     for (_, src) in sources {
         let mut subsystem = "init".to_string();
@@ -109,14 +132,14 @@ fn count_loc(sources: &[(&str, &str)]) -> BTreeMap<String, usize> {
 ///
 /// Propagates assembler errors with file/line positions.
 pub fn build_kernel(options: KernelBuildOptions) -> Result<KernelImage, AsmError> {
+    let sources: Vec<(String, String)> = KERNEL_SOURCES
+        .iter()
+        .map(|(name, src)| (name.to_string(), preprocess(src, options)))
+        .collect();
     let mut asm = Assembler::new();
     asm.add_source("gen_defs.s", &layout::gen_defs())?;
-    for (name, src) in KERNEL_SOURCES {
-        if options.assertions {
-            asm.add_source(name, src)?;
-        } else {
-            asm.add_source(name, &strip_assertions(src))?;
-        }
+    for (name, src) in &sources {
+        asm.add_source(name, src)?;
     }
     let program = asm.finish(&AsmOptions { text_base: layout::KERNEL_TEXT, data_base: None })?;
     let entry = program.symbols.addr_of("start_kernel").ok_or_else(|| AsmError {
@@ -124,7 +147,7 @@ pub fn build_kernel(options: KernelBuildOptions) -> Result<KernelImage, AsmError
         line: 0,
         msg: "missing start_kernel".into(),
     })?;
-    Ok(KernelImage { program, entry, loc_by_subsystem: count_loc(KERNEL_SOURCES), options })
+    Ok(KernelImage { program, entry, loc_by_subsystem: count_loc(&sources), options })
 }
 
 impl KernelImage {
@@ -181,8 +204,10 @@ mod tests {
 
     #[test]
     fn assertions_ablation_shrinks_text() {
-        let with = build_kernel(KernelBuildOptions { assertions: true }).unwrap();
-        let without = build_kernel(KernelBuildOptions { assertions: false }).unwrap();
+        let with =
+            build_kernel(KernelBuildOptions { assertions: true, ..Default::default() }).unwrap();
+        let without =
+            build_kernel(KernelBuildOptions { assertions: false, ..Default::default() }).unwrap();
         assert!(
             without.program.text.bytes.len() < with.program.text.bytes.len(),
             "assertion-free build must be smaller"
@@ -190,6 +215,39 @@ mod tests {
         // ud2a count differs
         let count = |b: &[u8]| b.windows(2).filter(|w| w == &[0x0f, 0x0b]).count();
         assert!(count(&without.program.text.bytes) < count(&with.program.text.bytes));
+    }
+
+    #[test]
+    fn server_variant_adds_ipc_net_handlers() {
+        let base = build_kernel(KernelBuildOptions::default()).unwrap();
+        let server =
+            build_kernel(KernelBuildOptions { server: true, ..Default::default() }).unwrap();
+        // The default build must not contain the server-only symbols —
+        // golden corpora depend on its exact layout.
+        for f in ["sys_msgsnd", "sys_msgrcv", "sys_sock_create", "sys_sock_send", "sys_sock_recv"] {
+            assert!(base.program.symbols.lookup(f).is_none(), "{f} leaked into default build");
+        }
+        // The server build has them, tagged with their subsystem, and is
+        // strictly larger.
+        for (f, subsys) in [
+            ("sys_msgsnd", "ipc"),
+            ("sys_msgrcv", "ipc"),
+            ("sys_sock_create", "net"),
+            ("sys_sock_send", "net"),
+            ("sys_sock_recv", "net"),
+        ] {
+            let sym = server.program.symbols.lookup(f).unwrap_or_else(|| panic!("missing {f}"));
+            assert_eq!(sym.subsystem.as_deref(), Some(subsys), "{f}");
+            assert!(sym.size > 0, "{f} has no size");
+        }
+        assert!(server.program.text.bytes.len() > base.program.text.bytes.len());
+        // Figure-1 LoC for ipc/net must describe the variant actually built.
+        assert!(server.loc_by_subsystem["ipc"] > base.loc_by_subsystem["ipc"]);
+        assert!(server.loc_by_subsystem["net"] > base.loc_by_subsystem["net"]);
+        // Other subsystems are untouched by the server regions.
+        for m in ["arch", "fs", "kernel", "mm"] {
+            assert_eq!(server.loc_by_subsystem[m], base.loc_by_subsystem[m], "{m}");
+        }
     }
 
     #[test]

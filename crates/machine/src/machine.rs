@@ -131,6 +131,13 @@ pub struct MachineConfig {
     /// EFLAGS image, so the checker's self-test can prove the sanitizer
     /// detects a broken flag writer. Never set outside that self-test.
     pub flag_update_bug: bool,
+    #[doc(hidden)]
+    /// Test-only hook: skips the TSS.esp0 kernel-stack switch when a
+    /// trap is delivered from user mode, so the interrupt frame lands
+    /// on the *user* stack — the classic broken-stack-switch kernel
+    /// bug. The checker's self-test proves its ring-transition pair
+    /// detects this. Never set outside that self-test.
+    pub ring_switch_bug: bool,
 }
 
 impl Default for MachineConfig {
@@ -144,6 +151,7 @@ impl Default for MachineConfig {
             block_chain: true,
             sanitizer: false,
             flag_update_bug: false,
+            ring_switch_bug: false,
         }
     }
 }
@@ -801,7 +809,8 @@ impl Machine {
         let old_flags = self.cpu.eflags.bits();
 
         // Switch to the kernel stack for user→kernel transitions.
-        let mut sp = if from_user { self.cpu.esp0 } else { old_esp };
+        let mut sp =
+            if from_user && !self.config.ring_switch_bug { self.cpu.esp0 } else { old_esp };
         let kpush = |m: &mut Machine, sp: &mut u32, v: u32| -> XResult<()> {
             *sp = sp.wrapping_sub(4);
             m.write_kernel_u32(*sp, v)

@@ -1,0 +1,93 @@
+# echo.s — traffic-shaped request/response echo over the ipc message
+# queues (server-variant kernel): the parent sends requests on queue 0
+# and a forked echo server bounces replies (+1000) back on queue 1,
+# the classic multi-user client/server shape squeezed into two tasks.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    call sys_fork
+    testl %eax, %eax
+    jnz e_parent
+    # child: echo server, answers 16 requests then exits
+    movl $16, %esi
+1:  movl $4, %eax             # msgrcv(q0)
+    xorl %edx, %edx
+    xorl %ecx, %ecx
+    call sem3
+    testl %eax, %eax
+    js e_child_fail
+    movl %eax, %ecx
+    addl $1000, %ecx
+    movl $3, %eax             # msgsnd(q1, req + 1000)
+    movl $1, %edx
+    call sem3
+    testl %eax, %eax
+    jnz e_child_fail
+    decl %esi
+    jnz 1b
+    xorl %eax, %eax
+    call sys_exit
+e_child_fail:
+    movl $2, %eax
+    call sys_exit
+e_parent:
+    movl %eax, %edi           # server pid
+    xorl %esi, %esi           # checksum
+    movl $16, %ebx            # requests
+2:  movl %ebx, %ecx
+    addl $0x100, %ecx         # request payload
+    movl $3, %eax             # msgsnd(q0, req)
+    xorl %edx, %edx
+    call sem3
+    testl %eax, %eax
+    jnz fail
+    movl $4, %eax             # msgrcv(q1) -> reply
+    movl $1, %edx
+    xorl %ecx, %ecx
+    call sem3
+    testl %eax, %eax
+    js fail
+    addl %eax, %esi
+    decl %ebx
+    jnz 2b
+    movl %edi, %eax
+    movl $status, %edx
+    call sys_waitpid
+    movl status, %eax
+    testl %eax, %eax
+    jnz fail
+    movl %esi, %eax           # sum of the 16 echoed replies
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret
+
+# sem3(op=%eax, q=%edx, val=%ecx): three-argument sys_sem wrapper — the
+# runtime stub marshals only two args, msgsnd needs the payload third.
+.type sem3, @function
+sem3:
+    push %ebx
+    movl %eax, %ebx
+    push %ecx
+    movl %edx, %ecx
+    pop %edx
+    movl $SYS_SEM, %eax
+    int $0x80
+    pop %ebx
+    ret
+
+.data
+status: .long 0

@@ -1,0 +1,57 @@
+# forkflood.s — fork-heavy spawn flood: three concurrent children per
+# round (the most the NR_TASKS=8 table allows alongside init, the
+# runner, and this parent, with headroom for the scheduler), each
+# exiting with a distinct status the parent folds into the checksum.
+# Runs on the base kernel too.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    movl $6, %edi             # rounds
+    xorl %esi, %esi           # checksum
+ff_round:
+    movl $3, %ebx             # children this round
+ff_spawn:
+    call sys_fork
+    testl %eax, %eax
+    jnz ff_next
+    # child: exit with status = child index
+    movl %ebx, %eax
+    call sys_exit
+ff_next:
+    js fail
+    decl %ebx
+    jnz ff_spawn
+    # reap all three, summing statuses (sum is reap-order-independent)
+    movl $3, %ebx
+ff_reap:
+    xorl %eax, %eax
+    movl $status, %edx
+    call sys_waitpid
+    testl %eax, %eax
+    js fail
+    addl status, %esi
+    decl %ebx
+    jnz ff_reap
+    decl %edi
+    jnz ff_round
+    movl %esi, %eax           # 6 rounds * (1+2+3)
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret
+
+.data
+status: .long 0

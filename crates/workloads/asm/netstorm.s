@@ -1,0 +1,85 @@
+# netstorm.s — traffic-shaped net driver (server-variant kernel):
+# allocates a loopback socket and pumps datagram bursts through its
+# ring — fill all 8 slots, drain all 8, eight rounds — the saturating
+# send/receive pattern of a busy server socket.
+
+.text
+main:
+    push %ebx
+    push %esi
+    push %edi
+    movl $1, %eax             # socketcall SYS_SOCKET
+    xorl %edx, %edx
+    xorl %ecx, %ecx
+    call sock3
+    testl %eax, %eax
+    js fail
+    movl %eax, %edi           # socket
+    xorl %esi, %esi           # checksum
+    movl $8, %ebx             # rounds
+n_round:
+    movl $8, %eax
+    movl %eax, burst
+n_send:
+    movl burst, %ecx
+    shll $4, %ecx
+    addl %ebx, %ecx           # payload = slot*16 + round
+    movl $9, %eax             # socketcall SYS_SEND
+    movl %edi, %edx
+    call sock3
+    testl %eax, %eax
+    jnz fail
+    movl burst, %eax
+    decl %eax
+    movl %eax, burst
+    testl %eax, %eax
+    jnz n_send
+    movl $8, %eax
+    movl %eax, burst
+n_recv:
+    movl $10, %eax            # socketcall SYS_RECV
+    movl %edi, %edx
+    xorl %ecx, %ecx
+    call sock3
+    testl %eax, %eax
+    js fail
+    addl %eax, %esi
+    movl burst, %eax
+    decl %eax
+    movl %eax, burst
+    testl %eax, %eax
+    jnz n_recv
+    decl %ebx
+    jnz n_round
+    movl %esi, %eax           # sum of all 64 datagrams
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %edi
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret
+
+# sock3(call=%eax, sock=%edx, val=%ecx): three-argument sys_socketcall
+# wrapper (no runtime stub exists for socketcall).
+.type sock3, @function
+sock3:
+    push %ebx
+    movl %eax, %ebx
+    push %ecx
+    movl %edx, %ecx
+    pop %edx
+    movl $SYS_SOCKETCALL, %eax
+    int $0x80
+    pop %ebx
+    ret
+
+.data
+burst: .long 0

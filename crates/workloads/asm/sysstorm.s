@@ -1,0 +1,66 @@
+# sysstorm.s — syscall storm: a traffic-shaped burst mixing process,
+# ipc-semaphore, and pipe syscalls at the highest rate the guest can
+# issue them — the "every user hammering the kernel at once" shape.
+# Runs on the base kernel too (only base sem ops 0/1/2 are used).
+
+.text
+main:
+    push %ebx
+    push %esi
+    movl $fds, %eax
+    call sys_pipe
+    testl %eax, %eax
+    jnz fail
+    movl $64, %ebx            # rounds
+    xorl %esi, %esi           # checksum
+ss_loop:
+    call sys_getpid
+    addl %eax, %esi
+    call sys_yield
+    # semaphore hammer: semget(2), P(2), V(2)
+    xorl %eax, %eax
+    movl $2, %edx
+    call sys_sem
+    addl %eax, %esi
+    movl $1, %eax
+    movl $2, %edx
+    call sys_sem
+    movl $2, %eax
+    movl $2, %edx
+    call sys_sem
+    # bounce one word through the pipe
+    movl %ebx, word
+    movl fds+4, %eax
+    movl $word, %edx
+    movl $4, %ecx
+    call sys_write
+    cmpl $4, %eax
+    jne fail
+    movl fds, %eax
+    movl $word, %edx
+    movl $4, %ecx
+    call sys_read
+    cmpl $4, %eax
+    jne fail
+    addl word, %esi
+    call sys_getpid
+    addl %eax, %esi
+    decl %ebx
+    jnz ss_loop
+    movl %esi, %eax
+    call sys_report
+    pop %esi
+    pop %ebx
+    xorl %eax, %eax
+    ret
+fail:
+    movl $1, %eax
+    call sys_report
+    pop %esi
+    pop %ebx
+    movl $1, %eax
+    ret
+
+.data
+fds:  .long 0, 0
+word: .long 0

@@ -1,14 +1,18 @@
 //! Golden regression test for the raw CSV dataset: a seeded mini study
 //! (all three campaigns, small per-function cap, one worker) rendered
 //! through the same [`kfi_bench::csv_dataset`] path as `repro_all
-//! --csv` must match the checked-in corpus byte for byte. Any change to
-//! injection planning, outcome classification, the metrics plumbing, or
-//! the CSV schema shows up here as a readable diff.
+//! --csv`, followed by a seeded mini campaign matrix (server kernel,
+//! echo/netstorm driving ipc/net) rendered through the same
+//! [`kfi_core::matrix_to_csv`] path as `repro_all --matrix --csv`, must
+//! match the checked-in corpus byte for byte. Any change to injection
+//! planning, outcome classification, the metrics plumbing, the matrix
+//! sharding, or the CSV schemas shows up here as a readable diff.
 //!
 //! To re-bless after an intentional change:
 //! `KFI_BLESS=1 cargo test --test golden_csv`.
 
-use kfi_core::{Experiment, ExperimentConfig};
+use kfi_core::{Experiment, ExperimentConfig, MatrixConfig};
+use kfi_kernel::KernelBuildOptions;
 use kfi_profiler::ProfilerConfig;
 
 const GOLDEN_PATH: &str = "tests/golden/repro_mini.csv";
@@ -22,7 +26,23 @@ fn dataset() -> String {
         ..Default::default()
     })
     .expect("experiment prepares");
-    kfi_bench::csv_dataset(&exp.run_all())
+    let mut out = kfi_bench::csv_dataset(&exp.run_all());
+    // Matrix section, appended after the study dataset so the
+    // pre-existing study rows stay byte-identical across blessings.
+    let matrix = kfi_core::run_matrix(&MatrixConfig {
+        kernels: vec![("server".into(), KernelBuildOptions { server: true, ..Default::default() })],
+        workloads: vec!["echo".into(), "netstorm".into()],
+        subsystems: vec!["ipc".into(), "net".into()],
+        seed: 2003,
+        max_per_function: Some(2),
+        threads: 1,
+        profiler: ProfilerConfig { period: 997, budget: 200_000_000 },
+        ..Default::default()
+    })
+    .expect("matrix runs");
+    out.push('\n');
+    out.push_str(&kfi_core::matrix_to_csv(&matrix));
+    out
 }
 
 #[test]
