@@ -9,10 +9,35 @@
 //! asserts the matrix invariants (non-empty cells, one record per
 //! planned target, traffic workloads activating their subsystems) with
 //! a nonzero exit on violation.
+//!
+//! With `--dist-workers N`, shards the campaigns over `N` worker
+//! subprocesses (respawns of this binary with `--worker`) under
+//! lease-based fault tolerance; `--chaos SEED` turns on the chaos
+//! harness. Stdout stays byte-identical to the in-process run. With
+//! `--worker`, speaks the framed lease protocol on stdin/stdout
+//! instead of printing anything.
 
 fn main() {
     let opts = kfi_bench::ReproOptions::from_args();
     let csv = std::env::args().any(|a| a == "--csv");
+    if opts.worker {
+        // Worker mode: stdout belongs to the wire protocol. All
+        // human-facing output goes to stderr (the coordinator routes
+        // it to /dev/null).
+        let exp = kfi_bench::prepare(&opts);
+        match kfi_core::run_worker(
+            &exp,
+            &opts.worker_config(),
+            std::io::stdin().lock(),
+            std::io::stdout(),
+        ) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("[kfi] worker failed: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
     if opts.matrix {
         let m = kfi_bench::run_matrix(&opts);
         if opts.check {
@@ -28,7 +53,13 @@ fn main() {
         return;
     }
     let exp = kfi_bench::prepare(&opts);
-    let (study, _report) = kfi_bench::run_study_supervised(&exp, &opts.supervisor_config());
+    let (study, _report) = if opts.dist_workers.is_some() {
+        let (study, report) = kfi_bench::run_study_dist(&exp, &opts);
+        (study, Some(report))
+    } else {
+        let (study, _sup) = kfi_bench::run_study_supervised(&exp, &opts.supervisor_config());
+        (study, None)
+    };
     println!(
         "{}",
         kfi_report::full_report(&exp.image, &exp.profile, &study, exp.config.top_fraction)

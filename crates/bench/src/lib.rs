@@ -64,6 +64,29 @@ pub struct ReproOptions {
     /// Assert the matrix invariants after the run and fail nonzero on
     /// violation (`--check`) — the CI smoke hook.
     pub check: bool,
+    /// Shard the campaigns over this many worker subprocesses
+    /// (`--dist-workers N`).
+    pub dist_workers: Option<usize>,
+    /// Chaos-harness seed: randomly SIGKILL/stall/crash workers
+    /// mid-campaign (`--chaos SEED`; requires `--dist-workers`).
+    pub chaos: Option<u64>,
+    /// Run as a distributed worker: speak the framed lease protocol on
+    /// stdin/stdout instead of printing a dataset (`--worker`).
+    pub worker: bool,
+    /// Test-only: as a worker, wedge before the handshake so the
+    /// coordinator's boot timeout reaps us (`--worker-wedge-handshake`).
+    pub worker_wedge_handshake: bool,
+    /// Test-only: as a coordinator, ask the first spawned worker to
+    /// wedge its handshake (`--wedge-first-handshake`).
+    pub wedge_first_handshake: bool,
+    /// Worker heartbeat interval in milliseconds (`--dist-hb-ms`).
+    pub dist_hb_ms: u64,
+    /// Coordinator silence budget before a lease expires, in
+    /// milliseconds (`--dist-hb-budget-ms`).
+    pub dist_hb_budget_ms: u64,
+    /// Coordinator budget for a worker's boot + handshake, in
+    /// milliseconds (`--dist-handshake-ms`).
+    pub dist_handshake_ms: u64,
 }
 
 impl Default for ReproOptions {
@@ -85,6 +108,14 @@ impl Default for ReproOptions {
             matrix_workloads: None,
             matrix_subsystems: None,
             check: false,
+            dist_workers: None,
+            chaos: None,
+            worker: false,
+            worker_wedge_handshake: false,
+            wedge_first_handshake: false,
+            dist_hb_ms: 100,
+            dist_hb_budget_ms: 5_000,
+            dist_handshake_ms: 180_000,
         }
     }
 }
@@ -99,9 +130,13 @@ impl ReproOptions {
     /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N`,
     /// `--no-memo`, the matrix flags (`--matrix`,
     /// `--matrix-kernels LIST`, `--matrix-workloads LIST`,
-    /// `--matrix-subsystems LIST`, `--check`) and the test-only
-    /// `--inject-panic I,J,...` / `--inject-panic-persistent I,J,...`
-    /// from the process arguments.
+    /// `--matrix-subsystems LIST`, `--check`), the distributed-runner
+    /// flags (`--dist-workers N`, `--chaos SEED`, `--worker`,
+    /// `--dist-hb-ms N`, `--dist-hb-budget-ms N`,
+    /// `--dist-handshake-ms N`, plus the test-only
+    /// `--worker-wedge-handshake` / `--wedge-first-handshake`) and the
+    /// test-only `--inject-panic I,J,...` /
+    /// `--inject-panic-persistent I,J,...` from the process arguments.
     pub fn from_args() -> ReproOptions {
         let mut o = ReproOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -147,6 +182,31 @@ impl ReproOptions {
                     o.matrix_subsystems = args.get(i).cloned();
                 }
                 "--check" => o.check = true,
+                "--dist-workers" => {
+                    i += 1;
+                    o.dist_workers = args.get(i).and_then(|v| v.parse().ok());
+                }
+                "--chaos" => {
+                    i += 1;
+                    o.chaos = args.get(i).and_then(|v| v.parse().ok());
+                }
+                "--worker" => o.worker = true,
+                "--worker-wedge-handshake" => o.worker_wedge_handshake = true,
+                "--wedge-first-handshake" => o.wedge_first_handshake = true,
+                "--dist-hb-ms" => {
+                    i += 1;
+                    o.dist_hb_ms = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.dist_hb_ms);
+                }
+                "--dist-hb-budget-ms" => {
+                    i += 1;
+                    o.dist_hb_budget_ms =
+                        args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.dist_hb_budget_ms);
+                }
+                "--dist-handshake-ms" => {
+                    i += 1;
+                    o.dist_handshake_ms =
+                        args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.dist_handshake_ms);
+                }
                 "--wall-budget-ms" => {
                     i += 1;
                     o.wall_budget_ms = args.get(i).and_then(|v| v.parse().ok());
@@ -231,6 +291,72 @@ impl ReproOptions {
             suite: kfi_workloads::Suite::Traffic,
             journal_dir: self.journal.clone(),
             resume: self.resume,
+        }
+    }
+
+    /// The argument vector that turns this binary into a worker with
+    /// the same plan-determining configuration (seed, cap, kernel and
+    /// rig flags) as the coordinator. Scheduling-only flags (threads,
+    /// journal, dist pool shape) deliberately do not propagate: the
+    /// worker runs single-threaded and only the coordinator journals.
+    pub fn to_worker_args(&self) -> Vec<String> {
+        let mut a: Vec<String> =
+            ["--worker", "--threads", "1"].iter().map(|s| s.to_string()).collect();
+        a.push("--seed".into());
+        a.push(self.seed.to_string());
+        match self.cap {
+            Some(cap) => {
+                a.push("--cap".into());
+                a.push(cap.to_string());
+            }
+            None => a.push("--full".into()),
+        }
+        if self.no_assertions {
+            a.push("--no-assertions".into());
+        }
+        if self.sanitize {
+            a.push("--sanitize".into());
+        }
+        if self.no_memo {
+            a.push("--no-memo".into());
+        }
+        if let Some(ms) = self.wall_budget_ms {
+            a.push("--wall-budget-ms".into());
+            a.push(ms.to_string());
+        }
+        a.push("--dist-hb-ms".into());
+        a.push(self.dist_hb_ms.to_string());
+        a
+    }
+
+    /// Converts to a distributed-coordinator policy, spawning workers
+    /// from `worker_exe` (normally [`std::env::current_exe`]; tests
+    /// pass the `repro_all` binary path explicitly).
+    pub fn dist_config(&self, worker_exe: PathBuf) -> kfi_core::DistConfig {
+        let mut cfg = kfi_core::DistConfig::new(
+            self.dist_workers.unwrap_or(1),
+            worker_exe,
+            self.to_worker_args(),
+        );
+        cfg.chaos = self.chaos;
+        cfg.handshake_budget = std::time::Duration::from_millis(self.dist_handshake_ms);
+        cfg.heartbeat_budget = std::time::Duration::from_millis(self.dist_hb_budget_ms);
+        cfg.journal = self.journal.clone();
+        cfg.resume = self.resume;
+        cfg.wedge_first_handshake = self.wedge_first_handshake;
+        cfg
+    }
+
+    /// Converts to a worker policy. The journal fields never propagate
+    /// to workers: only the coordinator journals.
+    pub fn worker_config(&self) -> kfi_core::WorkerConfig {
+        kfi_core::WorkerConfig {
+            heartbeat_interval: std::time::Duration::from_millis(self.dist_hb_ms.max(1)),
+            supervisor: SupervisorConfig {
+                wall_budget: self.wall_budget_ms.map(std::time::Duration::from_millis),
+                ..SupervisorConfig::default()
+            },
+            wedge_handshake: self.worker_wedge_handshake,
         }
     }
 
@@ -436,6 +562,64 @@ pub fn check_matrix(m: &kfi_core::MatrixResult) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Runs all three campaigns over a pool of worker subprocesses,
+/// printing progress and a machine-greppable coordinator summary on
+/// stderr. The stdout dataset is byte-identical to the in-process
+/// supervisor run of the same plan — at any worker count and under any
+/// chaos schedule.
+///
+/// # Panics
+///
+/// Panics when the journal cannot be opened or its seed does not match.
+pub fn run_study_dist(
+    exp: &Experiment,
+    opts: &ReproOptions,
+) -> (StudyResult, kfi_core::DistReport) {
+    let exe = std::env::current_exe().expect("current exe resolves");
+    let cfg = opts.dist_config(exe);
+    eprintln!(
+        "[kfi] dist: campaigns A/B/C over {} functions across {} workers{}...",
+        exp.target_functions.len(),
+        cfg.workers,
+        cfg.chaos.map(|s| format!(" (chaos seed {s})")).unwrap_or_default()
+    );
+    let dist = kfi_core::run_study_dist(exp, &cfg).expect("journal usable");
+    let study = dist.study;
+    for (l, r) in &study.campaigns {
+        let t = r.total();
+        eprintln!(
+            "[kfi] campaign {l}: {} injected, {} activated, {} crash/hang",
+            t.injected,
+            t.activated,
+            t.crash_or_hang()
+        );
+    }
+    let rep = &dist.report;
+    eprintln!(
+        "[kfi] dist: spawned={} respawned={} quarantined={} handshake_timeouts={} \
+         leases_expired={} requeued={} degraded={} chaos_kills={} chaos_stalls={} \
+         chaos_exits={} wire_bytes={}",
+        rep.workers_spawned,
+        rep.workers_respawned,
+        rep.workers_quarantined,
+        rep.handshake_timeouts,
+        rep.leases_expired,
+        rep.jobs_requeued,
+        rep.jobs_degraded,
+        rep.chaos_kills,
+        rep.chaos_stalls,
+        rep.chaos_exits,
+        rep.wire_bytes_streamed
+    );
+    if cfg.journal.is_some() {
+        eprintln!(
+            "[kfi] journal: {} runs resumed, {} fsync batches",
+            rep.resumed_runs, rep.journal_flushes
+        );
+    }
+    (study, dist.report)
 }
 
 /// Runs all three campaigns, printing progress.

@@ -1,0 +1,142 @@
+//! End-to-end distributed-runner robustness through the real
+//! `repro_all` binary: worker pools of any size, chaos SIGKILLs
+//! mid-campaign, and wedged handshakes must all print a dataset
+//! byte-identical to the in-process supervisor — with zero
+//! silently-lost plan indices, proven from the journal.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+
+const BASE_ARGS: &[&str] = &["--cap", "2", "--seed", "11", "--csv"];
+const SEED: u64 = 11;
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("kfi-dist-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{name}-{}", std::process::id()))
+}
+
+/// Runs `repro_all` to completion, returning (stdout, stderr).
+fn run_repro(extra: &[&str]) -> (String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repro_all"))
+        .args(BASE_ARGS)
+        .args(extra)
+        .stderr(Stdio::piped())
+        .output()
+        .expect("spawn repro_all");
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(out.status.success(), "repro_all failed with {:?}\nstderr:\n{stderr}", out.status);
+    (String::from_utf8(out.stdout).expect("stdout is UTF-8"), stderr)
+}
+
+/// Extracts `key=value` from the `[kfi] dist:` stderr summary.
+fn dist_stat(stderr: &str, key: &str) -> u64 {
+    let line = stderr
+        .lines()
+        .rfind(|l| l.starts_with("[kfi] dist: spawned="))
+        .unwrap_or_else(|| panic!("no dist summary in stderr:\n{stderr}"));
+    line.split_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .unwrap_or_else(|| panic!("no `{key}=` in: {line}"))
+        .parse()
+        .expect("stat parses")
+}
+
+/// Asserts the journal covers every plan index of every campaign
+/// exactly once — the "zero silently-lost plan indices" check. The
+/// per-campaign plan sizes are read off the CSV record rows, which the
+/// byte-identity assertions anchor to the in-process truth.
+fn assert_journal_covers_plan(journal: &PathBuf, stdout: &str) {
+    let mut plan_sizes: BTreeMap<char, usize> = BTreeMap::new();
+    for l in stdout.lines() {
+        let mut fields = l.split(',');
+        if let Some(c @ ("A" | "B" | "C")) = fields.next() {
+            // Record rows have a function name second; metrics rows put
+            // a run count there. Count only record rows.
+            if fields.next().is_some_and(|f| f.parse::<u64>().is_err()) {
+                *plan_sizes.entry(c.chars().next().unwrap()).or_default() += 1;
+            }
+        }
+    }
+    assert_eq!(plan_sizes.len(), 3, "CSV is missing campaigns: {plan_sizes:?}");
+
+    let entries = kfi_core::journal::read_journal(journal, SEED).expect("journal reads");
+    let mut seen: BTreeMap<char, Vec<usize>> = BTreeMap::new();
+    for e in &entries {
+        seen.entry(e.campaign).or_default().push(e.index);
+    }
+    for (campaign, n) in plan_sizes {
+        let mut indices = seen.remove(&campaign).unwrap_or_default();
+        indices.sort_unstable();
+        assert_eq!(
+            indices,
+            (0..n).collect::<Vec<_>>(),
+            "campaign {campaign}: journal does not cover the plan exactly once"
+        );
+    }
+    assert!(seen.is_empty(), "journal has entries for unknown campaigns: {seen:?}");
+}
+
+#[test]
+fn dist_stdout_matches_in_process_at_any_worker_count() {
+    let (reference, _) = run_repro(&["--threads", "1"]);
+    assert!(reference.contains("campaign,function,subsystem"), "dataset missing from stdout");
+    let mut wire_bytes = Vec::new();
+    for workers in ["1", "2", "4"] {
+        let (out, err) = run_repro(&["--dist-workers", workers]);
+        assert_eq!(out, reference, "dist stdout differs at {workers} workers");
+        wire_bytes.push(dist_stat(&err, "wire_bytes"));
+    }
+    assert!(wire_bytes[0] > 0, "no bytes streamed over worker pipes");
+    assert!(
+        wire_bytes.iter().all(|w| *w == wire_bytes[0]),
+        "wire_bytes must be worker-count invariant: {wire_bytes:?}"
+    );
+}
+
+#[test]
+fn chaos_kills_workers_without_disturbing_a_byte() {
+    // The in-process truth, journaled.
+    let jref = tmp("journal-ref");
+    let _ = std::fs::remove_file(&jref);
+    let (reference, _) = run_repro(&["--threads", "1", "--journal", jref.to_str().unwrap()]);
+
+    // Chaos: 4 workers, seeded kill/stall/crash schedule. At least one
+    // worker dies by SIGKILL mid-campaign (the schedule's first event
+    // is always a kill) and its lease is reassigned.
+    let jchaos = tmp("journal-chaos");
+    let _ = std::fs::remove_file(&jchaos);
+    let (out, err) =
+        run_repro(&["--dist-workers", "4", "--chaos", "1", "--journal", jchaos.to_str().unwrap()]);
+    assert!(dist_stat(&err, "chaos_kills") >= 1, "chaos never killed a worker:\n{err}");
+    assert!(dist_stat(&err, "respawned") >= 1, "no worker was respawned:\n{err}");
+    assert_eq!(out, reference, "chaos disturbed the dataset");
+
+    // Journal bytes identical to the in-process run, and no plan index
+    // lost or duplicated despite the kills.
+    let a = std::fs::read(&jref).unwrap();
+    let b = std::fs::read(&jchaos).unwrap();
+    assert_eq!(a, b, "chaos disturbed the journal bytes");
+    assert_journal_covers_plan(&jchaos, &out);
+
+    let _ = std::fs::remove_file(&jref);
+    let _ = std::fs::remove_file(&jchaos);
+}
+
+#[test]
+fn wedged_handshake_is_reaped_and_lease_reassigned() {
+    let (reference, _) = run_repro(&["--threads", "1"]);
+    // The first spawned worker parks before its handshake; a short boot
+    // budget reaps it, respawns the slot, and the campaign completes.
+    let (out, err) = run_repro(&[
+        "--dist-workers",
+        "1",
+        "--wedge-first-handshake",
+        "--dist-handshake-ms",
+        "700",
+    ]);
+    assert!(dist_stat(&err, "handshake_timeouts") >= 1, "wedged worker never reaped:\n{err}");
+    assert!(dist_stat(&err, "respawned") >= 1, "reaped slot never respawned:\n{err}");
+    assert_eq!(out, reference, "handshake reap disturbed the dataset");
+}

@@ -1,0 +1,1186 @@
+//! The distributed campaign runner: process-isolated workers under
+//! lease-based fault tolerance, with a built-in chaos harness.
+//!
+//! The supervisor ([`crate::supervisor`]) contains panics, but
+//! `catch_unwind` cannot contain aborts, stack overflows, OOM kills or
+//! SIGKILL. This module puts a *process* boundary around the rig: a
+//! coordinator shards the deterministic campaign plan across worker
+//! subprocesses that stream classified runs back over the existing
+//! wire codec ([`kfi_injector::wire`]) with CRC framing
+//! ([`kfi_trace::frame`]) on plain pipes.
+//!
+//! **Lease-based scheduling.** Each worker holds a chunk of plan
+//! indices under a lease. A worker proves liveness with a handshake
+//! ([`Msg::Hello`] carrying a plan fingerprint) and periodic
+//! heartbeats; a missed heartbeat, a dead pipe, a nonzero exit or a
+//! wedged handshake expires the lease. Expiry is fenced — the worker is
+//! SIGKILLed *before* its jobs are reassigned — so a presumed-dead
+//! worker can never race a successor. Failed workers are respawned
+//! with exponential backoff up to a bounded respawn budget; a slot
+//! that exhausts its budget is quarantined, and if every slot dies the
+//! coordinator degrades to running the remaining jobs in-process. A
+//! job that expires too many leases in a row is recorded as
+//! [`kfi_injector::Outcome::RigFault`] instead of looping forever.
+//! Either way, lost runs are never silent.
+//!
+//! **Merge determinism.** Each run's record and metrics delta is a
+//! pure function of its `(target, mode)` — independent of which
+//! worker executes it, in which order, after how many retries (the
+//! retry-equivalence proptests pin this). Accepted results are deduped
+//! by plan index (first completion wins; duplicates are byte-identical
+//! by the same argument) and flow through the supervisor's plan-index
+//! reorder buffer into the journal. CSV, report and journal bytes are
+//! therefore identical at any worker count, any arrival order and any
+//! kill schedule — which the built-in chaos mode ([`DistConfig::chaos`]
+//! randomly SIGKILLs, stalls and crashes workers mid-campaign) proves
+//! in-tree.
+
+use crate::experiment::{CampaignResult, Experiment, StudyResult};
+use crate::journal::{Journal, JournalEntry};
+use crate::supervisor::{
+    open_journal, process_job, rig_fault_record, Job, JobDone, JournalOrder, SupervisorConfig,
+    WatchSlot,
+};
+use kfi_injector::wire::{decode_msg, encode_msg, Msg, PROTOCOL_VERSION};
+use kfi_injector::{Campaign, InjectionTarget, InjectorRig, RunRecord};
+use kfi_trace::frame::{write_frame, StreamDecoder};
+use kfi_trace::{outcome as trace_outcome, Metrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io::{Read, Write};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// 64-bit FNV-1a, chained: feeds `bytes` into `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for b in bytes {
+        state ^= *b as u64;
+        state = state.wrapping_mul(0x100_0000_01b3);
+    }
+    state
+}
+
+/// Fingerprint of the full deterministic study plan (seed plus every
+/// campaign's `(target, mode)` sequence). Coordinator and worker both
+/// derive it from their own CLI config; the handshake rejects a worker
+/// whose fingerprint differs, so a mixed build or drifted flag set can
+/// never smuggle foreign records into the dataset.
+pub fn plan_fingerprint(exp: &Experiment) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    h = fnv1a(h, &exp.config.seed.to_le_bytes());
+    for campaign in [Campaign::A, Campaign::B, Campaign::C] {
+        h = fnv1a(h, &[campaign.letter() as u8]);
+        for t in exp.plan(campaign) {
+            let mode = exp.mode_for(&t);
+            h = fnv1a(h, t.function.as_bytes());
+            h = fnv1a(h, t.subsystem.as_bytes());
+            h = fnv1a(h, &t.insn_addr.to_le_bytes());
+            h = fnv1a(h, &[t.insn_len, t.bit_mask, t.is_branch as u8]);
+            h = fnv1a(h, &(t.byte_index as u64).to_le_bytes());
+            h = fnv1a(h, &mode.to_le_bytes());
+        }
+    }
+    h
+}
+
+/// Lease chunk size for a plan: small enough that every worker gets
+/// several leases (so a lost lease costs a fraction of the plan, and
+/// finish-time stragglers rebalance), never zero.
+pub fn chunk_size(plan_len: usize, workers: usize) -> usize {
+    plan_len.div_ceil(workers.max(1) * 4).max(1)
+}
+
+/// What the chaos harness does to a victim worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// SIGKILL — the failure `catch_unwind` can never contain.
+    Kill,
+    /// Ask the worker to park forever without heartbeating (simulated
+    /// livelock; reaped by the heartbeat deadline).
+    Stall,
+    /// Ask the worker to exit with a nonzero code (simulated crash).
+    Exit,
+}
+
+/// One scheduled chaos event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Fires once this many results have been accepted study-wide.
+    pub at_done: usize,
+    /// What to do to the victim.
+    pub action: ChaosAction,
+    /// Raw random value used to pick the victim among live slots at
+    /// fire time.
+    pub pick: u64,
+}
+
+/// A deterministic schedule of worker failures, derived from the chaos
+/// seed. The first event is always a [`ChaosAction::Kill`] so a chaos
+/// campaign always proves SIGKILL recovery; events are bounded so the
+/// respawn budget can absorb them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosPlan {
+    /// Events sorted by [`ChaosEvent::at_done`].
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Number of events a chaos schedule contains.
+    pub const EVENTS: usize = 3;
+
+    /// Builds the schedule for a study of `total_jobs` planned runs.
+    pub fn new(seed: u64, total_jobs: usize) -> ChaosPlan {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+        let span = (total_jobs.saturating_mul(3) / 4).max(1);
+        let mut events = Vec::with_capacity(Self::EVENTS);
+        for i in 0..Self::EVENTS {
+            let action = if i == 0 {
+                ChaosAction::Kill
+            } else {
+                match rng.gen_range(0u32..3) {
+                    0 => ChaosAction::Kill,
+                    1 => ChaosAction::Stall,
+                    _ => ChaosAction::Exit,
+                }
+            };
+            events.push(ChaosEvent {
+                at_done: rng.gen_range(0..span),
+                action,
+                pick: rng.next_u64(),
+            });
+        }
+        events.sort_by_key(|e| e.at_done);
+        ChaosPlan { events }
+    }
+}
+
+/// Coordinator policy for a distributed campaign.
+#[derive(Debug, Clone)]
+pub struct DistConfig {
+    /// Worker subprocess pool size.
+    pub workers: usize,
+    /// Chaos-harness seed; `Some` enables random worker failures.
+    pub chaos: Option<u64>,
+    /// Budget for a freshly-spawned worker to complete its handshake
+    /// (it builds the kernel and profiles the workloads first). A
+    /// wedged worker is reaped and respawned when this expires.
+    pub handshake_budget: Duration,
+    /// Silence budget after which a handshaken worker's lease expires.
+    /// Workers heartbeat every ~100 ms even mid-run, so this bounds
+    /// detection latency for SIGKILLed, stalled, or livelocked workers.
+    pub heartbeat_budget: Duration,
+    /// Respawns granted to each slot before it is quarantined.
+    pub max_respawns: usize,
+    /// Backoff before the first respawn of a slot; doubles per respawn.
+    pub backoff_base: Duration,
+    /// Lease expiries a single plan index may cause before it is
+    /// recorded as a rig fault instead of reassigned again — a job
+    /// that reliably kills workers must not starve the campaign.
+    pub max_job_expiries: usize,
+    /// Journal path; accepted runs are checkpointed here in plan-index
+    /// order, exactly as the in-process supervisor would.
+    pub journal: Option<PathBuf>,
+    /// Resume from the journal instead of truncating it.
+    pub resume: bool,
+    /// Test-only: the very first spawned worker wedges before its
+    /// handshake, exercising the handshake-timeout reap path.
+    pub wedge_first_handshake: bool,
+    /// Worker executable (normally the current binary).
+    pub worker_exe: PathBuf,
+    /// Arguments that turn the executable into a worker with the same
+    /// plan-determining configuration as the coordinator.
+    pub worker_args: Vec<String>,
+}
+
+impl DistConfig {
+    /// A config with production defaults for the given pool.
+    pub fn new(workers: usize, worker_exe: PathBuf, worker_args: Vec<String>) -> DistConfig {
+        DistConfig {
+            workers: workers.max(1),
+            chaos: None,
+            handshake_budget: Duration::from_secs(180),
+            heartbeat_budget: Duration::from_secs(5),
+            max_respawns: 2,
+            backoff_base: Duration::from_millis(50),
+            max_job_expiries: 4,
+            journal: None,
+            resume: false,
+            wedge_first_handshake: false,
+            worker_exe,
+            worker_args,
+        }
+    }
+}
+
+/// What the coordinator did beyond the dataset itself. Everything here
+/// is reporting-only: the dataset is independent of worker count,
+/// scheduling and failures.
+#[derive(Debug, Clone, Default)]
+pub struct DistReport {
+    /// Worker processes spawned, including respawns.
+    pub workers_spawned: u64,
+    /// Respawns after a worker died or was reaped.
+    pub workers_respawned: u64,
+    /// Slots quarantined after exhausting their respawn budget.
+    pub workers_quarantined: u64,
+    /// Workers reaped for missing the handshake deadline.
+    pub handshake_timeouts: u64,
+    /// Leases expired (missed heartbeat, dead pipe, nonzero exit).
+    pub leases_expired: u64,
+    /// Plan indices reassigned after a lease expiry.
+    pub jobs_requeued: u64,
+    /// Plan indices executed in-process after the pool collapsed.
+    pub jobs_degraded: u64,
+    /// Chaos SIGKILLs delivered.
+    pub chaos_kills: u64,
+    /// Chaos stall requests delivered.
+    pub chaos_stalls: u64,
+    /// Chaos exit requests delivered.
+    pub chaos_exits: u64,
+    /// Accepted record+metrics payload bytes streamed from workers.
+    pub wire_bytes_streamed: u64,
+    /// Runs replayed from the journal instead of executed.
+    pub resumed_runs: usize,
+    /// Journal fsync batches performed.
+    pub journal_flushes: u64,
+}
+
+/// A distributed study: the ordinary result plus the coordinator's
+/// report.
+pub struct DistStudy {
+    /// The study result — byte-for-byte the same dataset the
+    /// in-process supervisor produces for this plan.
+    pub study: StudyResult,
+    /// What the coordinator had to do to get it.
+    pub report: DistReport,
+}
+
+/// Worker-side policy for [`run_worker`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Interval between heartbeats.
+    pub heartbeat_interval: Duration,
+    /// Per-run supervision policy (retries, wall budget). The journal
+    /// fields must stay unset: only the coordinator journals.
+    pub supervisor: SupervisorConfig,
+    /// Test-only: park before the handshake, exercising the
+    /// coordinator's handshake-timeout reap.
+    pub wedge_handshake: bool,
+}
+
+impl Default for WorkerConfig {
+    fn default() -> WorkerConfig {
+        WorkerConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            supervisor: SupervisorConfig::default(),
+            wedge_handshake: false,
+        }
+    }
+}
+
+/// Bytes of the `record + metrics` portion of a JobDone payload — the
+/// scheduling-independent measure behind
+/// [`Metrics::wire_bytes_streamed`] (lease ids vary with the kill
+/// schedule; the record and its delta never do).
+fn record_wire_len(record: &RunRecord, metrics: &Metrics) -> u64 {
+    let mut buf = Vec::new();
+    kfi_injector::wire::encode_record(&mut buf, record);
+    metrics.encode_into(&mut buf);
+    buf.len() as u64
+}
+
+fn send_msg(stdin: &mut ChildStdin, msg: &Msg) -> std::io::Result<()> {
+    let mut payload = Vec::new();
+    encode_msg(&mut payload, msg);
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &payload);
+    stdin.write_all(&framed)?;
+    stdin.flush()
+}
+
+/// One message (or EOF) from a worker's reader thread.
+struct RxEvent {
+    slot: usize,
+    gen: u64,
+    msg: Option<Msg>,
+}
+
+struct Lease {
+    id: u64,
+    outstanding: BTreeSet<usize>,
+}
+
+enum SlotState {
+    /// Spawned, waiting for a valid Hello.
+    Handshaking { deadline: Instant },
+    /// Handshaken, no lease.
+    Idle,
+    /// Holding a lease.
+    Leased(Lease),
+    /// Dead; respawn due at the deadline (exponential backoff).
+    Respawning { at: Instant },
+    /// Respawn budget exhausted; never used again.
+    Retired,
+}
+
+struct Slot {
+    child: Option<Child>,
+    stdin: Option<ChildStdin>,
+    /// Bumped per spawn; events from older generations are stale.
+    gen: u64,
+    state: SlotState,
+    last_seen: Instant,
+    respawns: usize,
+}
+
+/// Per-campaign scheduling state.
+struct CampaignState {
+    campaign: Campaign,
+    plan: Vec<(InjectionTarget, u32)>,
+    /// Unassigned plan indices.
+    queue: VecDeque<usize>,
+    /// Accepted plan indices (first completion wins).
+    accepted: BTreeSet<usize>,
+    /// Indices replayed from the journal; never executed or accepted.
+    skipped: BTreeSet<usize>,
+    /// Lease expiries caused per index.
+    expiries: BTreeMap<usize, usize>,
+    order: JournalOrder,
+    done: Vec<JobDone>,
+}
+
+impl CampaignState {
+    fn remaining(&self) -> usize {
+        self.plan.len() - self.skipped.len() - self.accepted.len()
+    }
+}
+
+/// The coordinator: worker pool + lease table + failure policy.
+struct Pool<'a> {
+    exp: &'a Experiment,
+    cfg: &'a DistConfig,
+    fingerprint: u64,
+    slots: Vec<Slot>,
+    tx: mpsc::Sender<RxEvent>,
+    rx: mpsc::Receiver<RxEvent>,
+    lease_seq: u64,
+    /// Lease id → campaign letter it was granted for (stale-result
+    /// guard across campaign boundaries).
+    lease_campaign: BTreeMap<u64, char>,
+    chaos: VecDeque<ChaosEvent>,
+    chaos_rng: StdRng,
+    /// Results accepted study-wide (chaos trigger clock).
+    total_accepted: usize,
+    /// First-spawn wedge flag, consumed once.
+    wedge_pending: bool,
+    report: DistReport,
+    /// Dist counters for the campaign currently running; folded into
+    /// its [`CampaignResult::metrics`] (journal/report surfaces exclude
+    /// them, so the golden output is untouched).
+    counters: Metrics,
+}
+
+impl<'a> Pool<'a> {
+    fn new(exp: &'a Experiment, cfg: &'a DistConfig, total_jobs: usize) -> Pool<'a> {
+        let (tx, rx) = mpsc::channel();
+        let chaos = match cfg.chaos {
+            Some(seed) => ChaosPlan::new(seed, total_jobs).events.into(),
+            None => VecDeque::new(),
+        };
+        let now = Instant::now();
+        let slots = (0..cfg.workers.max(1))
+            .map(|_| Slot {
+                child: None,
+                stdin: None,
+                gen: 0,
+                state: SlotState::Respawning { at: now },
+                last_seen: now,
+                respawns: 0,
+            })
+            .collect();
+        Pool {
+            exp,
+            cfg,
+            fingerprint: plan_fingerprint(exp),
+            slots,
+            tx,
+            rx,
+            lease_seq: 0,
+            lease_campaign: BTreeMap::new(),
+            chaos_rng: StdRng::seed_from_u64(cfg.chaos.unwrap_or(0) ^ 0x51C7),
+            chaos,
+            total_accepted: 0,
+            wedge_pending: cfg.wedge_first_handshake,
+            report: DistReport::default(),
+            counters: Metrics::default(),
+        }
+    }
+
+    fn spawn_worker(&mut self, i: usize) {
+        let wedge = std::mem::take(&mut self.wedge_pending);
+        let mut cmd = Command::new(&self.cfg.worker_exe);
+        cmd.args(&self.cfg.worker_args);
+        if wedge {
+            cmd.arg("--worker-wedge-handshake");
+        }
+        cmd.stdin(Stdio::piped()).stdout(Stdio::piped()).stderr(Stdio::null());
+        let slot = &mut self.slots[i];
+        slot.gen += 1;
+        match cmd.spawn() {
+            Ok(mut child) => {
+                let stdin = child.stdin.take();
+                let stdout = child.stdout.take();
+                slot.stdin = stdin;
+                slot.child = Some(child);
+                slot.state =
+                    SlotState::Handshaking { deadline: Instant::now() + self.cfg.handshake_budget };
+                slot.last_seen = Instant::now();
+                self.report.workers_spawned += 1;
+                if let Some(stdout) = stdout {
+                    spawn_reader(i, slot.gen, stdout, self.tx.clone());
+                }
+            }
+            Err(_) => {
+                // The exe itself is unusable; burning backoff retries
+                // on it would change nothing.
+                slot.state = SlotState::Retired;
+                self.report.workers_quarantined += 1;
+            }
+        }
+    }
+
+    /// SIGKILL fence: the worker is dead and reaped before any of its
+    /// jobs can be reassigned.
+    fn kill_slot(&mut self, i: usize) {
+        let slot = &mut self.slots[i];
+        slot.stdin = None;
+        if let Some(mut child) = slot.child.take() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    /// Expires slot `i`'s lease (if any), requeueing its outstanding
+    /// indices, and schedules a respawn (or retires the slot).
+    fn expire(&mut self, i: usize, st: &mut CampaignState, journal: &mut Option<Journal>) {
+        self.kill_slot(i);
+        let lease = match std::mem::replace(&mut self.slots[i].state, SlotState::Idle) {
+            SlotState::Leased(l) => Some(l),
+            _ => None,
+        };
+        if let Some(lease) = lease {
+            self.report.leases_expired += 1;
+            self.counters.leases_expired += 1;
+            for index in lease.outstanding.into_iter().rev() {
+                if st.accepted.contains(&index) {
+                    continue;
+                }
+                let n = st.expiries.entry(index).or_insert(0);
+                *n += 1;
+                if *n > self.cfg.max_job_expiries {
+                    // Persistent worker-killer: record the loss instead
+                    // of reassigning it forever.
+                    let (target, mode) = st.plan[index].clone();
+                    let job = Job { index, target, mode };
+                    let mut sup = Metrics::default();
+                    sup.runs += 1;
+                    sup.record_outcome(trace_outcome::RIG_FAULT);
+                    let record = rig_fault_record(
+                        &job,
+                        &format!("expired {n} leases (worker lost each time)"),
+                    );
+                    self.accept(st, journal, index, record, sup);
+                } else {
+                    self.report.jobs_requeued += 1;
+                    st.queue.push_front(index);
+                }
+            }
+        }
+        let slot = &mut self.slots[i];
+        if slot.respawns >= self.cfg.max_respawns {
+            slot.state = SlotState::Retired;
+            self.report.workers_quarantined += 1;
+        } else {
+            let backoff = self.cfg.backoff_base * (1u32 << slot.respawns.min(16));
+            slot.state = SlotState::Respawning { at: Instant::now() + backoff };
+            slot.respawns += 1;
+            self.report.workers_respawned += 1;
+            self.counters.workers_respawned += 1;
+        }
+    }
+
+    /// Accepts one result for a plan index: dedup, validate against the
+    /// plan, merge, journal in plan order.
+    fn accept(
+        &mut self,
+        st: &mut CampaignState,
+        journal: &mut Option<Journal>,
+        index: usize,
+        record: RunRecord,
+        metrics: Metrics,
+    ) {
+        if index >= st.plan.len() || st.accepted.contains(&index) || st.skipped.contains(&index) {
+            return;
+        }
+        let (target, mode) = &st.plan[index];
+        if record.target != *target || record.mode != *mode {
+            // Stale or foreign result (e.g. an old campaign's index
+            // arriving late from a killed worker's pipe): drop it.
+            return;
+        }
+        st.accepted.insert(index);
+        self.total_accepted += 1;
+        let wire_len = record_wire_len(&record, &metrics);
+        self.counters.wire_bytes_streamed += wire_len;
+        self.report.wire_bytes_streamed += wire_len;
+        if let Some(pos) = st.queue.iter().position(|q| *q == index) {
+            st.queue.remove(pos);
+        }
+        if let Some(j) = journal.as_mut() {
+            st.order.held.insert(
+                index,
+                JournalEntry {
+                    campaign: st.campaign.letter(),
+                    index,
+                    record: record.clone(),
+                    metrics: metrics.clone(),
+                },
+            );
+            st.order.drain(j);
+        }
+        st.done.push(JobDone { index, record, metrics, quarantine: None });
+    }
+
+    /// Grants a fresh lease chunk to an idle worker.
+    fn grant(&mut self, i: usize, st: &mut CampaignState) {
+        let n = chunk_size(st.plan.len(), self.cfg.workers);
+        let mut indices = Vec::with_capacity(n);
+        while indices.len() < n {
+            match st.queue.pop_front() {
+                Some(idx) => indices.push(idx),
+                None => break,
+            }
+        }
+        if indices.is_empty() {
+            return;
+        }
+        self.lease_seq += 1;
+        let id = self.lease_seq;
+        self.lease_campaign.insert(id, st.campaign.letter());
+        let msg = Msg::LeaseGrant {
+            lease: id,
+            campaign: st.campaign,
+            indices: indices.iter().map(|v| *v as u64).collect(),
+        };
+        let sent = match self.slots[i].stdin.as_mut() {
+            Some(stdin) => send_msg(stdin, &msg).is_ok(),
+            None => false,
+        };
+        if sent {
+            self.slots[i].state =
+                SlotState::Leased(Lease { id, outstanding: indices.into_iter().collect() });
+        } else {
+            // Dead pipe: give the chunk back and expire the slot.
+            for idx in indices.into_iter().rev() {
+                st.queue.push_front(idx);
+            }
+            self.expire(i, st, &mut None);
+        }
+    }
+
+    fn handle_msg(&mut self, ev: RxEvent, st: &mut CampaignState, journal: &mut Option<Journal>) {
+        let i = ev.slot;
+        let current = ev.gen == self.slots[i].gen;
+        let Some(msg) = ev.msg else {
+            // EOF: the worker died or closed its pipe.
+            if current
+                && !matches!(self.slots[i].state, SlotState::Respawning { .. } | SlotState::Retired)
+            {
+                self.expire(i, st, journal);
+            }
+            return;
+        };
+        // JobDone results are accepted even from a stale generation:
+        // the bytes were in flight before the fence, and determinism
+        // makes them identical to what a reassigned worker produces.
+        if let Msg::JobDone { lease, index, record, metrics } = msg {
+            if self.lease_campaign.get(&lease) == Some(&st.campaign.letter()) {
+                self.accept(st, journal, index as usize, record, *metrics);
+                if current {
+                    self.slots[i].last_seen = Instant::now();
+                    if let SlotState::Leased(l) = &mut self.slots[i].state {
+                        if l.id == lease {
+                            l.outstanding.remove(&(index as usize));
+                            if l.outstanding.is_empty() {
+                                self.slots[i].state = SlotState::Idle;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        if !current {
+            return;
+        }
+        self.slots[i].last_seen = Instant::now();
+        match msg {
+            Msg::Hello { protocol, fingerprint, seed } => {
+                let ok = protocol == PROTOCOL_VERSION
+                    && fingerprint == self.fingerprint
+                    && seed == self.exp.config.seed;
+                if ok {
+                    if matches!(self.slots[i].state, SlotState::Handshaking { .. }) {
+                        self.slots[i].state = SlotState::Idle;
+                    }
+                } else {
+                    // A worker computing a different plan must never
+                    // contribute records; respawning the same exe would
+                    // produce the same mismatch, so retire the slot.
+                    self.kill_slot(i);
+                    self.slots[i].state = SlotState::Retired;
+                    self.report.workers_quarantined += 1;
+                }
+            }
+            Msg::Heartbeat { .. } | Msg::LeaseAck { .. } => {}
+            // Worker-bound messages are never valid coordinator-bound.
+            Msg::LeaseGrant { .. } | Msg::Stall | Msg::Die { .. } | Msg::Shutdown => {}
+            Msg::JobDone { .. } => unreachable!("handled above"),
+        }
+    }
+
+    /// Fires any chaos events whose trigger count has been reached.
+    fn fire_chaos(&mut self, st: &mut CampaignState, journal: &mut Option<Journal>) {
+        while let Some(ev) = self.chaos.front() {
+            if self.total_accepted < ev.at_done {
+                break;
+            }
+            let ev = self.chaos.pop_front().expect("front exists");
+            let live: Vec<usize> = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.child.is_some())
+                .map(|(i, _)| i)
+                .collect();
+            if live.is_empty() {
+                continue;
+            }
+            let victim = live[(ev.pick % live.len() as u64) as usize];
+            let _ = self.chaos_rng.next_u64();
+            match ev.action {
+                ChaosAction::Kill => {
+                    self.report.chaos_kills += 1;
+                    self.counters.chaos_kills += 1;
+                    self.expire(victim, st, journal);
+                }
+                ChaosAction::Stall => {
+                    self.report.chaos_stalls += 1;
+                    if let Some(stdin) = self.slots[victim].stdin.as_mut() {
+                        let _ = send_msg(stdin, &Msg::Stall);
+                    }
+                }
+                ChaosAction::Exit => {
+                    self.report.chaos_exits += 1;
+                    if let Some(stdin) = self.slots[victim].stdin.as_mut() {
+                        let _ = send_msg(stdin, &Msg::Die { code: 3 });
+                    }
+                }
+            }
+        }
+    }
+
+    /// One scheduling pass: deadlines, respawns, lease grants, chaos.
+    fn tick(&mut self, st: &mut CampaignState, journal: &mut Option<Journal>) {
+        let now = Instant::now();
+        for i in 0..self.slots.len() {
+            match self.slots[i].state {
+                SlotState::Handshaking { deadline } => {
+                    if now >= deadline {
+                        self.report.handshake_timeouts += 1;
+                        self.expire(i, st, journal);
+                    }
+                }
+                SlotState::Idle | SlotState::Leased(_) => {
+                    if now.duration_since(self.slots[i].last_seen) > self.cfg.heartbeat_budget {
+                        self.expire(i, st, journal);
+                    }
+                }
+                SlotState::Respawning { at } => {
+                    if now >= at && st.remaining() > 0 {
+                        self.spawn_worker(i);
+                    }
+                }
+                SlotState::Retired => {}
+            }
+        }
+        for i in 0..self.slots.len() {
+            if matches!(self.slots[i].state, SlotState::Idle) && !st.queue.is_empty() {
+                self.grant(i, st);
+            }
+        }
+        self.fire_chaos(st, journal);
+    }
+
+    /// True when no slot can ever make progress again.
+    fn collapsed(&self) -> bool {
+        self.slots.iter().all(|s| matches!(s.state, SlotState::Retired))
+    }
+
+    /// Sends Shutdown to every live worker, grants a short grace
+    /// period, then SIGKILLs stragglers and reaps everything.
+    fn shutdown(&mut self) {
+        for slot in &mut self.slots {
+            if let Some(stdin) = slot.stdin.as_mut() {
+                let _ = send_msg(stdin, &Msg::Shutdown);
+            }
+            slot.stdin = None; // EOF on the worker's stdin
+        }
+        let deadline = Instant::now() + Duration::from_millis(500);
+        loop {
+            let mut alive = false;
+            for slot in &mut self.slots {
+                if let Some(child) = slot.child.as_mut() {
+                    match child.try_wait() {
+                        Ok(Some(_)) => {
+                            slot.child = None;
+                        }
+                        _ => alive = true,
+                    }
+                }
+            }
+            if !alive || Instant::now() >= deadline {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        for i in 0..self.slots.len() {
+            self.kill_slot(i);
+        }
+    }
+}
+
+fn spawn_reader(
+    slot: usize,
+    gen: u64,
+    mut stdout: std::process::ChildStdout,
+    tx: mpsc::Sender<RxEvent>,
+) {
+    std::thread::spawn(move || {
+        let mut dec = StreamDecoder::new();
+        let mut buf = [0u8; 8192];
+        let drain = |dec: &mut StreamDecoder| -> bool {
+            while let Some(payload) = dec.next_frame() {
+                let mut pos = 0;
+                if let Ok(msg) = decode_msg(&payload, &mut pos) {
+                    if tx.send(RxEvent { slot, gen, msg: Some(msg) }).is_err() {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+        loop {
+            match stdout.read(&mut buf) {
+                Ok(0) => break,
+                Ok(n) => {
+                    dec.push(&buf[..n]);
+                    if !drain(&mut dec) {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+        dec.finish();
+        drain(&mut dec);
+        let _ = tx.send(RxEvent { slot, gen, msg: None });
+    });
+}
+
+/// Runs one campaign's plan over the pool.
+fn run_campaign_dist(
+    pool: &mut Pool<'_>,
+    campaign: Campaign,
+    journal: &mut Option<Journal>,
+    resumed: &BTreeMap<char, BTreeMap<usize, JournalEntry>>,
+) -> CampaignResult {
+    let exp = pool.exp;
+    let plan: Vec<(InjectionTarget, u32)> = exp
+        .plan(campaign)
+        .into_iter()
+        .map(|t| {
+            let mode = exp.mode_for(&t);
+            (t, mode)
+        })
+        .collect();
+    let functions_injected = {
+        let mut fs: Vec<&str> = plan.iter().map(|(t, _)| t.function.as_str()).collect();
+        fs.sort_unstable();
+        fs.dedup();
+        fs.len()
+    };
+
+    // Resume: a journaled entry only replays when it matches the plan
+    // exactly, mirroring the in-process supervisor.
+    let empty = BTreeMap::new();
+    let journaled = resumed.get(&campaign.letter()).unwrap_or(&empty);
+    let mut done: Vec<JobDone> = Vec::new();
+    let mut queue = VecDeque::new();
+    let mut skipped = BTreeSet::new();
+    for (index, (target, mode)) in plan.iter().enumerate() {
+        match journaled.get(&index) {
+            Some(e) if e.record.target == *target && e.record.mode == *mode => {
+                skipped.insert(index);
+                done.push(JobDone {
+                    index,
+                    record: e.record.clone(),
+                    metrics: e.metrics.clone(),
+                    quarantine: None,
+                });
+            }
+            _ => queue.push_back(index),
+        }
+    }
+    pool.report.resumed_runs += skipped.len();
+
+    let mut st = CampaignState {
+        campaign,
+        plan,
+        queue,
+        accepted: BTreeSet::new(),
+        skipped: skipped.clone(),
+        expiries: BTreeMap::new(),
+        order: JournalOrder::new(skipped),
+        done,
+    };
+
+    while st.remaining() > 0 {
+        if pool.collapsed() {
+            degrade_in_process(pool, &mut st, journal);
+            break;
+        }
+        pool.tick(&mut st, journal);
+        match pool.rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(ev) => {
+                pool.handle_msg(ev, &mut st, journal);
+                // Drain whatever else is already queued before the next
+                // scheduling pass.
+                while let Ok(ev) = pool.rx.try_recv() {
+                    pool.handle_msg(ev, &mut st, journal);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                degrade_in_process(pool, &mut st, journal);
+                break;
+            }
+        }
+    }
+
+    st.done.sort_by_key(|d| d.index);
+    let mut metrics = Metrics::default();
+    let mut records = Vec::with_capacity(st.done.len());
+    for d in st.done {
+        metrics.merge(&d.metrics);
+        records.push(d.record);
+    }
+    // Fold in this campaign's coordinator counters. They are excluded
+    // from the CSV and report surfaces (like `journal_flushes`), so the
+    // golden output stays byte-identical to the in-process supervisor.
+    metrics.merge(&std::mem::take(&mut pool.counters));
+    CampaignResult { campaign, records, functions_injected, metrics }
+}
+
+/// The pool is gone: finish the campaign on this thread so it always
+/// completes — the supervisor's main-thread fallback, one level up.
+fn degrade_in_process(pool: &mut Pool<'_>, st: &mut CampaignState, journal: &mut Option<Journal>) {
+    // Reclaim every index still outstanding on an expired-but-unreaped
+    // lease (collapse can race the last expiry).
+    let mut outstanding: Vec<usize> = Vec::new();
+    for slot in &mut pool.slots {
+        if let SlotState::Leased(l) = std::mem::replace(&mut slot.state, SlotState::Retired) {
+            outstanding.extend(l.outstanding);
+        }
+    }
+    for idx in outstanding {
+        if !st.accepted.contains(&idx) && !st.queue.contains(&idx) {
+            st.queue.push_back(idx);
+        }
+    }
+    let sup = SupervisorConfig::default();
+    let slot = WatchSlot::new();
+    let mut rig: Option<InjectorRig> = None;
+    while let Some(index) = st.queue.pop_front() {
+        if st.accepted.contains(&index) {
+            continue;
+        }
+        let (target, mode) = st.plan[index].clone();
+        let job = Job { index, target, mode };
+        pool.report.jobs_degraded += 1;
+        match process_job(pool.exp, &sup, &job, &mut rig, &slot) {
+            Ok(done) => {
+                pool.accept(st, journal, done.index, done.record, done.metrics);
+            }
+            Err(()) => {
+                let mut m = Metrics::default();
+                m.runs += 1;
+                m.record_outcome(trace_outcome::RIG_FAULT);
+                let record = rig_fault_record(&job, "rig could not be built on any worker");
+                pool.accept(st, journal, index, record, m);
+            }
+        }
+    }
+}
+
+/// Runs all three campaigns across a pool of worker subprocesses.
+///
+/// The dataset (records, CSV, journal bytes) is identical to
+/// [`crate::supervisor::run_study_supervised`] with a default policy —
+/// at any worker count, any arrival order, and under any kill
+/// schedule, including the chaos harness's.
+///
+/// # Errors
+///
+/// Journal open/read failures (bad header, seed mismatch, I/O).
+pub fn run_study_dist(exp: &Experiment, cfg: &DistConfig) -> Result<DistStudy, String> {
+    let sup_like = SupervisorConfig {
+        journal: cfg.journal.clone(),
+        resume: cfg.resume,
+        ..SupervisorConfig::default()
+    };
+    let (mut journal, resumed) = open_journal(exp, &sup_like)?;
+    let total_jobs: usize =
+        [Campaign::A, Campaign::B, Campaign::C].iter().map(|c| exp.plan(*c).len()).sum();
+    let mut pool = Pool::new(exp, cfg, total_jobs);
+    let mut campaigns = BTreeMap::new();
+    for c in [Campaign::A, Campaign::B, Campaign::C] {
+        let result = run_campaign_dist(&mut pool, c, &mut journal, &resumed);
+        campaigns.insert(c.letter(), result);
+        if let Some(j) = journal.as_mut() {
+            // Checkpoint the campaign boundary.
+            j.sync().map_err(|e| e.to_string())?;
+        }
+    }
+    pool.shutdown();
+    let mut report = pool.report;
+    if let Some(mut j) = journal {
+        j.sync().map_err(|e| e.to_string())?;
+        report.journal_flushes = j.flushes;
+    }
+    Ok(DistStudy { study: StudyResult { campaigns, seed: exp.config.seed }, report })
+}
+
+/// The worker half: handshake, heartbeat, lease execution. Speaks the
+/// framed [`Msg`] protocol on `input`/`output` (stdin/stdout when
+/// spawned by the coordinator) and returns on Shutdown or EOF.
+///
+/// # Errors
+///
+/// An explanation when the rig cannot be built — the worker must die
+/// nonzero so the coordinator reassigns its lease.
+pub fn run_worker<R: Read, W: Write + Send>(
+    exp: &Experiment,
+    cfg: &WorkerConfig,
+    mut input: R,
+    output: W,
+) -> Result<(), String> {
+    if cfg.wedge_handshake {
+        // Test hook: never handshake; the coordinator must reap us.
+        loop {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+    }
+    let writer = Mutex::new(output);
+    let send = |msg: &Msg| -> Result<(), String> {
+        let mut payload = Vec::new();
+        encode_msg(&mut payload, msg);
+        let mut framed = Vec::new();
+        write_frame(&mut framed, &payload);
+        let mut w = writer.lock().expect("writer lock");
+        w.write_all(&framed).and_then(|()| w.flush()).map_err(|e| e.to_string())
+    };
+    send(&Msg::Hello {
+        protocol: PROTOCOL_VERSION,
+        fingerprint: plan_fingerprint(exp),
+        seed: exp.config.seed,
+    })?;
+
+    let jobs_done = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let stalled = AtomicBool::new(false);
+    let slot = WatchSlot::new();
+    let mut plans: BTreeMap<char, Vec<(InjectionTarget, u32)>> = BTreeMap::new();
+    let mut rig: Option<InjectorRig> = None;
+
+    let mut out: Result<(), String> = Ok(());
+    std::thread::scope(|s| {
+        // Heartbeat thread: beats through long runs, goes quiet when
+        // stalled (chaos) or stopping.
+        s.spawn(|| {
+            while !stop.load(Ordering::SeqCst) {
+                if !stalled.load(Ordering::SeqCst) {
+                    let msg = Msg::Heartbeat { jobs_done: jobs_done.load(Ordering::SeqCst) };
+                    if send(&msg).is_err() {
+                        // Coordinator gone; nothing to beat for.
+                        break;
+                    }
+                }
+                std::thread::sleep(cfg.heartbeat_interval);
+            }
+        });
+        // Wall-clock watchdog, as in the in-process supervisor.
+        if cfg.supervisor.wall_budget.is_some() {
+            let budget = cfg.supervisor.wall_budget.expect("checked");
+            let slot = &slot;
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    {
+                        let started = slot.started.lock().expect("watch slot");
+                        if let Some(t0) = *started {
+                            if t0.elapsed() >= budget {
+                                slot.abort.store(true, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+            });
+        }
+
+        let mut dec = StreamDecoder::new();
+        let mut buf = [0u8; 8192];
+        'io: loop {
+            while let Some(payload) = dec.next_frame() {
+                let mut pos = 0;
+                let Ok(msg) = decode_msg(&payload, &mut pos) else { continue };
+                match msg {
+                    Msg::LeaseGrant { lease, campaign, indices } => {
+                        if send(&Msg::LeaseAck { lease }).is_err() {
+                            break 'io;
+                        }
+                        let plan = plans.entry(campaign.letter()).or_insert_with(|| {
+                            exp.plan(campaign)
+                                .into_iter()
+                                .map(|t| {
+                                    let mode = exp.mode_for(&t);
+                                    (t, mode)
+                                })
+                                .collect()
+                        });
+                        for raw in indices {
+                            let index = raw as usize;
+                            let Some((target, mode)) = plan.get(index).cloned() else { continue };
+                            let job = Job { index, target, mode };
+                            match process_job(exp, &cfg.supervisor, &job, &mut rig, &slot) {
+                                Ok(done) => {
+                                    jobs_done.fetch_add(1, Ordering::SeqCst);
+                                    let msg = Msg::JobDone {
+                                        lease,
+                                        index: done.index as u64,
+                                        record: done.record,
+                                        metrics: Box::new(done.metrics),
+                                    };
+                                    if send(&msg).is_err() {
+                                        break 'io;
+                                    }
+                                }
+                                Err(()) => {
+                                    out = Err("worker rig could not be built".into());
+                                    break 'io;
+                                }
+                            }
+                        }
+                    }
+                    Msg::Stall => {
+                        // Simulated livelock: heartbeats stop, the
+                        // process stays alive until SIGKILLed.
+                        stalled.store(true, Ordering::SeqCst);
+                        loop {
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                    }
+                    Msg::Die { code } => {
+                        std::process::exit(code as i32);
+                    }
+                    Msg::Shutdown => break 'io,
+                    // Coordinator-bound frames are not ours to handle.
+                    Msg::Hello { .. }
+                    | Msg::LeaseAck { .. }
+                    | Msg::Heartbeat { .. }
+                    | Msg::JobDone { .. } => {}
+                }
+            }
+            match input.read(&mut buf) {
+                Ok(0) => break 'io,
+                Ok(n) => dec.push(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break 'io,
+            }
+        }
+        stop.store(true, Ordering::SeqCst);
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_size_covers_plan() {
+        for plan_len in [0usize, 1, 2, 7, 31, 100, 1000] {
+            for workers in [1usize, 2, 4, 8] {
+                let n = chunk_size(plan_len, workers);
+                assert!(n >= 1);
+                if plan_len > 0 {
+                    // Every index handed out exactly once across chunks.
+                    let mut queue: VecDeque<usize> = (0..plan_len).collect();
+                    let mut seen = Vec::new();
+                    while !queue.is_empty() {
+                        for _ in 0..n {
+                            match queue.pop_front() {
+                                Some(i) => seen.push(i),
+                                None => break,
+                            }
+                        }
+                    }
+                    assert_eq!(seen, (0..plan_len).collect::<Vec<_>>());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_plan_is_deterministic_and_kill_first() {
+        for seed in 0..32u64 {
+            let a = ChaosPlan::new(seed, 120);
+            let b = ChaosPlan::new(seed, 120);
+            assert_eq!(a, b, "same seed, same schedule");
+            assert_eq!(a.events.len(), ChaosPlan::EVENTS);
+            assert!(
+                a.events.iter().any(|e| e.action == ChaosAction::Kill),
+                "every schedule proves SIGKILL recovery"
+            );
+            let span = 120 * 3 / 4;
+            for e in &a.events {
+                assert!(e.at_done < span);
+            }
+        }
+        assert_ne!(ChaosPlan::new(1, 120), ChaosPlan::new(2, 120), "seed varies the schedule");
+    }
+
+    #[test]
+    fn fnv_chaining_mixes() {
+        let a = fnv1a(0xcbf2_9ce4_8422_2325, b"abc");
+        let b = fnv1a(0xcbf2_9ce4_8422_2325, b"abd");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a(fnv1a(0xcbf2_9ce4_8422_2325, b"ab"), b"c"));
+    }
+}

@@ -36,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
+pub mod dist;
 pub mod experiment;
 pub mod journal;
 pub mod matrix;
@@ -44,6 +45,10 @@ pub mod stats;
 pub mod supervisor;
 
 pub use dataset::{metrics_to_csv, to_csv, RecordRow, METRICS_CSV_HEADER};
+pub use dist::{
+    chunk_size, plan_fingerprint, run_study_dist, run_worker, ChaosAction, ChaosEvent, ChaosPlan,
+    DistConfig, DistReport, DistStudy, WorkerConfig,
+};
 pub use experiment::{
     CampaignResult, Experiment, ExperimentConfig, StudyResult, INJECTED_SUBSYSTEMS,
 };

@@ -170,34 +170,34 @@ pub struct SupervisedStudy {
 
 /// One planned unit of work.
 #[derive(Clone)]
-struct Job {
-    index: usize,
-    target: InjectionTarget,
-    mode: u32,
+pub(crate) struct Job {
+    pub(crate) index: usize,
+    pub(crate) target: InjectionTarget,
+    pub(crate) mode: u32,
 }
 
 /// Per-worker watchdog slot. The watchdog sets `abort` only while
 /// holding `started`'s lock and seeing a running run; the worker clears
 /// both under the same lock, so a flag raised for run N can never leak
 /// into run N+1.
-struct WatchSlot {
-    started: Mutex<Option<Instant>>,
-    abort: Arc<AtomicBool>,
+pub(crate) struct WatchSlot {
+    pub(crate) started: Mutex<Option<Instant>>,
+    pub(crate) abort: Arc<AtomicBool>,
 }
 
 impl WatchSlot {
-    fn new() -> WatchSlot {
+    pub(crate) fn new() -> WatchSlot {
         WatchSlot { started: Mutex::new(None), abort: Arc::new(AtomicBool::new(false)) }
     }
 }
 
 /// How one job finished.
-struct JobDone {
-    index: usize,
-    record: RunRecord,
+pub(crate) struct JobDone {
+    pub(crate) index: usize,
+    pub(crate) record: RunRecord,
     /// Final-attempt rig metrics delta + this job's supervisor counters.
-    metrics: Metrics,
-    quarantine: Option<QuarantineReport>,
+    pub(crate) metrics: Metrics,
+    pub(crate) quarantine: Option<QuarantineReport>,
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -210,7 +210,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn rig_fault_record(job: &Job, msg: &str) -> RunRecord {
+pub(crate) fn rig_fault_record(job: &Job, msg: &str) -> RunRecord {
     RunRecord {
         target: job.target.clone(),
         mode: job.mode,
@@ -262,7 +262,7 @@ fn write_quarantine_artifact(
 /// Executes one job to a final record, retrying panics and
 /// sanitizer-poisoned runs on a fresh rig. Returns `Err(())` when the
 /// rig died and could not be rebuilt — the job goes back to the queue.
-fn process_job(
+pub(crate) fn process_job(
     exp: &Experiment,
     cfg: &SupervisorConfig,
     job: &Job,
@@ -378,23 +378,23 @@ fn process_job(
 /// runs). Entries completed ahead of a still-running earlier job are
 /// held here until the gap closes; the window is usually the worker
 /// count, though one long run can briefly hold back many completions.
-struct JournalOrder {
+pub(crate) struct JournalOrder {
     /// Next plan index the journal is waiting for.
     next: usize,
     /// Completed-but-early entries, keyed by plan index.
-    held: BTreeMap<usize, JournalEntry>,
+    pub(crate) held: BTreeMap<usize, JournalEntry>,
     /// Plan indices already journaled by a previous (resumed) session;
     /// `next` skips over these.
     skip: BTreeSet<usize>,
 }
 
 impl JournalOrder {
-    fn new(skip: BTreeSet<usize>) -> JournalOrder {
+    pub(crate) fn new(skip: BTreeSet<usize>) -> JournalOrder {
         JournalOrder { next: 0, held: BTreeMap::new(), skip }
     }
 
     /// Appends every entry that is now contiguous with the journal tail.
-    fn drain(&mut self, j: &mut Journal) {
+    pub(crate) fn drain(&mut self, j: &mut Journal) {
         loop {
             if self.skip.remove(&self.next) {
                 self.next += 1;
@@ -558,7 +558,7 @@ pub fn run_plan_supervised(
 
 /// Opens/creates the journal per config and reads any resumable
 /// entries, grouped by campaign letter.
-fn open_journal(
+pub(crate) fn open_journal(
     exp: &Experiment,
     cfg: &SupervisorConfig,
 ) -> Result<(Option<Journal>, BTreeMap<char, BTreeMap<usize, JournalEntry>>), String> {

@@ -211,6 +211,166 @@ pub fn decode_record(buf: &[u8], pos: &mut usize) -> Result<RunRecord, CodecErro
     })
 }
 
+/// Version of the coordinator↔worker protocol. A worker whose
+/// [`Msg::Hello`] carries a different version is reaped immediately —
+/// mixed builds must never exchange records.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+const MSG_HELLO: u8 = 1;
+const MSG_LEASE_GRANT: u8 = 2;
+const MSG_LEASE_ACK: u8 = 3;
+const MSG_HEARTBEAT: u8 = 4;
+const MSG_JOB_DONE: u8 = 5;
+const MSG_STALL: u8 = 6;
+const MSG_DIE: u8 = 7;
+const MSG_SHUTDOWN: u8 = 8;
+
+/// One coordinator↔worker protocol message. Each is CRC-framed on the
+/// pipe (`kfi_trace::frame`); the payload is this tagged encoding.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → coordinator, first frame after spawn: proves liveness
+    /// and that both sides computed the same plan.
+    Hello {
+        /// Must equal [`PROTOCOL_VERSION`].
+        protocol: u32,
+        /// Fingerprint of the campaign plan the worker derived from its
+        /// CLI config — must match the coordinator's own.
+        fingerprint: u64,
+        /// Campaign seed, double-checking the fingerprint.
+        seed: u64,
+    },
+    /// Coordinator → worker: a chunk of plan indices to execute under
+    /// the given lease.
+    LeaseGrant {
+        /// Monotonic lease id; stale results quote it and are dropped.
+        lease: u64,
+        /// Which campaign the indices index into.
+        campaign: Campaign,
+        /// Plan indices to run, ascending.
+        indices: Vec<u64>,
+    },
+    /// Worker → coordinator: the lease was received and work started.
+    LeaseAck {
+        /// The lease being acknowledged.
+        lease: u64,
+    },
+    /// Worker → coordinator, periodic liveness signal.
+    Heartbeat {
+        /// Jobs completed so far in this worker's lifetime.
+        jobs_done: u64,
+    },
+    /// Worker → coordinator: one plan index finished.
+    JobDone {
+        /// Lease the job was granted under.
+        lease: u64,
+        /// Plan index the record belongs to.
+        index: u64,
+        /// The classified run.
+        record: RunRecord,
+        /// The run's metrics delta.
+        metrics: Box<kfi_trace::Metrics>,
+    },
+    /// Coordinator → worker (chaos harness): stop heartbeating and park
+    /// forever, simulating a livelocked worker.
+    Stall,
+    /// Coordinator → worker (chaos harness): exit with the given code,
+    /// simulating a worker crash.
+    Die {
+        /// Process exit code to die with.
+        code: u32,
+    },
+    /// Coordinator → worker: campaign over, flush and exit cleanly.
+    Shutdown,
+}
+
+/// Appends the wire encoding of one protocol message.
+pub fn encode_msg(out: &mut Vec<u8>, msg: &Msg) {
+    match msg {
+        Msg::Hello { protocol, fingerprint, seed } => {
+            out.push(MSG_HELLO);
+            put_varint(out, *protocol as u64);
+            put_varint(out, *fingerprint);
+            put_varint(out, *seed);
+        }
+        Msg::LeaseGrant { lease, campaign, indices } => {
+            out.push(MSG_LEASE_GRANT);
+            put_varint(out, *lease);
+            out.push(campaign.letter() as u8);
+            put_varint(out, indices.len() as u64);
+            for i in indices {
+                put_varint(out, *i);
+            }
+        }
+        Msg::LeaseAck { lease } => {
+            out.push(MSG_LEASE_ACK);
+            put_varint(out, *lease);
+        }
+        Msg::Heartbeat { jobs_done } => {
+            out.push(MSG_HEARTBEAT);
+            put_varint(out, *jobs_done);
+        }
+        Msg::JobDone { lease, index, record, metrics } => {
+            out.push(MSG_JOB_DONE);
+            put_varint(out, *lease);
+            put_varint(out, *index);
+            encode_record(out, record);
+            metrics.encode_into(out);
+        }
+        Msg::Stall => out.push(MSG_STALL),
+        Msg::Die { code } => {
+            out.push(MSG_DIE);
+            put_varint(out, *code as u64);
+        }
+        Msg::Shutdown => out.push(MSG_SHUTDOWN),
+    }
+}
+
+/// Decodes one message written by [`encode_msg`], advancing `pos`.
+///
+/// # Errors
+///
+/// [`CodecError`] on truncation or an invalid tag/letter.
+pub fn decode_msg(buf: &[u8], pos: &mut usize) -> Result<Msg, CodecError> {
+    let tag_offset = *pos;
+    match get_byte(buf, pos)? {
+        MSG_HELLO => Ok(Msg::Hello {
+            protocol: get_varint(buf, pos)? as u32,
+            fingerprint: get_varint(buf, pos)?,
+            seed: get_varint(buf, pos)?,
+        }),
+        MSG_LEASE_GRANT => {
+            let lease = get_varint(buf, pos)?;
+            let letter_offset = *pos;
+            let campaign = match get_byte(buf, pos)? {
+                b'A' => Campaign::A,
+                b'B' => Campaign::B,
+                b'C' => Campaign::C,
+                other => return Err(CodecError::BadTag { offset: letter_offset, tag: other }),
+            };
+            let n = get_varint(buf, pos)? as usize;
+            let mut indices = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                indices.push(get_varint(buf, pos)?);
+            }
+            Ok(Msg::LeaseGrant { lease, campaign, indices })
+        }
+        MSG_LEASE_ACK => Ok(Msg::LeaseAck { lease: get_varint(buf, pos)? }),
+        MSG_HEARTBEAT => Ok(Msg::Heartbeat { jobs_done: get_varint(buf, pos)? }),
+        MSG_JOB_DONE => {
+            let lease = get_varint(buf, pos)?;
+            let index = get_varint(buf, pos)?;
+            let record = decode_record(buf, pos)?;
+            let metrics = Box::new(kfi_trace::Metrics::decode_from(buf, pos)?);
+            Ok(Msg::JobDone { lease, index, record, metrics })
+        }
+        MSG_STALL => Ok(Msg::Stall),
+        MSG_DIE => Ok(Msg::Die { code: get_varint(buf, pos)? as u32 }),
+        MSG_SHUTDOWN => Ok(Msg::Shutdown),
+        other => Err(CodecError::BadTag { offset: tag_offset, tag: other }),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -281,6 +441,63 @@ mod tests {
             assert_eq!(pos, buf.len());
             assert_eq!(back, rec);
         }
+    }
+
+    #[test]
+    fn msg_roundtrip_every_variant() {
+        let mut metrics = kfi_trace::Metrics::default();
+        metrics.runs = 1;
+        metrics.instructions = 1 << 33;
+        let msgs = vec![
+            Msg::Hello { protocol: PROTOCOL_VERSION, fingerprint: 0xDEAD_BEEF_0BAD_F00D, seed: 11 },
+            Msg::LeaseGrant { lease: 7, campaign: Campaign::B, indices: vec![0, 5, 1 << 40] },
+            Msg::LeaseGrant { lease: 8, campaign: Campaign::C, indices: vec![] },
+            Msg::LeaseAck { lease: 7 },
+            Msg::Heartbeat { jobs_done: 99 },
+            Msg::JobDone {
+                lease: 7,
+                index: 3,
+                record: RunRecord {
+                    target: target(Campaign::A),
+                    mode: 2,
+                    outcome: Outcome::Hang,
+                    activation_tsc: Some(5),
+                    run_cycles: 100,
+                    sanitizer_violations: 0,
+                },
+                metrics: Box::new(metrics),
+            },
+            Msg::Stall,
+            Msg::Die { code: 3 },
+            Msg::Shutdown,
+        ];
+        for msg in msgs {
+            let mut buf = Vec::new();
+            encode_msg(&mut buf, &msg);
+            let mut pos = 0;
+            let back = decode_msg(&buf, &mut pos).expect("decodes");
+            assert_eq!(pos, buf.len(), "decode must consume exactly what encode wrote");
+            assert_eq!(back, msg);
+            // Truncation anywhere errors instead of panicking.
+            for cut in 0..buf.len() {
+                let mut p = 0;
+                let _ = decode_msg(&buf[..cut], &mut p);
+            }
+        }
+    }
+
+    #[test]
+    fn msg_bad_tag_rejected() {
+        let mut pos = 0;
+        assert!(decode_msg(&[0xEE], &mut pos).is_err());
+        let mut pos = 0;
+        assert!(decode_msg(&[], &mut pos).is_err());
+        // LeaseGrant with an invalid campaign letter.
+        let mut buf = vec![MSG_LEASE_GRANT];
+        put_varint(&mut buf, 1);
+        buf.push(b'Z');
+        let mut pos = 0;
+        assert!(decode_msg(&buf, &mut pos).is_err());
     }
 
     #[test]

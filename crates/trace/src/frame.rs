@@ -76,6 +76,110 @@ pub fn read_frames(buf: &[u8]) -> (Vec<&[u8]>, FrameTail) {
     (out, FrameTail::Clean)
 }
 
+/// Largest payload a stream frame may claim. Anything bigger is treated
+/// as garbage by [`StreamDecoder`] and resynced past: real payloads
+/// (RunRecords, Metrics deltas, protocol frames) are a few KiB, so a
+/// multi-megabyte length field can only come from a torn or corrupted
+/// stream.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Incremental frame decoder for byte streams that arrive in pieces —
+/// pipes from worker subprocesses, partially-synced files.
+///
+/// Unlike [`read_frames`], which fences at the first damaged frame (the
+/// right contract for the append-only journal), `StreamDecoder`
+/// *resynchronizes*: when a frame's CRC fails or its length field is
+/// absurd, it slides forward one byte at a time until the next position
+/// that parses as a valid frame, counting every byte it had to discard.
+/// A coordinator reading a torn pipe therefore recovers every intact
+/// record after the damage instead of abandoning the stream.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    pos: usize,
+    skipped: u64,
+    eof: bool,
+}
+
+impl StreamDecoder {
+    /// A fresh decoder with an empty buffer.
+    pub fn new() -> StreamDecoder {
+        StreamDecoder::default()
+    }
+
+    /// Appends newly-arrived bytes to the decode buffer.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing so a long-lived stream doesn't retain
+        // every byte it ever saw.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Marks the stream as ended. After this, a partial frame at the
+    /// tail is treated as damage to resync past (and ultimately
+    /// discard) rather than data still in flight.
+    pub fn finish(&mut self) {
+        self.eof = true;
+    }
+
+    /// Bytes discarded so far while resynchronizing past damage.
+    pub fn skipped_bytes(&self) -> u64 {
+        self.skipped
+    }
+
+    /// Extracts the next complete, CRC-valid payload, or `None` if the
+    /// buffered bytes don't (yet) contain one. Before [`finish`], a
+    /// plausible-but-incomplete frame at the tail makes this return
+    /// `None` in anticipation of more bytes; after, it is skipped like
+    /// any other damage.
+    ///
+    /// [`finish`]: StreamDecoder::finish
+    pub fn next_frame(&mut self) -> Option<Vec<u8>> {
+        loop {
+            let avail = self.buf.len() - self.pos;
+            if avail < 8 {
+                if self.eof && avail > 0 {
+                    self.skipped += avail as u64;
+                    self.pos = self.buf.len();
+                }
+                return None;
+            }
+            let p = self.pos;
+            let len = u32::from_le_bytes(self.buf[p..p + 4].try_into().expect("4 bytes")) as usize;
+            if len > MAX_FRAME_LEN {
+                self.skipped += 1;
+                self.pos += 1;
+                continue;
+            }
+            let want = u32::from_le_bytes(self.buf[p + 4..p + 8].try_into().expect("4 bytes"));
+            let start = p + 8;
+            let Some(end) = start.checked_add(len).filter(|e| *e <= self.buf.len()) else {
+                // Frame extends past what we have: wait for more bytes,
+                // unless the stream already ended — then it never
+                // completes and we slide past it.
+                if self.eof {
+                    self.skipped += 1;
+                    self.pos += 1;
+                    continue;
+                }
+                return None;
+            };
+            let payload = &self.buf[start..end];
+            if crc32(payload) != want {
+                self.skipped += 1;
+                self.pos += 1;
+                continue;
+            }
+            let out = payload.to_vec();
+            self.pos = end;
+            return Some(out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +229,90 @@ mod tests {
         let (frames, tail) = read_frames(&buf);
         assert_eq!(frames, vec![b"good" as &[u8]]);
         assert_eq!(tail, FrameTail::Corrupt { offset: second });
+    }
+
+    #[test]
+    fn decoder_reassembles_chunked_stream() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"alpha");
+        write_frame(&mut buf, b"");
+        write_frame(&mut buf, &[0x5A; 1000]);
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        // Feed one byte at a time — worst-case pipe fragmentation.
+        for b in &buf {
+            dec.push(std::slice::from_ref(b));
+            while let Some(f) = dec.next_frame() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got, vec![b"alpha".to_vec(), Vec::new(), vec![0x5A; 1000]]);
+        assert_eq!(dec.skipped_bytes(), 0);
+    }
+
+    #[test]
+    fn decoder_resyncs_past_garbage_prefix() {
+        let mut buf = vec![0xFFu8; 37]; // junk: absurd length fields
+        let junk = buf.len() as u64;
+        write_frame(&mut buf, b"found me");
+        let mut dec = StreamDecoder::new();
+        dec.push(&buf);
+        // While sliding through the junk, some offsets parse as a
+        // plausible-but-incomplete frame; EOF lets resync continue.
+        dec.finish();
+        assert_eq!(dec.next_frame().as_deref(), Some(b"found me" as &[u8]));
+        assert_eq!(dec.skipped_bytes(), junk);
+        assert!(dec.next_frame().is_none());
+    }
+
+    #[test]
+    fn decoder_skips_corrupt_frame_and_recovers_following() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"good one");
+        let second = buf.len();
+        write_frame(&mut buf, b"doomed payload");
+        buf[second + 9] ^= 0x40; // flip a payload bit: CRC mismatch
+        write_frame(&mut buf, b"good two");
+        let mut dec = StreamDecoder::new();
+        dec.push(&buf);
+        dec.finish();
+        assert_eq!(dec.next_frame().as_deref(), Some(b"good one" as &[u8]));
+        assert_eq!(dec.next_frame().as_deref(), Some(b"good two" as &[u8]));
+        assert!(dec.next_frame().is_none());
+        assert!(dec.skipped_bytes() > 0);
+    }
+
+    #[test]
+    fn decoder_waits_on_partial_frame_until_finish() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"whole");
+        let whole = buf.len();
+        write_frame(&mut buf, b"torn off mid-write");
+        let torn = &buf[..buf.len() - 5];
+        let mut dec = StreamDecoder::new();
+        dec.push(torn);
+        assert_eq!(dec.next_frame().as_deref(), Some(b"whole" as &[u8]));
+        // Incomplete tail: still in flight as far as the decoder knows.
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.skipped_bytes(), 0);
+        // EOF turns the partial tail into damage to discard.
+        dec.finish();
+        assert!(dec.next_frame().is_none());
+        assert_eq!(dec.skipped_bytes(), (torn.len() - whole) as u64);
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut dec = StreamDecoder::new();
+        let mut frame = Vec::new();
+        write_frame(&mut frame, &[7u8; 512]);
+        for _ in 0..64 {
+            dec.push(&frame);
+            assert_eq!(dec.next_frame().as_deref(), Some(&[7u8; 512] as &[u8]));
+        }
+        // Compaction kicks in once the consumed prefix passes 4 KiB, so
+        // the buffer stays bounded instead of retaining all 64 frames.
+        assert!(dec.buf.len() <= 4096 + 2 * frame.len(), "buffer must not grow unboundedly");
     }
 
     #[test]

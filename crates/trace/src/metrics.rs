@@ -170,6 +170,20 @@ pub struct Metrics {
     /// and an uninterrupted campaign, and resumed output must stay
     /// byte-identical.
     pub journal_flushes: u64,
+    /// Worker leases expired by the distributed coordinator (missed
+    /// heartbeat, dead pipe, nonzero exit). Like `journal_flushes`, the
+    /// dist counters are *excluded* from the CSV/report surfaces: a
+    /// distributed campaign's output must stay byte-identical to the
+    /// in-process supervisor's at any worker count and kill schedule.
+    pub leases_expired: u64,
+    /// Worker subprocesses respawned after a crash, stall, or reap.
+    pub workers_respawned: u64,
+    /// Workers deliberately SIGKILLed by the built-in chaos harness.
+    pub chaos_kills: u64,
+    /// Accepted JobDone payload bytes streamed over worker pipes —
+    /// counts each plan index's first-arriving result exactly once, so
+    /// it is invariant across worker counts and kill schedules.
+    pub wire_bytes_streamed: u64,
     /// Total cycles consumed by measured runs.
     pub run_cycles_total: u64,
     /// Distribution of per-run cycle counts.
@@ -214,6 +228,10 @@ impl Metrics {
         self.quarantined_runs += other.quarantined_runs;
         self.wall_watchdog_fired += other.wall_watchdog_fired;
         self.journal_flushes += other.journal_flushes;
+        self.leases_expired += other.leases_expired;
+        self.workers_respawned += other.workers_respawned;
+        self.chaos_kills += other.chaos_kills;
+        self.wire_bytes_streamed += other.wire_bytes_streamed;
         self.run_cycles_total += other.run_cycles_total;
         self.run_cycles.merge(&other.run_cycles);
         self.crash_latency.merge(&other.crash_latency);
@@ -270,6 +288,10 @@ impl Metrics {
         put_varint(out, self.quarantined_runs);
         put_varint(out, self.wall_watchdog_fired);
         put_varint(out, self.journal_flushes);
+        put_varint(out, self.leases_expired);
+        put_varint(out, self.workers_respawned);
+        put_varint(out, self.chaos_kills);
+        put_varint(out, self.wire_bytes_streamed);
         put_varint(out, self.run_cycles_total);
         self.run_cycles.encode_into(out);
         self.crash_latency.encode_into(out);
@@ -315,6 +337,10 @@ impl Metrics {
         m.quarantined_runs = get_varint(buf, pos)?;
         m.wall_watchdog_fired = get_varint(buf, pos)?;
         m.journal_flushes = get_varint(buf, pos)?;
+        m.leases_expired = get_varint(buf, pos)?;
+        m.workers_respawned = get_varint(buf, pos)?;
+        m.chaos_kills = get_varint(buf, pos)?;
+        m.wire_bytes_streamed = get_varint(buf, pos)?;
         m.run_cycles_total = get_varint(buf, pos)?;
         m.run_cycles = CycleHist::decode_from(buf, pos)?;
         m.crash_latency = CycleHist::decode_from(buf, pos)?;
@@ -396,6 +422,10 @@ mod tests {
         m.quarantined_runs = 1;
         m.wall_watchdog_fired = 1;
         m.journal_flushes = 8;
+        m.leases_expired = 2;
+        m.workers_respawned = 1;
+        m.chaos_kills = 3;
+        m.wire_bytes_streamed = 9_876;
         m.run_cycles_total = u64::MAX / 3;
         m.run_cycles.record(0);
         m.run_cycles.record(u64::MAX);
