@@ -28,6 +28,15 @@ pub struct ReproOptions {
     pub threads: usize,
     /// Build the kernel without BUG() assertions (ablation).
     pub no_assertions: bool,
+    /// Guest CPUs per simulated machine (`--cpus N`, default 1 — the
+    /// golden-corpus configuration). Values above 1 also switch the
+    /// kernel build to the SMP variant
+    /// ([`KernelBuildOptions::smp`]) so the extra CPUs are actually
+    /// brought online; the guest interleaving stays a pure function of
+    /// the machine's scheduler seed and quantum, never of host
+    /// scheduling, so datasets remain bit-identical at any worker
+    /// count.
+    pub cpus: u32,
     /// Journal path for checkpoint/resume (`--journal`).
     pub journal: Option<PathBuf>,
     /// Resume from the journal instead of truncating it (`--resume`).
@@ -96,6 +105,7 @@ impl Default for ReproOptions {
             seed: 2003,
             threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
             no_assertions: false,
+            cpus: 1,
             journal: None,
             resume: false,
             quarantine: None,
@@ -124,9 +134,70 @@ fn parse_index_list(s: &str) -> std::collections::BTreeSet<usize> {
     s.split(',').filter_map(|v| v.trim().parse().ok()).collect()
 }
 
+/// The `--help` text shared by the repro binaries (they differ only in
+/// which outputs they print, not in which knobs they accept).
+const USAGE: &str = "\
+usage: repro_all [OPTIONS]
+
+Regenerates the paper's tables and figures (campaigns A/B/C); --csv
+additionally dumps the raw dataset (run records, then per-campaign
+metrics) as CSV on stdout.
+
+General:
+  --full                paper-scale: every byte of every target instruction
+  --cap N               injections per function per campaign (default 16)
+  --seed N              campaign RNG seed (default 2003)
+  --threads N           host worker threads (default: available parallelism)
+  --cpus N              guest CPUs per simulated machine (default 1 — the
+                        golden configuration; N>1 builds the SMP kernel so
+                        the extra CPUs come online; the guest interleaving
+                        is a pure function of the machine's scheduler seed
+                        and quantum, never of host scheduling, so the
+                        dataset stays bit-identical at any --threads)
+  --no-assertions       build the kernel without BUG() assertions (ablation)
+  --sanitize            per-step architectural-state sanitizer on the rig
+  --no-memo             boot + capture goldens per rig instead of sharing
+                        one snapshot (results bit-identical; CI proof knob)
+  --csv                 dump the raw dataset as CSV on stdout
+
+Supervisor:
+  --journal PATH        checkpoint every run to PATH (in matrix mode PATH
+                        is the per-cell journal directory)
+  --resume              resume from --journal instead of truncating it
+  --quarantine DIR      minimal-repro artifacts for persistent offenders
+  --wall-budget-ms N    per-run wall-clock watchdog budget
+
+Campaign matrix:
+  --matrix              run kernel x workload x subsystem cells instead of
+                        the paper's three campaigns
+  --matrix-kernels L    comma list of base|server (default: both)
+  --matrix-workloads L  comma list of traffic workloads (default: all four)
+  --matrix-subsystems L comma list of subsystems (default: ipc,net)
+  --check               assert the matrix invariants, nonzero exit on
+                        violation (the CI smoke hook)
+
+  Every cell plans with its own RNG seeded as
+      cell_seed = seed ^ fnv1a(\"kernel/workload/subsystem\")
+  (64-bit FNV-1a over the cell key). Cells are therefore independent of
+  each other and of the grid shape: adding or removing axes never
+  perturbs another cell's plan, and any one cell reproduces alone by
+  narrowing --matrix-kernels/--matrix-workloads/--matrix-subsystems.
+
+Distributed runner:
+  --dist-workers N      shard campaigns over N worker subprocesses under
+                        lease-based fault tolerance
+  --chaos SEED          chaos harness: randomly kill/stall/crash workers
+  --dist-hb-ms N        worker heartbeat interval (ms)
+  --dist-hb-budget-ms N coordinator silence budget before lease expiry (ms)
+  --dist-handshake-ms N coordinator budget for worker boot+handshake (ms)
+
+Test-only: --inject-panic I,J,...  --inject-panic-persistent I,J,...
+           --worker  --worker-wedge-handshake  --wedge-first-handshake
+";
+
 impl ReproOptions {
     /// Parses `--full`, `--cap N`, `--seed N`, `--threads N`,
-    /// `--no-assertions`, `--journal PATH`, `--resume`,
+    /// `--cpus N`, `--no-assertions`, `--journal PATH`, `--resume`,
     /// `--quarantine DIR`, `--sanitize`, `--wall-budget-ms N`,
     /// `--no-memo`, the matrix flags (`--matrix`,
     /// `--matrix-kernels LIST`, `--matrix-workloads LIST`,
@@ -137,6 +208,8 @@ impl ReproOptions {
     /// `--worker-wedge-handshake` / `--wedge-first-handshake`) and the
     /// test-only `--inject-panic I,J,...` /
     /// `--inject-panic-persistent I,J,...` from the process arguments.
+    /// `--help`/`-h` prints the usage text — including the per-cell
+    /// matrix RNG derivation — and exits.
     pub fn from_args() -> ReproOptions {
         let mut o = ReproOptions::default();
         let args: Vec<String> = std::env::args().collect();
@@ -157,6 +230,14 @@ impl ReproOptions {
                     o.threads = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.threads);
                 }
                 "--no-assertions" => o.no_assertions = true,
+                "--cpus" => {
+                    i += 1;
+                    o.cpus = args.get(i).and_then(|v| v.parse().ok()).unwrap_or(o.cpus).max(1);
+                }
+                "--help" | "-h" => {
+                    print!("{USAGE}");
+                    std::process::exit(0);
+                }
                 "--journal" => {
                     i += 1;
                     o.journal = args.get(i).map(PathBuf::from);
@@ -237,9 +318,13 @@ impl ReproOptions {
             seed: self.seed,
             max_per_function: self.cap,
             threads: self.threads,
-            kernel: KernelBuildOptions { assertions: !self.no_assertions, ..Default::default() },
+            kernel: KernelBuildOptions {
+                assertions: !self.no_assertions,
+                smp: self.cpus > 1,
+                ..Default::default()
+            },
             profiler: ProfilerConfig::default(),
-            rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
+            rig: RigConfig { sanitizer: self.sanitize, cpus: self.cpus, ..RigConfig::default() },
             memoize: !self.no_memo,
             ..Default::default()
         }
@@ -265,12 +350,15 @@ impl ReproOptions {
             .into_iter()
             .map(|n| {
                 let opts = match n.as_str() {
-                    "base" => {
-                        KernelBuildOptions { assertions: !self.no_assertions, ..Default::default() }
-                    }
+                    "base" => KernelBuildOptions {
+                        assertions: !self.no_assertions,
+                        smp: self.cpus > 1,
+                        ..Default::default()
+                    },
                     "server" => KernelBuildOptions {
                         assertions: !self.no_assertions,
                         server: true,
+                        smp: self.cpus > 1,
                         ..Default::default()
                     },
                     other => panic!("unknown matrix kernel `{other}` (expected base|server)"),
@@ -287,7 +375,7 @@ impl ReproOptions {
             max_per_function: self.cap,
             max_per_cell: None,
             profiler: ProfilerConfig::default(),
-            rig: RigConfig { sanitizer: self.sanitize, ..RigConfig::default() },
+            rig: RigConfig { sanitizer: self.sanitize, cpus: self.cpus, ..RigConfig::default() },
             suite: kfi_workloads::Suite::Traffic,
             journal_dir: self.journal.clone(),
             resume: self.resume,
@@ -313,6 +401,10 @@ impl ReproOptions {
         }
         if self.no_assertions {
             a.push("--no-assertions".into());
+        }
+        if self.cpus != 1 {
+            a.push("--cpus".into());
+            a.push(self.cpus.to_string());
         }
         if self.sanitize {
             a.push("--sanitize".into());
@@ -530,21 +622,35 @@ pub fn run_matrix(opts: &ReproOptions) -> kfi_core::MatrixResult {
 ///
 /// # Errors
 ///
-/// A description of the first violated invariant.
+/// A description of the first violated invariant. Every cell-scoped
+/// error carries the cell's RNG derivation — `seed ^ fnv1a(cell_key)`
+/// — so the failing cell can be reproduced in isolation by narrowing
+/// the axis flags without re-running the rest of the grid.
 pub fn check_matrix(m: &kfi_core::MatrixResult) -> Result<(), String> {
+    // The failing cell's plan depends only on its own derived seed, so
+    // the repro recipe is exact regardless of which axes the original
+    // grid swept.
+    let hint = |key: &str| {
+        format!(
+            "(cell RNG seed = matrix seed ^ fnv1a(\"{key}\"); reproduce this cell alone \
+             with --matrix --matrix-kernels/--matrix-workloads/--matrix-subsystems \
+             narrowed to it)"
+        )
+    };
     if m.cells.is_empty() {
         return Err("matrix has no cells".into());
     }
     for c in &m.cells {
         let key = c.cell.key();
         if c.result.records.is_empty() {
-            return Err(format!("cell {key} planned no injections"));
+            return Err(format!("cell {key} planned no injections {}", hint(&key)));
         }
         if c.result.metrics.runs != c.result.records.len() as u64 {
             return Err(format!(
-                "cell {key}: {} metrics runs != {} records",
+                "cell {key}: {} metrics runs != {} records {}",
                 c.result.metrics.runs,
-                c.result.records.len()
+                c.result.records.len(),
+                hint(&key)
             ));
         }
     }
@@ -554,9 +660,10 @@ pub fn check_matrix(m: &kfi_core::MatrixResult) -> Result<(), String> {
                 continue;
             }
             if !c.result.records.iter().any(|r| r.outcome != Outcome::NotActivated) {
+                let key = c.cell.key();
                 return Err(format!(
-                    "cell {}: no activated injection — {w} is not driving {s}",
-                    c.cell.key()
+                    "cell {key}: no activated injection — {w} is not driving {s} {}",
+                    hint(&key)
                 ));
             }
         }

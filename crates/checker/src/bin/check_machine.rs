@@ -2,30 +2,34 @@
 //!
 //! For each seed, generates a guest program in three corruption
 //! variants (clean, pre-run bit flips, mid-run bit flip) and runs it
-//! through the seven machine-level differential pairs (decode cache
+//! through the nine machine-level differential pairs (decode cache
 //! on/off, block engine vs single-step, block chaining on/off,
 //! ring/null trace sink, snapshot-restore/fresh-boot,
-//! shared-snapshot-fork/fresh-boot, and — on a separately generated
+//! shared-snapshot-fork/fresh-boot, on a separately generated
 //! two-ring program crossing `int $0x80`/`iret`/timer gates under
-//! paging — full pipeline vs bare interpreter). The architectural-state
-//! sanitizer is enabled on every machine except in the block-engine,
-//! chain, and ring pairs, which force it off so block execution
-//! actually engages (the engine falls back to single-stepping under the
-//! sanitizer). A smaller sweep of full injection campaigns compares
-//! 1-worker vs 2-worker execution record-for-record. Before any of
-//! that, two self-tests seed known bugs through test-only machine
-//! hooks — a broken ALU flag writer the sanitizer must report, and a
-//! skipped TSS.esp0 kernel-stack switch the ring-transition lockstep
-//! must flag as a divergence — proving the net can actually catch fish.
+//! paging — full pipeline vs bare interpreter, and on a separately
+//! generated two-CPU program exchanging startup and reschedule IPIs —
+//! decode cache on/off at `cpus = 2` plus parked-secondary vs plain
+//! uniprocessor). The architectural-state sanitizer is enabled on
+//! every machine except in the block-engine, chain, and ring pairs,
+//! which force it off so block execution actually engages (the engine
+//! falls back to single-stepping under the sanitizer). A smaller sweep
+//! of full injection campaigns compares 1-worker vs 2-worker execution
+//! record-for-record. Before any of that, three self-tests seed known
+//! bugs through test-only machine hooks — a broken ALU flag writer the
+//! sanitizer must report, a skipped TSS.esp0 kernel-stack switch the
+//! ring-transition lockstep must flag, and a dropped reschedule IPI
+//! the SMP lockstep must flag as a divergence — proving the net can
+//! actually catch fish.
 //!
 //! Exit status is nonzero iff any divergence, sanitizer violation, or
 //! self-test failure occurred.
 
 use kfi_checker::diff::{
-    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_ring,
-    pair_trace_sink, run_lockstep, PairOutcome, StateMask,
+    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_ring, pair_smp,
+    pair_smp_parked, pair_trace_sink, run_lockstep, PairOutcome, StateMask,
 };
-use kfi_checker::gen::{generate, generate_ring, install, Variant};
+use kfi_checker::gen::{generate, generate_ring, generate_smp, install, Variant};
 use kfi_core::{Experiment, ExperimentConfig};
 use kfi_injector::Campaign;
 use kfi_machine::{Machine, MachineConfig, RunExit};
@@ -123,6 +127,30 @@ fn ring_self_test() -> Result<(), String> {
     Ok(())
 }
 
+/// The SMP lockstep must catch a machine that drops reschedule IPIs
+/// (CPU 1 grinds on long after the correct machine's CPU 1 took the
+/// doorbell and halted), and must stay silent when both machines are
+/// correct.
+fn smp_self_test() -> Result<(), String> {
+    let cfg = MachineConfig::default();
+    let prog = generate_smp(0, Variant::Clean);
+
+    let mut a = install(&prog, cfg);
+    let mut b = install(&prog, cfg);
+    let control = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+    if !control.clean() {
+        return Err(format!("smp control run diverged on a correct machine: {control:?}"));
+    }
+
+    let mut a = install(&prog, cfg);
+    let mut b = install(&prog, MachineConfig { ipi_drop_bug: true, ..cfg });
+    let out = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+    if out.divergence.is_none() {
+        return Err("smp lockstep MISSED the seeded dropped-IPI bug".to_string());
+    }
+    Ok(())
+}
+
 fn report_pair(seed: u64, variant: Variant, name: &str, out: &PairOutcome) -> bool {
     if out.clean() {
         return true;
@@ -145,6 +173,7 @@ fn machine_sweep(opts: &Options) -> (u64, u64) {
         for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
             let prog = generate(seed, variant);
             let ring = generate_ring(seed, variant);
+            let smp = generate_smp(seed, variant);
             let cfg = sanitized_config();
             for (name, out) in [
                 ("decode-cache", pair_decode_cache(&prog, cfg)),
@@ -154,6 +183,8 @@ fn machine_sweep(opts: &Options) -> (u64, u64) {
                 ("restore", pair_restore(&prog, cfg)),
                 ("fork", pair_fork(&prog, cfg)),
                 ("ring", pair_ring(&ring, cfg)),
+                ("smp", pair_smp(&smp, cfg)),
+                ("smp-parked", pair_smp_parked(&prog, cfg)),
             ] {
                 pairs += 1;
                 if !report_pair(seed, variant, name, &out) {
@@ -237,10 +268,17 @@ fn main() {
             std::process::exit(1);
         }
     }
+    match smp_self_test() {
+        Ok(()) => println!("self-test: smp lockstep catches the seeded dropped-IPI bug"),
+        Err(e) => {
+            eprintln!("smp self-test FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
 
     let (mpairs, mfail) = machine_sweep(&opts);
     println!(
-        "machine sweep: {} seeds x 3 variants x 7 pairs = {} pairs, {} failures",
+        "machine sweep: {} seeds x 3 variants x 9 pairs = {} pairs, {} failures",
         opts.seeds, mpairs, mfail
     );
     let (cpairs, cfail) = campaign_sweep(&opts);

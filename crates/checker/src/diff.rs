@@ -35,12 +35,18 @@ pub struct StateMask {
     pub decode_stats: bool,
     /// Compare `(tlb_hits, tlb_misses)`.
     pub tlb_stats: bool,
+    /// Compare [`Machine::smp_digest`] — every CPU's architectural
+    /// state, the scheduler position, and in-flight IPIs. Masked out
+    /// only by the pair that compares a multi-CPU machine against a
+    /// uniprocessor ([`pair_smp_parked`]), where the digests differ
+    /// structurally (0 on the uniprocessor side) by design.
+    pub smp_digest: bool,
 }
 
 impl StateMask {
     /// Compare everything.
     pub fn full() -> StateMask {
-        StateMask { decode_stats: true, tlb_stats: true }
+        StateMask { decode_stats: true, tlb_stats: true, smp_digest: true }
     }
 }
 
@@ -83,6 +89,12 @@ pub struct ArchState {
     pub decode_stats: (u64, u64, u64),
     /// FNV-1a over all of physical memory.
     pub mem_digest: u64,
+    /// [`Machine::smp_digest`]: every CPU's state + scheduler position
+    /// + in-flight IPIs (0 on uniprocessor machines) — zeroed when
+    /// masked out. Folding this in means a parked CPU diverging between
+    /// its quanta is caught at the next checkpoint, not at its next
+    /// slice.
+    pub smp_digest: u64,
 }
 
 impl ArchState {
@@ -107,6 +119,7 @@ impl ArchState {
             tlb_stats: if mask.tlb_stats { m.tlb_stats() } else { (0, 0) },
             decode_stats: if mask.decode_stats { m.decode_stats() } else { (0, 0, 0) },
             mem_digest: fnv1a(m.mem.slice(0, m.mem.size())),
+            smp_digest: if mask.smp_digest { m.smp_digest() } else { 0 },
         }
     }
 
@@ -143,6 +156,7 @@ impl ArchState {
         cmp!(tlb_stats);
         cmp!(decode_stats);
         cmp!(mem_digest);
+        cmp!(smp_digest);
         out
     }
 }
@@ -268,7 +282,12 @@ pub fn run_lockstep(
 pub fn pair_decode_cache(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
     let mut a = install(prog, MachineConfig { decode_cache: true, ..base });
     let mut b = install(prog, MachineConfig { decode_cache: false, ..base });
-    run_lockstep(&mut a, &mut b, prog, &StateMask { decode_stats: false, tlb_stats: true })
+    run_lockstep(
+        &mut a,
+        &mut b,
+        prog,
+        &StateMask { decode_stats: false, tlb_stats: true, smp_digest: true },
+    )
 }
 
 /// Pair: ring trace sink vs null sink (lockstep; tracing must be
@@ -286,7 +305,7 @@ pub fn pair_trace_sink(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
 /// the cumulative cache/TLB statistics that deliberately survive
 /// restore.
 pub fn pair_restore(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
-    let mask = StateMask { decode_stats: false, tlb_stats: false };
+    let mask = StateMask { decode_stats: false, tlb_stats: false, smp_digest: true };
     let mut a = install(prog, base);
     let snap = a.snapshot();
     let first = run_to_end(&mut a, prog);
@@ -508,7 +527,7 @@ pub fn pair_fork(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
     let mut b2 = install(prog, base);
     let third = run_to_end(&mut b2, prog);
 
-    let mask = StateMask { decode_stats: false, tlb_stats: false };
+    let mask = StateMask { decode_stats: false, tlb_stats: false, smp_digest: true };
     let sa = ArchState::capture(&a, &mask);
     let sb = ArchState::capture(&b2, &mask);
     let divergence = if first.steps != second || second != third {
@@ -606,7 +625,7 @@ pub fn pair_ring(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
         a.run(end_tsc - a.cpu.tsc);
     }
 
-    let mask = StateMask { decode_stats: false, tlb_stats: true };
+    let mask = StateMask { decode_stats: false, tlb_stats: true, smp_digest: true };
     let sa = ArchState::capture(&a, &mask);
     let sb = ArchState::capture(&b, &mask);
     let divergence = if sa != sb {
@@ -625,6 +644,50 @@ pub fn pair_ring(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
     collect_violations("a", &a, &mut violations);
     collect_violations("b", &b, &mut violations);
     PairOutcome { steps: step, divergence, violations }
+}
+
+/// Pair: decode cache on vs off on a *two-CPU* machine running a
+/// [`generate_smp`](crate::gen::generate_smp) program — startup IPI,
+/// interleaved execution under the round-robin scheduler, cross-CPU
+/// stores to a shared word, and a reschedule doorbell. The decode cache
+/// is shared plumbing over [`PhysMem`](kfi_machine::PhysMem) while the
+/// TLB is swapped per CPU, so this is the pair that would catch a
+/// context swap leaking cached translations across CPUs. Lockstep with
+/// [`StateMask::smp_digest`] on: both CPUs' full state (and in-flight
+/// IPIs) are compared at every checkpoint, not just the active one's.
+pub fn pair_smp(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let mut a = install(prog, MachineConfig { decode_cache: true, ..base });
+    let mut b = install(prog, MachineConfig { decode_cache: false, ..base });
+    run_lockstep(
+        &mut a,
+        &mut b,
+        prog,
+        &StateMask { decode_stats: false, tlb_stats: true, smp_digest: true },
+    )
+}
+
+/// Pair: a two-CPU machine whose secondary is never woken vs the plain
+/// uniprocessor, in lockstep on an ordinary
+/// [`generate`](crate::gen::generate) program (no IPI traffic). A
+/// parked CPU must be *free*: the
+/// scheduler may rotate over it at every quantum boundary, but nothing
+/// the program can observe — timing, TLB and decode statistics, memory
+/// — may differ from the machine that never allocated a second CPU.
+/// This is the checker-level face of the `cpus = 1` golden-corpus
+/// guarantee: SMP support that leaks into uniprocessor behavior would
+/// show up here before it invalidated a corpus. [`StateMask::
+/// smp_digest`] is masked out — it is structurally 0 on the
+/// uniprocessor side and nonzero on the other, the one legitimate
+/// difference.
+pub fn pair_smp_parked(prog: &GenProgram, base: MachineConfig) -> PairOutcome {
+    let mut a = install(prog, MachineConfig { cpus: 2, ..base });
+    let mut b = install(prog, MachineConfig { cpus: 1, ..base });
+    run_lockstep(
+        &mut a,
+        &mut b,
+        prog,
+        &StateMask { decode_stats: true, tlb_stats: true, smp_digest: false },
+    )
 }
 
 fn run_to_end(m: &mut Machine, prog: &GenProgram) -> u64 {
@@ -713,6 +776,58 @@ mod tests {
             assert!(
                 out.divergence.is_some(),
                 "seed {seed}: ring pair MISSED the seeded stack-switch bug"
+            );
+        }
+    }
+
+    #[test]
+    fn smp_pairs_agree_on_a_sample() {
+        for seed in [0u64, 1, 2, 5] {
+            for variant in [Variant::Clean, Variant::PreFlip, Variant::MidRunFlip] {
+                let smp = crate::gen::generate_smp(seed, variant);
+                let out = pair_smp(&smp, base());
+                assert!(out.clean(), "seed {seed} {variant:?} pair smp failed:\n{out:#?}");
+                let prog = generate(seed, variant);
+                let out = pair_smp_parked(&prog, base());
+                assert!(out.clean(), "seed {seed} {variant:?} pair smp-parked failed:\n{out:#?}");
+            }
+        }
+    }
+
+    #[test]
+    fn smp_programs_actually_interleave_and_doorbell() {
+        // The equivalence pairs above are only worth their runtime if
+        // the generated programs really wake CPU 1 and stop it with a
+        // reschedule IPI — pin that here so a generator regression
+        // can't silently turn the SMP sweep vacuous.
+        let mut delivered = 0u64;
+        for seed in 0..8u64 {
+            let prog = crate::gen::generate_smp(seed, Variant::Clean);
+            let mut m = install(&prog, MachineConfig::default());
+            let steps = run_to_end(&mut m, &prog);
+            assert!(steps < MAX_STEPS, "smp seed {seed} did not terminate");
+            assert!(m.cpu_state(0).halted && m.cpu_state(1).halted, "seed {seed} left a CPU live");
+            assert!(m.cpu_state(1).tsc > 0, "smp seed {seed} never ran CPU 1");
+            delivered += m.counters().ipis;
+        }
+        assert!(delivered > 0, "no seed delivered a reschedule doorbell");
+    }
+
+    #[test]
+    fn lockstep_detects_a_seeded_dropped_ipi() {
+        // A machine that loses reschedule IPIs leaves CPU 1 grinding
+        // through its bounded loop long after the correct machine's
+        // CPU 1 took the doorbell and halted; the smp digest (and
+        // eventually the shared word) must diverge.
+        let cfg = MachineConfig::default();
+        for seed in [0u64, 1, 2] {
+            let prog = crate::gen::generate_smp(seed, Variant::Clean);
+            let mut a = install(&prog, cfg);
+            let mut b = install(&prog, MachineConfig { ipi_drop_bug: true, ..cfg });
+            let out = run_lockstep(&mut a, &mut b, &prog, &StateMask::full());
+            assert!(
+                out.divergence.is_some(),
+                "seed {seed}: smp pair MISSED the seeded dropped-IPI bug"
             );
         }
     }

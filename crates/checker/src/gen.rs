@@ -47,6 +47,21 @@
 //! kernel stack are supervisor-only, so the environment exercises the
 //! real privilege checks (user fetches of kernel pages fault, `int`
 //! DPL gating, the TSS.esp0 stack switch) rather than a flat machine.
+//!
+//! [`generate_smp`] builds the *two-CPU* extension: the bootstrap CPU
+//! wakes CPU 1 through the monitor's startup-IPI ports
+//! ([`MON_IPI_ARG`](kfi_machine::ports::MON_IPI_ARG) /
+//! [`MON_IPI`](kfi_machine::ports::MON_IPI)), interleaves random work
+//! with it under the deterministic round-robin scheduler, and finally
+//! stops it with a reschedule doorbell (IDT vector `0x21`, which —
+//! like every other vector here — lands in the terminal `cli; hlt`
+//! handler). Extra regions:
+//!
+//! | region              | address  |
+//! |---------------------|----------|
+//! | CPU 1 routine       | `0x3800` |
+//! | CPU 1 stack top     | `0xE800` |
+//! | shared counter word | `0xFF00` |
 
 use kfi_isa::{
     encode, AluKind, BtKind, Cond, Grp3Kind, MemRef, Op, PortArg, Reg, Rm, ShiftCount, ShiftKind,
@@ -98,6 +113,16 @@ pub const USER_STACK_TOP: u32 = 0xE000;
 /// Exclusive top of the user-executable code window.
 const USER_CODE_TOP: u32 = 0x3000;
 
+/// Where an SMP program's CPU 1 routine is loaded (entry point of the
+/// startup IPI the bootstrap CPU sends).
+pub const AP_CODE: u32 = 0x3800;
+/// Initial ESP of CPU 1 — its own stack, clear of the bootstrap CPU's
+/// at [`STACK_TOP`], so doorbell interrupt frames never alias.
+pub const AP_STACK_TOP: u32 = 0xE800;
+/// Shared word both CPUs can reach; CPU 1 mutates it so cross-CPU
+/// memory traffic shows up in the lockstep memory digest.
+pub const SMP_SHARED: u32 = 0xFF00;
+
 /// A deferred single-bit corruption applied while the program runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MidFlip {
@@ -135,6 +160,15 @@ pub struct RingSetup {
     pub syscalls: u32,
 }
 
+/// The CPU 1 half of a two-CPU program (see [`generate_smp`]).
+#[derive(Debug, Clone)]
+pub struct SmpSetup {
+    /// CPU 1's routine, loaded at [`AP_CODE`]: stack setup, `sti`, a
+    /// seeded burst on the shared word, then a bounded store loop the
+    /// bootstrap CPU's reschedule doorbell interrupts terminally.
+    pub ap_code: Vec<u8>,
+}
+
 /// A generated program plus the machine state it expects.
 #[derive(Debug, Clone)]
 pub struct GenProgram {
@@ -154,6 +188,10 @@ pub struct GenProgram {
     /// user/kernel split and start at the springboard, and [`GenProgram
     /// ::code`] then runs at ring 3.
     pub ring: Option<RingSetup>,
+    /// Two-CPU environment; `Some` makes [`install`] load the CPU 1
+    /// routine at [`AP_CODE`] and build the machine with at least two
+    /// CPUs ([`GenProgram::code`] then runs on the bootstrap CPU).
+    pub smp: Option<SmpSetup>,
 }
 
 /// Generates the program for `seed`. The paging variant is chosen by
@@ -231,7 +269,7 @@ pub fn generate(seed: u64, variant: Variant) -> GenProgram {
         _ => None,
     };
 
-    GenProgram { seed, paging, code, data, regs, mid_flip, ring: None }
+    GenProgram { seed, paging, code, data, regs, mid_flip, ring: None, smp: None }
 }
 
 /// Generates the two-ring variant for `seed`: bursts of unprivileged
@@ -357,6 +395,157 @@ pub fn generate_ring(seed: u64, variant: Variant) -> GenProgram {
         regs,
         mid_flip,
         ring: Some(RingSetup { handler, entry, syscalls: rounds }),
+        smp: None,
+    }
+}
+
+/// Generates the two-CPU variant for `seed`: the bootstrap CPU sends a
+/// startup IPI pointing CPU 1 at its seeded routine, runs random work
+/// and a countdown long enough for the round-robin interleaver to give
+/// CPU 1 real slices, then stops it with a reschedule doorbell (IDT
+/// vector `0x21` → the terminal handler) and halts itself. Both IPI
+/// sends come *before* any random instruction, so even a seed whose
+/// random burst faults terminally still exercises cross-CPU wakeup and
+/// doorbell delivery. CPU 1's routine mutates the shared word at
+/// [`SMP_SHARED`] in a bounded loop with interrupts on — if the
+/// doorbell never lands (a machine with
+/// [`MachineConfig::ipi_drop_bug`](kfi_machine::MachineConfig) drops
+/// it) the loop runs visibly longer, so a missed IPI can't hide from
+/// the lockstep digests. Paging alternates by seed parity like
+/// [`generate`]; corruption variants flip bits in the bootstrap CPU's
+/// code.
+pub fn generate_smp(seed: u64, variant: Variant) -> GenProgram {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6b66_692d_736d_7000);
+    let paging = seed % 2 == 1;
+
+    // "mov $value, %eax; outl %eax, $port" — the monitor-port write
+    // sequence both IPI sends are built from.
+    let emit_out = |code: &mut Vec<u8>, port: u16, value: u32| {
+        code.extend_from_slice(
+            &encode(&Op::Mov { width: Width::D, dst: Rm::reg(Reg::Eax), src: Src::Imm(value) })
+                .expect("mov imm"),
+        );
+        code.extend_from_slice(
+            &encode(&Op::Out { width: Width::D, port: PortArg::Imm(port as u8) }).expect("outl"),
+        );
+    };
+    let countdown = |code: &mut Vec<u8>, k: u32| {
+        code.extend_from_slice(
+            &encode(&Op::Mov { width: Width::D, dst: Rm::reg(Reg::Ecx), src: Src::Imm(k) })
+                .expect("mov imm"),
+        );
+        code.extend_from_slice(&[0x49, 0x75, 0xfd]); // dec %ecx; jne .-1
+    };
+
+    let mut code: Vec<u8> = Vec::new();
+    // Wake CPU 1 at its routine, first thing.
+    emit_out(&mut code, kfi_machine::ports::MON_IPI_ARG, AP_CODE);
+    emit_out(&mut code, kfi_machine::ports::MON_IPI, (1 << 8) | (1 << 16));
+    // Long enough that the interleaver hands CPU 1 many quanta while
+    // the bootstrap CPU spins here.
+    countdown(&mut code, rng.gen_range(600u32..1400));
+    // Stop CPU 1: the reschedule doorbell, vector 0x21, terminal here.
+    emit_out(&mut code, kfi_machine::ports::MON_IPI, 1 << 8);
+    // Random work *after* the sends, so corruption can't unplug SMP.
+    for _ in 0..rng.gen_range(4usize..12) {
+        if code.len() >= MAX_CODE - 64 {
+            break;
+        }
+        let bytes = random_insn(&mut rng);
+        if bytes.len() <= 127 && rng.gen_bool(0.15) {
+            let cond = ALL_CONDS[rng.gen_range(0usize..16)];
+            code.extend_from_slice(
+                &encode(&Op::Jcc { cond, rel: bytes.len() as i32 }).expect("short jcc"),
+            );
+        }
+        code.extend_from_slice(&bytes);
+    }
+    countdown(&mut code, rng.gen_range(100u32..400));
+    code.extend_from_slice(&[0xfa, 0xf4]); // cli; hlt
+
+    let mut data = vec![0u8; DATA_LEN as usize];
+    for b in data.iter_mut() {
+        *b = rng.gen_range(0u32..256) as u8;
+    }
+    let mut regs = [0u32; 8];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = match i {
+            4 => STACK_TOP,
+            5 | 6 | 7 => DATA_BASE + (rng.gen_range(0u32..0x8000) & !3),
+            _ => rng.gen_range(0u32..0x1_0000),
+        };
+    }
+
+    // CPU 1's routine: own stack, interrupts on (so the doorbell is
+    // deliverable), a seeded burst on the shared word, then a bounded
+    // store loop — long enough that a clean run is always interrupted
+    // by the doorbell, bounded so a doorbell-less run still halts.
+    let mut ap: Vec<u8> = Vec::new();
+    ap.extend_from_slice(
+        &encode(&Op::Mov { width: Width::D, dst: Rm::reg(Reg::Esp), src: Src::Imm(AP_STACK_TOP) })
+            .expect("mov esp"),
+    );
+    ap.push(0xfb); // sti
+    for _ in 0..rng.gen_range(1usize..4) {
+        let kind =
+            [AluKind::Add, AluKind::Xor, AluKind::Sub, AluKind::Or][rng.gen_range(0usize..4)];
+        ap.extend_from_slice(
+            &encode(&Op::Alu {
+                kind,
+                width: Width::D,
+                dst: Rm::Mem(MemRef::abs(SMP_SHARED)),
+                src: Src::Imm(imm(&mut rng)),
+            })
+            .expect("shared burst"),
+        );
+    }
+    ap.extend_from_slice(
+        &encode(&Op::Mov {
+            width: Width::D,
+            dst: Rm::reg(Reg::Ecx),
+            src: Src::Imm(rng.gen_range(8_000u32..16_000)),
+        })
+        .expect("mov imm"),
+    );
+    let body =
+        encode(&Op::IncDec { inc: true, width: Width::D, rm: Rm::Mem(MemRef::abs(SMP_SHARED)) })
+            .expect("inc shared");
+    ap.extend_from_slice(&body);
+    ap.push(0x49); // dec %ecx
+    ap.push(0x75); // jne back to the inc
+    ap.push((-(body.len() as i32 + 3)) as i8 as u8);
+    ap.extend_from_slice(&[0xfa, 0xf4]); // cli; hlt
+
+    let code_len = code.len() as u32;
+    match variant {
+        Variant::Clean => {}
+        Variant::PreFlip => {
+            for _ in 0..rng.gen_range(1u32..4) {
+                let off = rng.gen_range(0u32..code_len);
+                let bit = rng.gen_range(0u32..8) as u8;
+                code[off as usize] ^= 1 << bit;
+            }
+        }
+        Variant::MidRunFlip => {}
+    }
+    let mid_flip = match variant {
+        Variant::MidRunFlip => Some(MidFlip {
+            step: rng.gen_range(4u64..48),
+            offset: rng.gen_range(0u32..code_len),
+            bit: rng.gen_range(0u32..8) as u8,
+        }),
+        _ => None,
+    };
+
+    GenProgram {
+        seed,
+        paging,
+        code,
+        data,
+        regs,
+        mid_flip,
+        ring: None,
+        smp: Some(SmpSetup { ap_code: ap }),
     }
 }
 
@@ -364,6 +553,9 @@ pub fn generate_ring(seed: u64, variant: Variant) -> GenProgram {
 /// `phys_mem` forced to [`PHYS_MEM`]).
 pub fn install(prog: &GenProgram, mut config: MachineConfig) -> Machine {
     config.phys_mem = PHYS_MEM;
+    if prog.smp.is_some() {
+        config.cpus = config.cpus.max(2);
+    }
     let mut m = Machine::new(config);
 
     m.mem.load(HANDLER, &[0xfa, 0xf4]);
@@ -378,6 +570,12 @@ pub fn install(prog: &GenProgram, mut config: MachineConfig) -> Machine {
     m.cpu.eip = CODE_BASE;
     m.cpu.idt_base = IDT_BASE;
     m.cpu.esp0 = STACK_TOP;
+
+    if let Some(smp) = &prog.smp {
+        // CPU 1 inherits CR0/CR3/IDT from the sender at startup-IPI
+        // time, so nothing beyond its routine needs installing here.
+        m.mem.load(AP_CODE, &smp.ap_code);
+    }
 
     if let Some(ring) = &prog.ring {
         m.mem.load(RING_HANDLER, &ring.handler);

@@ -12,15 +12,22 @@
 //!   a **two-ring variant** ([`gen::generate_ring`]) whose programs run
 //!   at ring 3 under paging and cross into ring 0 through a
 //!   user-callable `int $0x80` IDT gate and asynchronous timer
-//!   interrupts;
+//!   interrupts — and a **two-CPU variant** ([`gen::generate_smp`])
+//!   whose bootstrap CPU wakes a second CPU with a startup IPI,
+//!   interleaves with it under the deterministic round-robin
+//!   scheduler, and stops it with a reschedule doorbell;
 //! * a **lockstep differential executor** ([`diff`]) running each
 //!   program under paired configurations that must agree — decode
 //!   cache on/off, basic-block engine vs single-step, block chaining
 //!   on vs off, ring/null trace sink, snapshot-restore vs fresh boot,
 //!   shared-snapshot copy-on-write fork vs fresh boot, the full
 //!   pipeline vs the bare interpreter across ring transitions
-//!   ([`diff::pair_ring`]) — and, at the campaign level,
-//!   1 vs N workers — comparing the full architectural state and
+//!   ([`diff::pair_ring`]), decode cache on/off on a two-CPU machine
+//!   ([`diff::pair_smp`]), a two-CPU machine with a never-woken
+//!   secondary vs the plain uniprocessor ([`diff::pair_smp_parked`]) —
+//!   and, at the campaign level, 1 vs N workers — comparing the full
+//!   architectural state (every CPU's, via
+//!   [`Machine::smp_digest`](kfi_machine::Machine::smp_digest)) and
 //!   reporting the first divergence with disassembly context;
 //! * the machine's per-step **architectural-state sanitizer**
 //!   ([`kfi_machine::sanitizer`], opt-in via
@@ -35,11 +42,12 @@
 //!   that comparison vacuous.
 //!
 //! The `check_machine` binary drives a bounded deterministic seed sweep
-//! suitable for CI, plus two self-tests that seed known bugs behind
+//! suitable for CI, plus three self-tests that seed known bugs behind
 //! test-only [`MachineConfig`](kfi_machine::MachineConfig) hooks — a
-//! broken ALU flag writer the sanitizer must catch, and a skipped
-//! TSS.esp0 stack switch the ring-transition lockstep must catch —
-//! proof the net has no hole where it matters.
+//! broken ALU flag writer the sanitizer must catch, a skipped
+//! TSS.esp0 stack switch the ring-transition lockstep must catch, and
+//! a dropped reschedule IPI the SMP lockstep must catch — proof the
+//! net has no hole where it matters.
 //!
 //! # Examples
 //!
@@ -61,7 +69,10 @@ pub mod diff;
 pub mod gen;
 
 pub use diff::{
-    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_ring,
-    pair_trace_sink, run_lockstep, ArchState, Divergence, PairOutcome, StateMask,
+    pair_block_engine, pair_chain, pair_decode_cache, pair_fork, pair_restore, pair_ring, pair_smp,
+    pair_smp_parked, pair_trace_sink, run_lockstep, ArchState, Divergence, PairOutcome, StateMask,
 };
-pub use gen::{generate, generate_ring, install, GenProgram, MidFlip, RingSetup, Variant};
+pub use gen::{
+    generate, generate_ring, generate_smp, install, GenProgram, MidFlip, RingSetup, SmpSetup,
+    Variant,
+};

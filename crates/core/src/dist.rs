@@ -33,7 +33,11 @@
 //! therefore identical at any worker count, any arrival order and any
 //! kill schedule — which the built-in chaos mode ([`DistConfig::chaos`]
 //! randomly SIGKILLs, stalls and crashes workers mid-campaign) proves
-//! in-tree.
+//! in-tree. None of this is uniprocessor-specific: an SMP guest
+//! (`--cpus N`, forwarded to workers in their spawn args because it is
+//! plan-determining) interleaves as a pure function of the machine's
+//! own seed and quantum, so no host property — process boundaries,
+//! lease churn, the kill schedule — can reach the guest schedule.
 
 use crate::experiment::{CampaignResult, Experiment, StudyResult};
 use crate::journal::{Journal, JournalEntry};

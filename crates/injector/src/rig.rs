@@ -62,6 +62,13 @@ pub struct RigConfig {
     /// Violations observed during a run are counted into
     /// [`RunRecord::sanitizer_violations`] and the rig metrics.
     pub sanitizer: bool,
+    /// Number of guest CPUs (see [`kfi_machine::MachineConfig::cpus`]).
+    /// The default 1 is the golden-corpus configuration — the machine
+    /// is structurally identical to the pre-SMP uniprocessor. Values
+    /// above 1 only bring application processors online when the
+    /// kernel was built with [`kfi_kernel::KernelBuildOptions::smp`];
+    /// the CPU count joins the golden-store fingerprint either way.
+    pub cpus: u32,
 }
 
 impl Default for RigConfig {
@@ -76,6 +83,7 @@ impl Default for RigConfig {
             boot_budget: 80_000_000,
             golden_budget: 400_000_000,
             sanitizer: false,
+            cpus: 1,
         }
     }
 }
@@ -231,6 +239,7 @@ fn boot_base(
         block_engine: config.block_engine,
         block_chain: config.block_chain,
         sanitizer: config.sanitizer,
+        cpus: config.cpus,
         ..Default::default()
     };
     let mut m = boot(image, fsimg.disk, &boot_config);
@@ -241,7 +250,7 @@ fn boot_base(
     // driven by benchmark processes rather than by init).
     let boot_budget = config.boot_budget;
     loop {
-        if m.cpu.tsc > boot_budget {
+        if m.max_tsc() > boot_budget {
             return Err(RigError::BootFailed(m.console_string()));
         }
         match m.step() {
@@ -254,7 +263,12 @@ fn boot_base(
             }
         }
     }
-    let boot_cycles = m.cpu.tsc;
+    // All rig cycle accounting runs on the campaign clock: the
+    // furthest-along CPU. On a uniprocessor this is exactly `cpu.tsc`
+    // (golden byte-identity depends on that); on an SMP machine it is
+    // monotonic even as the scheduler rotates the active CPU, whose
+    // own tsc can sit far behind.
+    let boot_cycles = m.max_tsc();
     let snapshot = m.snapshot();
     let post_boot_disk = Arc::new(m.disk.as_ref().expect("disk attached").bytes().to_vec());
     Ok(BootedBase { machine: m, snapshot, boot_cycles, post_boot_disk, manifest })
@@ -318,6 +332,7 @@ impl RigShared {
                 config.sanitizer as u8,
             ],
         );
+        fp = fnv1a(fp, &config.cpus.to_le_bytes());
         fp = fnv1a(fp, &n_modes.to_le_bytes());
         let machine_config = *base.machine.config();
         Ok(Arc::new(RigShared {
@@ -554,7 +569,7 @@ impl InjectorRig {
             }
         }
         kfi_kernel::set_run_mode(&mut self.machine, mode);
-        let tsc = self.machine.cpu.tsc;
+        let tsc = self.machine.max_tsc();
         self.machine.trace_sink_mut().emit(tsc, EventKind::SnapshotRestore { mode });
     }
 
@@ -566,7 +581,7 @@ impl InjectorRig {
         let budget = self.snapshot_tsc() + self.config.golden_budget;
         loop {
             let m = &mut self.machine;
-            if m.cpu.tsc > budget {
+            if m.max_tsc() > budget {
                 return Err(RigError::GoldenFailed { mode, console: m.console_string() });
             }
             // Record coverage before executing.
@@ -597,7 +612,7 @@ impl InjectorRig {
             mode,
             console: m.console_string(),
             results: results_of(m),
-            cycles: m.cpu.tsc - self.snapshot_tsc(),
+            cycles: m.max_tsc() - self.snapshot_tsc(),
             coverage,
         })
     }
@@ -652,7 +667,7 @@ impl InjectorRig {
         let exit1 = self.machine.run(budget);
         let activation_tsc = match exit1 {
             RunExit::DebugBreak { .. } => {
-                let t = self.machine.cpu.tsc;
+                let t = self.machine.max_tsc();
                 self.machine
                     .trace_sink_mut()
                     .emit(t, EventKind::TriggerHit { addr: target.insn_addr });
@@ -673,7 +688,7 @@ impl InjectorRig {
             // would — only possible if coverage and run diverge, which
             // determinism forbids; classify conservatively.
             _ => {
-                let run_cycles = self.machine.cpu.tsc - start;
+                let run_cycles = self.machine.max_tsc().saturating_sub(start);
                 let sanitizer_violations = self.absorb_sanitizer(san_0);
                 self.absorb_run_counters(tlb_0, dec_0, blk_0, chn_0);
                 self.metrics.record_outcome(trace_outcome::NOT_ACTIVATED);
@@ -699,7 +714,7 @@ impl InjectorRig {
 
         // Measure before classification: the severity assessment reboots
         // the machine (resetting the TSC and its counters).
-        let end_tsc = self.machine.cpu.tsc;
+        let end_tsc = self.machine.max_tsc();
         let run_cycles = end_tsc.saturating_sub(start);
         let sanitizer_violations = self.absorb_sanitizer(san_0);
         self.absorb_run_counters(tlb_0, dec_0, blk_0, chn_0);
@@ -886,8 +901,9 @@ impl InjectorRig {
                 _ => {}
             }
         }
-        let oops_tsc =
-            event_tsc(m, events::OOPS).or_else(|| event_tsc(m, events::PANIC)).unwrap_or(m.cpu.tsc);
+        let oops_tsc = event_tsc(m, events::OOPS)
+            .or_else(|| event_tsc(m, events::PANIC))
+            .unwrap_or(m.max_tsc());
         let fatal = self.fatal_trap(activation_tsc);
         let cause = cause
             .or_else(|| fatal.map(|t| vector_to_cause(t.vector, t.cr2)))

@@ -80,6 +80,7 @@ fn default_budgets_match_the_former_magic_numbers() {
     assert_eq!(d.boot_budget, 80_000_000);
     assert_eq!(d.golden_budget, 400_000_000);
     assert!(!d.sanitizer);
+    assert_eq!(d.cpus, 1, "golden corpora are captured on a uniprocessor");
 }
 
 #[test]

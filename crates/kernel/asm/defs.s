@@ -169,6 +169,13 @@
 # scheduling
 .equ TIMESLICE,       4            # ticks per quantum
 
+# ---- SMP ---------------------------------------------------------------
+# Only referenced from #SMP_BEGIN/#SMP_END regions; pure .equ lines emit
+# no bytes, so keeping them unconditional is layout-safe.
+.equ MAX_CPUS,        8            # kernel cap on guest CPUs
+.equ AP_STACK_SHIFT,  10           # 1 KiB idle stack per AP
+.equ AP_RESCHED_MASK, 1            # doorbell CPU0 every 2nd AP tick
+
 # paging bits
 .equ PTE_P,           1
 .equ PTE_RW,          2

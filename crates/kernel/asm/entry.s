@@ -192,6 +192,13 @@ ret_from_fork:
 .type timer_interrupt, @function
 timer_interrupt:
     pusha
+#SMP_BEGIN
+    # Each CPU has its own timer. An AP owns no tasks, so its tick
+    # takes the short path below instead of do_timer.
+    inl $PORT_MON_CPU_ID, %eax
+    testl %eax, %eax
+    jnz ap_timer_tick
+#SMP_END
     call do_timer
     # preempt + deliver signals only when the interrupt hit user mode
     movl 36(%esp), %eax       # saved cs (no vector/error slots here)
@@ -204,3 +211,45 @@ timer_interrupt:
 2:  call do_signal
 1:  popa
     iret
+
+#SMP_BEGIN
+# ---- SMP: AP timer path + the reschedule doorbell -------------------------
+
+# ap_timer_tick (%eax = this CPU's id): an application processor's
+# timer body. Bump the per-CPU tick counter and, every
+# (AP_RESCHED_MASK+1) ticks, ring CPU0's reschedule doorbell so the
+# master reschedules promptly even while it idles in hlt.
+.type ap_timer_tick, @function
+ap_timer_tick:
+    movl ap_ticks(,%eax,4), %edx
+    incl %edx
+    movl %edx, ap_ticks(,%eax,4)
+    andl $AP_RESCHED_MASK, %edx
+    jnz 1f
+    xorl %eax, %eax           # target CPU0, kind = resched
+    outl %eax, $PORT_MON_IPI
+1:  popa
+    iret
+
+# resched_interrupt: vector VEC_RESCHED (0x21). On CPU0 this is the
+# doorbell from an AP: mark need_resched (a single aligned store — the
+# runqueue itself is only touched under rq_lock by schedule) and, when
+# the interrupt hit user mode, take the reschedule immediately like the
+# timer path does. An AP that somehow receives one has no runqueue to
+# mark and just returns.
+.global resched_interrupt
+.type resched_interrupt, @function
+resched_interrupt:
+    pusha
+    inl $PORT_MON_CPU_ID, %eax
+    testl %eax, %eax
+    jnz 1f
+    movl $1, need_resched
+    movl 36(%esp), %eax       # saved cs (no vector/error slots here)
+    cmpl $USER_CS_SEL, %eax
+    jne 1f
+    call schedule
+    call do_signal
+1:  popa
+    iret
+#SMP_END

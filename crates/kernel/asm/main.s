@@ -15,6 +15,9 @@ start_kernel:
     call page_cache_init
     call files_init
     call sched_init
+#SMP_BEGIN
+    call smp_init
+#SMP_END
     call mount_root
     call spawn_init
     movl $boot_ok_msg, %eax
@@ -90,12 +93,114 @@ init_entry:
     movl $no_init_msg, %eax
     call panic
 
+#SMP_BEGIN
+# ---- SMP bring-up ----------------------------------------------------------
+# Master-CPU tasking: CPU0 (the BSP) runs the whole task system; the
+# application processors idle in hlt and ring CPU0's reschedule
+# doorbell from their timer ticks. A startup IPI hands the target the
+# sender's CR0/CR3/IDT, so ap_entry is ordinary paged kernel code — no
+# real-mode trampoline needed.
+
+# smp_init(): count the CPUs, start each AP at ap_entry, and wait
+# (bounded) for them to check in.
+.global smp_init
+.type smp_init, @function
+smp_init:
+    push %ebx
+    inl $PORT_MON_NCPUS, %eax
+    cmpl $MAX_CPUS, %eax
+    jbe 1f
+    movl $MAX_CPUS, %eax      # clamp to the kernel's per-CPU tables
+1:  movl %eax, nr_cpus
+    cmpl $1, %eax
+    jbe 9f
+    movl %eax, %ebx           # target count
+    movl $1, %ecx             # next AP to start
+2:  cmpl %ebx, %ecx
+    jae 3f
+    movl $ap_entry, %eax
+    outl %eax, $PORT_MON_IPI_ARG
+    movl %ecx, %eax
+    shll $8, %eax
+    orl $0x10000, %eax        # kind = startup
+    outl %eax, $PORT_MON_IPI
+    incl %ecx
+    jmp 2b
+3:  # Bounded spin: the interleaver runs each AP within a quantum, so
+    # this terminates long before the budget even at 8 CPUs.
+    movl $200000, %ecx
+4:  cmpl cpus_online, %ebx
+    je 5f
+    decl %ecx
+    jnz 4b
+5:  movl $smp_msg, %eax
+    call printk
+    movl cpus_online, %eax
+    call printk_dec
+    movl $smp_msg2, %eax
+    call printk
+9:  pop %ebx
+    ret
+
+# ap_entry(): first instruction an AP executes. Pick this CPU's idle
+# stack, check in, and idle; the timer does the rest (ap_timer_tick).
+.global ap_entry
+.type ap_entry, @function
+ap_entry:
+    inl $PORT_MON_CPU_ID, %eax
+    incl %eax
+    shll $AP_STACK_SHIFT, %eax
+    addl $ap_stacks, %eax     # top of this AP's idle stack
+    movl %eax, %esp
+    incl cpus_online
+    sti
+1:  hlt
+    jmp 1b
+
+# smp_park_aps(): point every AP at a dead loop with interrupts off
+# (startup IPIs are unmaskable, so this lands even mid-hlt). Called on
+# shutdown, panic and oops so a finished machine has no runnable CPU
+# left. Preserves %ebx.
+.global smp_park_aps
+.type smp_park_aps, @function
+smp_park_aps:
+    push %ebx
+    movl nr_cpus, %ebx
+    cmpl $1, %ebx
+    jbe 9f
+    movl $1, %ecx
+1:  cmpl %ebx, %ecx
+    jae 9f
+    movl $ap_park, %eax
+    outl %eax, $PORT_MON_IPI_ARG
+    movl %ecx, %eax
+    shll $8, %eax
+    orl $0x10000, %eax        # kind = startup
+    outl %eax, $PORT_MON_IPI
+    incl %ecx
+    jmp 1b
+9:  pop %ebx
+    ret
+
+.type ap_park, @function
+ap_park:
+    cli
+1:  hlt
+    jmp 1b
+#SMP_END
+
 .data
 banner:          .asciz "Linux version 2.4.19-kfi (kfi@crhc) #1 SMP\n"
 boot_ok_msg:     .asciz "kfi: boot complete\n"
 no_init_msg:     .asciz "No init found"
 no_init_mem_msg: .asciz "spawn_init: out of memory"
 init_path:       .asciz "/init"
+#SMP_BEGIN
+smp_msg:         .asciz "kfi: SMP: "
+smp_msg2:        .asciz " CPUs online\n"
+.align 16
+ap_stacks:       .space MAX_CPUS << AP_STACK_SHIFT
+#SMP_END
 
 # ---- the system call table ---------------------------------------------------
 .align 4

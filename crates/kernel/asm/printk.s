@@ -87,6 +87,9 @@ panic:
     outl %eax, $PORT_MON_CRASH_CAUSE
     movl $EVT_PANIC, %eax
     outl %eax, $PORT_MON_EVENT
+#SMP_BEGIN
+    call smp_park_aps
+#SMP_END
 1:  cli
     hlt
     jmp 1b

@@ -48,7 +48,10 @@ reschedule_idle:
     jne 1f                    # never taken on UP
     movl $1, need_resched
     ret
-1:  # (unreachable SMP path kept for structure)
+1:  # SMP path (reachable only when an smp build sets nr_cpus > 1):
+    # under master-CPU tasking CPU0 owns every task, so marking
+    # need_resched is still the whole job — the APs merely ring the
+    # doorbell back (see ap_timer_tick in entry.s).
     movl $1, need_resched
     ret
 
@@ -59,6 +62,12 @@ reschedule_idle:
 wake_up:
     push %ebx
     push %esi
+#SMP_BEGIN
+    pushl %eax
+    movl $rq_lock, %eax
+    call spin_lock
+    popl %eax
+#SMP_END
     movl %eax, %esi
     movl $task_table, %ebx
     movl $NR_TASKS, %ecx
@@ -75,6 +84,10 @@ wake_up:
 2:  addl $TASK_SIZE, %ebx
     decl %ecx
     jnz 1b
+#SMP_BEGIN
+    movl $rq_lock, %eax
+    call spin_unlock
+#SMP_END
     pop %esi
     pop %ebx
     ret
@@ -105,6 +118,10 @@ schedule:
     push %esi
     push %edi
     push %ebp
+#SMP_BEGIN
+    movl $rq_lock, %eax
+    call spin_lock
+#SMP_END
     movl $0, need_resched
     movl current, %ebx
 #ASSERT_BEGIN
@@ -155,6 +172,10 @@ found_next:
     movl %eax, %cr3           # switch address space (flushes TLB)
     movl T_ESP(%esi), %esp
 no_switch:
+#SMP_BEGIN
+    movl $rq_lock, %eax
+    call spin_unlock
+#SMP_END
     pop %ebp
     pop %edi
     pop %esi
@@ -207,6 +228,33 @@ sys_getmode:
     movl BOOT_INFO+8, %eax
     ret
 
+#SMP_BEGIN
+# ---- SMP: the runqueue lock --------------------------------------------
+# Only CPU0 owns tasks (master-CPU tasking, like Linux 2.0's SMP), but
+# the runqueue scan still runs under a real test-and-set lock so the
+# locking discipline is observable and injectable. The machine executes
+# whole instructions atomically, so xchg is the atomic primitive under
+# CPU interleaving.
+
+# spin_lock(lock=%eax). Clobbers %edx.
+.global spin_lock
+.type spin_lock, @function
+spin_lock:
+1:  movl $1, %edx
+    xchgl %edx, (%eax)
+    testl %edx, %edx
+    jnz 1b
+    ret
+
+# spin_unlock(lock=%eax): a plain aligned store is release on this
+# machine.
+.global spin_unlock
+.type spin_unlock, @function
+spin_unlock:
+    movl $0, (%eax)
+    ret
+#SMP_END
+
 .data
 .align 4
 .global current
@@ -218,6 +266,11 @@ need_resched: .long 0
 .global next_pid
 next_pid:     .long 0
 nr_cpus:      .long 1
+#SMP_BEGIN
+rq_lock:      .long 0
+cpus_online:  .long 1
+ap_ticks:     .space MAX_CPUS << 2
+#SMP_END
 .align 16
 .global task_table
 task_table:   .space NR_TASKS << TASK_SHIFT

@@ -79,6 +79,9 @@ sys_reboot:
     call printk
     movl $EVT_SHUTDOWN, %eax
     outl %eax, $PORT_MON_EVENT
+#SMP_BEGIN
+    call smp_park_aps         # clean shutdown: stop the APs ticking
+#SMP_END
 1:  cli
     hlt
     jmp 1b

@@ -89,6 +89,12 @@ trap_init:
     movl $timer_interrupt, %edx
     movl $1, %ecx
     call set_idt_gate
+#SMP_BEGIN
+    movl $VEC_RESCHED, %eax
+    movl $resched_interrupt, %edx
+    movl $1, %ecx
+    call set_idt_gate
+#SMP_END
     movl $0x80, %eax
     movl $system_call, %edx
     movl $3, %ecx             # DPL3: user programs may call
@@ -206,6 +212,9 @@ die:
     outl %eax, $PORT_MON_CRASH_CAUSE
     movl %ebx, %eax
     outl %eax, $PORT_MON_CRASH_EIP
+#SMP_BEGIN
+    call smp_park_aps         # a dead kernel must quiesce its APs too
+#SMP_END
     movl $oops_pre, %eax
     call printk
     movl %esi, %eax
@@ -330,6 +339,9 @@ die_quiet:
     outl %eax, $PORT_MON_CRASH_CAUSE
     movl %ebx, %eax
     outl %eax, $PORT_MON_CRASH_EIP
+#SMP_BEGIN
+    call smp_park_aps
+#SMP_END
     movl $oops_eip, %eax
     call printk
     movl %ebx, %eax

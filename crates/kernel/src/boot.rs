@@ -26,6 +26,12 @@ pub struct BootConfig {
     /// Whether the machine's per-step architectural-state sanitizer is
     /// enabled (see [`kfi_machine::MachineConfig::sanitizer`]).
     pub sanitizer: bool,
+    /// Number of guest CPUs (see [`kfi_machine::MachineConfig::cpus`]).
+    /// With the default 1 the machine is structurally identical to the
+    /// pre-SMP uniprocessor. Values above 1 only bring application
+    /// processors online when the kernel was built with
+    /// [`crate::KernelBuildOptions::smp`].
+    pub cpus: u32,
 }
 
 impl Default for BootConfig {
@@ -37,6 +43,7 @@ impl Default for BootConfig {
             block_engine: true,
             block_chain: true,
             sanitizer: false,
+            cpus: 1,
         }
     }
 }
@@ -54,6 +61,7 @@ pub fn boot(image: &KernelImage, disk: Ramdisk, config: &BootConfig) -> Machine 
         block_engine: config.block_engine,
         block_chain: config.block_chain,
         sanitizer: config.sanitizer,
+        cpus: config.cpus,
         ..MachineConfig::default()
     });
     m.disk = Some(disk);
@@ -89,6 +97,12 @@ pub fn load_into(m: &mut Machine, image: &KernelImage, config: &BootConfig) {
     m.mem.write_u32(bi + boot_info::PHYS_MEM_SIZE, layout::PHYS_MEM_SIZE);
     m.mem.write_u32(bi + boot_info::RUN_MODE, config.run_mode);
     m.mem.write_u32(bi + boot_info::FLAGS, 0);
+
+    // The SMP half of the reset first: make CPU0 the active context,
+    // park the application processors and drain the IPI queues, so the
+    // boot state below lands on CPU0 exactly like `Machine::new` would
+    // have it. A no-op on uniprocessor machines.
+    m.reset_secondary_cpus();
 
     // CPU state: paging on, kernel mode, boot stack, entry point.
     m.cpu.regs = [0; 8];

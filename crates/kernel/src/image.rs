@@ -47,11 +47,20 @@ pub struct KernelBuildOptions {
     /// default image stays byte-identical to the paper configuration
     /// (golden corpora depend on its exact text/data placement).
     pub server: bool,
+    /// Include the SMP bring-up code (`#SMP_BEGIN`/`#SMP_END` regions):
+    /// `smp_init` starts the application processors with startup IPIs,
+    /// each AP gets a per-CPU idle stack, AP timer ticks ring CPU0's
+    /// reschedule doorbell (vector `VEC_RESCHED`), and the runqueue scan
+    /// takes the `rq_lock` spinlock. Off by default so the default image
+    /// stays byte-identical (golden corpora depend on its layout); an
+    /// SMP kernel on a 1-CPU machine also boots fine (`smp_init` reads
+    /// `PORT_MON_NCPUS` and finds nothing to start).
+    pub smp: bool,
 }
 
 impl Default for KernelBuildOptions {
     fn default() -> KernelBuildOptions {
-        KernelBuildOptions { assertions: true, server: false }
+        KernelBuildOptions { assertions: true, server: false, smp: false }
     }
 }
 
@@ -100,6 +109,9 @@ fn preprocess(src: &str, options: KernelBuildOptions) -> String {
     }
     if !options.server {
         s = strip_regions(&s, "#SERVER_BEGIN", "#SERVER_END");
+    }
+    if !options.smp {
+        s = strip_regions(&s, "#SMP_BEGIN", "#SMP_END");
     }
     s
 }
@@ -248,6 +260,34 @@ mod tests {
         for m in ["arch", "fs", "kernel", "mm"] {
             assert_eq!(server.loc_by_subsystem[m], base.loc_by_subsystem[m], "{m}");
         }
+    }
+
+    #[test]
+    fn smp_variant_adds_cpu_bringup() {
+        let base = build_kernel(KernelBuildOptions::default()).unwrap();
+        let smp = build_kernel(KernelBuildOptions { smp: true, ..Default::default() }).unwrap();
+        // The default build must not contain any SMP symbols — golden
+        // corpora depend on its exact layout.
+        for f in ["smp_init", "ap_entry", "resched_interrupt", "spin_lock", "smp_park_aps"] {
+            assert!(base.program.symbols.lookup(f).is_none(), "{f} leaked into default build");
+        }
+        // The SMP build has them, tagged with their subsystem.
+        for (f, subsys) in [
+            ("smp_init", "init"),
+            ("ap_entry", "init"),
+            ("smp_park_aps", "init"),
+            ("resched_interrupt", "arch"),
+            ("spin_lock", "kernel"),
+            ("spin_unlock", "kernel"),
+        ] {
+            let sym = smp.program.symbols.lookup(f).unwrap_or_else(|| panic!("missing {f}"));
+            assert_eq!(sym.subsystem.as_deref(), Some(subsys), "{f}");
+        }
+        assert!(smp.program.text.bytes.len() > base.program.text.bytes.len());
+        // Figure-1 LoC must describe the variant actually built.
+        assert!(smp.loc_by_subsystem["init"] > base.loc_by_subsystem["init"]);
+        assert!(smp.loc_by_subsystem["kernel"] > base.loc_by_subsystem["kernel"]);
+        assert!(smp.loc_by_subsystem["arch"] > base.loc_by_subsystem["arch"]);
     }
 
     #[test]

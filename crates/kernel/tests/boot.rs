@@ -68,6 +68,82 @@ fn boots_to_clean_shutdown() {
 }
 
 #[test]
+fn smp_kernel_brings_secondary_cpu_online() {
+    // An SMP kernel build on a two-CPU machine: smp_init starts the AP
+    // with a startup IPI, the AP checks in, and shutdown parks it so
+    // the whole machine halts (not just CPU0).
+    let image = build_kernel(KernelBuildOptions { smp: true, ..Default::default() })
+        .expect("smp kernel builds");
+    let mut files = standard_fixtures();
+    files.push(FileSpec { path: "/init".into(), data: minimal_init(INIT_HELLO) });
+    let fsimg = mkfs(2048, &files);
+    let mut m = boot(&image, fsimg.disk, &BootConfig { cpus: 2, ..Default::default() });
+    let exit = m.run(BUDGET);
+    let console = m.console_string();
+    assert_eq!(exit, RunExit::Halted, "console:\n{console}");
+    assert!(console.contains("kfi: SMP: 2 CPUs online"), "{console}");
+    assert!(console.contains("init: hello from user space"), "{console}");
+    let evts = events_of(&m);
+    assert!(evts.contains(&events::BOOT_OK), "{evts:x?}");
+    assert!(evts.contains(&events::SHUTDOWN), "{evts:x?}");
+    assert!(!evts.contains(&events::PANIC), "{evts:x?}");
+    // The BSP stayed busy the whole run, so the AP never needed to
+    // ring the doorbell (see ap_doorbell_reaches_an_idle_bsp for the
+    // delivery path).
+}
+
+#[test]
+fn ap_doorbell_reaches_an_idle_bsp() {
+    // init blocks forever reading an empty pipe: every task is asleep,
+    // so the BSP parks in its idle hlt. The AP keeps ticking on its own
+    // timer and its reschedule doorbells keep landing on CPU0 — the
+    // idle BSP stays responsive (wakes, re-runs schedule) even though
+    // the workload itself can never progress.
+    let body = r#"
+.text
+main:
+    movl $fds, %eax
+    call sys_pipe
+    movl fds, %eax            # read end
+    movl $buf, %edx
+    movl $1, %ecx
+    call sys_read             # blocks: no writer exists
+    movl $1, %eax
+    ret
+.data
+fds: .long 0, 0
+buf: .long 0
+"#;
+    let image = build_kernel(KernelBuildOptions { smp: true, ..Default::default() })
+        .expect("smp kernel builds");
+    let mut files = standard_fixtures();
+    files.push(FileSpec { path: "/init".into(), data: minimal_init(body) });
+    let fsimg = mkfs(2048, &files);
+    let mut m = boot(&image, fsimg.disk, &BootConfig { cpus: 2, ..Default::default() });
+    let exit = m.run(3_000_000);
+    assert_eq!(exit, RunExit::CycleLimit, "console:\n{}", m.console_string());
+    assert!(m.counters().ipis > 0, "no resched IPIs reached the idle BSP");
+}
+
+#[test]
+fn smp_kernel_on_one_cpu_is_quiet() {
+    // The same SMP image on a uniprocessor machine: smp_init reads
+    // PORT_MON_NCPUS, finds nothing to start, and boots normally.
+    let image = build_kernel(KernelBuildOptions { smp: true, ..Default::default() })
+        .expect("smp kernel builds");
+    let mut files = standard_fixtures();
+    files.push(FileSpec { path: "/init".into(), data: minimal_init(INIT_HELLO) });
+    let fsimg = mkfs(2048, &files);
+    let mut m = boot(&image, fsimg.disk, &BootConfig::default());
+    let exit = m.run(BUDGET);
+    let console = m.console_string();
+    assert_eq!(exit, RunExit::Halted, "console:\n{console}");
+    assert!(!console.contains("CPUs online"), "{console}");
+    assert!(console.contains("init: hello from user space"), "{console}");
+    assert_eq!(m.counters().ipis, 0);
+}
+
+#[test]
 fn filesystem_is_clean_after_shutdown() {
     let image = build_kernel(KernelBuildOptions::default()).unwrap();
     let mut files = standard_fixtures();

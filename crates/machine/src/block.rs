@@ -57,8 +57,12 @@
 //!   conflict eviction, translation change) falls back to the careful
 //!   per-instruction path or exits to the full fetch machinery.
 //! * **Fallback conditions.** [`Machine::run`] only enters block mode
-//!   when the decode cache is on and the sanitizer is off (the
-//!   sanitizer's contract is *per-step* validation); within block mode,
+//!   when the decode cache is on, the sanitizer is off (the
+//!   sanitizer's contract is *per-step* validation), and the machine
+//!   is a uniprocessor — on a `cpus > 1` machine `run` routes to the
+//!   single-stepping SMP scheduler loop instead, where quantum
+//!   boundaries, IPI delivery and per-CPU timers need per-step
+//!   precision; within block mode,
 //!   a pending timer tick, a halted CPU, a latched triple fault, or a
 //!   breakpoint match at the block head all route through the ordinary
 //!   [`Machine::step`] machinery. [`Machine::step`] itself never uses

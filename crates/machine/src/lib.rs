@@ -63,6 +63,7 @@ mod mem;
 mod mmu;
 mod ramdisk;
 pub mod sanitizer;
+mod smp;
 mod trap;
 
 pub use cpu::{Cpu, CR0_PG, KERNEL_CS, USER_CS};

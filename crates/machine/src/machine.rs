@@ -21,8 +21,21 @@ pub mod ports {
     pub const MON_CRASH_EIP: u16 = 0xf3;
     /// Monitor: current pid trace.
     pub const MON_PID: u16 = 0xf4;
+    /// Monitor: index of the CPU executing the `in` (read-only).
+    pub const MON_CPU_ID: u16 = 0xf5;
+    /// Monitor: number of guest CPUs (read-only).
+    pub const MON_NCPUS: u16 = 0xf6;
+    /// Monitor: send an IPI. Bits `[15:8]` select the target CPU; bit
+    /// 16 selects the kind (0 = reschedule doorbell, delivered through
+    /// IDT vector 0x21 once the target has IF set; 1 = startup, which
+    /// installs the sender's paging/IDT state on the target and jumps
+    /// it to the [`MON_IPI_ARG`] latch, regardless of IF). A no-op on
+    /// uniprocessor machines and for out-of-range targets.
+    pub const MON_IPI: u16 = 0xf7;
     /// Monitor: set TSS.esp0 (kernel stack for user→kernel transitions).
     pub const MON_SET_ESP0: u16 = 0xf8;
+    /// Monitor: latch the startup-IPI entry point for [`MON_IPI`].
+    pub const MON_IPI_ARG: u16 = 0xf9;
     /// Block device: LBA latch.
     pub const BLK_LBA: u16 = 0x1f0;
     /// Block device: DMA physical address latch.
@@ -138,6 +151,30 @@ pub struct MachineConfig {
     /// bug. The checker's self-test proves its ring-transition pair
     /// detects this. Never set outside that self-test.
     pub ring_switch_bug: bool,
+    /// Number of guest CPUs (default 1). With `cpus = 1` the machine
+    /// allocates no SMP state at all and executes exactly the
+    /// uniprocessor code path. With `cpus > 1`, secondary CPUs start
+    /// parked (halted, interrupts off) until a startup IPI, the CPUs
+    /// interleave round-robin at [`MachineConfig::smp_quantum`]-step
+    /// slices over the shared physical memory, and [`Machine::run`]
+    /// single-steps (the block engine is a uniprocessor fast path).
+    pub cpus: u32,
+    /// Round-robin slice length in steps for `cpus > 1` (default 64).
+    /// Together with [`MachineConfig::smp_seed`] this fully determines
+    /// the interleaving: the schedule is a pure function of machine
+    /// state, never of host threads or wall-clock time.
+    pub smp_quantum: u32,
+    /// Interleaving seed (default 0). Zero keeps every slice exactly
+    /// [`MachineConfig::smp_quantum`] steps; a nonzero seed jitters
+    /// slice lengths with a deterministic xorshift draw so campaigns
+    /// can explore different (but reproducible) interleavings.
+    pub smp_seed: u64,
+    #[doc(hidden)]
+    /// Test-only hook: silently drops reschedule IPIs at the send port,
+    /// modeling a kernel whose cross-CPU reschedule doorbell is lost —
+    /// the checker's self-test proves the lockstep rig catches the
+    /// missed wake-up. Never set outside that self-test.
+    pub ipi_drop_bug: bool,
 }
 
 impl Default for MachineConfig {
@@ -152,6 +189,10 @@ impl Default for MachineConfig {
             sanitizer: false,
             flag_update_bug: false,
             ring_switch_bug: false,
+            cpus: 1,
+            smp_quantum: 64,
+            smp_seed: 0,
+            ipi_drop_bug: false,
         }
     }
 }
@@ -167,6 +208,8 @@ pub struct Counters {
     pub syscalls: u64,
     /// Timer interrupts delivered.
     pub timer_irqs: u64,
+    /// Reschedule IPIs delivered (always 0 on uniprocessor machines).
+    pub ipis: u64,
 }
 
 /// A point-in-time machine snapshot (CPU + memory + timer/device latches).
@@ -192,6 +235,10 @@ pub struct Snapshot {
     blk_lba: u32,
     blk_dma: u32,
     blk_status: u32,
+    /// Per-CPU contexts, scheduler position and in-flight IPIs for
+    /// SMP machines; `None` for uniprocessor machines, keeping their
+    /// snapshots exactly what they always were.
+    smp: Option<crate::smp::SmpSnapshot>,
 }
 
 impl Snapshot {
@@ -211,6 +258,7 @@ impl PartialEq for Snapshot {
             && self.blk_lba == other.blk_lba
             && self.blk_dma == other.blk_dma
             && self.blk_status == other.blk_status
+            && self.smp == other.smp
     }
 }
 
@@ -263,6 +311,9 @@ pub struct Machine {
     blk_lba: u32,
     blk_dma: u32,
     blk_status: u32,
+    /// Parked per-CPU contexts + IPI queues; allocated iff
+    /// `config.cpus > 1`, so uniprocessor machines pay one pointer.
+    smp: Option<Box<crate::smp::SmpState>>,
     delivering: u32,
     triple_faulted: bool,
     /// Cooperative wall-clock abort: when the supervisor's watchdog
@@ -296,6 +347,13 @@ impl Machine {
             blk_lba: 0,
             blk_dma: 0,
             blk_status: 0,
+            smp: (config.cpus > 1).then(|| {
+                Box::new(crate::smp::SmpState::new(
+                    config.cpus,
+                    config.timer_period,
+                    config.smp_seed,
+                ))
+            }),
             delivering: 0,
             triple_faulted: false,
             abort: None,
@@ -339,12 +397,138 @@ impl Machine {
         self.counters
     }
 
-    /// Cumulative TLB `(hits, misses)` since construction. Unlike
-    /// [`Machine::counters`], these are *not* cleared by
-    /// [`Machine::restore`] — callers wanting per-run numbers must diff
-    /// before/after.
+    /// Cumulative TLB `(hits, misses)` since construction, summed over
+    /// every CPU's TLB on SMP machines. Unlike [`Machine::counters`],
+    /// these are *not* cleared by [`Machine::restore`] — callers
+    /// wanting per-run numbers must diff before/after.
     pub fn tlb_stats(&self) -> (u64, u64) {
-        self.tlb.stats()
+        let (mut hits, mut misses) = self.tlb.stats();
+        if let Some(smp) = &self.smp {
+            for (i, ctx) in smp.ctxs.iter().enumerate() {
+                if i != smp.active {
+                    let (h, m) = ctx.tlb.stats();
+                    hits += h;
+                    misses += m;
+                }
+            }
+        }
+        (hits, misses)
+    }
+
+    /// Number of guest CPUs.
+    pub fn cpus(&self) -> u32 {
+        self.config.cpus.max(1)
+    }
+
+    /// Index of the CPU whose state currently lives in [`Machine::cpu`]
+    /// (always 0 on uniprocessor machines).
+    pub fn active_cpu(&self) -> usize {
+        self.smp.as_ref().map(|smp| smp.active).unwrap_or(0)
+    }
+
+    /// Architectural state of CPU `index`: the live state for the
+    /// active CPU, the parked context for any other.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.cpus()`.
+    pub fn cpu_state(&self, index: usize) -> &Cpu {
+        match &self.smp {
+            None => {
+                assert_eq!(index, 0, "uniprocessor machine has only CPU 0");
+                &self.cpu
+            }
+            Some(smp) if index == smp.active => &self.cpu,
+            Some(smp) => &smp.ctxs[index].cpu,
+        }
+    }
+
+    /// The maximum TSC across all CPUs (just the TSC on uniprocessor
+    /// machines). Per-CPU TSCs drift apart under interleaving, so this
+    /// is the machine-wide "time" the SMP run budget counts against.
+    pub fn max_tsc(&self) -> u64 {
+        let mut t = self.cpu.tsc;
+        if let Some(smp) = &self.smp {
+            for (i, ctx) in smp.ctxs.iter().enumerate() {
+                if i != smp.active {
+                    t = t.max(ctx.cpu.tsc);
+                }
+            }
+        }
+        t
+    }
+
+    /// FNV-1a digest over every CPU's architectural state plus the
+    /// scheduler position and in-flight IPIs; 0 on uniprocessor
+    /// machines. The checker folds this into its state comparison so
+    /// parked-CPU divergence can't hide between quantum boundaries.
+    pub fn smp_digest(&self) -> u64 {
+        let Some(smp) = &self.smp else { return 0 };
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let put = |h: &mut u64, v: u64| {
+            for b in v.to_le_bytes() {
+                *h ^= u64::from(b);
+                *h = h.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        put(&mut h, smp.active as u64);
+        put(&mut h, u64::from(smp.slice_left));
+        put(&mut h, smp.rng);
+        put(&mut h, u64::from(smp.ipi_arg));
+        for i in 0..smp.ctxs.len() {
+            let cpu = self.cpu_state(i);
+            for r in cpu.regs {
+                put(&mut h, u64::from(r));
+            }
+            put(&mut h, u64::from(cpu.eip));
+            put(&mut h, u64::from(cpu.eflags.bits()));
+            put(&mut h, u64::from(cpu.cs));
+            put(&mut h, u64::from(cpu.cr0));
+            put(&mut h, u64::from(cpu.cr2));
+            put(&mut h, u64::from(cpu.cr3));
+            put(&mut h, u64::from(cpu.idt_base));
+            put(&mut h, u64::from(cpu.esp0));
+            put(&mut h, cpu.tsc);
+            put(&mut h, u64::from(cpu.halted));
+            for ipi in &smp.pending[i] {
+                match ipi {
+                    crate::smp::Ipi::Resched => put(&mut h, 1),
+                    crate::smp::Ipi::Startup { entry, cr0, cr3, idt_base } => {
+                        put(&mut h, 2);
+                        put(&mut h, u64::from(*entry));
+                        put(&mut h, u64::from(*cr0));
+                        put(&mut h, u64::from(*cr3));
+                        put(&mut h, u64::from(*idt_base));
+                    }
+                }
+            }
+            put(&mut h, 0xff);
+        }
+        h
+    }
+
+    /// Parks every secondary CPU back into wait-for-startup reset state
+    /// and clears all in-flight IPIs: the SMP half of a machine reset.
+    /// CPU 0's context becomes the active one; its architectural state
+    /// is left for the caller to reinitialize (the boot loader does).
+    /// A no-op on uniprocessor machines.
+    pub fn reset_secondary_cpus(&mut self) {
+        if self.smp.is_none() {
+            return;
+        }
+        self.smp_switch(0);
+        let timer_period = self.config.timer_period;
+        let seed = self.config.smp_seed;
+        let smp = self.smp.as_mut().unwrap();
+        for ctx in smp.ctxs.iter_mut().skip(1) {
+            *ctx = crate::smp::CpuCtx::parked(timer_period);
+        }
+        for q in &mut smp.pending {
+            q.clear();
+        }
+        smp.slice_left = 0;
+        smp.rng = seed;
+        smp.ipi_arg = 0;
     }
 
     /// Cumulative decoded-instruction cache `(hits, misses,
@@ -432,7 +616,8 @@ impl Machine {
         std::mem::take(&mut self.trace)
     }
 
-    /// Captures CPU + memory + device-latch state.
+    /// Captures CPU + memory + device-latch state (every CPU's state on
+    /// SMP machines, plus the scheduler position and in-flight IPIs).
     pub fn snapshot(&self) -> Snapshot {
         Snapshot {
             id: NEXT_SNAPSHOT_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
@@ -442,6 +627,19 @@ impl Machine {
             blk_lba: self.blk_lba,
             blk_dma: self.blk_dma,
             blk_status: self.blk_status,
+            smp: self.smp.as_ref().map(|smp| {
+                let mut cpus: Vec<(Cpu, u64)> =
+                    smp.ctxs.iter().map(|c| (c.cpu.clone(), c.next_tick)).collect();
+                cpus[smp.active] = (self.cpu.clone(), self.next_tick);
+                crate::smp::SmpSnapshot {
+                    cpus,
+                    active: smp.active,
+                    slice_left: smp.slice_left,
+                    rng: smp.rng,
+                    ipi_arg: smp.ipi_arg,
+                    pending: smp.pending.iter().map(|q| q.iter().cloned().collect()).collect(),
+                }
+            }),
         }
     }
 
@@ -463,6 +661,27 @@ impl Machine {
         self.blk_dma = s.blk_dma;
         self.blk_status = s.blk_status;
         self.tlb.flush();
+        assert_eq!(
+            self.smp.is_some(),
+            s.smp.is_some(),
+            "snapshot/machine CPU-count mismatch (SMP vs uniprocessor)"
+        );
+        if let (Some(smp), Some(snap)) = (self.smp.as_mut(), s.smp.as_ref()) {
+            assert_eq!(smp.ctxs.len(), snap.cpus.len(), "snapshot CPU-count mismatch");
+            for (ctx, (cpu, next_tick)) in smp.ctxs.iter_mut().zip(&snap.cpus) {
+                ctx.cpu = cpu.clone();
+                ctx.next_tick = *next_tick;
+                ctx.tlb.flush();
+            }
+            smp.active = snap.active;
+            smp.slice_left = snap.slice_left;
+            smp.rng = snap.rng;
+            smp.ipi_arg = snap.ipi_arg;
+            for (q, p) in smp.pending.iter_mut().zip(&snap.pending) {
+                q.clear();
+                q.extend(p.iter().cloned());
+            }
+        }
         self.console.clear();
         self.monitor.clear();
         self.trap_log.clear();
@@ -501,6 +720,27 @@ impl Machine {
             s.mem.len() as u32,
             "fork config memory size mismatch"
         );
+        assert_eq!(
+            config.cpus.max(1) as usize,
+            s.smp.as_ref().map(|smp| smp.cpus.len()).unwrap_or(1),
+            "fork config CPU count mismatch"
+        );
+        let smp = s.smp.as_ref().map(|snap| {
+            let mut smp =
+                crate::smp::SmpState::new(config.cpus, config.timer_period, config.smp_seed);
+            for (ctx, (cpu, next_tick)) in smp.ctxs.iter_mut().zip(&snap.cpus) {
+                ctx.cpu = cpu.clone();
+                ctx.next_tick = *next_tick;
+            }
+            smp.active = snap.active;
+            smp.slice_left = snap.slice_left;
+            smp.rng = snap.rng;
+            smp.ipi_arg = snap.ipi_arg;
+            for (q, p) in smp.pending.iter_mut().zip(&snap.pending) {
+                q.extend(p.iter().cloned());
+            }
+            Box::new(smp)
+        });
         Machine {
             cpu: s.cpu.clone(),
             mem: PhysMem::fork_from(&s.mem, s.id),
@@ -522,6 +762,7 @@ impl Machine {
             blk_lba: s.blk_lba,
             blk_dma: s.blk_dma,
             blk_status: s.blk_status,
+            smp,
             delivering: 0,
             triple_faulted: false,
             abort: None,
@@ -690,6 +931,8 @@ impl Machine {
         match port {
             ports::BLK_STATUS => self.blk_status,
             ports::CONSOLE => 0,
+            ports::MON_CPU_ID => self.active_cpu() as u32,
+            ports::MON_NCPUS => self.cpus(),
             _ => 0xffff_ffff,
         }
     }
@@ -704,6 +947,12 @@ impl Machine {
             ports::MON_CRASH_EIP => self.monitor.push((tsc, MonitorEvent::CrashEip(value))),
             ports::MON_PID => self.monitor.push((tsc, MonitorEvent::Pid(value))),
             ports::MON_SET_ESP0 => self.cpu.esp0 = value,
+            ports::MON_IPI => self.ipi_command(value),
+            ports::MON_IPI_ARG => {
+                if let Some(smp) = self.smp.as_mut() {
+                    smp.ipi_arg = value;
+                }
+            }
             ports::BLK_LBA => self.blk_lba = value,
             ports::BLK_DMA => self.blk_dma = value,
             ports::BLK_CMD => self.block_command(value),
@@ -736,6 +985,145 @@ impl Machine {
         }
     }
 
+    // ---- SMP scheduling and IPIs ----
+
+    /// Swaps CPU `next`'s context into the live slots (`cpu`, TLB,
+    /// timer deadline), parking the current active CPU's. No-op when
+    /// `next` is already active.
+    fn smp_switch(&mut self, next: usize) {
+        let mut smp = self.smp.take().expect("smp_switch on a uniprocessor machine");
+        let act = smp.active;
+        if next != act {
+            std::mem::swap(&mut self.cpu, &mut smp.ctxs[act].cpu);
+            std::mem::swap(&mut self.tlb, &mut smp.ctxs[act].tlb);
+            std::mem::swap(&mut self.next_tick, &mut smp.ctxs[act].next_tick);
+            std::mem::swap(&mut self.cpu, &mut smp.ctxs[next].cpu);
+            std::mem::swap(&mut self.tlb, &mut smp.ctxs[next].tlb);
+            std::mem::swap(&mut self.next_tick, &mut smp.ctxs[next].next_tick);
+            smp.active = next;
+        }
+        self.smp = Some(smp);
+    }
+
+    /// Whether CPU `index` could execute an instruction *immediately*
+    /// if scheduled: running, or halted with a deliverable IPI pending
+    /// (delivery outranks the halted check in [`Machine::step`]).
+    fn cpu_live(&self, index: usize) -> bool {
+        let smp = self.smp.as_ref().unwrap();
+        let cpu = if index == smp.active { &self.cpu } else { &smp.ctxs[index].cpu };
+        if !cpu.halted {
+            return true;
+        }
+        smp.pending[index].iter().any(|ipi| match ipi {
+            crate::smp::Ipi::Startup { .. } => true,
+            crate::smp::Ipi::Resched => cpu.eflags.if_(),
+        })
+    }
+
+    /// Whether CPU `index` could ever make progress: live now, or
+    /// halted-but-wakeable by its timer.
+    fn cpu_runnable(&self, index: usize) -> bool {
+        if self.cpu_live(index) {
+            return true;
+        }
+        let smp = self.smp.as_ref().unwrap();
+        let cpu = if index == smp.active { &self.cpu } else { &smp.ctxs[index].cpu };
+        cpu.halted && self.config.timer_enabled && cpu.eflags.if_()
+    }
+
+    /// Round-robin slice accounting, run once at the top of every
+    /// [`Machine::step`] on SMP machines. Rotates when the active CPU's
+    /// slice is exhausted or it can no longer execute, preferring CPUs
+    /// that are live *right now*; only when no CPU is live does a
+    /// merely timer-wakeable (idle) CPU get scheduled. That fallback is
+    /// the sole path into the halted fast-forward, so a sleeping CPU
+    /// can never leap the machine clock while another CPU still has
+    /// work — the run budget counts the machine-wide maximum TSC, and
+    /// an idle CPU jumping a full timer period per visit would starve
+    /// the busy ones of wall time. If no CPU is runnable at all the
+    /// active one stays put and the step reports [`StepEvent::Halted`].
+    fn smp_schedule(&mut self) {
+        let smp = self.smp.as_ref().unwrap();
+        let (act, n) = (smp.active, smp.ctxs.len());
+        if smp.slice_left == 0 || !self.cpu_live(act) {
+            let mut next = act;
+            for k in 1..=n {
+                let j = (act + k) % n;
+                if self.cpu_live(j) {
+                    next = j;
+                    break;
+                }
+            }
+            if next == act && !self.cpu_live(act) {
+                for k in 1..=n {
+                    let j = (act + k) % n;
+                    if self.cpu_runnable(j) {
+                        next = j;
+                        break;
+                    }
+                }
+            }
+            self.smp_switch(next);
+            let quantum = self.config.smp_quantum;
+            let smp = self.smp.as_mut().unwrap();
+            smp.slice_left = smp.next_quantum(quantum);
+        }
+        let smp = self.smp.as_mut().unwrap();
+        smp.slice_left = smp.slice_left.saturating_sub(1);
+    }
+
+    /// Delivers at most one pending IPI to the active CPU (startup
+    /// unconditionally, reschedule only once IF is set), consuming the
+    /// step like a timer delivery does. Returns `None` when nothing is
+    /// deliverable.
+    fn smp_take_ipi(&mut self) -> Option<StepEvent> {
+        let if_set = self.cpu.eflags.if_();
+        let smp = self.smp.as_mut().unwrap();
+        let q = &mut smp.pending[smp.active];
+        let idx = q.iter().position(|ipi| match ipi {
+            crate::smp::Ipi::Startup { .. } => true,
+            crate::smp::Ipi::Resched => if_set,
+        })?;
+        let ipi = q.remove(idx).unwrap();
+        match ipi {
+            crate::smp::Ipi::Startup { entry, cr0, cr3, idt_base } => {
+                self.cpu.eip = entry;
+                self.cpu.cr0 = cr0;
+                self.cpu.cr3 = cr3;
+                self.cpu.idt_base = idt_base;
+                self.cpu.halted = false;
+                self.cpu.tsc += 40; // mode-switch cost, like any delivery
+                self.tlb.flush();
+                Some(StepEvent::Executed)
+            }
+            crate::smp::Ipi::Resched => {
+                self.cpu.halted = false;
+                let eip = self.cpu.eip;
+                self.deliver(Vector::Ipi, None, eip);
+                Some(if self.triple_faulted { StepEvent::TripleFault } else { StepEvent::Executed })
+            }
+        }
+    }
+
+    /// Handles a write to [`ports::MON_IPI`]. See the port docs for the
+    /// encoding. Uniprocessor machines and out-of-range targets ignore
+    /// the write, like any other unknown port traffic.
+    fn ipi_command(&mut self, value: u32) {
+        let (cr0, cr3, idt_base) = (self.cpu.cr0, self.cpu.cr3, self.cpu.idt_base);
+        let drop_resched = self.config.ipi_drop_bug;
+        let Some(smp) = self.smp.as_mut() else { return };
+        let target = ((value >> 8) & 0xff) as usize;
+        if target >= smp.ctxs.len() {
+            return;
+        }
+        if value & (1 << 16) != 0 {
+            let entry = smp.ipi_arg;
+            smp.pending[target].push_back(crate::smp::Ipi::Startup { entry, cr0, cr3, idt_base });
+        } else if !drop_resched {
+            smp.pending[target].push_back(crate::smp::Ipi::Resched);
+        }
+    }
+
     // ---- trap delivery ----
 
     /// Delivers a trap/interrupt through the IDT. `return_eip` is what
@@ -764,6 +1152,9 @@ impl Machine {
         } else if vector == Vector::Syscall {
             self.counters.syscalls += 1;
             self.trace.emit(self.cpu.tsc, EventKind::SyscallEntry { nr: self.cpu.reg(0) });
+        } else if vector == Vector::Ipi {
+            self.counters.ipis += 1;
+            self.trace.emit(self.cpu.tsc, EventKind::IpiDelivered { eip: return_eip });
         } else {
             self.counters.timer_irqs += 1;
             self.trace.emit(self.cpu.tsc, EventKind::WatchdogTick { eip: return_eip });
@@ -865,8 +1256,15 @@ impl Machine {
 
     // ---- stepping ----
 
-    /// Executes one instruction (or delivers one pending interrupt).
+    /// Executes one instruction (or delivers one pending interrupt) on
+    /// the active CPU. On SMP machines the round-robin scheduler may
+    /// first rotate which CPU is active — the rotation is a pure
+    /// function of machine state, so single-stepping is deterministic
+    /// there too.
     pub fn step(&mut self) -> StepEvent {
+        if self.smp.is_some() {
+            self.smp_schedule();
+        }
         if self.san.is_none() {
             return self.step_inner();
         }
@@ -919,6 +1317,15 @@ impl Machine {
     fn step_inner(&mut self) -> StepEvent {
         if self.triple_faulted {
             return StepEvent::TripleFault;
+        }
+
+        // Pending IPIs outrank the halted check: a startup IPI is how a
+        // parked CPU comes to life at all, and a reschedule IPI wakes a
+        // sleeping one exactly like the timer would.
+        if self.smp.is_some() {
+            if let Some(ev) = self.smp_take_ipi() {
+                return ev;
+            }
         }
 
         if self.cpu.halted {
@@ -983,6 +1390,9 @@ impl Machine {
     /// exhausted, or the [abort flag](Machine::set_abort_flag) is set
     /// (also reported as [`RunExit::CycleLimit`] — the watchdog's view).
     pub fn run(&mut self, max_cycles: u64) -> RunExit {
+        if self.smp.is_some() {
+            return self.run_smp(max_cycles);
+        }
         let deadline = self.cpu.tsc.saturating_add(max_cycles);
         if self.block_cache.enabled() && self.san.is_none() {
             return self.run_block_mode(deadline);
@@ -1046,6 +1456,38 @@ impl Machine {
             // loop would.
             if self.triple_faulted {
                 return RunExit::TripleFault;
+            }
+        }
+    }
+
+    /// Multi-CPU body of [`Machine::run`]: always single-steps (the
+    /// block engine is a uniprocessor fast path), so every quantum
+    /// boundary, IPI delivery and per-CPU timer is exact. The cycle
+    /// budget counts against the machine-wide maximum TSC — per-CPU
+    /// TSCs drift under interleaving, and budgeting the laggard would
+    /// stretch the watchdog by the drift.
+    fn run_smp(&mut self, max_cycles: u64) -> RunExit {
+        let mut hi = self.max_tsc();
+        let deadline = hi.saturating_add(max_cycles);
+        let mut steps: u32 = 0;
+        loop {
+            hi = hi.max(self.cpu.tsc);
+            if hi >= deadline {
+                return RunExit::CycleLimit;
+            }
+            steps = steps.wrapping_add(1);
+            if steps % ABORT_CHECK_STEPS == 0 {
+                if let Some(flag) = &self.abort {
+                    if flag.load(std::sync::atomic::Ordering::Relaxed) {
+                        return RunExit::CycleLimit;
+                    }
+                }
+            }
+            match self.step() {
+                StepEvent::Executed => {}
+                StepEvent::DebugBreak { index } => return RunExit::DebugBreak { index },
+                StepEvent::Halted => return RunExit::Halted,
+                StepEvent::TripleFault => return RunExit::TripleFault,
             }
         }
     }
@@ -1397,6 +1839,279 @@ mod sanitizer_tests {
         m.cpu.eip = 0x1000;
         assert_eq!(m.run(1000), RunExit::Halted);
         assert_eq!(m.sanitizer_violation_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod smp_tests {
+    use super::*;
+
+    /// CPU0 latches 0x2000 as the startup entry and boots CPU1, then
+    /// spin-waits on a flag at 0x9000; CPU1 prints 'A', sets the flag,
+    /// and halts; CPU0 prints 'B' and halts.
+    fn startup_program(m: &mut Machine) {
+        m.mem.load(
+            0x1000,
+            &[
+                0xb8, 0x00, 0x20, 0x00, 0x00, // mov $0x2000,%eax
+                0xe7, 0xf9, // out %eax,$0xf9 (latch entry)
+                0xb8, 0x00, 0x01, 0x01, 0x00, // mov $0x10100,%eax
+                0xe7, 0xf7, // out %eax,$0xf7 (startup -> CPU1)
+                0xa1, 0x00, 0x90, 0x00, 0x00, // spin: mov 0x9000,%eax
+                0x83, 0xf8, 0x01, // cmp $1,%eax
+                0x75, 0xf6, // jne spin
+                0xb0, b'B', 0xe6, 0xe9, // out 'B'
+                0xfa, 0xf4, // cli; hlt
+            ],
+        );
+        m.mem.load(
+            0x2000,
+            &[
+                0xb0, b'A', 0xe6, 0xe9, // out 'A'
+                0xc7, 0x05, 0x00, 0x90, 0x00, 0x00, 0x01, 0x00, 0x00, 0x00, // movl $1,0x9000
+                0xfa, 0xf4, // cli; hlt
+            ],
+        );
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+    }
+
+    fn smp_machine(cpus: u32) -> Machine {
+        Machine::new(MachineConfig { timer_enabled: false, cpus, ..Default::default() })
+    }
+
+    #[test]
+    fn startup_ipi_brings_a_second_cpu_online() {
+        let mut m = smp_machine(2);
+        startup_program(&mut m);
+        assert_eq!(m.run(1_000_000), RunExit::Halted);
+        // CPU1 must have printed before CPU0 saw the flag.
+        assert_eq!(m.console_string(), "AB");
+        assert!(m.cpu_state(1).halted);
+        assert_eq!(m.cpu_state(1).eip & !0xfff, 0x2000);
+    }
+
+    #[test]
+    fn parked_secondary_cpu_is_observationally_invisible() {
+        // The same program, timer on, never starting CPU1: a 2-CPU
+        // machine must match the 1-CPU machine in every observable.
+        let run = |cpus: u32| {
+            let mut m =
+                Machine::new(MachineConfig { timer_period: 100, cpus, ..Default::default() });
+            m.cpu.idt_base = 0x2000;
+            m.mem.write_u32(0x2000 + 0x20 * 8, 0x3000);
+            m.mem.write_u32(0x2000 + 0x20 * 8 + 4, 1);
+            m.mem.load(0x3000, &[0x43, 0xcf]); // inc %ebx; iret
+            m.mem.load(0x1000, &[0xfb, 0x48, 0x75, 0xfd, 0xfa, 0xf4]); // sti; dec; jne; cli; hlt
+            m.cpu.set_reg(0, 5_000);
+            m.cpu.eip = 0x1000;
+            m.cpu.set_reg(4, 0x8000);
+            assert_eq!(m.run(10_000_000), RunExit::Halted);
+            m
+        };
+        let up = run(1);
+        let smp = run(2);
+        assert_eq!(up.cpu, smp.cpu);
+        assert_eq!(up.counters(), smp.counters());
+        assert_eq!(up.console(), smp.console());
+        assert_eq!(up.trap_log(), smp.trap_log());
+    }
+
+    #[test]
+    fn resched_ipi_wakes_a_sleeping_cpu() {
+        let mut m = smp_machine(2);
+        // IDT vector 0x21 -> handler at 0x4000 (prints 'R', iret).
+        m.cpu.idt_base = 0x3000;
+        m.mem.write_u32(0x3000 + 0x21 * 8, 0x4000);
+        m.mem.write_u32(0x3000 + 0x21 * 8 + 4, 1);
+        m.mem.load(0x4000, &[0xb0, b'R', 0xe6, 0xe9, 0xcf]);
+        m.mem.load(
+            0x1000,
+            &[
+                0xb8, 0x00, 0x20, 0x00, 0x00, // mov $0x2000,%eax
+                0xe7, 0xf9, // latch entry
+                0xb8, 0x00, 0x01, 0x01, 0x00, // startup -> CPU1
+                0xe7, 0xf7, //
+                0xfb, 0xf4, // sti; hlt (wait for the doorbell)
+                0xfa, 0xf4, // cli; hlt
+            ],
+        );
+        m.mem.load(
+            0x2000,
+            &[
+                0xb8, 0x00, 0x00, 0x00, 0x00, // mov $0,%eax (resched -> CPU0)
+                0xe7, 0xf7, // out %eax,$0xf7
+                0xfa, 0xf4, // cli; hlt
+            ],
+        );
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        assert_eq!(m.run(1_000_000), RunExit::Halted);
+        assert_eq!(m.console_string(), "R");
+        assert_eq!(m.counters().ipis, 1);
+        assert!(m.trap_log().is_empty(), "an IPI is not a fault");
+    }
+
+    #[test]
+    fn dropped_resched_ipi_leaves_the_target_asleep() {
+        let mut m = Machine::new(MachineConfig {
+            timer_enabled: false,
+            cpus: 2,
+            ipi_drop_bug: true,
+            ..Default::default()
+        });
+        m.cpu.idt_base = 0x3000;
+        m.mem.write_u32(0x3000 + 0x21 * 8, 0x4000);
+        m.mem.write_u32(0x3000 + 0x21 * 8 + 4, 1);
+        m.mem.load(0x4000, &[0xb0, b'R', 0xe6, 0xe9, 0xcf]);
+        m.mem.load(
+            0x1000,
+            &[
+                0xb8, 0x00, 0x20, 0x00, 0x00, 0xe7, 0xf9, // latch
+                0xb8, 0x00, 0x01, 0x01, 0x00, 0xe7, 0xf7, // startup -> CPU1
+                0xfb, 0xf4, // sti; hlt — sleeps forever: the doorbell is dropped
+                0xfa, 0xf4,
+            ],
+        );
+        m.mem.load(0x2000, &[0xb8, 0x00, 0x00, 0x00, 0x00, 0xe7, 0xf7, 0xfa, 0xf4]);
+        m.cpu.eip = 0x1000;
+        m.cpu.set_reg(4, 0x8000);
+        // CPU1 halts after its (dropped) send; CPU0 sleeps with IF set
+        // but no timer and no pending IPI — nothing can ever wake it,
+        // so the whole machine reports Halted with the handler unrun.
+        assert_eq!(m.run(200_000), RunExit::Halted);
+        assert_eq!(m.console_string(), "");
+        assert_eq!(m.counters().ipis, 0);
+    }
+
+    #[test]
+    fn interleaving_is_deterministic_for_a_fixed_seed_and_quantum() {
+        let mk = || {
+            let mut m = Machine::new(MachineConfig {
+                timer_enabled: false,
+                cpus: 2,
+                smp_quantum: 7,
+                smp_seed: 0xfeed_beef,
+                ..Default::default()
+            });
+            startup_program(&mut m);
+            m
+        };
+        let (mut a, mut b) = (mk(), mk());
+        let mut schedule = Vec::new();
+        loop {
+            assert_eq!(a.active_cpu(), b.active_cpu(), "schedules diverged");
+            assert_eq!(a.smp_digest(), b.smp_digest(), "state diverged");
+            schedule.push(a.active_cpu());
+            let (ea, eb) = (a.step(), b.step());
+            assert_eq!(ea, eb);
+            if ea == StepEvent::Halted {
+                break;
+            }
+        }
+        // Both CPUs actually got scheduled (the interleaving is real).
+        assert!(schedule.contains(&0) && schedule.contains(&1));
+        assert_eq!(a.console_string(), "AB");
+    }
+
+    #[test]
+    fn different_seeds_change_the_schedule_but_not_the_outcome() {
+        let run = |seed: u64| {
+            let mut m = Machine::new(MachineConfig {
+                timer_enabled: false,
+                cpus: 2,
+                smp_quantum: 9,
+                smp_seed: seed,
+                ..Default::default()
+            });
+            startup_program(&mut m);
+            assert_eq!(m.run(1_000_000), RunExit::Halted);
+            (m.console_string(), m.max_tsc())
+        };
+        let (ca, ta) = run(1);
+        let (cb, tb) = run(2);
+        assert_eq!(ca, "AB");
+        assert_eq!(cb, "AB");
+        // The interleavings differ (almost surely visible as timing).
+        assert_ne!(ta, tb, "distinct seeds should yield distinct interleavings");
+    }
+
+    #[test]
+    fn smp_snapshot_restore_and_fork_roundtrip() {
+        let mut m = smp_machine(2);
+        startup_program(&mut m);
+        // Step into the middle of the cross-CPU dance, snapshot there.
+        for _ in 0..100 {
+            m.step();
+        }
+        let snap = m.snapshot();
+        let console_at_snap = m.console().len();
+        assert_eq!(m.run(1_000_000), RunExit::Halted);
+        let final_console = m.console_string();
+        // Restore clears the console, so the replay reproduces only the
+        // post-snapshot suffix of the output.
+        let replay_console = &final_console[console_at_snap..];
+        let final_digest = m.smp_digest();
+
+        m.restore(&snap);
+        assert_eq!(m.snapshot(), snap, "restore reproduces the snapshot");
+        assert_eq!(m.run(1_000_000), RunExit::Halted);
+        assert_eq!(m.console_string(), replay_console);
+        assert_eq!(m.smp_digest(), final_digest);
+
+        let mut f = Machine::fork(&snap, *m.config());
+        assert_eq!(f.snapshot(), snap, "fork starts at the snapshot");
+        assert_eq!(f.run(1_000_000), RunExit::Halted);
+        assert_eq!(f.console_string(), replay_console);
+        assert_eq!(f.smp_digest(), final_digest);
+    }
+
+    #[test]
+    fn reset_secondary_cpus_parks_the_world() {
+        let mut m = smp_machine(2);
+        startup_program(&mut m);
+        assert_eq!(m.run(1_000_000), RunExit::Halted);
+        m.reset_secondary_cpus();
+        assert_eq!(m.active_cpu(), 0);
+        assert!(m.cpu_state(1).halted);
+        assert_eq!(m.cpu_state(1).eip, 0);
+        assert_eq!(m.cpu_state(1).tsc, 0);
+    }
+
+    #[test]
+    fn cpu_id_and_ncpus_ports() {
+        // in %eax,$0xf5 (CPU id) -> console; in %eax,$0xf6 (ncpus) -> console.
+        let code: &[u8] = &[
+            0xe5, 0xf5, // in $0xf5,%eax
+            0x04, b'0', // add $'0',%al
+            0xe6, 0xe9, // out %al,$0xe9
+            0xe5, 0xf6, // in $0xf6,%eax
+            0x04, b'0', // add $'0',%al
+            0xe6, 0xe9, // out %al,$0xe9
+            0xfa, 0xf4, // cli; hlt
+        ];
+        let mut up = Machine::new(MachineConfig { timer_enabled: false, ..Default::default() });
+        up.mem.load(0x1000, code);
+        up.cpu.eip = 0x1000;
+        assert_eq!(up.run(1_000), RunExit::Halted);
+        assert_eq!(up.console_string(), "01");
+
+        let mut smp = smp_machine(3);
+        smp.mem.load(0x1000, code);
+        smp.cpu.eip = 0x1000;
+        assert_eq!(smp.run(10_000), RunExit::Halted);
+        assert_eq!(smp.console_string(), "03");
+    }
+
+    #[test]
+    fn uniprocessor_machine_allocates_no_smp_state() {
+        let m = Machine::new(MachineConfig::default());
+        assert_eq!(m.cpus(), 1);
+        assert_eq!(m.active_cpu(), 0);
+        assert_eq!(m.smp_digest(), 0);
+        // And its snapshots carry no SMP payload, so pre-SMP snapshot
+        // equality semantics are untouched.
+        assert!(m.snapshot().smp.is_none());
     }
 }
 

@@ -43,6 +43,9 @@ pub enum Vector {
     PageFault = 14,
     /// Timer interrupt (IRQ0 remapped to 0x20).
     Timer = 0x20,
+    /// Reschedule IPI (the cross-CPU doorbell, vector 0x21). Only
+    /// raised on SMP machines; a uniprocessor guest never sees it.
+    Ipi = 0x21,
     /// System call gate (`int $0x80`).
     Syscall = 0x80,
 }
@@ -72,6 +75,7 @@ impl Vector {
             13 => Vector::GeneralProtection,
             14 => Vector::PageFault,
             0x20 => Vector::Timer,
+            0x21 => Vector::Ipi,
             0x80 => Vector::Syscall,
             _ => return None,
         })
@@ -93,7 +97,7 @@ impl Vector {
     /// True for processor faults (as opposed to external interrupts or
     /// the syscall gate).
     pub fn is_fault(self) -> bool {
-        !matches!(self, Vector::Timer | Vector::Syscall)
+        !matches!(self, Vector::Timer | Vector::Ipi | Vector::Syscall)
     }
 
     /// Human-readable name used by oops messages, matching the kernel's
@@ -116,6 +120,7 @@ impl Vector {
             Vector::GeneralProtection => "general protection fault",
             Vector::PageFault => "page fault",
             Vector::Timer => "timer interrupt",
+            Vector::Ipi => "reschedule IPI",
             Vector::Syscall => "system call",
         }
     }

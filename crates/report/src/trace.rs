@@ -19,6 +19,7 @@ pub fn trace_timeline(events: &[Event]) -> String {
             }
             EventKind::SyscallEntry { nr } => format!("nr {nr}"),
             EventKind::WatchdogTick { eip } => format!("at {eip:#010x}"),
+            EventKind::IpiDelivered { eip } => format!("at {eip:#010x}"),
             EventKind::InjectionArmed { addr } => format!("breakpoint at {addr:#010x}"),
             EventKind::TriggerHit { addr } => format!("at {addr:#010x}"),
             EventKind::BitFlipApplied { addr, mask } => {

@@ -83,6 +83,7 @@ const TAG_FLIP: u8 = 8;
 const TAG_RESTORE: u8 = 9;
 const TAG_OUTCOME: u8 = 10;
 const TAG_TRANSITION: u8 = 11;
+const TAG_IPI: u8 = 12;
 
 /// Encodes an event stream (oldest first) to bytes.
 pub fn encode(events: &[Event]) -> Vec<u8> {
@@ -120,6 +121,11 @@ pub fn encode(events: &[Event]) -> Vec<u8> {
             }
             EventKind::WatchdogTick { eip } => {
                 out.push(TAG_TICK);
+                put_varint(&mut out, delta);
+                put_varint(&mut out, eip as u64);
+            }
+            EventKind::IpiDelivered { eip } => {
+                out.push(TAG_IPI);
                 put_varint(&mut out, delta);
                 put_varint(&mut out, eip as u64);
             }
@@ -197,6 +203,7 @@ pub fn decode(buf: &[u8]) -> Result<Vec<Event>, CodecError> {
             },
             TAG_SYSCALL => EventKind::SyscallEntry { nr: get_varint(buf, &mut pos)? as u32 },
             TAG_TICK => EventKind::WatchdogTick { eip: get_varint(buf, &mut pos)? as u32 },
+            TAG_IPI => EventKind::IpiDelivered { eip: get_varint(buf, &mut pos)? as u32 },
             TAG_ARMED => EventKind::InjectionArmed { addr: get_varint(buf, &mut pos)? as u32 },
             TAG_TRIGGER => EventKind::TriggerHit { addr: get_varint(buf, &mut pos)? as u32 },
             TAG_FLIP => {

@@ -86,6 +86,12 @@ pub enum EventKind {
         /// EIP that was interrupted.
         eip: u32,
     },
+    /// A reschedule IPI was delivered to the active CPU (SMP guests
+    /// only — a uniprocessor trace never contains this).
+    IpiDelivered {
+        /// EIP that was interrupted.
+        eip: u32,
+    },
     /// The injector armed its breakpoint on a target instruction.
     InjectionArmed {
         /// Target instruction address.
@@ -131,6 +137,7 @@ impl EventKind {
             EventKind::Cr3Switch { .. } => "CR3",
             EventKind::SyscallEntry { .. } => "SYS",
             EventKind::WatchdogTick { .. } => "TICK",
+            EventKind::IpiDelivered { .. } => "IPI",
             EventKind::InjectionArmed { .. } => "ARM",
             EventKind::TriggerHit { .. } => "TRIG",
             EventKind::BitFlipApplied { .. } => "FLIP",
